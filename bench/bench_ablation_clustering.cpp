@@ -1,0 +1,56 @@
+// Ablation A8: clustering strategy.
+//
+// Two constrained instantiations of the paper's hierarchical clustering:
+// classic edge-ordered single linkage over the similarity graph, and the
+// request-major variant the harness defaults to. Quality per §5.1
+// ("probability of objects being accessed together", cluster size) plus
+// the end-to-end effect on parallel batch placement.
+#include "cluster/quality.hpp"
+#include "cluster/similarity.hpp"
+#include "core/parallel_batch.hpp"
+#include "figure_common.hpp"
+
+int main() {
+  using namespace tapesim;
+  benchfig::print_header(
+      "Ablation A8",
+      "clustering strategy: edge-ordered single linkage vs request-major");
+
+  Table table({"alpha", "strategy", "request coverage", "clusters/request",
+               "PBP bandwidth (MB/s)", "PBP mounts/req"});
+
+  for (const double alpha : {0.0, 0.3, 1.0}) {
+    exp::ExperimentConfig config;
+    config.workload.zipf_alpha = alpha;
+    const exp::Experiment experiment(config);
+    const workload::Workload& wl = experiment.workload();
+
+    cluster::ClusterConstraints constraints;
+    constraints.max_bytes = Bytes{static_cast<Bytes::value_type>(
+        0.9 * config.spec.library.tape_capacity.as_double())};
+
+    const auto graph = cluster::SimilarityGraph::from_workload(wl);
+    const auto edge_clusters =
+        cluster::cluster_objects(wl, graph, constraints);
+    const auto request_clusters =
+        cluster::cluster_by_requests(wl, constraints);
+
+    const core::ParallelBatchPlacement scheme;
+    for (const auto& [label, clusters] :
+         {std::pair<const char*, const cluster::ObjectClusters*>{
+              "single-linkage", &edge_clusters},
+          {"request-major", &request_clusters}}) {
+      const auto quality = cluster::evaluate_quality(*clusters, wl);
+      core::PlacementContext context{&wl, &config.spec, clusters};
+      const core::PlacementPlan plan = scheme.place(context);
+      const auto metrics =
+          exp::simulate_plan(plan, config.simulated_requests, config.seed);
+      table.add(alpha, label, quality.mean_request_coverage,
+                quality.mean_clusters_per_request,
+                metrics.mean_bandwidth().megabytes_per_second(),
+                metrics.mean_tape_switches());
+    }
+  }
+  benchfig::print_table(table, "ablation_clustering.csv");
+  return 0;
+}

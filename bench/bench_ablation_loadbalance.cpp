@@ -1,0 +1,33 @@
+// Ablation A2: the Figure-3 zig-zag balancer vs simpler distribution
+// policies (round-robin, first-fit, greedy least-loaded).
+//
+// First-fit concentrates a cluster on few tapes (serializing transfers);
+// round-robin ignores load and drifts; the zig-zag and the LPT-style
+// least-loaded policies should lead, with zig-zag matching the paper.
+#include "core/parallel_batch.hpp"
+#include "figure_common.hpp"
+
+int main() {
+  using namespace tapesim;
+  benchfig::print_header("Ablation A2",
+                         "tape load balancing policy (bandwidth in MB/s)");
+
+  const exp::ExperimentConfig config;
+  const exp::Experiment experiment(config);
+
+  Table table({"policy", "bandwidth (MB/s)", "mean response (s)",
+               "mean transfer (s)"});
+  for (const core::BalancePolicy policy :
+       {core::BalancePolicy::kZigZag, core::BalancePolicy::kRoundRobin,
+        core::BalancePolicy::kFirstFit, core::BalancePolicy::kLeastLoaded}) {
+    core::ParallelBatchParams params;
+    params.balance.policy = policy;
+    const core::ParallelBatchPlacement scheme(params);
+    const auto run = experiment.run(scheme);
+    table.add(core::to_string(policy), benchfig::mbps(run),
+              run.metrics.mean_response().count(),
+              run.metrics.mean_transfer().count());
+  }
+  benchfig::print_table(table, "ablation_loadbalance.csv");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Ablation A3: on-tape alignment policy (Step 6).
+//
+// Organ pipe ([11]) minimizes expected head travel for independent
+// accesses; descending-probability-from-BOT is the natural alternative for
+// drives that always rewind before unload; given-order is the null policy.
+// The alignment only moves seek time, so responses differ by that term.
+#include "core/parallel_batch.hpp"
+#include "figure_common.hpp"
+
+int main() {
+  using namespace tapesim;
+  benchfig::print_header("Ablation A3",
+                         "on-tape alignment (Step 6) and its seek cost");
+
+  const exp::ExperimentConfig config;
+  const exp::Experiment experiment(config);
+
+  Table table({"alignment", "bandwidth (MB/s)", "mean seek (s)",
+               "mean response (s)"});
+  const std::pair<core::Alignment, const char*> alignments[] = {
+      {core::Alignment::kOrganPipe, "organ pipe"},
+      {core::Alignment::kDescendingProbability, "descending probability"},
+      {core::Alignment::kGivenOrder, "placement order"},
+  };
+  for (const auto& [alignment, label] : alignments) {
+    core::ParallelBatchParams params;
+    params.alignment = alignment;
+    const core::ParallelBatchPlacement scheme(params);
+    const auto run = experiment.run(scheme);
+    table.add(label, benchfig::mbps(run), run.metrics.mean_seek().count(),
+              run.metrics.mean_response().count());
+  }
+  benchfig::print_table(table, "ablation_organpipe.csv");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation A7: simulator modeling choices.
+//
+// (a) Robot handoff protocol: holding the robot through load-to-ready vs
+//     releasing after insertion. The protocol decides how hard mass
+//     switching is penalized, which is what separates the schemes.
+// (b) Within-tape seek-order optimization on/off (the paper optimizes).
+#include "figure_common.hpp"
+
+int main() {
+  using namespace tapesim;
+  benchfig::print_header("Ablation A7a",
+                         "robot handoff protocol (bandwidth in MB/s)");
+
+  Table robot({"protocol", "parallel batch", "object probability",
+               "cluster probability"});
+  for (const bool holds : {true, false}) {
+    exp::ExperimentConfig config;
+    config.sim.robot_holds_load = holds;
+    const exp::Experiment experiment(config);
+    const auto schemes = exp::make_standard_schemes();
+    robot.add(holds ? "holds through load" : "releases after insert",
+              benchfig::mbps(experiment.run(*schemes.parallel_batch)),
+              benchfig::mbps(experiment.run(*schemes.object_probability)),
+              benchfig::mbps(experiment.run(*schemes.cluster_probability)));
+  }
+  benchfig::print_table(robot, "ablation_robot.csv");
+
+  benchfig::print_header("Ablation A7b",
+                         "within-tape seek-order optimization");
+  Table seek({"retrieval order", "parallel batch seek (s)",
+              "object probability seek (s)", "PBP bandwidth (MB/s)"});
+  for (const bool optimize : {true, false}) {
+    exp::ExperimentConfig config;
+    config.sim.optimize_seek_order = optimize;
+    const exp::Experiment experiment(config);
+    const auto schemes = exp::make_standard_schemes();
+    const auto pbp = experiment.run(*schemes.parallel_batch);
+    const auto opp = experiment.run(*schemes.object_probability);
+    seek.add(optimize ? "optimized sweep" : "request order",
+             pbp.metrics.mean_seek().count(),
+             opp.metrics.mean_seek().count(), benchfig::mbps(pbp));
+  }
+  benchfig::print_table(seek, "ablation_seek_order.csv");
+  return 0;
+}

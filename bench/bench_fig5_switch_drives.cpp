@@ -1,0 +1,40 @@
+// Figure 5: effective bandwidth vs the number of switch drives m per
+// library, for several request-popularity skews.
+//
+// Paper expectation: a jump from m=1 to m=2 (a single switch drive
+// serializes every offline mount behind one drive's rewind/transfer
+// cycle), a maximum somewhere in m = 2..4 whose exact position depends on
+// alpha, and a decline beyond 4 (the always-mounted batch shrinks, more
+// requests need offline tapes, and robot contention grows). The paper
+// fixes m = 4 for the rest of the evaluation.
+#include "core/parallel_batch.hpp"
+#include "figure_common.hpp"
+
+int main() {
+  using namespace tapesim;
+  benchfig::print_header(
+      "Figure 5",
+      "parallel batch placement bandwidth (MB/s) vs switch drives m");
+
+  const double alphas[] = {0.0, 0.3, 0.6, 1.0};
+  Table table({"m", "alpha=0", "alpha=0.3", "alpha=0.6", "alpha=1.0"});
+
+  for (std::uint32_t m = 1; m <= 7; ++m) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(m));
+    for (const double alpha : alphas) {
+      exp::ExperimentConfig config;
+      config.workload.zipf_alpha = alpha;
+      const exp::Experiment experiment(config);
+      core::ParallelBatchParams params;
+      params.switch_drives = m;
+      const core::ParallelBatchPlacement scheme(params);
+      const auto run = experiment.run(scheme);
+      row.push_back(Table::num(benchfig::mbps(run)));
+    }
+    table.add_row(std::move(row));
+  }
+
+  benchfig::print_table(table, "fig5_switch_drives.csv");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 6: effective data retrieval bandwidth vs request popularity skew
+// (Zipf alpha), for the three placement schemes.
+//
+// Paper expectation: parallel batch placement wins across the whole range;
+// parallel batch and object probability placement improve as alpha grows
+// (more probability mass concentrates on the always-mounted tapes);
+// cluster probability placement is nearly flat (its cost is dominated by
+// serial transfers, which popularity skew does not change).
+#include "figure_common.hpp"
+
+int main() {
+  using namespace tapesim;
+  benchfig::print_header("Figure 6",
+                         "bandwidth (MB/s) vs request popularity skew alpha "
+                         "(avg request ~213 GB)");
+
+  Table table({"alpha", "parallel batch", "object probability",
+               "cluster probability"});
+
+  for (const double alpha : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    exp::ExperimentConfig config;
+    config.workload.zipf_alpha = alpha;
+    const exp::Experiment experiment(config);
+    const auto schemes = exp::make_standard_schemes();
+
+    const auto pbp = experiment.run(*schemes.parallel_batch);
+    const auto opp = experiment.run(*schemes.object_probability);
+    const auto cpp = experiment.run(*schemes.cluster_probability);
+    table.add(alpha, benchfig::mbps(pbp), benchfig::mbps(opp),
+              benchfig::mbps(cpp));
+  }
+
+  benchfig::print_table(table, "fig6_alpha.csv");
+  return 0;
+}

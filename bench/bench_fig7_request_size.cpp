@@ -1,0 +1,64 @@
+// Figure 7: effective bandwidth vs average request size (the size sweep is
+// driven by scaling the object sizes, exactly as in the paper), plus the
+// Section 6 "extreme test case" where the object sizes shrink until the
+// n*d always-mountable tapes hold every object.
+//
+// Paper expectation: bandwidth increases with request size but "not
+// dramatically" (transfer grows while switch and seek stay put); parallel
+// batch placement stays best across the range. In the extreme case, object
+// probability placement has the lowest response time (lowest seek);
+// cluster probability and parallel batch placement have similar response
+// times, but transfer accounts for ~62% of cluster probability's response
+// vs ~19% for parallel batch (serial vs parallel streaming).
+#include "figure_common.hpp"
+
+int main() {
+  using namespace tapesim;
+  benchfig::print_header("Figure 7",
+                         "bandwidth (MB/s) vs average request size");
+
+  Table table({"avg request (GB)", "parallel batch", "object probability",
+               "cluster probability"});
+
+  for (const std::uint64_t gb : {80ULL, 120ULL, 160ULL, 213ULL, 240ULL,
+                                 280ULL, 320ULL}) {
+    exp::ExperimentConfig config;
+    config.workload = config.workload.with_average_request_size(
+        Bytes{gb * 1000 * 1000 * 1000});
+    const exp::Experiment experiment(config);
+    const auto schemes = exp::make_standard_schemes();
+
+    const auto pbp = experiment.run(*schemes.parallel_batch);
+    const auto opp = experiment.run(*schemes.object_probability);
+    const auto cpp = experiment.run(*schemes.cluster_probability);
+    table.add(gb, benchfig::mbps(pbp), benchfig::mbps(opp),
+              benchfig::mbps(cpp));
+  }
+  benchfig::print_table(table, "fig7_request_size.csv");
+
+  // --- Extreme case: everything fits on the always-mounted tapes. ---
+  benchfig::print_header(
+      "Figure 7 (extreme case)",
+      "all objects fit the n*d mounted tapes -> zero switch time");
+
+  exp::ExperimentConfig config;
+  config.workload = config.workload.with_average_request_size(
+      Bytes{24ULL * 1000 * 1000 * 1000});
+  const exp::Experiment experiment(config);
+  const auto schemes = exp::make_standard_schemes();
+
+  Table extreme({"scheme", "response (s)", "switch (s)", "seek (s)",
+                 "transfer (s)", "transfer share (%)"});
+  for (const core::PlacementScheme* scheme :
+       {schemes.parallel_batch.get(), schemes.object_probability.get(),
+        schemes.cluster_probability.get()}) {
+    const auto run = experiment.run(*scheme);
+    const double resp = run.metrics.mean_response().count();
+    extreme.add(run.scheme, resp, run.metrics.mean_switch().count(),
+                run.metrics.mean_seek().count(),
+                run.metrics.mean_transfer().count(),
+                100.0 * run.metrics.mean_transfer().count() / resp);
+  }
+  benchfig::print_table(extreme, "fig7_extreme.csv");
+  return 0;
+}

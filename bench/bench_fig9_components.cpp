@@ -1,0 +1,40 @@
+// Figure 9: decomposition of the average request response time into tape
+// switch, data seek, and data transfer time per scheme (avg request
+// ~160 GB, alpha = 0.3).
+//
+// Paper expectation: object probability placement has the longest switch
+// time (no relationship awareness -> the most mounts) and it dominates its
+// response; seek time is small for every scheme; object probability
+// placement has the best (shortest) transfer time thanks to maximal
+// scatter; parallel batch placement achieves the best overall balance and
+// response time.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace tapesim;
+  benchfig::print_header(
+      "Figure 9",
+      "response-time components (s) per scheme (avg request ~160 GB)");
+
+  exp::ExperimentConfig config;
+  config.workload = config.workload.with_average_request_size(
+      Bytes{160ULL * 1000 * 1000 * 1000});
+  const exp::Experiment experiment(config);
+  const auto schemes = exp::make_standard_schemes();
+
+  Table table({"scheme", "switch (s)", "seek (s)", "transfer (s)",
+               "response (s)", "mean mounts"});
+  for (const core::PlacementScheme* scheme :
+       {schemes.parallel_batch.get(), schemes.object_probability.get(),
+        schemes.cluster_probability.get()}) {
+    const auto run = experiment.run(*scheme);
+    table.add(run.scheme, run.metrics.mean_switch().count(),
+              run.metrics.mean_seek().count(),
+              run.metrics.mean_transfer().count(),
+              run.metrics.mean_response().count(),
+              run.metrics.mean_tape_switches());
+  }
+
+  benchfig::print_table(table, "fig9_components.csv");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Future-work experiment: periodic (incremental) placement vs a clean-slate
+// oracle (the paper's conclusion: "how to make an optimal or near-optimal
+// solution for the long-term backup/retrieve operations remains to be
+// solved").
+//
+// Four equal generations of objects/requests arrive one backup round at a
+// time. The incremental placer may only append to tapes; the oracle
+// re-places the cumulative workload from scratch each round. The gap is
+// the price of append-only local knowledge.
+#include <memory>
+#include <vector>
+
+#include "cluster/hierarchy.hpp"
+#include "core/incremental.hpp"
+#include "figure_common.hpp"
+#include "workload/merge.hpp"
+
+int main() {
+  using namespace tapesim;
+  benchfig::print_header(
+      "Incremental placement",
+      "append-only periodic placement vs clean-slate oracle, per round");
+
+  const tape::SystemSpec spec = tape::SystemSpec::paper_default();
+  workload::WorkloadConfig gen_config =
+      workload::WorkloadConfig::paper_default();
+  gen_config.num_objects = 7000;
+  gen_config.num_requests = 100;
+  gen_config.object_groups = 50;
+  const std::uint32_t kRounds = 4;
+  const std::uint32_t kSimulated = 150;
+  const std::uint64_t kSeed = 42;
+
+  cluster::ClusterConstraints constraints;
+  constraints.max_bytes = Bytes{static_cast<Bytes::value_type>(
+      0.9 * spec.library.tape_capacity.as_double())};
+
+  core::IncrementalParams inc_params;
+  const core::IncrementalParallelBatch incremental(inc_params);
+  const core::ParallelBatchPlacement oracle;
+
+  std::vector<std::unique_ptr<workload::Workload>> cumulative;
+  std::vector<std::unique_ptr<cluster::ObjectClusters>> clusters;
+  std::vector<core::PlacementPlan> plans;
+
+  Table table({"round", "objects", "incremental (MB/s)", "oracle (MB/s)",
+               "degradation (%)"});
+
+  Rng seed_rng{kSeed};
+  for (std::uint32_t round = 0; round < kRounds; ++round) {
+    Rng gen_rng = seed_rng.fork(round + 1);
+    workload::Workload generation =
+        workload::generate_workload(gen_config, gen_rng);
+    std::uint32_t first_new = 0;
+    if (round == 0) {
+      cumulative.push_back(
+          std::make_unique<workload::Workload>(std::move(generation)));
+    } else {
+      first_new = cumulative.back()->object_count();
+      cumulative.push_back(std::make_unique<workload::Workload>(
+          workload::merge_workloads(*cumulative.back(), generation,
+                                    1.0 / static_cast<double>(round + 1))));
+    }
+    clusters.push_back(std::make_unique<cluster::ObjectClusters>(
+        cluster::cluster_by_requests(*cumulative.back(), constraints)));
+
+    core::PlacementContext context{cumulative.back().get(), &spec,
+                                   clusters.back().get()};
+    if (round == 0) {
+      plans.push_back(incremental.place_initial(context));
+    } else {
+      plans.push_back(incremental.place_next(context, plans.back(),
+                                             ObjectId{first_new}));
+    }
+    const auto inc_metrics =
+        exp::simulate_plan(plans.back(), kSimulated, kSeed + round);
+
+    const core::PlacementPlan oracle_plan = oracle.place(context);
+    const auto oracle_metrics =
+        exp::simulate_plan(oracle_plan, kSimulated, kSeed + round);
+
+    const double inc_bw = inc_metrics.mean_bandwidth().megabytes_per_second();
+    const double orc_bw =
+        oracle_metrics.mean_bandwidth().megabytes_per_second();
+    table.add(round + 1, cumulative.back()->object_count(), inc_bw, orc_bw,
+              100.0 * (orc_bw - inc_bw) / orc_bw);
+  }
+  benchfig::print_table(table, "incremental.csv");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Microbenchmarks for the building blocks (google-benchmark): the
+// discrete-event kernel, the B+-tree catalog index, the clustering stage,
+// placement itself, and end-to-end request simulation. These establish
+// that a full figure sweep (hundreds of placements + tens of thousands of
+// simulated requests) stays comfortably laptop-scale.
+#include <benchmark/benchmark.h>
+
+#include "catalog/btree.hpp"
+#include "cluster/hierarchy.hpp"
+#include "cluster/similarity.hpp"
+#include "core/parallel_batch.hpp"
+#include "exp/experiment.hpp"
+#include "sched/simulator.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace tapesim;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng{1};
+  std::vector<double> times(n);
+  for (auto& t : times) t = rng.uniform(0.0, 1000.0);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(sim::Event{Seconds{times[i]}, i + 1, [] {}, {}});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().id);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000);
+
+void BM_EngineDispatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      engine.schedule_in(Seconds{static_cast<double>(i % 97)},
+                         [&count] { ++count; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(count);
+    engine.reset();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EngineDispatch)->Arg(10000);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng{2};
+  std::vector<std::uint32_t> keys(n);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng());
+  for (auto _ : state) {
+    catalog::BPlusTree<std::uint32_t, std::uint64_t> tree;
+    for (const auto k : keys) tree.insert(k, k);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_BTreeInsert)->Arg(10000)->Arg(100000);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  const std::uint64_t n = 100000;
+  Rng rng{3};
+  catalog::BPlusTree<std::uint32_t, std::uint64_t> tree;
+  std::vector<std::uint32_t> keys(n);
+  for (auto& k : keys) {
+    k = static_cast<std::uint32_t>(rng());
+    tree.insert(k, k);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.find(keys[i++ % n]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookup);
+
+workload::Workload bench_workload(std::uint32_t objects) {
+  workload::WorkloadConfig config = workload::WorkloadConfig::paper_default();
+  config.num_objects = objects;
+  config.object_groups = std::max(1u, objects / 150);
+  Rng rng{4};
+  return workload::generate_workload(config, rng);
+}
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench_workload(static_cast<std::uint32_t>(state.range(0)))
+            .object_count());
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(30000);
+
+void BM_SimilarityGraph(benchmark::State& state) {
+  const auto wl = bench_workload(30000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::SimilarityGraph::from_workload(wl).edge_count());
+  }
+}
+BENCHMARK(BM_SimilarityGraph);
+
+void BM_ClusterByRequests(benchmark::State& state) {
+  const auto wl = bench_workload(30000);
+  cluster::ClusterConstraints constraints;
+  constraints.max_bytes = Bytes{360ULL * 1000 * 1000 * 1000};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::cluster_by_requests(wl, constraints).size());
+  }
+}
+BENCHMARK(BM_ClusterByRequests);
+
+void BM_ParallelBatchPlace(benchmark::State& state) {
+  const auto wl = bench_workload(30000);
+  const tape::SystemSpec spec = tape::SystemSpec::paper_default();
+  cluster::ClusterConstraints constraints;
+  constraints.max_bytes = Bytes{360ULL * 1000 * 1000 * 1000};
+  const auto clusters = cluster::cluster_by_requests(wl, constraints);
+  const core::ParallelBatchPlacement scheme;
+  const core::PlacementContext context{&wl, &spec, &clusters};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.place(context).tapes_used());
+  }
+}
+BENCHMARK(BM_ParallelBatchPlace);
+
+void BM_SimulateRequest(benchmark::State& state) {
+  const auto wl = bench_workload(30000);
+  const tape::SystemSpec spec = tape::SystemSpec::paper_default();
+  cluster::ClusterConstraints constraints;
+  constraints.max_bytes = Bytes{360ULL * 1000 * 1000 * 1000};
+  const auto clusters = cluster::cluster_by_requests(wl, constraints);
+  const core::ParallelBatchPlacement scheme;
+  const core::PlacementContext context{&wl, &spec, &clusters};
+  const core::PlacementPlan plan = scheme.place(context);
+  sched::RetrievalSimulator sim(plan);
+  Rng rng{5};
+  const workload::RequestSampler sampler(wl);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim.run_request(sampler.sample(rng)).response.count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulateRequest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

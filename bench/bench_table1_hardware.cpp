@@ -1,0 +1,65 @@
+// Table 1: the modeled drive/library specification, plus the motion-model
+// calibration derived from it and a set of single-operation validations
+// computed through the actual drive state machine.
+#include <iostream>
+
+#include "figure_common.hpp"
+#include "tape/drive.hpp"
+
+int main() {
+  using namespace tapesim;
+  benchfig::print_header("Table 1",
+                         "tape drive / library specification (as modeled)");
+
+  const tape::SystemSpec spec = tape::SystemSpec::paper_default();
+  const tape::DriveSpec& drive = spec.library.drive;
+
+  Table table({"parameter", "value"});
+  table.add("Average cell to drive time",
+            spec.library.cell_to_drive_time);
+  table.add("Tape load and thread to ready", drive.load_thread_time);
+  table.add("Data transfer rate, native", drive.transfer_rate);
+  table.add("Maximum rewind time", drive.max_rewind_time);
+  table.add("Unload time", drive.unload_time);
+  table.add("Average file access time (first file)",
+            drive.avg_first_file_access);
+  table.add("Number of tapes per library", spec.library.tapes_per_library);
+  table.add("Tape capacity", spec.library.tape_capacity);
+  table.add("Tape drives per library", spec.library.drives_per_library);
+  table.add("Number of tape libraries", spec.num_libraries);
+  benchfig::print_table(table, "table1_hardware.csv");
+
+  benchfig::print_header("Table 1 (derived)",
+                         "linear positioning model calibration");
+  const tape::LinearMotionModel motion(drive, spec.library.tape_capacity);
+  Table derived({"quantity", "value"});
+  derived.add("locate rate", motion.locate_rate());
+  derived.add("rewind rate", motion.rewind_rate());
+  derived.add("full-tape rewind (must be 98 s)", motion.max_rewind());
+  derived.add("average first-file access (must be 72 s)",
+              motion.average_first_access());
+  benchfig::print_table(derived, "");
+
+  benchfig::print_header(
+      "Table 1 (validation)",
+      "single operations executed through the drive state machine");
+  tape::TapeDrive d(DriveId{0}, drive, spec.library.tape_capacity);
+  Table ops({"operation", "modeled time"});
+  ops.add("load + thread", d.start_load(TapeId{0}));
+  d.finish_load();
+  ops.add("locate BOT -> 200 GB (half tape)", d.start_locate(200_GB));
+  d.finish_locate();
+  ops.add("stream 40 GB", d.start_transfer(40_GB));
+  d.finish_transfer();
+  ops.add("rewind from 240 GB", d.start_rewind());
+  d.finish_rewind();
+  ops.add("unload", d.start_unload());
+  (void)d.finish_unload();
+  benchfig::print_table(ops, "");
+
+  std::cout << "Aggregate ceiling: " << spec.aggregate_transfer_rate()
+            << " across " << spec.total_drives() << " drives; "
+            << spec.total_capacity() << " on " << spec.total_tapes()
+            << " tapes.\n";
+  return 0;
+}

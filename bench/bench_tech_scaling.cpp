@@ -1,0 +1,53 @@
+// Ablation A5: tape technology scaling (the paper's closing remark: with
+// faster drives and bigger tapes "our scheme improves more than the other
+// two schemes").
+//
+// Faster streaming shrinks transfer time, so switch overhead dominates —
+// which is exactly what parallel batch placement minimizes; its relative
+// lead over the baselines should widen with drive generation.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace tapesim;
+  benchfig::print_header(
+      "Ablation A5",
+      "drive-technology scaling (transfer-rate multiplier on LTO-3)");
+
+  Table table({"rate x", "parallel batch", "object probability",
+               "cluster probability", "PBP / OPP"});
+
+  for (const double factor : {1.0, 2.0, 4.0, 8.0}) {
+    exp::ExperimentConfig config;
+    config.spec.library.drive.transfer_rate =
+        BytesPerSecond{80.0e6 * factor};
+    const exp::Experiment experiment(config);
+    const auto schemes = exp::make_standard_schemes();
+    const auto pbp = experiment.run(*schemes.parallel_batch);
+    const auto opp = experiment.run(*schemes.object_probability);
+    const auto cpp = experiment.run(*schemes.cluster_probability);
+    table.add(factor, benchfig::mbps(pbp), benchfig::mbps(opp),
+              benchfig::mbps(cpp),
+              benchfig::mbps(pbp) / benchfig::mbps(opp));
+  }
+  benchfig::print_table(table, "tech_scaling_rate.csv");
+
+  benchfig::print_header(
+      "Ablation A5b", "tape-capacity scaling (capacity multiplier, same "
+                      "data; fewer, fuller tapes)");
+  Table cap({"capacity x", "parallel batch", "object probability",
+             "cluster probability"});
+  for (const std::uint64_t factor : {1ULL, 2ULL, 4ULL}) {
+    exp::ExperimentConfig config;
+    config.spec.library.tape_capacity =
+        Bytes{400ULL * 1000 * 1000 * 1000 * factor};
+    const exp::Experiment experiment(config);
+    const auto schemes = exp::make_standard_schemes();
+    const auto pbp = experiment.run(*schemes.parallel_batch);
+    const auto opp = experiment.run(*schemes.object_probability);
+    const auto cpp = experiment.run(*schemes.cluster_probability);
+    cap.add(factor, benchfig::mbps(pbp), benchfig::mbps(opp),
+            benchfig::mbps(cpp));
+  }
+  benchfig::print_table(cap, "tech_scaling_capacity.csv");
+  return 0;
+}

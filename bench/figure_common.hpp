@@ -1,0 +1,39 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Every bench_figN_* binary reproduces one figure of the paper: it sweeps
+// the figure's x-axis, runs the experiment pipeline for each point, and
+// prints the series the paper plots (plus a CSV line block for external
+// plotting). Absolute values differ from the paper's (their testbed, our
+// model), but the comparisons and trends are the reproduction target.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "exp/experiment.hpp"
+#include "util/table.hpp"
+
+namespace tapesim::benchfig {
+
+/// MB/s value of a run's mean effective bandwidth.
+inline double mbps(const exp::SchemeRun& run) {
+  return run.metrics.mean_bandwidth().megabytes_per_second();
+}
+
+inline void print_header(const std::string& figure,
+                         const std::string& description) {
+  std::cout << "==================================================\n"
+            << figure << ": " << description << "\n"
+            << "==================================================\n";
+}
+
+inline void print_table(const Table& table, const std::string& csv_path) {
+  table.print(std::cout);
+  if (!csv_path.empty()) {
+    table.save_csv(csv_path);
+    std::cout << "(csv written to " << csv_path << ")\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace tapesim::benchfig

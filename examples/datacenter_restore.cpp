@@ -1,0 +1,78 @@
+// Scenario: enterprise disaster-restore drill (Section 1 of the paper).
+//
+// A data center backs up application volumes to the tape tier every night.
+// Compliance requires demonstrating that any application can be restored
+// within its recovery-time objective (RTO). Application tiers differ:
+// mission-critical databases are restored (and drilled) far more often
+// than cold archives — a skewed popularity distribution the placement
+// layer can exploit.
+//
+// This example runs the same drill set against all three schemes and
+// reports, per popularity tier, the worst observed restore time, then
+// checks it against a 30-minute RTO for the hot tier.
+#include <iostream>
+
+#include "exp/experiment.hpp"
+#include "sched/simulator.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+int main() {
+  using namespace tapesim;
+
+  std::cout << "Enterprise restore drill\n"
+            << "========================\n\n";
+
+  exp::ExperimentConfig config;
+  config.workload.num_objects = 24'000;
+  config.workload.object_groups = 120;  // applications
+  config.workload.num_requests = 240;   // restore drill catalogue
+  config.workload.min_objects_per_request = 80;
+  config.workload.max_objects_per_request = 140;
+  config.workload.zipf_alpha = 0.8;  // hot tier dominates drills
+  config.workload.min_object_size = Bytes{500ULL * 1000 * 1000};
+  config.workload.max_object_size = 16_GB;
+  config.simulated_requests = 240;
+
+  const exp::Experiment experiment(config);
+  const workload::Workload& wl = experiment.workload();
+  std::cout << "Backup set: " << wl.object_count() << " volumes, "
+            << wl.total_object_bytes() << "; mean restore "
+            << wl.mean_request_bytes() << "\n\n";
+
+  const auto schemes = exp::make_standard_schemes();
+
+  // Tiers by drill-request rank: hot = top 10%, warm = next 30%, cold =
+  // rest. We simulate each drill once per scheme, deterministically.
+  const std::uint32_t hot_end = wl.request_count() / 10;
+  const std::uint32_t warm_end = hot_end + 3 * wl.request_count() / 10;
+
+  Table table({"placement scheme", "hot worst (min)", "warm worst (min)",
+               "cold worst (min)", "hot RTO<=30min"});
+  for (const core::PlacementScheme* scheme :
+       {schemes.parallel_batch.get(), schemes.object_probability.get(),
+        schemes.cluster_probability.get()}) {
+    core::PlacementContext context{&wl, &experiment.config().spec,
+                                   &experiment.clusters()};
+    const core::PlacementPlan plan = scheme->place(context);
+    sched::RetrievalSimulator simulator(plan);
+    double worst_hot = 0.0;
+    double worst_warm = 0.0;
+    double worst_cold = 0.0;
+    for (std::uint32_t r = 0; r < wl.request_count(); ++r) {
+      const auto outcome = simulator.run_request(RequestId{r});
+      double& bucket = r < hot_end    ? worst_hot
+                       : r < warm_end ? worst_warm
+                                      : worst_cold;
+      bucket = std::max(bucket, outcome.response.count());
+    }
+    table.add(scheme->name(), worst_hot / 60.0, worst_warm / 60.0,
+              worst_cold / 60.0, worst_hot <= 30.0 * 60.0 ? "yes" : "NO");
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe hot tier meets its RTO only when its volumes sit on "
+               "the always-mounted batch and stream in parallel —\n"
+               "which is precisely what parallel batch placement arranges.\n";
+  return 0;
+}

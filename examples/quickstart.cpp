@@ -1,0 +1,66 @@
+// Quickstart: place a workload with the paper's parallel batch placement
+// and retrieve a few requests through the simulator.
+//
+//   $ ./examples/quickstart [seed]
+//
+// Walks the whole public API surface in order: system spec -> workload ->
+// clusters -> placement -> simulation -> metrics.
+#include <cstdlib>
+#include <iostream>
+
+#include "cluster/similarity.hpp"
+#include "core/parallel_batch.hpp"
+#include "exp/experiment.hpp"
+#include "sched/simulator.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tapesim;
+
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  // 1. The hardware: Table 1's three StorageTek L80 libraries with eight
+  //    IBM LTO Gen-3 drives each.
+  tape::SystemSpec spec = tape::SystemSpec::paper_default();
+  std::cout << "System: " << spec.describe() << "\n";
+
+  // 2. A synthetic workload: 30,000 power-law-sized objects, 300 requests
+  //    with Zipf(0.3) popularity.
+  workload::WorkloadConfig wconfig = workload::WorkloadConfig::paper_default();
+  Rng rng{seed};
+  const workload::Workload workload = workload::generate_workload(wconfig, rng);
+  std::cout << "Workload: " << workload.object_count() << " objects ("
+            << workload.total_object_bytes() << "), "
+            << workload.request_count() << " requests, mean request "
+            << workload.mean_request_bytes() << "\n";
+
+  // 3. Cluster objects by co-access probability.
+  const auto similarity = cluster::SimilarityGraph::from_workload(workload);
+  cluster::ClusterConstraints constraints;
+  constraints.max_bytes = Bytes{360ULL * 1000 * 1000 * 1000};  // k * C_t
+  const auto clusters =
+      cluster::cluster_objects(workload, similarity, constraints);
+  std::cout << "Clusters: " << clusters.size() << " (from "
+            << similarity.edge_count() << " similarity edges)\n";
+
+  // 4. Place with parallel batch placement (m = 4 switch drives/library).
+  core::ParallelBatchPlacement scheme;
+  core::PlacementContext context{&workload, &spec, &clusters};
+  const core::PlacementPlan plan = scheme.place(context);
+  std::cout << "Placed on " << plan.tapes_used() << " tapes of "
+            << spec.total_tapes() << "\n";
+
+  // 5. Retrieve five popular requests.
+  sched::RetrievalSimulator simulator(plan);
+  Table table({"request", "size", "response", "switch", "seek", "transfer",
+               "bandwidth", "mounts"});
+  for (std::uint32_t r = 0; r < 5; ++r) {
+    const auto outcome = simulator.run_request(RequestId{r});
+    table.add(r, outcome.bytes, outcome.response, outcome.switch_time,
+              outcome.seek, outcome.transfer, outcome.bandwidth(),
+              outcome.tape_switches);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Scenario: sizing for sustained restore traffic (the concurrency
+// extension — beyond the paper's one-request-at-a-time model).
+//
+// An operator needs to know how many restores per hour the tape tier can
+// absorb before queues blow up, and what latency users see on the way
+// there. This example offers Poisson restore traffic at increasing rates
+// and prints the sojourn-time curve plus fleet utilization at the knee.
+//
+//   ./sustained_traffic [requests_per_hour_max]
+#include <cstdlib>
+#include <iostream>
+
+#include "exp/experiment.hpp"
+#include "metrics/queueing.hpp"
+#include "sched/concurrent.hpp"
+#include "sched/report.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tapesim;
+
+  const double max_per_hour = argc > 1 ? std::atof(argv[1]) : 14.0;
+
+  std::cout << "Sustained restore traffic\n"
+            << "=========================\n\n";
+
+  exp::ExperimentConfig config;
+  config.workload = config.workload.with_average_request_size(
+      Bytes{160ULL * 1000 * 1000 * 1000});
+  const exp::Experiment experiment(config);
+  const auto schemes = exp::make_standard_schemes();
+
+  core::PlacementContext context{&experiment.workload(), &config.spec,
+                                 &experiment.clusters()};
+  const core::PlacementPlan plan = schemes.parallel_batch->place(context);
+
+  // Serial service profile -> analytic single-server reference.
+  const auto serial = exp::simulate_plan(plan, 150, config.seed);
+  std::cout << "Serial profile: mean service "
+            << serial.mean_response() << ", serial saturation "
+            << Table::num(
+                   metrics::saturation_rate(serial.response_samples()) *
+                   3600.0)
+            << " restores/hour\n\n";
+
+  Table table({"restores/hour", "mean sojourn (min)", "P95 sojourn (min)",
+               "M/G/1 sojourn (min)"});
+  const workload::RequestSampler sampler(experiment.workload());
+  sched::ConcurrentSimulator* last_simulator = nullptr;
+  std::unique_ptr<sched::ConcurrentSimulator> keep_alive;
+  for (double per_hour = 2.0; per_hour <= max_per_hour; per_hour += 2.0) {
+    const double rate = per_hour / 3600.0;
+    keep_alive = std::make_unique<sched::ConcurrentSimulator>(plan);
+    last_simulator = keep_alive.get();
+    Rng rng{config.seed};
+    const auto arrivals = sched::poisson_arrivals(sampler, rate, 200, rng);
+    const auto outcomes = last_simulator->run(arrivals);
+    SampleSet sojourns;
+    for (const auto& o : outcomes) sojourns.add(o.sojourn().count());
+    const auto mg1 = metrics::mg1_estimate(serial.response_samples(), rate);
+    table.add(per_hour, sojourns.mean() / 60.0,
+              sojourns.percentile(95) / 60.0,
+              mg1.stable ? Table::num(mg1.mean_sojourn.count() / 60.0)
+                         : std::string{"[unstable]"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nFleet utilization at the highest offered rate:\n";
+  sched::utilization_report(last_simulator->system(),
+                            last_simulator->makespan())
+      .print(std::cout);
+  std::cout << "\nRead the knee of the sojourn curve as the tier's usable "
+               "capacity; past the serial saturation the analytic column "
+               "goes unstable while\nthe real fleet keeps absorbing load by "
+               "overlapping requests across drives.\n";
+  return 0;
+}

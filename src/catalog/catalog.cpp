@@ -1,0 +1,77 @@
+#include "catalog/catalog.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace tapesim::catalog {
+
+ObjectCatalog::ObjectCatalog(std::uint32_t total_tapes)
+    : by_tape_(total_tapes), used_(total_tapes) {}
+
+bool ObjectCatalog::insert(const ObjectRecord& record) {
+  TAPESIM_ASSERT_MSG(record.object.valid(), "object id must be valid");
+  TAPESIM_ASSERT_MSG(record.tape.valid() &&
+                         record.tape.index() < by_tape_.size(),
+                     "tape id out of range");
+  if (!primary_.insert(record.object.value(), record)) return false;
+  by_tape_[record.tape.index()].push_back(
+      TapeExtent{record.object, record.offset, record.size});
+  restore_order(record.tape);
+  used_[record.tape.index()] += record.size;
+  return true;
+}
+
+void ObjectCatalog::restore_order(TapeId tape) {
+  auto& extents = by_tape_[tape.index()];
+  // Placements append mostly in offset order; a single insertion-sort step
+  // keeps this amortized O(1) for that common case.
+  for (std::size_t i = extents.size(); i > 1; --i) {
+    if (extents[i - 2].offset <= extents[i - 1].offset) break;
+    std::swap(extents[i - 2], extents[i - 1]);
+  }
+}
+
+const ObjectRecord* ObjectCatalog::lookup(ObjectId id) const {
+  return primary_.find(id.value());
+}
+
+std::span<const TapeExtent> ObjectCatalog::extents_on(TapeId tape) const {
+  TAPESIM_ASSERT(tape.valid() && tape.index() < by_tape_.size());
+  return by_tape_[tape.index()];
+}
+
+Bytes ObjectCatalog::used_on(TapeId tape) const {
+  TAPESIM_ASSERT(tape.valid() && tape.index() < used_.size());
+  return used_[tape.index()];
+}
+
+void ObjectCatalog::validate(Bytes tape_capacity) const {
+  std::size_t secondary_total = 0;
+  for (std::uint32_t t = 0; t < by_tape_.size(); ++t) {
+    const auto& extents = by_tape_[t];
+    Bytes used{};
+    for (std::size_t i = 0; i < extents.size(); ++i) {
+      const auto& e = extents[i];
+      TAPESIM_ASSERT_MSG(e.offset + e.size <= tape_capacity,
+                         "extent beyond tape capacity");
+      if (i > 0) {
+        TAPESIM_ASSERT_MSG(
+            extents[i - 1].offset + extents[i - 1].size <= e.offset,
+            "overlapping extents on one tape");
+      }
+      const ObjectRecord* rec = lookup(e.object);
+      TAPESIM_ASSERT_MSG(rec != nullptr, "secondary entry missing primary");
+      TAPESIM_ASSERT(rec->tape == TapeId{t});
+      TAPESIM_ASSERT(rec->offset == e.offset && rec->size == e.size);
+      used += e.size;
+    }
+    TAPESIM_ASSERT_MSG(used == used_[t], "per-tape usage bookkeeping drifted");
+    secondary_total += extents.size();
+  }
+  TAPESIM_ASSERT_MSG(secondary_total == primary_.size(),
+                     "primary/secondary index cardinality mismatch");
+  primary_.validate();
+}
+
+}  // namespace tapesim::catalog

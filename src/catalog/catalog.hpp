@@ -1,0 +1,78 @@
+// The object indexing database.
+//
+// Maps every object to its physical location (library, tape, byte offset)
+// and size. The retrieval scheduler resolves each incoming request through
+// this catalog, exactly as the paper's simulator does ("given a request,
+// the corresponding tapes are identified based on the object indexing
+// database"). Primary index: B+-tree on object id. Secondary index: per-
+// tape extent lists, kept sorted by offset for seek-order optimization.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "catalog/btree.hpp"
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::catalog {
+
+/// Full location record for one object.
+struct ObjectRecord {
+  ObjectId object;
+  Bytes size;
+  LibraryId library;
+  TapeId tape;
+  Bytes offset;  ///< Distance of the object's first byte from BOT.
+
+  [[nodiscard]] Bytes end_offset() const { return offset + size; }
+};
+
+/// One object's extent on a tape, as stored in the secondary index.
+struct TapeExtent {
+  ObjectId object;
+  Bytes offset;
+  Bytes size;
+};
+
+class ObjectCatalog {
+ public:
+  /// `total_tapes` sizes the secondary index (global tape id space).
+  explicit ObjectCatalog(std::uint32_t total_tapes);
+
+  /// Registers an object's location. Returns false if the object id is
+  /// already present (each object is placed exactly once — no striping).
+  bool insert(const ObjectRecord& record);
+
+  /// Primary lookup; nullptr when absent.
+  [[nodiscard]] const ObjectRecord* lookup(ObjectId id) const;
+  [[nodiscard]] bool contains(ObjectId id) const {
+    return lookup(id) != nullptr;
+  }
+
+  /// All extents on `tape`, sorted by offset. Invalidated by insert().
+  [[nodiscard]] std::span<const TapeExtent> extents_on(TapeId tape) const;
+
+  /// Bytes occupied on `tape`.
+  [[nodiscard]] Bytes used_on(TapeId tape) const;
+
+  [[nodiscard]] std::size_t object_count() const { return primary_.size(); }
+  [[nodiscard]] std::uint32_t tape_count() const {
+    return static_cast<std::uint32_t>(by_tape_.size());
+  }
+
+  /// Verifies global consistency: extents sorted, non-overlapping, within
+  /// `tape_capacity`; primary and secondary agree. Aborts on violation.
+  void validate(Bytes tape_capacity) const;
+
+ private:
+  /// Keeps a tape's extent list sorted after an insertion at the back.
+  void restore_order(TapeId tape);
+
+  BPlusTree<std::uint32_t, ObjectRecord, 64> primary_;
+  std::vector<std::vector<TapeExtent>> by_tape_;
+  std::vector<Bytes> used_;
+};
+
+}  // namespace tapesim::catalog

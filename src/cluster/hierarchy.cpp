@@ -1,0 +1,247 @@
+#include "cluster/hierarchy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace tapesim::cluster {
+namespace {
+
+/// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns the new root (or the common root).
+  std::uint32_t unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return a;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return a;
+  }
+
+  [[nodiscard]] std::uint32_t set_size(std::uint32_t x) {
+    return size_[find(x)];
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+/// Groups objects by union-find root into dense, validated clusters.
+ObjectClusters materialize(UnionFind& uf,
+                           const std::vector<double>& comp_cohesion,
+                           const workload::Workload& workload) {
+  const std::uint32_t n = workload.object_count();
+  std::vector<std::vector<ObjectId>> members_by_root(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    members_by_root[uf.find(i)].push_back(ObjectId{i});
+  }
+
+  std::vector<Cluster> clusters;
+  for (std::uint32_t root = 0; root < n; ++root) {
+    auto& members = members_by_root[root];
+    if (members.empty()) continue;
+    Cluster c;
+    c.id = ClusterId{static_cast<std::uint32_t>(clusters.size())};
+    c.cohesion = members.size() > 1 ? comp_cohesion[root] : 0.0;
+    std::sort(members.begin(), members.end(), [&](ObjectId x, ObjectId y) {
+      const double px = workload.object_probability(x);
+      const double py = workload.object_probability(y);
+      if (px != py) return px > py;
+      return x < y;
+    });
+    for (const ObjectId o : members) {
+      c.total_bytes += workload.object_size(o);
+      c.total_probability += workload.object_probability(o);
+    }
+    c.members = std::move(members);
+    clusters.push_back(std::move(c));
+  }
+  return ObjectClusters{std::move(clusters), n};
+}
+
+}  // namespace
+
+Dendrogram build_dendrogram(const SimilarityGraph& graph) {
+  // Edges are pre-sorted by descending weight; each edge joining two
+  // distinct components is a merge of the relationship tree.
+  std::uint32_t max_id = 0;
+  for (const auto& e : graph.edges())
+    max_id = std::max({max_id, e.a.value(), e.b.value()});
+  UnionFind uf(static_cast<std::size_t>(max_id) + 1);
+
+  Dendrogram d;
+  d.merges.reserve(graph.edge_count());
+  for (const auto& e : graph.edges()) {
+    if (uf.find(e.a.value()) == uf.find(e.b.value())) continue;
+    uf.unite(e.a.value(), e.b.value());
+    d.merges.push_back(Merge{e.a, e.b, e.weight});
+  }
+  return d;
+}
+
+ObjectClusters cluster_objects(const workload::Workload& workload,
+                               const SimilarityGraph& graph,
+                               const ClusterConstraints& constraints) {
+  const std::uint32_t n = workload.object_count();
+  UnionFind uf(n);
+
+  // Track per-component stats so constrained merges are O(alpha(n)).
+  std::vector<Bytes> comp_bytes(n);
+  std::vector<double> comp_cohesion(n, 0.0);
+  for (std::uint32_t i = 0; i < n; ++i)
+    comp_bytes[i] = workload.objects()[i].size;
+
+  for (const auto& e : graph.edges()) {
+    if (e.weight < constraints.min_similarity) break;  // edges are sorted
+    const std::uint32_t ra = uf.find(e.a.value());
+    const std::uint32_t rb = uf.find(e.b.value());
+    if (ra == rb) continue;
+    if (constraints.max_objects != 0 &&
+        uf.set_size(ra) + uf.set_size(rb) > constraints.max_objects) {
+      continue;
+    }
+    if (constraints.max_bytes.count() != 0 &&
+        comp_bytes[ra] + comp_bytes[rb] > constraints.max_bytes) {
+      continue;
+    }
+    const Bytes merged_bytes = comp_bytes[ra] + comp_bytes[rb];
+    const std::uint32_t root = uf.unite(ra, rb);
+    comp_bytes[root] = merged_bytes;
+    // Single linkage: the weakest edge accepted so far is the cohesion.
+    comp_cohesion[root] = e.weight;
+  }
+
+  return materialize(uf, comp_cohesion, workload);
+}
+
+ObjectClusters cluster_by_requests(const workload::Workload& workload,
+                                   const ClusterConstraints& constraints) {
+  const std::uint32_t n = workload.object_count();
+  UnionFind uf(n);
+  std::vector<Bytes> comp_bytes(n);
+  std::vector<double> comp_cohesion(n, 0.0);
+  for (std::uint32_t i = 0; i < n; ++i)
+    comp_bytes[i] = workload.objects()[i].size;
+
+  // Requests in descending probability: the strongest cliques merge first.
+  std::vector<const workload::Request*> order;
+  order.reserve(workload.request_count());
+  for (const workload::Request& r : workload.requests()) order.push_back(&r);
+  std::sort(order.begin(), order.end(),
+            [](const workload::Request* a, const workload::Request* b) {
+              if (a->probability != b->probability)
+                return a->probability > b->probability;
+              return a->id < b->id;
+            });
+
+  std::unordered_map<std::uint32_t, std::uint32_t> root_count;
+  for (const workload::Request* r : order) {
+    if (r->probability < constraints.min_similarity) continue;
+    if (r->objects.size() < 2) continue;
+
+    // Pass 1: how many of this request's members sit in each component.
+    root_count.clear();
+    for (const ObjectId o : r->objects) {
+      ++root_count[uf.find(o.value())];
+    }
+
+    // Mergeable components are the ones this request effectively owns:
+    // singletons and components where our members form a majority. A
+    // component dominated by *other* requests stays where it is — pulling
+    // it over would relocate somebody else's cluster and chain groups
+    // together until the caps cut everything into fragments.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> mergeable;  // (count, root)
+    for (const auto& [root, count] : root_count) {
+      if (uf.set_size(root) == 1 || 2 * count >= uf.set_size(root)) {
+        mergeable.emplace_back(count, root);
+      }
+    }
+    std::sort(mergeable.begin(), mergeable.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+
+    // Pass 2: pack the owned fragments together, largest first; when a cap
+    // would be exceeded, re-anchor so the residue still forms one coherent
+    // secondary cluster instead of singletons.
+    if (mergeable.empty()) continue;
+    std::uint32_t anchor = mergeable.front().second;
+    for (std::size_t i = 1; i < mergeable.size(); ++i) {
+      const std::uint32_t other = uf.find(mergeable[i].second);
+      const std::uint32_t a = uf.find(anchor);
+      if (other == a) continue;
+      const bool over_objects =
+          constraints.max_objects != 0 &&
+          uf.set_size(a) + uf.set_size(other) > constraints.max_objects;
+      const bool over_bytes =
+          constraints.max_bytes.count() != 0 &&
+          comp_bytes[a] + comp_bytes[other] > constraints.max_bytes;
+      if (over_objects || over_bytes) {
+        anchor = other;
+        continue;
+      }
+      const Bytes merged_bytes = comp_bytes[a] + comp_bytes[other];
+      anchor = uf.unite(a, other);
+      comp_bytes[anchor] = merged_bytes;
+      comp_cohesion[anchor] = r->probability;
+    }
+  }
+
+  return materialize(uf, comp_cohesion, workload);
+}
+
+ObjectClusters::ObjectClusters(std::vector<Cluster> clusters,
+                               std::uint32_t object_count)
+    : clusters_(std::move(clusters)), object_cluster_(object_count) {
+  for (const Cluster& c : clusters_) {
+    for (const ObjectId o : c.members) {
+      TAPESIM_ASSERT(o.index() < object_cluster_.size());
+      object_cluster_[o.index()] = c.id;
+    }
+  }
+}
+
+void ObjectClusters::validate(const workload::Workload& workload) const {
+  TAPESIM_ASSERT(object_cluster_.size() == workload.object_count());
+  std::vector<bool> seen(workload.object_count(), false);
+  for (std::size_t ci = 0; ci < clusters_.size(); ++ci) {
+    const Cluster& c = clusters_[ci];
+    TAPESIM_ASSERT_MSG(c.id.index() == ci, "cluster ids must be dense");
+    TAPESIM_ASSERT_MSG(!c.members.empty(), "clusters are non-empty");
+    Bytes bytes{};
+    double prob = 0.0;
+    for (const ObjectId o : c.members) {
+      TAPESIM_ASSERT_MSG(!seen[o.index()], "object in two clusters");
+      seen[o.index()] = true;
+      TAPESIM_ASSERT(object_cluster_[o.index()] == c.id);
+      bytes += workload.object_size(o);
+      prob += workload.object_probability(o);
+    }
+    TAPESIM_ASSERT_MSG(bytes == c.total_bytes, "cluster byte total drifted");
+    TAPESIM_ASSERT_MSG(std::abs(prob - c.total_probability) < 1e-9,
+                       "cluster probability total drifted");
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    TAPESIM_ASSERT_MSG(seen[i], "object missing from all clusters");
+  }
+}
+
+}  // namespace tapesim::cluster

@@ -1,0 +1,110 @@
+// Hierarchical clustering over the similarity graph (Section 5.1).
+//
+// Following Johnson's (1967) agglomerative scheme: repeatedly merge the two
+// most similar groups. We use single linkage, which on a sparse graph
+// reduces to processing edges in descending weight through a union-find —
+// O(E log E) overall, feasible for the paper's 30,000 objects. The merge
+// sequence forms the "object relationship tree"; cutting it at a preset
+// probability threshold yields the clusters.
+//
+// The constrained variant additionally refuses merges that would exceed a
+// member-count or byte-size cap. This realizes the paper's rule that a
+// cluster should be "close to or less than" the tape-batch width, directly
+// during tree construction instead of by post-hoc splitting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/similarity.hpp"
+#include "util/ids.hpp"
+#include "util/units.hpp"
+#include "workload/model.hpp"
+
+namespace tapesim::cluster {
+
+/// One merge step of the relationship tree.
+struct Merge {
+  ObjectId a;         ///< A representative member of the first group.
+  ObjectId b;         ///< A representative member of the second group.
+  double similarity;  ///< Linkage similarity at which the merge happened.
+};
+
+/// The full merge sequence (descending similarity). With a forest (graph
+/// not connected) there are fewer than n-1 merges.
+struct Dendrogram {
+  std::vector<Merge> merges;
+};
+
+/// Builds the unconstrained relationship tree.
+[[nodiscard]] Dendrogram build_dendrogram(const SimilarityGraph& graph);
+
+/// A flat clustering: every object belongs to exactly one cluster
+/// (objects that never co-occur above the threshold become singletons).
+struct Cluster {
+  ClusterId id;
+  std::vector<ObjectId> members;  ///< Sorted by descending P(O) (ties: id).
+  Bytes total_bytes{};
+  /// Sum of member object probabilities — the "accumulated probability"
+  /// the placement algorithm maximizes per batch.
+  double total_probability = 0.0;
+  /// Weakest linkage similarity that holds the cluster together; 0 for
+  /// singletons.
+  double cohesion = 0.0;
+};
+
+class ObjectClusters {
+ public:
+  ObjectClusters(std::vector<Cluster> clusters, std::uint32_t object_count);
+
+  [[nodiscard]] const std::vector<Cluster>& clusters() const {
+    return clusters_;
+  }
+  [[nodiscard]] std::size_t size() const { return clusters_.size(); }
+  [[nodiscard]] const Cluster& cluster(ClusterId id) const {
+    return clusters_[id.index()];
+  }
+  [[nodiscard]] ClusterId cluster_of(ObjectId o) const {
+    return object_cluster_[o.index()];
+  }
+
+  /// Every object in exactly one cluster; per-cluster stats consistent
+  /// with the workload. Aborts on violation.
+  void validate(const workload::Workload& workload) const;
+
+ private:
+  std::vector<Cluster> clusters_;
+  std::vector<ClusterId> object_cluster_;
+};
+
+struct ClusterConstraints {
+  /// Merges below this similarity are ignored (the paper's "preset
+  /// probability value" for the tree cut).
+  double min_similarity = 0.0;
+  /// Maximum members per cluster; 0 = unbounded.
+  std::uint32_t max_objects = 0;
+  /// Maximum total bytes per cluster; 0 = unbounded.
+  Bytes max_bytes{0};
+};
+
+/// Constrained single-linkage clustering. Deterministic given inputs.
+[[nodiscard]] ObjectClusters cluster_objects(
+    const workload::Workload& workload, const SimilarityGraph& graph,
+    const ClusterConstraints& constraints);
+
+/// Request-major constrained clustering: processes requests in descending
+/// probability and unions each request's members under the constraints.
+///
+/// Equivalent to walking the relationship tree request-clique by request-
+/// clique instead of edge by edge: every intra-request pair has similarity
+/// >= P(R), so this visits merges in a valid descending-linkage order while
+/// guaranteeing that one request's objects end up in very few clusters.
+/// Pure edge-ordered single linkage lacks that guarantee — equal-weight
+/// edges from different requests interleave and the size caps then cut
+/// every request into fragments, which destroys the "objects retrieved
+/// together stay together" property the placement schemes rely on. This is
+/// the default clustering of the experiment harness.
+[[nodiscard]] ObjectClusters cluster_by_requests(
+    const workload::Workload& workload, const ClusterConstraints& constraints);
+
+}  // namespace tapesim::cluster

@@ -1,0 +1,36 @@
+#include "cluster/quality.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace tapesim::cluster {
+
+ClusterQuality evaluate_quality(const ObjectClusters& clusters,
+                                const workload::Workload& workload) {
+  ClusterQuality quality;
+  for (const Cluster& c : clusters.clusters()) {
+    quality.largest_cluster = std::max(quality.largest_cluster,
+                                       c.members.size());
+    if (c.members.size() > 1) ++quality.multi_member_clusters;
+  }
+
+  std::unordered_map<std::uint32_t, std::size_t> per_cluster;
+  for (const workload::Request& r : workload.requests()) {
+    per_cluster.clear();
+    for (const ObjectId o : r.objects) {
+      ++per_cluster[clusters.cluster_of(o).value()];
+    }
+    std::size_t best = 0;
+    for (const auto& [cluster_id, count] : per_cluster) {
+      best = std::max(best, count);
+    }
+    const double coverage =
+        static_cast<double>(best) / static_cast<double>(r.objects.size());
+    quality.mean_request_coverage += r.probability * coverage;
+    quality.mean_clusters_per_request +=
+        r.probability * static_cast<double>(per_cluster.size());
+  }
+  return quality;
+}
+
+}  // namespace tapesim::cluster

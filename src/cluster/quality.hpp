@@ -1,0 +1,35 @@
+// Clustering quality metrics (Section 5.1: "The quality of the object
+// clustering, which is measured by the probability of objects being
+// accessed together and proper cluster size ... is vital for the success
+// of the overall placement scheme").
+//
+// Two views:
+//  * cohesion — for a multi-object cluster, the expected fraction of its
+//    members a request retrieving *any* of them also retrieves (weighted
+//    by request probability). 1.0 = clusters are exactly co-retrieved.
+//  * request coverage — for a request, the fraction of its objects that
+//    live in its single best-covering cluster. 1.0 = one mount wave can
+//    serve the whole request.
+#pragma once
+
+#include "cluster/hierarchy.hpp"
+#include "workload/model.hpp"
+
+namespace tapesim::cluster {
+
+struct ClusterQuality {
+  /// Probability-weighted mean of the per-request best-cluster coverage.
+  double mean_request_coverage = 0.0;
+  /// Probability-weighted mean, over requests, of how many distinct
+  /// clusters the request's objects span.
+  double mean_clusters_per_request = 0.0;
+  /// Members in the largest cluster.
+  std::size_t largest_cluster = 0;
+  /// Multi-object clusters (singletons excluded).
+  std::size_t multi_member_clusters = 0;
+};
+
+[[nodiscard]] ClusterQuality evaluate_quality(
+    const ObjectClusters& clusters, const workload::Workload& workload);
+
+}  // namespace tapesim::cluster

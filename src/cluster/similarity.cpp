@@ -1,0 +1,67 @@
+#include "cluster/similarity.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace tapesim::cluster {
+
+std::uint64_t SimilarityGraph::key(ObjectId a, ObjectId b) {
+  TAPESIM_ASSERT(a.value() < b.value());
+  return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+}
+
+SimilarityGraph SimilarityGraph::from_workload(
+    const workload::Workload& workload) {
+  SimilarityGraph graph;
+  for (const workload::Request& r : workload.requests()) {
+    if (r.probability <= 0.0) continue;
+    // Normalize pair order via a sorted copy of the member list.
+    std::vector<ObjectId> members = r.objects;
+    std::sort(members.begin(), members.end());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        graph.weights_[key(members[i], members[j])] += r.probability;
+      }
+    }
+  }
+  graph.edges_.reserve(graph.weights_.size());
+  for (const auto& [k, w] : graph.weights_) {
+    graph.edges_.push_back(Edge{ObjectId{static_cast<std::uint32_t>(k >> 32)},
+                                ObjectId{static_cast<std::uint32_t>(k)}, w});
+  }
+  std::sort(graph.edges_.begin(), graph.edges_.end(),
+            [](const Edge& x, const Edge& y) {
+              if (x.weight != y.weight) return x.weight > y.weight;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return graph;
+}
+
+double SimilarityGraph::similarity(ObjectId a, ObjectId b) const {
+  if (a == b) return 0.0;
+  if (b < a) std::swap(a, b);
+  const auto it = weights_.find(key(a, b));
+  return it == weights_.end() ? 0.0 : it->second;
+}
+
+double SimilarityGraph::set_similarity(const workload::Workload& workload,
+                                       std::span<const ObjectId> objs) {
+  double total = 0.0;
+  for (const workload::Request& r : workload.requests()) {
+    if (r.objects.size() < objs.size()) continue;
+    bool contains_all = true;
+    for (const ObjectId o : objs) {
+      if (std::find(r.objects.begin(), r.objects.end(), o) ==
+          r.objects.end()) {
+        contains_all = false;
+        break;
+      }
+    }
+    if (contains_all) total += r.probability;
+  }
+  return total;
+}
+
+}  // namespace tapesim::cluster

@@ -1,0 +1,104 @@
+#include "core/cluster_probability.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace tapesim::core {
+
+ClusterProbabilityPlacement::ClusterProbabilityPlacement(
+    ClusterProbabilityParams params)
+    : params_(params) {}
+
+PlacementPlan ClusterProbabilityPlacement::place(
+    const PlacementContext& context) const {
+  TAPESIM_ASSERT(context.workload != nullptr && context.spec != nullptr);
+  if (context.clusters == nullptr) {
+    throw std::runtime_error(
+        "cluster probability placement requires object clusters");
+  }
+  const workload::Workload& workload = *context.workload;
+  const tape::SystemSpec& spec = *context.spec;
+  const double k = params_.capacity_utilization;
+  if (!(k > 0.0 && k <= 1.0)) {
+    throw std::runtime_error("capacity utilization k must be in (0, 1]");
+  }
+
+  // Clusters in descending accumulated probability: low-rank tapes end up
+  // with the highest probability mass, as in [20].
+  std::vector<const cluster::Cluster*> order;
+  order.reserve(context.clusters->size());
+  for (const cluster::Cluster& c : context.clusters->clusters()) {
+    order.push_back(&c);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const cluster::Cluster* a, const cluster::Cluster* b) {
+              if (a->total_probability != b->total_probability)
+                return a->total_probability > b->total_probability;
+              return a->id < b->id;
+            });
+
+  const Bytes cap{static_cast<Bytes::value_type>(
+      k * spec.library.tape_capacity.as_double())};
+  const std::uint32_t n = spec.num_libraries;
+  const std::uint32_t t = spec.library.tapes_per_library;
+
+  PlacementPlan plan(spec, workload);
+
+  auto rank_to_tape = [&](std::uint32_t rank) {
+    const std::uint32_t lib = rank % n;
+    const std::uint32_t slot = rank / n;
+    if (slot >= t) {
+      throw std::runtime_error(
+          "cluster probability placement: workload exceeds system capacity");
+    }
+    return TapeId{lib * t + slot};
+  };
+
+  // First-fit-decreasing bin packing, whole clusters per tape.
+  std::vector<Bytes> used;  // by rank
+  auto open_rank = [&]() {
+    used.push_back(Bytes{});
+    return static_cast<std::uint32_t>(used.size() - 1);
+  };
+
+  for (const cluster::Cluster* c : order) {
+    if (c->total_bytes <= cap) {
+      std::uint32_t target = static_cast<std::uint32_t>(used.size());
+      for (std::uint32_t r = 0; r < used.size(); ++r) {
+        if (used[r] + c->total_bytes <= cap) {
+          target = r;
+          break;
+        }
+      }
+      if (target == used.size()) target = open_rank();
+      const TapeId tape = rank_to_tape(target);
+      for (const ObjectId o : c->members) plan.assign(o, tape);
+      used[target] += c->total_bytes;
+      continue;
+    }
+    // Oversized cluster: spill across fresh tapes in member order.
+    std::uint32_t rank = open_rank();
+    for (const ObjectId o : c->members) {
+      const Bytes size = workload.object_size(o);
+      if (size > cap) {
+        throw std::runtime_error(
+            "cluster probability placement: object exceeds per-tape cap");
+      }
+      if (used[rank] + size > cap) rank = open_rank();
+      plan.assign(o, rank_to_tape(rank));
+      used[rank] += size;
+    }
+  }
+
+  // Clusters stay contiguous in assignment order on each tape.
+  plan.align_all(Alignment::kGivenOrder);
+  plan.mount_policy.replacement = ReplacementPolicy::kLeastPopular;
+  plan.compute_tape_popularity();
+  mount_most_popular(plan);
+  plan.validate();
+  return plan;
+}
+
+}  // namespace tapesim::core

@@ -1,0 +1,34 @@
+// Cluster probability placement — baseline from Li & Prabhakar [20].
+//
+// Assumes media switches dominate access cost: objects with strong access
+// relationships are packed onto the *same* tape so a request ideally causes
+// at most one switch — and, by the same token, enjoys no transfer
+// parallelism. Clusters are placed in descending accumulated probability by
+// first-fit-decreasing bin packing; each cluster stays contiguous on its
+// tape. Tapes round-robin across libraries; drives use least-popular
+// replacement.
+#pragma once
+
+#include "core/scheme.hpp"
+
+namespace tapesim::core {
+
+struct ClusterProbabilityParams {
+  double capacity_utilization = 0.9;
+};
+
+class ClusterProbabilityPlacement final : public PlacementScheme {
+ public:
+  explicit ClusterProbabilityPlacement(ClusterProbabilityParams params = {});
+
+  [[nodiscard]] std::string name() const override {
+    return "cluster probability placement";
+  }
+  [[nodiscard]] PlacementPlan place(
+      const PlacementContext& context) const override;
+
+ private:
+  ClusterProbabilityParams params_;
+};
+
+}  // namespace tapesim::core

@@ -1,0 +1,131 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace tapesim::core {
+
+IncrementalParallelBatch::IncrementalParallelBatch(IncrementalParams params)
+    : params_(params) {}
+
+PlacementPlan IncrementalParallelBatch::place_initial(
+    const PlacementContext& context) const {
+  return ParallelBatchPlacement(params_.base).place(context);
+}
+
+PlacementPlan IncrementalParallelBatch::place_next(
+    const PlacementContext& context, const PlacementPlan& previous,
+    ObjectId first_new) const {
+  TAPESIM_ASSERT(context.workload != nullptr && context.spec != nullptr);
+  if (context.clusters == nullptr) {
+    throw std::runtime_error("incremental placement requires clusters");
+  }
+  const workload::Workload& workload = *context.workload;
+  const tape::SystemSpec& spec = *context.spec;
+  const std::uint32_t d = spec.library.drives_per_library;
+  const std::uint32_t m = params_.base.switch_drives;
+  if (m < 1 || m >= d) {
+    throw std::runtime_error("switch drives m must be in [1, d-1]");
+  }
+  const double k = params_.base.capacity_utilization;
+  const Bytes tape_cap{static_cast<Bytes::value_type>(
+      k * spec.library.tape_capacity.as_double())};
+
+  PlacementPlan plan(spec, workload);
+  plan.adopt_frozen(previous);
+
+  // New members of each cluster, in descending cluster density.
+  struct NewUnit {
+    std::vector<ObjectId> members;
+    Bytes bytes{};
+    double probability = 0.0;
+  };
+  std::vector<NewUnit> units;
+  for (const cluster::Cluster& c : context.clusters->clusters()) {
+    NewUnit unit;
+    for (const ObjectId o : c.members) {
+      if (o.value() < first_new.value()) continue;
+      unit.members.push_back(o);
+      unit.bytes += workload.object_size(o);
+      unit.probability += workload.object_probability(o);
+    }
+    if (!unit.members.empty()) units.push_back(std::move(unit));
+  }
+  std::sort(units.begin(), units.end(), [](const NewUnit& a, const NewUnit& b) {
+    const double da = a.probability / a.bytes.as_double();
+    const double db = b.probability / b.bytes.as_double();
+    if (da != db) return da > db;
+    return a.members.front() < b.members.front();
+  });
+
+  // Per-batch residual state, earliest batch first.
+  const std::uint32_t batches = ParallelBatchPlacement::batch_count(spec, m);
+  LoadBalanceParams balance = params_.base.balance;
+  balance.tape_capacity_cap = tape_cap;
+
+  struct BatchState {
+    std::vector<TapeLoadState> tapes;
+    Bytes remaining{};
+  };
+  std::vector<BatchState> state(batches);
+  for (std::uint32_t b = 0; b < batches; ++b) {
+    for (const TapeId t : ParallelBatchPlacement::batch_tapes(spec, m, b)) {
+      double load = 0.0;
+      for (const PlacedObject& p : plan.on_tape(t)) {
+        load += workload.object_load(p.object);
+      }
+      state[b].tapes.push_back(TapeLoadState{t, load, plan.used_on(t)});
+      state[b].remaining += plan.remaining_on(t, tape_cap);
+    }
+  }
+
+  // First-fit by density over batches; overflow spills to later batches.
+  for (auto& unit : units) {
+    std::vector<ObjectId> pending = std::move(unit.members);
+    for (std::uint32_t b = 0; b < batches && !pending.empty(); ++b) {
+      if (state[b].remaining.count() == 0) continue;
+      const auto assignment =
+          balance_cluster(pending, state[b].tapes, workload, balance);
+      Bytes placed{};
+      for (std::size_t i = 0; i < assignment.objects.size(); ++i) {
+        plan.assign(assignment.objects[i], assignment.tapes[i]);
+        placed += workload.object_size(assignment.objects[i]);
+      }
+      state[b].remaining =
+          placed >= state[b].remaining ? Bytes{0} : state[b].remaining - placed;
+      pending = assignment.overflow;
+    }
+    if (!pending.empty()) {
+      throw std::runtime_error(
+          "incremental placement: system capacity exhausted");
+    }
+  }
+
+  plan.align_all(params_.base.alignment);
+
+  // Mount policy identical in structure to the batch scheme's.
+  const std::uint32_t n = spec.num_libraries;
+  const std::uint32_t t = spec.library.tapes_per_library;
+  const std::uint32_t always = d - m;
+  plan.mount_policy.replacement = ReplacementPolicy::kFixedBatch;
+  plan.mount_policy.drive_pinned.assign(spec.total_drives(), false);
+  for (std::uint32_t lib = 0; lib < n; ++lib) {
+    for (std::uint32_t s = 0; s < always; ++s) {
+      const DriveId drive{lib * d + s};
+      plan.mount_policy.drive_pinned[drive.index()] = true;
+      plan.mount_policy.initial_mounts.emplace_back(drive,
+                                                    TapeId{lib * t + s});
+    }
+    for (std::uint32_t s = 0; s < m; ++s) {
+      plan.mount_policy.initial_mounts.emplace_back(
+          DriveId{lib * d + always + s}, TapeId{lib * t + always + s});
+    }
+  }
+  plan.compute_tape_popularity();
+  plan.validate();
+  return plan;
+}
+
+}  // namespace tapesim::core

@@ -1,0 +1,45 @@
+// Incremental (periodic) placement — the paper's future-work extension.
+//
+// "In a real system, objects are moved to tapes periodically. When we place
+// objects on tapes, we only have the local knowledge of object probability
+// and relationship." This scheme models exactly that: the first generation
+// is placed by parallel batch placement; every later generation may only
+// *append* — data already on tape cannot move — so new clusters are spread
+// into whatever capacity the batches have left, most popular first.
+// bench_incremental quantifies the resulting drift against an oracle that
+// re-places the cumulative workload from scratch each round.
+#pragma once
+
+#include "core/parallel_batch.hpp"
+
+namespace tapesim::core {
+
+struct IncrementalParams {
+  ParallelBatchParams base;
+};
+
+class IncrementalParallelBatch {
+ public:
+  explicit IncrementalParallelBatch(IncrementalParams params = {});
+
+  /// Generation 0: identical to ParallelBatchPlacement::place.
+  [[nodiscard]] PlacementPlan place_initial(
+      const PlacementContext& context) const;
+
+  /// Generation k > 0: `context.workload` must extend `previous`'s
+  /// workload; `first_new` is the id of the first object added this round.
+  /// Old objects keep their exact tape and offset; new clusters are
+  /// balanced into remaining batch capacity in descending probability
+  /// density (earliest batch with room first, preserving the skew as far
+  /// as an append-only policy can).
+  [[nodiscard]] PlacementPlan place_next(const PlacementContext& context,
+                                         const PlacementPlan& previous,
+                                         ObjectId first_new) const;
+
+  [[nodiscard]] const IncrementalParams& params() const { return params_; }
+
+ private:
+  IncrementalParams params_;
+};
+
+}  // namespace tapesim::core

@@ -1,0 +1,142 @@
+// Placement plans: the output of every placement scheme.
+//
+// A plan maps every object to exactly one tape and byte offset (the paper
+// rules out striping, Section 2), plus a mount policy telling the retrieval
+// scheduler which tapes start mounted and how drives are chosen for
+// switches. Plans are built in two stages: membership (assign objects to
+// tapes) then alignment (fix on-tape order and offsets, e.g. organ pipe).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "tape/specs.hpp"
+#include "util/ids.hpp"
+#include "util/units.hpp"
+#include "workload/model.hpp"
+
+namespace tapesim::core {
+
+struct PlacedObject {
+  ObjectId object;
+  Bytes offset;
+  Bytes size;
+};
+
+/// How the scheduler picks a drive when an offline tape must be mounted.
+enum class ReplacementPolicy {
+  /// Parallel batch placement: a fixed set of pinned drives never switches;
+  /// the remaining m drives per library handle all switches.
+  kFixedBatch,
+  /// Baselines ([11], [20]): any drive may switch; the drive holding the
+  /// least popular mounted tape is evicted first (proved in [11] to
+  /// minimize the switch count together with popularity-ordered tapes).
+  kLeastPopular,
+};
+
+[[nodiscard]] const char* to_string(ReplacementPolicy p);
+
+struct MountPolicy {
+  ReplacementPolicy replacement = ReplacementPolicy::kLeastPopular;
+  /// Tapes mounted "during startup time" (outside the measured window).
+  std::vector<std::pair<DriveId, TapeId>> initial_mounts;
+  /// Indexed by global drive id; pinned drives never unmount their tape.
+  /// Empty means nothing is pinned.
+  std::vector<bool> drive_pinned;
+  /// Indexed by global tape id; accumulated access probability of the tape,
+  /// used by kLeastPopular eviction and reported by diagnostics.
+  std::vector<double> tape_popularity;
+
+  [[nodiscard]] bool pinned(DriveId d) const {
+    return !drive_pinned.empty() && drive_pinned[d.index()];
+  }
+};
+
+/// On-tape object ordering applied by the alignment stage.
+enum class Alignment {
+  /// Organ pipe: most popular object in the middle of the occupied region,
+  /// alternating outwards ([11], the paper's Step 6).
+  kOrganPipe,
+  /// Descending probability from the beginning of tape.
+  kDescendingProbability,
+  /// Keep the membership insertion order (used by the cluster-probability
+  /// baseline, which lays clusters out contiguously).
+  kGivenOrder,
+};
+
+class PlacementPlan {
+ public:
+  PlacementPlan(const tape::SystemSpec& spec,
+                const workload::Workload& workload);
+
+  /// Stage 1: records that `object` lives on `tape` (order of calls defines
+  /// the pre-alignment order). Each object may be assigned exactly once.
+  void assign(ObjectId object, TapeId tape);
+
+  /// Stage 2: fixes on-tape offsets for every tape per `alignment`. When a
+  /// frozen prefix exists (see adopt_frozen), only objects assigned after
+  /// the freeze are reordered; they are appended behind the frozen data.
+  void align_all(Alignment alignment);
+
+  /// Copies `previous`'s aligned layout and freezes it: tape contents that
+  /// are already written cannot move in a real system, so incremental
+  /// placement may only append. The plan's workload must extend the
+  /// previous plan's workload (identical ids and sizes for old objects).
+  void adopt_frozen(const PlacementPlan& previous);
+
+  /// Bytes still assignable on `tape` under `cap` (planning headroom).
+  [[nodiscard]] Bytes remaining_on(TapeId tape, Bytes cap) const;
+
+  /// The tape holding `object`; invalid id when unassigned.
+  [[nodiscard]] TapeId tape_of(ObjectId object) const {
+    return object_tape_[object.index()];
+  }
+  /// Placed objects on `tape`, sorted by offset (valid after align_all).
+  [[nodiscard]] std::span<const PlacedObject> on_tape(TapeId tape) const;
+  /// Bytes assigned to `tape` (valid from stage 1 onwards).
+  [[nodiscard]] Bytes used_on(TapeId tape) const;
+  /// Number of tapes with at least one object.
+  [[nodiscard]] std::uint32_t tapes_used() const;
+
+  [[nodiscard]] const tape::SystemSpec& spec() const { return *spec_; }
+  [[nodiscard]] const workload::Workload& workload() const {
+    return *workload_;
+  }
+
+  MountPolicy mount_policy;
+
+  /// Derives per-tape accumulated probability into
+  /// mount_policy.tape_popularity.
+  void compute_tape_popularity();
+
+  /// Every object placed exactly once; no extent overlap; capacity
+  /// respected; initial mounts consistent. Aborts on violation.
+  void validate() const;
+
+  /// Materializes the indexing database the scheduler resolves against.
+  [[nodiscard]] catalog::ObjectCatalog to_catalog() const;
+
+ private:
+  const tape::SystemSpec* spec_;
+  const workload::Workload* workload_;
+  std::vector<TapeId> object_tape_;                ///< by object index
+  std::vector<std::vector<PlacedObject>> layout_;  ///< by tape index
+  std::vector<Bytes> used_;                        ///< by tape index
+  std::vector<std::size_t> frozen_;                ///< immutable prefix len
+  bool aligned_ = false;
+};
+
+/// Fills mount_policy.initial_mounts with, per library, its d most popular
+/// tapes (requires compute_tape_popularity() first) — the startup state of
+/// the least-popular-replacement baselines.
+void mount_most_popular(PlacementPlan& plan);
+
+/// Computes the organ-pipe order of `members` (descending-probability input
+/// not required): returns the members permuted so the most popular sits in
+/// the middle, alternating outwards. Exposed for tests and for the
+/// alignment ablation.
+[[nodiscard]] std::vector<ObjectId> organ_pipe_order(
+    std::span<const ObjectId> members, const workload::Workload& workload);
+
+}  // namespace tapesim::core

@@ -1,0 +1,37 @@
+// The placement-scheme interface shared by the paper's scheme and the two
+// baselines it is evaluated against (plus this repo's ablation schemes).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cluster/hierarchy.hpp"
+#include "core/plan.hpp"
+#include "tape/specs.hpp"
+#include "workload/model.hpp"
+
+namespace tapesim::core {
+
+/// Everything a scheme may consult while planning. `clusters` is required
+/// by the relationship-aware schemes (parallel batch, cluster probability)
+/// and ignored by object-probability placement.
+struct PlacementContext {
+  const workload::Workload* workload = nullptr;
+  const tape::SystemSpec* spec = nullptr;
+  const cluster::ObjectClusters* clusters = nullptr;
+};
+
+class PlacementScheme {
+ public:
+  virtual ~PlacementScheme() = default;
+
+  /// Human-readable scheme name as used in the paper's figures.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Produces a validated, aligned placement plan. Throws
+  /// std::runtime_error if the workload cannot fit the system.
+  [[nodiscard]] virtual PlacementPlan place(
+      const PlacementContext& context) const = 0;
+};
+
+}  // namespace tapesim::core

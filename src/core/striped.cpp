@@ -1,0 +1,130 @@
+#include "core/striped.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace tapesim::core {
+
+ShardedWorkload shard_workload(const workload::Workload& original,
+                               std::uint32_t width, Bytes min_shard) {
+  TAPESIM_ASSERT(width >= 1);
+  std::vector<ObjectId> origin;
+
+  // Shard objects; remember each original's shard-id range.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> range(
+      original.object_count());
+  std::vector<workload::ObjectInfo> objects;
+  for (const workload::ObjectInfo& o : original.objects()) {
+    std::uint32_t shards = width;
+    if (min_shard.count() > 0) {
+      const auto by_size = static_cast<std::uint32_t>(
+          o.size.count() / std::max<Bytes::value_type>(1, min_shard.count()));
+      shards = std::clamp<std::uint32_t>(by_size, 1, width);
+    }
+    // Never produce empty shards, whatever the parameters.
+    shards = std::min<std::uint32_t>(
+        shards, static_cast<std::uint32_t>(
+                    std::min<Bytes::value_type>(o.size.count(), width)));
+    shards = std::max<std::uint32_t>(shards, 1);
+    const auto first = static_cast<std::uint32_t>(objects.size());
+    const Bytes::value_type base = o.size.count() / shards;
+    Bytes::value_type leftover = o.size.count() % shards;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      Bytes::value_type size = base + (s < leftover ? 1 : 0);
+      objects.push_back(workload::ObjectInfo{
+          ObjectId{static_cast<std::uint32_t>(objects.size())}, Bytes{size}});
+      origin.push_back(o.id);
+    }
+    range[o.id.index()] = {first, first + shards};
+  }
+
+  std::vector<workload::Request> requests;
+  requests.reserve(original.request_count());
+  for (const workload::Request& r : original.requests()) {
+    workload::Request sharded;
+    sharded.id = r.id;
+    sharded.probability = r.probability;
+    for (const ObjectId o : r.objects) {
+      for (std::uint32_t s = range[o.index()].first;
+           s < range[o.index()].second; ++s) {
+        sharded.objects.push_back(ObjectId{s});
+      }
+    }
+    requests.push_back(std::move(sharded));
+  }
+
+  ShardedWorkload result{
+      workload::Workload{std::move(objects), std::move(requests)}, width,
+      std::move(origin)};
+  result.workload.validate();
+  return result;
+}
+
+StripedPlacement::StripedPlacement(StripedParams params) : params_(params) {}
+
+PlacementPlan StripedPlacement::place(const PlacementContext& context) const {
+  TAPESIM_ASSERT(context.workload != nullptr && context.spec != nullptr);
+  const workload::Workload& workload = *context.workload;
+  const tape::SystemSpec& spec = *context.spec;
+  const double k = params_.capacity_utilization;
+  if (!(k > 0.0 && k <= 1.0)) {
+    throw std::runtime_error("capacity utilization k must be in (0, 1]");
+  }
+  if (params_.width < 1 || params_.width > spec.total_tapes()) {
+    throw std::runtime_error("stripe width out of range");
+  }
+
+  const Bytes cap{static_cast<Bytes::value_type>(
+      k * spec.library.tape_capacity.as_double())};
+  const std::uint32_t n = spec.num_libraries;
+  const std::uint32_t t = spec.library.tapes_per_library;
+  const std::uint32_t w = params_.width;
+
+  auto rank_to_tape = [&](std::uint32_t rank) {
+    const std::uint32_t lib = rank % n;
+    const std::uint32_t slot = rank / n;
+    if (slot >= t) {
+      throw std::runtime_error(
+          "striped placement: workload exceeds system capacity");
+    }
+    return TapeId{lib * t + slot};
+  };
+
+  // Original objects in descending probability (shards of one original are
+  // contiguous in id space and share its probability).
+  std::vector<ObjectId> order(workload.object_count());
+  for (std::uint32_t i = 0; i < workload.object_count(); ++i) {
+    order[i] = ObjectId{i};
+  }
+  std::stable_sort(order.begin(), order.end(), [&](ObjectId a, ObjectId b) {
+    return workload.object_probability(a) > workload.object_probability(b);
+  });
+
+  PlacementPlan plan(spec, workload);
+  std::uint32_t group = 0;                 // stripe group index
+  std::vector<Bytes> used(w, Bytes{0});    // usage within the open group
+  std::uint32_t next_lane = 0;
+  for (const ObjectId o : order) {
+    const Bytes size = workload.object_size(o);
+    // Advance to a fresh group when the target lane cannot take the shard.
+    if (used[next_lane] + size > cap) {
+      ++group;
+      std::fill(used.begin(), used.end(), Bytes{0});
+      next_lane = 0;
+    }
+    plan.assign(o, rank_to_tape(group * w + next_lane));
+    used[next_lane] += size;
+    next_lane = (next_lane + 1) % w;
+  }
+
+  plan.align_all(Alignment::kGivenOrder);
+  plan.mount_policy.replacement = ReplacementPolicy::kLeastPopular;
+  plan.compute_tape_popularity();
+  mount_most_popular(plan);
+  plan.validate();
+  return plan;
+}
+
+}  // namespace tapesim::core

@@ -1,0 +1,56 @@
+// Object striping over tapes — the related-work alternative the paper
+// rejects (Section 2: striping on sequential-access tapes "suffers from
+// long synchronization latencies"; the striped system "may perform worse
+// than non-striping" [9, 13, 19, 10]).
+//
+// Our object model stores each object as one extent, so striping is modeled
+// by *sharding the workload*: every object becomes `width` shard-objects of
+// 1/width the size, and every request asks for all shards of each of its
+// objects. A request then completes only when the slowest shard arrives —
+// precisely the synchronization penalty of tape striping. Shards of one
+// object are placed on `width` distinct tapes of a stripe group, filling
+// groups in object-probability order.
+#pragma once
+
+#include "core/scheme.hpp"
+
+namespace tapesim::core {
+
+/// The sharded workload plus the shard -> original object mapping.
+struct ShardedWorkload {
+  workload::Workload workload;
+  std::uint32_t width = 1;
+  /// Indexed by shard object id; the original object it came from.
+  std::vector<ObjectId> origin;
+};
+
+/// Splits every object into up to `width` shards (objects smaller than
+/// `min_shard * 2` stay whole; shard sizes differ by at most one byte).
+[[nodiscard]] ShardedWorkload shard_workload(
+    const workload::Workload& original, std::uint32_t width,
+    Bytes min_shard = 1_GB);
+
+struct StripedParams {
+  double capacity_utilization = 0.9;
+  /// Stripe width (tapes per stripe group).
+  std::uint32_t width = 4;
+};
+
+/// Places a *sharded* workload: consecutive stripe groups of `width` tapes
+/// (library-interleaved); each object's shards land round-robin on the
+/// group's tapes. Mount policy: least popular, like the other baselines.
+class StripedPlacement final : public PlacementScheme {
+ public:
+  explicit StripedPlacement(StripedParams params = {});
+
+  [[nodiscard]] std::string name() const override {
+    return "striped placement";
+  }
+  [[nodiscard]] PlacementPlan place(
+      const PlacementContext& context) const override;
+
+ private:
+  StripedParams params_;
+};
+
+}  // namespace tapesim::core

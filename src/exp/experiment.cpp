@@ -1,0 +1,93 @@
+#include "exp/experiment.hpp"
+
+#include "cluster/similarity.hpp"
+#include "core/cluster_probability.hpp"
+#include "core/object_probability.hpp"
+#include "core/parallel_batch.hpp"
+#include "util/rng.hpp"
+
+namespace tapesim::exp {
+
+Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
+  config_.spec.validate();
+  config_.workload.validate();
+
+  Rng rng{config_.seed};
+  Rng workload_rng = rng.fork(0x574C);  // workload substream
+  workload_ = std::make_unique<workload::Workload>(
+      workload::generate_workload(config_.workload, workload_rng));
+
+  cluster::ClusterConstraints constraints = config_.clustering;
+  if (constraints.max_bytes.count() == 0) {
+    constraints.max_bytes = Bytes{static_cast<Bytes::value_type>(
+        config_.capacity_utilization *
+        config_.spec.library.tape_capacity.as_double())};
+  }
+  clusters_ = std::make_unique<cluster::ObjectClusters>(
+      cluster::cluster_by_requests(*workload_, constraints));
+  clusters_->validate(*workload_);
+}
+
+SchemeRun Experiment::run(const core::PlacementScheme& scheme) const {
+  core::PlacementContext context;
+  context.workload = workload_.get();
+  context.spec = &config_.spec;
+  context.clusters = clusters_.get();
+
+  const core::PlacementPlan plan = scheme.place(context);
+  sched::RetrievalSimulator simulator(plan, config_.sim);
+
+  Rng rng{config_.seed};
+  Rng sample_rng = rng.fork(0x5251);  // request sampling substream
+  const workload::RequestSampler sampler(*workload_);
+
+  SchemeRun result;
+  result.scheme = scheme.name();
+  result.tapes_used = plan.tapes_used();
+  for (std::uint32_t i = 0; i < config_.simulated_requests; ++i) {
+    const RequestId id = sampler.sample(sample_rng);
+    result.metrics.add(simulator.run_request(id));
+  }
+  result.total_switches = simulator.total_switches();
+  return result;
+}
+
+metrics::ExperimentMetrics simulate_plan(const core::PlacementPlan& plan,
+                                         std::uint32_t simulated_requests,
+                                         std::uint64_t seed,
+                                         sched::SimulatorConfig sim) {
+  sched::RetrievalSimulator simulator(plan, sim);
+  Rng rng{seed};
+  Rng sample_rng = rng.fork(0x5251);
+  const workload::RequestSampler sampler(plan.workload());
+  metrics::ExperimentMetrics metrics;
+  for (std::uint32_t i = 0; i < simulated_requests; ++i) {
+    metrics.add(simulator.run_request(sampler.sample(sample_rng)));
+  }
+  return metrics;
+}
+
+StandardSchemes make_standard_schemes(std::uint32_t switch_drives,
+                                      double capacity_utilization) {
+  StandardSchemes schemes;
+
+  core::ParallelBatchParams pbp;
+  pbp.switch_drives = switch_drives;
+  pbp.capacity_utilization = capacity_utilization;
+  schemes.parallel_batch =
+      std::make_unique<core::ParallelBatchPlacement>(pbp);
+
+  core::ObjectProbabilityParams opp;
+  opp.capacity_utilization = capacity_utilization;
+  schemes.object_probability =
+      std::make_unique<core::ObjectProbabilityPlacement>(opp);
+
+  core::ClusterProbabilityParams cpp;
+  cpp.capacity_utilization = capacity_utilization;
+  schemes.cluster_probability =
+      std::make_unique<core::ClusterProbabilityPlacement>(cpp);
+
+  return schemes;
+}
+
+}  // namespace tapesim::exp

@@ -1,0 +1,89 @@
+// The experiment harness shared by every figure-reproduction benchmark.
+//
+// One Experiment = one (system spec, workload config, seed) tuple. It
+// generates the workload, builds the object clusters, and can run any
+// placement scheme through the full pipeline:
+//   place -> catalog -> initial mounts -> sample 200 requests by
+//   popularity -> simulate -> aggregate metrics.
+// The sampled request sequence depends only on the seed, so different
+// schemes face exactly the same request stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cluster/hierarchy.hpp"
+#include "core/scheme.hpp"
+#include "metrics/request_metrics.hpp"
+#include "sched/simulator.hpp"
+#include "tape/specs.hpp"
+#include "workload/generator.hpp"
+
+namespace tapesim::exp {
+
+struct ExperimentConfig {
+  tape::SystemSpec spec = tape::SystemSpec::paper_default();
+  workload::WorkloadConfig workload = workload::WorkloadConfig::paper_default();
+  /// The paper simulates 200 sampled requests per configuration.
+  std::uint32_t simulated_requests = 200;
+  std::uint64_t seed = 42;
+  sched::SimulatorConfig sim;
+  /// Clustering cut. max_bytes of 0 here means "derive from the spec":
+  /// clusters are capped at k * C_t so every cluster fits a single tape
+  /// (required by the cluster-probability baseline) and comfortably inside
+  /// any tape batch.
+  cluster::ClusterConstraints clustering{};
+  double capacity_utilization = 0.9;
+};
+
+struct SchemeRun {
+  std::string scheme;
+  metrics::ExperimentMetrics metrics;
+  std::uint32_t tapes_used = 0;
+  std::uint64_t total_switches = 0;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] const workload::Workload& workload() const {
+    return *workload_;
+  }
+  [[nodiscard]] const cluster::ObjectClusters& clusters() const {
+    return *clusters_;
+  }
+
+  /// Places with `scheme`, simulates the sampled request stream, and
+  /// aggregates. Deterministic given the config.
+  [[nodiscard]] SchemeRun run(const core::PlacementScheme& scheme) const;
+
+ private:
+  ExperimentConfig config_;
+  std::unique_ptr<workload::Workload> workload_;
+  std::unique_ptr<cluster::ObjectClusters> clusters_;
+};
+
+/// Simulates `simulated_requests` popularity-sampled draws against an
+/// arbitrary finished plan. Unlike Experiment::run, the plan's workload may
+/// differ from any Experiment's (e.g. the sharded workload of the striping
+/// ablation); sampling uses the plan's own workload and is deterministic
+/// in `seed`.
+[[nodiscard]] metrics::ExperimentMetrics simulate_plan(
+    const core::PlacementPlan& plan, std::uint32_t simulated_requests,
+    std::uint64_t seed, sched::SimulatorConfig sim = {});
+
+/// The three schemes of the paper's evaluation, with parallel batch
+/// placement configured for `switch_drives` (m). Capacity utilization is
+/// applied uniformly.
+struct StandardSchemes {
+  std::unique_ptr<core::PlacementScheme> parallel_batch;
+  std::unique_ptr<core::PlacementScheme> object_probability;
+  std::unique_ptr<core::PlacementScheme> cluster_probability;
+};
+[[nodiscard]] StandardSchemes make_standard_schemes(
+    std::uint32_t switch_drives = 4, double capacity_utilization = 0.9);
+
+}  // namespace tapesim::exp

@@ -1,0 +1,34 @@
+#include "metrics/queueing.hpp"
+
+#include "util/assert.hpp"
+
+namespace tapesim::metrics {
+
+MG1Estimate mg1_estimate(const SampleSet& service_times,
+                         double arrival_rate) {
+  TAPESIM_ASSERT_MSG(service_times.count() > 0, "need service samples");
+  TAPESIM_ASSERT_MSG(arrival_rate > 0.0, "arrival rate must be positive");
+  const double mean = service_times.mean();
+  // E[S^2] = Var + mean^2 (population second moment from the samples).
+  const double sd = service_times.stddev();
+  const double second_moment = sd * sd + mean * mean;
+
+  MG1Estimate estimate;
+  estimate.utilization = arrival_rate * mean;
+  estimate.stable = estimate.utilization < 1.0;
+  if (estimate.stable) {
+    const double wq = arrival_rate * second_moment /
+                      (2.0 * (1.0 - estimate.utilization));
+    estimate.mean_wait = Seconds{wq};
+    estimate.mean_sojourn = Seconds{wq + mean};
+  }
+  return estimate;
+}
+
+double saturation_rate(const SampleSet& service_times) {
+  TAPESIM_ASSERT_MSG(service_times.count() > 0, "need service samples");
+  TAPESIM_ASSERT(service_times.mean() > 0.0);
+  return 1.0 / service_times.mean();
+}
+
+}  // namespace tapesim::metrics

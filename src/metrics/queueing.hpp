@@ -1,0 +1,33 @@
+// Analytic queueing estimates on top of measured service times.
+//
+// The paper assumes zero queueing ("requests submitted one by one with
+// long time interval"). To reason about sustained restore traffic we treat
+// the tape system as an M/G/1 server whose service-time distribution is
+// the measured per-request response-time sample set, and apply the
+// Pollaczek–Khinchine formula. This is conservative for this system —
+// partially overlapping requests can share drives — so the concurrent
+// simulator (sched/concurrent.hpp) provides the ground truth the formula
+// is compared against in bench_concurrency.
+#pragma once
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::metrics {
+
+struct MG1Estimate {
+  double utilization = 0.0;      ///< rho = lambda * E[S]
+  Seconds mean_wait{};           ///< Wq
+  Seconds mean_sojourn{};        ///< Wq + E[S]
+  bool stable = false;           ///< rho < 1
+};
+
+/// Pollaczek–Khinchine with the empirical first/second service moments.
+/// `arrival_rate` is requests per second.
+[[nodiscard]] MG1Estimate mg1_estimate(const SampleSet& service_times,
+                                       double arrival_rate);
+
+/// Largest arrival rate the single-server model can sustain (1 / E[S]).
+[[nodiscard]] double saturation_rate(const SampleSet& service_times);
+
+}  // namespace tapesim::metrics

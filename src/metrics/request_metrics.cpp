@@ -1,0 +1,38 @@
+#include "metrics/request_metrics.hpp"
+
+namespace tapesim::metrics {
+
+void ExperimentMetrics::add(const RequestOutcome& outcome) {
+  response_.add(outcome.response.count());
+  switch_.add(outcome.switch_time.count());
+  seek_.add(outcome.seek.count());
+  transfer_.add(outcome.transfer.count());
+  bandwidth_.add(outcome.bandwidth().count());
+  bytes_.add(outcome.bytes.as_double());
+  switches_.add(static_cast<double>(outcome.tape_switches));
+}
+
+Seconds ExperimentMetrics::mean_response() const {
+  return Seconds{response_.mean()};
+}
+Seconds ExperimentMetrics::mean_switch() const {
+  return Seconds{switch_.mean()};
+}
+Seconds ExperimentMetrics::mean_seek() const { return Seconds{seek_.mean()}; }
+Seconds ExperimentMetrics::mean_transfer() const {
+  return Seconds{transfer_.mean()};
+}
+Bytes ExperimentMetrics::mean_request_bytes() const {
+  return Bytes{static_cast<Bytes::value_type>(bytes_.mean())};
+}
+BytesPerSecond ExperimentMetrics::mean_bandwidth() const {
+  return BytesPerSecond{bandwidth_.mean()};
+}
+BytesPerSecond ExperimentMetrics::aggregate_bandwidth() const {
+  return BytesPerSecond{bytes_.sum() / response_.sum()};
+}
+double ExperimentMetrics::mean_tape_switches() const {
+  return switches_.mean();
+}
+
+}  // namespace tapesim::metrics

@@ -1,0 +1,73 @@
+// Per-request outcome decomposition and experiment-level aggregation.
+//
+// The paper's Metrics paragraph (Section 6) defines the decomposition this
+// module implements verbatim: the transfer time and seek time of a request
+// are those accumulated by the drive that finishes serving the request
+// last; the tape switch time is the difference between the response time
+// and that drive's seek-and-transfer time (it thus folds in rewinds,
+// unloads, robot moves, robot queueing, loads, and any idle waiting of the
+// critical drive). Effective bandwidth = requested bytes / response time.
+#pragma once
+
+#include <cstdint>
+
+#include "util/ids.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::metrics {
+
+struct RequestOutcome {
+  RequestId request;
+  Bytes bytes{};           ///< Total requested data.
+  Seconds response{};      ///< Arrival to last object transferred.
+  Seconds seek{};          ///< Seek time of the last-finishing drive.
+  Seconds transfer{};      ///< Transfer time of the last-finishing drive.
+  Seconds switch_time{};   ///< response - seek - transfer.
+  Seconds robot_wait{};    ///< Total robot queueing across drives (diagnostic).
+  std::uint32_t tape_switches = 0;  ///< Mounts performed for this request.
+  std::uint32_t tapes_touched = 0;  ///< Distinct tapes holding its objects.
+  std::uint32_t drives_used = 0;    ///< Drives that moved data or switched.
+
+  /// Effective data retrieval bandwidth for this request.
+  [[nodiscard]] BytesPerSecond bandwidth() const {
+    return rate_for(bytes, response);
+  }
+};
+
+/// Aggregates outcomes over the simulated request stream (the paper's "this
+/// repeats 200 times to get the average value for each metrics").
+class ExperimentMetrics {
+ public:
+  void add(const RequestOutcome& outcome);
+
+  [[nodiscard]] std::size_t count() const { return response_.count(); }
+
+  // Averages, in the units the paper plots.
+  [[nodiscard]] Seconds mean_response() const;
+  [[nodiscard]] Seconds mean_switch() const;
+  [[nodiscard]] Seconds mean_seek() const;
+  [[nodiscard]] Seconds mean_transfer() const;
+  [[nodiscard]] Bytes mean_request_bytes() const;
+  /// Mean of per-request effective bandwidth.
+  [[nodiscard]] BytesPerSecond mean_bandwidth() const;
+  /// Aggregate view: total bytes / total response time.
+  [[nodiscard]] BytesPerSecond aggregate_bandwidth() const;
+  [[nodiscard]] double mean_tape_switches() const;
+
+  [[nodiscard]] const SampleSet& response_samples() const { return response_; }
+  [[nodiscard]] const SampleSet& bandwidth_samples() const {
+    return bandwidth_;
+  }
+
+ private:
+  SampleSet response_;
+  SampleSet switch_;
+  SampleSet seek_;
+  SampleSet transfer_;
+  SampleSet bandwidth_;
+  SampleSet bytes_;
+  SampleSet switches_;
+};
+
+}  // namespace tapesim::metrics

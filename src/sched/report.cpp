@@ -1,0 +1,87 @@
+#include "sched/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace tapesim::sched {
+
+Bytes UtilizationReport::total_bytes_read() const {
+  Bytes total{};
+  for (const DriveUtilization& d : drives) total += d.bytes_read;
+  return total;
+}
+
+std::uint64_t UtilizationReport::total_mounts() const {
+  std::uint64_t total = 0;
+  for (const DriveUtilization& d : drives) total += d.mounts;
+  return total;
+}
+
+double UtilizationReport::mean_streaming_fraction() const {
+  if (drives.empty()) return 0.0;
+  double total = 0.0;
+  for (const DriveUtilization& d : drives) {
+    total += d.streaming_fraction(elapsed);
+  }
+  return total / static_cast<double>(drives.size());
+}
+
+void UtilizationReport::print(std::ostream& os) const {
+  Table drive_table({"drive", "streaming %", "seeking %", "cartridge %",
+                     "idle %", "bytes read", "mounts"});
+  for (const DriveUtilization& d : drives) {
+    const double stream = 100.0 * d.streaming_fraction(elapsed);
+    const double seek =
+        100.0 * (d.locating.count() + d.rewinding.count()) /
+        std::max(elapsed.count(), 1e-12);
+    const double cartridge =
+        100.0 * (d.loading.count() + d.unloading.count()) /
+        std::max(elapsed.count(), 1e-12);
+    const double idle =
+        std::max(0.0, 100.0 - 100.0 * d.busy_fraction(elapsed));
+    std::ostringstream bytes;
+    bytes << d.bytes_read;
+    drive_table.add(d.drive.value(), stream, seek, cartridge, idle,
+                    bytes.str(), d.mounts);
+  }
+  drive_table.print(os);
+
+  Table robot_table({"robot (library)", "busy %", "exchanges"});
+  for (const RobotUtilization& r : robots) {
+    robot_table.add(r.library.value(), 100.0 * r.busy_fraction(elapsed),
+                    r.grants);
+  }
+  robot_table.print(os);
+}
+
+UtilizationReport utilization_report(const tape::TapeSystem& system,
+                                     Seconds elapsed) {
+  UtilizationReport report;
+  report.elapsed = elapsed;
+  for (const tape::TapeLibrary& library : system.libraries()) {
+    for (const tape::TapeDrive& drive : library.drives()) {
+      const tape::DriveStats& stats = drive.stats();
+      DriveUtilization d;
+      d.drive = drive.id();
+      d.transferring = stats.transferring;
+      d.locating = stats.locating;
+      d.rewinding = stats.rewinding;
+      d.loading = stats.loading;
+      d.unloading = stats.unloading;
+      d.bytes_read = stats.bytes_read;
+      d.mounts = stats.mounts;
+      report.drives.push_back(d);
+    }
+    RobotUtilization r;
+    r.library = library.id();
+    r.busy = library.robot().busy_time();
+    r.grants = library.robot().grants();
+    report.robots.push_back(r);
+  }
+  return report;
+}
+
+}  // namespace tapesim::sched

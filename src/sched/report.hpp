@@ -1,0 +1,74 @@
+// Utilization reporting for simulation runs.
+//
+// Aggregates the per-drive activity accounting (tape::DriveStats) and the
+// per-robot busy time into a fleet report: how much of the elapsed window
+// each drive spent streaming vs repositioning vs handling cartridges, and
+// how hot each robot ran. The reports drive the CLI's `run --utilization`
+// output and the conservation checks in the test suite.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tape/system.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::sched {
+
+struct DriveUtilization {
+  DriveId drive;
+  Seconds transferring{};
+  Seconds locating{};
+  Seconds rewinding{};
+  Seconds loading{};
+  Seconds unloading{};
+  Bytes bytes_read{};
+  std::uint64_t mounts = 0;
+
+  [[nodiscard]] Seconds active() const {
+    return transferring + locating + rewinding + loading + unloading;
+  }
+  /// Fraction of `elapsed` the drive spent doing anything.
+  [[nodiscard]] double busy_fraction(Seconds elapsed) const {
+    return elapsed.count() <= 0.0 ? 0.0
+                                  : active().count() / elapsed.count();
+  }
+  /// Fraction of `elapsed` spent actually streaming data.
+  [[nodiscard]] double streaming_fraction(Seconds elapsed) const {
+    return elapsed.count() <= 0.0
+               ? 0.0
+               : transferring.count() / elapsed.count();
+  }
+};
+
+struct RobotUtilization {
+  LibraryId library;
+  Seconds busy{};
+  std::uint64_t grants = 0;
+
+  [[nodiscard]] double busy_fraction(Seconds elapsed) const {
+    return elapsed.count() <= 0.0 ? 0.0 : busy.count() / elapsed.count();
+  }
+};
+
+struct UtilizationReport {
+  Seconds elapsed{};
+  std::vector<DriveUtilization> drives;
+  std::vector<RobotUtilization> robots;
+
+  [[nodiscard]] Bytes total_bytes_read() const;
+  [[nodiscard]] std::uint64_t total_mounts() const;
+  /// Mean streaming fraction across drives — the fleet's effective duty
+  /// cycle (the paper: "the tape drive hardly works in streaming mode most
+  /// of the time").
+  [[nodiscard]] double mean_streaming_fraction() const;
+
+  void print(std::ostream& os) const;
+};
+
+/// Snapshots utilization from a tape system after a run.
+[[nodiscard]] UtilizationReport utilization_report(
+    const tape::TapeSystem& system, Seconds elapsed);
+
+}  // namespace tapesim::sched

@@ -1,0 +1,319 @@
+#include "sched/simulator.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace tapesim::sched {
+
+RetrievalSimulator::RetrievalSimulator(const core::PlacementPlan& plan,
+                                       SimulatorConfig config)
+    : plan_(&plan),
+      system_(plan.spec(), engine_),
+      catalog_(plan.to_catalog()),
+      config_(config),
+      disk_streams_(engine_, "disk", config.max_concurrent_streams) {
+  catalog_.validate(plan.spec().library.tape_capacity);
+  for (const auto& [drive, tp] : plan_->mount_policy.initial_mounts) {
+    system_.setup_mount(tp, drive);
+  }
+  drive_req_.resize(plan.spec().total_drives());
+  lib_queue_.resize(plan.spec().num_libraries);
+}
+
+bool RetrievalSimulator::switch_eligible(DriveId d) const {
+  return !plan_->mount_policy.pinned(d);
+}
+
+std::vector<catalog::TapeExtent> RetrievalSimulator::plan_extent_order(
+    DriveId d) const {
+  const tape::TapeDrive& drive = system_.drive(d);
+  const TapeId tp = drive.mounted();
+  const auto it = needed_.find(tp.value());
+  TAPESIM_ASSERT(it != needed_.end());
+  std::vector<catalog::TapeExtent> extents = it->second;
+  if (!config_.optimize_seek_order || extents.size() < 2) return extents;
+
+  std::sort(extents.begin(), extents.end(),
+            [](const catalog::TapeExtent& a, const catalog::TapeExtent& b) {
+              return a.offset < b.offset;
+            });
+  // Reads always move forward over an object, so compare the exact head
+  // travel of an ascending sweep against a descending one and take the
+  // cheaper. Ascending: reach the first extent, then cross the gaps.
+  // Descending: reach the last extent, then jump backward over each
+  // just-read extent to the start of the previous one.
+  const Bytes head = drive.head();
+  auto dist = [](Bytes a, Bytes b) { return Bytes::distance(a, b).count(); };
+  std::uint64_t asc = dist(head, extents.front().offset);
+  for (std::size_t i = 1; i < extents.size(); ++i) {
+    asc += dist(extents[i - 1].offset + extents[i - 1].size,
+                extents[i].offset);
+  }
+  std::uint64_t desc = dist(head, extents.back().offset);
+  for (std::size_t i = extents.size(); i-- > 1;) {
+    desc += dist(extents[i].offset + extents[i].size,
+                 extents[i - 1].offset);
+  }
+  if (desc < asc) std::reverse(extents.begin(), extents.end());
+  return extents;
+}
+
+void RetrievalSimulator::serve_mounted(DriveId d) {
+  tape::TapeDrive& drive = system_.drive(d);
+  const TapeId tp = drive.mounted();
+  TAPESIM_ASSERT(tp.valid());
+  const auto it = needed_.find(tp.value());
+  if (it == needed_.end()) {
+    next_action(d);
+    return;
+  }
+  auto extents = plan_extent_order(d);
+  needed_.erase(it);
+  drive_req_[d.index()].used = true;
+
+  // Chain locate+transfer for each extent through the engine. The shared
+  // index walks the captured extent list. The recursive step function
+  // captures only a weak reference to itself — pending engine events hold
+  // the owning shared_ptr, so the chain frees itself when it ends (a
+  // self-owning std::function would leak by reference cycle).
+  auto state = std::make_shared<std::pair<std::vector<catalog::TapeExtent>,
+                                          std::size_t>>(std::move(extents),
+                                                        std::size_t{0});
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, d, state,
+           weak = std::weak_ptr<std::function<void()>>(step)]() {
+    tape::TapeDrive& dr = system_.drive(d);
+    auto& [list, index] = *state;
+    if (index >= list.size()) {
+      next_action(d);
+      return;
+    }
+    const std::shared_ptr<std::function<void()>> self = weak.lock();
+    TAPESIM_ASSERT(self != nullptr);
+    const catalog::TapeExtent extent = list[index];
+    ++index;
+    const Seconds locate = dr.start_locate(extent.offset);
+    drive_req_[d.index()].seek += locate;
+    engine_.schedule_in(locate, [this, d, extent, self]() {
+      system_.drive(d).finish_locate();
+      // A finite disk array may make the drive wait for a streaming slot;
+      // that wait lands in the switch-side component of the decomposition.
+      disk_streams_.acquire([this, d, extent, self]() {
+        tape::TapeDrive& dr2 = system_.drive(d);
+        const Seconds xfer = dr2.start_transfer(extent.size);
+        drive_req_[d.index()].transfer += xfer;
+        engine_.schedule_in(xfer, [this, d, self]() {
+          disk_streams_.release();
+          system_.drive(d).finish_transfer();
+          extent_done(d);
+          (*self)();
+        });
+      });
+    });
+  };
+  (*step)();
+}
+
+void RetrievalSimulator::extent_done(DriveId d) {
+  TAPESIM_ASSERT(remaining_extents_ > 0);
+  --remaining_extents_;
+  drive_req_[d.index()].finish = engine_.now();
+  if (engine_.now() > last_transfer_end_ ||
+      (engine_.now() == last_transfer_end_ && !last_finisher_.valid())) {
+    last_transfer_end_ = engine_.now();
+    last_finisher_ = d;
+  }
+}
+
+void RetrievalSimulator::next_action(DriveId d) {
+  if (!switch_eligible(d)) return;
+  const LibraryId lib = system_.library_of_drive(d);
+  auto& queue = lib_queue_[lib.index()];
+  if (queue.empty()) return;
+  const TapeId target = queue.front();
+  queue.pop_front();
+  begin_switch(d, target);
+}
+
+void RetrievalSimulator::begin_switch(DriveId d, TapeId target) {
+  tape::TapeDrive& drive = system_.drive(d);
+  drive_req_[d.index()].used = true;
+  tape::TapeLibrary& lib = system_.library(system_.library_of_drive(d));
+
+  // The robot must be at the drive for the whole cartridge handoff: it
+  // receives the ejecting cartridge, returns it to its cell, fetches the
+  // new one, and inserts it. Only then does the drive-side load/thread run
+  // (robot already free). Rewind needs no robot and happens beforehand.
+  auto exchange = [this, d, &lib, target](bool had_tape) {
+    const Seconds asked_at = engine_.now();
+    lib.robot().acquire([this, d, &lib, target, had_tape, asked_at]() {
+      robot_wait_this_request_ += engine_.now() - asked_at;
+      auto do_moves = [this, d, &lib, target, had_tape]() {
+        const Seconds move = had_tape ? lib.robot_exchange_time()
+                                      : lib.robot_move_time();
+        engine_.schedule_in(move, [this, d, &lib, target]() {
+          if (!config_.robot_holds_load) lib.robot().release();
+          tape::TapeDrive& dr = system_.drive(d);
+          const Seconds load = dr.start_load(target);
+          engine_.schedule_in(load, [this, d, &lib, target]() {
+            if (config_.robot_holds_load) lib.robot().release();
+            system_.drive(d).finish_load();
+            system_.note_mounted(target, d);
+            ++switches_this_request_;
+            ++total_switches_;
+            serve_mounted(d);
+          });
+        });
+      };
+      if (!had_tape) {
+        do_moves();
+        return;
+      }
+      // Eject under robot supervision, then carry.
+      tape::TapeDrive& dr = system_.drive(d);
+      const Seconds unload = dr.start_unload();
+      engine_.schedule_in(unload, [this, d, do_moves]() {
+        const TapeId old = system_.drive(d).finish_unload();
+        system_.note_unmounted(old);
+        do_moves();
+      });
+    });
+  };
+
+  if (drive.empty()) {
+    exchange(false);
+    return;
+  }
+
+  const Seconds rewind = drive.start_rewind();
+  engine_.schedule_in(rewind, [this, d, exchange]() {
+    system_.drive(d).finish_rewind();
+    exchange(true);
+  });
+}
+
+metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
+  TAPESIM_ASSERT_MSG(!in_request_, "requests are strictly sequential");
+  in_request_ = true;
+  const workload::Workload& wl = plan_->workload();
+  const workload::Request& request = wl.request(id);
+
+  // Reset per-request state.
+  t0_ = engine_.now();
+  last_transfer_end_ = t0_;
+  last_finisher_ = DriveId{};
+  switches_this_request_ = 0;
+  robot_wait_this_request_ = Seconds{};
+  needed_.clear();
+  remaining_extents_ = 0;
+  for (auto& dr : drive_req_) dr = DriveReq{};
+  for (auto& q : lib_queue_) q.clear();
+
+  // Resolve the request through the indexing database.
+  Bytes total_bytes{};
+  for (const ObjectId o : request.objects) {
+    const catalog::ObjectRecord* rec = catalog_.lookup(o);
+    TAPESIM_ASSERT_MSG(rec != nullptr, "request references unplaced object");
+    needed_[rec->tape.value()].push_back(
+        catalog::TapeExtent{o, rec->offset, rec->size});
+    ++remaining_extents_;
+    total_bytes += rec->size;
+  }
+  const auto tapes_touched = static_cast<std::uint32_t>(needed_.size());
+
+  // Partition needed tapes into mounted vs offline (per library).
+  std::vector<std::pair<TapeId, Bytes>> offline;  // with requested bytes
+  std::vector<DriveId> mounted_serving;
+  for (const auto& [tape_value, extents] : needed_) {
+    const TapeId tp{tape_value};
+    Bytes bytes{};
+    for (const auto& e : extents) bytes += e.size;
+    if (const auto holder = system_.drive_holding(tp)) {
+      mounted_serving.push_back(*holder);
+    } else {
+      offline.emplace_back(tp, bytes);
+    }
+  }
+  // Longest-requested-work first, so the biggest transfers start earliest.
+  std::sort(offline.begin(), offline.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  for (const auto& [tp, bytes] : offline) {
+    lib_queue_[system_.library_of_tape(tp).index()].push_back(tp);
+  }
+
+  // Kick off drives holding requested tapes.
+  std::sort(mounted_serving.begin(), mounted_serving.end());
+  for (const DriveId d : mounted_serving) {
+    engine_.schedule_in(Seconds{0.0}, [this, d]() { serve_mounted(d); });
+  }
+
+  // Drives whose mounted tape holds nothing requested may switch at once.
+  // Least-popular mounted tapes go first (the [11] replacement policy);
+  // empty drives are cheapest of all and lead the order.
+  std::vector<DriveId> idle_candidates;
+  for (std::uint32_t dv = 0; dv < plan_->spec().total_drives(); ++dv) {
+    const DriveId d{dv};
+    if (!switch_eligible(d)) continue;
+    const tape::TapeDrive& drive = system_.drive(d);
+    if (!drive.empty() && needed_.count(drive.mounted().value()) != 0) {
+      continue;  // will serve first, then fall into next_action()
+    }
+    idle_candidates.push_back(d);
+  }
+  const auto& popularity = plan_->mount_policy.tape_popularity;
+  auto eviction_cost = [&](DriveId d) {
+    const tape::TapeDrive& drive = system_.drive(d);
+    if (drive.empty()) return -1.0;
+    if (popularity.empty()) return 0.0;
+    return popularity[drive.mounted().index()];
+  };
+  std::sort(idle_candidates.begin(), idle_candidates.end(),
+            [&](DriveId a, DriveId b) {
+              const double ca = eviction_cost(a);
+              const double cb = eviction_cost(b);
+              if (ca != cb) return ca < cb;
+              return a < b;
+            });
+  for (const DriveId d : idle_candidates) {
+    engine_.schedule_in(Seconds{0.0}, [this, d]() { next_action(d); });
+  }
+
+  engine_.run();
+  TAPESIM_ASSERT_MSG(remaining_extents_ == 0,
+                     "request finished with unserved objects");
+  TAPESIM_ASSERT(needed_.empty());
+
+  metrics::RequestOutcome outcome;
+  outcome.request = id;
+  outcome.bytes = total_bytes;
+  outcome.response = last_transfer_end_ - t0_;
+  TAPESIM_ASSERT(last_finisher_.valid());
+  outcome.seek = drive_req_[last_finisher_.index()].seek;
+  outcome.transfer = drive_req_[last_finisher_.index()].transfer;
+  outcome.switch_time = outcome.response - outcome.seek - outcome.transfer;
+  // Clamp floating-point dust from the subtraction to exactly zero.
+  if (outcome.switch_time.count() < 1e-9 &&
+      outcome.switch_time.count() > -1e-6) {
+    outcome.switch_time = Seconds{0.0};
+  }
+  outcome.robot_wait = robot_wait_this_request_;
+  outcome.tape_switches = switches_this_request_;
+  outcome.tapes_touched = tapes_touched;
+  for (const auto& dr : drive_req_) {
+    if (dr.used) ++outcome.drives_used;
+  }
+  // Accounting identity: the critical drive spends the whole response in
+  // seek, transfer, or switch-side activity, so switch time is never
+  // negative (up to floating-point slack).
+  TAPESIM_ASSERT_MSG(outcome.switch_time.count() >= -1e-6,
+                     "switch-time decomposition went negative");
+  in_request_ = false;
+  return outcome;
+}
+
+}  // namespace tapesim::sched

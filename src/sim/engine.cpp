@@ -1,0 +1,52 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace tapesim::sim {
+
+EventId Engine::schedule_in(Seconds delay, std::function<void()> action,
+                            std::string label) {
+  TAPESIM_ASSERT_MSG(delay.count() >= 0.0, "cannot schedule into the past");
+  return schedule_at(now_ + delay, std::move(action), std::move(label));
+}
+
+EventId Engine::schedule_at(Seconds at, std::function<void()> action,
+                            std::string label) {
+  TAPESIM_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+  TAPESIM_ASSERT_MSG(static_cast<bool>(action), "event action must be callable");
+  const EventId id = next_id_++;
+  queue_.push(Event{at, id, std::move(action), std::move(label)});
+  return id;
+}
+
+bool Engine::cancel(EventId id) { return queue_.cancel(id); }
+
+void Engine::dispatch(Event event) {
+  TAPESIM_ASSERT_MSG(event.time >= now_, "time went backwards");
+  now_ = event.time;
+  ++dispatched_;
+  if (trace_ != nullptr) trace_->on_dispatch(now_, event.id, event.label);
+  event.action();
+}
+
+Seconds Engine::run() {
+  while (!queue_.empty()) dispatch(queue_.pop());
+  return now_;
+}
+
+Seconds Engine::run_until(Seconds deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    dispatch(queue_.pop());
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+void Engine::reset() {
+  while (!queue_.empty()) (void)queue_.pop();
+  now_ = Seconds{0.0};
+}
+
+}  // namespace tapesim::sim

@@ -1,0 +1,66 @@
+// The discrete-event simulation engine.
+//
+// Single-threaded, run-to-completion semantics: `run()` repeatedly pops the
+// earliest event and executes its action; actions may schedule further
+// events (never in the past). Determinism: equal-time events dispatch in
+// scheduling order (see EventAfter in event.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::sim {
+
+class Engine {
+ public:
+  /// Current simulation time. Starts at 0 and only moves forward.
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Schedules `action` to run `delay` from now. Returns a handle usable
+  /// with cancel(). `delay` must be >= 0.
+  EventId schedule_in(Seconds delay, std::function<void()> action,
+                      std::string label = {});
+
+  /// Schedules `action` at absolute time `at` (>= now()).
+  EventId schedule_at(Seconds at, std::function<void()> action,
+                      std::string label = {});
+
+  /// Cancels a pending event. Returns false if it already ran/was cancelled.
+  bool cancel(EventId id);
+
+  /// Runs until the queue is empty. Returns the final simulation time.
+  Seconds run();
+
+  /// Runs until the queue is empty or simulation time would exceed
+  /// `deadline`; events after the deadline stay queued.
+  Seconds run_until(Seconds deadline);
+
+  /// Total number of events dispatched since construction.
+  [[nodiscard]] std::uint64_t events_dispatched() const {
+    return dispatched_;
+  }
+  [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+
+  /// Attaches a dispatch observer (not owned); pass nullptr to detach.
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
+  /// Resets time to 0 and discards pending events. Dispatch counters are
+  /// kept (they are cumulative engine statistics).
+  void reset();
+
+ private:
+  void dispatch(Event event);
+
+  EventQueue queue_;
+  Seconds now_{0.0};
+  EventId next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+  TraceSink* trace_ = nullptr;
+};
+
+}  // namespace tapesim::sim

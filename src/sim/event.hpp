@@ -1,0 +1,35 @@
+// Discrete-event kernel: the event record.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace tapesim::sim {
+
+/// Monotonically increasing handle identifying a scheduled event; used for
+/// cancellation and for deterministic FIFO tie-breaking at equal timestamps.
+using EventId = std::uint64_t;
+
+/// A scheduled occurrence. The action runs exactly once, at `time`, unless
+/// the event is cancelled first.
+struct Event {
+  Seconds time;
+  EventId id = 0;
+  std::function<void()> action;
+  /// Optional human-readable tag surfaced by trace hooks; empty in hot paths.
+  std::string label;
+};
+
+/// Ordering: earlier time first; at equal times, lower id (i.e. scheduled
+/// earlier) first. Determinism of the whole simulator rests on this rule.
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.id > b.id;
+  }
+};
+
+}  // namespace tapesim::sim

@@ -1,0 +1,88 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace tapesim::sim {
+namespace {
+
+// True when `a` should sit above (fire before) `b`.
+bool before(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+void EventQueue::push(Event event) {
+  TAPESIM_ASSERT_MSG(pending_.insert(event.id).second,
+                     "event id reused while still pending");
+  heap_.push_back(std::move(event));
+  sift_up(heap_.size() - 1);
+  ++live_count_;
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty()) {
+    const EventId id = heap_.front().id;
+    const auto it = cancelled_.find(id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    pending_.erase(id);
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+}
+
+Event EventQueue::pop() {
+  drop_cancelled_top();
+  TAPESIM_ASSERT_MSG(!heap_.empty(), "pop from empty event queue");
+  Event top = std::move(heap_.front());
+  pending_.erase(top.id);
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  --live_count_;
+  return top;
+}
+
+Seconds EventQueue::next_time() const {
+  // The top may be cancelled; scan conservatively without mutating.
+  TAPESIM_ASSERT_MSG(live_count_ > 0, "next_time of empty event queue");
+  const_cast<EventQueue*>(this)->drop_cancelled_top();
+  return heap_.front().time;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (pending_.find(id) == pending_.end()) return false;
+  if (!cancelled_.insert(id).second) return false;  // already cancelled
+  --live_count_;
+  return true;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    std::size_t smallest = i;
+    if (l < n && before(heap_[l], heap_[smallest])) smallest = l;
+    if (r < n && before(heap_[r], heap_[smallest])) smallest = r;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace tapesim::sim

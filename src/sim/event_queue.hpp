@@ -1,0 +1,45 @@
+// A binary min-heap of events with O(log n) push/pop and lazy cancellation.
+//
+// We implement the heap by hand (rather than std::priority_queue) to support
+// cancellation and to make the tie-breaking contract explicit and testable.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event.hpp"
+
+namespace tapesim::sim {
+
+class EventQueue {
+ public:
+  /// Inserts an event; the id must be unique (Engine guarantees this).
+  void push(Event event);
+
+  /// Removes and returns the earliest non-cancelled event.
+  /// Precondition: !empty().
+  Event pop();
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] Seconds next_time() const;
+
+  /// Marks an event as cancelled. O(1); the record is dropped when it
+  /// reaches the heap top. Returns false if the id is not pending.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+ private:
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void drop_cancelled_top();
+
+  std::vector<Event> heap_;
+  std::unordered_set<EventId> pending_;
+  std::unordered_set<EventId> cancelled_;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace tapesim::sim

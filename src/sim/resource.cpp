@@ -1,0 +1,48 @@
+#include "sim/resource.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace tapesim::sim {
+
+void Resource::acquire(std::function<void()> on_granted) {
+  TAPESIM_ASSERT_MSG(static_cast<bool>(on_granted),
+                     "acquire needs a grant callback");
+  if (busy_) {
+    waiting_.push_back(std::move(on_granted));
+    return;
+  }
+  grant(std::move(on_granted));
+}
+
+void Resource::acquire_for(Seconds busy, std::function<void()> on_done) {
+  acquire([this, busy, on_done = std::move(on_done)]() {
+    engine_->schedule_in(busy, [this, on_done]() {
+      release();
+      if (on_done) on_done();
+    });
+  });
+}
+
+void Resource::grant(std::function<void()> fn) {
+  busy_ = true;
+  acquired_at_ = engine_->now();
+  ++grants_;
+  // Dispatch through the engine so grant callbacks never run re-entrantly
+  // inside acquire()/release() call stacks.
+  engine_->schedule_in(Seconds{0.0}, std::move(fn), name_ + ":grant");
+}
+
+void Resource::release() {
+  TAPESIM_ASSERT_MSG(busy_, "release of a free resource");
+  busy_ = false;
+  busy_time_ += engine_->now() - acquired_at_;
+  if (!waiting_.empty()) {
+    auto next = std::move(waiting_.front());
+    waiting_.pop_front();
+    grant(std::move(next));
+  }
+}
+
+}  // namespace tapesim::sim

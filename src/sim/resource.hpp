@@ -1,0 +1,64 @@
+// A FIFO-served exclusive resource.
+//
+// Models the robot arm: one exchange at a time per library; contending
+// drives queue in arrival order (ties broken by request order, which the
+// engine already makes deterministic). Also reusable for any future
+// single-server stations (e.g. a shared I/O channel).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::sim {
+
+/// An exclusive server. Users call `acquire(fn)`; `fn(now)` runs as soon as
+/// the resource is free and must eventually lead to a `release()` call.
+class Resource {
+ public:
+  Resource(Engine& engine, std::string name)
+      : engine_(&engine), name_(std::move(name)) {}
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+  Resource(Resource&&) = default;
+  Resource& operator=(Resource&&) = default;
+
+  /// Requests the resource. If free, the grant fires as an immediate event
+  /// (keeping all user code inside the event loop); otherwise it queues.
+  void acquire(std::function<void()> on_granted);
+
+  /// Convenience: hold the resource for `busy` time, then auto-release.
+  /// `on_done` (optional) fires at release time.
+  void acquire_for(Seconds busy, std::function<void()> on_done = {});
+
+  /// Releases the resource; the next queued waiter (if any) is granted via
+  /// an immediate event. Must be called exactly once per successful grant.
+  void release();
+
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] std::size_t queue_length() const { return waiting_.size(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Cumulative time the resource has spent occupied (utilization metric).
+  [[nodiscard]] Seconds busy_time() const { return busy_time_; }
+  /// Total grants issued so far.
+  [[nodiscard]] std::uint64_t grants() const { return grants_; }
+
+ private:
+  void grant(std::function<void()> fn);
+
+  Engine* engine_;
+  std::string name_;
+  std::deque<std::function<void()>> waiting_;
+  bool busy_ = false;
+  Seconds acquired_at_{0.0};
+  Seconds busy_time_{0.0};
+  std::uint64_t grants_ = 0;
+};
+
+}  // namespace tapesim::sim

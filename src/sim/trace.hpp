@@ -1,0 +1,22 @@
+// Observer hook for simulation event dispatch.
+//
+// Tests and debugging tools attach a TraceSink to an Engine to record the
+// exact dispatch order; production runs attach nothing and pay only a
+// null-pointer check per event.
+#pragma once
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace tapesim::sim {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// Called immediately before an event's action runs.
+  virtual void on_dispatch(Seconds time, std::uint64_t event_id,
+                           const std::string& label) = 0;
+};
+
+}  // namespace tapesim::sim

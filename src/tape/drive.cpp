@@ -1,0 +1,117 @@
+#include "tape/drive.hpp"
+
+#include "util/assert.hpp"
+
+namespace tapesim::tape {
+
+const char* to_string(DriveState s) {
+  switch (s) {
+    case DriveState::kEmpty: return "empty";
+    case DriveState::kIdle: return "idle";
+    case DriveState::kLoading: return "loading";
+    case DriveState::kLocating: return "locating";
+    case DriveState::kTransferring: return "transferring";
+    case DriveState::kRewinding: return "rewinding";
+    case DriveState::kUnloading: return "unloading";
+  }
+  return "?";
+}
+
+TapeDrive::TapeDrive(DriveId id, const DriveSpec& spec, Bytes tape_capacity)
+    : id_(id), spec_(spec), motion_(spec, tape_capacity) {
+  spec_.validate();
+}
+
+Seconds TapeDrive::start_load(TapeId t) {
+  TAPESIM_ASSERT_MSG(state_ == DriveState::kEmpty,
+                     "load requires an empty drive");
+  TAPESIM_ASSERT_MSG(t.valid(), "cannot load an invalid tape id");
+  state_ = DriveState::kLoading;
+  mounted_ = t;
+  return spec_.load_thread_time;
+}
+
+void TapeDrive::finish_load() {
+  TAPESIM_ASSERT(state_ == DriveState::kLoading);
+  state_ = DriveState::kIdle;
+  head_ = Bytes{0};
+  stats_.loading += spec_.load_thread_time;
+  ++stats_.mounts;
+}
+
+void TapeDrive::setup_mounted(TapeId t) {
+  TAPESIM_ASSERT_MSG(state_ == DriveState::kEmpty,
+                     "setup mount requires an empty drive");
+  TAPESIM_ASSERT_MSG(t.valid(), "cannot mount an invalid tape id");
+  mounted_ = t;
+  head_ = Bytes{0};
+  state_ = DriveState::kIdle;
+}
+
+Seconds TapeDrive::start_locate(Bytes target) {
+  TAPESIM_ASSERT_MSG(state_ == DriveState::kIdle,
+                     "locate requires an idle, mounted drive");
+  state_ = DriveState::kLocating;
+  pending_target_ = target;
+  return motion_.locate_time(head_, target);
+}
+
+void TapeDrive::finish_locate() {
+  TAPESIM_ASSERT(state_ == DriveState::kLocating);
+  stats_.locating += motion_.locate_time(head_, pending_target_);
+  head_ = pending_target_;
+  state_ = DriveState::kIdle;
+}
+
+Seconds TapeDrive::start_transfer(Bytes amount) {
+  TAPESIM_ASSERT_MSG(state_ == DriveState::kIdle,
+                     "transfer requires an idle, mounted drive");
+  TAPESIM_ASSERT_MSG(head_ + amount <= motion_.capacity(),
+                     "transfer would run off the end of the tape");
+  state_ = DriveState::kTransferring;
+  pending_target_ = head_ + amount;
+  return duration_for(amount, spec_.transfer_rate);
+}
+
+void TapeDrive::finish_transfer() {
+  TAPESIM_ASSERT(state_ == DriveState::kTransferring);
+  const Bytes amount = pending_target_ - head_;
+  stats_.transferring += duration_for(amount, spec_.transfer_rate);
+  stats_.bytes_read += amount;
+  ++stats_.objects_read;
+  head_ = pending_target_;
+  state_ = DriveState::kIdle;
+}
+
+Seconds TapeDrive::start_rewind() {
+  TAPESIM_ASSERT_MSG(state_ == DriveState::kIdle,
+                     "rewind requires an idle, mounted drive");
+  state_ = DriveState::kRewinding;
+  return motion_.rewind_time(head_);
+}
+
+void TapeDrive::finish_rewind() {
+  TAPESIM_ASSERT(state_ == DriveState::kRewinding);
+  stats_.rewinding += motion_.rewind_time(head_);
+  head_ = Bytes{0};
+  state_ = DriveState::kIdle;
+}
+
+Seconds TapeDrive::start_unload() {
+  TAPESIM_ASSERT_MSG(state_ == DriveState::kIdle,
+                     "unload requires an idle drive");
+  TAPESIM_ASSERT_MSG(head_ == Bytes{0}, "must rewind before unloading");
+  state_ = DriveState::kUnloading;
+  return spec_.unload_time;
+}
+
+TapeId TapeDrive::finish_unload() {
+  TAPESIM_ASSERT(state_ == DriveState::kUnloading);
+  stats_.unloading += spec_.unload_time;
+  const TapeId t = mounted_;
+  mounted_ = TapeId{};
+  state_ = DriveState::kEmpty;
+  return t;
+}
+
+}  // namespace tapesim::tape

@@ -1,0 +1,102 @@
+// Tape drive state machine.
+//
+// The drive is a passive state holder: the retrieval scheduler calls
+// start_*() to begin an activity (getting back its duration), schedules an
+// engine event, and calls the matching finish_*() when it fires. The state
+// machine rejects illegal transitions (e.g. locating on an empty drive), so
+// scheduler bugs abort immediately instead of silently corrupting results.
+#pragma once
+
+#include <cstdint>
+
+#include "tape/linear_motion.hpp"
+#include "tape/specs.hpp"
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::tape {
+
+enum class DriveState : std::uint8_t {
+  kEmpty,         ///< No cartridge mounted.
+  kIdle,          ///< Cartridge mounted, head parked somewhere, no activity.
+  kLoading,       ///< Threading a newly inserted cartridge.
+  kLocating,      ///< Positioning the head.
+  kTransferring,  ///< Streaming data to the disk cache.
+  kRewinding,     ///< Rewinding prior to unload.
+  kUnloading,     ///< Ejecting the cartridge.
+};
+
+[[nodiscard]] const char* to_string(DriveState s);
+
+/// Cumulative per-drive activity accounting, used by the metrics layer.
+struct DriveStats {
+  Seconds loading{};
+  Seconds locating{};
+  Seconds transferring{};
+  Seconds rewinding{};
+  Seconds unloading{};
+  std::uint64_t mounts = 0;
+  std::uint64_t objects_read = 0;
+  Bytes bytes_read{};
+
+  [[nodiscard]] Seconds total_active() const {
+    return loading + locating + transferring + rewinding + unloading;
+  }
+};
+
+class TapeDrive {
+ public:
+  TapeDrive(DriveId id, const DriveSpec& spec, Bytes tape_capacity);
+
+  [[nodiscard]] DriveId id() const { return id_; }
+  [[nodiscard]] DriveState state() const { return state_; }
+  [[nodiscard]] bool empty() const { return state_ == DriveState::kEmpty; }
+  [[nodiscard]] bool idle() const { return state_ == DriveState::kIdle; }
+  /// The mounted cartridge; invalid id when empty.
+  [[nodiscard]] TapeId mounted() const { return mounted_; }
+  /// Current head position from beginning of tape.
+  [[nodiscard]] Bytes head() const { return head_; }
+  [[nodiscard]] const LinearMotionModel& motion() const { return motion_; }
+  [[nodiscard]] const DriveSpec& spec() const { return spec_; }
+  [[nodiscard]] const DriveStats& stats() const { return stats_; }
+
+  // --- state transitions; each start returns the activity duration ---
+
+  /// Begin threading `t` (robot has inserted it). Drive must be empty.
+  Seconds start_load(TapeId t);
+  void finish_load();
+
+  /// Setup-only: mounts `t` instantly without consuming simulated time or
+  /// touching the activity statistics (the paper mounts the initial
+  /// batches "during startup time", outside the measured window).
+  void setup_mounted(TapeId t);
+
+  /// Begin positioning the head to `target`. Drive must be idle.
+  Seconds start_locate(Bytes target);
+  void finish_locate();
+
+  /// Begin streaming `amount` from the current head position. Must be idle.
+  Seconds start_transfer(Bytes amount);
+  void finish_transfer();
+
+  /// Begin rewinding to BOT. Must be idle. Duration depends on head position.
+  Seconds start_rewind();
+  void finish_rewind();
+
+  /// Begin ejecting. Must be idle with head at BOT (i.e. rewound).
+  Seconds start_unload();
+  /// Completes the eject; returns the cartridge that was removed.
+  TapeId finish_unload();
+
+ private:
+  DriveId id_;
+  DriveSpec spec_;
+  LinearMotionModel motion_;
+  DriveState state_ = DriveState::kEmpty;
+  TapeId mounted_{};
+  Bytes head_{};
+  Bytes pending_target_{};  // locate destination / transfer end
+  DriveStats stats_;
+};
+
+}  // namespace tapesim::tape

@@ -1,0 +1,35 @@
+#include "tape/linear_motion.hpp"
+
+#include "util/assert.hpp"
+
+namespace tapesim::tape {
+
+LinearMotionModel::LinearMotionModel(const DriveSpec& drive,
+                                     Bytes tape_capacity)
+    : capacity_(tape_capacity),
+      locate_rate_(tape_capacity.as_double() /
+                   (2.0 * drive.avg_first_file_access.count())),
+      rewind_rate_(tape_capacity.as_double() / drive.max_rewind_time.count()) {
+  TAPESIM_ASSERT(capacity_.count() > 0);
+}
+
+Seconds LinearMotionModel::locate_time(Bytes from, Bytes to) const {
+  TAPESIM_ASSERT_MSG(from <= capacity_ && to <= capacity_,
+                     "position beyond end of tape");
+  return duration_for(Bytes::distance(from, to), locate_rate_);
+}
+
+Seconds LinearMotionModel::rewind_time(Bytes position) const {
+  TAPESIM_ASSERT_MSG(position <= capacity_, "position beyond end of tape");
+  return duration_for(position, rewind_rate_);
+}
+
+Seconds LinearMotionModel::average_first_access() const {
+  return duration_for(Bytes{capacity_.count() / 2}, locate_rate_);
+}
+
+Seconds LinearMotionModel::max_rewind() const {
+  return duration_for(capacity_, rewind_rate_);
+}
+
+}  // namespace tapesim::tape

@@ -1,0 +1,48 @@
+// Linear head-positioning model (Johnson & Miller, VLDB'98).
+//
+// Positioning time is proportional to the distance between the current head
+// position and the target position. Two rates are calibrated from Table 1:
+//
+//   locate_rate = capacity / (2 * avg_first_file_access)
+//     The spec's "average file access time (first file)" is the expected
+//     locate time from beginning-of-tape to a uniformly random position,
+//     i.e. the time to cover half the tape: 400 GB / (2 * 72 s).
+//
+//   rewind_rate = capacity / max_rewind_time
+//     "Maximum rewind" covers the whole tape: 400 GB / 98 s. Rewind is
+//     faster than locate because the drive does not need to read-verify.
+#pragma once
+
+#include "tape/specs.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::tape {
+
+class LinearMotionModel {
+ public:
+  LinearMotionModel(const DriveSpec& drive, Bytes tape_capacity);
+
+  /// Time to position the head from `from` to `to` (either direction).
+  [[nodiscard]] Seconds locate_time(Bytes from, Bytes to) const;
+
+  /// Time to rewind from `position` to beginning-of-tape.
+  [[nodiscard]] Seconds rewind_time(Bytes position) const;
+
+  /// Expected locate time from BOT to a uniformly random position; by
+  /// construction equals DriveSpec::avg_first_file_access.
+  [[nodiscard]] Seconds average_first_access() const;
+
+  /// Rewind time from end-of-tape; equals DriveSpec::max_rewind_time.
+  [[nodiscard]] Seconds max_rewind() const;
+
+  [[nodiscard]] BytesPerSecond locate_rate() const { return locate_rate_; }
+  [[nodiscard]] BytesPerSecond rewind_rate() const { return rewind_rate_; }
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+
+ private:
+  Bytes capacity_;
+  BytesPerSecond locate_rate_;
+  BytesPerSecond rewind_rate_;
+};
+
+}  // namespace tapesim::tape

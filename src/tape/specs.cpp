@@ -1,0 +1,51 @@
+#include "tape/specs.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tapesim::tape {
+
+void DriveSpec::validate() const {
+  auto require = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string{"DriveSpec: "} + what);
+  };
+  require(transfer_rate.count() > 0.0, "transfer rate must be positive");
+  require(load_thread_time.count() >= 0.0, "load time must be >= 0");
+  require(unload_time.count() >= 0.0, "unload time must be >= 0");
+  require(max_rewind_time.count() > 0.0, "max rewind must be positive");
+  require(avg_first_file_access.count() > 0.0,
+          "average first-file access must be positive");
+}
+
+void LibrarySpec::validate() const {
+  auto require = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string{"LibrarySpec: "} + what);
+  };
+  require(drives_per_library > 0, "need at least one drive");
+  require(tapes_per_library >= drives_per_library,
+          "need at least as many tapes as drives");
+  require(tape_capacity.count() > 0, "tape capacity must be positive");
+  require(cell_to_drive_time.count() >= 0.0, "robot move must be >= 0");
+  drive.validate();
+}
+
+void SystemSpec::validate() const {
+  if (num_libraries == 0)
+    throw std::invalid_argument("SystemSpec: need at least one library");
+  library.validate();
+}
+
+SystemSpec SystemSpec::paper_default() {
+  return SystemSpec{};  // all defaults follow Table 1
+}
+
+std::string SystemSpec::describe() const {
+  std::ostringstream ss;
+  ss << num_libraries << " libraries x " << library.drives_per_library
+     << " drives, " << library.tapes_per_library << " tapes/library @ "
+     << library.tape_capacity << ", drive "
+     << library.drive.transfer_rate;
+  return ss.str();
+}
+
+}  // namespace tapesim::tape

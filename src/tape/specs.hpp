@@ -1,0 +1,75 @@
+// Hardware specifications for drives, libraries, and the whole system.
+//
+// Defaults reproduce Table 1 of the paper: IBM LTO Gen-3 drives in
+// StorageTek L80 libraries. Every experiment harness starts from
+// `SystemSpec::paper_default()` and overrides what its sweep varies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace tapesim::tape {
+
+/// One tape drive (IBM LTO Gen-3 by default).
+struct DriveSpec {
+  /// Native streaming transfer rate (80 MB/s for LTO-3).
+  BytesPerSecond transfer_rate{80.0e6};
+  /// "Tape load and thread to ready" — cartridge insertion to readiness.
+  Seconds load_thread_time{19.0};
+  /// Cartridge unload time after rewind.
+  Seconds unload_time{19.0};
+  /// Rewind from end-of-tape to beginning (Table 1 "maximum rewind").
+  Seconds max_rewind_time{98.0};
+  /// Table 1 "average file access time (first file)": expected locate time
+  /// to a uniformly random position from the beginning of tape. Used to
+  /// calibrate the linear positioning rate (locate over half the tape).
+  Seconds avg_first_file_access{72.0};
+
+  /// Validates physical plausibility; throws std::invalid_argument.
+  void validate() const;
+};
+
+/// One tape library (StorageTek L80 by default): d drives, t tapes, one
+/// robot arm performing all cartridge moves sequentially.
+struct LibrarySpec {
+  std::uint32_t drives_per_library = 8;
+  std::uint32_t tapes_per_library = 80;
+  Bytes tape_capacity{400ULL * 1000 * 1000 * 1000};  // 400 GB
+  /// Average robot move between a storage cell and a drive (one way).
+  Seconds cell_to_drive_time{7.6};
+  DriveSpec drive;
+
+  void validate() const;
+};
+
+/// The full parallel tape storage system: n identical libraries.
+struct SystemSpec {
+  std::uint32_t num_libraries = 3;
+  LibrarySpec library;
+
+  /// Table 1 configuration, verbatim.
+  [[nodiscard]] static SystemSpec paper_default();
+
+  void validate() const;
+
+  [[nodiscard]] std::uint32_t total_drives() const {
+    return num_libraries * library.drives_per_library;
+  }
+  [[nodiscard]] std::uint32_t total_tapes() const {
+    return num_libraries * library.tapes_per_library;
+  }
+  [[nodiscard]] Bytes total_capacity() const {
+    return Bytes{total_tapes() * library.tape_capacity.count()};
+  }
+  /// Upper bound on retrieval bandwidth: all drives streaming at once.
+  [[nodiscard]] BytesPerSecond aggregate_transfer_rate() const {
+    return BytesPerSecond{static_cast<double>(total_drives()) *
+                          library.drive.transfer_rate.count()};
+  }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace tapesim::tape

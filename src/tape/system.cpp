@@ -1,0 +1,76 @@
+#include "tape/system.hpp"
+
+#include "util/assert.hpp"
+
+namespace tapesim::tape {
+
+TapeSystem::TapeSystem(const SystemSpec& spec, sim::Engine& engine)
+    : spec_(spec) {
+  spec_.validate();
+  libraries_.reserve(spec_.num_libraries);
+  for (std::uint32_t lib = 0; lib < spec_.num_libraries; ++lib) {
+    libraries_.emplace_back(
+        LibraryId{lib}, spec_.library, engine,
+        DriveId{lib * spec_.library.drives_per_library},
+        TapeId{lib * spec_.library.tapes_per_library});
+  }
+  tape_on_drive_.assign(spec_.total_tapes(), DriveId{});
+}
+
+TapeLibrary& TapeSystem::library(LibraryId id) {
+  TAPESIM_ASSERT(id.valid() && id.index() < libraries_.size());
+  return libraries_[id.index()];
+}
+
+const TapeLibrary& TapeSystem::library(LibraryId id) const {
+  TAPESIM_ASSERT(id.valid() && id.index() < libraries_.size());
+  return libraries_[id.index()];
+}
+
+LibraryId TapeSystem::library_of_drive(DriveId d) const {
+  TAPESIM_ASSERT(d.valid() && d.value() < spec_.total_drives());
+  return LibraryId{d.value() / spec_.library.drives_per_library};
+}
+
+LibraryId TapeSystem::library_of_tape(TapeId t) const {
+  TAPESIM_ASSERT(t.valid() && t.value() < spec_.total_tapes());
+  return LibraryId{t.value() / spec_.library.tapes_per_library};
+}
+
+TapeDrive& TapeSystem::drive(DriveId d) {
+  return library(library_of_drive(d)).drive(d);
+}
+
+const TapeDrive& TapeSystem::drive(DriveId d) const {
+  return library(library_of_drive(d)).drive(d);
+}
+
+std::optional<DriveId> TapeSystem::drive_holding(TapeId t) const {
+  TAPESIM_ASSERT(t.valid() && t.index() < tape_on_drive_.size());
+  const DriveId d = tape_on_drive_[t.index()];
+  if (!d.valid()) return std::nullopt;
+  return d;
+}
+
+void TapeSystem::note_mounted(TapeId t, DriveId d) {
+  TAPESIM_ASSERT_MSG(library_of_tape(t) == library_of_drive(d),
+                     "tapes never leave their own library");
+  TAPESIM_ASSERT_MSG(!tape_on_drive_[t.index()].valid(),
+                     "tape already mounted somewhere");
+  tape_on_drive_[t.index()] = d;
+}
+
+void TapeSystem::note_unmounted(TapeId t) {
+  TAPESIM_ASSERT_MSG(tape_on_drive_[t.index()].valid(),
+                     "tape was not mounted");
+  tape_on_drive_[t.index()] = DriveId{};
+}
+
+void TapeSystem::setup_mount(TapeId t, DriveId d) {
+  TapeDrive& dr = drive(d);
+  TAPESIM_ASSERT_MSG(dr.empty(), "setup_mount needs an empty drive");
+  dr.setup_mounted(t);
+  note_mounted(t, d);
+}
+
+}  // namespace tapesim::tape

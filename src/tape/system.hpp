@@ -1,0 +1,65 @@
+// The full parallel tape storage system: n independent libraries plus the
+// global id spaces and the tape-location bookkeeping shared by all of them.
+//
+// Global numbering is dense: drive g = lib*d + i, tape g = lib*t + j, so
+// per-id state lives in flat vectors.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "tape/library.hpp"
+#include "tape/specs.hpp"
+#include "util/ids.hpp"
+
+namespace tapesim::tape {
+
+class TapeSystem {
+ public:
+  TapeSystem(const SystemSpec& spec, sim::Engine& engine);
+
+  TapeSystem(const TapeSystem&) = delete;
+  TapeSystem& operator=(const TapeSystem&) = delete;
+
+  [[nodiscard]] const SystemSpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint32_t num_libraries() const {
+    return spec_.num_libraries;
+  }
+
+  [[nodiscard]] TapeLibrary& library(LibraryId id);
+  [[nodiscard]] const TapeLibrary& library(LibraryId id) const;
+  [[nodiscard]] std::vector<TapeLibrary>& libraries() { return libraries_; }
+  [[nodiscard]] const std::vector<TapeLibrary>& libraries() const {
+    return libraries_;
+  }
+
+  [[nodiscard]] LibraryId library_of_drive(DriveId d) const;
+  [[nodiscard]] LibraryId library_of_tape(TapeId t) const;
+
+  [[nodiscard]] TapeDrive& drive(DriveId d);
+  [[nodiscard]] const TapeDrive& drive(DriveId d) const;
+
+  /// The drive currently holding `t`, or nullopt if the tape is in its cell.
+  [[nodiscard]] std::optional<DriveId> drive_holding(TapeId t) const;
+  [[nodiscard]] bool is_mounted(TapeId t) const {
+    return drive_holding(t).has_value();
+  }
+
+  /// Bookkeeping calls made by the scheduler when mounts complete/begin.
+  void note_mounted(TapeId t, DriveId d);
+  void note_unmounted(TapeId t);
+
+  /// Instantly mounts `t` on empty drive `d` (simulation setup only — the
+  /// paper mounts the initial batches "during startup time" outside the
+  /// measured window). The drive becomes idle with the head at BOT.
+  void setup_mount(TapeId t, DriveId d);
+
+ private:
+  SystemSpec spec_;
+  std::vector<TapeLibrary> libraries_;
+  /// Indexed by global tape id; holds the mounting drive or invalid.
+  std::vector<DriveId> tape_on_drive_;
+};
+
+}  // namespace tapesim::tape

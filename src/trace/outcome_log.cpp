@@ -1,0 +1,21 @@
+#include "trace/outcome_log.hpp"
+
+#include <ostream>
+
+namespace tapesim::trace {
+
+OutcomeLog::OutcomeLog(std::ostream& out) : out_(&out) {
+  *out_ << kHeader << '\n';
+}
+
+void OutcomeLog::record(const metrics::RequestOutcome& outcome) {
+  *out_ << outcome.request.value() << ',' << outcome.bytes.count() << ','
+        << outcome.response.count() << ',' << outcome.switch_time.count()
+        << ',' << outcome.seek.count() << ',' << outcome.transfer.count()
+        << ',' << outcome.robot_wait.count() << ',' << outcome.tape_switches
+        << ',' << outcome.tapes_touched << ',' << outcome.drives_used << ','
+        << outcome.bandwidth().megabytes_per_second() << '\n';
+  ++rows_;
+}
+
+}  // namespace tapesim::trace

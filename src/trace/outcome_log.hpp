@@ -1,0 +1,33 @@
+// Per-request outcome logging.
+//
+// Streams every simulated request's decomposition to CSV so runs can be
+// analyzed offline (distribution plots, regression diffs between builds).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "metrics/request_metrics.hpp"
+
+namespace tapesim::trace {
+
+class OutcomeLog {
+ public:
+  /// Writes the CSV header to `out` (not owned; must outlive the log).
+  explicit OutcomeLog(std::ostream& out);
+
+  /// Appends one outcome row.
+  void record(const metrics::RequestOutcome& outcome);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+
+  static constexpr const char* kHeader =
+      "request,bytes,response_s,switch_s,seek_s,transfer_s,robot_wait_s,"
+      "mounts,tapes,drives,bandwidth_mbps";
+
+ private:
+  std::ostream* out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace tapesim::trace

@@ -1,0 +1,171 @@
+#include "trace/plan_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace tapesim::trace {
+namespace {
+
+[[noreturn]] void fail(const std::string& what, std::size_t line) {
+  throw std::runtime_error("plan parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+std::uint64_t field_u64(std::istringstream& ss, std::size_t line) {
+  std::string token;
+  if (!std::getline(ss, token, ',')) fail("missing field", line);
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    fail("expected integer, got '" + token + "'", line);
+  }
+  return value;
+}
+
+}  // namespace
+
+void save_plan(const core::PlacementPlan& plan, std::ostream& layout,
+               std::ostream& policy) {
+  layout << "tape,object,offset_bytes,size_bytes\n";
+  for (std::uint32_t t = 0; t < plan.spec().total_tapes(); ++t) {
+    for (const core::PlacedObject& p : plan.on_tape(TapeId{t})) {
+      layout << t << ',' << p.object.value() << ',' << p.offset.count()
+             << ',' << p.size.count() << '\n';
+    }
+  }
+
+  policy << "replacement,"
+         << (plan.mount_policy.replacement ==
+                     core::ReplacementPolicy::kFixedBatch
+                 ? "fixed-batch"
+                 : "least-popular")
+         << '\n';
+  policy << "drive,tape,pinned\n";
+  for (const auto& [drive, tape] : plan.mount_policy.initial_mounts) {
+    policy << drive.value() << ',' << tape.value() << ','
+           << (plan.mount_policy.pinned(drive) ? 1 : 0) << '\n';
+  }
+}
+
+void save_plan(const core::PlacementPlan& plan, const std::string& prefix) {
+  std::ofstream layout(prefix + ".layout.csv");
+  std::ofstream policy(prefix + ".mounts.csv");
+  if (!layout || !policy) {
+    throw std::runtime_error("cannot open plan files for " + prefix);
+  }
+  save_plan(plan, layout, policy);
+  if (!layout || !policy) {
+    throw std::runtime_error("write failed for " + prefix);
+  }
+}
+
+core::PlacementPlan load_plan(const tape::SystemSpec& spec,
+                              const workload::Workload& workload,
+                              std::istream& layout, std::istream& policy) {
+  core::PlacementPlan plan(spec, workload);
+
+  std::string line;
+  std::size_t line_no = 1;
+  if (!std::getline(layout, line) ||
+      line != "tape,object,offset_bytes,size_bytes") {
+    fail("missing layout header", 1);
+  }
+  // Rows arrive in on-tape order; assign() reproduces exactly that order
+  // and align_all(kGivenOrder) restores the offsets, which we then verify.
+  struct Row {
+    std::uint32_t tape;
+    std::uint32_t object;
+    std::uint64_t offset;
+    std::uint64_t size;
+  };
+  std::vector<Row> rows;
+  while (std::getline(layout, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    Row row;
+    row.tape = static_cast<std::uint32_t>(field_u64(ss, line_no));
+    row.object = static_cast<std::uint32_t>(field_u64(ss, line_no));
+    row.offset = field_u64(ss, line_no);
+    row.size = field_u64(ss, line_no);
+    rows.push_back(row);
+  }
+  for (const Row& row : rows) {
+    plan.assign(ObjectId{row.object}, TapeId{row.tape});
+  }
+  plan.align_all(core::Alignment::kGivenOrder);
+  for (const Row& row : rows) {
+    bool found = false;
+    for (const core::PlacedObject& p : plan.on_tape(TapeId{row.tape})) {
+      if (p.object == ObjectId{row.object}) {
+        if (p.offset.count() != row.offset || p.size.count() != row.size) {
+          throw std::runtime_error(
+              "plan layout inconsistent with workload (object " +
+              std::to_string(row.object) + ")");
+        }
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::runtime_error("layout row lost during reconstruction");
+    }
+  }
+
+  line_no = 1;
+  if (!std::getline(policy, line) || line.rfind("replacement,", 0) != 0) {
+    fail("missing replacement header", 1);
+  }
+  const std::string policy_name = line.substr(std::string("replacement,").size());
+  if (policy_name == "fixed-batch") {
+    plan.mount_policy.replacement = core::ReplacementPolicy::kFixedBatch;
+  } else if (policy_name == "least-popular") {
+    plan.mount_policy.replacement = core::ReplacementPolicy::kLeastPopular;
+  } else {
+    fail("unknown replacement policy '" + policy_name + "'", 1);
+  }
+  if (!std::getline(policy, line) || line != "drive,tape,pinned") {
+    fail("missing mounts header", 2);
+  }
+  line_no = 2;
+  bool any_pinned = false;
+  std::vector<bool> pinned(spec.total_drives(), false);
+  while (std::getline(policy, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    const auto drive = static_cast<std::uint32_t>(field_u64(ss, line_no));
+    const auto tape = static_cast<std::uint32_t>(field_u64(ss, line_no));
+    const auto is_pinned = field_u64(ss, line_no);
+    plan.mount_policy.initial_mounts.emplace_back(DriveId{drive},
+                                                  TapeId{tape});
+    if (is_pinned != 0) {
+      pinned[drive] = true;
+      any_pinned = true;
+    }
+  }
+  if (any_pinned) plan.mount_policy.drive_pinned = std::move(pinned);
+
+  plan.compute_tape_popularity();
+  plan.validate();
+  return plan;
+}
+
+core::PlacementPlan load_plan(const tape::SystemSpec& spec,
+                              const workload::Workload& workload,
+                              const std::string& prefix) {
+  std::ifstream layout(prefix + ".layout.csv");
+  std::ifstream policy(prefix + ".mounts.csv");
+  if (!layout || !policy) {
+    throw std::runtime_error("cannot open plan files for " + prefix);
+  }
+  return load_plan(spec, workload, layout, policy);
+}
+
+}  // namespace tapesim::trace

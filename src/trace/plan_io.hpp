@@ -1,0 +1,33 @@
+// Placement-plan serialization.
+//
+// A finished plan round-trips through two CSVs: the physical layout
+// (tape,object,offset_bytes,size_bytes in on-tape order) and the mount
+// policy (replacement policy, then one row per initial mount with its
+// pinned flag). Loading reconstructs a validated plan against a workload
+// and spec — enough to re-simulate someone else's placement byte-for-byte.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/plan.hpp"
+
+namespace tapesim::trace {
+
+void save_plan(const core::PlacementPlan& plan, std::ostream& layout,
+               std::ostream& policy);
+
+/// Writes `<prefix>.layout.csv` and `<prefix>.mounts.csv`.
+void save_plan(const core::PlacementPlan& plan, const std::string& prefix);
+
+/// Rebuilds a plan from the two streams. The workload/spec must be the
+/// ones the plan was built for; the result is validate()d.
+[[nodiscard]] core::PlacementPlan load_plan(
+    const tape::SystemSpec& spec, const workload::Workload& workload,
+    std::istream& layout, std::istream& policy);
+
+[[nodiscard]] core::PlacementPlan load_plan(const tape::SystemSpec& spec,
+                                            const workload::Workload& workload,
+                                            const std::string& prefix);
+
+}  // namespace tapesim::trace

@@ -1,0 +1,133 @@
+#include "trace/workload_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tapesim::trace {
+namespace {
+
+[[noreturn]] void fail(const std::string& what, std::size_t line) {
+  throw std::runtime_error("workload parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+std::uint64_t parse_u64(std::string_view token, std::size_t line) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    fail("expected integer, got '" + std::string(token) + "'", line);
+  }
+  return value;
+}
+
+double parse_double(std::string_view token, std::size_t line) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(std::string(token), &consumed);
+    if (consumed != token.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    fail("expected number, got '" + std::string(token) + "'", line);
+  }
+}
+
+}  // namespace
+
+void save_workload(const workload::Workload& workload, std::ostream& objects,
+                   std::ostream& requests) {
+  objects << "object,size_bytes\n";
+  for (const workload::ObjectInfo& o : workload.objects()) {
+    objects << o.id.value() << ',' << o.size.count() << '\n';
+  }
+  requests << "request,probability,objects\n";
+  requests.precision(17);
+  for (const workload::Request& r : workload.requests()) {
+    requests << r.id.value() << ',' << r.probability << ',';
+    for (std::size_t i = 0; i < r.objects.size(); ++i) {
+      if (i != 0) requests << ' ';
+      requests << r.objects[i].value();
+    }
+    requests << '\n';
+  }
+}
+
+void save_workload(const workload::Workload& workload,
+                   const std::string& prefix) {
+  std::ofstream objects(prefix + ".objects.csv");
+  std::ofstream requests(prefix + ".requests.csv");
+  if (!objects || !requests) {
+    throw std::runtime_error("cannot open workload files for " + prefix);
+  }
+  save_workload(workload, objects, requests);
+  if (!objects || !requests) {
+    throw std::runtime_error("write failed for " + prefix);
+  }
+}
+
+workload::Workload load_workload(std::istream& objects,
+                                 std::istream& requests) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  std::vector<workload::ObjectInfo> object_list;
+  if (!std::getline(objects, line) || line != "object,size_bytes") {
+    fail("missing objects header", 1);
+  }
+  line_no = 1;
+  while (std::getline(objects, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) fail("missing comma", line_no);
+    const auto id = parse_u64(std::string_view(line).substr(0, comma), line_no);
+    const auto size =
+        parse_u64(std::string_view(line).substr(comma + 1), line_no);
+    object_list.push_back(workload::ObjectInfo{
+        ObjectId{static_cast<std::uint32_t>(id)}, Bytes{size}});
+  }
+
+  std::vector<workload::Request> request_list;
+  if (!std::getline(requests, line) ||
+      line != "request,probability,objects") {
+    fail("missing requests header", 1);
+  }
+  line_no = 1;
+  while (std::getline(requests, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto c1 = line.find(',');
+    const auto c2 = c1 == std::string::npos ? c1 : line.find(',', c1 + 1);
+    if (c2 == std::string::npos) fail("expected three fields", line_no);
+    workload::Request request;
+    request.id = RequestId{static_cast<std::uint32_t>(
+        parse_u64(std::string_view(line).substr(0, c1), line_no))};
+    request.probability = parse_double(
+        std::string_view(line).substr(c1 + 1, c2 - c1 - 1), line_no);
+    std::istringstream members(line.substr(c2 + 1));
+    std::string token;
+    while (members >> token) {
+      request.objects.push_back(ObjectId{
+          static_cast<std::uint32_t>(parse_u64(token, line_no))});
+    }
+    request_list.push_back(std::move(request));
+  }
+
+  workload::Workload result{std::move(object_list), std::move(request_list)};
+  result.validate();
+  return result;
+}
+
+workload::Workload load_workload(const std::string& prefix) {
+  std::ifstream objects(prefix + ".objects.csv");
+  std::ifstream requests(prefix + ".requests.csv");
+  if (!objects || !requests) {
+    throw std::runtime_error("cannot open workload files for " + prefix);
+  }
+  return load_workload(objects, requests);
+}
+
+}  // namespace tapesim::trace

@@ -1,0 +1,33 @@
+// Workload serialization.
+//
+// Experiments must be shareable and re-runnable: a workload round-trips
+// through two CSV files (objects: id,size_bytes; requests:
+// id,probability,object ids separated by spaces). The format is plain
+// enough to generate from real backup-catalog exports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/model.hpp"
+
+namespace tapesim::trace {
+
+/// Writes `workload` to the two streams.
+void save_workload(const workload::Workload& workload, std::ostream& objects,
+                   std::ostream& requests);
+
+/// Convenience: writes `<prefix>.objects.csv` and `<prefix>.requests.csv`.
+/// Throws std::runtime_error on I/O failure.
+void save_workload(const workload::Workload& workload,
+                   const std::string& prefix);
+
+/// Parses a workload previously written by save_workload. Throws
+/// std::runtime_error on malformed input; the result is validate()d.
+[[nodiscard]] workload::Workload load_workload(std::istream& objects,
+                                               std::istream& requests);
+
+/// Convenience: reads `<prefix>.objects.csv` and `<prefix>.requests.csv`.
+[[nodiscard]] workload::Workload load_workload(const std::string& prefix);
+
+}  // namespace tapesim::trace

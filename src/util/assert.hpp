@@ -1,0 +1,36 @@
+// Always-on invariant checking.
+//
+// The simulator's correctness argument rests on accounting identities
+// (e.g. response time >= seek + transfer of every drive). These checks are
+// cheap relative to event processing, so they stay enabled in release
+// builds; violations indicate a logic bug, never a user error, and abort
+// with a location message.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tapesim::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "tapesim invariant violated: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace tapesim::detail
+
+#define TAPESIM_ASSERT(expr)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::tapesim::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                     \
+  } while (false)
+
+#define TAPESIM_ASSERT_MSG(expr, msg)                                  \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::tapesim::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,148 @@
+#include "util/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace tapesim {
+namespace {
+
+// Builds Walker alias tables from normalized probabilities.
+void build_alias(const std::vector<double>& probs, std::vector<double>& accept,
+                 std::vector<std::uint32_t>& alias) {
+  const std::size_t n = probs.size();
+  accept.assign(n, 1.0);
+  alias.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scaled[i] = probs[i] * static_cast<double>(n);
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    accept[s] = scaled[s];
+    alias[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Remaining entries have weight 1 up to floating-point error.
+  for (const std::uint32_t i : small) accept[i] = 1.0;
+  for (const std::uint32_t i : large) accept[i] = 1.0;
+}
+
+std::size_t alias_sample(const std::vector<double>& accept,
+                         const std::vector<std::uint32_t>& alias, Rng& rng) {
+  const std::size_t n = accept.size();
+  const std::size_t slot = static_cast<std::size_t>(rng.uniform_below(n));
+  return rng.uniform() < accept[slot] ? slot : alias[slot];
+}
+
+}  // namespace
+
+BoundedParetoDistribution::BoundedParetoDistribution(double lo, double hi,
+                                                     double alpha)
+    : lo_(lo), hi_(hi), alpha_(alpha) {
+  if (!(lo > 0.0) || !(hi >= lo) || !(alpha > 0.0)) {
+    throw std::invalid_argument(
+        "BoundedParetoDistribution requires 0 < lo <= hi and alpha > 0");
+  }
+}
+
+double BoundedParetoDistribution::sample(Rng& rng) const {
+  if (hi_ == lo_) return lo_;
+  const double u = rng.uniform();
+  // Inverse CDF of the truncated Pareto.
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  const double x = std::pow(la / (1.0 - u * (1.0 - la / ha)), 1.0 / alpha_);
+  return std::clamp(x, lo_, hi_);
+}
+
+double BoundedParetoDistribution::mean() const {
+  if (hi_ == lo_) return lo_;
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  if (std::abs(alpha_ - 1.0) < 1e-12) {
+    // E[X] = ln(hi/lo) * lo*hi/(hi-lo) for alpha == 1.
+    return std::log(hi_ / lo_) * lo_ * hi_ / (hi_ - lo_);
+  }
+  const double num = alpha_ * (std::pow(lo_, alpha_) * hi_ -
+                               std::pow(hi_, alpha_) * lo_);
+  const double den = (alpha_ - 1.0) * (la - ha);
+  return num / den * (1.0);
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double alpha)
+    : alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution requires n > 0");
+  if (alpha < 0.0)
+    throw std::invalid_argument("ZipfDistribution requires alpha >= 0");
+  probs_.resize(n);
+  double norm = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    probs_[r] = std::pow(static_cast<double>(r + 1), -alpha);
+    norm += probs_[r];
+  }
+  for (auto& p : probs_) p /= norm;
+  build_alias(probs_, accept_, alias_);
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  return alias_sample(accept_, alias_, rng);
+}
+
+DiscreteDistribution::DiscreteDistribution(const std::vector<double>& weights) {
+  if (weights.empty())
+    throw std::invalid_argument("DiscreteDistribution requires weights");
+  double norm = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0)
+      throw std::invalid_argument("DiscreteDistribution weights must be >= 0");
+    norm += w;
+  }
+  if (norm <= 0.0)
+    throw std::invalid_argument("DiscreteDistribution needs positive mass");
+  probs_ = weights;
+  for (auto& p : probs_) p /= norm;
+  build_alias(probs_, accept_, alias_);
+}
+
+std::size_t DiscreteDistribution::sample(Rng& rng) const {
+  return alias_sample(accept_, alias_, rng);
+}
+
+std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                      std::uint32_t k,
+                                                      Rng& rng) {
+  TAPESIM_ASSERT_MSG(k <= n, "cannot draw more distinct values than exist");
+  // Floyd's algorithm: k iterations, O(k) expected set operations.
+  std::unordered_set<std::uint32_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const auto t =
+        static_cast<std::uint32_t>(rng.uniform_below(std::uint64_t{j} + 1));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace tapesim

@@ -1,0 +1,88 @@
+// Sampling distributions used by the workload model (Section 6 of the
+// paper): power-law (bounded Pareto) object sizes and objects-per-request
+// counts, and Zipf request popularity P_r = c * r^-alpha.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tapesim {
+
+/// Bounded Pareto (continuous power law) on [lo, hi] with shape `alpha > 0`.
+///
+/// Density f(x) ∝ x^-(alpha+1), truncated and renormalized to [lo, hi].
+/// Sampled by inverting the CDF. The paper's "object size follows a power
+/// law distribution within a pre-defined range" maps directly onto this.
+class BoundedParetoDistribution {
+ public:
+  BoundedParetoDistribution(double lo, double hi, double alpha);
+
+  [[nodiscard]] double sample(Rng& rng) const;
+
+  /// Analytic mean of the truncated distribution (used by the workload
+  /// builder to hit a target average request size).
+  [[nodiscard]] double mean() const;
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double alpha_;
+};
+
+/// Finite Zipf distribution over ranks 1..n: P(r) = c * r^-alpha.
+///
+/// alpha = 0 is uniform; alpha = 1 is the most skewed setting the paper
+/// uses. Sampling is O(1) via the alias method built once in the
+/// constructor; probabilities() exposes the exact normalized masses so the
+/// placement stage can use the same popularity model the sampler draws from.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double alpha);
+
+  /// Rank in [0, n), rank 0 being the most popular.
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] const std::vector<double>& probabilities() const {
+    return probs_;
+  }
+  [[nodiscard]] std::size_t size() const { return probs_.size(); }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  std::vector<double> probs_;
+  // Walker alias tables.
+  std::vector<double> accept_;
+  std::vector<std::uint32_t> alias_;
+};
+
+/// General discrete distribution over arbitrary weights (alias method).
+/// Used wherever we need to draw by externally supplied probabilities.
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(const std::vector<double>& weights);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  [[nodiscard]] const std::vector<double>& probabilities() const {
+    return probs_;
+  }
+  [[nodiscard]] std::size_t size() const { return probs_.size(); }
+
+ private:
+  std::vector<double> probs_;
+  std::vector<double> accept_;
+  std::vector<std::uint32_t> alias_;
+};
+
+/// Draws `k` distinct indices uniformly from [0, n) (Floyd's algorithm).
+/// The paper picks the objects of each request "randomly" from the 30,000.
+[[nodiscard]] std::vector<std::uint32_t> sample_without_replacement(
+    std::uint32_t n, std::uint32_t k, Rng& rng);
+
+}  // namespace tapesim

@@ -1,0 +1,78 @@
+// Strongly typed integral identifiers.
+//
+// The simulator juggles several id spaces (objects, requests, tapes, drives,
+// libraries, clusters). Using a distinct type per space turns accidental
+// cross-space assignments into compile errors (Core Guidelines P.1/I.4).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace tapesim {
+
+/// A strongly typed wrapper around a 32-bit index. `Tag` is a phantom type
+/// that makes each instantiation a distinct, non-convertible type.
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::uint32_t;
+
+  /// Sentinel for "no id". Default-constructed ids are invalid.
+  static constexpr value_type kInvalid = static_cast<value_type>(-1);
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  /// Convenience for indexing into dense per-id vectors.
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value_);
+  }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  value_type value_ = kInvalid;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, StrongId<Tag> id) {
+  if (!id.valid()) return os << "<invalid>";
+  return os << id.value();
+}
+
+struct ObjectIdTag {};
+struct RequestIdTag {};
+struct TapeIdTag {};
+struct DriveIdTag {};
+struct LibraryIdTag {};
+struct ClusterIdTag {};
+
+/// Identifies a data object to be placed on tape.
+using ObjectId = StrongId<ObjectIdTag>;
+/// Identifies one of the predefined retrieval requests.
+using RequestId = StrongId<RequestIdTag>;
+/// Identifies a tape cartridge, globally across all libraries.
+using TapeId = StrongId<TapeIdTag>;
+/// Identifies a tape drive, globally across all libraries.
+using DriveId = StrongId<DriveIdTag>;
+/// Identifies a tape library (one robot, d drives, t tapes).
+using LibraryId = StrongId<LibraryIdTag>;
+/// Identifies an object cluster produced by the clustering stage.
+using ClusterId = StrongId<ClusterIdTag>;
+
+}  // namespace tapesim
+
+namespace std {
+template <typename Tag>
+struct hash<tapesim::StrongId<Tag>> {
+  size_t operator()(tapesim::StrongId<Tag> id) const noexcept {
+    return std::hash<typename tapesim::StrongId<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

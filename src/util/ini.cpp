@@ -1,0 +1,120 @@
+#include "util/ini.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tapesim {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("ini parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+IniFile IniFile::parse(std::istream& in) {
+  IniFile ini;
+  std::string section;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments (not inside values — keep it simple: first # or ;).
+    const auto comment = line.find_first_of("#;");
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') fail(line_no, "unterminated section header");
+      section = trim(line.substr(1, line.size() - 2));
+      if (section.empty()) fail(line_no, "empty section name");
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected key = value");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) fail(line_no, "empty key");
+    const std::string full = section.empty() ? key : section + "." + key;
+    if (!ini.values_.emplace(full, value).second) {
+      fail(line_no, "duplicate key '" + full + "'");
+    }
+  }
+  return ini;
+}
+
+IniFile IniFile::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open ini file: " + path);
+  return parse(in);
+}
+
+std::optional<std::string> IniFile::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string IniFile::get_or(const std::string& key,
+                            const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+double IniFile::number_or(const std::string& key, double fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(*value, &consumed);
+    if (consumed != value->size()) throw std::invalid_argument("trailing");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::runtime_error("ini key '" + key + "' is not a number: " +
+                             *value);
+  }
+}
+
+std::int64_t IniFile::integer_or(const std::string& key,
+                                 std::int64_t fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t parsed = std::stoll(*value, &consumed);
+    if (consumed != value->size()) throw std::invalid_argument("trailing");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::runtime_error("ini key '" + key + "' is not an integer: " +
+                             *value);
+  }
+}
+
+bool IniFile::flag_or(const std::string& key, bool fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  std::string lower = *value;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") {
+    return true;
+  }
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") {
+    return false;
+  }
+  throw std::runtime_error("ini key '" + key + "' is not a boolean: " +
+                           *value);
+}
+
+}  // namespace tapesim

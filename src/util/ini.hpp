@@ -1,0 +1,47 @@
+// A minimal INI reader for experiment configuration files.
+//
+// Grammar: optional `[section]` headers, `key = value` pairs, `#` or `;`
+// comments, blank lines. Keys are flattened to `section.key` (keys before
+// any header keep their bare name). Values stay strings; typed accessors
+// parse on demand. Used by the CLI's --config flag so whole experiment
+// setups can be versioned alongside their results.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace tapesim {
+
+class IniFile {
+ public:
+  /// Parses from a stream; throws std::runtime_error with the line number
+  /// on malformed input.
+  [[nodiscard]] static IniFile parse(std::istream& in);
+  /// Parses a file; throws std::runtime_error if unreadable.
+  [[nodiscard]] static IniFile load(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   const std::string& fallback) const;
+  /// Typed accessors; throw std::runtime_error when present but malformed.
+  [[nodiscard]] double number_or(const std::string& key,
+                                 double fallback) const;
+  [[nodiscard]] std::int64_t integer_or(const std::string& key,
+                                        std::int64_t fallback) const;
+  [[nodiscard]] bool flag_or(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& values() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace tapesim

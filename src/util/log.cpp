@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace tapesim {
+namespace log_detail {
+
+LogLevel& threshold() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void emit(LogLevel level, const std::string& message) {
+  static std::mutex mu;
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO",
+                                           "WARN", "ERROR", "OFF"};
+  const std::scoped_lock lock(mu);
+  std::fprintf(stderr, "[tapesim %s] %s\n",
+               kNames[static_cast<int>(level)], message.c_str());
+}
+
+}  // namespace log_detail
+
+LogLevel set_log_level(LogLevel level) {
+  LogLevel prev = log_detail::threshold();
+  log_detail::threshold() = level;
+  return prev;
+}
+
+LogLevel log_level() { return log_detail::threshold(); }
+
+}  // namespace tapesim

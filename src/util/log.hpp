@@ -1,0 +1,55 @@
+// Minimal leveled logging.
+//
+// The simulator is a library first: logging defaults to warnings-and-above
+// on stderr and is globally adjustable. Trace-level output narrates every
+// simulation event, which the tests use to diagnose scheduling regressions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tapesim {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+namespace log_detail {
+LogLevel& threshold();
+void emit(LogLevel level, const std::string& message);
+}  // namespace log_detail
+
+/// Sets the global log threshold; returns the previous value.
+LogLevel set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// True if a message at `level` would currently be emitted.
+[[nodiscard]] inline bool log_enabled(LogLevel level) {
+  return level >= log_detail::threshold();
+}
+
+/// Stream-style logging: TAPESIM_LOG(kDebug) << "x=" << x;
+/// Arguments are not evaluated when the level is filtered out.
+#define TAPESIM_LOG(level)                                      \
+  if (!::tapesim::log_enabled(::tapesim::LogLevel::level)) {    \
+  } else                                                        \
+    ::tapesim::LogLine { ::tapesim::LogLevel::level }
+
+/// One log statement; flushes on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_detail::emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace tapesim

@@ -1,0 +1,30 @@
+#include "util/rng.hpp"
+
+namespace tapesim {
+
+std::uint64_t Rng::uniform_below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless rejection method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+Rng Rng::fork(std::uint64_t tag) const {
+  // Mix the current state with the tag through splitmix64 so substreams are
+  // decorrelated regardless of how much the parent has been consumed.
+  std::uint64_t mix = state_[0] ^ (state_[3] * 0x9E3779B97F4A7C15ULL) ^ tag;
+  std::uint64_t sm = mix;
+  return Rng{splitmix64(sm)};
+}
+
+}  // namespace tapesim

@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation.
+//
+// Every experiment in the reproduction is seeded, so results are exactly
+// repeatable run-to-run and across platforms. We implement xoshiro256**
+// (Blackman & Vigna) seeded through splitmix64, rather than relying on
+// std::mt19937 whose distributions are not portable across standard
+// libraries. All distribution code in distributions.hpp builds on this
+// generator only.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace tapesim {
+
+/// splitmix64 step — used for seeding and for cheap hash mixing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality, 2^256-1 period.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from splitmix64(seed); a zero seed is fine.
+  constexpr explicit Rng(std::uint64_t seed = 0x8000000000000001ULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  constexpr double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t uniform_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_in(std::uint64_t lo, std::uint64_t hi) {
+    return lo + uniform_below(hi - lo + 1);
+  }
+
+  /// Derives an independent generator for a named substream. Substreams with
+  /// different tags never correlate; used to decouple e.g. size generation
+  /// from request sampling so changing one leaves the other unchanged.
+  [[nodiscard]] Rng fork(std::uint64_t tag) const;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Fisher–Yates shuffle using our portable generator.
+template <typename Vec>
+void shuffle(Vec& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.uniform_below(i));
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace tapesim

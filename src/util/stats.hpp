@@ -1,0 +1,67 @@
+// Summary statistics for experiment aggregation.
+//
+// Welford's online algorithm for numerically stable mean/variance, plus a
+// sample container for percentiles and Student-t confidence intervals over
+// replicated experiment runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tapesim {
+
+/// Streaming mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< Sample variance (n-1).
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator (parallel reduction — Chan et al.).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Retains all samples; supports percentiles and confidence intervals.
+class SampleSet {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const { return stats_.mean(); }
+  [[nodiscard]] double stddev() const { return stats_.stddev(); }
+  [[nodiscard]] double min() const { return stats_.min(); }
+  [[nodiscard]] double max() const { return stats_.max(); }
+  [[nodiscard]] double sum() const { return stats_.sum(); }
+
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// Half-width of the ~95% confidence interval on the mean
+  /// (normal approximation; adequate for the >=30 samples we aggregate).
+  [[nodiscard]] double ci95_halfwidth() const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  RunningStats stats_;
+};
+
+}  // namespace tapesim

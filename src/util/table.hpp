@@ -1,0 +1,71 @@
+// Result presentation: fixed-width console tables (the shape the paper's
+// figures are reported in) and CSV emission for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace tapesim {
+
+/// Collects rows of stringly-typed cells and renders them either as an
+/// aligned monospace table (for terminal output) or CSV (for plotting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arbitrary streamable values into a row.
+  template <typename... Ts>
+  void add(const Ts&... values) {
+    add_row({format_cell(values)...});
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+  /// Renders with column alignment and a header rule.
+  void print(std::ostream& os) const;
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+  /// Writes CSV to a file path; throws std::runtime_error on I/O failure.
+  void save_csv(const std::string& path) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Formats a double with fixed precision, trimming trailing zeros.
+  static std::string num(double v, int precision = 3);
+
+ private:
+  template <typename T>
+  static std::string format_cell(const T& v);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tapesim
+
+#include <sstream>
+
+namespace tapesim {
+
+template <typename T>
+std::string Table::format_cell(const T& v) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return v;
+  } else if constexpr (std::is_convertible_v<T, const char*>) {
+    return std::string{v};
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return num(static_cast<double>(v));
+  } else {
+    std::ostringstream ss;
+    ss << v;
+    return ss.str();
+  }
+}
+
+}  // namespace tapesim

@@ -1,0 +1,33 @@
+#include "util/units.hpp"
+
+#include <cstdio>
+
+namespace tapesim {
+namespace {
+
+std::string format_scaled(double v, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3g %s", v, unit);
+  return std::string{buf};
+}
+
+}  // namespace
+
+std::ostream& operator<<(std::ostream& os, Bytes b) {
+  const double v = b.as_double();
+  if (v >= 1e12) return os << format_scaled(v / 1e12, "TB");
+  if (v >= 1e9) return os << format_scaled(v / 1e9, "GB");
+  if (v >= 1e6) return os << format_scaled(v / 1e6, "MB");
+  if (v >= 1e3) return os << format_scaled(v / 1e3, "KB");
+  return os << b.count() << " B";
+}
+
+std::ostream& operator<<(std::ostream& os, Seconds s) {
+  return os << format_scaled(s.count(), "s");
+}
+
+std::ostream& operator<<(std::ostream& os, BytesPerSecond r) {
+  return os << format_scaled(r.megabytes_per_second(), "MB/s");
+}
+
+}  // namespace tapesim

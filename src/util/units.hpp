@@ -1,0 +1,149 @@
+// Physical unit types used throughout the simulator.
+//
+// Sizes and positions on tape are exact integral byte counts; simulated time
+// is a double in seconds (the discrete-event kernel needs a continuous
+// axis). Bandwidth ties the two together. Keeping these as distinct types
+// documents every interface and prevents seconds/bytes mixups.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace tapesim {
+
+/// An exact byte count (object size, tape offset, capacity).
+class Bytes {
+ public:
+  using value_type = std::uint64_t;
+
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type count() const { return value_; }
+  [[nodiscard]] constexpr double as_double() const {
+    return static_cast<double>(value_);
+  }
+  [[nodiscard]] constexpr double megabytes() const {
+    return as_double() / 1.0e6;
+  }
+  [[nodiscard]] constexpr double gigabytes() const {
+    return as_double() / 1.0e9;
+  }
+
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+
+  constexpr Bytes& operator+=(Bytes o) {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes o) {
+    value_ -= o.value_;
+    return *this;
+  }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes{a.value_ + b.value_};
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes{a.value_ - b.value_};
+  }
+
+  /// Absolute distance between two tape positions.
+  [[nodiscard]] static constexpr Bytes distance(Bytes a, Bytes b) {
+    return a.value_ >= b.value_ ? a - b : b - a;
+  }
+
+ private:
+  value_type value_ = 0;
+};
+
+constexpr Bytes operator""_B(unsigned long long v) { return Bytes{v}; }
+constexpr Bytes operator""_KB(unsigned long long v) { return Bytes{v * 1000ULL}; }
+constexpr Bytes operator""_MB(unsigned long long v) {
+  return Bytes{v * 1000ULL * 1000ULL};
+}
+constexpr Bytes operator""_GB(unsigned long long v) {
+  return Bytes{v * 1000ULL * 1000ULL * 1000ULL};
+}
+
+/// Simulated time in seconds. Continuous; never negative in practice.
+class Seconds {
+ public:
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double count() const { return value_; }
+
+  friend constexpr auto operator<=>(Seconds, Seconds) = default;
+
+  constexpr Seconds& operator+=(Seconds o) {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Seconds& operator-=(Seconds o) {
+    value_ -= o.value_;
+    return *this;
+  }
+  friend constexpr Seconds operator+(Seconds a, Seconds b) {
+    return Seconds{a.value_ + b.value_};
+  }
+  friend constexpr Seconds operator-(Seconds a, Seconds b) {
+    return Seconds{a.value_ - b.value_};
+  }
+  friend constexpr Seconds operator*(Seconds a, double k) {
+    return Seconds{a.value_ * k};
+  }
+  friend constexpr Seconds operator*(double k, Seconds a) { return a * k; }
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr Seconds operator""_s(long double v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(unsigned long long v) {
+  return Seconds{static_cast<double>(v)};
+}
+
+/// Data rate in bytes per second (drive transfer rate, head motion rate).
+class BytesPerSecond {
+ public:
+  constexpr BytesPerSecond() = default;
+  constexpr explicit BytesPerSecond(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double count() const { return value_; }
+  [[nodiscard]] constexpr double megabytes_per_second() const {
+    return value_ / 1.0e6;
+  }
+
+  friend constexpr auto operator<=>(BytesPerSecond, BytesPerSecond) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr BytesPerSecond operator""_MBps(unsigned long long v) {
+  return BytesPerSecond{static_cast<double>(v) * 1.0e6};
+}
+constexpr BytesPerSecond operator""_MBps(long double v) {
+  return BytesPerSecond{static_cast<double>(v) * 1.0e6};
+}
+
+/// Time to move `amount` at `rate`. The rate must be positive.
+[[nodiscard]] constexpr Seconds duration_for(Bytes amount, BytesPerSecond rate) {
+  return Seconds{amount.as_double() / rate.count()};
+}
+
+/// Effective rate achieved moving `amount` in `elapsed` time.
+[[nodiscard]] constexpr BytesPerSecond rate_for(Bytes amount, Seconds elapsed) {
+  return BytesPerSecond{amount.as_double() / elapsed.count()};
+}
+
+std::ostream& operator<<(std::ostream& os, Bytes b);
+std::ostream& operator<<(std::ostream& os, Seconds s);
+std::ostream& operator<<(std::ostream& os, BytesPerSecond r);
+
+}  // namespace tapesim

@@ -1,0 +1,173 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace tapesim::workload {
+
+void WorkloadConfig::validate() const {
+  auto require = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string{"WorkloadConfig: "} + what);
+  };
+  require(num_objects > 0, "need objects");
+  require(num_requests > 0, "need requests");
+  require(min_objects_per_request >= 1, "requests ask for >= 1 object");
+  require(max_objects_per_request >= min_objects_per_request,
+          "objects-per-request range inverted");
+  require(max_objects_per_request <= num_objects,
+          "a request cannot ask for more objects than exist");
+  require(min_object_size.count() > 0, "objects must be non-empty");
+  require(max_object_size >= min_object_size, "size range inverted");
+  require(object_size_alpha > 0.0, "size power-law shape must be positive");
+  require(objects_per_request_alpha > 0.0, "count shape must be positive");
+  require(zipf_alpha >= 0.0, "zipf alpha must be >= 0");
+  require(request_locality >= 0.0 && request_locality <= 1.0,
+          "request locality is a fraction");
+}
+
+double WorkloadConfig::expected_objects_per_request() const {
+  if (min_objects_per_request == max_objects_per_request) {
+    return static_cast<double>(min_objects_per_request);
+  }
+  return BoundedParetoDistribution(
+             static_cast<double>(min_objects_per_request),
+             static_cast<double>(max_objects_per_request),
+             objects_per_request_alpha)
+      .mean();
+}
+
+Bytes WorkloadConfig::expected_object_size() const {
+  if (min_object_size == max_object_size) return min_object_size;
+  const double mean = BoundedParetoDistribution(min_object_size.as_double(),
+                                                max_object_size.as_double(),
+                                                object_size_alpha)
+                          .mean();
+  return Bytes{static_cast<Bytes::value_type>(mean)};
+}
+
+Bytes WorkloadConfig::expected_request_size() const {
+  return Bytes{static_cast<Bytes::value_type>(
+      expected_object_size().as_double() * expected_objects_per_request())};
+}
+
+WorkloadConfig WorkloadConfig::with_average_request_size(Bytes target) const {
+  WorkloadConfig scaled = *this;
+  const double current = expected_request_size().as_double();
+  TAPESIM_ASSERT(current > 0.0);
+  const double factor = target.as_double() / current;
+  scaled.min_object_size = Bytes{static_cast<Bytes::value_type>(
+      std::max(1.0, min_object_size.as_double() * factor))};
+  scaled.max_object_size = Bytes{static_cast<Bytes::value_type>(
+      std::max(1.0, max_object_size.as_double() * factor))};
+  return scaled;
+}
+
+Workload generate_workload(const WorkloadConfig& config, Rng& rng) {
+  config.validate();
+
+  // Independent substreams: tweaking the request structure never perturbs
+  // the object sizes and vice versa.
+  Rng size_rng = rng.fork(0x5153);
+  Rng count_rng = rng.fork(0x434E);
+  Rng pick_rng = rng.fork(0x504B);
+
+  std::vector<ObjectInfo> objects;
+  objects.reserve(config.num_objects);
+  if (config.min_object_size == config.max_object_size) {
+    for (std::uint32_t i = 0; i < config.num_objects; ++i) {
+      objects.push_back(ObjectInfo{ObjectId{i}, config.min_object_size});
+    }
+  } else {
+    const BoundedParetoDistribution size_dist(
+        config.min_object_size.as_double(), config.max_object_size.as_double(),
+        config.object_size_alpha);
+    for (std::uint32_t i = 0; i < config.num_objects; ++i) {
+      const auto size =
+          static_cast<Bytes::value_type>(std::round(size_dist.sample(size_rng)));
+      objects.push_back(ObjectInfo{ObjectId{i}, Bytes{size}});
+    }
+  }
+
+  const ZipfDistribution popularity(config.num_requests, config.zipf_alpha);
+
+  // Latent co-access groups: a random partition of the object ids.
+  const std::uint32_t group_count =
+      std::max<std::uint32_t>(1, std::min(config.object_groups,
+                                          config.num_objects));
+  std::vector<std::uint32_t> permutation(config.num_objects);
+  for (std::uint32_t i = 0; i < config.num_objects; ++i) permutation[i] = i;
+  Rng group_rng = rng.fork(0x4752);
+  shuffle(permutation, group_rng);
+  std::vector<std::vector<std::uint32_t>> groups(group_count);
+  for (std::uint32_t i = 0; i < config.num_objects; ++i) {
+    groups[i % group_count].push_back(permutation[i]);
+  }
+
+  std::vector<Request> requests;
+  requests.reserve(config.num_requests);
+  std::vector<bool> chosen(config.num_objects, false);
+  for (std::uint32_t r = 0; r < config.num_requests; ++r) {
+    Request req;
+    req.id = RequestId{r};
+    req.probability = popularity.probabilities()[r];
+
+    std::uint32_t count = config.min_objects_per_request;
+    if (config.max_objects_per_request > config.min_objects_per_request) {
+      const BoundedParetoDistribution count_dist(
+          static_cast<double>(config.min_objects_per_request),
+          static_cast<double>(config.max_objects_per_request),
+          config.objects_per_request_alpha);
+      count = static_cast<std::uint32_t>(
+          std::llround(count_dist.sample(count_rng)));
+      count = std::clamp(count, config.min_objects_per_request,
+                         config.max_objects_per_request);
+    }
+
+    // Local picks from the request's home group, then uniform strays.
+    const auto& home =
+        groups[pick_rng.uniform_below(group_count)];
+    auto local_target = static_cast<std::uint32_t>(
+        std::llround(config.request_locality * static_cast<double>(count)));
+    local_target = std::min<std::uint32_t>(
+        {local_target, count, static_cast<std::uint32_t>(home.size())});
+
+    req.objects.reserve(count);
+    const auto local_picks = sample_without_replacement(
+        static_cast<std::uint32_t>(home.size()), local_target, pick_rng);
+    for (const std::uint32_t idx : local_picks) {
+      req.objects.push_back(ObjectId{home[idx]});
+      chosen[home[idx]] = true;
+    }
+    while (req.objects.size() < count) {
+      const auto candidate = static_cast<std::uint32_t>(
+          pick_rng.uniform_below(config.num_objects));
+      if (chosen[candidate]) continue;
+      chosen[candidate] = true;
+      req.objects.push_back(ObjectId{candidate});
+    }
+    for (const ObjectId o : req.objects) chosen[o.index()] = false;
+    requests.push_back(std::move(req));
+  }
+
+  Workload workload{std::move(objects), std::move(requests)};
+  workload.validate();
+  return workload;
+}
+
+RequestSampler::RequestSampler(const Workload& workload)
+    : dist_([&] {
+        std::vector<double> weights;
+        weights.reserve(workload.request_count());
+        for (const Request& r : workload.requests())
+          weights.push_back(r.probability);
+        return weights;
+      }()) {}
+
+RequestId RequestSampler::sample(Rng& rng) const {
+  return RequestId{static_cast<std::uint32_t>(dist_.sample(rng))};
+}
+
+}  // namespace tapesim::workload

@@ -1,0 +1,46 @@
+#include "workload/merge.hpp"
+
+#include <stdexcept>
+
+namespace tapesim::workload {
+
+Workload merge_workloads(const Workload& base, const Workload& extension,
+                         double extension_weight) {
+  if (!(extension_weight > 0.0 && extension_weight < 1.0)) {
+    throw std::invalid_argument("extension weight must be in (0, 1)");
+  }
+  const std::uint32_t object_shift = base.object_count();
+  const std::uint32_t request_shift = base.request_count();
+
+  std::vector<ObjectInfo> objects;
+  objects.reserve(base.object_count() + extension.object_count());
+  for (const ObjectInfo& o : base.objects()) objects.push_back(o);
+  for (const ObjectInfo& o : extension.objects()) {
+    objects.push_back(ObjectInfo{ObjectId{o.id.value() + object_shift},
+                                 o.size});
+  }
+
+  std::vector<Request> requests;
+  requests.reserve(base.request_count() + extension.request_count());
+  for (const Request& r : base.requests()) {
+    Request copy = r;
+    copy.probability *= 1.0 - extension_weight;
+    requests.push_back(std::move(copy));
+  }
+  for (const Request& r : extension.requests()) {
+    Request copy;
+    copy.id = RequestId{r.id.value() + request_shift};
+    copy.probability = r.probability * extension_weight;
+    copy.objects.reserve(r.objects.size());
+    for (const ObjectId o : r.objects) {
+      copy.objects.push_back(ObjectId{o.value() + object_shift});
+    }
+    requests.push_back(std::move(copy));
+  }
+
+  Workload merged{std::move(objects), std::move(requests)};
+  merged.validate();
+  return merged;
+}
+
+}  // namespace tapesim::workload

@@ -1,0 +1,22 @@
+// Combining workload generations.
+//
+// The paper's conclusion notes that real systems move objects to tape
+// periodically, with only local knowledge at each round. To study that
+// (bench_incremental), successive generations of objects/requests are
+// merged into one cumulative workload: object and request ids of the
+// extension are shifted past the base's, and request probabilities are
+// re-weighted so the combined distribution sums to one.
+#pragma once
+
+#include "workload/model.hpp"
+
+namespace tapesim::workload {
+
+/// Merges `extension` behind `base`. The extension's requests receive
+/// `extension_weight` of the total probability mass (base keeps the rest);
+/// weight must lie in (0, 1).
+[[nodiscard]] Workload merge_workloads(const Workload& base,
+                                       const Workload& extension,
+                                       double extension_weight);
+
+}  // namespace tapesim::workload

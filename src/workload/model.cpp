@@ -1,0 +1,76 @@
+#include "workload/model.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace tapesim::workload {
+
+Workload::Workload(std::vector<ObjectInfo> objects,
+                   std::vector<Request> requests)
+    : objects_(std::move(objects)), requests_(std::move(requests)) {
+  object_probability_.assign(objects_.size(), 0.0);
+  for (const Request& r : requests_) {
+    for (const ObjectId o : r.objects) {
+      TAPESIM_ASSERT(o.valid() && o.index() < objects_.size());
+      object_probability_[o.index()] += r.probability;
+    }
+  }
+  for (const ObjectInfo& o : objects_) total_bytes_ += o.size;
+}
+
+double Workload::probability_density(ObjectId id) const {
+  const ObjectInfo& o = objects_[id.index()];
+  TAPESIM_ASSERT(o.size.count() > 0);
+  return object_probability_[id.index()] / o.size.as_double();
+}
+
+double Workload::object_load(ObjectId id) const {
+  return object_probability_[id.index()] *
+         objects_[id.index()].size.as_double();
+}
+
+Bytes Workload::request_bytes(RequestId id) const {
+  Bytes total{};
+  for (const ObjectId o : requests_[id.index()].objects) {
+    total += objects_[o.index()].size;
+  }
+  return total;
+}
+
+Bytes Workload::mean_request_bytes() const {
+  double weighted = 0.0;
+  for (const Request& r : requests_) {
+    weighted += r.probability * request_bytes(r.id).as_double();
+  }
+  return Bytes{static_cast<Bytes::value_type>(weighted)};
+}
+
+void Workload::validate() const {
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    TAPESIM_ASSERT_MSG(objects_[i].id.index() == i, "object ids must be dense");
+    TAPESIM_ASSERT_MSG(objects_[i].size.count() > 0,
+                       "objects must be non-empty");
+  }
+  double prob_sum = 0.0;
+  std::unordered_set<std::uint32_t> seen;
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    const Request& r = requests_[i];
+    TAPESIM_ASSERT_MSG(r.id.index() == i, "request ids must be dense");
+    TAPESIM_ASSERT_MSG(!r.objects.empty(), "requests ask for >= 1 object");
+    TAPESIM_ASSERT_MSG(r.probability >= 0.0, "probabilities are nonnegative");
+    prob_sum += r.probability;
+    seen.clear();
+    for (const ObjectId o : r.objects) {
+      TAPESIM_ASSERT_MSG(o.valid() && o.index() < objects_.size(),
+                         "request references unknown object");
+      TAPESIM_ASSERT_MSG(seen.insert(o.value()).second,
+                         "request lists an object twice");
+    }
+  }
+  TAPESIM_ASSERT_MSG(std::abs(prob_sum - 1.0) < 1e-9,
+                     "request probabilities must sum to 1");
+}
+
+}  // namespace tapesim::workload

@@ -1,0 +1,96 @@
+// The workload model: objects, requests, and derived access statistics.
+//
+// Section 3 of the paper: a set of N_obj objects of varying sizes; a set of
+// N_req requests, each asking for one or more whole objects; per-request
+// access probabilities known a priori (Zipf over request rank); the same
+// object may appear in several requests. Object probability is derived as
+// P(O) = sum of P(R) over all requests R containing O (placement Step 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::workload {
+
+struct ObjectInfo {
+  ObjectId id;
+  Bytes size;
+};
+
+struct Request {
+  RequestId id;
+  /// Access probability (all requests sum to 1).
+  double probability = 0.0;
+  /// Distinct objects this request retrieves, in no particular order.
+  std::vector<ObjectId> objects;
+};
+
+class Workload {
+ public:
+  Workload(std::vector<ObjectInfo> objects, std::vector<Request> requests);
+
+  [[nodiscard]] const std::vector<ObjectInfo>& objects() const {
+    return objects_;
+  }
+  [[nodiscard]] const std::vector<Request>& requests() const {
+    return requests_;
+  }
+  [[nodiscard]] std::uint32_t object_count() const {
+    return static_cast<std::uint32_t>(objects_.size());
+  }
+  [[nodiscard]] std::uint32_t request_count() const {
+    return static_cast<std::uint32_t>(requests_.size());
+  }
+
+  [[nodiscard]] const ObjectInfo& object(ObjectId id) const {
+    TAPESIM_ASSERT(id.valid() && id.index() < objects_.size());
+    return objects_[id.index()];
+  }
+  [[nodiscard]] const Request& request(RequestId id) const {
+    TAPESIM_ASSERT(id.valid() && id.index() < requests_.size());
+    return requests_[id.index()];
+  }
+  [[nodiscard]] Bytes object_size(ObjectId id) const {
+    TAPESIM_ASSERT(id.valid() && id.index() < objects_.size());
+    return objects_[id.index()].size;
+  }
+
+  /// Derived P(O) = Σ_{R ∋ O} P(R).
+  [[nodiscard]] double object_probability(ObjectId id) const {
+    return object_probability_[id.index()];
+  }
+  [[nodiscard]] const std::vector<double>& object_probabilities() const {
+    return object_probability_;
+  }
+
+  /// Probability density used by the placement sort: P(O) / size(O).
+  [[nodiscard]] double probability_density(ObjectId id) const;
+
+  /// Object "load" used by tape load balancing: P(O) * size(O).
+  [[nodiscard]] double object_load(ObjectId id) const;
+
+  /// Total bytes a request retrieves (objects within a request are
+  /// distinct, so a plain sum).
+  [[nodiscard]] Bytes request_bytes(RequestId id) const;
+
+  [[nodiscard]] Bytes total_object_bytes() const { return total_bytes_; }
+  /// Probability-weighted mean request size (what the paper's x-axes call
+  /// "average request size").
+  [[nodiscard]] Bytes mean_request_bytes() const;
+
+  /// Structural checks: object ids dense, request objects valid & distinct,
+  /// probabilities normalized. Aborts on violation.
+  void validate() const;
+
+ private:
+  std::vector<ObjectInfo> objects_;
+  std::vector<Request> requests_;
+  std::vector<double> object_probability_;
+  Bytes total_bytes_{};
+};
+
+}  // namespace tapesim::workload

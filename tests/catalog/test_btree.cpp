@@ -1,0 +1,210 @@
+#include "catalog/btree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tapesim::catalog {
+namespace {
+
+TEST(BPlusTree, EmptyTree) {
+  BPlusTree<int, int> t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.find(1), nullptr);
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_EQ(t.begin(), t.end());
+  t.validate();
+}
+
+TEST(BPlusTree, SingleElement) {
+  BPlusTree<int, std::string> t;
+  EXPECT_TRUE(t.insert(5, "five"));
+  EXPECT_EQ(t.size(), 1u);
+  ASSERT_NE(t.find(5), nullptr);
+  EXPECT_EQ(*t.find(5), "five");
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_FALSE(t.contains(4));
+  t.validate();
+  EXPECT_TRUE(t.erase(5));
+  EXPECT_TRUE(t.empty());
+  t.validate();
+}
+
+TEST(BPlusTree, DuplicateInsertRejected) {
+  BPlusTree<int, int> t;
+  EXPECT_TRUE(t.insert(1, 10));
+  EXPECT_FALSE(t.insert(1, 20));
+  EXPECT_EQ(*t.find(1), 10);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BPlusTree, AscendingInsertTriggersSplits) {
+  BPlusTree<int, int, 4> t;  // tiny fanout forces deep trees fast
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(t.insert(i, i * 2));
+    if (i % 100 == 0) t.validate();
+  }
+  t.validate();
+  EXPECT_EQ(t.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_NE(t.find(i), nullptr);
+    EXPECT_EQ(*t.find(i), i * 2);
+  }
+}
+
+TEST(BPlusTree, DescendingInsert) {
+  BPlusTree<int, int, 4> t;
+  for (int i = 999; i >= 0; --i) ASSERT_TRUE(t.insert(i, i));
+  t.validate();
+  EXPECT_EQ(t.size(), 1000u);
+}
+
+TEST(BPlusTree, IterationIsInKeyOrder) {
+  BPlusTree<int, int, 8> t;
+  tapesim::Rng rng{1};
+  std::map<int, int> oracle;
+  for (int i = 0; i < 500; ++i) {
+    const int k = static_cast<int>(rng.uniform_below(10000));
+    const bool inserted = t.insert(k, i);
+    EXPECT_EQ(inserted, oracle.emplace(k, i).second);
+  }
+  auto it = t.begin();
+  for (const auto& [k, v] : oracle) {
+    ASSERT_NE(it, t.end());
+    EXPECT_EQ(it.key(), k);
+    EXPECT_EQ(it.value(), v);
+    ++it;
+  }
+  EXPECT_EQ(it, t.end());
+}
+
+TEST(BPlusTree, LowerBound) {
+  BPlusTree<int, int, 4> t;
+  for (const int k : {10, 20, 30, 40, 50}) t.insert(k, k);
+  EXPECT_EQ(t.lower_bound(5).key(), 10);
+  EXPECT_EQ(t.lower_bound(10).key(), 10);
+  EXPECT_EQ(t.lower_bound(11).key(), 20);
+  EXPECT_EQ(t.lower_bound(50).key(), 50);
+  EXPECT_EQ(t.lower_bound(51), t.end());
+}
+
+TEST(BPlusTree, EraseWithRebalancing) {
+  BPlusTree<int, int, 4> t;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) t.insert(i, i);
+  // Erase every other key, then every remaining key, validating as we go.
+  for (int i = 0; i < n; i += 2) {
+    ASSERT_TRUE(t.erase(i));
+    if (i % 50 == 0) t.validate();
+  }
+  t.validate();
+  EXPECT_EQ(t.size(), static_cast<std::size_t>(n / 2));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(t.contains(i), i % 2 == 1);
+  }
+  for (int i = 1; i < n; i += 2) ASSERT_TRUE(t.erase(i));
+  EXPECT_TRUE(t.empty());
+  t.validate();
+}
+
+TEST(BPlusTree, EraseMissingKeyLeavesTreeIntact) {
+  BPlusTree<int, int, 4> t;
+  for (int i = 0; i < 100; ++i) t.insert(i * 2, i);
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_FALSE(t.erase(-5));
+  EXPECT_FALSE(t.erase(1000));
+  EXPECT_EQ(t.size(), 100u);
+  t.validate();
+}
+
+TEST(BPlusTree, MoveSemantics) {
+  BPlusTree<int, int, 8> a;
+  for (int i = 0; i < 200; ++i) a.insert(i, i);
+  BPlusTree<int, int, 8> b{std::move(a)};
+  EXPECT_EQ(b.size(), 200u);
+  b.validate();
+  BPlusTree<int, int, 8> c;
+  c.insert(999, 1);
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 200u);
+  EXPECT_FALSE(c.contains(999));
+  c.validate();
+}
+
+TEST(BPlusTree, ClearResets) {
+  BPlusTree<int, int, 4> t;
+  for (int i = 0; i < 300; ++i) t.insert(i, i);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.begin(), t.end());
+  t.validate();
+  EXPECT_TRUE(t.insert(7, 7));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+/// Randomized differential test against std::map across fanouts and seeds.
+class BTreeOracle
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+template <std::size_t Fanout>
+void run_oracle(std::uint64_t seed) {
+  tapesim::Rng rng{seed};
+  BPlusTree<std::uint32_t, std::uint64_t, Fanout> tree;
+  std::map<std::uint32_t, std::uint64_t> oracle;
+
+  for (int step = 0; step < 6000; ++step) {
+    const double action = rng.uniform();
+    const auto key = static_cast<std::uint32_t>(rng.uniform_below(2000));
+    if (action < 0.55) {
+      const std::uint64_t value = rng();
+      EXPECT_EQ(tree.insert(key, value), oracle.emplace(key, value).second);
+    } else if (action < 0.9) {
+      EXPECT_EQ(tree.erase(key), oracle.erase(key) > 0);
+    } else {
+      const auto* found = tree.find(key);
+      const auto it = oracle.find(key);
+      if (it == oracle.end()) {
+        EXPECT_EQ(found, nullptr);
+      } else {
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, it->second);
+      }
+    }
+    ASSERT_EQ(tree.size(), oracle.size());
+    if (step % 1000 == 999) tree.validate();
+  }
+  tree.validate();
+  // Final full iteration comparison.
+  auto it = tree.begin();
+  for (const auto& [k, v] : oracle) {
+    ASSERT_NE(it, tree.end());
+    EXPECT_EQ(it.key(), k);
+    EXPECT_EQ(it.value(), v);
+    ++it;
+  }
+  EXPECT_EQ(it, tree.end());
+}
+
+TEST_P(BTreeOracle, MatchesStdMap) {
+  const auto [fanout, seed] = GetParam();
+  switch (fanout) {
+    case 4: run_oracle<4>(seed); break;
+    case 5: run_oracle<5>(seed); break;
+    case 8: run_oracle<8>(seed); break;
+    case 64: run_oracle<64>(seed); break;
+    default: FAIL() << "unhandled fanout";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FanoutsAndSeeds, BTreeOracle,
+    ::testing::Combine(::testing::Values(4, 5, 8, 64),
+                       ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace tapesim::catalog

@@ -1,0 +1,108 @@
+#include "catalog/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tapesim::catalog {
+namespace {
+
+ObjectRecord record(std::uint32_t obj, Bytes size, std::uint32_t tape,
+                    Bytes offset) {
+  return ObjectRecord{ObjectId{obj}, size, LibraryId{tape / 80},
+                      TapeId{tape}, offset};
+}
+
+TEST(Catalog, InsertAndLookup) {
+  ObjectCatalog cat(240);
+  EXPECT_TRUE(cat.insert(record(1, 10_GB, 3, Bytes{0})));
+  const ObjectRecord* rec = cat.lookup(ObjectId{1});
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->size, 10_GB);
+  EXPECT_EQ(rec->tape, TapeId{3});
+  EXPECT_EQ(rec->offset, Bytes{0});
+  EXPECT_EQ(rec->end_offset(), 10_GB);
+  EXPECT_EQ(cat.lookup(ObjectId{2}), nullptr);
+  EXPECT_EQ(cat.object_count(), 1u);
+}
+
+TEST(Catalog, RejectsDuplicateObject) {
+  ObjectCatalog cat(240);
+  EXPECT_TRUE(cat.insert(record(1, 1_GB, 0, Bytes{0})));
+  EXPECT_FALSE(cat.insert(record(1, 2_GB, 1, Bytes{0})));
+  EXPECT_EQ(cat.object_count(), 1u);
+  EXPECT_EQ(cat.lookup(ObjectId{1})->tape, TapeId{0});
+}
+
+TEST(Catalog, ExtentsAreSortedByOffset) {
+  ObjectCatalog cat(240);
+  // Insert out of offset order.
+  cat.insert(record(1, 1_GB, 5, 10_GB));
+  cat.insert(record(2, 1_GB, 5, Bytes{0}));
+  cat.insert(record(3, 1_GB, 5, 5_GB));
+  const auto extents = cat.extents_on(TapeId{5});
+  ASSERT_EQ(extents.size(), 3u);
+  EXPECT_EQ(extents[0].object, ObjectId{2});
+  EXPECT_EQ(extents[1].object, ObjectId{3});
+  EXPECT_EQ(extents[2].object, ObjectId{1});
+}
+
+TEST(Catalog, UsedBytesPerTape) {
+  ObjectCatalog cat(240);
+  cat.insert(record(1, 3_GB, 7, Bytes{0}));
+  cat.insert(record(2, 4_GB, 7, 3_GB));
+  cat.insert(record(3, 5_GB, 8, Bytes{0}));
+  EXPECT_EQ(cat.used_on(TapeId{7}), 7_GB);
+  EXPECT_EQ(cat.used_on(TapeId{8}), 5_GB);
+  EXPECT_EQ(cat.used_on(TapeId{9}), 0_B);
+}
+
+TEST(Catalog, EmptyTapeHasNoExtents) {
+  ObjectCatalog cat(240);
+  EXPECT_TRUE(cat.extents_on(TapeId{0}).empty());
+}
+
+TEST(Catalog, ValidatePassesOnConsistentData) {
+  ObjectCatalog cat(240);
+  Bytes offset{0};
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    cat.insert(record(i, 1_GB, i % 10, offset));
+    if (i % 10 == 9) offset += 1_GB;
+  }
+  cat.validate(400_GB);
+}
+
+TEST(CatalogDeath, ValidateCatchesOverlap) {
+  ObjectCatalog cat(240);
+  cat.insert(record(1, 10_GB, 0, Bytes{0}));
+  cat.insert(record(2, 10_GB, 0, 5_GB));  // overlaps object 1
+  EXPECT_DEATH(cat.validate(400_GB), "overlap");
+}
+
+TEST(CatalogDeath, ValidateCatchesCapacityOverflow) {
+  ObjectCatalog cat(240);
+  cat.insert(record(1, 399_GB, 0, Bytes{0}));
+  cat.insert(record(2, 2_GB, 0, 399_GB));
+  EXPECT_DEATH(cat.validate(400_GB), "capacity");
+}
+
+TEST(CatalogDeath, InvalidIdsAbort) {
+  ObjectCatalog cat(240);
+  EXPECT_DEATH(cat.insert(ObjectRecord{ObjectId{}, 1_GB, LibraryId{0},
+                                       TapeId{0}, Bytes{0}}),
+               "valid");
+  EXPECT_DEATH(cat.insert(record(1, 1_GB, 999, Bytes{0})), "range");
+}
+
+TEST(Catalog, ManyTapesScale) {
+  ObjectCatalog cat(1000);
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(cat.insert(ObjectRecord{
+        ObjectId{i}, Bytes{1000}, LibraryId{0}, TapeId{i % 1000},
+        Bytes{(i / 1000) * 1000}}));
+  }
+  EXPECT_EQ(cat.object_count(), 5000u);
+  cat.validate(Bytes{100000});
+  EXPECT_EQ(cat.extents_on(TapeId{0}).size(), 5u);
+}
+
+}  // namespace
+}  // namespace tapesim::catalog

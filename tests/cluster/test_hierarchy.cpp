@@ -1,0 +1,214 @@
+#include "cluster/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/generator.hpp"
+
+namespace tapesim::cluster {
+namespace {
+
+using workload::ObjectInfo;
+using workload::Request;
+using workload::Workload;
+
+Workload two_families() {
+  // Family A: {0,1,2} via R0/R1; family B: {3,4} via R2; 5 is unrequested.
+  std::vector<ObjectInfo> objects;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    objects.push_back(ObjectInfo{ObjectId{i}, 1_GB});
+  }
+  std::vector<Request> requests;
+  requests.push_back(
+      Request{RequestId{0}, 0.5, {ObjectId{0}, ObjectId{1}}});
+  requests.push_back(
+      Request{RequestId{1}, 0.3, {ObjectId{1}, ObjectId{2}}});
+  requests.push_back(Request{RequestId{2}, 0.2, {ObjectId{3}, ObjectId{4}}});
+  return Workload{std::move(objects), std::move(requests)};
+}
+
+TEST(Dendrogram, MergesInDescendingSimilarity) {
+  const Workload wl = two_families();
+  const SimilarityGraph g = SimilarityGraph::from_workload(wl);
+  const Dendrogram d = build_dendrogram(g);
+  ASSERT_GE(d.merges.size(), 2u);
+  for (std::size_t i = 1; i < d.merges.size(); ++i) {
+    EXPECT_GE(d.merges[i - 1].similarity, d.merges[i].similarity);
+  }
+  // 5 requested-object components merge into 2 families: 3 merges total
+  // ({0,1}, {1,2} chain, {3,4}).
+  EXPECT_EQ(d.merges.size(), 3u);
+}
+
+TEST(ClusterObjects, ThresholdCutsWeakLinks) {
+  const Workload wl = two_families();
+  const SimilarityGraph g = SimilarityGraph::from_workload(wl);
+  // Cutting above 0.3 keeps only the (0,1) edge at 0.5.
+  ClusterConstraints c;
+  c.min_similarity = 0.4;
+  const ObjectClusters clusters = cluster_objects(wl, g, c);
+  clusters.validate(wl);
+  EXPECT_EQ(clusters.cluster_of(ObjectId{0}),
+            clusters.cluster_of(ObjectId{1}));
+  EXPECT_NE(clusters.cluster_of(ObjectId{1}),
+            clusters.cluster_of(ObjectId{2}));
+  EXPECT_NE(clusters.cluster_of(ObjectId{3}),
+            clusters.cluster_of(ObjectId{4}));
+}
+
+TEST(ClusterObjects, ZeroThresholdMergesFamilies) {
+  const Workload wl = two_families();
+  const SimilarityGraph g = SimilarityGraph::from_workload(wl);
+  const ObjectClusters clusters = cluster_objects(wl, g, {});
+  clusters.validate(wl);
+  // {0,1,2} together, {3,4} together, {5} singleton.
+  EXPECT_EQ(clusters.cluster_of(ObjectId{0}),
+            clusters.cluster_of(ObjectId{2}));
+  EXPECT_EQ(clusters.cluster_of(ObjectId{3}),
+            clusters.cluster_of(ObjectId{4}));
+  EXPECT_NE(clusters.cluster_of(ObjectId{0}),
+            clusters.cluster_of(ObjectId{3}));
+  const Cluster& family_a = clusters.cluster(clusters.cluster_of(ObjectId{0}));
+  EXPECT_EQ(family_a.members.size(), 3u);
+  EXPECT_DOUBLE_EQ(family_a.cohesion, 0.3);  // weakest accepted link
+}
+
+TEST(ClusterObjects, MaxObjectsConstraintIsRespected) {
+  const Workload wl = two_families();
+  const SimilarityGraph g = SimilarityGraph::from_workload(wl);
+  ClusterConstraints c;
+  c.max_objects = 2;
+  const ObjectClusters clusters = cluster_objects(wl, g, c);
+  clusters.validate(wl);
+  for (const Cluster& cl : clusters.clusters()) {
+    EXPECT_LE(cl.members.size(), 2u);
+  }
+}
+
+TEST(ClusterObjects, MaxBytesConstraintIsRespected) {
+  const Workload wl = two_families();
+  const SimilarityGraph g = SimilarityGraph::from_workload(wl);
+  ClusterConstraints c;
+  c.max_bytes = 2_GB;
+  const ObjectClusters clusters = cluster_objects(wl, g, c);
+  clusters.validate(wl);
+  for (const Cluster& cl : clusters.clusters()) {
+    EXPECT_LE(cl.total_bytes, 2_GB);
+  }
+}
+
+TEST(ClusterObjects, MembersSortedByDescendingProbability) {
+  const Workload wl = two_families();
+  const SimilarityGraph g = SimilarityGraph::from_workload(wl);
+  const ObjectClusters clusters = cluster_objects(wl, g, {});
+  for (const Cluster& cl : clusters.clusters()) {
+    for (std::size_t i = 1; i < cl.members.size(); ++i) {
+      EXPECT_GE(wl.object_probability(cl.members[i - 1]),
+                wl.object_probability(cl.members[i]));
+    }
+  }
+}
+
+TEST(ClusterByRequests, KeepsEachRequestInFewClusters) {
+  workload::WorkloadConfig config;
+  config.num_objects = 3000;
+  config.num_requests = 60;
+  config.min_objects_per_request = 30;
+  config.max_objects_per_request = 50;
+  config.object_groups = 25;
+  config.request_locality = 0.9;
+  config.min_object_size = 1_GB;
+  config.max_object_size = 4_GB;
+  Rng rng{5};
+  const Workload wl = generate_workload(config, rng);
+
+  ClusterConstraints c;
+  c.max_bytes = Bytes{400ULL * 1000 * 1000 * 1000};
+  const ObjectClusters clusters = cluster_by_requests(wl, c);
+  clusters.validate(wl);
+
+  // Each request's *local* objects should land in very few clusters; only
+  // the ~10% strays may sit elsewhere.
+  for (const Request& r : wl.requests()) {
+    std::set<std::uint32_t> distinct;
+    for (const ObjectId o : r.objects) {
+      distinct.insert(clusters.cluster_of(o).value());
+    }
+    EXPECT_LE(distinct.size(), 1 + r.objects.size() / 5)
+        << "request " << r.id << " scattered over " << distinct.size()
+        << " clusters";
+  }
+}
+
+TEST(ClusterByRequests, RespectsByteCap) {
+  workload::WorkloadConfig config;
+  config.num_objects = 2000;
+  config.num_requests = 40;
+  config.min_objects_per_request = 50;
+  config.max_objects_per_request = 80;
+  config.object_groups = 10;
+  config.min_object_size = 1_GB;
+  config.max_object_size = 2_GB;
+  Rng rng{6};
+  const Workload wl = generate_workload(config, rng);
+
+  ClusterConstraints c;
+  c.max_bytes = 60_GB;  // forces secondary clusters
+  const ObjectClusters clusters = cluster_by_requests(wl, c);
+  clusters.validate(wl);
+  for (const Cluster& cl : clusters.clusters()) {
+    EXPECT_LE(cl.total_bytes, 60_GB);
+  }
+}
+
+TEST(ClusterByRequests, RespectsObjectCap) {
+  const Workload wl = two_families();
+  ClusterConstraints c;
+  c.max_objects = 2;
+  const ObjectClusters clusters = cluster_by_requests(wl, c);
+  clusters.validate(wl);
+  for (const Cluster& cl : clusters.clusters()) {
+    EXPECT_LE(cl.members.size(), 2u);
+  }
+}
+
+TEST(ClusterByRequests, ThresholdSkipsRareRequests) {
+  const Workload wl = two_families();
+  ClusterConstraints c;
+  c.min_similarity = 0.25;  // drops R2 (p = 0.2)
+  const ObjectClusters clusters = cluster_by_requests(wl, c);
+  clusters.validate(wl);
+  EXPECT_NE(clusters.cluster_of(ObjectId{3}),
+            clusters.cluster_of(ObjectId{4}));
+  EXPECT_EQ(clusters.cluster_of(ObjectId{0}),
+            clusters.cluster_of(ObjectId{1}));
+}
+
+TEST(ClusterByRequests, UnrequestedObjectsBecomeSingletons) {
+  const Workload wl = two_families();
+  const ObjectClusters clusters = cluster_by_requests(wl, {});
+  const Cluster& singleton = clusters.cluster(clusters.cluster_of(ObjectId{5}));
+  EXPECT_EQ(singleton.members.size(), 1u);
+  EXPECT_DOUBLE_EQ(singleton.cohesion, 0.0);
+  EXPECT_DOUBLE_EQ(singleton.total_probability, 0.0);
+}
+
+TEST(ClusterByRequests, ClusterStatsAreConsistent) {
+  const Workload wl = two_families();
+  const ObjectClusters clusters = cluster_by_requests(wl, {});
+  clusters.validate(wl);
+  double total_prob = 0.0;
+  Bytes total_bytes{};
+  std::size_t total_members = 0;
+  for (const Cluster& cl : clusters.clusters()) {
+    total_prob += cl.total_probability;
+    total_bytes += cl.total_bytes;
+    total_members += cl.members.size();
+  }
+  EXPECT_EQ(total_members, wl.object_count());
+  EXPECT_EQ(total_bytes, wl.total_object_bytes());
+}
+
+}  // namespace
+}  // namespace tapesim::cluster

@@ -1,0 +1,98 @@
+#include "cluster/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+
+namespace tapesim::cluster {
+namespace {
+
+using workload::ObjectInfo;
+using workload::Request;
+using workload::Workload;
+
+Workload pair_workload() {
+  // R0 {0,1} p=0.5; R1 {2,3} p=0.5.
+  std::vector<ObjectInfo> objects;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    objects.push_back(ObjectInfo{ObjectId{i}, 1_GB});
+  }
+  std::vector<Request> requests;
+  requests.push_back(Request{RequestId{0}, 0.5, {ObjectId{0}, ObjectId{1}}});
+  requests.push_back(Request{RequestId{1}, 0.5, {ObjectId{2}, ObjectId{3}}});
+  return Workload{std::move(objects), std::move(requests)};
+}
+
+TEST(ClusterQuality, PerfectClusteringScoresOne) {
+  const Workload wl = pair_workload();
+  const ObjectClusters clusters = cluster_by_requests(wl, {});
+  const ClusterQuality q = evaluate_quality(clusters, wl);
+  EXPECT_DOUBLE_EQ(q.mean_request_coverage, 1.0);
+  EXPECT_DOUBLE_EQ(q.mean_clusters_per_request, 1.0);
+  EXPECT_EQ(q.largest_cluster, 2u);
+  EXPECT_EQ(q.multi_member_clusters, 2u);
+}
+
+TEST(ClusterQuality, SingletonClusteringScoresWorst) {
+  const Workload wl = pair_workload();
+  // Threshold above every request probability -> all singletons.
+  ClusterConstraints constraints;
+  constraints.min_similarity = 0.9;
+  const ObjectClusters clusters = cluster_by_requests(wl, constraints);
+  const ClusterQuality q = evaluate_quality(clusters, wl);
+  EXPECT_DOUBLE_EQ(q.mean_request_coverage, 0.5);  // 1 of 2 objects
+  EXPECT_DOUBLE_EQ(q.mean_clusters_per_request, 2.0);
+  EXPECT_EQ(q.multi_member_clusters, 0u);
+  EXPECT_EQ(q.largest_cluster, 1u);
+}
+
+TEST(ClusterQuality, CoverageIsProbabilityWeighted) {
+  // R0 (p=0.8) perfectly clustered; R1 (p=0.2) split in two.
+  std::vector<ObjectInfo> objects;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    objects.push_back(ObjectInfo{ObjectId{i}, 1_GB});
+  }
+  std::vector<Request> requests;
+  requests.push_back(Request{RequestId{0}, 0.8, {ObjectId{0}, ObjectId{1}}});
+  requests.push_back(Request{RequestId{1}, 0.2, {ObjectId{2}, ObjectId{3}}});
+  const Workload wl{std::move(objects), std::move(requests)};
+
+  std::vector<Cluster> hand;
+  Cluster c0;
+  c0.id = ClusterId{0};
+  c0.members = {ObjectId{0}, ObjectId{1}};
+  hand.push_back(c0);
+  Cluster c1;
+  c1.id = ClusterId{1};
+  c1.members = {ObjectId{2}};
+  hand.push_back(c1);
+  Cluster c2;
+  c2.id = ClusterId{2};
+  c2.members = {ObjectId{3}};
+  hand.push_back(c2);
+  const ObjectClusters clusters{std::move(hand), 4};
+
+  const ClusterQuality q = evaluate_quality(clusters, wl);
+  EXPECT_DOUBLE_EQ(q.mean_request_coverage, 0.8 * 1.0 + 0.2 * 0.5);
+  EXPECT_DOUBLE_EQ(q.mean_clusters_per_request, 0.8 * 1.0 + 0.2 * 2.0);
+}
+
+TEST(ClusterQuality, HigherLocalityYieldsHigherCoverage) {
+  auto coverage_at = [](double locality) {
+    workload::WorkloadConfig config;
+    config.num_objects = 2000;
+    config.num_requests = 40;
+    config.min_objects_per_request = 20;
+    config.max_objects_per_request = 30;
+    config.object_groups = 40;
+    config.request_locality = locality;
+    Rng rng{3};
+    const Workload wl = workload::generate_workload(config, rng);
+    const ObjectClusters clusters = cluster_by_requests(wl, {});
+    return evaluate_quality(clusters, wl).mean_request_coverage;
+  };
+  EXPECT_GT(coverage_at(1.0), coverage_at(0.3));
+}
+
+}  // namespace
+}  // namespace tapesim::cluster

@@ -1,0 +1,103 @@
+#include "cluster/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+
+namespace tapesim::cluster {
+namespace {
+
+using workload::ObjectInfo;
+using workload::Request;
+using workload::Workload;
+
+Workload hand_workload() {
+  std::vector<ObjectInfo> objects;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    objects.push_back(ObjectInfo{ObjectId{i}, 1_GB});
+  }
+  std::vector<Request> requests;
+  // R0 {0,1,2} p=0.5 ; R1 {1,2,3} p=0.3 ; R2 {4,5} p=0.2
+  requests.push_back(
+      Request{RequestId{0}, 0.5, {ObjectId{0}, ObjectId{1}, ObjectId{2}}});
+  requests.push_back(
+      Request{RequestId{1}, 0.3, {ObjectId{1}, ObjectId{2}, ObjectId{3}}});
+  requests.push_back(Request{RequestId{2}, 0.2, {ObjectId{4}, ObjectId{5}}});
+  return Workload{std::move(objects), std::move(requests)};
+}
+
+TEST(Similarity, PairwiseIsSumOfContainingRequestProbabilities) {
+  const Workload wl = hand_workload();
+  const SimilarityGraph g = SimilarityGraph::from_workload(wl);
+  // (1,2) appears in R0 and R1.
+  EXPECT_DOUBLE_EQ(g.similarity(ObjectId{1}, ObjectId{2}), 0.8);
+  // (0,1) only in R0.
+  EXPECT_DOUBLE_EQ(g.similarity(ObjectId{0}, ObjectId{1}), 0.5);
+  // (2,3) only in R1.
+  EXPECT_DOUBLE_EQ(g.similarity(ObjectId{2}, ObjectId{3}), 0.3);
+  // (4,5) only in R2.
+  EXPECT_DOUBLE_EQ(g.similarity(ObjectId{4}, ObjectId{5}), 0.2);
+  // (0,3) never co-occur.
+  EXPECT_DOUBLE_EQ(g.similarity(ObjectId{0}, ObjectId{3}), 0.0);
+  // (0,4) across requests: zero.
+  EXPECT_DOUBLE_EQ(g.similarity(ObjectId{0}, ObjectId{4}), 0.0);
+}
+
+TEST(Similarity, IsSymmetricAndIrreflexive) {
+  const Workload wl = hand_workload();
+  const SimilarityGraph g = SimilarityGraph::from_workload(wl);
+  EXPECT_DOUBLE_EQ(g.similarity(ObjectId{2}, ObjectId{1}),
+                   g.similarity(ObjectId{1}, ObjectId{2}));
+  EXPECT_DOUBLE_EQ(g.similarity(ObjectId{1}, ObjectId{1}), 0.0);
+}
+
+TEST(Similarity, EdgeCountMatchesCoOccurringPairs) {
+  const Workload wl = hand_workload();
+  const SimilarityGraph g = SimilarityGraph::from_workload(wl);
+  // R0 contributes C(3,2)=3 pairs, R1 3 pairs (one shared: (1,2)), R2 1.
+  EXPECT_EQ(g.edge_count(), 3u + 3u - 1u + 1u);
+}
+
+TEST(Similarity, EdgesSortedByDescendingWeight) {
+  const Workload wl = hand_workload();
+  const SimilarityGraph g = SimilarityGraph::from_workload(wl);
+  const auto& edges = g.edges();
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_GE(edges[i - 1].weight, edges[i].weight);
+  }
+  EXPECT_EQ(edges.front().a, ObjectId{1});
+  EXPECT_EQ(edges.front().b, ObjectId{2});
+}
+
+TEST(Similarity, SetSimilarityGeneralizesPairwise) {
+  const Workload wl = hand_workload();
+  const SimilarityGraph g = SimilarityGraph::from_workload(wl);
+  const ObjectId triple[] = {ObjectId{0}, ObjectId{1}, ObjectId{2}};
+  EXPECT_DOUBLE_EQ(SimilarityGraph::set_similarity(wl, triple), 0.5);
+  const ObjectId pair[] = {ObjectId{1}, ObjectId{2}};
+  EXPECT_DOUBLE_EQ(SimilarityGraph::set_similarity(wl, pair),
+                   g.similarity(ObjectId{1}, ObjectId{2}));
+  const ObjectId impossible[] = {ObjectId{0}, ObjectId{4}};
+  EXPECT_DOUBLE_EQ(SimilarityGraph::set_similarity(wl, impossible), 0.0);
+}
+
+TEST(Similarity, ScalesToGeneratedWorkload) {
+  workload::WorkloadConfig config;
+  config.num_objects = 3000;
+  config.num_requests = 40;
+  config.min_objects_per_request = 30;
+  config.max_objects_per_request = 50;
+  config.object_groups = 60;
+  Rng rng{3};
+  const Workload wl = generate_workload(config, rng);
+  const SimilarityGraph g = SimilarityGraph::from_workload(wl);
+  EXPECT_GT(g.edge_count(), 1000u);
+  // Spot-check consistency with the exhaustive definition.
+  for (const auto& e : {g.edges().front(), g.edges().back()}) {
+    const ObjectId pair[] = {e.a, e.b};
+    EXPECT_NEAR(SimilarityGraph::set_similarity(wl, pair), e.weight, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace tapesim::cluster

@@ -1,0 +1,150 @@
+#include "core/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/hierarchy.hpp"
+#include "workload/generator.hpp"
+#include "workload/merge.hpp"
+
+namespace tapesim::core {
+namespace {
+
+tape::SystemSpec inc_spec() {
+  tape::SystemSpec spec;
+  spec.num_libraries = 2;
+  spec.library.drives_per_library = 4;
+  spec.library.tapes_per_library = 24;
+  spec.library.tape_capacity = 60_GB;
+  return spec;
+}
+
+workload::Workload generation(std::uint64_t seed) {
+  workload::WorkloadConfig config;
+  config.num_objects = 600;
+  config.num_requests = 20;
+  config.min_objects_per_request = 10;
+  config.max_objects_per_request = 20;
+  config.object_groups = 12;
+  config.min_object_size = Bytes{200ULL * 1000 * 1000};
+  config.max_object_size = 2_GB;
+  Rng rng{seed};
+  return workload::generate_workload(config, rng);
+}
+
+cluster::ObjectClusters cluster_for(const workload::Workload& wl,
+                                    const tape::SystemSpec& spec) {
+  cluster::ClusterConstraints constraints;
+  constraints.max_bytes = Bytes{static_cast<Bytes::value_type>(
+      0.9 * spec.library.tape_capacity.as_double())};
+  return cluster::cluster_by_requests(wl, constraints);
+}
+
+struct IncrementalFixture : ::testing::Test {
+  tape::SystemSpec spec = inc_spec();
+  IncrementalParams params = [] {
+    IncrementalParams p;
+    p.base.switch_drives = 2;
+    p.base.balance.min_split_chunk = 2_GB;
+    return p;
+  }();
+  IncrementalParallelBatch scheme{params};
+};
+
+TEST_F(IncrementalFixture, SecondGenerationKeepsOldObjectsInPlace) {
+  const auto gen0 = generation(1);
+  const auto clusters0 = cluster_for(gen0, spec);
+  const PlacementPlan plan0 =
+      scheme.place_initial({&gen0, &spec, &clusters0});
+
+  const auto merged = workload::merge_workloads(gen0, generation(2), 0.5);
+  const auto clusters1 = cluster_for(merged, spec);
+  const PlacementPlan plan1 = scheme.place_next(
+      {&merged, &spec, &clusters1}, plan0, ObjectId{gen0.object_count()});
+
+  for (std::uint32_t i = 0; i < gen0.object_count(); ++i) {
+    EXPECT_EQ(plan1.tape_of(ObjectId{i}), plan0.tape_of(ObjectId{i}))
+        << "old object " << i << " moved";
+  }
+  // Old offsets are frozen too.
+  for (std::uint32_t tv = 0; tv < spec.total_tapes(); ++tv) {
+    const auto old_contents = plan0.on_tape(TapeId{tv});
+    const auto new_contents = plan1.on_tape(TapeId{tv});
+    ASSERT_GE(new_contents.size(), old_contents.size());
+    for (std::size_t j = 0; j < old_contents.size(); ++j) {
+      EXPECT_EQ(new_contents[j].object, old_contents[j].object);
+      EXPECT_EQ(new_contents[j].offset, old_contents[j].offset);
+    }
+  }
+}
+
+TEST_F(IncrementalFixture, AllNewObjectsArePlaced) {
+  const auto gen0 = generation(1);
+  const auto clusters0 = cluster_for(gen0, spec);
+  const PlacementPlan plan0 =
+      scheme.place_initial({&gen0, &spec, &clusters0});
+  const auto merged = workload::merge_workloads(gen0, generation(2), 0.5);
+  const auto clusters1 = cluster_for(merged, spec);
+  const PlacementPlan plan1 = scheme.place_next(
+      {&merged, &spec, &clusters1}, plan0, ObjectId{gen0.object_count()});
+  for (std::uint32_t i = 0; i < merged.object_count(); ++i) {
+    EXPECT_TRUE(plan1.tape_of(ObjectId{i}).valid());
+  }
+}
+
+TEST_F(IncrementalFixture, ChainsOverSeveralGenerations) {
+  // Plans keep pointers into their workload, so every cumulative workload
+  // must stay alive (and at a stable address) for its plan's lifetime.
+  std::vector<std::unique_ptr<workload::Workload>> cumulative;
+  std::vector<std::unique_ptr<cluster::ObjectClusters>> clusters;
+  cumulative.push_back(
+      std::make_unique<workload::Workload>(generation(1)));
+  clusters.push_back(std::make_unique<cluster::ObjectClusters>(
+      cluster_for(*cumulative.back(), spec)));
+  std::vector<PlacementPlan> plans;
+  plans.push_back(scheme.place_initial(
+      {cumulative.back().get(), &spec, clusters.back().get()}));
+
+  for (std::uint64_t gen = 2; gen <= 4; ++gen) {
+    const std::uint32_t first_new = cumulative.back()->object_count();
+    cumulative.push_back(std::make_unique<workload::Workload>(
+        workload::merge_workloads(*cumulative.back(), generation(gen),
+                                  1.0 / static_cast<double>(gen))));
+    clusters.push_back(std::make_unique<cluster::ObjectClusters>(
+        cluster_for(*cumulative.back(), spec)));
+    plans.push_back(scheme.place_next(
+        {cumulative.back().get(), &spec, clusters.back().get()},
+        plans.back(), ObjectId{first_new}));
+  }
+  EXPECT_EQ(cumulative.back()->object_count(), 2400u);
+  plans.back().validate();
+}
+
+TEST_F(IncrementalFixture, ThrowsWhenCapacityExhausted) {
+  tape::SystemSpec tiny = spec;
+  tiny.library.tapes_per_library = 4;
+  tiny.library.tape_capacity = 50_GB;  // gen0 fits (~283 GB), gen0+1 cannot
+  const auto gen0 = generation(1);
+  const auto clusters0 = cluster_for(gen0, tiny);
+  const PlacementPlan plan0 =
+      scheme.place_initial({&gen0, &tiny, &clusters0});
+  const auto merged = workload::merge_workloads(gen0, generation(2), 0.5);
+  const auto clusters1 = cluster_for(merged, tiny);
+  EXPECT_THROW(
+      scheme.place_next({&merged, &tiny, &clusters1}, plan0,
+                        ObjectId{gen0.object_count()}),
+      std::runtime_error);
+}
+
+TEST_F(IncrementalFixture, RequiresClusters) {
+  const auto gen0 = generation(1);
+  const auto clusters0 = cluster_for(gen0, spec);
+  const PlacementPlan plan0 =
+      scheme.place_initial({&gen0, &spec, &clusters0});
+  const auto merged = workload::merge_workloads(gen0, generation(2), 0.5);
+  EXPECT_THROW(scheme.place_next({&merged, &spec, nullptr}, plan0,
+                                 ObjectId{gen0.object_count()}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tapesim::core

@@ -1,0 +1,163 @@
+#include "core/load_balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/model.hpp"
+
+namespace tapesim::core {
+namespace {
+
+using workload::ObjectInfo;
+using workload::Request;
+using workload::Workload;
+
+/// n equal-probability objects of `size` each (one request holds them all).
+Workload uniform_cluster(std::uint32_t n, Bytes size) {
+  std::vector<ObjectInfo> objects;
+  std::vector<ObjectId> members;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    objects.push_back(ObjectInfo{ObjectId{i}, size});
+    members.push_back(ObjectId{i});
+  }
+  std::vector<Request> requests{Request{RequestId{0}, 1.0, members}};
+  return Workload{std::move(objects), std::move(requests)};
+}
+
+std::vector<TapeLoadState> fresh_tapes(std::uint32_t n) {
+  std::vector<TapeLoadState> tapes;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    tapes.push_back(TapeLoadState{TapeId{i}, 0.0, Bytes{0}});
+  }
+  return tapes;
+}
+
+TEST(ChooseSplitWidth, ScalesWithClusterSize) {
+  LoadBalanceParams params;
+  params.min_split_chunk = 8_GB;
+  EXPECT_EQ(choose_split_width(1_GB, 12, params), 1u);   // tiny: one tape
+  EXPECT_EQ(choose_split_width(8_GB, 12, params), 1u);
+  EXPECT_EQ(choose_split_width(17_GB, 12, params), 2u);
+  EXPECT_EQ(choose_split_width(100_GB, 12, params), 12u);
+  EXPECT_EQ(choose_split_width(100_GB, 4, params), 4u);  // clamped
+}
+
+TEST(ChooseSplitWidth, ZeroChunkUsesAllTapes) {
+  LoadBalanceParams params;
+  params.min_split_chunk = Bytes{0};
+  EXPECT_EQ(choose_split_width(1_GB, 7, params), 7u);
+}
+
+TEST(BalanceCluster, SmallClusterStaysOnOneTape) {
+  const Workload wl = uniform_cluster(4, 1_GB);
+  auto tapes = fresh_tapes(6);
+  LoadBalanceParams params;
+  params.min_split_chunk = 8_GB;  // 4 GB cluster -> ndrv = 1
+  std::vector<ObjectId> members;
+  for (std::uint32_t i = 0; i < 4; ++i) members.push_back(ObjectId{i});
+  const auto result = balance_cluster(members, tapes, wl, params);
+  ASSERT_EQ(result.objects.size(), 4u);
+  EXPECT_TRUE(result.overflow.empty());
+  std::set<std::uint32_t> used;
+  for (const TapeId t : result.tapes) used.insert(t.value());
+  EXPECT_EQ(used.size(), 1u);
+}
+
+TEST(BalanceCluster, LargeClusterSpreadsEvenly) {
+  const Workload wl = uniform_cluster(24, 2_GB);  // 48 GB
+  auto tapes = fresh_tapes(6);
+  LoadBalanceParams params;
+  params.min_split_chunk = 8_GB;  // -> ndrv = 6
+  std::vector<ObjectId> members;
+  for (std::uint32_t i = 0; i < 24; ++i) members.push_back(ObjectId{i});
+  const auto result = balance_cluster(members, tapes, wl, params);
+  EXPECT_TRUE(result.overflow.empty());
+  // Equal loads zig-zagged over 6 tapes: each receives exactly 4 objects.
+  std::vector<int> counts(6, 0);
+  for (const TapeId t : result.tapes) ++counts[t.index()];
+  for (const int c : counts) EXPECT_EQ(c, 4);
+  // Per-tape load bookkeeping matches.
+  for (const auto& t : tapes) {
+    EXPECT_EQ(t.used, 8_GB);
+  }
+}
+
+TEST(BalanceCluster, BalancesHeterogeneousLoads) {
+  // Object i has size (i+1) GB; probabilities equal.
+  std::vector<ObjectInfo> objects;
+  std::vector<ObjectId> members;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    objects.push_back(ObjectInfo{ObjectId{i}, Bytes{(i + 1) * 1000000000ULL}});
+    members.push_back(ObjectId{i});
+  }
+  std::vector<Request> requests{Request{RequestId{0}, 1.0, members}};
+  const Workload wl{std::move(objects), std::move(requests)};
+
+  auto tapes = fresh_tapes(4);
+  LoadBalanceParams params;
+  params.min_split_chunk = Bytes{1};  // force full width
+  const auto result = balance_cluster(members, tapes, wl, params);
+  EXPECT_TRUE(result.overflow.empty());
+  // Total 78 GB over 4 tapes -> mean 19.5 GB; zig-zag should keep every
+  // tape within one max-object of the mean.
+  for (const auto& t : tapes) {
+    EXPECT_GT(t.used.as_double(), 19.5e9 - 12.1e9);
+    EXPECT_LT(t.used.as_double(), 19.5e9 + 12.1e9);
+  }
+}
+
+TEST(BalanceCluster, RespectsCapacityCapViaFallback) {
+  const Workload wl = uniform_cluster(10, 3_GB);  // 30 GB total
+  auto tapes = fresh_tapes(4);
+  LoadBalanceParams params;
+  params.min_split_chunk = 100_GB;  // ndrv = 1: everything targets 1 tape
+  params.tape_capacity_cap = 9_GB;  // but a tape only holds 3 objects
+  std::vector<ObjectId> members;
+  for (std::uint32_t i = 0; i < 10; ++i) members.push_back(ObjectId{i});
+  const auto result = balance_cluster(members, tapes, wl, params);
+  // 4 tapes x 9 GB = 36 GB >= 30 GB: everything places, none overflows.
+  EXPECT_TRUE(result.overflow.empty());
+  ASSERT_EQ(result.objects.size(), 10u);
+  for (const auto& t : tapes) EXPECT_LE(t.used, 9_GB);
+}
+
+TEST(BalanceCluster, OverflowsWhenBatchIsFull) {
+  const Workload wl = uniform_cluster(10, 3_GB);
+  auto tapes = fresh_tapes(2);
+  LoadBalanceParams params;
+  params.tape_capacity_cap = 6_GB;  // 2 tapes x 2 objects = 4 fit
+  std::vector<ObjectId> members;
+  for (std::uint32_t i = 0; i < 10; ++i) members.push_back(ObjectId{i});
+  const auto result = balance_cluster(members, tapes, wl, params);
+  EXPECT_EQ(result.objects.size(), 4u);
+  EXPECT_EQ(result.overflow.size(), 6u);
+  for (const auto& t : tapes) EXPECT_EQ(t.used, 6_GB);
+}
+
+TEST(BalanceCluster, AccumulatesAcrossCalls) {
+  const Workload wl = uniform_cluster(8, 1_GB);
+  auto tapes = fresh_tapes(2);
+  LoadBalanceParams params;
+  params.min_split_chunk = Bytes{1};
+  std::vector<ObjectId> first{ObjectId{0}, ObjectId{1}, ObjectId{2},
+                              ObjectId{3}};
+  std::vector<ObjectId> second{ObjectId{4}, ObjectId{5}, ObjectId{6},
+                               ObjectId{7}};
+  balance_cluster(first, tapes, wl, params);
+  balance_cluster(second, tapes, wl, params);
+  EXPECT_EQ(tapes[0].used + tapes[1].used, 8_GB);
+  EXPECT_EQ(tapes[0].used, 4_GB);  // equal loads stay balanced
+}
+
+TEST(BalanceCluster, SingleTape) {
+  const Workload wl = uniform_cluster(5, 1_GB);
+  auto tapes = fresh_tapes(1);
+  std::vector<ObjectId> members;
+  for (std::uint32_t i = 0; i < 5; ++i) members.push_back(ObjectId{i});
+  const auto result = balance_cluster(members, tapes, wl, {});
+  for (const TapeId t : result.tapes) EXPECT_EQ(t, TapeId{0});
+}
+
+}  // namespace
+}  // namespace tapesim::core

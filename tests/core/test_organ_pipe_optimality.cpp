@@ -1,0 +1,127 @@
+// Brute-force optimality check for the organ-pipe arrangement (Step 6 /
+// [11]): under the independent-access model — the head rests at the
+// previously read object, accesses are drawn i.i.d. by probability — the
+// expected head travel  E = sum_{i,j} p_i p_j |c_i - c_j|  (c = object
+// centers) is minimized by an organ-pipe permutation when objects have
+// equal sizes. We enumerate all permutations of small instances and
+// compare.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "util/rng.hpp"
+#include "workload/model.hpp"
+
+namespace tapesim::core {
+namespace {
+
+using workload::ObjectInfo;
+using workload::Request;
+using workload::Workload;
+
+/// Builds a workload of n single-object requests with the given weights.
+Workload weighted_objects(const std::vector<double>& weights, Bytes size) {
+  double norm = 0.0;
+  for (const double w : weights) norm += w;
+  std::vector<ObjectInfo> objects;
+  std::vector<Request> requests;
+  for (std::uint32_t i = 0; i < weights.size(); ++i) {
+    objects.push_back(ObjectInfo{ObjectId{i}, size});
+    requests.push_back(Request{RequestId{i}, weights[i] / norm,
+                               {ObjectId{i}}});
+  }
+  return Workload{std::move(objects), std::move(requests)};
+}
+
+/// Expected pairwise head travel for a given on-tape order.
+double expected_travel(const std::vector<ObjectId>& order,
+                       const Workload& wl) {
+  // Object centers under this order.
+  std::vector<double> center(order.size());
+  double offset = 0.0;
+  std::vector<double> prob(order.size());
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const double size = wl.object_size(order[pos]).as_double();
+    center[pos] = offset + size / 2.0;
+    prob[pos] = wl.object_probability(order[pos]);
+    offset += size;
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (std::size_t j = 0; j < order.size(); ++j) {
+      total += prob[i] * prob[j] * std::abs(center[i] - center[j]);
+    }
+  }
+  return total;
+}
+
+double brute_force_minimum(const Workload& wl, std::uint32_t n) {
+  std::vector<ObjectId> order;
+  for (std::uint32_t i = 0; i < n; ++i) order.push_back(ObjectId{i});
+  std::sort(order.begin(), order.end());
+  double best = 1e300;
+  do {
+    best = std::min(best, expected_travel(order, wl));
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+class OrganPipeOptimality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OrganPipeOptimality, MatchesBruteForceForEqualSizes) {
+  Rng rng{GetParam()};
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::uint32_t n = 5 + static_cast<std::uint32_t>(
+                                    rng.uniform_below(3));  // 5..7
+    std::vector<double> weights(n);
+    for (auto& w : weights) w = rng.uniform(0.1, 10.0);
+    const Workload wl = weighted_objects(weights, 1_GB);
+
+    std::vector<ObjectId> members;
+    for (std::uint32_t i = 0; i < n; ++i) members.push_back(ObjectId{i});
+    const auto organ = organ_pipe_order(members, wl);
+    const double organ_cost = expected_travel(organ, wl);
+    const double optimal = brute_force_minimum(wl, n);
+    EXPECT_NEAR(organ_cost, optimal, 1e-9 + 1e-9 * optimal)
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrganPipeOptimality,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull));
+
+TEST(OrganPipeOptimality, HeterogeneousSizesAreHeuristicOnly) {
+  // With unequal sizes organ pipe is only a heuristic; it must still be
+  // within a modest factor of the brute-force optimum on small instances.
+  Rng rng{9};
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::uint32_t n = 6;
+    std::vector<double> weights(n);
+    for (auto& w : weights) w = rng.uniform(0.1, 10.0);
+    std::vector<ObjectInfo> objects;
+    std::vector<Request> requests;
+    double norm = 0.0;
+    for (const double w : weights) norm += w;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      objects.push_back(ObjectInfo{
+          ObjectId{i}, Bytes{1 + rng.uniform_below(8) * 1000000000ULL}});
+      requests.push_back(
+          Request{RequestId{i}, weights[i] / norm, {ObjectId{i}}});
+    }
+    const Workload wl{std::move(objects), std::move(requests)};
+    std::vector<ObjectId> members;
+    for (std::uint32_t i = 0; i < n; ++i) members.push_back(ObjectId{i});
+    const double organ_cost =
+        expected_travel(organ_pipe_order(members, wl), wl);
+    const double optimal = brute_force_minimum(wl, n);
+    EXPECT_LE(organ_cost, 1.5 * optimal) << "trial " << trial;
+    EXPECT_GE(organ_cost, optimal - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tapesim::core

@@ -1,0 +1,223 @@
+#include "core/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/model.hpp"
+
+namespace tapesim::core {
+namespace {
+
+using workload::ObjectInfo;
+using workload::Request;
+using workload::Workload;
+
+tape::SystemSpec small_spec() {
+  tape::SystemSpec spec;
+  spec.num_libraries = 2;
+  spec.library.drives_per_library = 2;
+  spec.library.tapes_per_library = 4;
+  spec.library.tape_capacity = 10_GB;
+  return spec;
+}
+
+Workload small_workload() {
+  std::vector<ObjectInfo> objects{{ObjectId{0}, 4_GB},
+                                  {ObjectId{1}, 3_GB},
+                                  {ObjectId{2}, 2_GB},
+                                  {ObjectId{3}, 1_GB}};
+  std::vector<Request> requests;
+  requests.push_back(Request{RequestId{0}, 0.6, {ObjectId{0}, ObjectId{3}}});
+  requests.push_back(Request{RequestId{1}, 0.4, {ObjectId{1}, ObjectId{2}}});
+  return Workload{std::move(objects), std::move(requests)};
+}
+
+TEST(PlacementPlan, AssignTracksMembershipAndUsage) {
+  const auto spec = small_spec();
+  const auto wl = small_workload();
+  PlacementPlan plan(spec, wl);
+  plan.assign(ObjectId{0}, TapeId{0});
+  plan.assign(ObjectId{1}, TapeId{0});
+  plan.assign(ObjectId{2}, TapeId{5});
+  plan.assign(ObjectId{3}, TapeId{5});
+  EXPECT_EQ(plan.tape_of(ObjectId{0}), TapeId{0});
+  EXPECT_EQ(plan.tape_of(ObjectId{2}), TapeId{5});
+  EXPECT_EQ(plan.used_on(TapeId{0}), 7_GB);
+  EXPECT_EQ(plan.used_on(TapeId{5}), 3_GB);
+  EXPECT_EQ(plan.tapes_used(), 2u);
+}
+
+TEST(PlacementPlan, AlignGivenOrderPacksSequentially) {
+  const auto spec = small_spec();
+  const auto wl = small_workload();
+  PlacementPlan plan(spec, wl);
+  for (std::uint32_t i = 0; i < 4; ++i) plan.assign(ObjectId{i}, TapeId{1});
+  plan.align_all(Alignment::kGivenOrder);
+  const auto on = plan.on_tape(TapeId{1});
+  ASSERT_EQ(on.size(), 4u);
+  EXPECT_EQ(on[0].object, ObjectId{0});
+  EXPECT_EQ(on[0].offset, Bytes{0});
+  EXPECT_EQ(on[1].offset, 4_GB);
+  EXPECT_EQ(on[2].offset, 7_GB);
+  EXPECT_EQ(on[3].offset, 9_GB);
+}
+
+TEST(PlacementPlan, AlignDescendingProbability) {
+  const auto spec = small_spec();
+  const auto wl = small_workload();
+  PlacementPlan plan(spec, wl);
+  // P: obj0=.6 obj3=.6 obj1=.4 obj2=.4 — stable sort keeps insertion order
+  // among ties.
+  for (const std::uint32_t i : {1u, 0u, 2u, 3u}) {
+    plan.assign(ObjectId{i}, TapeId{2});
+  }
+  plan.align_all(Alignment::kDescendingProbability);
+  const auto on = plan.on_tape(TapeId{2});
+  EXPECT_EQ(on[0].object, ObjectId{0});
+  EXPECT_EQ(on[1].object, ObjectId{3});
+  EXPECT_EQ(on[2].object, ObjectId{1});
+  EXPECT_EQ(on[3].object, ObjectId{2});
+}
+
+TEST(PlacementPlan, ValidateAcceptsCompletePlan) {
+  const auto spec = small_spec();
+  const auto wl = small_workload();
+  PlacementPlan plan(spec, wl);
+  plan.assign(ObjectId{0}, TapeId{0});
+  plan.assign(ObjectId{1}, TapeId{2});
+  plan.assign(ObjectId{2}, TapeId{4});
+  plan.assign(ObjectId{3}, TapeId{6});
+  plan.align_all(Alignment::kOrganPipe);
+  plan.compute_tape_popularity();
+  EXPECT_NO_FATAL_FAILURE(plan.validate());
+}
+
+TEST(PlacementPlanDeath, DoubleAssignAborts) {
+  const auto spec = small_spec();
+  const auto wl = small_workload();
+  PlacementPlan plan(spec, wl);
+  plan.assign(ObjectId{0}, TapeId{0});
+  EXPECT_DEATH(plan.assign(ObjectId{0}, TapeId{1}), "two tapes");
+}
+
+TEST(PlacementPlan, ExactCapacityFillIsAllowed) {
+  const auto spec = small_spec();  // 10 GB tapes
+  const auto wl = small_workload();
+  PlacementPlan plan(spec, wl);
+  plan.assign(ObjectId{0}, TapeId{0});  // 4 GB
+  plan.assign(ObjectId{1}, TapeId{0});  // 7 GB
+  plan.assign(ObjectId{2}, TapeId{0});  // 9 GB
+  plan.assign(ObjectId{3}, TapeId{0});  // exactly 10 GB: allowed
+  EXPECT_EQ(plan.used_on(TapeId{0}), 10_GB);
+}
+
+TEST(PlacementPlanDeath, CapacityOverflowAborts) {
+  tape::SystemSpec spec = small_spec();
+  spec.library.tape_capacity = 5_GB;
+  const auto wl = small_workload();
+  PlacementPlan plan(spec, wl);
+  plan.assign(ObjectId{0}, TapeId{0});  // 4 GB of 5
+  EXPECT_DEATH(plan.assign(ObjectId{1}, TapeId{0}), "capacity");
+}
+
+TEST(PlacementPlanDeath, ValidateRejectsIncompletePlan) {
+  const auto spec = small_spec();
+  const auto wl = small_workload();
+  PlacementPlan plan(spec, wl);
+  plan.assign(ObjectId{0}, TapeId{0});
+  plan.align_all(Alignment::kGivenOrder);
+  EXPECT_DEATH(plan.validate(), "missing");
+}
+
+TEST(PlacementPlan, ToCatalogRoundTrips) {
+  const auto spec = small_spec();
+  const auto wl = small_workload();
+  PlacementPlan plan(spec, wl);
+  plan.assign(ObjectId{0}, TapeId{0});
+  plan.assign(ObjectId{1}, TapeId{0});
+  plan.assign(ObjectId{2}, TapeId{7});
+  plan.assign(ObjectId{3}, TapeId{7});
+  plan.align_all(Alignment::kGivenOrder);
+  const auto catalog = plan.to_catalog();
+  catalog.validate(spec.library.tape_capacity);
+  const auto* rec = catalog.lookup(ObjectId{2});
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->tape, TapeId{7});
+  EXPECT_EQ(rec->library, LibraryId{1});  // tape 7 is in library 1 (4..7)
+  EXPECT_EQ(rec->offset, Bytes{0});
+  EXPECT_EQ(catalog.lookup(ObjectId{3})->offset, 2_GB);
+}
+
+TEST(PlacementPlan, TapePopularityAccumulatesObjectProbability) {
+  const auto spec = small_spec();
+  const auto wl = small_workload();
+  PlacementPlan plan(spec, wl);
+  plan.assign(ObjectId{0}, TapeId{0});  // P = .6
+  plan.assign(ObjectId{3}, TapeId{0});  // P = .6
+  plan.assign(ObjectId{1}, TapeId{4});  // P = .4
+  plan.assign(ObjectId{2}, TapeId{4});  // P = .4
+  plan.compute_tape_popularity();
+  EXPECT_DOUBLE_EQ(plan.mount_policy.tape_popularity[0], 1.2);
+  EXPECT_DOUBLE_EQ(plan.mount_policy.tape_popularity[4], 0.8);
+  EXPECT_DOUBLE_EQ(plan.mount_policy.tape_popularity[1], 0.0);
+}
+
+TEST(OrganPipe, MostPopularSitsInTheMiddle) {
+  // 5 equal-sized objects with strictly decreasing probability 0 > 1 > ...
+  std::vector<ObjectInfo> objects;
+  std::vector<Request> requests;
+  const double probs[] = {0.4, 0.3, 0.15, 0.1, 0.05};
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    objects.push_back(ObjectInfo{ObjectId{i}, 1_GB});
+    requests.push_back(Request{RequestId{i}, probs[i], {ObjectId{i}}});
+  }
+  const Workload wl{std::move(objects), std::move(requests)};
+  const ObjectId members[] = {ObjectId{0}, ObjectId{1}, ObjectId{2},
+                              ObjectId{3}, ObjectId{4}};
+  const auto order = organ_pipe_order(members, wl);
+  ASSERT_EQ(order.size(), 5u);
+  // Expected organ pipe: 4 2 0 1 3 (probabilities .05 .15 .4 .3 .1).
+  EXPECT_EQ(order[2], ObjectId{0});
+  // Probabilities must rise to the middle and fall after it.
+  for (std::size_t i = 1; i <= 2; ++i) {
+    EXPECT_GE(wl.object_probability(order[i]),
+              wl.object_probability(order[i - 1]));
+  }
+  for (std::size_t i = 3; i < 5; ++i) {
+    EXPECT_LE(wl.object_probability(order[i]),
+              wl.object_probability(order[i - 1]));
+  }
+}
+
+TEST(OrganPipe, HandlesSmallInputs) {
+  const auto wl = small_workload();
+  EXPECT_TRUE(organ_pipe_order({}, wl).empty());
+  const ObjectId one[] = {ObjectId{2}};
+  EXPECT_EQ(organ_pipe_order(one, wl).size(), 1u);
+}
+
+TEST(OrganPipe, IsAPermutationOfItsInput) {
+  const auto wl = small_workload();
+  const ObjectId members[] = {ObjectId{3}, ObjectId{0}, ObjectId{2},
+                              ObjectId{1}};
+  auto order = organ_pipe_order(members, wl);
+  std::sort(order.begin(), order.end());
+  EXPECT_EQ(order, (std::vector<ObjectId>{ObjectId{0}, ObjectId{1},
+                                          ObjectId{2}, ObjectId{3}}));
+}
+
+TEST(MountPolicy, PinnedLookup) {
+  MountPolicy policy;
+  EXPECT_FALSE(policy.pinned(DriveId{0}));  // empty vector: nothing pinned
+  policy.drive_pinned = {true, false, true};
+  EXPECT_TRUE(policy.pinned(DriveId{0}));
+  EXPECT_FALSE(policy.pinned(DriveId{1}));
+  EXPECT_TRUE(policy.pinned(DriveId{2}));
+}
+
+TEST(MountPolicy, ReplacementPolicyNames) {
+  EXPECT_STREQ(to_string(ReplacementPolicy::kFixedBatch), "fixed-batch");
+  EXPECT_STREQ(to_string(ReplacementPolicy::kLeastPopular), "least-popular");
+}
+
+}  // namespace
+}  // namespace tapesim::core

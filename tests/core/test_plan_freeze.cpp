@@ -1,0 +1,123 @@
+// Direct tests for the append-only (frozen-prefix) plan mechanics behind
+// incremental placement.
+#include <gtest/gtest.h>
+
+#include "core/plan.hpp"
+#include "workload/model.hpp"
+
+namespace tapesim::core {
+namespace {
+
+using workload::ObjectInfo;
+using workload::Request;
+using workload::Workload;
+
+tape::SystemSpec spec_() {
+  tape::SystemSpec spec;
+  spec.num_libraries = 1;
+  spec.library.drives_per_library = 2;
+  spec.library.tapes_per_library = 4;
+  spec.library.tape_capacity = 20_GB;
+  return spec;
+}
+
+Workload base_workload() {
+  std::vector<ObjectInfo> objects{{ObjectId{0}, 3_GB}, {ObjectId{1}, 2_GB}};
+  std::vector<Request> requests{
+      Request{RequestId{0}, 1.0, {ObjectId{0}, ObjectId{1}}}};
+  return Workload{std::move(objects), std::move(requests)};
+}
+
+Workload extended_workload() {
+  std::vector<ObjectInfo> objects{{ObjectId{0}, 3_GB},
+                                  {ObjectId{1}, 2_GB},
+                                  {ObjectId{2}, 4_GB},
+                                  {ObjectId{3}, 1_GB}};
+  std::vector<Request> requests{
+      Request{RequestId{0}, 0.5, {ObjectId{0}, ObjectId{1}}},
+      Request{RequestId{1}, 0.5, {ObjectId{2}, ObjectId{3}}}};
+  return Workload{std::move(objects), std::move(requests)};
+}
+
+TEST(PlanFreeze, AdoptCopiesLayoutAndFreezesOffsets) {
+  const auto spec = spec_();
+  const Workload base = base_workload();
+  PlacementPlan old_plan(spec, base);
+  old_plan.assign(ObjectId{0}, TapeId{0});
+  old_plan.assign(ObjectId{1}, TapeId{0});
+  old_plan.align_all(Alignment::kGivenOrder);
+
+  const Workload extended = extended_workload();
+  PlacementPlan new_plan(spec, extended);
+  new_plan.adopt_frozen(old_plan);
+  EXPECT_EQ(new_plan.tape_of(ObjectId{0}), TapeId{0});
+  EXPECT_EQ(new_plan.used_on(TapeId{0}), 5_GB);
+
+  // Appending a hot object and aligning must NOT reorder the frozen data,
+  // even under an alignment that would put the new object first.
+  new_plan.assign(ObjectId{2}, TapeId{0});
+  new_plan.assign(ObjectId{3}, TapeId{1});
+  new_plan.align_all(Alignment::kDescendingProbability);
+  const auto on0 = new_plan.on_tape(TapeId{0});
+  ASSERT_EQ(on0.size(), 3u);
+  EXPECT_EQ(on0[0].object, ObjectId{0});
+  EXPECT_EQ(on0[0].offset, Bytes{0});
+  EXPECT_EQ(on0[1].object, ObjectId{1});
+  EXPECT_EQ(on0[1].offset, 3_GB);
+  EXPECT_EQ(on0[2].object, ObjectId{2});
+  EXPECT_EQ(on0[2].offset, 5_GB);  // appended behind the frozen prefix
+  new_plan.compute_tape_popularity();
+  new_plan.validate();
+}
+
+TEST(PlanFreeze, RemainingOnAccountsForCap) {
+  const auto spec = spec_();
+  const Workload base = base_workload();
+  PlacementPlan plan(spec, base);
+  plan.assign(ObjectId{0}, TapeId{0});  // 3 GB
+  EXPECT_EQ(plan.remaining_on(TapeId{0}, 18_GB), 15_GB);
+  EXPECT_EQ(plan.remaining_on(TapeId{0}, 2_GB), 0_B);  // cap below usage
+  EXPECT_EQ(plan.remaining_on(TapeId{1}, 18_GB), 18_GB);
+}
+
+TEST(PlanFreezeDeath, AdoptRequiresAlignedPrevious) {
+  const auto spec = spec_();
+  const Workload base = base_workload();
+  PlacementPlan old_plan(spec, base);
+  old_plan.assign(ObjectId{0}, TapeId{0});
+  // Not aligned yet.
+  const Workload extended = extended_workload();
+  PlacementPlan new_plan(spec, extended);
+  EXPECT_DEATH(new_plan.adopt_frozen(old_plan), "aligned");
+}
+
+TEST(PlanFreezeDeath, AdoptRequiresFreshPlan) {
+  const auto spec = spec_();
+  const Workload base = base_workload();
+  PlacementPlan old_plan(spec, base);
+  old_plan.assign(ObjectId{0}, TapeId{0});
+  old_plan.assign(ObjectId{1}, TapeId{0});
+  old_plan.align_all(Alignment::kGivenOrder);
+
+  const Workload extended = extended_workload();
+  PlacementPlan new_plan(spec, extended);
+  new_plan.assign(ObjectId{2}, TapeId{0});  // already dirty
+  EXPECT_DEATH(new_plan.adopt_frozen(old_plan), "fresh");
+}
+
+TEST(PlanFreezeDeath, AdoptRejectsShrunkWorkload) {
+  const auto spec = spec_();
+  const Workload extended = extended_workload();
+  PlacementPlan old_plan(spec, extended);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    old_plan.assign(ObjectId{i}, TapeId{i % 2});
+  }
+  old_plan.align_all(Alignment::kGivenOrder);
+
+  const Workload base = base_workload();  // fewer objects
+  PlacementPlan new_plan(spec, base);
+  EXPECT_DEATH(new_plan.adopt_frozen(old_plan), "extend");
+}
+
+}  // namespace
+}  // namespace tapesim::core

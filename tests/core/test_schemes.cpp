@@ -1,0 +1,284 @@
+// Placement-scheme behavioral tests: each scheme must produce a complete,
+// valid plan with the structural properties its design promises.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/hierarchy.hpp"
+#include "core/cluster_probability.hpp"
+#include "core/object_probability.hpp"
+#include "core/parallel_batch.hpp"
+#include "workload/generator.hpp"
+
+namespace tapesim::core {
+namespace {
+
+struct SchemeFixture : ::testing::Test {
+  tape::SystemSpec spec = [] {
+    tape::SystemSpec s;
+    s.num_libraries = 2;
+    s.library.drives_per_library = 4;
+    s.library.tapes_per_library = 20;
+    s.library.tape_capacity = 50_GB;
+    return s;
+  }();
+
+  workload::WorkloadConfig wconfig = [] {
+    workload::WorkloadConfig c;
+    c.num_objects = 1500;
+    c.num_requests = 40;
+    c.min_objects_per_request = 20;
+    c.max_objects_per_request = 40;
+    c.object_groups = 30;
+    c.min_object_size = Bytes{200ULL * 1000 * 1000};   // 0.2 GB
+    c.max_object_size = Bytes{2000ULL * 1000 * 1000};  // 2 GB
+    return c;
+  }();
+
+  Rng rng{17};
+  workload::Workload wl = workload::generate_workload(wconfig, rng);
+  cluster::ObjectClusters clusters = [this] {
+    cluster::ClusterConstraints constraints;
+    constraints.max_bytes = Bytes{static_cast<Bytes::value_type>(
+        0.9 * spec.library.tape_capacity.as_double())};
+    return cluster::cluster_by_requests(wl, constraints);
+  }();
+
+  PlacementContext context{&wl, &spec, &clusters};
+};
+
+TEST_F(SchemeFixture, ParallelBatchProducesValidPlan) {
+  ParallelBatchParams params;
+  params.switch_drives = 2;
+  const ParallelBatchPlacement scheme(params);
+  const PlacementPlan plan = scheme.place(context);
+  // validate() ran inside place(); check the policy surface.
+  EXPECT_EQ(plan.mount_policy.replacement, ReplacementPolicy::kFixedBatch);
+  // d - m = 2 pinned drives per library.
+  ASSERT_EQ(plan.mount_policy.drive_pinned.size(), spec.total_drives());
+  std::uint32_t pinned = 0;
+  for (const bool p : plan.mount_policy.drive_pinned) pinned += p ? 1 : 0;
+  EXPECT_EQ(pinned, 2u * 2u);
+  // All 4 drives per library get an initial mount (first + second batch).
+  EXPECT_EQ(plan.mount_policy.initial_mounts.size(), spec.total_drives());
+}
+
+TEST_F(SchemeFixture, ParallelBatchBatchTapesInterleaveLibraries) {
+  const auto batch0 = ParallelBatchPlacement::batch_tapes(spec, 2, 0);
+  // Batch 0: (d-m)=2 tapes per library, interleaved across 2 libraries.
+  ASSERT_EQ(batch0.size(), 4u);
+  EXPECT_EQ(batch0[0], TapeId{0});
+  EXPECT_EQ(batch0[1], TapeId{20});
+  EXPECT_EQ(batch0[2], TapeId{1});
+  EXPECT_EQ(batch0[3], TapeId{21});
+  const auto batch1 = ParallelBatchPlacement::batch_tapes(spec, 2, 1);
+  ASSERT_EQ(batch1.size(), 4u);
+  EXPECT_EQ(batch1[0], TapeId{2});
+  EXPECT_EQ(batch1[1], TapeId{22});
+}
+
+TEST_F(SchemeFixture, ParallelBatchBatchCount) {
+  // 20 tapes/library, m=2: batch0 takes 2 slots, then (20-2)/2 = 9 more.
+  EXPECT_EQ(ParallelBatchPlacement::batch_count(spec, 2), 10u);
+  EXPECT_EQ(ParallelBatchPlacement::batch_count(spec, 3), 1u + 19u / 3u);
+}
+
+TEST_F(SchemeFixture, ParallelBatchSkewsPopularityTowardEarlyBatches) {
+  ParallelBatchParams params;
+  params.switch_drives = 2;
+  const ParallelBatchPlacement scheme(params);
+  const PlacementPlan plan = scheme.place(context);
+  // Average per-tape popularity must be highest in batch 0 and generally
+  // decline across batches (allowing noise in the sparse tail).
+  auto batch_popularity = [&](std::uint32_t index) {
+    double total = 0.0;
+    for (const TapeId t : ParallelBatchPlacement::batch_tapes(spec, 2, index)) {
+      total += plan.mount_policy.tape_popularity[t.index()];
+    }
+    return total;
+  };
+  const double b0 = batch_popularity(0);
+  const double b1 = batch_popularity(1);
+  const double b4 = batch_popularity(4);
+  EXPECT_GT(b0, 0.0);
+  EXPECT_GE(b0 * 1.0001, b1);
+  EXPECT_GE(b1 * 1.0001, b4);
+}
+
+TEST_F(SchemeFixture, ParallelBatchKeepsClustersWithinOneBatchMostly) {
+  ParallelBatchParams params;
+  params.switch_drives = 2;
+  const ParallelBatchPlacement scheme(params);
+  const PlacementPlan plan = scheme.place(context);
+
+  const std::uint32_t t = spec.library.tapes_per_library;
+  const std::uint32_t dm = 2;  // d - m
+  auto batch_of = [&](TapeId tape) {
+    const std::uint32_t slot = tape.value() % t;
+    return slot < dm ? 0u : 1u + (slot - dm) / 2u;
+  };
+  std::size_t straddlers = 0;
+  std::size_t multi_member = 0;
+  for (const cluster::Cluster& c : clusters.clusters()) {
+    if (c.members.size() < 2) continue;
+    ++multi_member;
+    std::set<std::uint32_t> batches;
+    for (const ObjectId o : c.members) {
+      batches.insert(batch_of(plan.tape_of(o)));
+    }
+    if (batches.size() > 1) ++straddlers;
+  }
+  // Only clusters split at batch boundaries may straddle; that must be a
+  // small minority.
+  EXPECT_LT(straddlers, multi_member / 3 + 2);
+}
+
+TEST_F(SchemeFixture, ParallelBatchRejectsBadM) {
+  ParallelBatchParams params;
+  params.switch_drives = 0;
+  EXPECT_THROW(ParallelBatchPlacement(params).place(context),
+               std::runtime_error);
+  params.switch_drives = spec.library.drives_per_library;  // m == d
+  EXPECT_THROW(ParallelBatchPlacement(params).place(context),
+               std::runtime_error);
+}
+
+TEST_F(SchemeFixture, ParallelBatchRequiresClustersWhenRefining) {
+  PlacementContext no_clusters{&wl, &spec, nullptr};
+  ParallelBatchParams params;
+  params.switch_drives = 2;
+  EXPECT_THROW(ParallelBatchPlacement(params).place(no_clusters),
+               std::runtime_error);
+  // Without refinement it runs fine.
+  params.cluster_refinement = false;
+  EXPECT_NO_THROW(ParallelBatchPlacement(params).place(no_clusters));
+}
+
+TEST_F(SchemeFixture, ObjectProbabilityPacksByRank) {
+  const ObjectProbabilityPlacement scheme;
+  const PlacementPlan plan = scheme.place(context);
+  EXPECT_EQ(plan.mount_policy.replacement, ReplacementPolicy::kLeastPopular);
+  EXPECT_TRUE(plan.mount_policy.drive_pinned.empty());
+  // Every drive gets an initial mount.
+  EXPECT_EQ(plan.mount_policy.initial_mounts.size(), spec.total_drives());
+  // Rank-0 tapes (slot 0 of each library) hold the densest objects: their
+  // popularity beats the average tape's by construction.
+  double rank0 = plan.mount_policy.tape_popularity[0] +
+                 plan.mount_policy.tape_popularity[20];
+  double total = 0.0;
+  for (const double p : plan.mount_policy.tape_popularity) total += p;
+  EXPECT_GT(rank0 / 2.0, total / plan.tapes_used());
+}
+
+TEST_F(SchemeFixture, ObjectProbabilityDensityOrderingAcrossRanks) {
+  ObjectProbabilityParams params;
+  params.sort_by_density = true;
+  const ObjectProbabilityPlacement scheme(params);
+  const PlacementPlan plan = scheme.place(context);
+  // The minimum density on rank r must be >= the maximum density on rank
+  // r+2 (sequential fill in density order; ranks r and r+1 may share the
+  // boundary object).
+  const std::uint32_t t = spec.library.tapes_per_library;
+  auto rank_of = [&](TapeId tape) {
+    const std::uint32_t lib = tape.value() / t;
+    const std::uint32_t slot = tape.value() % t;
+    return slot * spec.num_libraries + lib;
+  };
+  std::vector<double> min_density(40, 1e300);
+  std::vector<double> max_density(40, -1.0);
+  for (std::uint32_t i = 0; i < wl.object_count(); ++i) {
+    const ObjectId o{i};
+    const std::uint32_t r = rank_of(plan.tape_of(o));
+    ASSERT_LT(r, 40u);
+    const double d = wl.probability_density(o);
+    min_density[r] = std::min(min_density[r], d);
+    max_density[r] = std::max(max_density[r], d);
+  }
+  for (std::size_t r = 0; r + 2 < 40; ++r) {
+    if (max_density[r + 2] < 0.0 || min_density[r] > 1e299) continue;
+    EXPECT_GE(min_density[r], max_density[r + 2] - 1e-18)
+        << "density inversion between tape ranks " << r << " and " << r + 2;
+  }
+}
+
+TEST_F(SchemeFixture, ClusterProbabilityKeepsClustersOnOneTape) {
+  const ClusterProbabilityPlacement scheme;
+  const PlacementPlan plan = scheme.place(context);
+  std::size_t split = 0;
+  for (const cluster::Cluster& c : clusters.clusters()) {
+    if (c.members.size() < 2) continue;
+    std::set<std::uint32_t> tapes;
+    for (const ObjectId o : c.members) tapes.insert(plan.tape_of(o).value());
+    if (tapes.size() > 1) ++split;
+  }
+  // Clusters are capped at 0.9 * C_t, so none should need splitting.
+  EXPECT_EQ(split, 0u);
+}
+
+TEST_F(SchemeFixture, ClusterProbabilityClustersAreContiguousOnTape) {
+  const ClusterProbabilityPlacement scheme;
+  const PlacementPlan plan = scheme.place(context);
+  for (std::uint32_t tv = 0; tv < spec.total_tapes(); ++tv) {
+    const auto on = plan.on_tape(TapeId{tv});
+    // Cluster ids along the tape must form contiguous runs.
+    std::set<std::uint32_t> seen;
+    std::uint32_t current = ClusterId::kInvalid;
+    for (const PlacedObject& p : on) {
+      const std::uint32_t c = clusters.cluster_of(p.object).value();
+      if (c != current) {
+        ASSERT_TRUE(seen.insert(c).second)
+            << "cluster " << c << " split into two runs on tape " << tv;
+        current = c;
+      }
+    }
+  }
+}
+
+TEST_F(SchemeFixture, ClusterProbabilityRequiresClusters) {
+  PlacementContext no_clusters{&wl, &spec, nullptr};
+  EXPECT_THROW(ClusterProbabilityPlacement().place(no_clusters),
+               std::runtime_error);
+}
+
+TEST_F(SchemeFixture, SchemesReportTheirPaperNames) {
+  EXPECT_EQ(ParallelBatchPlacement().name(), "parallel batch placement");
+  EXPECT_EQ(ObjectProbabilityPlacement().name(),
+            "object probability placement");
+  EXPECT_EQ(ClusterProbabilityPlacement().name(),
+            "cluster probability placement");
+}
+
+TEST_F(SchemeFixture, CapacityExhaustionThrows) {
+  tape::SystemSpec tiny = spec;
+  tiny.library.tapes_per_library = 4;
+  tiny.library.tape_capacity = 2_GB;  // far too small for ~1.3 TB
+  PlacementContext c{&wl, &tiny, &clusters};
+  ParallelBatchParams params;
+  params.switch_drives = 2;
+  EXPECT_THROW(ParallelBatchPlacement(params).place(c), std::runtime_error);
+  EXPECT_THROW(ObjectProbabilityPlacement().place(c), std::runtime_error);
+  EXPECT_THROW(ClusterProbabilityPlacement().place(c), std::runtime_error);
+}
+
+TEST_F(SchemeFixture, AllSchemesPlaceEveryObjectExactlyOnce) {
+  ParallelBatchParams pbp_params;
+  pbp_params.switch_drives = 2;
+  const ParallelBatchPlacement pbp(pbp_params);
+  const ObjectProbabilityPlacement opp;
+  const ClusterProbabilityPlacement cpp;
+  for (const PlacementScheme* scheme :
+       std::initializer_list<const PlacementScheme*>{&pbp, &opp, &cpp}) {
+    const PlacementPlan plan = scheme->place(context);
+    for (std::uint32_t i = 0; i < wl.object_count(); ++i) {
+      EXPECT_TRUE(plan.tape_of(ObjectId{i}).valid());
+    }
+    Bytes placed{};
+    for (std::uint32_t tv = 0; tv < spec.total_tapes(); ++tv) {
+      placed += plan.used_on(TapeId{tv});
+    }
+    EXPECT_EQ(placed, wl.total_object_bytes()) << scheme->name();
+  }
+}
+
+}  // namespace
+}  // namespace tapesim::core

@@ -1,0 +1,136 @@
+#include "core/striped.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/generator.hpp"
+
+namespace tapesim::core {
+namespace {
+
+workload::Workload sample_workload() {
+  workload::WorkloadConfig config;
+  config.num_objects = 400;
+  config.num_requests = 20;
+  config.min_objects_per_request = 10;
+  config.max_objects_per_request = 20;
+  config.object_groups = 10;
+  config.min_object_size = 2_GB;
+  config.max_object_size = 8_GB;
+  Rng rng{3};
+  return workload::generate_workload(config, rng);
+}
+
+TEST(ShardWorkload, PreservesTotalBytes) {
+  const auto wl = sample_workload();
+  const ShardedWorkload sharded = shard_workload(wl, 4);
+  EXPECT_EQ(sharded.workload.total_object_bytes(), wl.total_object_bytes());
+  EXPECT_EQ(sharded.width, 4u);
+}
+
+TEST(ShardWorkload, ShardSizesNearlyEqual) {
+  const auto wl = sample_workload();
+  const ShardedWorkload sharded = shard_workload(wl, 4);
+  // Reconstruct per-original totals and shard-size spread.
+  std::vector<Bytes> totals(wl.object_count());
+  std::vector<Bytes::value_type> min_shard(wl.object_count(), ~0ULL);
+  std::vector<Bytes::value_type> max_shard(wl.object_count(), 0);
+  for (std::uint32_t s = 0; s < sharded.workload.object_count(); ++s) {
+    const ObjectId orig = sharded.origin[s];
+    const Bytes size = sharded.workload.object_size(ObjectId{s});
+    totals[orig.index()] += size;
+    min_shard[orig.index()] =
+        std::min(min_shard[orig.index()], size.count());
+    max_shard[orig.index()] =
+        std::max(max_shard[orig.index()], size.count());
+  }
+  for (std::uint32_t i = 0; i < wl.object_count(); ++i) {
+    EXPECT_EQ(totals[i], wl.object_size(ObjectId{i}));
+    EXPECT_LE(max_shard[i] - min_shard[i], 1u);
+  }
+}
+
+TEST(ShardWorkload, SmallObjectsStayWhole) {
+  const auto wl = sample_workload();
+  // min_shard 8 GB: objects up to 16 GB are never split into 4.
+  const ShardedWorkload sharded = shard_workload(wl, 4, 8_GB);
+  for (std::uint32_t s = 0; s < sharded.workload.object_count(); ++s) {
+    EXPECT_GE(sharded.workload.object_size(ObjectId{s}), 1_GB);
+  }
+  // 2 GB originals (< 8 GB) must remain single shards.
+  std::vector<int> shard_count(wl.object_count(), 0);
+  for (const ObjectId orig : sharded.origin) ++shard_count[orig.index()];
+  for (std::uint32_t i = 0; i < wl.object_count(); ++i) {
+    if (wl.object_size(ObjectId{i}) < 8_GB) {
+      EXPECT_EQ(shard_count[i], 1) << "object " << i;
+    }
+  }
+}
+
+TEST(ShardWorkload, RequestsCoverAllShards) {
+  const auto wl = sample_workload();
+  const ShardedWorkload sharded = shard_workload(wl, 3, 1_GB);
+  for (std::uint32_t r = 0; r < wl.request_count(); ++r) {
+    EXPECT_EQ(sharded.workload.request_bytes(RequestId{r}),
+              wl.request_bytes(RequestId{r}));
+    EXPECT_DOUBLE_EQ(sharded.workload.requests()[r].probability,
+                     wl.requests()[r].probability);
+  }
+}
+
+TEST(ShardWorkload, WidthOneIsIdentityShape) {
+  const auto wl = sample_workload();
+  const ShardedWorkload sharded = shard_workload(wl, 1);
+  EXPECT_EQ(sharded.workload.object_count(), wl.object_count());
+  for (std::uint32_t i = 0; i < wl.object_count(); ++i) {
+    EXPECT_EQ(sharded.workload.object_size(ObjectId{i}),
+              wl.object_size(ObjectId{i}));
+  }
+}
+
+TEST(StripedPlacement, ShardsOfAnObjectLandOnDistinctTapes) {
+  tape::SystemSpec spec;
+  spec.num_libraries = 2;
+  spec.library.drives_per_library = 4;
+  spec.library.tapes_per_library = 40;
+  spec.library.tape_capacity = 100_GB;
+  const auto wl = sample_workload();
+  const ShardedWorkload sharded = shard_workload(wl, 4, 1_GB);
+
+  StripedParams params;
+  params.width = 4;
+  const StripedPlacement scheme(params);
+  PlacementContext context{&sharded.workload, &spec, nullptr};
+  const PlacementPlan plan = scheme.place(context);
+
+  std::vector<std::set<std::uint32_t>> tapes_of(wl.object_count());
+  std::vector<int> shard_count(wl.object_count(), 0);
+  for (std::uint32_t s = 0; s < sharded.workload.object_count(); ++s) {
+    const ObjectId orig = sharded.origin[s];
+    tapes_of[orig.index()].insert(plan.tape_of(ObjectId{s}).value());
+    ++shard_count[orig.index()];
+  }
+  for (std::uint32_t i = 0; i < wl.object_count(); ++i) {
+    EXPECT_EQ(tapes_of[i].size(),
+              static_cast<std::size_t>(shard_count[i]))
+        << "shards of object " << i << " share a tape";
+  }
+}
+
+TEST(StripedPlacement, RejectsBadParameters) {
+  tape::SystemSpec spec;
+  const auto wl = sample_workload();
+  PlacementContext context{&wl, &spec, nullptr};
+  StripedParams params;
+  params.width = 0;
+  EXPECT_THROW(StripedPlacement(params).place(context), std::runtime_error);
+  params.width = spec.total_tapes() + 1;
+  EXPECT_THROW(StripedPlacement(params).place(context), std::runtime_error);
+  params.width = 4;
+  params.capacity_utilization = 0.0;
+  EXPECT_THROW(StripedPlacement(params).place(context), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tapesim::core

@@ -1,0 +1,126 @@
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/parallel_batch.hpp"
+
+namespace tapesim::exp {
+namespace {
+
+/// A scaled-down configuration that keeps each run under ~100 ms.
+ExperimentConfig small_config() {
+  ExperimentConfig config;
+  config.spec.num_libraries = 2;
+  config.spec.library.drives_per_library = 4;
+  config.spec.library.tapes_per_library = 16;
+  config.spec.library.tape_capacity = 50_GB;
+  config.workload.num_objects = 2000;
+  config.workload.num_requests = 40;
+  config.workload.min_objects_per_request = 20;
+  config.workload.max_objects_per_request = 40;
+  config.workload.object_groups = 40;
+  config.workload.min_object_size = Bytes{100ULL * 1000 * 1000};
+  config.workload.max_object_size = Bytes{2000ULL * 1000 * 1000};
+  config.simulated_requests = 50;
+  return config;
+}
+
+TEST(Experiment, BuildsWorkloadAndClusters) {
+  const Experiment e(small_config());
+  EXPECT_EQ(e.workload().object_count(), 2000u);
+  EXPECT_EQ(e.workload().request_count(), 40u);
+  EXPECT_GT(e.clusters().size(), 0u);
+  e.clusters().validate(e.workload());
+}
+
+TEST(Experiment, RunProducesCompleteMetrics) {
+  const Experiment e(small_config());
+  const auto schemes = make_standard_schemes(2);
+  const SchemeRun run = e.run(*schemes.parallel_batch);
+  EXPECT_EQ(run.scheme, "parallel batch placement");
+  EXPECT_EQ(run.metrics.count(), 50u);
+  EXPECT_GT(run.metrics.mean_response().count(), 0.0);
+  EXPECT_GT(run.metrics.mean_bandwidth().count(), 0.0);
+  EXPECT_GT(run.tapes_used, 0u);
+}
+
+TEST(Experiment, BandwidthNeverExceedsAggregateDriveRate) {
+  const ExperimentConfig config = small_config();
+  const Experiment e(config);
+  const auto schemes = make_standard_schemes(2);
+  for (const core::PlacementScheme* s :
+       {schemes.parallel_batch.get(), schemes.object_probability.get(),
+        schemes.cluster_probability.get()}) {
+    const SchemeRun run = e.run(*s);
+    EXPECT_LE(run.metrics.bandwidth_samples().max(),
+              config.spec.aggregate_transfer_rate().count())
+        << s->name();
+  }
+}
+
+TEST(Experiment, DeterministicGivenSeed) {
+  const auto schemes = make_standard_schemes(2);
+  const Experiment a(small_config());
+  const Experiment b(small_config());
+  const SchemeRun ra = a.run(*schemes.parallel_batch);
+  const SchemeRun rb = b.run(*schemes.parallel_batch);
+  EXPECT_DOUBLE_EQ(ra.metrics.mean_response().count(),
+                   rb.metrics.mean_response().count());
+  EXPECT_EQ(ra.total_switches, rb.total_switches);
+}
+
+TEST(Experiment, SeedChangesWorkload) {
+  ExperimentConfig c1 = small_config();
+  ExperimentConfig c2 = small_config();
+  c2.seed = 777;
+  const auto schemes = make_standard_schemes(2);
+  const SchemeRun r1 = Experiment(c1).run(*schemes.parallel_batch);
+  const SchemeRun r2 = Experiment(c2).run(*schemes.parallel_batch);
+  EXPECT_NE(r1.metrics.mean_response().count(),
+            r2.metrics.mean_response().count());
+}
+
+TEST(Experiment, RepeatedRunsOnOneExperimentAreIndependent) {
+  // run() builds a fresh simulator each time: results must be identical.
+  const Experiment e(small_config());
+  const auto schemes = make_standard_schemes(2);
+  const SchemeRun r1 = e.run(*schemes.object_probability);
+  const SchemeRun r2 = e.run(*schemes.object_probability);
+  EXPECT_DOUBLE_EQ(r1.metrics.mean_response().count(),
+                   r2.metrics.mean_response().count());
+}
+
+TEST(Experiment, SchemesSeeTheSameRequestStream) {
+  // With the same seed, the sampled request sequence is identical across
+  // schemes, so mean request bytes match exactly.
+  const Experiment e(small_config());
+  const auto schemes = make_standard_schemes(2);
+  const SchemeRun pbp = e.run(*schemes.parallel_batch);
+  const SchemeRun cpp = e.run(*schemes.cluster_probability);
+  EXPECT_EQ(pbp.metrics.mean_request_bytes(),
+            cpp.metrics.mean_request_bytes());
+}
+
+TEST(Experiment, MakeStandardSchemesAppliesParameters) {
+  const auto schemes = make_standard_schemes(3, 0.8);
+  EXPECT_NE(schemes.parallel_batch, nullptr);
+  EXPECT_NE(schemes.object_probability, nullptr);
+  EXPECT_NE(schemes.cluster_probability, nullptr);
+  auto* pbp = dynamic_cast<core::ParallelBatchPlacement*>(
+      schemes.parallel_batch.get());
+  ASSERT_NE(pbp, nullptr);
+  EXPECT_EQ(pbp->params().switch_drives, 3u);
+  EXPECT_DOUBLE_EQ(pbp->params().capacity_utilization, 0.8);
+}
+
+TEST(Experiment, InvalidConfigThrows) {
+  ExperimentConfig config = small_config();
+  config.spec.num_libraries = 0;
+  EXPECT_THROW(Experiment{config}, std::invalid_argument);
+  config = small_config();
+  config.workload.num_objects = 0;
+  EXPECT_THROW(Experiment{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tapesim::exp

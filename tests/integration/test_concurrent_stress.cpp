@@ -1,0 +1,102 @@
+// Randomized stress sweep for the concurrent simulator: Poisson traffic at
+// several intensities through every scheme, asserting the invariants that
+// must survive arbitrary interleavings.
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+#include "sched/concurrent.hpp"
+#include "sched/report.hpp"
+
+namespace tapesim {
+namespace {
+
+using Param = std::tuple<int /*scheme*/, double /*load multiplier*/,
+                         std::uint64_t /*seed*/>;
+
+class ConcurrentStress : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ConcurrentStress, InvariantsHoldUnderLoad) {
+  const auto [scheme_index, load, seed] = GetParam();
+
+  exp::ExperimentConfig config;
+  config.spec.num_libraries = 2;
+  config.spec.library.drives_per_library = 4;
+  config.spec.library.tapes_per_library = 12;
+  config.spec.library.tape_capacity = 40_GB;
+  config.workload.num_objects = 1200;
+  config.workload.num_requests = 40;
+  config.workload.min_objects_per_request = 8;
+  config.workload.max_objects_per_request = 20;
+  config.workload.object_groups = 24;
+  config.workload.min_object_size = Bytes{100ULL * 1000 * 1000};
+  config.workload.max_object_size = Bytes{1500ULL * 1000 * 1000};
+  config.seed = seed;
+  const exp::Experiment experiment(config);
+
+  const auto schemes = exp::make_standard_schemes(2);
+  const core::PlacementScheme* scheme_list[] = {
+      schemes.parallel_batch.get(), schemes.object_probability.get(),
+      schemes.cluster_probability.get()};
+  core::PlacementContext context{&experiment.workload(), &config.spec,
+                                 &experiment.clusters()};
+  const core::PlacementPlan plan =
+      scheme_list[scheme_index]->place(context);
+
+  // Arrival rate as a multiple of a crude service estimate.
+  const double rough_service = 600.0;  // seconds; only sets the regime
+  sched::ConcurrentSimulator simulator(plan);
+  Rng rng{seed + 100};
+  const workload::RequestSampler sampler(experiment.workload());
+  const auto arrivals =
+      sched::poisson_arrivals(sampler, load / rough_service, 80, rng);
+  const auto outcomes = simulator.run(arrivals);
+
+  ASSERT_EQ(outcomes.size(), arrivals.size());
+  const double aggregate = config.spec.aggregate_transfer_rate().count();
+  double previous_arrival = 0.0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& o = outcomes[i];
+    // Causality and conservation per instance.
+    EXPECT_GE(o.completion.count(), o.arrival.count()) << "instance " << i;
+    EXPECT_DOUBLE_EQ(o.arrival.count(), arrivals[i].time.count());
+    EXPECT_EQ(o.bytes,
+              experiment.workload().request_bytes(arrivals[i].request));
+    EXPECT_GE(o.arrival.count(), previous_arrival);
+    previous_arrival = o.arrival.count();
+    // Sojourn can never beat streaming the whole request on all drives.
+    EXPECT_GE(o.sojourn().count(), o.bytes.as_double() / aggregate - 1e-6);
+  }
+  // Makespan covers every completion.
+  for (const auto& o : outcomes) {
+    EXPECT_LE(o.completion.count(), simulator.makespan().count() + 1e-9);
+  }
+  // The fleet never reads more than was credited (shared reads can only
+  // reduce physical bytes), and drive activity fits the makespan.
+  const auto report =
+      sched::utilization_report(simulator.system(), simulator.makespan());
+  Bytes credited{};
+  for (const auto& o : outcomes) credited += o.bytes;
+  EXPECT_LE(report.total_bytes_read(), credited);
+  for (const auto& d : report.drives) {
+    EXPECT_LE(d.active().count(), simulator.makespan().count() + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConcurrentStress,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(0.5, 2.0),
+                       ::testing::Values(1ull, 7ull)),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      const int scheme = std::get<0>(param_info.param);
+      std::string name = scheme == 0 ? "pbp" : scheme == 1 ? "opp" : "cpp";
+      name += "_x";
+      name += std::to_string(
+          static_cast<int>(std::get<1>(param_info.param) * 10));
+      name += "_s";
+      name += std::to_string(std::get<2>(param_info.param));
+      return name;
+    });
+
+}  // namespace
+}  // namespace tapesim

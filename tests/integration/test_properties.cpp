@@ -1,0 +1,168 @@
+// Property sweeps: invariants that must hold for EVERY scheme under ANY
+// workload skew and seed. Parameterized over the cross product.
+#include <gtest/gtest.h>
+
+#include "core/cluster_probability.hpp"
+#include "core/object_probability.hpp"
+#include "core/parallel_batch.hpp"
+#include "exp/experiment.hpp"
+
+namespace tapesim {
+namespace {
+
+enum class SchemeKind { kPbpM1, kPbpM3, kOpp, kCpp };
+
+const char* to_string(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kPbpM1: return "pbp-m1";
+    case SchemeKind::kPbpM3: return "pbp-m3";
+    case SchemeKind::kOpp: return "opp";
+    case SchemeKind::kCpp: return "cpp";
+  }
+  return "?";
+}
+
+std::unique_ptr<core::PlacementScheme> make_scheme(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kPbpM1: {
+      core::ParallelBatchParams params;
+      params.switch_drives = 1;
+      params.balance.min_split_chunk = 2_GB;
+      return std::make_unique<core::ParallelBatchPlacement>(params);
+    }
+    case SchemeKind::kPbpM3: {
+      core::ParallelBatchParams params;
+      params.switch_drives = 3;
+      params.balance.min_split_chunk = 2_GB;
+      return std::make_unique<core::ParallelBatchPlacement>(params);
+    }
+    case SchemeKind::kOpp:
+      return std::make_unique<core::ObjectProbabilityPlacement>();
+    case SchemeKind::kCpp:
+      return std::make_unique<core::ClusterProbabilityPlacement>();
+  }
+  return nullptr;
+}
+
+using Param = std::tuple<SchemeKind, double, std::uint64_t>;
+
+class PlacementProperties : public ::testing::TestWithParam<Param> {
+ protected:
+  static exp::ExperimentConfig config_for(double alpha, std::uint64_t seed) {
+    exp::ExperimentConfig config;
+    config.spec.num_libraries = 2;
+    config.spec.library.drives_per_library = 4;
+    config.spec.library.tapes_per_library = 14;
+    config.spec.library.tape_capacity = 60_GB;
+    config.workload.num_objects = 2500;
+    config.workload.num_requests = 50;
+    config.workload.min_objects_per_request = 15;
+    config.workload.max_objects_per_request = 35;
+    config.workload.object_groups = 40;
+    config.workload.zipf_alpha = alpha;
+    config.workload.min_object_size = Bytes{150ULL * 1000 * 1000};
+    config.workload.max_object_size = Bytes{2500ULL * 1000 * 1000};
+    config.simulated_requests = 30;
+    config.seed = seed;
+    return config;
+  }
+};
+
+TEST_P(PlacementProperties, EndToEndInvariants) {
+  const auto [kind, alpha, seed] = GetParam();
+  const exp::ExperimentConfig config = config_for(alpha, seed);
+  const exp::Experiment experiment(config);
+  const auto scheme = make_scheme(kind);
+
+  core::PlacementContext context{&experiment.workload(), &config.spec,
+                                 &experiment.clusters()};
+  const core::PlacementPlan plan = scheme->place(context);
+
+  // Placement invariants (validate() ran in place(); re-check surface).
+  Bytes placed{};
+  for (std::uint32_t t = 0; t < config.spec.total_tapes(); ++t) {
+    placed += plan.used_on(TapeId{t});
+    ASSERT_LE(plan.used_on(TapeId{t}), config.spec.library.tape_capacity);
+  }
+  ASSERT_EQ(placed, experiment.workload().total_object_bytes());
+
+  // Simulation invariants, request by request.
+  sched::RetrievalSimulator simulator(plan);
+  Rng rng{config.seed};
+  Rng sample_rng = rng.fork(0x5251);
+  const workload::RequestSampler sampler(experiment.workload());
+  const double aggregate = config.spec.aggregate_transfer_rate().count();
+  const double native = config.spec.library.drive.transfer_rate.count();
+
+  for (std::uint32_t i = 0; i < config.simulated_requests; ++i) {
+    const RequestId id = sampler.sample(sample_rng);
+    const auto o = simulator.run_request(id);
+    const std::string label = std::string(to_string(kind)) + " req " +
+                              std::to_string(id.value());
+
+    // Decomposition identity and signs.
+    EXPECT_NEAR(o.response.count(),
+                o.switch_time.count() + o.seek.count() + o.transfer.count(),
+                1e-6)
+        << label;
+    EXPECT_GE(o.switch_time.count(), 0.0) << label;
+    EXPECT_GE(o.seek.count(), 0.0) << label;
+    EXPECT_GT(o.transfer.count(), 0.0) << label;
+
+    // Physical bounds: never faster than all drives streaming at once;
+    // never faster than the largest single object off one drive.
+    EXPECT_LE(o.bandwidth().count(), aggregate * (1.0 + 1e-9)) << label;
+    Bytes largest{};
+    for (const ObjectId obj : experiment.workload().request(id).objects) {
+      largest = std::max(largest, experiment.workload().object_size(obj));
+    }
+    EXPECT_GE(o.response.count(), largest.as_double() / native - 1e-6)
+        << label;
+    EXPECT_GE(o.response.count(), o.bytes.as_double() / aggregate - 1e-6)
+        << label;
+
+    // Cardinalities.
+    EXPECT_GE(o.tapes_touched, 1u) << label;
+    EXPECT_LE(o.tapes_touched,
+              experiment.workload().request(id).objects.size())
+        << label;
+    EXPECT_LE(o.drives_used, config.spec.total_drives()) << label;
+    EXPECT_GE(o.drives_used, 1u) << label;
+    EXPECT_EQ(o.bytes, experiment.workload().request_bytes(id)) << label;
+  }
+}
+
+TEST_P(PlacementProperties, DeterministicReplay) {
+  const auto [kind, alpha, seed] = GetParam();
+  const exp::ExperimentConfig config = config_for(alpha, seed);
+  auto run_once = [&] {
+    const exp::Experiment experiment(config);
+    const auto scheme = make_scheme(kind);
+    return experiment.run(*scheme).metrics.mean_response().count();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlacementProperties,
+    ::testing::Combine(::testing::Values(SchemeKind::kPbpM1,
+                                         SchemeKind::kPbpM3, SchemeKind::kOpp,
+                                         SchemeKind::kCpp),
+                       ::testing::Values(0.0, 0.5, 1.0),
+                       ::testing::Values(1ull, 2ull)),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      std::string name = to_string(std::get<0>(param_info.param));
+      name += "_a";
+      name += std::to_string(
+          static_cast<int>(std::get<1>(param_info.param) * 10));
+      name += "_s";
+      name += std::to_string(std::get<2>(param_info.param));
+      // gtest names must be alphanumeric.
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace tapesim

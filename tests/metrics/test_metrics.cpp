@@ -1,0 +1,69 @@
+#include "metrics/request_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tapesim::metrics {
+namespace {
+
+RequestOutcome outcome(double response, double sw, double seek,
+                       double transfer, Bytes bytes,
+                       std::uint32_t switches = 0) {
+  RequestOutcome o;
+  o.request = RequestId{0};
+  o.bytes = bytes;
+  o.response = Seconds{response};
+  o.switch_time = Seconds{sw};
+  o.seek = Seconds{seek};
+  o.transfer = Seconds{transfer};
+  o.tape_switches = switches;
+  return o;
+}
+
+TEST(RequestOutcome, BandwidthIsBytesOverResponse) {
+  const auto o = outcome(100.0, 10.0, 20.0, 70.0, 8_GB);
+  EXPECT_DOUBLE_EQ(o.bandwidth().count(), 8.0e9 / 100.0);
+  EXPECT_DOUBLE_EQ(o.bandwidth().megabytes_per_second(), 80.0);
+}
+
+TEST(ExperimentMetrics, MeansOverOutcomes) {
+  ExperimentMetrics m;
+  m.add(outcome(100.0, 10.0, 20.0, 70.0, 10_GB, 2));
+  m.add(outcome(300.0, 50.0, 50.0, 200.0, 30_GB, 4));
+  EXPECT_EQ(m.count(), 2u);
+  EXPECT_DOUBLE_EQ(m.mean_response().count(), 200.0);
+  EXPECT_DOUBLE_EQ(m.mean_switch().count(), 30.0);
+  EXPECT_DOUBLE_EQ(m.mean_seek().count(), 35.0);
+  EXPECT_DOUBLE_EQ(m.mean_transfer().count(), 135.0);
+  EXPECT_EQ(m.mean_request_bytes(), 20_GB);
+  EXPECT_DOUBLE_EQ(m.mean_tape_switches(), 3.0);
+}
+
+TEST(ExperimentMetrics, MeanVsAggregateBandwidth) {
+  ExperimentMetrics m;
+  // Request 1: 10 GB / 100 s = 100 MB/s. Request 2: 30 GB / 300 s =
+  // 100 MB/s. Both views agree when rates are equal...
+  m.add(outcome(100.0, 0, 0, 100.0, 10_GB));
+  m.add(outcome(300.0, 0, 0, 300.0, 30_GB));
+  EXPECT_DOUBLE_EQ(m.mean_bandwidth().megabytes_per_second(), 100.0);
+  EXPECT_DOUBLE_EQ(m.aggregate_bandwidth().megabytes_per_second(), 100.0);
+
+  // ...and diverge when they differ: a fast small request lifts the mean
+  // more than the aggregate.
+  m.add(outcome(10.0, 0, 0, 10.0, 4_GB));  // 400 MB/s
+  EXPECT_NEAR(m.mean_bandwidth().megabytes_per_second(), 200.0, 1e-9);
+  EXPECT_NEAR(m.aggregate_bandwidth().megabytes_per_second(),
+              44.0e9 / 410.0 / 1e6, 1e-9);
+}
+
+TEST(ExperimentMetrics, SampleSetsExposed) {
+  ExperimentMetrics m;
+  for (int i = 1; i <= 5; ++i) {
+    m.add(outcome(i * 100.0, 0, 0, i * 100.0, 1_GB));
+  }
+  EXPECT_EQ(m.response_samples().count(), 5u);
+  EXPECT_DOUBLE_EQ(m.response_samples().median(), 300.0);
+  EXPECT_DOUBLE_EQ(m.bandwidth_samples().max(), 1.0e9 / 100.0);
+}
+
+}  // namespace
+}  // namespace tapesim::metrics

@@ -1,0 +1,68 @@
+#include "metrics/queueing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace tapesim::metrics {
+namespace {
+
+TEST(MG1, DeterministicServiceMatchesMD1) {
+  // Constant service S = 2 s: E[S^2] = 4. At lambda = 0.25 (rho = 0.5):
+  // Wq = 0.25 * 4 / (2 * 0.5) = 1; sojourn = 3.
+  SampleSet service;
+  for (int i = 0; i < 100; ++i) service.add(2.0);
+  const MG1Estimate e = mg1_estimate(service, 0.25);
+  EXPECT_TRUE(e.stable);
+  EXPECT_NEAR(e.utilization, 0.5, 1e-12);
+  EXPECT_NEAR(e.mean_wait.count(), 1.0, 1e-9);
+  EXPECT_NEAR(e.mean_sojourn.count(), 3.0, 1e-9);
+}
+
+TEST(MG1, ExponentialServiceMatchesMM1) {
+  // M/M/1: sojourn = 1 / (mu - lambda). Sample exponential service with
+  // mu = 1 and check at lambda = 0.5 (expected sojourn 2).
+  SampleSet service;
+  Rng rng{7};
+  for (int i = 0; i < 200000; ++i) {
+    service.add(-std::log(1.0 - rng.uniform()));
+  }
+  const MG1Estimate e = mg1_estimate(service, 0.5);
+  EXPECT_TRUE(e.stable);
+  EXPECT_NEAR(e.utilization, 0.5, 0.01);
+  EXPECT_NEAR(e.mean_sojourn.count(), 2.0, 0.05);
+}
+
+TEST(MG1, UnstableAboveSaturation) {
+  SampleSet service;
+  for (int i = 0; i < 10; ++i) service.add(10.0);
+  const MG1Estimate e = mg1_estimate(service, 0.2);  // rho = 2
+  EXPECT_FALSE(e.stable);
+  EXPECT_DOUBLE_EQ(e.mean_wait.count(), 0.0);  // left unset
+  EXPECT_NEAR(e.utilization, 2.0, 1e-12);
+}
+
+TEST(MG1, WaitGrowsWithVariance) {
+  // Same mean, higher variance -> longer waits (the P-K insight).
+  SampleSet low;
+  SampleSet high;
+  for (int i = 0; i < 1000; ++i) {
+    low.add(2.0);
+    high.add(i % 2 == 0 ? 0.5 : 3.5);  // mean 2, large spread
+  }
+  const double lambda = 0.3;
+  EXPECT_GT(mg1_estimate(high, lambda).mean_wait.count(),
+            mg1_estimate(low, lambda).mean_wait.count());
+}
+
+TEST(MG1, SaturationRateIsInverseMeanService) {
+  SampleSet service;
+  service.add(4.0);
+  service.add(6.0);
+  EXPECT_DOUBLE_EQ(saturation_rate(service), 1.0 / 5.0);
+}
+
+}  // namespace
+}  // namespace tapesim::metrics

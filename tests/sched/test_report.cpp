@@ -1,0 +1,142 @@
+// Utilization reporting and cross-layer conservation invariants.
+#include "sched/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/experiment.hpp"
+#include "sched/concurrent.hpp"
+
+namespace tapesim::sched {
+namespace {
+
+exp::ExperimentConfig small_config() {
+  exp::ExperimentConfig config;
+  config.spec.num_libraries = 2;
+  config.spec.library.drives_per_library = 3;
+  config.spec.library.tapes_per_library = 10;
+  config.spec.library.tape_capacity = 40_GB;
+  config.workload.num_objects = 800;
+  config.workload.num_requests = 25;
+  config.workload.min_objects_per_request = 10;
+  config.workload.max_objects_per_request = 20;
+  config.workload.object_groups = 16;
+  config.workload.min_object_size = Bytes{100ULL * 1000 * 1000};
+  config.workload.max_object_size = 1_GB;
+  config.simulated_requests = 40;
+  return config;
+}
+
+TEST(UtilizationReport, ConservationAcrossSerialRun) {
+  const exp::ExperimentConfig config = small_config();
+  const exp::Experiment experiment(config);
+  const auto schemes = exp::make_standard_schemes(1);
+  core::PlacementContext context{&experiment.workload(), &config.spec,
+                                 &experiment.clusters()};
+  const core::PlacementPlan plan = schemes.parallel_batch->place(context);
+
+  RetrievalSimulator simulator(plan);
+  Rng rng{config.seed};
+  Rng sample_rng = rng.fork(0x5251);
+  const workload::RequestSampler sampler(experiment.workload());
+  Bytes requested{};
+  std::uint64_t mounts = 0;
+  for (std::uint32_t i = 0; i < config.simulated_requests; ++i) {
+    const auto o = simulator.run_request(sampler.sample(sample_rng));
+    requested += o.bytes;
+    mounts += o.tape_switches;
+  }
+
+  const auto report =
+      utilization_report(simulator.system(), simulator.engine().now());
+  // Every requested byte was read by exactly one drive, and every mount
+  // counted per-request appears in a drive's counter (startup mounts are
+  // instantaneous and deliberately uncounted).
+  EXPECT_EQ(report.total_bytes_read(), requested);
+  EXPECT_EQ(report.total_mounts(), mounts);
+  EXPECT_EQ(report.drives.size(), config.spec.total_drives());
+  EXPECT_EQ(report.robots.size(), config.spec.num_libraries);
+  EXPECT_GT(report.elapsed.count(), 0.0);
+  EXPECT_GT(report.mean_streaming_fraction(), 0.0);
+  EXPECT_LE(report.mean_streaming_fraction(), 1.0);
+}
+
+TEST(UtilizationReport, DriveActivityNeverExceedsElapsed) {
+  const exp::ExperimentConfig config = small_config();
+  const exp::Experiment experiment(config);
+  const auto schemes = exp::make_standard_schemes(1);
+  core::PlacementContext context{&experiment.workload(), &config.spec,
+                                 &experiment.clusters()};
+  const core::PlacementPlan plan = schemes.object_probability->place(context);
+  RetrievalSimulator simulator(plan);
+  Rng rng{7};
+  const workload::RequestSampler sampler(experiment.workload());
+  for (int i = 0; i < 30; ++i) {
+    (void)simulator.run_request(sampler.sample(rng));
+  }
+  const auto report =
+      utilization_report(simulator.system(), simulator.engine().now());
+  for (const DriveUtilization& d : report.drives) {
+    EXPECT_LE(d.active().count(), report.elapsed.count() + 1e-6)
+        << "drive " << d.drive;
+    EXPECT_GE(d.busy_fraction(report.elapsed), 0.0);
+    EXPECT_LE(d.busy_fraction(report.elapsed), 1.0 + 1e-9);
+  }
+  for (const RobotUtilization& r : report.robots) {
+    EXPECT_LE(r.busy.count(), report.elapsed.count() + 1e-6);
+  }
+}
+
+TEST(UtilizationReport, ConservationAcrossConcurrentRun) {
+  const exp::ExperimentConfig config = small_config();
+  const exp::Experiment experiment(config);
+  const auto schemes = exp::make_standard_schemes(1);
+  core::PlacementContext context{&experiment.workload(), &config.spec,
+                                 &experiment.clusters()};
+  const core::PlacementPlan plan = schemes.parallel_batch->place(context);
+
+  ConcurrentSimulator simulator(plan);
+  Rng rng{11};
+  const workload::RequestSampler sampler(experiment.workload());
+  const auto arrivals = poisson_arrivals(sampler, 1.0 / 120.0, 60, rng);
+  const auto outcomes = simulator.run(arrivals);
+
+  // Drives read at least as much as any single instance demanded, and at
+  // most the sum (shared reads may credit several instances at once).
+  const auto report =
+      utilization_report(simulator.system(), simulator.makespan());
+  Bytes credited{};
+  for (const auto& o : outcomes) credited += o.bytes;
+  EXPECT_LE(report.total_bytes_read(), credited);
+  EXPECT_GT(report.total_bytes_read().count(), 0u);
+  // Sojourns are causal.
+  for (const auto& o : outcomes) {
+    EXPECT_GE(o.completion.count(), o.arrival.count());
+  }
+}
+
+TEST(UtilizationReport, PrintsOneRowPerDriveAndRobot) {
+  const exp::ExperimentConfig config = small_config();
+  const exp::Experiment experiment(config);
+  const auto schemes = exp::make_standard_schemes(1);
+  core::PlacementContext context{&experiment.workload(), &config.spec,
+                                 &experiment.clusters()};
+  const core::PlacementPlan plan = schemes.parallel_batch->place(context);
+  RetrievalSimulator simulator(plan);
+  (void)simulator.run_request(RequestId{0});
+  const auto report =
+      utilization_report(simulator.system(), simulator.engine().now());
+  std::ostringstream os;
+  report.print(os);
+  const std::string text = os.str();
+  // 6 drives + 2 robots + headers/rules.
+  EXPECT_NE(text.find("streaming %"), std::string::npos);
+  EXPECT_NE(text.find("robot (library)"), std::string::npos);
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n' ? 1 : 0;
+  EXPECT_GE(lines, 6u + 2u + 4u);
+}
+
+}  // namespace
+}  // namespace tapesim::sched

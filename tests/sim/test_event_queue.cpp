@@ -1,0 +1,173 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tapesim::sim {
+namespace {
+
+Event make_event(double time, EventId id) {
+  return Event{Seconds{time}, id, [] {}, {}};
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(make_event(3.0, 1));
+  q.push(make_event(1.0, 2));
+  q.push(make_event(2.0, 3));
+  EXPECT_EQ(q.pop().id, 2u);
+  EXPECT_EQ(q.pop().id, 3u);
+  EXPECT_EQ(q.pop().id, 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EqualTimesBreakTiesByScheduleOrder) {
+  EventQueue q;
+  q.push(make_event(5.0, 10));
+  q.push(make_event(5.0, 11));
+  q.push(make_event(5.0, 12));
+  EXPECT_EQ(q.pop().id, 10u);
+  EXPECT_EQ(q.pop().id, 11u);
+  EXPECT_EQ(q.pop().id, 12u);
+}
+
+TEST(EventQueue, NextTimePeeksWithoutRemoving) {
+  EventQueue q;
+  q.push(make_event(7.0, 1));
+  q.push(make_event(4.0, 2));
+  EXPECT_DOUBLE_EQ(q.next_time().count(), 4.0);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(EventQueue, CancelPreventsDelivery) {
+  EventQueue q;
+  q.push(make_event(1.0, 1));
+  q.push(make_event(2.0, 2));
+  EXPECT_TRUE(q.cancel(1));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop().id, 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  q.push(make_event(1.0, 1));
+  EXPECT_FALSE(q.cancel(99));
+  EXPECT_FALSE(q.cancel(1) && q.cancel(1));  // second cancel is a no-op
+}
+
+TEST(EventQueue, CancelTopThenNextTimeSkipsIt) {
+  EventQueue q;
+  q.push(make_event(1.0, 1));
+  q.push(make_event(2.0, 2));
+  q.cancel(1);
+  EXPECT_DOUBLE_EQ(q.next_time().count(), 2.0);
+}
+
+TEST(EventQueue, CancelEverything) {
+  EventQueue q;
+  for (EventId i = 1; i <= 5; ++i) q.push(make_event(double(i), i));
+  for (EventId i = 1; i <= 5; ++i) EXPECT_TRUE(q.cancel(i));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueDeath, PopFromEmptyAborts) {
+  EventQueue q;
+  EXPECT_DEATH(q.pop(), "empty");
+}
+
+TEST(EventQueueDeath, DuplicateIdAborts) {
+  EventQueue q;
+  q.push(make_event(1.0, 1));
+  EXPECT_DEATH(q.push(make_event(2.0, 1)), "reused");
+}
+
+class EventQueueRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueRandomized, MatchesSortOracle) {
+  tapesim::Rng rng{GetParam()};
+  EventQueue q;
+  struct Ref {
+    double time;
+    EventId id;
+  };
+  std::vector<Ref> reference;
+  EventId next_id = 1;
+
+  // Interleave pushes, cancels, and pops; verify pop order against a sort.
+  std::vector<Ref> popped;
+  for (int step = 0; step < 2000; ++step) {
+    const double action = rng.uniform();
+    if (action < 0.6) {
+      const double t = rng.uniform(0.0, 100.0);
+      q.push(make_event(t, next_id));
+      reference.push_back(Ref{t, next_id});
+      ++next_id;
+    } else if (action < 0.75 && !reference.empty()) {
+      const std::size_t victim = rng.uniform_below(reference.size());
+      EXPECT_TRUE(q.cancel(reference[victim].id));
+      reference.erase(reference.begin() +
+                      static_cast<std::ptrdiff_t>(victim));
+    } else if (!q.empty()) {
+      const Event e = q.pop();
+      popped.push_back(Ref{e.time.count(), e.id});
+      const auto it = std::find_if(
+          reference.begin(), reference.end(),
+          [&](const Ref& r) { return r.id == e.id; });
+      ASSERT_NE(it, reference.end());
+      reference.erase(it);
+    }
+    ASSERT_EQ(q.size(), reference.size());
+  }
+  // Drain; the tail popped after the interleaving must be fully sorted.
+  const std::size_t drain_start = popped.size();
+  while (!q.empty()) {
+    const Event e = q.pop();
+    popped.push_back(Ref{e.time.count(), e.id});
+    const auto it = std::find_if(reference.begin(), reference.end(),
+                                 [&](const Ref& r) { return r.id == e.id; });
+    ASSERT_NE(it, reference.end());
+    reference.erase(it);
+  }
+  for (std::size_t i = drain_start + 1; i < popped.size(); ++i) {
+    const bool ordered =
+        popped[i - 1].time < popped[i].time ||
+        (popped[i - 1].time == popped[i].time &&
+         popped[i - 1].id < popped[i].id);
+    EXPECT_TRUE(ordered) << "drain out of order at " << i;
+  }
+  EXPECT_TRUE(reference.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(EventQueue, DrainAfterMixedOperationsIsSorted) {
+  tapesim::Rng rng{77};
+  EventQueue q;
+  EventId id = 1;
+  for (int i = 0; i < 500; ++i) {
+    q.push(make_event(rng.uniform(0.0, 10.0), id++));
+  }
+  for (EventId c = 5; c < 500; c += 7) q.cancel(c);
+  double last = -1.0;
+  EventId last_id = 0;
+  while (!q.empty()) {
+    const Event e = q.pop();
+    if (e.time.count() == last) {
+      EXPECT_GT(e.id, last_id);
+    } else {
+      EXPECT_GT(e.time.count(), last);
+    }
+    last = e.time.count();
+    last_id = e.id;
+  }
+}
+
+}  // namespace
+}  // namespace tapesim::sim

@@ -1,0 +1,77 @@
+#include "sim/semaphore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tapesim::sim {
+namespace {
+
+TEST(Semaphore, GrantsUpToCapacityImmediately) {
+  Engine e;
+  Semaphore s(e, "disk", 2);
+  std::vector<double> grants;
+  e.schedule_in(Seconds{0.0}, [&] {
+    for (int i = 0; i < 3; ++i) {
+      s.acquire([&] { grants.push_back(e.now().count()); });
+    }
+  });
+  e.run();
+  // Two grants at t=0; the third waits forever (never released).
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_EQ(s.in_use(), 2u);
+  EXPECT_EQ(s.queue_length(), 1u);
+}
+
+TEST(Semaphore, ReleaseAdmitsWaitersFifo) {
+  Engine e;
+  Semaphore s(e, "disk", 1);
+  std::vector<int> order;
+  e.schedule_in(Seconds{0.0}, [&] {
+    for (int i = 0; i < 3; ++i) {
+      s.acquire([&, i] {
+        order.push_back(i);
+        e.schedule_in(Seconds{5.0}, [&] { s.release(); });
+      });
+    }
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(e.now().count(), 15.0);
+}
+
+TEST(Semaphore, ZeroCapacityMeansUnlimited) {
+  Engine e;
+  Semaphore s(e, "disk", 0);
+  int granted = 0;
+  e.schedule_in(Seconds{0.0}, [&] {
+    for (int i = 0; i < 50; ++i) {
+      s.acquire([&] { ++granted; });
+    }
+  });
+  e.run();
+  EXPECT_EQ(granted, 50);
+  EXPECT_TRUE(s.unlimited());
+  EXPECT_EQ(s.queue_length(), 0u);
+}
+
+TEST(Semaphore, WaitTimeAccumulates) {
+  Engine e;
+  Semaphore s(e, "disk", 1);
+  e.schedule_in(Seconds{0.0}, [&] {
+    s.acquire([&] { e.schedule_in(Seconds{10.0}, [&] { s.release(); }); });
+    s.acquire([&] { s.release(); });  // waits 10 s
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(s.wait_time().count(), 10.0);
+  EXPECT_EQ(s.grants(), 2u);
+}
+
+TEST(SemaphoreDeath, ReleaseWithoutAcquireAborts) {
+  Engine e;
+  Semaphore s(e, "disk", 1);
+  EXPECT_DEATH(s.release(), "matching acquire");
+}
+
+}  // namespace
+}  // namespace tapesim::sim

@@ -1,0 +1,146 @@
+#include "tape/drive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tapesim::tape {
+namespace {
+
+TapeDrive make_drive() {
+  return TapeDrive(DriveId{0}, DriveSpec{}, 400_GB);
+}
+
+TEST(Drive, StartsEmpty) {
+  const TapeDrive d = make_drive();
+  EXPECT_TRUE(d.empty());
+  EXPECT_FALSE(d.idle());
+  EXPECT_FALSE(d.mounted().valid());
+  EXPECT_EQ(d.state(), DriveState::kEmpty);
+}
+
+TEST(Drive, LoadCycle) {
+  TapeDrive d = make_drive();
+  const Seconds load = d.start_load(TapeId{7});
+  EXPECT_DOUBLE_EQ(load.count(), 19.0);
+  EXPECT_EQ(d.state(), DriveState::kLoading);
+  d.finish_load();
+  EXPECT_TRUE(d.idle());
+  EXPECT_EQ(d.mounted(), TapeId{7});
+  EXPECT_EQ(d.head(), Bytes{0});
+  EXPECT_EQ(d.stats().mounts, 1u);
+}
+
+TEST(Drive, LocateMovesHeadAndAccountsTime) {
+  TapeDrive d = make_drive();
+  (void)d.start_load(TapeId{1});
+  d.finish_load();
+  const Seconds t = d.start_locate(200_GB);
+  EXPECT_NEAR(t.count(), 72.0, 1e-9);  // half the tape
+  EXPECT_EQ(d.state(), DriveState::kLocating);
+  d.finish_locate();
+  EXPECT_EQ(d.head(), 200_GB);
+  EXPECT_NEAR(d.stats().locating.count(), 72.0, 1e-9);
+}
+
+TEST(Drive, TransferAdvancesHeadAndCounts) {
+  TapeDrive d = make_drive();
+  (void)d.start_load(TapeId{1});
+  d.finish_load();
+  const Seconds t = d.start_transfer(8_GB);
+  EXPECT_NEAR(t.count(), 100.0, 1e-9);  // 8 GB at 80 MB/s
+  d.finish_transfer();
+  EXPECT_EQ(d.head(), 8_GB);
+  EXPECT_EQ(d.stats().bytes_read, 8_GB);
+  EXPECT_EQ(d.stats().objects_read, 1u);
+  EXPECT_NEAR(d.stats().transferring.count(), 100.0, 1e-9);
+}
+
+TEST(Drive, RewindReturnsToBot) {
+  TapeDrive d = make_drive();
+  (void)d.start_load(TapeId{1});
+  d.finish_load();
+  (void)d.start_locate(400_GB);
+  d.finish_locate();
+  const Seconds t = d.start_rewind();
+  EXPECT_NEAR(t.count(), 98.0, 1e-9);
+  d.finish_rewind();
+  EXPECT_EQ(d.head(), Bytes{0});
+}
+
+TEST(Drive, FullMountServeUnmountCycle) {
+  TapeDrive d = make_drive();
+  (void)d.start_load(TapeId{3});
+  d.finish_load();
+  (void)d.start_locate(10_GB);
+  d.finish_locate();
+  (void)d.start_transfer(2_GB);
+  d.finish_transfer();
+  (void)d.start_rewind();
+  d.finish_rewind();
+  const Seconds unload = d.start_unload();
+  EXPECT_DOUBLE_EQ(unload.count(), 19.0);
+  const TapeId removed = d.finish_unload();
+  EXPECT_EQ(removed, TapeId{3});
+  EXPECT_TRUE(d.empty());
+  EXPECT_FALSE(d.mounted().valid());
+  EXPECT_GT(d.stats().total_active().count(), 0.0);
+}
+
+TEST(Drive, StatsAccumulateAcrossOperations) {
+  TapeDrive d = make_drive();
+  (void)d.start_load(TapeId{1});
+  d.finish_load();
+  for (int i = 0; i < 3; ++i) {
+    (void)d.start_transfer(1_GB);
+    d.finish_transfer();
+  }
+  EXPECT_EQ(d.stats().objects_read, 3u);
+  EXPECT_EQ(d.stats().bytes_read, 3_GB);
+  EXPECT_EQ(d.head(), 3_GB);
+}
+
+TEST(DriveDeath, IllegalTransitionsAbort) {
+  TapeDrive d = make_drive();
+  // Empty drive cannot locate/transfer/rewind/unload.
+  EXPECT_DEATH((void)d.start_locate(1_GB), "idle");
+  EXPECT_DEATH((void)d.start_transfer(1_GB), "idle");
+  EXPECT_DEATH((void)d.start_rewind(), "idle");
+  EXPECT_DEATH((void)d.start_unload(), "unload");
+
+  (void)d.start_load(TapeId{1});
+  // Loading drive cannot start anything else.
+  EXPECT_DEATH((void)d.start_load(TapeId{2}), "empty");
+  EXPECT_DEATH((void)d.start_transfer(1_GB), "idle");
+  d.finish_load();
+
+  // Unload requires a rewound head.
+  (void)d.start_locate(5_GB);
+  d.finish_locate();
+  EXPECT_DEATH((void)d.start_unload(), "rewind");
+}
+
+TEST(DriveDeath, TransferBeyondEndOfTapeAborts) {
+  TapeDrive d = make_drive();
+  (void)d.start_load(TapeId{1});
+  d.finish_load();
+  (void)d.start_locate(399_GB);
+  d.finish_locate();
+  EXPECT_DEATH((void)d.start_transfer(2_GB), "end of the tape");
+}
+
+TEST(DriveDeath, LoadingInvalidTapeAborts) {
+  TapeDrive d = make_drive();
+  EXPECT_DEATH((void)d.start_load(TapeId{}), "invalid");
+}
+
+TEST(Drive, StateNamesAreHumanReadable) {
+  EXPECT_STREQ(to_string(DriveState::kEmpty), "empty");
+  EXPECT_STREQ(to_string(DriveState::kIdle), "idle");
+  EXPECT_STREQ(to_string(DriveState::kLoading), "loading");
+  EXPECT_STREQ(to_string(DriveState::kLocating), "locating");
+  EXPECT_STREQ(to_string(DriveState::kTransferring), "transferring");
+  EXPECT_STREQ(to_string(DriveState::kRewinding), "rewinding");
+  EXPECT_STREQ(to_string(DriveState::kUnloading), "unloading");
+}
+
+}  // namespace
+}  // namespace tapesim::tape

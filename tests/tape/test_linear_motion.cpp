@@ -1,0 +1,82 @@
+#include "tape/linear_motion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace tapesim::tape {
+namespace {
+
+LinearMotionModel paper_model() {
+  return LinearMotionModel(DriveSpec{}, 400_GB);
+}
+
+TEST(LinearMotion, CalibrationReproducesTable1) {
+  const LinearMotionModel m = paper_model();
+  // Rewinding a full tape must take exactly the spec's max rewind time.
+  EXPECT_NEAR(m.max_rewind().count(), 98.0, 1e-9);
+  EXPECT_NEAR(m.rewind_time(400_GB).count(), 98.0, 1e-9);
+  // Locating to the middle of the tape is the spec's average first-file
+  // access time.
+  EXPECT_NEAR(m.average_first_access().count(), 72.0, 1e-9);
+  EXPECT_NEAR(m.locate_time(Bytes{0}, 200_GB).count(), 72.0, 1e-9);
+}
+
+TEST(LinearMotion, LocateIsProportionalToDistance) {
+  const LinearMotionModel m = paper_model();
+  const double full = m.locate_time(Bytes{0}, 400_GB).count();
+  EXPECT_NEAR(m.locate_time(Bytes{0}, 100_GB).count(), full / 4.0, 1e-9);
+  EXPECT_NEAR(m.locate_time(Bytes{0}, 200_GB).count(), full / 2.0, 1e-9);
+}
+
+TEST(LinearMotion, LocateIsSymmetric) {
+  const LinearMotionModel m = paper_model();
+  tapesim::Rng rng{5};
+  for (int i = 0; i < 100; ++i) {
+    const Bytes a{rng.uniform_below(400ull * 1000 * 1000 * 1000)};
+    const Bytes b{rng.uniform_below(400ull * 1000 * 1000 * 1000)};
+    EXPECT_DOUBLE_EQ(m.locate_time(a, b).count(), m.locate_time(b, a).count());
+  }
+}
+
+TEST(LinearMotion, ZeroDistanceCostsNothing) {
+  const LinearMotionModel m = paper_model();
+  EXPECT_DOUBLE_EQ(m.locate_time(37_GB, 37_GB).count(), 0.0);
+  EXPECT_DOUBLE_EQ(m.rewind_time(Bytes{0}).count(), 0.0);
+}
+
+TEST(LinearMotion, RewindIsFasterThanLocate) {
+  // The drive rewinds at high speed without read-verifying; the calibrated
+  // rates must reflect that.
+  const LinearMotionModel m = paper_model();
+  EXPECT_GT(m.rewind_rate().count(), m.locate_rate().count());
+  EXPECT_LT(m.rewind_time(300_GB).count(),
+            m.locate_time(Bytes{0}, 300_GB).count());
+}
+
+TEST(LinearMotion, TriangleEquality) {
+  // A locate A->B->C in the same direction costs the same as A->C.
+  const LinearMotionModel m = paper_model();
+  const double via = m.locate_time(10_GB, 50_GB).count() +
+                     m.locate_time(50_GB, 90_GB).count();
+  EXPECT_NEAR(via, m.locate_time(10_GB, 90_GB).count(), 1e-9);
+}
+
+TEST(LinearMotionDeath, PositionBeyondCapacityAborts) {
+  const LinearMotionModel m = paper_model();
+  EXPECT_DEATH((void)m.locate_time(Bytes{0}, 401_GB), "end of tape");
+  EXPECT_DEATH((void)m.rewind_time(401_GB), "end of tape");
+}
+
+TEST(LinearMotion, ScalesWithCapacity) {
+  // A tape with double capacity but the same drive spec positions twice as
+  // fast in bytes/second (the motion constants are per-tape-length).
+  const LinearMotionModel small(DriveSpec{}, 400_GB);
+  const LinearMotionModel big(DriveSpec{}, 800_GB);
+  EXPECT_NEAR(big.locate_rate().count(), 2.0 * small.locate_rate().count(),
+              1e-6);
+  EXPECT_NEAR(big.max_rewind().count(), small.max_rewind().count(), 1e-9);
+}
+
+}  // namespace
+}  // namespace tapesim::tape

@@ -1,0 +1,68 @@
+#include "tape/specs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tapesim::tape {
+namespace {
+
+TEST(Specs, PaperDefaultMatchesTable1) {
+  const SystemSpec spec = SystemSpec::paper_default();
+  EXPECT_EQ(spec.num_libraries, 3u);
+  EXPECT_EQ(spec.library.drives_per_library, 8u);
+  EXPECT_EQ(spec.library.tapes_per_library, 80u);
+  EXPECT_EQ(spec.library.tape_capacity, 400_GB);
+  EXPECT_DOUBLE_EQ(spec.library.cell_to_drive_time.count(), 7.6);
+  EXPECT_DOUBLE_EQ(spec.library.drive.transfer_rate.count(), 80.0e6);
+  EXPECT_DOUBLE_EQ(spec.library.drive.load_thread_time.count(), 19.0);
+  EXPECT_DOUBLE_EQ(spec.library.drive.unload_time.count(), 19.0);
+  EXPECT_DOUBLE_EQ(spec.library.drive.max_rewind_time.count(), 98.0);
+  EXPECT_DOUBLE_EQ(spec.library.drive.avg_first_file_access.count(), 72.0);
+}
+
+TEST(Specs, DerivedTotals) {
+  const SystemSpec spec = SystemSpec::paper_default();
+  EXPECT_EQ(spec.total_drives(), 24u);
+  EXPECT_EQ(spec.total_tapes(), 240u);
+  EXPECT_EQ(spec.total_capacity(), Bytes{240ull * 400 * 1000 * 1000 * 1000});
+  EXPECT_DOUBLE_EQ(spec.aggregate_transfer_rate().count(), 24 * 80.0e6);
+}
+
+TEST(Specs, ValidationAcceptsDefaults) {
+  EXPECT_NO_THROW(SystemSpec::paper_default().validate());
+}
+
+TEST(Specs, ValidationRejectsBadValues) {
+  SystemSpec spec;
+  spec.num_libraries = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = SystemSpec::paper_default();
+  spec.library.drives_per_library = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = SystemSpec::paper_default();
+  spec.library.tapes_per_library = 4;  // fewer tapes than drives
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = SystemSpec::paper_default();
+  spec.library.tape_capacity = Bytes{0};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = SystemSpec::paper_default();
+  spec.library.drive.transfer_rate = BytesPerSecond{0.0};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = SystemSpec::paper_default();
+  spec.library.drive.max_rewind_time = Seconds{0.0};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(Specs, DescribeMentionsKeyNumbers) {
+  const std::string d = SystemSpec::paper_default().describe();
+  EXPECT_NE(d.find("3 libraries"), std::string::npos);
+  EXPECT_NE(d.find("8 drives"), std::string::npos);
+  EXPECT_NE(d.find("80 tapes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tapesim::tape

@@ -1,0 +1,151 @@
+#include "trace/plan_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/hierarchy.hpp"
+#include "core/parallel_batch.hpp"
+#include "exp/experiment.hpp"
+#include "trace/outcome_log.hpp"
+#include "workload/generator.hpp"
+
+namespace tapesim::trace {
+namespace {
+
+struct PlanIoFixture : ::testing::Test {
+  tape::SystemSpec spec = [] {
+    tape::SystemSpec s;
+    s.num_libraries = 2;
+    s.library.drives_per_library = 3;
+    s.library.tapes_per_library = 10;
+    s.library.tape_capacity = 40_GB;
+    return s;
+  }();
+  workload::Workload wl = [] {
+    workload::WorkloadConfig config;
+    config.num_objects = 500;
+    config.num_requests = 20;
+    config.min_objects_per_request = 10;
+    config.max_objects_per_request = 20;
+    config.object_groups = 15;
+    config.min_object_size = Bytes{100ULL * 1000 * 1000};
+    config.max_object_size = 1_GB;
+    Rng rng{5};
+    return workload::generate_workload(config, rng);
+  }();
+  cluster::ObjectClusters clusters = [this] {
+    cluster::ClusterConstraints constraints;
+    constraints.max_bytes = 36_GB;
+    return cluster::cluster_by_requests(wl, constraints);
+  }();
+
+  core::PlacementPlan make_plan() {
+    core::ParallelBatchParams params;
+    params.switch_drives = 1;
+    const core::ParallelBatchPlacement scheme(params);
+    return scheme.place(core::PlacementContext{&wl, &spec, &clusters});
+  }
+};
+
+TEST_F(PlanIoFixture, RoundTripPreservesLayoutAndPolicy) {
+  const core::PlacementPlan original = make_plan();
+  std::stringstream layout;
+  std::stringstream policy;
+  save_plan(original, layout, policy);
+  const core::PlacementPlan loaded = load_plan(spec, wl, layout, policy);
+
+  for (std::uint32_t i = 0; i < wl.object_count(); ++i) {
+    EXPECT_EQ(loaded.tape_of(ObjectId{i}), original.tape_of(ObjectId{i}));
+  }
+  for (std::uint32_t tv = 0; tv < spec.total_tapes(); ++tv) {
+    const auto a = original.on_tape(TapeId{tv});
+    const auto b = loaded.on_tape(TapeId{tv});
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j].object, b[j].object);
+      EXPECT_EQ(a[j].offset, b[j].offset);
+    }
+  }
+  EXPECT_EQ(loaded.mount_policy.replacement,
+            original.mount_policy.replacement);
+  EXPECT_EQ(loaded.mount_policy.initial_mounts,
+            original.mount_policy.initial_mounts);
+  ASSERT_EQ(loaded.mount_policy.drive_pinned.size(),
+            original.mount_policy.drive_pinned.size());
+  EXPECT_EQ(loaded.mount_policy.drive_pinned,
+            original.mount_policy.drive_pinned);
+}
+
+TEST_F(PlanIoFixture, ReloadedPlanSimulatesIdentically) {
+  const core::PlacementPlan original = make_plan();
+  std::stringstream layout;
+  std::stringstream policy;
+  save_plan(original, layout, policy);
+  const core::PlacementPlan loaded = load_plan(spec, wl, layout, policy);
+
+  const auto a = exp::simulate_plan(original, 30, 99);
+  const auto b = exp::simulate_plan(loaded, 30, 99);
+  EXPECT_DOUBLE_EQ(a.mean_response().count(), b.mean_response().count());
+  EXPECT_DOUBLE_EQ(a.mean_bandwidth().count(), b.mean_bandwidth().count());
+}
+
+TEST_F(PlanIoFixture, FileRoundTrip) {
+  const core::PlacementPlan original = make_plan();
+  const std::string prefix = "/tmp/tapesim_plan_io_test";
+  save_plan(original, prefix);
+  const core::PlacementPlan loaded = load_plan(spec, wl, prefix);
+  EXPECT_EQ(loaded.tapes_used(), original.tapes_used());
+  std::remove((prefix + ".layout.csv").c_str());
+  std::remove((prefix + ".mounts.csv").c_str());
+}
+
+TEST_F(PlanIoFixture, RejectsCorruptedLayout) {
+  const core::PlacementPlan original = make_plan();
+  std::stringstream layout;
+  std::stringstream policy;
+  save_plan(original, layout, policy);
+  // Corrupt a size field: reconstruction must detect the inconsistency.
+  std::string text = layout.str();
+  const auto pos = text.find_last_of(',');
+  text.replace(pos + 1, std::string::npos, "999\n");
+  std::stringstream corrupted{text};
+  EXPECT_THROW((void)load_plan(spec, wl, corrupted, policy),
+               std::runtime_error);
+}
+
+TEST_F(PlanIoFixture, RejectsUnknownPolicy) {
+  const core::PlacementPlan original = make_plan();
+  std::stringstream layout;
+  std::stringstream policy;
+  save_plan(original, layout, policy);
+  std::stringstream bad_policy{"replacement,quantum\ndrive,tape,pinned\n"};
+  EXPECT_THROW((void)load_plan(spec, wl, layout, bad_policy),
+               std::runtime_error);
+}
+
+TEST(OutcomeLogTest, WritesHeaderAndRows) {
+  std::stringstream out;
+  OutcomeLog log(out);
+  metrics::RequestOutcome outcome;
+  outcome.request = RequestId{3};
+  outcome.bytes = 10_GB;
+  outcome.response = Seconds{100.0};
+  outcome.transfer = Seconds{80.0};
+  outcome.seek = Seconds{15.0};
+  outcome.switch_time = Seconds{5.0};
+  outcome.tape_switches = 2;
+  outcome.tapes_touched = 3;
+  outcome.drives_used = 3;
+  log.record(outcome);
+  log.record(outcome);
+  EXPECT_EQ(log.rows(), 2u);
+  std::string line;
+  std::getline(out, line);
+  EXPECT_EQ(line, OutcomeLog::kHeader);
+  std::getline(out, line);
+  EXPECT_EQ(line, "3,10000000000,100,5,15,80,0,2,3,3,100");
+}
+
+}  // namespace
+}  // namespace tapesim::trace

@@ -1,0 +1,84 @@
+#include "trace/workload_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/generator.hpp"
+
+namespace tapesim::trace {
+namespace {
+
+workload::Workload sample(std::uint64_t seed) {
+  workload::WorkloadConfig config;
+  config.num_objects = 300;
+  config.num_requests = 15;
+  config.min_objects_per_request = 5;
+  config.max_objects_per_request = 12;
+  config.object_groups = 10;
+  Rng rng{seed};
+  return workload::generate_workload(config, rng);
+}
+
+TEST(WorkloadIo, RoundTripsExactly) {
+  const workload::Workload original = sample(1);
+  std::stringstream objects;
+  std::stringstream requests;
+  save_workload(original, objects, requests);
+  const workload::Workload loaded = load_workload(objects, requests);
+
+  ASSERT_EQ(loaded.object_count(), original.object_count());
+  ASSERT_EQ(loaded.request_count(), original.request_count());
+  for (std::uint32_t i = 0; i < original.object_count(); ++i) {
+    EXPECT_EQ(loaded.object_size(ObjectId{i}),
+              original.object_size(ObjectId{i}));
+  }
+  for (std::uint32_t r = 0; r < original.request_count(); ++r) {
+    EXPECT_EQ(loaded.requests()[r].objects, original.requests()[r].objects);
+    EXPECT_DOUBLE_EQ(loaded.requests()[r].probability,
+                     original.requests()[r].probability);
+  }
+  // Derived quantities follow.
+  for (std::uint32_t i = 0; i < original.object_count(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.object_probability(ObjectId{i}),
+                     original.object_probability(ObjectId{i}));
+  }
+}
+
+TEST(WorkloadIo, FileRoundTrip) {
+  const workload::Workload original = sample(2);
+  const std::string prefix = "/tmp/tapesim_wl_io_test";
+  save_workload(original, prefix);
+  const workload::Workload loaded = load_workload(prefix);
+  EXPECT_EQ(loaded.object_count(), original.object_count());
+  EXPECT_EQ(loaded.total_object_bytes(), original.total_object_bytes());
+  std::remove((prefix + ".objects.csv").c_str());
+  std::remove((prefix + ".requests.csv").c_str());
+}
+
+TEST(WorkloadIo, RejectsMissingHeader) {
+  std::stringstream objects{"wrong\n0,100\n"};
+  std::stringstream requests{"request,probability,objects\n"};
+  EXPECT_THROW(load_workload(objects, requests), std::runtime_error);
+}
+
+TEST(WorkloadIo, RejectsMalformedRow) {
+  std::stringstream objects{"object,size_bytes\n0,banana\n"};
+  std::stringstream requests{"request,probability,objects\n"};
+  EXPECT_THROW(load_workload(objects, requests), std::runtime_error);
+}
+
+TEST(WorkloadIo, RejectsMissingFile) {
+  EXPECT_THROW(load_workload("/nonexistent/prefix"), std::runtime_error);
+}
+
+TEST(WorkloadIo, RejectsInconsistentWorkload) {
+  // Request references an object that does not exist -> validate() aborts,
+  // so this is a death test.
+  std::stringstream objects{"object,size_bytes\n0,100\n"};
+  std::stringstream requests{"request,probability,objects\n0,1.0,0 5\n"};
+  EXPECT_DEATH((void)load_workload(objects, requests), "invariant violated");
+}
+
+}  // namespace
+}  // namespace tapesim::trace

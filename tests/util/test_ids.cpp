@@ -1,0 +1,51 @@
+#include "util/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+#include <unordered_set>
+
+namespace tapesim {
+namespace {
+
+TEST(StrongId, DefaultConstructedIsInvalid) {
+  ObjectId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_TRUE(ObjectId{3}.valid());
+}
+
+TEST(StrongId, ValueAndIndexAgree) {
+  TapeId t{17};
+  EXPECT_EQ(t.value(), 17u);
+  EXPECT_EQ(t.index(), 17u);
+}
+
+TEST(StrongId, OrderingAndEquality) {
+  EXPECT_LT(DriveId{1}, DriveId{2});
+  EXPECT_EQ(DriveId{5}, DriveId{5});
+  EXPECT_NE(DriveId{5}, DriveId{6});
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<ObjectId, TapeId>);
+  static_assert(!std::is_convertible_v<ObjectId, TapeId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, ObjectId>);
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<ObjectId> set;
+  set.insert(ObjectId{1});
+  set.insert(ObjectId{2});
+  set.insert(ObjectId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(StrongId, StreamOutput) {
+  std::ostringstream ss;
+  ss << LibraryId{2} << " " << LibraryId{};
+  EXPECT_EQ(ss.str(), "2 <invalid>");
+}
+
+}  // namespace
+}  // namespace tapesim

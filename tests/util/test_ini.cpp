@@ -1,0 +1,95 @@
+#include "util/ini.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tapesim {
+namespace {
+
+IniFile parse(const std::string& text) {
+  std::istringstream in(text);
+  return IniFile::parse(in);
+}
+
+TEST(Ini, ParsesSectionsAndKeys) {
+  const IniFile ini = parse(
+      "top = 1\n"
+      "[system]\n"
+      "libraries = 3\n"
+      "drives = 8\n"
+      "[workload]\n"
+      "alpha = 0.3\n");
+  EXPECT_EQ(ini.get_or("top", ""), "1");
+  EXPECT_EQ(ini.get_or("system.libraries", ""), "3");
+  EXPECT_EQ(ini.get_or("system.drives", ""), "8");
+  EXPECT_EQ(ini.get_or("workload.alpha", ""), "0.3");
+  EXPECT_FALSE(ini.has("missing"));
+  EXPECT_EQ(ini.values().size(), 4u);
+}
+
+TEST(Ini, TrimsWhitespaceAndSkipsCommentsAndBlanks) {
+  const IniFile ini = parse(
+      "\n"
+      "  # full-line comment\n"
+      "  key1 =  spaced value \n"
+      "key2 = 7   ; trailing comment\n"
+      "\t\n");
+  EXPECT_EQ(ini.get_or("key1", ""), "spaced value");
+  EXPECT_EQ(ini.get_or("key2", ""), "7");
+}
+
+TEST(Ini, TypedAccessors) {
+  const IniFile ini = parse(
+      "[a]\n"
+      "num = 2.5\n"
+      "int = -12\n"
+      "yes = true\n"
+      "no = off\n");
+  EXPECT_DOUBLE_EQ(ini.number_or("a.num", 0.0), 2.5);
+  EXPECT_EQ(ini.integer_or("a.int", 0), -12);
+  EXPECT_TRUE(ini.flag_or("a.yes", false));
+  EXPECT_FALSE(ini.flag_or("a.no", true));
+  // Fallbacks for absent keys.
+  EXPECT_DOUBLE_EQ(ini.number_or("a.missing", 9.5), 9.5);
+  EXPECT_EQ(ini.integer_or("a.missing", 4), 4);
+  EXPECT_TRUE(ini.flag_or("a.missing", true));
+}
+
+TEST(Ini, TypedAccessorsRejectMalformedValues) {
+  const IniFile ini = parse("x = banana\ny = 1.5extra\n");
+  EXPECT_THROW((void)ini.number_or("x", 0.0), std::runtime_error);
+  EXPECT_THROW((void)ini.integer_or("y", 0), std::runtime_error);
+  EXPECT_THROW((void)ini.flag_or("x", false), std::runtime_error);
+}
+
+TEST(Ini, ParseErrorsCarryLineNumbers) {
+  try {
+    parse("good = 1\nbad line without equals\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(parse("[unterminated\n"), std::runtime_error);
+  EXPECT_THROW(parse("[]\n"), std::runtime_error);
+  EXPECT_THROW(parse("= value\n"), std::runtime_error);
+  EXPECT_THROW(parse("dup = 1\ndup = 2\n"), std::runtime_error);
+}
+
+TEST(Ini, LoadsFromFile) {
+  const std::string path = "/tmp/tapesim_ini_test.ini";
+  {
+    std::ofstream out(path);
+    out << "[run]\nscheme = pbp\nalpha = 0.7\n";
+  }
+  const IniFile ini = IniFile::load(path);
+  EXPECT_EQ(ini.get_or("run.scheme", ""), "pbp");
+  EXPECT_DOUBLE_EQ(ini.number_or("run.alpha", 0.0), 0.7);
+  std::remove(path.c_str());
+  EXPECT_THROW(IniFile::load("/nonexistent/x.ini"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tapesim

@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace tapesim {
+namespace {
+
+TEST(Table, AlignedRendering) {
+  Table t({"name", "value"});
+  t.add("a", 1);
+  t.add("long-name", 123);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name       value"), std::string::npos);
+  EXPECT_NE(s.find("long-name  123"), std::string::npos);
+}
+
+TEST(Table, FormatsMixedTypes) {
+  Table t({"a", "b", "c", "d"});
+  t.add(std::string{"text"}, 42, 3.14159, 80_MBps);
+  EXPECT_EQ(t.rows(), 1u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("text"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3.142"), std::string::npos);  // default 3-digit precision
+  EXPECT_NE(s.find("80 MB/s"), std::string::npos);
+}
+
+TEST(Table, NumTrimsTrailingZeros) {
+  EXPECT_EQ(Table::num(1.5), "1.5");
+  EXPECT_EQ(Table::num(2.0), "2");
+  EXPECT_EQ(Table::num(0.125, 3), "0.125");
+  EXPECT_EQ(Table::num(0.1234567, 2), "0.12");
+  EXPECT_EQ(Table::num(std::nan("")), "nan");
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t({"x", "y"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"quote\"inside", "line\nbreak"});
+  std::ostringstream ss;
+  t.print_csv(ss);
+  const std::string csv = ss.str();
+  EXPECT_NE(csv.find("plain,\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripThroughFile) {
+  Table t({"k", "v"});
+  t.add("alpha", 1);
+  t.add("beta", 2);
+  const std::string path = "/tmp/tapesim_table_test.csv";
+  t.save_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "alpha,1");
+  std::remove(path.c_str());
+}
+
+TEST(Table, SaveCsvFailsOnBadPath) {
+  Table t({"a"});
+  EXPECT_THROW(t.save_csv("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+TEST(TableDeath, RowArityMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "arity");
+}
+
+}  // namespace
+}  // namespace tapesim

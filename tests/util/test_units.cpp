@@ -1,0 +1,77 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tapesim {
+namespace {
+
+TEST(Bytes, LiteralsScaleDecimally) {
+  EXPECT_EQ((1_KB).count(), 1000u);
+  EXPECT_EQ((1_MB).count(), 1000u * 1000u);
+  EXPECT_EQ((1_GB).count(), 1000ull * 1000 * 1000);
+  EXPECT_EQ((400_GB).count(), 400ull * 1000 * 1000 * 1000);
+}
+
+TEST(Bytes, ArithmeticAndComparison) {
+  Bytes a{100};
+  Bytes b{40};
+  EXPECT_EQ((a + b).count(), 140u);
+  EXPECT_EQ((a - b).count(), 60u);
+  a += b;
+  EXPECT_EQ(a.count(), 140u);
+  a -= b;
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_LT(b, a);
+  EXPECT_GT(a, b);
+  EXPECT_EQ(a, Bytes{100});
+}
+
+TEST(Bytes, DistanceIsSymmetric) {
+  EXPECT_EQ(Bytes::distance(Bytes{10}, Bytes{4}).count(), 6u);
+  EXPECT_EQ(Bytes::distance(Bytes{4}, Bytes{10}).count(), 6u);
+  EXPECT_EQ(Bytes::distance(Bytes{7}, Bytes{7}).count(), 0u);
+}
+
+TEST(Bytes, UnitConversions) {
+  EXPECT_DOUBLE_EQ((2_GB).gigabytes(), 2.0);
+  EXPECT_DOUBLE_EQ((2_GB).megabytes(), 2000.0);
+  EXPECT_DOUBLE_EQ(Bytes{500}.as_double(), 500.0);
+}
+
+TEST(Seconds, ArithmeticAndScaling) {
+  Seconds t{10.0};
+  EXPECT_DOUBLE_EQ((t + 5.0_s).count(), 15.0);
+  EXPECT_DOUBLE_EQ((t - 4.0_s).count(), 6.0);
+  EXPECT_DOUBLE_EQ((t * 2.0).count(), 20.0);
+  EXPECT_DOUBLE_EQ((0.5 * t).count(), 5.0);
+  EXPECT_LT(Seconds{1.0}, Seconds{2.0});
+}
+
+TEST(BytesPerSecond, RateLiteralAndConversion) {
+  EXPECT_DOUBLE_EQ((80_MBps).count(), 80.0e6);
+  EXPECT_DOUBLE_EQ((80_MBps).megabytes_per_second(), 80.0);
+}
+
+TEST(Units, DurationForMatchesHandComputation) {
+  // 400 GB at 80 MB/s = 5000 s (how long a full LTO-3 tape streams).
+  EXPECT_DOUBLE_EQ(duration_for(400_GB, 80_MBps).count(), 5000.0);
+  EXPECT_DOUBLE_EQ(duration_for(0_B, 80_MBps).count(), 0.0);
+}
+
+TEST(Units, RateForInvertsDurationFor) {
+  const Bytes amount = 123_GB;
+  const BytesPerSecond rate = 80_MBps;
+  const Seconds t = duration_for(amount, rate);
+  EXPECT_NEAR(rate_for(amount, t).count(), rate.count(), 1e-6);
+}
+
+TEST(Units, StreamingProducesHumanReadableText) {
+  std::ostringstream ss;
+  ss << 400_GB << " " << Seconds{49.0} << " " << 80_MBps;
+  EXPECT_EQ(ss.str(), "400 GB 49 s 80 MB/s");
+}
+
+}  // namespace
+}  // namespace tapesim

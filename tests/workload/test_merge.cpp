@@ -1,0 +1,91 @@
+#include "workload/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+
+namespace tapesim::workload {
+namespace {
+
+Workload make(std::uint32_t objects, std::uint32_t requests,
+              std::uint64_t seed) {
+  WorkloadConfig config;
+  config.num_objects = objects;
+  config.num_requests = requests;
+  config.min_objects_per_request = 5;
+  config.max_objects_per_request = 10;
+  config.object_groups = 8;
+  Rng rng{seed};
+  return generate_workload(config, rng);
+}
+
+TEST(Merge, CountsAndIdsShift) {
+  const Workload base = make(100, 10, 1);
+  const Workload ext = make(50, 6, 2);
+  const Workload merged = merge_workloads(base, ext, 0.5);
+  EXPECT_EQ(merged.object_count(), 150u);
+  EXPECT_EQ(merged.request_count(), 16u);
+  merged.validate();
+  // Old object sizes preserved at the same ids.
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(merged.object_size(ObjectId{i}), base.object_size(ObjectId{i}));
+  }
+  // Extension objects shifted by 100.
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(merged.object_size(ObjectId{100 + i}),
+              ext.object_size(ObjectId{i}));
+  }
+}
+
+TEST(Merge, RequestsReferenceShiftedObjects) {
+  const Workload base = make(100, 10, 1);
+  const Workload ext = make(50, 6, 2);
+  const Workload merged = merge_workloads(base, ext, 0.25);
+  const Request& shifted = merged.requests()[10];  // first extension request
+  const Request& orig = ext.requests()[0];
+  ASSERT_EQ(shifted.objects.size(), orig.objects.size());
+  for (std::size_t i = 0; i < orig.objects.size(); ++i) {
+    EXPECT_EQ(shifted.objects[i].value(), orig.objects[i].value() + 100);
+  }
+}
+
+TEST(Merge, ProbabilityMassSplitsByWeight) {
+  const Workload base = make(100, 10, 1);
+  const Workload ext = make(50, 6, 2);
+  const Workload merged = merge_workloads(base, ext, 0.3);
+  double base_mass = 0.0;
+  double ext_mass = 0.0;
+  for (std::uint32_t r = 0; r < merged.request_count(); ++r) {
+    (r < 10 ? base_mass : ext_mass) += merged.requests()[r].probability;
+  }
+  EXPECT_NEAR(base_mass, 0.7, 1e-9);
+  EXPECT_NEAR(ext_mass, 0.3, 1e-9);
+}
+
+TEST(Merge, RejectsDegenerateWeights) {
+  const Workload base = make(20, 4, 1);
+  const Workload ext = make(20, 4, 2);
+  EXPECT_THROW(merge_workloads(base, ext, 0.0), std::invalid_argument);
+  EXPECT_THROW(merge_workloads(base, ext, 1.0), std::invalid_argument);
+  EXPECT_THROW(merge_workloads(base, ext, -0.5), std::invalid_argument);
+}
+
+TEST(Merge, ChainsAcrossGenerations) {
+  Workload merged = make(50, 5, 1);
+  for (std::uint64_t gen = 2; gen <= 4; ++gen) {
+    const Workload next = make(50, 5, gen);
+    merged = merge_workloads(merged, next, 1.0 / static_cast<double>(gen));
+  }
+  EXPECT_EQ(merged.object_count(), 200u);
+  EXPECT_EQ(merged.request_count(), 20u);
+  merged.validate();
+  // Equal weighting: each generation ends with ~1/4 of the mass.
+  double first_gen = 0.0;
+  for (std::uint32_t r = 0; r < 5; ++r) {
+    first_gen += merged.requests()[r].probability;
+  }
+  EXPECT_NEAR(first_gen, 0.25, 1e-9);
+}
+
+}  // namespace
+}  // namespace tapesim::workload

@@ -1,0 +1,77 @@
+#include "workload/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tapesim::workload {
+namespace {
+
+Workload tiny_workload() {
+  std::vector<ObjectInfo> objects{
+      {ObjectId{0}, 10_GB}, {ObjectId{1}, 20_GB}, {ObjectId{2}, 5_GB}};
+  std::vector<Request> requests;
+  requests.push_back(Request{RequestId{0}, 0.5, {ObjectId{0}, ObjectId{1}}});
+  requests.push_back(Request{RequestId{1}, 0.3, {ObjectId{1}, ObjectId{2}}});
+  requests.push_back(Request{RequestId{2}, 0.2, {ObjectId{2}}});
+  return Workload{std::move(objects), std::move(requests)};
+}
+
+TEST(WorkloadModel, ObjectProbabilityIsSumOverContainingRequests) {
+  const Workload wl = tiny_workload();
+  EXPECT_DOUBLE_EQ(wl.object_probability(ObjectId{0}), 0.5);
+  EXPECT_DOUBLE_EQ(wl.object_probability(ObjectId{1}), 0.8);
+  EXPECT_DOUBLE_EQ(wl.object_probability(ObjectId{2}), 0.5);
+}
+
+TEST(WorkloadModel, DensityAndLoad) {
+  const Workload wl = tiny_workload();
+  EXPECT_DOUBLE_EQ(wl.probability_density(ObjectId{0}),
+                   0.5 / (10.0e9));
+  EXPECT_DOUBLE_EQ(wl.object_load(ObjectId{1}), 0.8 * 20.0e9);
+}
+
+TEST(WorkloadModel, RequestBytes) {
+  const Workload wl = tiny_workload();
+  EXPECT_EQ(wl.request_bytes(RequestId{0}), 30_GB);
+  EXPECT_EQ(wl.request_bytes(RequestId{1}), 25_GB);
+  EXPECT_EQ(wl.request_bytes(RequestId{2}), 5_GB);
+}
+
+TEST(WorkloadModel, MeanRequestBytesIsProbabilityWeighted) {
+  const Workload wl = tiny_workload();
+  const double expected = 0.5 * 30e9 + 0.3 * 25e9 + 0.2 * 5e9;
+  EXPECT_NEAR(wl.mean_request_bytes().as_double(), expected, 1.0);
+}
+
+TEST(WorkloadModel, TotalBytes) {
+  const Workload wl = tiny_workload();
+  EXPECT_EQ(wl.total_object_bytes(), 35_GB);
+}
+
+TEST(WorkloadModel, ValidateAcceptsConsistentWorkload) {
+  EXPECT_NO_FATAL_FAILURE(tiny_workload().validate());
+}
+
+TEST(WorkloadModelDeath, ValidateRejectsDuplicateObjectInRequest) {
+  std::vector<ObjectInfo> objects{{ObjectId{0}, 1_GB}};
+  std::vector<Request> requests{
+      Request{RequestId{0}, 1.0, {ObjectId{0}, ObjectId{0}}}};
+  const Workload wl{std::move(objects), std::move(requests)};
+  EXPECT_DEATH(wl.validate(), "twice");
+}
+
+TEST(WorkloadModelDeath, ValidateRejectsUnnormalizedProbabilities) {
+  std::vector<ObjectInfo> objects{{ObjectId{0}, 1_GB}};
+  std::vector<Request> requests{Request{RequestId{0}, 0.5, {ObjectId{0}}}};
+  const Workload wl{std::move(objects), std::move(requests)};
+  EXPECT_DEATH(wl.validate(), "sum to 1");
+}
+
+TEST(WorkloadModelDeath, ValidateRejectsEmptyRequest) {
+  std::vector<ObjectInfo> objects{{ObjectId{0}, 1_GB}};
+  std::vector<Request> requests{Request{RequestId{0}, 1.0, {}}};
+  const Workload wl{std::move(objects), std::move(requests)};
+  EXPECT_DEATH(wl.validate(), ">= 1 object");
+}
+
+}  // namespace
+}  // namespace tapesim::workload

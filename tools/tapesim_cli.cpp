@@ -1,0 +1,262 @@
+// tapesim — command-line front end to the library.
+//
+//   tapesim info    [system flags]
+//   tapesim workload --out PREFIX [workload flags]
+//   tapesim place   --scheme pbp|opp|cpp --out PREFIX [flags]
+//   tapesim run     --scheme pbp|opp|cpp [flags] [--log FILE.csv]
+//
+// Common flags (defaults reproduce the paper's setup):
+//   --libraries N --drives D --tapes T --capacity-gb C
+//   --objects N --requests N --alpha A --locality L --groups G
+//   --avg-request-gb G --m M --k K --seed S --simulated N
+//
+// `run` prints the aggregate metrics the paper reports; `--log` streams
+// every per-request outcome to CSV.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/cluster_probability.hpp"
+#include "sched/report.hpp"
+#include "core/object_probability.hpp"
+#include "core/parallel_batch.hpp"
+#include "exp/experiment.hpp"
+#include "sched/simulator.hpp"
+#include "trace/outcome_log.hpp"
+#include "trace/plan_io.hpp"
+#include "trace/workload_io.hpp"
+#include "util/ini.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tapesim;
+
+struct Options {
+  std::map<std::string, std::string> values;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double num(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] std::uint64_t integer(const std::string& key,
+                                      std::uint64_t fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::stoull(it->second);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values.count(key) != 0;
+  }
+};
+
+Options parse(int argc, char** argv, int first) {
+  Options options;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::runtime_error("unexpected argument: " + arg);
+    }
+    arg = arg.substr(2);
+    if (i + 1 >= argc) {
+      throw std::runtime_error("flag --" + arg + " needs a value");
+    }
+    options.values[arg] = argv[++i];
+  }
+  // --config FILE supplies defaults: ini keys map onto flag names (the
+  // section prefix, if any, is dropped); explicit flags win.
+  if (options.has("config")) {
+    const IniFile ini = IniFile::load(options.get("config", ""));
+    for (const auto& [key, value] : ini.values()) {
+      const auto dot = key.rfind('.');
+      const std::string flag =
+          dot == std::string::npos ? key : key.substr(dot + 1);
+      options.values.emplace(flag, value);  // does not overwrite flags
+    }
+  }
+  return options;
+}
+
+exp::ExperimentConfig build_config(const Options& options) {
+  exp::ExperimentConfig config;
+  config.spec.num_libraries =
+      static_cast<std::uint32_t>(options.integer("libraries", 3));
+  config.spec.library.drives_per_library =
+      static_cast<std::uint32_t>(options.integer("drives", 8));
+  config.spec.library.tapes_per_library =
+      static_cast<std::uint32_t>(options.integer("tapes", 80));
+  config.spec.library.tape_capacity = Bytes{
+      options.integer("capacity-gb", 400) * 1000ULL * 1000ULL * 1000ULL};
+  config.workload.num_objects =
+      static_cast<std::uint32_t>(options.integer("objects", 30'000));
+  config.workload.num_requests =
+      static_cast<std::uint32_t>(options.integer("requests", 300));
+  config.workload.zipf_alpha = options.num("alpha", 0.3);
+  config.workload.request_locality = options.num("locality", 0.9);
+  config.workload.object_groups =
+      static_cast<std::uint32_t>(options.integer("groups", 200));
+  if (options.has("avg-request-gb")) {
+    config.workload = config.workload.with_average_request_size(
+        Bytes{static_cast<Bytes::value_type>(
+            options.num("avg-request-gb", 213.0) * 1e9)});
+  }
+  config.seed = options.integer("seed", 42);
+  config.simulated_requests =
+      static_cast<std::uint32_t>(options.integer("simulated", 200));
+  config.capacity_utilization = options.num("k", 0.9);
+  return config;
+}
+
+std::unique_ptr<core::PlacementScheme> build_scheme(const Options& options) {
+  const std::string name = options.get("scheme", "pbp");
+  const double k = options.num("k", 0.9);
+  if (name == "pbp") {
+    core::ParallelBatchParams params;
+    params.switch_drives =
+        static_cast<std::uint32_t>(options.integer("m", 4));
+    params.capacity_utilization = k;
+    return std::make_unique<core::ParallelBatchPlacement>(params);
+  }
+  if (name == "opp") {
+    core::ObjectProbabilityParams params;
+    params.capacity_utilization = k;
+    return std::make_unique<core::ObjectProbabilityPlacement>(params);
+  }
+  if (name == "cpp") {
+    core::ClusterProbabilityParams params;
+    params.capacity_utilization = k;
+    return std::make_unique<core::ClusterProbabilityPlacement>(params);
+  }
+  throw std::runtime_error("unknown scheme '" + name +
+                           "' (expected pbp, opp, or cpp)");
+}
+
+int cmd_info(const Options& options) {
+  const exp::ExperimentConfig config = build_config(options);
+  std::cout << "System:   " << config.spec.describe() << "\n"
+            << "Capacity: " << config.spec.total_capacity() << " across "
+            << config.spec.total_tapes() << " tapes; aggregate drive rate "
+            << config.spec.aggregate_transfer_rate() << "\n"
+            << "Workload: " << config.workload.num_objects << " objects, "
+            << config.workload.num_requests
+            << " requests, expected request size "
+            << config.workload.expected_request_size() << ", zipf alpha "
+            << config.workload.zipf_alpha << "\n";
+  return 0;
+}
+
+int cmd_workload(const Options& options) {
+  const exp::ExperimentConfig config = build_config(options);
+  const exp::Experiment experiment(config);
+  const std::string prefix = options.get("out", "workload");
+  trace::save_workload(experiment.workload(), prefix);
+  std::cout << "wrote " << prefix << ".objects.csv and " << prefix
+            << ".requests.csv (" << experiment.workload().object_count()
+            << " objects, " << experiment.workload().total_object_bytes()
+            << ")\n";
+  return 0;
+}
+
+int cmd_place(const Options& options) {
+  const exp::ExperimentConfig config = build_config(options);
+  const exp::Experiment experiment(config);
+  const auto scheme = build_scheme(options);
+  core::PlacementContext context{&experiment.workload(),
+                                 &experiment.config().spec,
+                                 &experiment.clusters()};
+  const core::PlacementPlan plan = scheme->place(context);
+  const std::string prefix = options.get("out", "plan");
+  trace::save_plan(plan, prefix);
+  std::cout << scheme->name() << ": " << plan.tapes_used()
+            << " tapes used; wrote " << prefix << ".layout.csv and "
+            << prefix << ".mounts.csv\n";
+  return 0;
+}
+
+int cmd_run(const Options& options) {
+  const exp::ExperimentConfig config = build_config(options);
+  const exp::Experiment experiment(config);
+  const auto scheme = build_scheme(options);
+
+  std::optional<std::ofstream> log_file;
+  std::optional<trace::OutcomeLog> log;
+  if (options.has("log")) {
+    log_file.emplace(options.get("log", ""));
+    if (!*log_file) throw std::runtime_error("cannot open log file");
+    log.emplace(*log_file);
+  }
+
+  core::PlacementContext context{&experiment.workload(),
+                                 &experiment.config().spec,
+                                 &experiment.clusters()};
+  const core::PlacementPlan plan = scheme->place(context);
+  sched::RetrievalSimulator simulator(plan);
+  Rng rng{config.seed};
+  Rng sample_rng = rng.fork(0x5251);
+  const workload::RequestSampler sampler(experiment.workload());
+  metrics::ExperimentMetrics metrics;
+  for (std::uint32_t i = 0; i < config.simulated_requests; ++i) {
+    const auto outcome = simulator.run_request(sampler.sample(sample_rng));
+    metrics.add(outcome);
+    if (log) log->record(outcome);
+  }
+
+  Table table({"metric", "value"});
+  table.add("scheme", scheme->name());
+  table.add("simulated requests", metrics.count());
+  table.add("mean effective bandwidth (MB/s)",
+            metrics.mean_bandwidth().megabytes_per_second());
+  table.add("mean response (s)", metrics.mean_response().count());
+  table.add("mean switch (s)", metrics.mean_switch().count());
+  table.add("mean seek (s)", metrics.mean_seek().count());
+  table.add("mean transfer (s)", metrics.mean_transfer().count());
+  table.add("mean mounts/request", metrics.mean_tape_switches());
+  table.add("P95 response (s)", metrics.response_samples().percentile(95));
+  table.print(std::cout);
+  if (log) std::cout << "(per-request log: " << options.get("log", "") << ")\n";
+  if (options.has("utilization")) {
+    std::cout << "\nFleet utilization over the simulated window:\n";
+    sched::utilization_report(simulator.system(), simulator.engine().now())
+        .print(std::cout);
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr
+      << "usage: tapesim <info|workload|place|run> [--flag value ...]\n"
+         "  info      print the configured system and workload profile\n"
+         "  workload  generate a workload and save it as CSV\n"
+         "  place     place a workload and save the plan as CSV\n"
+         "  run       place and simulate; print the paper's metrics\n"
+         "common flags: --scheme pbp|opp|cpp --alpha A --m M --seed S\n"
+         "  --libraries N --drives D --tapes T --capacity-gb C\n"
+         "  --objects N --requests N --avg-request-gb G --simulated N\n"
+         "  --locality L --groups G --k K --out PREFIX --log FILE\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Options options = parse(argc, argv, 2);
+    if (command == "info") return cmd_info(options);
+    if (command == "workload") return cmd_workload(options);
+    if (command == "place") return cmd_place(options);
+    if (command == "run") return cmd_run(options);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "tapesim: " << e.what() << "\n";
+    return 1;
+  }
+}
