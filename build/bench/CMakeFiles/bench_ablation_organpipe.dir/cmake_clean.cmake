@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_organpipe.dir/bench_ablation_organpipe.cpp.o"
+  "CMakeFiles/bench_ablation_organpipe.dir/bench_ablation_organpipe.cpp.o.d"
+  "bench_ablation_organpipe"
+  "bench_ablation_organpipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_organpipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

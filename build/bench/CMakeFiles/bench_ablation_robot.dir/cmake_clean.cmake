@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_robot.dir/bench_ablation_robot.cpp.o"
+  "CMakeFiles/bench_ablation_robot.dir/bench_ablation_robot.cpp.o.d"
+  "bench_ablation_robot"
+  "bench_ablation_robot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_robot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

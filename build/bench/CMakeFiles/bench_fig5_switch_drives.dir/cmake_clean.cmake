@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_switch_drives.dir/bench_fig5_switch_drives.cpp.o"
+  "CMakeFiles/bench_fig5_switch_drives.dir/bench_fig5_switch_drives.cpp.o.d"
+  "bench_fig5_switch_drives"
+  "bench_fig5_switch_drives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_switch_drives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_hardware.dir/bench_table1_hardware.cpp.o"
+  "CMakeFiles/bench_table1_hardware.dir/bench_table1_hardware.cpp.o.d"
+  "bench_table1_hardware"
+  "bench_table1_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

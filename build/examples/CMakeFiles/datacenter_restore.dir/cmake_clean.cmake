@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_restore.dir/datacenter_restore.cpp.o"
+  "CMakeFiles/datacenter_restore.dir/datacenter_restore.cpp.o.d"
+  "datacenter_restore"
+  "datacenter_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_checkpoint_restore.dir/hpc_checkpoint_restore.cpp.o"
+  "CMakeFiles/hpc_checkpoint_restore.dir/hpc_checkpoint_restore.cpp.o.d"
+  "hpc_checkpoint_restore"
+  "hpc_checkpoint_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_checkpoint_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

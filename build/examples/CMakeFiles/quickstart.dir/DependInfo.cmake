@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/tapesim_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tapesim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tapesim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tapesim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tape/CMakeFiles/tapesim_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tapesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/tapesim_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tapesim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tapesim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tapesim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tapesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

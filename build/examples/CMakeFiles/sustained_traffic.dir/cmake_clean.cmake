@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustained_traffic.dir/sustained_traffic.cpp.o"
+  "CMakeFiles/sustained_traffic.dir/sustained_traffic.cpp.o.d"
+  "sustained_traffic"
+  "sustained_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustained_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_catalog.dir/catalog.cpp.o"
+  "CMakeFiles/tapesim_catalog.dir/catalog.cpp.o.d"
+  "libtapesim_catalog.a"
+  "libtapesim_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/hierarchy.cpp" "src/cluster/CMakeFiles/tapesim_cluster.dir/hierarchy.cpp.o" "gcc" "src/cluster/CMakeFiles/tapesim_cluster.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/cluster/quality.cpp" "src/cluster/CMakeFiles/tapesim_cluster.dir/quality.cpp.o" "gcc" "src/cluster/CMakeFiles/tapesim_cluster.dir/quality.cpp.o.d"
+  "/root/repo/src/cluster/similarity.cpp" "src/cluster/CMakeFiles/tapesim_cluster.dir/similarity.cpp.o" "gcc" "src/cluster/CMakeFiles/tapesim_cluster.dir/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tapesim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tapesim_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_cluster.dir/hierarchy.cpp.o"
+  "CMakeFiles/tapesim_cluster.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/tapesim_cluster.dir/quality.cpp.o"
+  "CMakeFiles/tapesim_cluster.dir/quality.cpp.o.d"
+  "CMakeFiles/tapesim_cluster.dir/similarity.cpp.o"
+  "CMakeFiles/tapesim_cluster.dir/similarity.cpp.o.d"
+  "libtapesim_cluster.a"
+  "libtapesim_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

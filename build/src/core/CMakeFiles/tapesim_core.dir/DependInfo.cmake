@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster_probability.cpp" "src/core/CMakeFiles/tapesim_core.dir/cluster_probability.cpp.o" "gcc" "src/core/CMakeFiles/tapesim_core.dir/cluster_probability.cpp.o.d"
+  "/root/repo/src/core/incremental.cpp" "src/core/CMakeFiles/tapesim_core.dir/incremental.cpp.o" "gcc" "src/core/CMakeFiles/tapesim_core.dir/incremental.cpp.o.d"
+  "/root/repo/src/core/load_balance.cpp" "src/core/CMakeFiles/tapesim_core.dir/load_balance.cpp.o" "gcc" "src/core/CMakeFiles/tapesim_core.dir/load_balance.cpp.o.d"
+  "/root/repo/src/core/object_probability.cpp" "src/core/CMakeFiles/tapesim_core.dir/object_probability.cpp.o" "gcc" "src/core/CMakeFiles/tapesim_core.dir/object_probability.cpp.o.d"
+  "/root/repo/src/core/parallel_batch.cpp" "src/core/CMakeFiles/tapesim_core.dir/parallel_batch.cpp.o" "gcc" "src/core/CMakeFiles/tapesim_core.dir/parallel_batch.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/tapesim_core.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/tapesim_core.dir/plan.cpp.o.d"
+  "/root/repo/src/core/striped.cpp" "src/core/CMakeFiles/tapesim_core.dir/striped.cpp.o" "gcc" "src/core/CMakeFiles/tapesim_core.dir/striped.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tapesim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tapesim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tapesim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/tape/CMakeFiles/tapesim_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/tapesim_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tapesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_core.dir/cluster_probability.cpp.o"
+  "CMakeFiles/tapesim_core.dir/cluster_probability.cpp.o.d"
+  "CMakeFiles/tapesim_core.dir/incremental.cpp.o"
+  "CMakeFiles/tapesim_core.dir/incremental.cpp.o.d"
+  "CMakeFiles/tapesim_core.dir/load_balance.cpp.o"
+  "CMakeFiles/tapesim_core.dir/load_balance.cpp.o.d"
+  "CMakeFiles/tapesim_core.dir/object_probability.cpp.o"
+  "CMakeFiles/tapesim_core.dir/object_probability.cpp.o.d"
+  "CMakeFiles/tapesim_core.dir/parallel_batch.cpp.o"
+  "CMakeFiles/tapesim_core.dir/parallel_batch.cpp.o.d"
+  "CMakeFiles/tapesim_core.dir/plan.cpp.o"
+  "CMakeFiles/tapesim_core.dir/plan.cpp.o.d"
+  "CMakeFiles/tapesim_core.dir/striped.cpp.o"
+  "CMakeFiles/tapesim_core.dir/striped.cpp.o.d"
+  "libtapesim_core.a"
+  "libtapesim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_exp.dir/experiment.cpp.o"
+  "CMakeFiles/tapesim_exp.dir/experiment.cpp.o.d"
+  "libtapesim_exp.a"
+  "libtapesim_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

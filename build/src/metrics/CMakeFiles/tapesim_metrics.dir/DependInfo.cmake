@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/queueing.cpp" "src/metrics/CMakeFiles/tapesim_metrics.dir/queueing.cpp.o" "gcc" "src/metrics/CMakeFiles/tapesim_metrics.dir/queueing.cpp.o.d"
+  "/root/repo/src/metrics/request_metrics.cpp" "src/metrics/CMakeFiles/tapesim_metrics.dir/request_metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/tapesim_metrics.dir/request_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tapesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

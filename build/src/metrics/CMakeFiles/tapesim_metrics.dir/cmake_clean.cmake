@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_metrics.dir/queueing.cpp.o"
+  "CMakeFiles/tapesim_metrics.dir/queueing.cpp.o.d"
+  "CMakeFiles/tapesim_metrics.dir/request_metrics.cpp.o"
+  "CMakeFiles/tapesim_metrics.dir/request_metrics.cpp.o.d"
+  "libtapesim_metrics.a"
+  "libtapesim_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

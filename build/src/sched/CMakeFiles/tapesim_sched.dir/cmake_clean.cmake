@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_sched.dir/concurrent.cpp.o"
+  "CMakeFiles/tapesim_sched.dir/concurrent.cpp.o.d"
+  "CMakeFiles/tapesim_sched.dir/report.cpp.o"
+  "CMakeFiles/tapesim_sched.dir/report.cpp.o.d"
+  "CMakeFiles/tapesim_sched.dir/simulator.cpp.o"
+  "CMakeFiles/tapesim_sched.dir/simulator.cpp.o.d"
+  "libtapesim_sched.a"
+  "libtapesim_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtapesim_sched.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_sim.dir/engine.cpp.o"
+  "CMakeFiles/tapesim_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/tapesim_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/tapesim_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/tapesim_sim.dir/resource.cpp.o"
+  "CMakeFiles/tapesim_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/tapesim_sim.dir/semaphore.cpp.o"
+  "CMakeFiles/tapesim_sim.dir/semaphore.cpp.o.d"
+  "libtapesim_sim.a"
+  "libtapesim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

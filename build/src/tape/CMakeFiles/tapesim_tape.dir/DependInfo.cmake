@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tape/drive.cpp" "src/tape/CMakeFiles/tapesim_tape.dir/drive.cpp.o" "gcc" "src/tape/CMakeFiles/tapesim_tape.dir/drive.cpp.o.d"
+  "/root/repo/src/tape/library.cpp" "src/tape/CMakeFiles/tapesim_tape.dir/library.cpp.o" "gcc" "src/tape/CMakeFiles/tapesim_tape.dir/library.cpp.o.d"
+  "/root/repo/src/tape/linear_motion.cpp" "src/tape/CMakeFiles/tapesim_tape.dir/linear_motion.cpp.o" "gcc" "src/tape/CMakeFiles/tapesim_tape.dir/linear_motion.cpp.o.d"
+  "/root/repo/src/tape/specs.cpp" "src/tape/CMakeFiles/tapesim_tape.dir/specs.cpp.o" "gcc" "src/tape/CMakeFiles/tapesim_tape.dir/specs.cpp.o.d"
+  "/root/repo/src/tape/system.cpp" "src/tape/CMakeFiles/tapesim_tape.dir/system.cpp.o" "gcc" "src/tape/CMakeFiles/tapesim_tape.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tapesim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tapesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_tape.dir/drive.cpp.o"
+  "CMakeFiles/tapesim_tape.dir/drive.cpp.o.d"
+  "CMakeFiles/tapesim_tape.dir/library.cpp.o"
+  "CMakeFiles/tapesim_tape.dir/library.cpp.o.d"
+  "CMakeFiles/tapesim_tape.dir/linear_motion.cpp.o"
+  "CMakeFiles/tapesim_tape.dir/linear_motion.cpp.o.d"
+  "CMakeFiles/tapesim_tape.dir/specs.cpp.o"
+  "CMakeFiles/tapesim_tape.dir/specs.cpp.o.d"
+  "CMakeFiles/tapesim_tape.dir/system.cpp.o"
+  "CMakeFiles/tapesim_tape.dir/system.cpp.o.d"
+  "libtapesim_tape.a"
+  "libtapesim_tape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_tape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_trace.dir/outcome_log.cpp.o"
+  "CMakeFiles/tapesim_trace.dir/outcome_log.cpp.o.d"
+  "CMakeFiles/tapesim_trace.dir/plan_io.cpp.o"
+  "CMakeFiles/tapesim_trace.dir/plan_io.cpp.o.d"
+  "CMakeFiles/tapesim_trace.dir/workload_io.cpp.o"
+  "CMakeFiles/tapesim_trace.dir/workload_io.cpp.o.d"
+  "libtapesim_trace.a"
+  "libtapesim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

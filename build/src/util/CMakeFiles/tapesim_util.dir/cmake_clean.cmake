@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_util.dir/distributions.cpp.o"
+  "CMakeFiles/tapesim_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/tapesim_util.dir/ini.cpp.o"
+  "CMakeFiles/tapesim_util.dir/ini.cpp.o.d"
+  "CMakeFiles/tapesim_util.dir/log.cpp.o"
+  "CMakeFiles/tapesim_util.dir/log.cpp.o.d"
+  "CMakeFiles/tapesim_util.dir/rng.cpp.o"
+  "CMakeFiles/tapesim_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tapesim_util.dir/stats.cpp.o"
+  "CMakeFiles/tapesim_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tapesim_util.dir/table.cpp.o"
+  "CMakeFiles/tapesim_util.dir/table.cpp.o.d"
+  "CMakeFiles/tapesim_util.dir/units.cpp.o"
+  "CMakeFiles/tapesim_util.dir/units.cpp.o.d"
+  "libtapesim_util.a"
+  "libtapesim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

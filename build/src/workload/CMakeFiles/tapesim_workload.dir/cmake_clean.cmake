@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_workload.dir/generator.cpp.o"
+  "CMakeFiles/tapesim_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/tapesim_workload.dir/merge.cpp.o"
+  "CMakeFiles/tapesim_workload.dir/merge.cpp.o.d"
+  "CMakeFiles/tapesim_workload.dir/model.cpp.o"
+  "CMakeFiles/tapesim_workload.dir/model.cpp.o.d"
+  "libtapesim_workload.a"
+  "libtapesim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

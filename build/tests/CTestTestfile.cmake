@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("tape")
+subdirs("catalog")
+subdirs("workload")
+subdirs("cluster")
+subdirs("core")
+subdirs("sched")
+subdirs("metrics")
+subdirs("trace")
+subdirs("exp")
+subdirs("integration")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/catalog/test_btree.cpp" "tests/catalog/CMakeFiles/tapesim_catalog_tests.dir/test_btree.cpp.o" "gcc" "tests/catalog/CMakeFiles/tapesim_catalog_tests.dir/test_btree.cpp.o.d"
+  "/root/repo/tests/catalog/test_catalog.cpp" "tests/catalog/CMakeFiles/tapesim_catalog_tests.dir/test_catalog.cpp.o" "gcc" "tests/catalog/CMakeFiles/tapesim_catalog_tests.dir/test_catalog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/tapesim_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tapesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_catalog_tests.dir/test_btree.cpp.o"
+  "CMakeFiles/tapesim_catalog_tests.dir/test_btree.cpp.o.d"
+  "CMakeFiles/tapesim_catalog_tests.dir/test_catalog.cpp.o"
+  "CMakeFiles/tapesim_catalog_tests.dir/test_catalog.cpp.o.d"
+  "tapesim_catalog_tests"
+  "tapesim_catalog_tests.pdb"
+  "tapesim_catalog_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_catalog_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

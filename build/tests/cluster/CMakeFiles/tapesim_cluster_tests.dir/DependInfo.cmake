@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/test_hierarchy.cpp" "tests/cluster/CMakeFiles/tapesim_cluster_tests.dir/test_hierarchy.cpp.o" "gcc" "tests/cluster/CMakeFiles/tapesim_cluster_tests.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/cluster/test_quality.cpp" "tests/cluster/CMakeFiles/tapesim_cluster_tests.dir/test_quality.cpp.o" "gcc" "tests/cluster/CMakeFiles/tapesim_cluster_tests.dir/test_quality.cpp.o.d"
+  "/root/repo/tests/cluster/test_similarity.cpp" "tests/cluster/CMakeFiles/tapesim_cluster_tests.dir/test_similarity.cpp.o" "gcc" "tests/cluster/CMakeFiles/tapesim_cluster_tests.dir/test_similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/tapesim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tapesim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tapesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_cluster_tests.dir/test_hierarchy.cpp.o"
+  "CMakeFiles/tapesim_cluster_tests.dir/test_hierarchy.cpp.o.d"
+  "CMakeFiles/tapesim_cluster_tests.dir/test_quality.cpp.o"
+  "CMakeFiles/tapesim_cluster_tests.dir/test_quality.cpp.o.d"
+  "CMakeFiles/tapesim_cluster_tests.dir/test_similarity.cpp.o"
+  "CMakeFiles/tapesim_cluster_tests.dir/test_similarity.cpp.o.d"
+  "tapesim_cluster_tests"
+  "tapesim_cluster_tests.pdb"
+  "tapesim_cluster_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_cluster_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

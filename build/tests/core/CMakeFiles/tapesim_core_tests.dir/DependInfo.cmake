@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_incremental.cpp" "tests/core/CMakeFiles/tapesim_core_tests.dir/test_incremental.cpp.o" "gcc" "tests/core/CMakeFiles/tapesim_core_tests.dir/test_incremental.cpp.o.d"
+  "/root/repo/tests/core/test_load_balance.cpp" "tests/core/CMakeFiles/tapesim_core_tests.dir/test_load_balance.cpp.o" "gcc" "tests/core/CMakeFiles/tapesim_core_tests.dir/test_load_balance.cpp.o.d"
+  "/root/repo/tests/core/test_organ_pipe_optimality.cpp" "tests/core/CMakeFiles/tapesim_core_tests.dir/test_organ_pipe_optimality.cpp.o" "gcc" "tests/core/CMakeFiles/tapesim_core_tests.dir/test_organ_pipe_optimality.cpp.o.d"
+  "/root/repo/tests/core/test_plan.cpp" "tests/core/CMakeFiles/tapesim_core_tests.dir/test_plan.cpp.o" "gcc" "tests/core/CMakeFiles/tapesim_core_tests.dir/test_plan.cpp.o.d"
+  "/root/repo/tests/core/test_plan_freeze.cpp" "tests/core/CMakeFiles/tapesim_core_tests.dir/test_plan_freeze.cpp.o" "gcc" "tests/core/CMakeFiles/tapesim_core_tests.dir/test_plan_freeze.cpp.o.d"
+  "/root/repo/tests/core/test_schemes.cpp" "tests/core/CMakeFiles/tapesim_core_tests.dir/test_schemes.cpp.o" "gcc" "tests/core/CMakeFiles/tapesim_core_tests.dir/test_schemes.cpp.o.d"
+  "/root/repo/tests/core/test_striped.cpp" "tests/core/CMakeFiles/tapesim_core_tests.dir/test_striped.cpp.o" "gcc" "tests/core/CMakeFiles/tapesim_core_tests.dir/test_striped.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tapesim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tapesim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tapesim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tape/CMakeFiles/tapesim_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tapesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/tapesim_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tapesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_core_tests.dir/test_incremental.cpp.o"
+  "CMakeFiles/tapesim_core_tests.dir/test_incremental.cpp.o.d"
+  "CMakeFiles/tapesim_core_tests.dir/test_load_balance.cpp.o"
+  "CMakeFiles/tapesim_core_tests.dir/test_load_balance.cpp.o.d"
+  "CMakeFiles/tapesim_core_tests.dir/test_organ_pipe_optimality.cpp.o"
+  "CMakeFiles/tapesim_core_tests.dir/test_organ_pipe_optimality.cpp.o.d"
+  "CMakeFiles/tapesim_core_tests.dir/test_plan.cpp.o"
+  "CMakeFiles/tapesim_core_tests.dir/test_plan.cpp.o.d"
+  "CMakeFiles/tapesim_core_tests.dir/test_plan_freeze.cpp.o"
+  "CMakeFiles/tapesim_core_tests.dir/test_plan_freeze.cpp.o.d"
+  "CMakeFiles/tapesim_core_tests.dir/test_schemes.cpp.o"
+  "CMakeFiles/tapesim_core_tests.dir/test_schemes.cpp.o.d"
+  "CMakeFiles/tapesim_core_tests.dir/test_striped.cpp.o"
+  "CMakeFiles/tapesim_core_tests.dir/test_striped.cpp.o.d"
+  "tapesim_core_tests"
+  "tapesim_core_tests.pdb"
+  "tapesim_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_exp_tests.dir/test_experiment.cpp.o"
+  "CMakeFiles/tapesim_exp_tests.dir/test_experiment.cpp.o.d"
+  "tapesim_exp_tests"
+  "tapesim_exp_tests.pdb"
+  "tapesim_exp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_exp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

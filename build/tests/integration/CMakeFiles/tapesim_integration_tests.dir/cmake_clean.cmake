@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_integration_tests.dir/test_concurrent_stress.cpp.o"
+  "CMakeFiles/tapesim_integration_tests.dir/test_concurrent_stress.cpp.o.d"
+  "CMakeFiles/tapesim_integration_tests.dir/test_pipeline.cpp.o"
+  "CMakeFiles/tapesim_integration_tests.dir/test_pipeline.cpp.o.d"
+  "CMakeFiles/tapesim_integration_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/tapesim_integration_tests.dir/test_properties.cpp.o.d"
+  "tapesim_integration_tests"
+  "tapesim_integration_tests.pdb"
+  "tapesim_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

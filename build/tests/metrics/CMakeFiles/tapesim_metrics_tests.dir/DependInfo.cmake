@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metrics/test_metrics.cpp" "tests/metrics/CMakeFiles/tapesim_metrics_tests.dir/test_metrics.cpp.o" "gcc" "tests/metrics/CMakeFiles/tapesim_metrics_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/metrics/test_queueing.cpp" "tests/metrics/CMakeFiles/tapesim_metrics_tests.dir/test_queueing.cpp.o" "gcc" "tests/metrics/CMakeFiles/tapesim_metrics_tests.dir/test_queueing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/tapesim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tapesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_metrics_tests.dir/test_metrics.cpp.o"
+  "CMakeFiles/tapesim_metrics_tests.dir/test_metrics.cpp.o.d"
+  "CMakeFiles/tapesim_metrics_tests.dir/test_queueing.cpp.o"
+  "CMakeFiles/tapesim_metrics_tests.dir/test_queueing.cpp.o.d"
+  "tapesim_metrics_tests"
+  "tapesim_metrics_tests.pdb"
+  "tapesim_metrics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_metrics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

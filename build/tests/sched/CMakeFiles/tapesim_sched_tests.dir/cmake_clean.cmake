@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_sched_tests.dir/test_concurrent.cpp.o"
+  "CMakeFiles/tapesim_sched_tests.dir/test_concurrent.cpp.o.d"
+  "CMakeFiles/tapesim_sched_tests.dir/test_report.cpp.o"
+  "CMakeFiles/tapesim_sched_tests.dir/test_report.cpp.o.d"
+  "CMakeFiles/tapesim_sched_tests.dir/test_simulator.cpp.o"
+  "CMakeFiles/tapesim_sched_tests.dir/test_simulator.cpp.o.d"
+  "tapesim_sched_tests"
+  "tapesim_sched_tests.pdb"
+  "tapesim_sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

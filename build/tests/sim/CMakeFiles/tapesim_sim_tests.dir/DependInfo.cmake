@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_engine.cpp" "tests/sim/CMakeFiles/tapesim_sim_tests.dir/test_engine.cpp.o" "gcc" "tests/sim/CMakeFiles/tapesim_sim_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/sim/test_event_queue.cpp" "tests/sim/CMakeFiles/tapesim_sim_tests.dir/test_event_queue.cpp.o" "gcc" "tests/sim/CMakeFiles/tapesim_sim_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/sim/test_resource.cpp" "tests/sim/CMakeFiles/tapesim_sim_tests.dir/test_resource.cpp.o" "gcc" "tests/sim/CMakeFiles/tapesim_sim_tests.dir/test_resource.cpp.o.d"
+  "/root/repo/tests/sim/test_semaphore.cpp" "tests/sim/CMakeFiles/tapesim_sim_tests.dir/test_semaphore.cpp.o" "gcc" "tests/sim/CMakeFiles/tapesim_sim_tests.dir/test_semaphore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tapesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tapesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_sim_tests.dir/test_engine.cpp.o"
+  "CMakeFiles/tapesim_sim_tests.dir/test_engine.cpp.o.d"
+  "CMakeFiles/tapesim_sim_tests.dir/test_event_queue.cpp.o"
+  "CMakeFiles/tapesim_sim_tests.dir/test_event_queue.cpp.o.d"
+  "CMakeFiles/tapesim_sim_tests.dir/test_resource.cpp.o"
+  "CMakeFiles/tapesim_sim_tests.dir/test_resource.cpp.o.d"
+  "CMakeFiles/tapesim_sim_tests.dir/test_semaphore.cpp.o"
+  "CMakeFiles/tapesim_sim_tests.dir/test_semaphore.cpp.o.d"
+  "tapesim_sim_tests"
+  "tapesim_sim_tests.pdb"
+  "tapesim_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tape/test_drive.cpp" "tests/tape/CMakeFiles/tapesim_tape_tests.dir/test_drive.cpp.o" "gcc" "tests/tape/CMakeFiles/tapesim_tape_tests.dir/test_drive.cpp.o.d"
+  "/root/repo/tests/tape/test_linear_motion.cpp" "tests/tape/CMakeFiles/tapesim_tape_tests.dir/test_linear_motion.cpp.o" "gcc" "tests/tape/CMakeFiles/tapesim_tape_tests.dir/test_linear_motion.cpp.o.d"
+  "/root/repo/tests/tape/test_specs.cpp" "tests/tape/CMakeFiles/tapesim_tape_tests.dir/test_specs.cpp.o" "gcc" "tests/tape/CMakeFiles/tapesim_tape_tests.dir/test_specs.cpp.o.d"
+  "/root/repo/tests/tape/test_system.cpp" "tests/tape/CMakeFiles/tapesim_tape_tests.dir/test_system.cpp.o" "gcc" "tests/tape/CMakeFiles/tapesim_tape_tests.dir/test_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tape/CMakeFiles/tapesim_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tapesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tapesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_tape_tests.dir/test_drive.cpp.o"
+  "CMakeFiles/tapesim_tape_tests.dir/test_drive.cpp.o.d"
+  "CMakeFiles/tapesim_tape_tests.dir/test_linear_motion.cpp.o"
+  "CMakeFiles/tapesim_tape_tests.dir/test_linear_motion.cpp.o.d"
+  "CMakeFiles/tapesim_tape_tests.dir/test_specs.cpp.o"
+  "CMakeFiles/tapesim_tape_tests.dir/test_specs.cpp.o.d"
+  "CMakeFiles/tapesim_tape_tests.dir/test_system.cpp.o"
+  "CMakeFiles/tapesim_tape_tests.dir/test_system.cpp.o.d"
+  "tapesim_tape_tests"
+  "tapesim_tape_tests.pdb"
+  "tapesim_tape_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_tape_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

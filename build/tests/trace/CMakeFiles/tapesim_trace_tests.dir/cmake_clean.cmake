@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_trace_tests.dir/test_plan_io.cpp.o"
+  "CMakeFiles/tapesim_trace_tests.dir/test_plan_io.cpp.o.d"
+  "CMakeFiles/tapesim_trace_tests.dir/test_plan_io_schemes.cpp.o"
+  "CMakeFiles/tapesim_trace_tests.dir/test_plan_io_schemes.cpp.o.d"
+  "CMakeFiles/tapesim_trace_tests.dir/test_workload_io.cpp.o"
+  "CMakeFiles/tapesim_trace_tests.dir/test_workload_io.cpp.o.d"
+  "tapesim_trace_tests"
+  "tapesim_trace_tests.pdb"
+  "tapesim_trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

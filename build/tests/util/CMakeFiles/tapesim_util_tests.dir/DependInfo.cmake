@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_distributions.cpp" "tests/util/CMakeFiles/tapesim_util_tests.dir/test_distributions.cpp.o" "gcc" "tests/util/CMakeFiles/tapesim_util_tests.dir/test_distributions.cpp.o.d"
+  "/root/repo/tests/util/test_ids.cpp" "tests/util/CMakeFiles/tapesim_util_tests.dir/test_ids.cpp.o" "gcc" "tests/util/CMakeFiles/tapesim_util_tests.dir/test_ids.cpp.o.d"
+  "/root/repo/tests/util/test_ini.cpp" "tests/util/CMakeFiles/tapesim_util_tests.dir/test_ini.cpp.o" "gcc" "tests/util/CMakeFiles/tapesim_util_tests.dir/test_ini.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/util/CMakeFiles/tapesim_util_tests.dir/test_rng.cpp.o" "gcc" "tests/util/CMakeFiles/tapesim_util_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/util/CMakeFiles/tapesim_util_tests.dir/test_stats.cpp.o" "gcc" "tests/util/CMakeFiles/tapesim_util_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/util/CMakeFiles/tapesim_util_tests.dir/test_table.cpp.o" "gcc" "tests/util/CMakeFiles/tapesim_util_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_units.cpp" "tests/util/CMakeFiles/tapesim_util_tests.dir/test_units.cpp.o" "gcc" "tests/util/CMakeFiles/tapesim_util_tests.dir/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tapesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_util_tests.dir/test_distributions.cpp.o"
+  "CMakeFiles/tapesim_util_tests.dir/test_distributions.cpp.o.d"
+  "CMakeFiles/tapesim_util_tests.dir/test_ids.cpp.o"
+  "CMakeFiles/tapesim_util_tests.dir/test_ids.cpp.o.d"
+  "CMakeFiles/tapesim_util_tests.dir/test_ini.cpp.o"
+  "CMakeFiles/tapesim_util_tests.dir/test_ini.cpp.o.d"
+  "CMakeFiles/tapesim_util_tests.dir/test_rng.cpp.o"
+  "CMakeFiles/tapesim_util_tests.dir/test_rng.cpp.o.d"
+  "CMakeFiles/tapesim_util_tests.dir/test_stats.cpp.o"
+  "CMakeFiles/tapesim_util_tests.dir/test_stats.cpp.o.d"
+  "CMakeFiles/tapesim_util_tests.dir/test_table.cpp.o"
+  "CMakeFiles/tapesim_util_tests.dir/test_table.cpp.o.d"
+  "CMakeFiles/tapesim_util_tests.dir/test_units.cpp.o"
+  "CMakeFiles/tapesim_util_tests.dir/test_units.cpp.o.d"
+  "tapesim_util_tests"
+  "tapesim_util_tests.pdb"
+  "tapesim_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_generator.cpp" "tests/workload/CMakeFiles/tapesim_workload_tests.dir/test_generator.cpp.o" "gcc" "tests/workload/CMakeFiles/tapesim_workload_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/workload/test_merge.cpp" "tests/workload/CMakeFiles/tapesim_workload_tests.dir/test_merge.cpp.o" "gcc" "tests/workload/CMakeFiles/tapesim_workload_tests.dir/test_merge.cpp.o.d"
+  "/root/repo/tests/workload/test_model.cpp" "tests/workload/CMakeFiles/tapesim_workload_tests.dir/test_model.cpp.o" "gcc" "tests/workload/CMakeFiles/tapesim_workload_tests.dir/test_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/tapesim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tapesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

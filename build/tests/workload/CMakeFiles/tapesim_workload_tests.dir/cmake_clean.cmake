@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_workload_tests.dir/test_generator.cpp.o"
+  "CMakeFiles/tapesim_workload_tests.dir/test_generator.cpp.o.d"
+  "CMakeFiles/tapesim_workload_tests.dir/test_merge.cpp.o"
+  "CMakeFiles/tapesim_workload_tests.dir/test_merge.cpp.o.d"
+  "CMakeFiles/tapesim_workload_tests.dir/test_model.cpp.o"
+  "CMakeFiles/tapesim_workload_tests.dir/test_model.cpp.o.d"
+  "tapesim_workload_tests"
+  "tapesim_workload_tests.pdb"
+  "tapesim_workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapesim_cli.dir/tapesim_cli.cpp.o"
+  "CMakeFiles/tapesim_cli.dir/tapesim_cli.cpp.o.d"
+  "tapesim"
+  "tapesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapesim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli.info "/root/repo/build/tools/tapesim" "info" "--objects" "1200" "--requests" "30" "--groups" "30" "--tapes" "12" "--capacity-gb" "40" "--libraries" "2" "--drives" "4" "--m" "2" "--simulated" "10" "--avg-request-gb" "15")
+set_tests_properties(cli.info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.run "/root/repo/build/tools/tapesim" "run" "--scheme" "pbp" "--objects" "1200" "--requests" "30" "--groups" "30" "--tapes" "12" "--capacity-gb" "40" "--libraries" "2" "--drives" "4" "--m" "2" "--simulated" "10" "--avg-request-gb" "15")
+set_tests_properties(cli.run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.run_opp "/root/repo/build/tools/tapesim" "run" "--scheme" "opp" "--objects" "1200" "--requests" "30" "--groups" "30" "--tapes" "12" "--capacity-gb" "40" "--libraries" "2" "--drives" "4" "--m" "2" "--simulated" "10" "--avg-request-gb" "15" "--utilization" "1")
+set_tests_properties(cli.run_opp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.workload "/root/repo/build/tools/tapesim" "workload" "--out" "/root/repo/build/tools/smoke_wl" "--objects" "1200" "--requests" "30" "--groups" "30" "--tapes" "12" "--capacity-gb" "40" "--libraries" "2" "--drives" "4" "--m" "2" "--simulated" "10" "--avg-request-gb" "15")
+set_tests_properties(cli.workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.place "/root/repo/build/tools/tapesim" "place" "--scheme" "cpp" "--out" "/root/repo/build/tools/smoke_plan" "--objects" "1200" "--requests" "30" "--groups" "30" "--tapes" "12" "--capacity-gb" "40" "--libraries" "2" "--drives" "4" "--m" "2" "--simulated" "10" "--avg-request-gb" "15")
+set_tests_properties(cli.place PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.bad_scheme "/root/repo/build/tools/tapesim" "run" "--scheme" "quantum")
+set_tests_properties(cli.bad_scheme PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.usage "/root/repo/build/tools/tapesim")
+set_tests_properties(cli.usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
