@@ -10,8 +10,9 @@
 // response time.
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tapesim;
+  const auto trace_opts = benchfig::TraceOptions::parse(argc, argv);
   benchfig::print_header(
       "Figure 9",
       "response-time components (s) per scheme (avg request ~160 GB)");
@@ -21,13 +22,26 @@ int main() {
       Bytes{160ULL * 1000 * 1000 * 1000});
   const exp::Experiment experiment(config);
   const auto schemes = exp::make_standard_schemes();
+  const auto tracer = trace_opts.make_tracer();
 
   Table table({"scheme", "switch (s)", "seek (s)", "transfer (s)",
                "response (s)", "mean mounts"});
+  bool first = true;
   for (const core::PlacementScheme* scheme :
        {schemes.parallel_batch.get(), schemes.object_probability.get(),
         schemes.cluster_probability.get()}) {
-    const auto run = experiment.run(*scheme);
+    exp::SchemeRun run;
+    if (tracer != nullptr && first) {
+      // Only the first scheme is traced: each scheme runs on a fresh
+      // engine clock, so a combined trace would overlay their timelines.
+      auto traced = experiment.run_traced(*scheme, *tracer);
+      run = std::move(traced.run);
+      std::cout << "traced scheme: " << run.scheme << "\n";
+      benchfig::print_phase_breakdown(*tracer, traced.utilization);
+    } else {
+      run = experiment.run(*scheme);
+    }
+    first = false;
     table.add(run.scheme, run.metrics.mean_switch().count(),
               run.metrics.mean_seek().count(),
               run.metrics.mean_transfer().count(),
@@ -36,5 +50,6 @@ int main() {
   }
 
   benchfig::print_table(table, "fig9_components.csv");
+  if (tracer != nullptr) trace_opts.finish(*tracer);
   return 0;
 }

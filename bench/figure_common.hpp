@@ -5,12 +5,28 @@
 // prints the series the paper plots (plus a CSV line block for external
 // plotting). Absolute values differ from the paper's (their testbed, our
 // model), but the comparisons and trends are the reproduction target.
+// Telemetry: every bench accepts
+//   --trace-out=PATH    Chrome trace_event JSON (open in Perfetto)
+//   --jsonl-out=PATH    span/sample JSONL (tools/trace_inspect reads this)
+//   --metrics-out=PATH  metrics registry CSV
+//   --sample-every=SEC  gauge sampling cadence in simulated seconds
+// When any output is requested, the first scheme's run is traced (each
+// scheme runs on its own engine clock starting at zero, so tracing several
+// into one file would overlap their timelines) and a per-drive phase
+// breakdown is printed, cross-checked against the simulator's own
+// DriveStats accounting.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "exp/experiment.hpp"
+#include "obs/tracer.hpp"
 #include "util/table.hpp"
 
 namespace tapesim::benchfig {
@@ -34,6 +50,119 @@ inline void print_table(const Table& table, const std::string& csv_path) {
     std::cout << "(csv written to " << csv_path << ")\n";
   }
   std::cout << "\n";
+}
+
+/// Telemetry outputs requested on the command line (see file header).
+struct TraceOptions {
+  std::string chrome_out;
+  std::string jsonl_out;
+  std::string metrics_out;
+  double sample_every = 0.0;
+
+  [[nodiscard]] bool enabled() const {
+    return !chrome_out.empty() || !jsonl_out.empty() || !metrics_out.empty();
+  }
+
+  static TraceOptions parse(int argc, char** argv) {
+    TraceOptions opts;
+    auto value = [](const std::string& arg, const char* flag,
+                    std::string* out) {
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) != 0) return false;
+      *out = arg.substr(prefix.size());
+      return true;
+    };
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      std::string sample;
+      if (value(arg, "--trace-out", &opts.chrome_out)) continue;
+      if (value(arg, "--jsonl-out", &opts.jsonl_out)) continue;
+      if (value(arg, "--metrics-out", &opts.metrics_out)) continue;
+      if (value(arg, "--sample-every", &sample)) {
+        opts.sample_every = std::atof(sample.c_str());
+        continue;
+      }
+      std::cerr << "unknown argument ignored: " << arg << "\n";
+    }
+    return opts;
+  }
+
+  /// Null when no output was requested — callers pass the raw pointer into
+  /// SimulatorConfig::tracer and every instrumentation point collapses to a
+  /// null check.
+  [[nodiscard]] std::unique_ptr<obs::Tracer> make_tracer() const {
+    if (!enabled()) return nullptr;
+    auto tracer = std::make_unique<obs::Tracer>();
+    if (sample_every > 0.0) {
+      tracer->set_sample_cadence(Seconds{sample_every});
+    }
+    return tracer;
+  }
+
+  /// Writes whichever outputs were requested.
+  void finish(const obs::Tracer& tracer) const {
+    if (!chrome_out.empty() && tracer.write_chrome_trace_file(chrome_out)) {
+      std::cout << "(chrome trace written to " << chrome_out
+                << " — open in Perfetto)\n";
+    }
+    if (!jsonl_out.empty() && tracer.write_jsonl_file(jsonl_out)) {
+      std::cout << "(span jsonl written to " << jsonl_out << ")\n";
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream os(metrics_out);
+      if (os) {
+        tracer.registry().write_csv(os);
+        std::cout << "(metrics csv written to " << metrics_out << ")\n";
+      } else {
+        std::cerr << "cannot write " << metrics_out << "\n";
+      }
+    }
+  }
+};
+
+/// Prints the per-drive phase breakdown reconstructed from trace spans next
+/// to the simulator's own DriveStats accounting, and returns the largest
+/// absolute disagreement in seconds. Both sides integrate the same state
+/// intervals, so anything above float dust means lost or duplicated spans.
+inline double print_phase_breakdown(const obs::Tracer& tracer,
+                                    const sched::UtilizationReport& util) {
+  using obs::Phase;
+  using obs::Track;
+  double max_delta = 0.0;
+  Table table({"drive", "transfer (s)", "locate (s)", "rewind (s)",
+               "load (s)", "unload (s)", "robot wait (s)", "max |delta|"});
+  for (const sched::DriveUtilization& du : util.drives) {
+    const std::uint32_t lane = du.drive.value();
+    auto span_total = [&](Phase p) {
+      return tracer.lane_phase_total(Track::kDrive, lane, p).count();
+    };
+    const double deltas[] = {
+        std::abs(span_total(Phase::kTransfer) - du.transferring.count()),
+        std::abs(span_total(Phase::kLocate) - du.locating.count()),
+        std::abs(span_total(Phase::kRewind) - du.rewinding.count()),
+        std::abs(span_total(Phase::kLoad) - du.loading.count()),
+        std::abs(span_total(Phase::kUnload) - du.unloading.count()),
+    };
+    const double drive_delta = *std::max_element(deltas, deltas + 5);
+    max_delta = std::max(max_delta, drive_delta);
+    table.add(du.drive.value(), span_total(Phase::kTransfer),
+              span_total(Phase::kLocate), span_total(Phase::kRewind),
+              span_total(Phase::kLoad), span_total(Phase::kUnload),
+              span_total(Phase::kRobotWait), drive_delta);
+  }
+  for (const sched::RobotUtilization& ru : util.robots) {
+    const double busy = tracer
+                            .lane_phase_total(Track::kRobot,
+                                              ru.library.value(),
+                                              obs::Phase::kRobotMove)
+                            .count();
+    max_delta = std::max(max_delta, std::abs(busy - ru.busy.count()));
+  }
+  table.print(std::cout);
+  std::cout << "conservation vs UtilizationReport: max |delta| = "
+            << max_delta << " s ("
+            << (max_delta <= 1e-6 ? "OK" : "FAIL") << ")\n\n";
+  return max_delta;
 }
 
 }  // namespace tapesim::benchfig

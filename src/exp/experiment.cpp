@@ -52,6 +52,36 @@ SchemeRun Experiment::run(const core::PlacementScheme& scheme) const {
   return result;
 }
 
+TracedSchemeRun Experiment::run_traced(const core::PlacementScheme& scheme,
+                                       obs::Tracer& tracer) const {
+  core::PlacementContext context;
+  context.workload = workload_.get();
+  context.spec = &config_.spec;
+  context.clusters = clusters_.get();
+
+  const core::PlacementPlan plan = scheme.place(context);
+  sched::SimulatorConfig sim = config_.sim;
+  sim.tracer = &tracer;
+  sched::RetrievalSimulator simulator(plan, sim);
+
+  Rng rng{config_.seed};
+  Rng sample_rng = rng.fork(0x5251);  // same substream as run()
+  const workload::RequestSampler sampler(*workload_);
+
+  TracedSchemeRun result;
+  result.run.scheme = scheme.name();
+  result.run.tapes_used = plan.tapes_used();
+  for (std::uint32_t i = 0; i < config_.simulated_requests; ++i) {
+    const RequestId id = sampler.sample(sample_rng);
+    result.run.metrics.add(simulator.run_request(id));
+  }
+  result.run.total_switches = simulator.total_switches();
+  result.elapsed = simulator.engine().now();
+  result.utilization =
+      sched::utilization_report(simulator.system(), result.elapsed);
+  return result;
+}
+
 metrics::ExperimentMetrics simulate_plan(const core::PlacementPlan& plan,
                                          std::uint32_t simulated_requests,
                                          std::uint64_t seed,

@@ -16,6 +16,7 @@
 #include "cluster/hierarchy.hpp"
 #include "core/scheme.hpp"
 #include "metrics/request_metrics.hpp"
+#include "sched/report.hpp"
 #include "sched/simulator.hpp"
 #include "tape/specs.hpp"
 #include "workload/generator.hpp"
@@ -44,6 +45,14 @@ struct SchemeRun {
   std::uint64_t total_switches = 0;
 };
 
+/// SchemeRun plus the device-side ground truth captured before the
+/// simulator is torn down — what the tracer's spans must reconcile with.
+struct TracedSchemeRun {
+  SchemeRun run;
+  sched::UtilizationReport utilization;
+  Seconds elapsed{};  ///< simulated makespan of the whole request stream
+};
+
 class Experiment {
  public:
   explicit Experiment(ExperimentConfig config);
@@ -59,6 +68,14 @@ class Experiment {
   /// Places with `scheme`, simulates the sampled request stream, and
   /// aggregates. Deterministic given the config.
   [[nodiscard]] SchemeRun run(const core::PlacementScheme& scheme) const;
+
+  /// Same pipeline with `tracer` attached for the duration of the run:
+  /// device spans, request spans, and kernel metrics land in the tracer;
+  /// the returned utilization report is taken from the simulator's own
+  /// DriveStats for cross-checking the spans. Any tracer in config().sim
+  /// is ignored for this call.
+  [[nodiscard]] TracedSchemeRun run_traced(const core::PlacementScheme& scheme,
+                                           obs::Tracer& tracer) const;
 
  private:
   ExperimentConfig config_;

@@ -1,0 +1,218 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tapesim::obs {
+namespace {
+
+/// Recursive-descent parser over a string_view with a cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse_document() {
+    skip_ws();
+    auto v = parse_value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at(char c) const {
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool consume(char c) {
+    if (!at(c)) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s) return std::nullopt;
+        return JsonValue{JsonValue::Storage{std::move(*s)}};
+      }
+      case 't':
+        if (!consume_literal("true")) return std::nullopt;
+        return JsonValue{JsonValue::Storage{true}};
+      case 'f':
+        if (!consume_literal("false")) return std::nullopt;
+        return JsonValue{JsonValue::Storage{false}};
+      case 'n':
+        if (!consume_literal("null")) return std::nullopt;
+        return JsonValue{JsonValue::Storage{nullptr}};
+      default: return parse_number();
+    }
+  }
+
+  std::optional<JsonValue> parse_object() {
+    if (!consume('{')) return std::nullopt;
+    JsonValue::Object members;
+    skip_ws();
+    if (consume('}')) return JsonValue{JsonValue::Storage{std::move(members)}};
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      skip_ws();
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      members.emplace(std::move(*key), std::move(*value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return std::nullopt;
+    }
+    return JsonValue{JsonValue::Storage{std::move(members)}};
+  }
+
+  std::optional<JsonValue> parse_array() {
+    if (!consume('[')) return std::nullopt;
+    JsonValue::Array items;
+    skip_ws();
+    if (consume(']')) return JsonValue{JsonValue::Storage{std::move(items)}};
+    while (true) {
+      skip_ws();
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      items.push_back(std::move(*value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return std::nullopt;
+    }
+    return JsonValue{JsonValue::Storage{std::move(items)}};
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            // \uXXXX — validated but emitted as '?' (traces are ASCII).
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            for (int i = 0; i < 4; ++i) {
+              if (std::isxdigit(
+                      static_cast<unsigned char>(text_[pos_ + static_cast<std::size_t>(i)])) == 0) {
+                return std::nullopt;
+              }
+            }
+            pos_ += 4;
+            out.push_back('?');
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return std::nullopt;  // raw control character
+      } else {
+        out.push_back(c);
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    if (pos_ >= text_.size() ||
+        std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+      return std::nullopt;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+    if (consume('.')) {
+      if (pos_ >= text_.size() ||
+          std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+        return std::nullopt;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    if (at('e') || at('E')) {
+      ++pos_;
+      if (at('+') || at('-')) ++pos_;
+      if (pos_ >= text_.size() ||
+          std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+        return std::nullopt;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    const std::string token{text_.substr(start, pos_ - start)};
+    return JsonValue{JsonValue::Storage{std::strtod(token.c_str(), nullptr)}};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto it = object().find(key);
+  return it == object().end() ? nullptr : &it->second;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->number() : fallback;
+}
+
+std::string JsonValue::string_or(const std::string& key,
+                                 std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->string() : fallback;
+}
+
+std::optional<JsonValue> parse_json(std::string_view text) {
+  return Parser{text}.parse_document();
+}
+
+}  // namespace tapesim::obs

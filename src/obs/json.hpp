@@ -1,0 +1,70 @@
+// Minimal JSON reader for trace post-processing.
+//
+// Just enough of RFC 8259 to validate emitted traces and to let the trace
+// inspector read its own JSONL back without a third-party dependency:
+// objects, arrays, strings (with escapes), numbers, booleans, null. Parsing
+// is strict — trailing garbage or malformed input yields nullopt, which is
+// exactly what the trace-validity tests assert on.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace tapesim::obs {
+
+class JsonValue {
+ public:
+  using Object = std::map<std::string, JsonValue>;
+  using Array = std::vector<JsonValue>;
+  using Storage =
+      std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+
+  JsonValue() : value_(nullptr) {}
+  explicit JsonValue(Storage v) : value_(std::move(v)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(value_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(value_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+
+  [[nodiscard]] const Object& object() const {
+    return std::get<Object>(value_);
+  }
+  [[nodiscard]] const Array& array() const { return std::get<Array>(value_); }
+  [[nodiscard]] double number() const { return std::get<double>(value_); }
+  [[nodiscard]] const std::string& string() const {
+    return std::get<std::string>(value_);
+  }
+
+  /// Object member access; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  /// Convenience: member as number/string with a default.
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      std::string fallback) const;
+
+ private:
+  Storage value_;
+};
+
+/// Parses a complete JSON document. Returns nullopt on any syntax error or
+/// trailing non-whitespace.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text);
+
+}  // namespace tapesim::obs

@@ -1,0 +1,206 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace tapesim::obs {
+
+BucketLayout BucketLayout::linear(double lo, double hi, std::size_t count) {
+  TAPESIM_ASSERT_MSG(hi > lo && count > 0, "degenerate linear layout");
+  BucketLayout layout;
+  layout.bounds.reserve(count);
+  const double width = (hi - lo) / static_cast<double>(count);
+  for (std::size_t i = 1; i <= count; ++i) {
+    layout.bounds.push_back(lo + width * static_cast<double>(i));
+  }
+  return layout;
+}
+
+BucketLayout BucketLayout::exponential(double lo, double hi, double factor) {
+  TAPESIM_ASSERT_MSG(lo > 0.0 && hi > lo && factor > 1.0,
+                     "degenerate exponential layout");
+  BucketLayout layout;
+  for (double edge = lo; edge < hi * factor; edge *= factor) {
+    layout.bounds.push_back(edge);
+    if (layout.bounds.size() > 4096) break;  // runaway-factor backstop
+  }
+  return layout;
+}
+
+std::size_t BucketLayout::bucket_index(double v) const {
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  return static_cast<std::size_t>(it - bounds.begin());
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    seen += counts[i];
+    if (static_cast<double>(seen) >= rank) {
+      const double lo = i == 0 ? std::min(min, layout.bounds.empty()
+                                                   ? min
+                                                   : layout.bounds[0])
+                               : layout.bounds[i - 1];
+      const double hi =
+          i < layout.bounds.size() ? layout.bounds[i] : max;
+      // Position of the rank inside this bucket, linearly interpolated.
+      const double into =
+          static_cast<double>(counts[i]) -
+          (static_cast<double>(seen) - rank);
+      const double frac = into / static_cast<double>(counts[i]);
+      const double v = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+      return std::clamp(v, min, max);
+    }
+  }
+  return max;
+}
+
+Histogram::Histogram(BucketLayout layout)
+    : layout_(std::move(layout)),
+      buckets_(new std::atomic<std::uint64_t>[layout_.size()]) {
+  for (std::size_t i = 0; i < layout_.size(); ++i) buckets_[i].store(0);
+  min_.store(std::numeric_limits<double>::infinity());
+  max_.store(-std::numeric_limits<double>::infinity());
+}
+
+void Histogram::record(double v) {
+  buckets_[layout_.bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> (C++20) keeps the sum lock-free too.
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.layout = layout_;
+  snap.counts.resize(layout_.size());
+  for (std::size_t i = 0; i < layout_.size(); ++i) {
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (snap.count == 0) {
+    snap.min = 0.0;
+    snap.max = 0.0;
+  } else {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i < layout_.size(); ++i) buckets_[i].store(0);
+  count_.store(0);
+  sum_.store(0.0);
+  min_.store(std::numeric_limits<double>::infinity());
+  max_.store(-std::numeric_limits<double>::infinity());
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::scoped_lock lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::scoped_lock lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, BucketLayout layout) {
+  const std::scoped_lock lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(layout));
+  return *slot;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  const std::scoped_lock lock(mu_);
+  RegistrySnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->snapshot();
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  const std::scoped_lock lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void Registry::write_csv(std::ostream& os) const {
+  const RegistrySnapshot snap = snapshot();
+  os << "kind,name,count,sum,mean,min,max,p50,p95,p99\n";
+  for (const auto& [name, v] : snap.counters) {
+    os << "counter," << name << ',' << v << ',' << v << ",,,,,,\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    os << "gauge," << name << ",," << v << ",,,,,,\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    os << "histogram," << name << ',' << h.count << ',' << h.sum << ','
+       << h.mean() << ',' << h.min << ',' << h.max << ','
+       << h.percentile(50) << ',' << h.percentile(95) << ','
+       << h.percentile(99) << '\n';
+  }
+}
+
+void Registry::write_json(std::ostream& os) const {
+  const RegistrySnapshot snap = snapshot();
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << v;
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << v;
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": "
+       << h.count << ", \"sum\": " << h.sum << ", \"min\": " << h.min
+       << ", \"max\": " << h.max << ", \"p50\": " << h.percentile(50)
+       << ", \"p95\": " << h.percentile(95) << ", \"bounds\": [";
+    for (std::size_t i = 0; i < h.layout.bounds.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << h.layout.bounds[i];
+    }
+    os << "], \"buckets\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << h.counts[i];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+}
+
+}  // namespace tapesim::obs

@@ -1,0 +1,151 @@
+// Metrics registry: counters, gauges, and lock-free histograms.
+//
+// The hot path (increment a counter, record a histogram sample) is a handful
+// of relaxed atomic operations — safe to call from any thread and cheap
+// enough to leave compiled into release builds. Registration (name lookup)
+// takes a mutex and should happen once at setup time; call sites hold the
+// returned reference. Snapshots copy the current values without stopping
+// writers; reset() zeroes everything for the next measurement window.
+//
+// Naming convention: dotted lowercase paths, coarse-to-fine —
+// "subsystem.entity.metric" (e.g. "engine.events.dispatched",
+// "sched.request.response_s"). Unit suffixes: `_s` seconds, `_bytes` bytes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tapesim::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Immutable bucket layout shared by histograms of the same shape.
+///
+/// `bounds` are the inclusive upper edges of the finite buckets; a sample
+/// lands in the first bucket whose bound is >= the sample. One implicit
+/// overflow bucket catches everything above the last bound.
+struct BucketLayout {
+  std::vector<double> bounds;
+
+  /// Equal-width buckets spanning [lo, hi].
+  static BucketLayout linear(double lo, double hi, std::size_t count);
+  /// HDR-style geometric buckets: edges grow by `factor` from `lo` until
+  /// `hi` is covered. Relative error per sample is bounded by `factor - 1`.
+  static BucketLayout exponential(double lo, double hi, double factor = 1.25);
+
+  [[nodiscard]] std::size_t bucket_index(double v) const;
+  /// Total bucket count including the overflow bucket.
+  [[nodiscard]] std::size_t size() const { return bounds.size() + 1; }
+};
+
+/// Point-in-time copy of a histogram's state.
+struct HistogramSnapshot {
+  BucketLayout layout;
+  std::vector<std::uint64_t> counts;  ///< size layout.size()
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when empty
+  double max = 0.0;  ///< 0 when empty
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Linear interpolation inside the containing bucket, clamped to the
+  /// observed min/max. p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+};
+
+/// Lock-free histogram over a fixed bucket layout.
+class Histogram {
+ public:
+  explicit Histogram(BucketLayout layout);
+
+  void record(double v);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const BucketLayout& layout() const { return layout_; }
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  BucketLayout layout_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Point-in-time copy of every instrument in a registry.
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Named instrument store. Instruments are created on first use and live as
+/// long as the registry; returned references stay valid across snapshots
+/// and resets.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  /// `layout` applies only on first registration of `name`.
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     BucketLayout layout);
+
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+  /// Zeroes every instrument (layouts are kept).
+  void reset();
+
+  /// One row per instrument: kind,name,count,sum,mean,min,max,p50,p95,p99.
+  void write_csv(std::ostream& os) const;
+  /// One JSON object keyed by instrument name, bucket detail included.
+  void write_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, not the instruments
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace tapesim::obs

@@ -1,0 +1,55 @@
+// Typed span vocabulary for the telemetry layer.
+//
+// A span is one contiguous activity on one track. Tracks mirror the
+// physical entities of the simulator: one per request stream, one per
+// drive, one per robot, plus a synthetic engine track for kernel-level
+// events. Phases are the paper's response-time components (Figure 9) plus
+// the waits that the switch-time catch-all folds together.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::obs {
+
+enum class Track : std::uint8_t {
+  kRequest = 1,  ///< One lane per in-flight request (tid = request id).
+  kDrive = 2,    ///< One lane per drive (tid = global drive id).
+  kRobot = 3,    ///< One lane per library robot (tid = library id).
+  kEngine = 4,   ///< Kernel counters and narration.
+};
+
+enum class Phase : std::uint8_t {
+  kQueueWait,  ///< Tape demanded but no drive assigned yet.
+  kRobotWait,  ///< Drive waiting in the robot's FIFO queue.
+  kRobotMove,  ///< Robot carrying cartridges (per-robot busy span).
+  kUnload,
+  kLoad,
+  kLocate,
+  kTransfer,
+  kRewind,
+  kRequest,  ///< Whole-request span: arrival/submit to last byte landed.
+  kMarker,   ///< Zero-duration annotation (narration, state change).
+};
+
+[[nodiscard]] const char* to_string(Track t);
+[[nodiscard]] const char* to_string(Phase p);
+
+/// One closed span. Context ids are optional (kInvalid when not applicable).
+struct Span {
+  Track track = Track::kEngine;
+  std::uint32_t track_id = 0;  ///< Lane within the track group.
+  Phase phase = Phase::kMarker;
+  Seconds start{};
+  Seconds end{};
+  RequestId request{};  ///< Requesting context, when known.
+  TapeId tape{};        ///< Cartridge involved, when known.
+  std::string note;     ///< Free-form detail for markers/narration.
+
+  [[nodiscard]] Seconds duration() const { return end - start; }
+};
+
+}  // namespace tapesim::obs

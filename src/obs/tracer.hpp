@@ -1,0 +1,136 @@
+// Structured span tracing for simulation runs.
+//
+// A Tracer binds to a sim::Engine (for the clock and kernel-event
+// statistics) and observes a tape::TapeSystem (drive state transitions and
+// robot grants become per-device spans automatically). Schedulers add the
+// request-level spans the devices cannot see (queue waits, whole-request
+// lifetimes). Everything is buffered in memory and exported after the run:
+//
+//   * JSONL — one self-describing object per line; the `trace_inspect` tool
+//     and the conservation tests read this back.
+//   * Chrome trace_event JSON — drop the file into Perfetto or
+//     chrome://tracing to scrub through the run visually.
+//
+// Overhead discipline: a null/absent tracer costs exactly one pointer check
+// at each instrumentation point; there is no background work and no
+// allocation unless spans are actually recorded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::tape {
+class TapeSystem;
+}  // namespace tapesim::tape
+
+namespace tapesim::obs {
+
+/// Aggregate of all spans of one phase on one track.
+struct PhaseAgg {
+  std::uint64_t spans = 0;
+  Seconds total{};
+};
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Attaches to `engine`: the tracer's clock follows engine.now(), kernel
+  /// events feed the registry, trace-level log narration is captured as
+  /// markers, and periodic samplers run off event dispatch. Only one engine
+  /// at a time; rebinding detaches from the previous one.
+  void bind(sim::Engine& engine);
+  /// Detaches from the bound engine and restores the log hooks.
+  void unbind();
+  /// Full detach: engine, observed system probes, and gauges. Recorded
+  /// spans and registry contents survive for export. Simulators call this
+  /// on destruction so the tracer never holds dangling pointers.
+  void detach();
+
+  /// Installs per-device probes: every drive state transition opens/closes
+  /// a span on the drive's lane; every robot grant produces wait and busy
+  /// spans on the robot's lane. Also registers fleet gauges (drives active,
+  /// robot queue lengths) with the sampler. The system must outlive the
+  /// tracer or be detached by destroying the tracer first.
+  void observe(tape::TapeSystem& system);
+
+  /// Current simulation time (0 when unbound).
+  [[nodiscard]] Seconds now() const;
+
+  /// The tracer-owned metrics registry (kernel counters, caller metrics).
+  [[nodiscard]] Registry& registry() { return registry_; }
+  [[nodiscard]] const Registry& registry() const { return registry_; }
+
+  // --- recording ---
+  void record(Span span);
+  /// Zero-duration annotation at the current time.
+  void marker(Track track, std::uint32_t track_id, std::string note);
+
+  /// Request context stamped onto device spans recorded from now on. The
+  /// serial simulator sets this around each request; concurrent schedulers
+  /// leave it invalid (a device span can serve several requests at once).
+  void set_current_request(RequestId id) { current_request_ = id; }
+  [[nodiscard]] RequestId current_request() const { return current_request_; }
+
+  // --- periodic sampling ---
+  /// Registers a named gauge callback; sampled every `cadence` of simulated
+  /// time while events dispatch (cadence 0 disables sampling).
+  void add_gauge(std::string name, std::function<double()> fn);
+  void set_sample_cadence(Seconds cadence) { cadence_ = cadence; }
+
+  // --- queries ---
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] std::map<Phase, PhaseAgg> phase_totals(Track track) const;
+  /// Sum of span durations of `phase` on one drive lane.
+  [[nodiscard]] Seconds lane_phase_total(Track track, std::uint32_t lane,
+                                         Phase phase) const;
+
+  // --- export ---
+  void write_jsonl(std::ostream& os) const;
+  void write_chrome_trace(std::ostream& os) const;
+  /// File variants; log a warning and return false on I/O failure.
+  bool write_jsonl_file(const std::string& path) const;
+  bool write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  class EngineSink;
+  class DriveProbe;
+  class RobotProbe;
+
+  void take_samples(Seconds now);
+  void detach_system();
+
+  Registry registry_;
+  std::vector<Span> spans_;
+  RequestId current_request_{};
+
+  sim::Engine* engine_ = nullptr;
+  tape::TapeSystem* system_ = nullptr;
+  std::unique_ptr<EngineSink> sink_;
+  std::vector<std::unique_ptr<DriveProbe>> drive_probes_;
+  std::vector<std::unique_ptr<RobotProbe>> robot_probes_;
+
+  struct GaugeSeries {
+    std::string name;
+    std::function<double()> fn;
+    std::vector<std::pair<Seconds, double>> samples;
+  };
+  std::vector<GaugeSeries> gauges_;
+  Seconds cadence_{0.0};
+  Seconds next_sample_{0.0};
+};
+
+}  // namespace tapesim::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/tracer.hpp"
 #include "util/assert.hpp"
 
 namespace tapesim::sched {
@@ -33,6 +34,17 @@ ConcurrentSimulator::ConcurrentSimulator(const core::PlacementPlan& plan,
     system_.setup_mount(tp, drive);
   }
   drive_busy_.assign(plan.spec().total_drives(), false);
+  if (config_.tracer != nullptr) {
+    config_.tracer->bind(engine_);
+    config_.tracer->observe(system_);
+    demand_wait_ = &config_.tracer->registry().histogram(
+        "sched.demand.queue_wait_s",
+        obs::BucketLayout::exponential(0.1, 1e5, 1.3));
+  }
+}
+
+ConcurrentSimulator::~ConcurrentSimulator() {
+  if (config_.tracer != nullptr) config_.tracer->detach();
 }
 
 bool ConcurrentSimulator::switch_eligible(DriveId d) const {
@@ -140,6 +152,9 @@ void ConcurrentSimulator::serve_next(DriveId d) {
     }
   }
   const Demand demand = tape_demand[pick];
+  if (demand_wait_ != nullptr) {
+    demand_wait_->record((engine_.now() - demand.since).count());
+  }
   tape_demand.erase(tape_demand.begin() +
                     static_cast<std::ptrdiff_t>(pick));
   if (tape_demand.empty()) demand_.erase(drive.mounted().value());
@@ -270,6 +285,19 @@ std::vector<SojournOutcome> ConcurrentSimulator::run(
 
   for (std::size_t i = 0; i < remaining_.size(); ++i) {
     TAPESIM_ASSERT_MSG(remaining_[i] == 0, "arrival left unserved");
+  }
+  if (config_.tracer != nullptr) {
+    // One lifetime span per arrival instance. Device spans cannot carry a
+    // request id here (a single read may serve several instances), so the
+    // request lanes are the only per-request view.
+    for (std::uint32_t i = 0; i < outcomes_.size(); ++i) {
+      config_.tracer->record(obs::Span{
+          obs::Track::kRequest, i, obs::Phase::kRequest,
+          outcomes_[i].arrival, outcomes_[i].completion,
+          outcomes_[i].request, TapeId{}, {}});
+    }
+    config_.tracer->registry().counter("sched.requests")
+        .inc(outcomes_.size());
   }
   return outcomes_;
 }

@@ -55,6 +55,9 @@ class ConcurrentSimulator {
  public:
   explicit ConcurrentSimulator(const core::PlacementPlan& plan,
                                SimulatorConfig config = {});
+  ~ConcurrentSimulator();
+  ConcurrentSimulator(const ConcurrentSimulator&) = delete;
+  ConcurrentSimulator& operator=(const ConcurrentSimulator&) = delete;
 
   /// Services the whole schedule (must be sorted by time) to completion.
   /// Returns one outcome per arrival, in arrival order.
@@ -106,6 +109,9 @@ class ConcurrentSimulator {
   std::unordered_map<std::uint32_t, DriveId> claimed_;
   /// Drives currently executing an activity chain.
   std::vector<bool> drive_busy_;
+  /// Cached "sched.demand.queue_wait_s" histogram (null without a tracer),
+  /// so the serve path never takes the registry lock.
+  obs::Histogram* demand_wait_ = nullptr;
 
   Seconds makespan_{};
   std::uint64_t total_switches_ = 0;

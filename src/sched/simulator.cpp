@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/tracer.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -20,6 +21,16 @@ RetrievalSimulator::RetrievalSimulator(const core::PlacementPlan& plan,
   }
   drive_req_.resize(plan.spec().total_drives());
   lib_queue_.resize(plan.spec().num_libraries);
+  if (config_.tracer != nullptr) {
+    config_.tracer->bind(engine_);
+    config_.tracer->observe(system_);
+  }
+}
+
+RetrievalSimulator::~RetrievalSimulator() {
+  // The tracer outlives us; make sure it stops referencing our engine and
+  // drives. Spans and metrics stay available for export.
+  if (config_.tracer != nullptr) config_.tracer->detach();
 }
 
 bool RetrievalSimulator::switch_eligible(DriveId d) const {
@@ -134,6 +145,14 @@ void RetrievalSimulator::next_action(DriveId d) {
   if (queue.empty()) return;
   const TapeId target = queue.front();
   queue.pop_front();
+  if (config_.tracer != nullptr) {
+    // The tape has been demanded since the request started; a drive just
+    // picked it up, ending its time in the library queue.
+    config_.tracer->record(obs::Span{
+        obs::Track::kRequest, config_.tracer->current_request().value(),
+        obs::Phase::kQueueWait, t0_, engine_.now(),
+        config_.tracer->current_request(), target, {}});
+  }
   begin_switch(d, target);
 }
 
@@ -150,6 +169,11 @@ void RetrievalSimulator::begin_switch(DriveId d, TapeId target) {
     const Seconds asked_at = engine_.now();
     lib.robot().acquire([this, d, &lib, target, had_tape, asked_at]() {
       robot_wait_this_request_ += engine_.now() - asked_at;
+      if (config_.tracer != nullptr && engine_.now() > asked_at) {
+        config_.tracer->record(obs::Span{
+            obs::Track::kDrive, d.value(), obs::Phase::kRobotWait, asked_at,
+            engine_.now(), config_.tracer->current_request(), target, {}});
+      }
       auto do_moves = [this, d, &lib, target, had_tape]() {
         const Seconds move = had_tape ? lib.robot_exchange_time()
                                       : lib.robot_move_time();
@@ -197,6 +221,7 @@ void RetrievalSimulator::begin_switch(DriveId d, TapeId target) {
 metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
   TAPESIM_ASSERT_MSG(!in_request_, "requests are strictly sequential");
   in_request_ = true;
+  if (config_.tracer != nullptr) config_.tracer->set_current_request(id);
   const workload::Workload& wl = plan_->workload();
   const workload::Request& request = wl.request(id);
 
@@ -312,6 +337,21 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
   // negative (up to floating-point slack).
   TAPESIM_ASSERT_MSG(outcome.switch_time.count() >= -1e-6,
                      "switch-time decomposition went negative");
+  if (config_.tracer != nullptr) {
+    obs::Tracer& tr = *config_.tracer;
+    tr.record(obs::Span{obs::Track::kRequest, id.value(),
+                        obs::Phase::kRequest, t0_, last_transfer_end_, id,
+                        TapeId{}, {}});
+    const auto layout = obs::BucketLayout::exponential(0.1, 1e5, 1.3);
+    tr.registry().histogram("sched.request.response_s", layout)
+        .record(outcome.response.count());
+    tr.registry().histogram("sched.request.robot_wait_s", layout)
+        .record(outcome.robot_wait.count());
+    tr.registry().counter("sched.request.switches")
+        .inc(outcome.tape_switches);
+    tr.registry().counter("sched.requests").inc();
+    tr.set_current_request(RequestId{});
+  }
   in_request_ = false;
   return outcome;
 }

@@ -23,6 +23,11 @@
 #include "tape/system.hpp"
 #include "workload/model.hpp"
 
+namespace tapesim::obs {
+class Histogram;
+class Tracer;
+}  // namespace tapesim::obs
+
 namespace tapesim::sched {
 
 struct SimulatorConfig {
@@ -49,6 +54,12 @@ struct SimulatorConfig {
   /// little throughput for bounded waiting.
   enum class TapePick { kMostDemandedBytes, kOldestDemand };
   TapePick tape_pick = TapePick::kMostDemandedBytes;
+  /// Optional telemetry. When set, the simulator binds the tracer to its
+  /// engine and system (device spans and kernel counters come for free) and
+  /// adds the request-level spans only the scheduler can see: queue waits,
+  /// robot-queue waits, and whole-request lifetimes. Null costs a pointer
+  /// check per request. Must outlive the simulator; detached on destruction.
+  obs::Tracer* tracer = nullptr;
 };
 
 class RetrievalSimulator {
@@ -58,6 +69,9 @@ class RetrievalSimulator {
   /// the paper). `plan` and its workload must outlive the simulator.
   explicit RetrievalSimulator(const core::PlacementPlan& plan,
                               SimulatorConfig config = {});
+  ~RetrievalSimulator();
+  RetrievalSimulator(const RetrievalSimulator&) = delete;
+  RetrievalSimulator& operator=(const RetrievalSimulator&) = delete;
 
   /// Executes one request to completion and returns its outcome. State
   /// persists into the next call.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/log.hpp"
 
 namespace tapesim::sim {
 
@@ -17,17 +18,24 @@ EventId Engine::schedule_at(Seconds at, std::function<void()> action,
   TAPESIM_ASSERT_MSG(at >= now_, "cannot schedule into the past");
   TAPESIM_ASSERT_MSG(static_cast<bool>(action), "event action must be callable");
   const EventId id = next_id_++;
+  if (trace_ != nullptr) trace_->on_schedule(now_, at, id, label);
   queue_.push(Event{at, id, std::move(action), std::move(label)});
   return id;
 }
 
-bool Engine::cancel(EventId id) { return queue_.cancel(id); }
+bool Engine::cancel(EventId id) {
+  const bool cancelled = queue_.cancel(id);
+  if (cancelled && trace_ != nullptr) trace_->on_cancel(now_, id);
+  return cancelled;
+}
 
 void Engine::dispatch(Event event) {
   TAPESIM_ASSERT_MSG(event.time >= now_, "time went backwards");
   now_ = event.time;
   ++dispatched_;
   if (trace_ != nullptr) trace_->on_dispatch(now_, event.id, event.label);
+  TAPESIM_LOG(kTrace) << "dispatch #" << event.id
+                      << (event.label.empty() ? "" : " ") << event.label;
   event.action();
 }
 

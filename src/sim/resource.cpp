@@ -9,11 +9,12 @@ namespace tapesim::sim {
 void Resource::acquire(std::function<void()> on_granted) {
   TAPESIM_ASSERT_MSG(static_cast<bool>(on_granted),
                      "acquire needs a grant callback");
+  if (observer_ != nullptr) observer_->on_acquire(*this);
   if (busy_) {
-    waiting_.push_back(std::move(on_granted));
+    waiting_.push_back(Waiter{std::move(on_granted), engine_->now()});
     return;
   }
-  grant(std::move(on_granted));
+  grant(std::move(on_granted), engine_->now());
 }
 
 void Resource::acquire_for(Seconds busy, std::function<void()> on_done) {
@@ -25,10 +26,11 @@ void Resource::acquire_for(Seconds busy, std::function<void()> on_done) {
   });
 }
 
-void Resource::grant(std::function<void()> fn) {
+void Resource::grant(std::function<void()> fn, Seconds asked) {
   busy_ = true;
   acquired_at_ = engine_->now();
   ++grants_;
+  if (observer_ != nullptr) observer_->on_grant(*this, acquired_at_ - asked);
   // Dispatch through the engine so grant callbacks never run re-entrantly
   // inside acquire()/release() call stacks.
   engine_->schedule_in(Seconds{0.0}, std::move(fn), name_ + ":grant");
@@ -37,11 +39,13 @@ void Resource::grant(std::function<void()> fn) {
 void Resource::release() {
   TAPESIM_ASSERT_MSG(busy_, "release of a free resource");
   busy_ = false;
-  busy_time_ += engine_->now() - acquired_at_;
+  const Seconds held = engine_->now() - acquired_at_;
+  busy_time_ += held;
+  if (observer_ != nullptr) observer_->on_release(*this, held);
   if (!waiting_.empty()) {
     auto next = std::move(waiting_.front());
     waiting_.pop_front();
-    grant(std::move(next));
+    grant(std::move(next.fn), next.asked);
   }
 }
 

@@ -16,6 +16,27 @@
 
 namespace tapesim::sim {
 
+class Resource;
+
+/// Observer for resource contention; all callbacks default to no-ops. The
+/// observability layer implements this to turn robot grants into spans.
+class ResourceObserver {
+ public:
+  virtual ~ResourceObserver() = default;
+  /// A user asked for the resource (may be granted immediately).
+  virtual void on_acquire(const Resource& resource) { (void)resource; }
+  /// The resource was granted after `waited` of queueing (0 if immediate).
+  virtual void on_grant(const Resource& resource, Seconds waited) {
+    (void)resource;
+    (void)waited;
+  }
+  /// The resource was released after being held for `held`.
+  virtual void on_release(const Resource& resource, Seconds held) {
+    (void)resource;
+    (void)held;
+  }
+};
+
 /// An exclusive server. Users call `acquire(fn)`; `fn(now)` runs as soon as
 /// the resource is free and must eventually lead to a `release()` call.
 class Resource {
@@ -49,16 +70,25 @@ class Resource {
   /// Total grants issued so far.
   [[nodiscard]] std::uint64_t grants() const { return grants_; }
 
+  /// Attaches a contention observer (not owned); nullptr detaches.
+  void set_observer(ResourceObserver* observer) { observer_ = observer; }
+
  private:
-  void grant(std::function<void()> fn);
+  struct Waiter {
+    std::function<void()> fn;
+    Seconds asked{};
+  };
+
+  void grant(std::function<void()> fn, Seconds asked);
 
   Engine* engine_;
   std::string name_;
-  std::deque<std::function<void()>> waiting_;
+  std::deque<Waiter> waiting_;
   bool busy_ = false;
   Seconds acquired_at_{0.0};
   Seconds busy_time_{0.0};
   std::uint64_t grants_ = 0;
+  ResourceObserver* observer_ = nullptr;
 };
 
 }  // namespace tapesim::sim

@@ -1,8 +1,10 @@
-// Observer hook for simulation event dispatch.
+// Observer hooks for simulation event lifetimes.
 //
-// Tests and debugging tools attach a TraceSink to an Engine to record the
-// exact dispatch order; production runs attach nothing and pay only a
-// null-pointer check per event.
+// Tests, the observability layer, and debugging tools attach a TraceSink to
+// an Engine to observe events as they are scheduled, dispatched, and
+// cancelled; production runs attach nothing and pay only a null-pointer
+// check per event. All callbacks default to no-ops so sinks override only
+// what they need.
 #pragma once
 
 #include <string>
@@ -11,12 +13,36 @@
 
 namespace tapesim::sim {
 
+using EventId = std::uint64_t;
+
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
+
+  /// Called when an event is scheduled. `at` is the simulation time the
+  /// event will dispatch at (its scheduled time, not the current time);
+  /// `now` is the time of the scheduling call.
+  virtual void on_schedule(Seconds now, Seconds at, EventId event_id,
+                           const std::string& label) {
+    (void)now;
+    (void)at;
+    (void)event_id;
+    (void)label;
+  }
+
   /// Called immediately before an event's action runs.
-  virtual void on_dispatch(Seconds time, std::uint64_t event_id,
-                           const std::string& label) = 0;
+  virtual void on_dispatch(Seconds time, EventId event_id,
+                           const std::string& label) {
+    (void)time;
+    (void)event_id;
+    (void)label;
+  }
+
+  /// Called when a pending event is successfully cancelled.
+  virtual void on_cancel(Seconds now, EventId event_id) {
+    (void)now;
+    (void)event_id;
+  }
 };
 
 }  // namespace tapesim::sim

@@ -22,19 +22,25 @@ TapeDrive::TapeDrive(DriveId id, const DriveSpec& spec, Bytes tape_capacity)
   spec_.validate();
 }
 
+void TapeDrive::transition(DriveState to) {
+  const DriveState from = state_;
+  state_ = to;
+  if (observer_ != nullptr) observer_->on_transition(*this, from, to);
+}
+
 Seconds TapeDrive::start_load(TapeId t) {
   TAPESIM_ASSERT_MSG(state_ == DriveState::kEmpty,
                      "load requires an empty drive");
   TAPESIM_ASSERT_MSG(t.valid(), "cannot load an invalid tape id");
-  state_ = DriveState::kLoading;
   mounted_ = t;
+  transition(DriveState::kLoading);
   return spec_.load_thread_time;
 }
 
 void TapeDrive::finish_load() {
   TAPESIM_ASSERT(state_ == DriveState::kLoading);
-  state_ = DriveState::kIdle;
   head_ = Bytes{0};
+  transition(DriveState::kIdle);
   stats_.loading += spec_.load_thread_time;
   ++stats_.mounts;
 }
@@ -45,14 +51,14 @@ void TapeDrive::setup_mounted(TapeId t) {
   TAPESIM_ASSERT_MSG(t.valid(), "cannot mount an invalid tape id");
   mounted_ = t;
   head_ = Bytes{0};
-  state_ = DriveState::kIdle;
+  transition(DriveState::kIdle);
 }
 
 Seconds TapeDrive::start_locate(Bytes target) {
   TAPESIM_ASSERT_MSG(state_ == DriveState::kIdle,
                      "locate requires an idle, mounted drive");
-  state_ = DriveState::kLocating;
   pending_target_ = target;
+  transition(DriveState::kLocating);
   return motion_.locate_time(head_, target);
 }
 
@@ -60,7 +66,7 @@ void TapeDrive::finish_locate() {
   TAPESIM_ASSERT(state_ == DriveState::kLocating);
   stats_.locating += motion_.locate_time(head_, pending_target_);
   head_ = pending_target_;
-  state_ = DriveState::kIdle;
+  transition(DriveState::kIdle);
 }
 
 Seconds TapeDrive::start_transfer(Bytes amount) {
@@ -68,8 +74,8 @@ Seconds TapeDrive::start_transfer(Bytes amount) {
                      "transfer requires an idle, mounted drive");
   TAPESIM_ASSERT_MSG(head_ + amount <= motion_.capacity(),
                      "transfer would run off the end of the tape");
-  state_ = DriveState::kTransferring;
   pending_target_ = head_ + amount;
+  transition(DriveState::kTransferring);
   return duration_for(amount, spec_.transfer_rate);
 }
 
@@ -80,13 +86,13 @@ void TapeDrive::finish_transfer() {
   stats_.bytes_read += amount;
   ++stats_.objects_read;
   head_ = pending_target_;
-  state_ = DriveState::kIdle;
+  transition(DriveState::kIdle);
 }
 
 Seconds TapeDrive::start_rewind() {
   TAPESIM_ASSERT_MSG(state_ == DriveState::kIdle,
                      "rewind requires an idle, mounted drive");
-  state_ = DriveState::kRewinding;
+  transition(DriveState::kRewinding);
   return motion_.rewind_time(head_);
 }
 
@@ -94,14 +100,14 @@ void TapeDrive::finish_rewind() {
   TAPESIM_ASSERT(state_ == DriveState::kRewinding);
   stats_.rewinding += motion_.rewind_time(head_);
   head_ = Bytes{0};
-  state_ = DriveState::kIdle;
+  transition(DriveState::kIdle);
 }
 
 Seconds TapeDrive::start_unload() {
   TAPESIM_ASSERT_MSG(state_ == DriveState::kIdle,
                      "unload requires an idle drive");
   TAPESIM_ASSERT_MSG(head_ == Bytes{0}, "must rewind before unloading");
-  state_ = DriveState::kUnloading;
+  transition(DriveState::kUnloading);
   return spec_.unload_time;
 }
 
@@ -110,7 +116,7 @@ TapeId TapeDrive::finish_unload() {
   stats_.unloading += spec_.unload_time;
   const TapeId t = mounted_;
   mounted_ = TapeId{};
-  state_ = DriveState::kEmpty;
+  transition(DriveState::kEmpty);
   return t;
 }
 

@@ -44,6 +44,25 @@ struct DriveStats {
   }
 };
 
+class TapeDrive;
+
+/// Observer for drive state transitions; the default is a no-op. The
+/// observability layer implements this to turn the state machine's
+/// activity periods into per-drive spans.
+class DriveObserver {
+ public:
+  virtual ~DriveObserver() = default;
+  /// Called after every state change, with the transition endpoints. For
+  /// transitions out of kUnloading the cartridge has already left the
+  /// drive; capture `drive.mounted()` on the way in if you need it.
+  virtual void on_transition(const TapeDrive& drive, DriveState from,
+                             DriveState to) {
+    (void)drive;
+    (void)from;
+    (void)to;
+  }
+};
+
 class TapeDrive {
  public:
   TapeDrive(DriveId id, const DriveSpec& spec, Bytes tape_capacity);
@@ -88,7 +107,13 @@ class TapeDrive {
   /// Completes the eject; returns the cartridge that was removed.
   TapeId finish_unload();
 
+  /// Attaches a transition observer (not owned); nullptr detaches.
+  void set_observer(DriveObserver* observer) { observer_ = observer; }
+
  private:
+  /// Applies a state change and notifies the observer, if any.
+  void transition(DriveState to);
+
   DriveId id_;
   DriveSpec spec_;
   LinearMotionModel motion_;
@@ -97,6 +122,7 @@ class TapeDrive {
   Bytes head_{};
   Bytes pending_target_{};  // locate destination / transfer end
   DriveStats stats_;
+  DriveObserver* observer_ = nullptr;
 };
 
 }  // namespace tapesim::tape

@@ -1,23 +1,51 @@
 #include "util/log.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <mutex>
+#include <utility>
 
 namespace tapesim {
 namespace log_detail {
+namespace {
 
-LogLevel& threshold() {
-  static LogLevel level = LogLevel::kWarn;
-  return level;
+std::mutex& mutex() {
+  static std::mutex mu;
+  return mu;
 }
 
+LogHook& hook() {
+  static LogHook h;
+  return h;
+}
+
+std::function<double()>& time_provider() {
+  static std::function<double()> p;
+  return p;
+}
+
+}  // namespace
+
 void emit(LogLevel level, const std::string& message) {
-  static std::mutex mu;
   static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO",
                                            "WARN", "ERROR", "OFF"};
-  const std::scoped_lock lock(mu);
-  std::fprintf(stderr, "[tapesim %s] %s\n",
-               kNames[static_cast<int>(level)], message.c_str());
+  const std::scoped_lock lock(mutex());
+  const double sim_time = time_provider()
+                              ? time_provider()()
+                              : std::numeric_limits<double>::quiet_NaN();
+  if (hook()) {
+    hook()(level, sim_time, message);
+    // Narration is the hook's to own; operator-facing levels still print.
+    if (level <= LogLevel::kDebug) return;
+  }
+  if (std::isnan(sim_time)) {
+    std::fprintf(stderr, "[tapesim %s] %s\n",
+                 kNames[static_cast<int>(level)], message.c_str());
+  } else {
+    std::fprintf(stderr, "[tapesim %s t=%.6fs] %s\n",
+                 kNames[static_cast<int>(level)], sim_time, message.c_str());
+  }
 }
 
 }  // namespace log_detail
@@ -29,5 +57,15 @@ LogLevel set_log_level(LogLevel level) {
 }
 
 LogLevel log_level() { return log_detail::threshold(); }
+
+void set_log_hook(LogHook hook) {
+  const std::scoped_lock lock(log_detail::mutex());
+  log_detail::hook() = std::move(hook);
+}
+
+void set_log_time_provider(std::function<double()> provider) {
+  const std::scoped_lock lock(log_detail::mutex());
+  log_detail::time_provider() = std::move(provider);
+}
 
 }  // namespace tapesim

@@ -3,8 +3,16 @@
 // The simulator is a library first: logging defaults to warnings-and-above
 // on stderr and is globally adjustable. Trace-level output narrates every
 // simulation event, which the tests use to diagnose scheduling regressions.
+//
+// When a simulation clock is registered (set_log_time_provider), every
+// emitted line carries a consistent `t=<seconds>` prefix, so narration can
+// be correlated with trace spans. When a log hook is installed (the
+// observability layer does this when a tracer binds an engine), trace- and
+// debug-level narration is routed through the hook *instead of* stderr —
+// one source of truth for event narration; warnings and errors go to both.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,13 +21,24 @@ namespace tapesim {
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
 namespace log_detail {
-LogLevel& threshold();
+// Inline variable so log_enabled() compiles to a load+compare — the check
+// sits on the engine's per-event dispatch path.
+inline LogLevel g_threshold = LogLevel::kWarn;
+inline LogLevel& threshold() { return g_threshold; }
 void emit(LogLevel level, const std::string& message);
 }  // namespace log_detail
 
 /// Sets the global log threshold; returns the previous value.
 LogLevel set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
+
+/// Receives every emitted message: (level, simulation time or NaN, text).
+using LogHook = std::function<void(LogLevel, double, const std::string&)>;
+
+/// Installs/clears the narration hook. Pass an empty function to clear.
+void set_log_hook(LogHook hook);
+/// Installs/clears the simulation clock used for the timestamp prefix.
+void set_log_time_provider(std::function<double()> provider);
 
 /// True if a message at `level` would currently be emitted.
 [[nodiscard]] inline bool log_enabled(LogLevel level) {

@@ -1,0 +1,64 @@
+// The minimal JSON reader used for trace validation and post-processing.
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tapesim::obs {
+namespace {
+
+TEST(ParseJson, Scalars) {
+  EXPECT_TRUE(parse_json("null")->is_null());
+  EXPECT_EQ(parse_json("true")->string_or("x", "d"), "d");  // not an object
+  EXPECT_DOUBLE_EQ(parse_json("42")->number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-1.5e3")->number(), -1500.0);
+  EXPECT_EQ(parse_json("\"hi\"")->string(), "hi");
+}
+
+TEST(ParseJson, StringEscapes) {
+  const auto v = parse_json(R"("a\"b\\c\nd\te")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string(), "a\"b\\c\nd\te");
+}
+
+TEST(ParseJson, NestedStructures) {
+  const auto v = parse_json(
+      R"({"span": {"track": "drive", "lane": 3}, "vals": [1, 2.5, null]})");
+  ASSERT_TRUE(v.has_value());
+  const JsonValue* span = v->find("span");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->string_or("track", ""), "drive");
+  EXPECT_DOUBLE_EQ(span->number_or("lane", -1), 3.0);
+  const JsonValue* vals = v->find("vals");
+  ASSERT_NE(vals, nullptr);
+  ASSERT_EQ(vals->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(vals->array()[1].number(), 2.5);
+  EXPECT_TRUE(vals->array()[2].is_null());
+}
+
+TEST(ParseJson, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_json("").has_value());
+  EXPECT_FALSE(parse_json("{").has_value());
+  EXPECT_FALSE(parse_json("[1,]").has_value());
+  EXPECT_FALSE(parse_json("{\"a\" 1}").has_value());
+  EXPECT_FALSE(parse_json("nul").has_value());
+  EXPECT_FALSE(parse_json("\"unterminated").has_value());
+  EXPECT_FALSE(parse_json("1 2").has_value());  // trailing garbage
+  EXPECT_FALSE(parse_json("{} extra").has_value());
+}
+
+TEST(ParseJson, WhitespaceTolerant) {
+  const auto v = parse_json("  {\n\t\"a\" : [ 1 , 2 ]\n}  ");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("a")->array().size(), 2u);
+}
+
+TEST(ParseJson, MissingKeysFallBack) {
+  const auto v = parse_json(R"({"present": 1})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->number_or("absent", 7.5), 7.5);
+  EXPECT_EQ(v->string_or("absent", "d"), "d");
+  EXPECT_EQ(v->find("absent"), nullptr);
+}
+
+}  // namespace
+}  // namespace tapesim::obs

@@ -1,0 +1,213 @@
+// Metrics registry: bucket math, percentile agreement with util::stats,
+// snapshot/reset semantics, and export formats.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace tapesim::obs {
+namespace {
+
+TEST(Counter, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, HoldsLastValue) {
+  Gauge g;
+  g.set(3.5);
+  g.set(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(BucketLayout, LinearBoundsAreInclusiveUpperEdges) {
+  const auto layout = BucketLayout::linear(0.0, 10.0, 5);
+  ASSERT_EQ(layout.bounds.size(), 5u);
+  EXPECT_DOUBLE_EQ(layout.bounds.front(), 2.0);
+  EXPECT_DOUBLE_EQ(layout.bounds.back(), 10.0);
+  EXPECT_EQ(layout.size(), 6u);  // + overflow
+
+  EXPECT_EQ(layout.bucket_index(-1.0), 0u);
+  EXPECT_EQ(layout.bucket_index(2.0), 0u);   // inclusive upper edge
+  EXPECT_EQ(layout.bucket_index(2.0001), 1u);
+  EXPECT_EQ(layout.bucket_index(10.0), 4u);
+  EXPECT_EQ(layout.bucket_index(10.5), 5u);  // overflow bucket
+}
+
+TEST(BucketLayout, ExponentialCoversRangeMonotonically) {
+  const auto layout = BucketLayout::exponential(1.0, 1000.0, 2.0);
+  ASSERT_GE(layout.bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(layout.bounds.front(), 1.0);
+  EXPECT_GE(layout.bounds.back(), 1000.0);
+  for (std::size_t i = 1; i < layout.bounds.size(); ++i) {
+    EXPECT_GT(layout.bounds[i], layout.bounds[i - 1]);
+  }
+}
+
+TEST(Histogram, CountSumMinMaxExact) {
+  Histogram h(BucketLayout::linear(0.0, 100.0, 10));
+  h.record(5.0);
+  h.record(50.0);
+  h.record(95.0);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 150.0);
+  EXPECT_DOUBLE_EQ(snap.min, 5.0);
+  EXPECT_DOUBLE_EQ(snap.max, 95.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 50.0);
+}
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  Histogram h(BucketLayout::linear(0.0, 1.0, 4));
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(50.0), 0.0);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h(BucketLayout::linear(0.0, 10.0, 10));
+  h.record(3.0);
+  h.record(7.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  h.record(9.0);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.min, 9.0);
+  EXPECT_DOUBLE_EQ(snap.max, 9.0);
+}
+
+// The histogram percentile interpolates within its containing bucket, so it
+// can be off by at most one bucket width from the exact (util::stats)
+// answer on the same samples.
+TEST(Histogram, PercentilesTrackExactStatsWithinBucketResolution) {
+  const double width = 1.0;
+  Histogram h(BucketLayout::linear(0.0, 100.0, 100));
+  SampleSet exact;
+  Rng rng{2024};
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.uniform() * 90.0 + 5.0;
+    h.record(v);
+    exact.add(v);
+  }
+  const HistogramSnapshot snap = h.snapshot();
+  for (const double p : {10.0, 50.0, 90.0, 95.0, 99.0}) {
+    EXPECT_NEAR(snap.percentile(p), exact.percentile(p), width)
+        << "p" << p;
+  }
+  EXPECT_NEAR(snap.mean(), exact.mean(), 1e-9);
+  EXPECT_DOUBLE_EQ(snap.min, exact.min());
+  EXPECT_DOUBLE_EQ(snap.max, exact.max());
+}
+
+TEST(Histogram, PercentileClampedToObservedRange) {
+  Histogram h(BucketLayout::linear(0.0, 100.0, 4));  // coarse buckets
+  h.record(40.0);
+  h.record(42.0);
+  const auto snap = h.snapshot();
+  EXPECT_GE(snap.percentile(0.0), 40.0);
+  EXPECT_LE(snap.percentile(100.0), 42.0);
+}
+
+TEST(Registry, InstrumentsPersistAcrossCalls) {
+  Registry reg;
+  Counter& c1 = reg.counter("a.count");
+  Counter& c2 = reg.counter("a.count");
+  EXPECT_EQ(&c1, &c2);
+  c1.inc();
+  EXPECT_EQ(reg.counter("a.count").value(), 1u);
+
+  Histogram& h1 = reg.histogram("a.h", BucketLayout::linear(0, 1, 2));
+  // Second registration: same instrument, layout argument ignored.
+  Histogram& h2 = reg.histogram("a.h", BucketLayout::linear(0, 9, 9));
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.layout().bounds.size(), 2u);
+}
+
+TEST(Registry, SnapshotAndReset) {
+  Registry reg;
+  reg.counter("n").inc(7);
+  reg.gauge("g").set(1.25);
+  reg.histogram("h", BucketLayout::linear(0, 10, 5)).record(4.0);
+
+  const RegistrySnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("n"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 1.25);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+
+  reg.reset();
+  EXPECT_EQ(reg.counter("n").value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
+  const RegistrySnapshot after = reg.snapshot();
+  EXPECT_EQ(after.histograms.at("h").count, 0u);
+}
+
+TEST(Registry, CsvExportHasHeaderAndOneRowPerInstrument) {
+  Registry reg;
+  reg.counter("events").inc(3);
+  reg.gauge("depth").set(2.0);
+  reg.histogram("wait_s", BucketLayout::linear(0, 10, 5)).record(1.0);
+
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("kind,name,count,sum,mean,min,max,p50,p95,p99"),
+            std::string::npos);
+  EXPECT_NE(text.find("counter,events,3"), std::string::npos);
+  EXPECT_NE(text.find("gauge,depth"), std::string::npos);
+  EXPECT_NE(text.find("histogram,wait_s,1"), std::string::npos);
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 4u);  // header + 3 instruments
+}
+
+TEST(Registry, JsonExportParsesAndRoundTripsValues) {
+  Registry reg;
+  reg.counter("events").inc(11);
+  reg.gauge("depth").set(0.5);
+  reg.histogram("wait_s", BucketLayout::linear(0, 4, 4)).record(3.5);
+
+  std::ostringstream os;
+  reg.write_json(os);
+  const auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+
+  const JsonValue* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->number_or("events", -1.0), 11.0);
+
+  const JsonValue* gauges = doc->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->number_or("depth", -1.0), 0.5);
+
+  const JsonValue* hists = doc->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* hist = hists->find("wait_s");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->number_or("count", -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(hist->number_or("sum", -1.0), 3.5);
+  const JsonValue* buckets = hist->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  EXPECT_EQ(buckets->array().size(), 5u);  // 4 finite + overflow
+}
+
+}  // namespace
+}  // namespace tapesim::obs

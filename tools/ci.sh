@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Minimal CI gate: release build + tier-1 tests, then the same suite under
+# ASan+UBSan. Run from anywhere; builds land in <repo>/build and
+# <repo>/build-asan (the CMake presets' binary dirs).
+#
+#   tools/ci.sh            # release + sanitizer passes
+#   tools/ci.sh --fast     # release pass only
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> release build + tier1 tests"
+cmake --preset default
+cmake --build --preset default -j "$jobs"
+ctest --test-dir build -L tier1 --output-on-failure -j "$jobs"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "==> done (fast mode: sanitizer pass skipped)"
+  exit 0
+fi
+
+echo "==> asan+ubsan build + tier1 tests"
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$jobs"
+ctest --test-dir build-asan -L tier1 --output-on-failure -j "$jobs"
+
+echo "==> done"

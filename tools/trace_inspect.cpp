@@ -1,0 +1,166 @@
+// Offline inspector for span JSONL traces (obs::Tracer::write_jsonl).
+//
+// Reads a trace back through the obs JSON parser and prints, per track, a
+// phase-breakdown table: span count, total seconds, mean span length, and
+// share of the track's busy time. This is the quick "where did the time
+// go" view when a Perfetto session is overkill, and doubles as an
+// end-to-end check that the emitted JSONL round-trips.
+//
+// Usage: trace_inspect FILE.jsonl [--track NAME] [--lanes]
+//   --track NAME  restrict to one track (request|drive|robot|engine)
+//   --lanes       additionally break each track down per lane
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct SpanRow {
+  std::string track;
+  std::uint32_t lane = 0;
+  std::string phase;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+struct Agg {
+  std::uint64_t spans = 0;
+  double total_s = 0.0;
+};
+
+int fail(const std::string& message) {
+  std::cerr << "trace_inspect: " << message << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tapesim::Table;
+
+  std::string path;
+  std::string only_track;
+  bool per_lane = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--lanes") {
+      per_lane = true;
+    } else if (arg == "--track" && i + 1 < argc) {
+      only_track = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return fail("unknown option: " + arg);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return fail("more than one input file given");
+    }
+  }
+  if (path.empty()) {
+    return fail("usage: trace_inspect FILE.jsonl [--track NAME] [--lanes]");
+  }
+
+  std::ifstream in(path);
+  if (!in) return fail("cannot open " + path);
+
+  std::vector<SpanRow> spans;
+  std::uint64_t samples = 0;
+  std::uint64_t markers = 0;
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto value = tapesim::obs::parse_json(line);
+    if (!value || !value->is_object()) {
+      return fail("line " + std::to_string(line_no) + ": not a JSON object");
+    }
+    const std::string type = value->string_or("type", "");
+    if (type == "sample") {
+      ++samples;
+      continue;
+    }
+    if (type != "span") continue;  // meta and future record types
+    SpanRow row;
+    row.track = value->string_or("track", "?");
+    row.lane = static_cast<std::uint32_t>(value->number_or("lane", 0.0));
+    row.phase = value->string_or("phase", "?");
+    row.start_s = value->number_or("start_s", 0.0);
+    row.end_s = value->number_or("end_s", 0.0);
+    if (row.phase == "marker") {
+      ++markers;
+      continue;
+    }
+    if (row.end_s < row.start_s) {
+      return fail("line " + std::to_string(line_no) + ": span ends (" +
+                  std::to_string(row.end_s) + ") before it starts (" +
+                  std::to_string(row.start_s) + ")");
+    }
+    if (!only_track.empty() && row.track != only_track) continue;
+    spans.push_back(std::move(row));
+  }
+
+  std::cout << path << ": " << spans.size() << " spans, " << samples
+            << " samples, " << markers << " markers\n\n";
+
+  // Tracks in a stable, meaningful order; unknown ones go last.
+  const std::vector<std::string> track_order = {"request", "drive", "robot",
+                                                "engine"};
+  std::map<std::string, std::map<std::string, Agg>> by_track;
+  std::map<std::string, std::map<std::uint32_t, std::map<std::string, Agg>>>
+      by_lane;
+  for (const SpanRow& s : spans) {
+    Agg& agg = by_track[s.track][s.phase];
+    ++agg.spans;
+    agg.total_s += s.end_s - s.start_s;
+    if (per_lane) {
+      Agg& lane_agg = by_lane[s.track][s.lane][s.phase];
+      ++lane_agg.spans;
+      lane_agg.total_s += s.end_s - s.start_s;
+    }
+  }
+
+  auto print_phase_table = [](const std::string& title,
+                              const std::map<std::string, Agg>& phases) {
+    double track_total = 0.0;
+    for (const auto& [phase, agg] : phases) track_total += agg.total_s;
+    std::cout << title << "\n";
+    Table table({"phase", "spans", "total (s)", "mean (s)", "share"});
+    for (const auto& [phase, agg] : phases) {
+      table.add(phase, agg.spans, agg.total_s,
+                agg.spans == 0 ? 0.0
+                               : agg.total_s / static_cast<double>(agg.spans),
+                track_total <= 0.0
+                    ? std::string("-")
+                    : Table::num(100.0 * agg.total_s / track_total, 1) + "%");
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  };
+
+  auto visit_track = [&](const std::string& track) {
+    const auto it = by_track.find(track);
+    if (it == by_track.end()) return;
+    print_phase_table("track: " + track, it->second);
+    if (per_lane) {
+      for (const auto& [lane, phases] : by_lane[track]) {
+        print_phase_table(
+            "track: " + track + ", lane " + std::to_string(lane), phases);
+      }
+    }
+  };
+  for (const std::string& track : track_order) visit_track(track);
+  for (const auto& [track, phases] : by_track) {
+    if (std::find(track_order.begin(), track_order.end(), track) ==
+        track_order.end()) {
+      visit_track(track);
+    }
+  }
+  return 0;
+}
