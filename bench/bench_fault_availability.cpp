@@ -1,0 +1,142 @@
+// Fault availability: mean response time and fraction of requested bytes
+// unavailable vs drive failure rate, for the three placement schemes.
+//
+// Sweeps the drive hardware failure rate (per drive-hour) with a fixed
+// repair time and a fixed share of permanent (unrepairable) faults; mount
+// failures and robot jams ride along at constant low rates so the retry
+// and jam paths also see traffic. Expectation: response time and
+// unavailability rise monotonically with the failure rate for every
+// scheme — parallel placement buys throughput, not immunity, and the lost
+// capacity must show up as degradation, never as a wedged run.
+//
+// The rate=0 column doubles as the zero-overhead check: it must match a
+// no-fault build bit for bit (the simulator builds no injector).
+//
+// With --trace-out/--jsonl-out/--metrics-out the highest-rate parallel
+// batch run is traced and the span lanes are reconciled against the
+// simulator's own DriveStats, including the fault lane vs repair downtime
+// (the conservation check of the observability PR, extended to failures).
+#include "figure_common.hpp"
+
+namespace {
+
+/// Fault model for one sweep point: `rate` drive failures per drive-hour.
+tapesim::fault::FaultConfig fault_point(double rate) {
+  tapesim::fault::FaultConfig faults;
+  if (rate > 0.0) {
+    faults.drive_mtbf = tapesim::Seconds{3600.0 / rate};
+    faults.drive_mttr = tapesim::Seconds{900.0};
+    faults.permanent_fraction = 0.2;
+    // Constant background noise on the other fault classes.
+    faults.mount_failure_prob = 0.01;
+    faults.robot_jam_prob = 0.005;
+    faults.robot_jam_clear = tapesim::Seconds{60.0};
+  }
+  return faults;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tapesim;
+  const auto trace_opts = benchfig::TraceOptions::parse(argc, argv);
+  benchfig::print_header(
+      "Fault availability",
+      "mean response (s) and fraction unavailable vs drive failure rate "
+      "(per drive-hour; MTTR 15 min, 20% of faults permanent)");
+
+  const double rates[] = {0.0, 0.02, 0.05, 0.1, 0.2};
+
+  // Mean response is reported over *served* requests: a request whose data
+  // is unavailable completes almost instantly, so the raw mean would fall
+  // as the system collapses — exactly the wrong signal for availability.
+  Table table({"failures/drive-h", "pbp resp (s)", "pbp unavail",
+               "opp resp (s)", "opp unavail", "cpp resp (s)", "cpp unavail",
+               "pbp failovers", "pbp retries"});
+
+  // Per-scheme series for the qualitative trend check below.
+  std::vector<std::vector<double>> resp(3);
+  std::vector<std::vector<double>> unavail(3);
+
+  for (const double rate : rates) {
+    exp::ExperimentConfig config;
+    config.sim.faults = fault_point(rate);
+    const exp::Experiment experiment(config);
+    const auto schemes = exp::make_standard_schemes();
+
+    const exp::SchemeRun runs[] = {
+        experiment.run(*schemes.parallel_batch),
+        experiment.run(*schemes.object_probability),
+        experiment.run(*schemes.cluster_probability)};
+    for (std::size_t i = 0; i < 3; ++i) {
+      resp[i].push_back(runs[i].metrics.mean_served_response().count());
+      unavail[i].push_back(runs[i].metrics.fraction_unavailable());
+    }
+    const auto& pbp = runs[0].metrics;
+    table.add(rate, resp[0].back(), unavail[0].back(), resp[1].back(),
+              unavail[1].back(), resp[2].back(), unavail[2].back(),
+              pbp.total_failovers(),
+              pbp.total_mount_retries() + pbp.total_media_retries());
+  }
+
+  benchfig::print_table(table, "fault_availability.csv");
+
+  // Qualitative acceptance: degradation rises with the failure rate. The
+  // series are noisy point to point (one fault-seed realisation per
+  // column), so require every faulty point to be no better than the
+  // fault-free baseline and the endpoints to strictly degrade, instead of
+  // demanding strict adjacent monotonicity.
+  bool ok = true;
+  const char* names[] = {"parallel batch", "object probability",
+                         "cluster probability"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& r = resp[i];
+    const auto& u = unavail[i];
+    for (std::size_t p = 1; p < r.size(); ++p) {
+      if (r[p] < r[0] || u[p] < u[0] - 1e-12) {
+        std::cout << "TREND FAIL: " << names[i] << " at rate point " << p
+                  << " is better than fault-free\n";
+        ok = false;
+      }
+    }
+    if (r.back() <= r.front() || u.back() <= u.front()) {
+      std::cout << "TREND FAIL: " << names[i]
+                << " does not degrade from first to last rate\n";
+      ok = false;
+    }
+  }
+  std::cout << "degradation trend: " << (ok ? "OK" : "FAIL")
+            << " (served response and unavailability rise with failure "
+               "rate)\n\n";
+
+  if (const auto tracer = trace_opts.make_tracer()) {
+    // Conservation under failure: trace the harshest sweep point and
+    // reconcile every span lane — including the fault lane — against the
+    // simulator's DriveStats.
+    exp::ExperimentConfig config;
+    config.sim.faults = fault_point(rates[std::size(rates) - 1]);
+    const exp::Experiment experiment(config);
+    const auto schemes = exp::make_standard_schemes();
+    const auto traced = experiment.run_traced(*schemes.parallel_batch,
+                                              *tracer);
+    std::cout << "traced scheme: " << traced.run.scheme
+              << " at " << rates[std::size(rates) - 1]
+              << " failures/drive-h\n";
+    double max_delta =
+        benchfig::print_phase_breakdown(*tracer, traced.utilization);
+    for (const sched::DriveUtilization& du : traced.utilization.drives) {
+      const double fault_lane =
+          tracer
+              ->lane_phase_total(obs::Track::kDrive, du.drive.value(),
+                                 obs::Phase::kFault)
+              .count();
+      max_delta =
+          std::max(max_delta, std::abs(fault_lane - du.downtime.count()));
+    }
+    std::cout << "fault-lane conservation incl. downtime: max |delta| = "
+              << max_delta << " s ("
+              << (max_delta <= 1e-6 ? "OK" : "FAIL") << ")\n";
+    trace_opts.finish(*tracer);
+  }
+  return ok ? 0 : 1;
+}

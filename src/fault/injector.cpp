@@ -1,0 +1,172 @@
+#include "fault/injector.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+#include "util/distributions.hpp"
+
+namespace tapesim::fault {
+
+namespace {
+constexpr Seconds kNever{std::numeric_limits<double>::infinity()};
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config,
+                             const tape::SystemSpec& spec)
+    : config_(config) {
+  TAPESIM_ASSERT_MSG(config_.try_validate().ok(),
+                     "fault config must validate before injection");
+  // Per-class substreams, then one fork per device: a device's draws never
+  // depend on any other device's, nor on query order.
+  const Rng root{config_.seed};
+  const Rng drive_base = root.split("drive");
+  const Rng mount_base = root.split("mount");
+  const Rng media_base = root.split("media");
+  const Rng robot_base = root.split("robot");
+
+  const std::uint32_t num_drives = spec.total_drives();
+  const std::uint32_t num_tapes = spec.total_tapes();
+  drives_.reserve(num_drives);
+  mount_rngs_.reserve(num_drives);
+  for (std::uint32_t d = 0; d < num_drives; ++d) {
+    drives_.push_back(DriveTimeline{drive_base.fork(d), kNever, kNever,
+                                    /*permanent=*/false, /*started=*/false});
+    mount_rngs_.push_back(mount_base.fork(d));
+  }
+  media_rngs_.reserve(num_tapes);
+  for (std::uint32_t t = 0; t < num_tapes; ++t) {
+    media_rngs_.push_back(media_base.fork(t));
+  }
+  robot_rngs_.reserve(spec.num_libraries);
+  for (std::uint32_t l = 0; l < spec.num_libraries; ++l) {
+    robot_rngs_.push_back(robot_base.fork(l));
+  }
+  media_error_counts_.assign(num_tapes, 0);
+}
+
+FaultInjector::DriveTimeline& FaultInjector::timeline(DriveId d) {
+  TAPESIM_ASSERT(d.valid() && d.index() < drives_.size());
+  return drives_[d.index()];
+}
+
+void FaultInjector::advance(DriveTimeline& tl, Seconds t) {
+  const double mtbf = config_.drive_mtbf.count();
+  if (!tl.started) {
+    tl.started = true;
+    if (mtbf > 0.0) {
+      tl.fail_at = Seconds{sample_exponential(tl.rng, mtbf)};
+      tl.permanent = tl.rng.uniform() < config_.permanent_fraction;
+      tl.repair_at =
+          tl.permanent
+              ? kNever
+              : tl.fail_at + Seconds{sample_exponential(
+                                 tl.rng, config_.drive_mttr.count())};
+    }
+    // mtbf == 0: fail_at stays +inf, the loop below never iterates.
+  }
+  while (t >= tl.repair_at) {
+    tl.fail_at =
+        tl.repair_at + Seconds{sample_exponential(tl.rng, mtbf)};
+    tl.permanent = tl.rng.uniform() < config_.permanent_fraction;
+    tl.repair_at =
+        tl.permanent ? kNever
+                     : tl.fail_at + Seconds{sample_exponential(
+                                        tl.rng, config_.drive_mttr.count())};
+  }
+}
+
+bool FaultInjector::drive_online(DriveId d, Seconds at) {
+  DriveTimeline& tl = timeline(d);
+  advance(tl, at);
+  return at < tl.fail_at;
+}
+
+bool FaultInjector::outage_is_permanent(DriveId d, Seconds at) {
+  DriveTimeline& tl = timeline(d);
+  advance(tl, at);
+  TAPESIM_ASSERT_MSG(at >= tl.fail_at, "drive is not in an outage");
+  return tl.permanent;
+}
+
+std::optional<Seconds> FaultInjector::failure_within(DriveId d, Seconds at,
+                                                     Seconds duration) {
+  DriveTimeline& tl = timeline(d);
+  advance(tl, at);
+  TAPESIM_ASSERT_MSG(at < tl.fail_at,
+                     "activity started on a drive already in an outage");
+  if (tl.fail_at < at + duration) return tl.fail_at - at;
+  return std::nullopt;
+}
+
+std::optional<Seconds> FaultInjector::next_online_at(DriveId d, Seconds now) {
+  DriveTimeline& tl = timeline(d);
+  advance(tl, now);
+  if (now < tl.fail_at) return now;
+  if (tl.permanent) return std::nullopt;
+  return tl.repair_at;
+}
+
+void FaultInjector::note_drive_failure(bool permanent) {
+  ++counters_.drive_failures;
+  if (permanent) ++counters_.permanent_drive_failures;
+}
+
+bool FaultInjector::mount_attempt_fails(DriveId d) {
+  if (config_.mount_failure_prob <= 0.0) return false;
+  TAPESIM_ASSERT(d.valid() && d.index() < mount_rngs_.size());
+  const bool fails =
+      mount_rngs_[d.index()].uniform() < config_.mount_failure_prob;
+  if (fails) ++counters_.mount_failures;
+  return fails;
+}
+
+std::optional<double> FaultInjector::media_error(TapeId t, Bytes amount,
+                                                 tape::CartridgeHealth health) {
+  if (config_.media_error_per_gb <= 0.0) return std::nullopt;
+  TAPESIM_ASSERT_MSG(health != tape::CartridgeHealth::kLost,
+                     "lost cartridges are never transferred");
+  TAPESIM_ASSERT(t.valid() && t.index() < media_rngs_.size());
+  const double rate =
+      config_.media_error_per_gb *
+      (health == tape::CartridgeHealth::kDegraded
+           ? config_.degraded_error_multiplier
+           : 1.0);
+  const double gb = amount.gigabytes();
+  if (gb <= 0.0) return std::nullopt;
+  Rng& rng = media_rngs_[t.index()];
+  // First event of a Poisson process with intensity `rate` per GB: the
+  // transfer errors iff the event lands inside it, and conditional on a
+  // hit the position follows the truncated exponential.
+  const double p_hit = 1.0 - std::exp(-rate * gb);
+  if (rng.uniform() >= p_hit) return std::nullopt;
+  const double v = rng.uniform();
+  const double x = -std::log(1.0 - v * p_hit) / rate;
+  return x / gb;  // in [0, 1)
+}
+
+tape::CartridgeHealth FaultInjector::record_media_error(TapeId t) {
+  TAPESIM_ASSERT(t.valid() && t.index() < media_error_counts_.size());
+  ++counters_.media_errors;
+  const std::uint32_t count = ++media_error_counts_[t.index()];
+  if (count >= config_.lost_after) return tape::CartridgeHealth::kLost;
+  if (count >= config_.degraded_after) return tape::CartridgeHealth::kDegraded;
+  return tape::CartridgeHealth::kGood;
+}
+
+std::uint32_t FaultInjector::media_errors_on(TapeId t) const {
+  TAPESIM_ASSERT(t.valid() && t.index() < media_error_counts_.size());
+  return media_error_counts_[t.index()];
+}
+
+Seconds FaultInjector::robot_jam_delay(LibraryId lib) {
+  if (config_.robot_jam_prob <= 0.0) return Seconds{0.0};
+  TAPESIM_ASSERT(lib.valid() && lib.index() < robot_rngs_.size());
+  if (robot_rngs_[lib.index()].uniform() < config_.robot_jam_prob) {
+    ++counters_.robot_jams;
+    return config_.robot_jam_clear;
+  }
+  return Seconds{0.0};
+}
+
+}  // namespace tapesim::fault

@@ -1,0 +1,129 @@
+// Deterministic fault injector.
+//
+// The injector is a pure oracle: it owns the fault RNG tree and the failure
+// timelines, but never touches the engine or the tape system. The scheduler
+// asks questions ("will this transfer be interrupted?", "does this mount
+// attempt fail?") and acts on the answers; the injector stays reusable by
+// any future scheduler.
+//
+// Determinism discipline: every device has its own substream, forked from
+// a per-class `split()` of the root seed. A drive's failure timeline
+// therefore never depends on what any other device drew, nor on the order
+// in which the scheduler happens to query devices — runs are reproducible
+// under scheduling refactors, and independent of the workload RNG stream.
+//
+// Drive failures are an alternating renewal process (exponential time to
+// failure with mean MTBF, exponential repair with mean MTTR), advanced
+// lazily: outage windows are only materialised when a query reaches them,
+// so an idle simulator schedules no standing fault events and the event
+// loop can never be kept alive (or wedged) by the fault model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fault/model.hpp"
+#include "tape/specs.hpp"
+#include "tape/system.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::fault {
+
+/// Running totals of injected faults, for reports and benchmarks.
+struct FaultCounters {
+  std::uint64_t drive_failures = 0;
+  std::uint64_t permanent_drive_failures = 0;
+  std::uint64_t mount_failures = 0;
+  std::uint64_t media_errors = 0;
+  std::uint64_t robot_jams = 0;
+};
+
+class FaultInjector {
+ public:
+  /// `config` must validate; sizes the per-device streams from `spec`.
+  FaultInjector(const FaultConfig& config, const tape::SystemSpec& spec);
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+  [[nodiscard]] const FaultCounters& counters() const { return counters_; }
+
+  // --- drive hardware timeline ---
+
+  /// Is drive `d` up at time `at`?
+  [[nodiscard]] bool drive_online(DriveId d, Seconds at);
+
+  /// Whether the current outage of `d` (it must be in one) is permanent.
+  [[nodiscard]] bool outage_is_permanent(DriveId d, Seconds at);
+
+  /// If an activity on `d` spanning [at, at + duration) is interrupted by a
+  /// failure, the offset from `at` at which it strikes; nullopt when the
+  /// activity completes first. A failure exactly at completion time does
+  /// not interrupt.
+  [[nodiscard]] std::optional<Seconds> failure_within(DriveId d, Seconds at,
+                                                      Seconds duration);
+
+  /// Earliest time >= `now` at which `d` is online: `now` itself if it is
+  /// already up, the repair time if it is in a transient outage, nullopt if
+  /// the outage is permanent.
+  [[nodiscard]] std::optional<Seconds> next_online_at(DriveId d, Seconds now);
+
+  /// Called when the scheduler actually fails the drive, for counting.
+  void note_drive_failure(bool permanent);
+
+  // --- mount/load failures ---
+
+  /// Draws whether one load attempt on `d` fails to thread.
+  [[nodiscard]] bool mount_attempt_fails(DriveId d);
+
+  // --- media read errors ---
+
+  /// If a transfer of `amount` from cartridge `t` hits a read error, the
+  /// fraction of the transfer completed when it strikes (in (0, 1));
+  /// nullopt for a clean read. `health` scales the error rate for
+  /// degraded media. The error position follows the conditional
+  /// distribution of the first event of a Poisson process truncated to the
+  /// transfer, so short and long transfers are treated consistently.
+  [[nodiscard]] std::optional<double> media_error(TapeId t, Bytes amount,
+                                                  tape::CartridgeHealth health);
+
+  /// Records one read error against `t` and returns the health the
+  /// cartridge should now have (escalating through the configured
+  /// thresholds). The caller applies it to the tape system.
+  [[nodiscard]] tape::CartridgeHealth record_media_error(TapeId t);
+
+  [[nodiscard]] std::uint32_t media_errors_on(TapeId t) const;
+
+  // --- robot arm jams ---
+
+  /// Extra delay for one robot move in library `lib`: the configured clear
+  /// time if the move jams, zero otherwise.
+  [[nodiscard]] Seconds robot_jam_delay(LibraryId lib);
+
+ private:
+  /// Lazy alternating-renewal outage timeline of one drive. The window
+  /// [fail_at, repair_at) is the next (or current) outage; repair_at is
+  /// +infinity for a permanent failure.
+  struct DriveTimeline {
+    Rng rng;
+    Seconds fail_at{};
+    Seconds repair_at{};
+    bool permanent = false;
+    bool started = false;
+  };
+
+  /// Materialises outage windows until `t` falls before repair_at.
+  void advance(DriveTimeline& tl, Seconds t);
+  DriveTimeline& timeline(DriveId d);
+
+  FaultConfig config_;
+  FaultCounters counters_;
+  std::vector<DriveTimeline> drives_;
+  std::vector<Rng> mount_rngs_;    ///< One per drive.
+  std::vector<Rng> media_rngs_;    ///< One per tape.
+  std::vector<Rng> robot_rngs_;    ///< One per library.
+  std::vector<std::uint32_t> media_error_counts_;  ///< One per tape.
+};
+
+}  // namespace tapesim::fault

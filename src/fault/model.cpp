@@ -1,0 +1,39 @@
+#include "fault/model.hpp"
+
+namespace tapesim::fault {
+
+Status BackoffPolicy::try_validate(const char* subject) const {
+  StatusBuilder check(subject);
+  check.require(initial_delay.count() >= 0.0, "initial delay must be >= 0");
+  check.require(multiplier >= 1.0, "backoff multiplier must be >= 1");
+  return check.take();
+}
+
+Status FaultConfig::try_validate() const {
+  StatusBuilder check("FaultConfig");
+  check.require(drive_mtbf.count() >= 0.0, "drive MTBF must be >= 0");
+  check.require(drive_mtbf.count() == 0.0 || drive_mttr.count() > 0.0,
+                "drive MTTR must be positive when faults are enabled");
+  check.require(permanent_fraction >= 0.0 && permanent_fraction <= 1.0,
+                "permanent fraction must be in [0, 1]");
+  check.require(mount_failure_prob >= 0.0 && mount_failure_prob < 1.0,
+                "mount failure probability must be in [0, 1)");
+  check.require(max_mount_attempts_per_tape > 0,
+                "need at least one mount attempt per tape");
+  check.require(media_error_per_gb >= 0.0,
+                "media error rate must be >= 0");
+  check.require(degraded_after > 0, "degraded threshold must be positive");
+  check.require(lost_after > degraded_after,
+                "lost threshold must exceed the degraded threshold");
+  check.require(degraded_error_multiplier >= 1.0,
+                "degraded error multiplier must be >= 1");
+  check.require(robot_jam_prob >= 0.0 && robot_jam_prob < 1.0,
+                "robot jam probability must be in [0, 1)");
+  check.require(robot_jam_prob == 0.0 || robot_jam_clear.count() > 0.0,
+                "robot jam clear time must be positive when jams are enabled");
+  check.merge(mount_retry.try_validate("FaultConfig mount retry"));
+  check.merge(media_retry.try_validate("FaultConfig media retry"));
+  return check.take();
+}
+
+}  // namespace tapesim::fault

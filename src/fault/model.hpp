@@ -1,0 +1,92 @@
+// Fault-model configuration: which failures exist and how often.
+//
+// All rates default to zero, which disables the corresponding fault class
+// entirely — a default-constructed FaultConfig is the exact no-fault
+// simulator (`enabled()` is false and the scheduler never instantiates an
+// injector, so the event sequence is bit-identical to a build without this
+// subsystem).
+//
+// Failure classes, mirroring what operators of real tape silos report:
+//   * Drive hardware faults: exponential MTBF/MTTR (alternating renewal);
+//     a configurable fraction of faults is permanent (drive never returns).
+//   * Mount/load failures: per-attempt Bernoulli; the load time is spent,
+//     the cartridge fails to thread, and the scheduler retries with backoff.
+//   * Media read errors: per-GB error rate; repeated errors escalate a
+//     cartridge Good -> Degraded (error rate multiplied) -> Lost.
+//   * Robot arm jams: per-move Bernoulli adding a fixed clear time.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::fault {
+
+/// Truncated exponential backoff for retry loops.
+struct BackoffPolicy {
+  /// Retries after the first attempt; 0 means fail immediately.
+  std::uint32_t max_retries = 2;
+  /// Delay before the first retry.
+  Seconds initial_delay{5.0};
+  /// Growth factor per subsequent retry.
+  double multiplier = 2.0;
+
+  /// Delay before retry number `retry` (0-based): initial * multiplier^retry.
+  [[nodiscard]] Seconds delay(std::uint32_t retry) const {
+    double d = initial_delay.count();
+    for (std::uint32_t i = 0; i < retry; ++i) d *= multiplier;
+    return Seconds{d};
+  }
+
+  [[nodiscard]] Status try_validate(const char* subject) const;
+};
+
+struct FaultConfig {
+  /// Root seed of the fault RNG tree; independent of the workload stream.
+  std::uint64_t seed = 0x46415553;  // "FAUS"
+
+  // --- drive hardware faults ---
+  /// Mean time between drive failures (per drive); 0 disables.
+  Seconds drive_mtbf{};
+  /// Mean time to repair a transiently failed drive.
+  Seconds drive_mttr{3600.0};
+  /// Fraction of drive faults that are permanent (drive never repaired).
+  double permanent_fraction = 0.0;
+
+  // --- mount/load failures ---
+  /// Probability a single load attempt fails to thread; 0 disables.
+  double mount_failure_prob = 0.0;
+  BackoffPolicy mount_retry{2, Seconds{5.0}, 2.0};
+  /// Give-up threshold: total failed attempts on one cartridge before its
+  /// requests complete as unavailable.
+  std::uint32_t max_mount_attempts_per_tape = 8;
+
+  // --- media read errors ---
+  /// Probability-per-GB of a read error while streaming; 0 disables.
+  double media_error_per_gb = 0.0;
+  BackoffPolicy media_retry{2, Seconds{2.0}, 2.0};
+  /// Errors on one cartridge before it is marked Degraded.
+  std::uint32_t degraded_after = 2;
+  /// Errors on one cartridge before it is marked Lost.
+  std::uint32_t lost_after = 5;
+  /// Error-rate multiplier applied to Degraded cartridges.
+  double degraded_error_multiplier = 4.0;
+
+  // --- robot arm jams ---
+  /// Probability a robot move jams; 0 disables.
+  double robot_jam_prob = 0.0;
+  /// Extra time to clear a jam (added to the affected move).
+  Seconds robot_jam_clear{60.0};
+
+  /// True when any fault class is active. The scheduler only builds an
+  /// injector (and only pays any overhead) when this returns true.
+  [[nodiscard]] bool enabled() const {
+    return drive_mtbf.count() > 0.0 || mount_failure_prob > 0.0 ||
+           media_error_per_gb > 0.0 || robot_jam_prob > 0.0;
+  }
+
+  [[nodiscard]] Status try_validate() const;
+};
+
+}  // namespace tapesim::fault

@@ -2,6 +2,15 @@
 
 namespace tapesim::metrics {
 
+const char* to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kServed: return "served";
+    case RequestStatus::kPartial: return "partial";
+    case RequestStatus::kUnavailable: return "unavailable";
+  }
+  return "?";
+}
+
 void ExperimentMetrics::add(const RequestOutcome& outcome) {
   response_.add(outcome.response.count());
   switch_.add(outcome.switch_time.count());
@@ -10,10 +19,31 @@ void ExperimentMetrics::add(const RequestOutcome& outcome) {
   bandwidth_.add(outcome.bandwidth().count());
   bytes_.add(outcome.bytes.as_double());
   switches_.add(static_cast<double>(outcome.tape_switches));
+  switch (outcome.status) {
+    case RequestStatus::kServed:
+      ++served_;
+      response_served_.add(outcome.response.count());
+      break;
+    case RequestStatus::kPartial: ++partial_; break;
+    case RequestStatus::kUnavailable: ++unavailable_; break;
+  }
+  bytes_unavailable_sum_ += outcome.bytes_unavailable.as_double();
+  failovers_ += outcome.failovers;
+  mount_retries_ += outcome.mount_retries;
+  media_retries_ += outcome.media_retries;
+}
+
+double ExperimentMetrics::fraction_unavailable() const {
+  const double requested = bytes_.sum();
+  if (requested <= 0.0) return 0.0;
+  return bytes_unavailable_sum_ / requested;
 }
 
 Seconds ExperimentMetrics::mean_response() const {
   return Seconds{response_.mean()};
+}
+Seconds ExperimentMetrics::mean_served_response() const {
+  return Seconds{response_served_.mean()};
 }
 Seconds ExperimentMetrics::mean_switch() const {
   return Seconds{switch_.mean()};

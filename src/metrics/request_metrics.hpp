@@ -17,6 +17,18 @@
 
 namespace tapesim::metrics {
 
+/// How a request ended. Anything but kServed only occurs with fault
+/// injection enabled: data on lost cartridges (or behind permanently
+/// failed, unrecoverable mounts) completes as unavailable instead of
+/// wedging the simulation.
+enum class RequestStatus : std::uint8_t {
+  kServed,       ///< Every requested byte delivered.
+  kPartial,      ///< Some bytes delivered, some unavailable.
+  kUnavailable,  ///< No requested byte could be delivered.
+};
+
+[[nodiscard]] const char* to_string(RequestStatus s);
+
 struct RequestOutcome {
   RequestId request;
   Bytes bytes{};           ///< Total requested data.
@@ -29,9 +41,23 @@ struct RequestOutcome {
   std::uint32_t tapes_touched = 0;  ///< Distinct tapes holding its objects.
   std::uint32_t drives_used = 0;    ///< Drives that moved data or switched.
 
-  /// Effective data retrieval bandwidth for this request.
+  // --- degraded-mode accounting (all zero without fault injection) ---
+  RequestStatus status = RequestStatus::kServed;
+  Bytes bytes_unavailable{};            ///< Requested but undeliverable.
+  std::uint32_t extents_unavailable = 0;
+  std::uint32_t failovers = 0;      ///< Mid-transfer drive failovers.
+  std::uint32_t mount_retries = 0;  ///< Failed load attempts retried.
+  std::uint32_t media_retries = 0;  ///< Read errors retried.
+
+  [[nodiscard]] Bytes bytes_served() const {
+    return bytes - bytes_unavailable;
+  }
+
+  /// Effective data retrieval bandwidth for this request (delivered bytes
+  /// over response time; zero for a degenerate zero-time response).
   [[nodiscard]] BytesPerSecond bandwidth() const {
-    return rate_for(bytes, response);
+    if (response.count() <= 0.0) return BytesPerSecond{0.0};
+    return rate_for(bytes_served(), response);
   }
 };
 
@@ -60,14 +86,44 @@ class ExperimentMetrics {
     return bandwidth_;
   }
 
+  // --- degraded-mode aggregates ---
+  [[nodiscard]] std::uint64_t served_count() const { return served_; }
+  [[nodiscard]] std::uint64_t partial_count() const { return partial_; }
+  [[nodiscard]] std::uint64_t unavailable_count() const {
+    return unavailable_;
+  }
+  /// Fraction of requested bytes that could not be delivered; 0 without
+  /// fault injection.
+  [[nodiscard]] double fraction_unavailable() const;
+  /// Mean response over fully served requests only. Unavailable requests
+  /// complete almost instantly, so the overall mean *falls* as a system
+  /// collapses; this series isolates what surviving traffic experiences
+  /// (repair waits, retries, failovers). Zero when nothing was served.
+  [[nodiscard]] Seconds mean_served_response() const;
+  [[nodiscard]] std::uint64_t total_failovers() const { return failovers_; }
+  [[nodiscard]] std::uint64_t total_mount_retries() const {
+    return mount_retries_;
+  }
+  [[nodiscard]] std::uint64_t total_media_retries() const {
+    return media_retries_;
+  }
+
  private:
   SampleSet response_;
+  SampleSet response_served_;
   SampleSet switch_;
   SampleSet seek_;
   SampleSet transfer_;
   SampleSet bandwidth_;
   SampleSet bytes_;
   SampleSet switches_;
+  std::uint64_t served_ = 0;
+  std::uint64_t partial_ = 0;
+  std::uint64_t unavailable_ = 0;
+  double bytes_unavailable_sum_ = 0.0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t mount_retries_ = 0;
+  std::uint64_t media_retries_ = 0;
 };
 
 }  // namespace tapesim::metrics

@@ -31,6 +31,7 @@ enum class Phase : std::uint8_t {
   kLocate,
   kTransfer,
   kRewind,
+  kFault,    ///< Device offline: drive failure span, robot jam span.
   kRequest,  ///< Whole-request span: arrival/submit to last byte landed.
   kMarker,   ///< Zero-duration annotation (narration, state change).
 };

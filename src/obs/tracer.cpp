@@ -32,6 +32,7 @@ const char* to_string(Phase p) {
     case Phase::kLocate: return "locate";
     case Phase::kTransfer: return "transfer";
     case Phase::kRewind: return "rewind";
+    case Phase::kFault: return "fault";
     case Phase::kRequest: return "request";
     case Phase::kMarker: return "marker";
   }
@@ -71,6 +72,7 @@ std::optional<Phase> phase_of_state(tape::DriveState s) {
     case tape::DriveState::kTransferring: return Phase::kTransfer;
     case tape::DriveState::kRewinding: return Phase::kRewind;
     case tape::DriveState::kUnloading: return Phase::kUnload;
+    case tape::DriveState::kFailed: return Phase::kFault;
     case tape::DriveState::kEmpty:
     case tape::DriveState::kIdle: return std::nullopt;
   }
@@ -237,7 +239,7 @@ void Tracer::observe(tape::TapeSystem& system) {
     add_gauge(prefix + ".drives_active", [lib]() {
       double active = 0.0;
       for (const tape::TapeDrive& d : lib->drives()) {
-        if (!d.idle() && !d.empty()) active += 1.0;
+        if (!d.idle() && !d.empty() && !d.failed()) active += 1.0;
       }
       return active;
     });

@@ -30,8 +30,18 @@ double UtilizationReport::mean_streaming_fraction() const {
 }
 
 void UtilizationReport::print(std::ostream& os) const {
-  Table drive_table({"drive", "streaming %", "seeking %", "cartridge %",
-                     "idle %", "bytes read", "mounts"});
+  bool any_faults = false;
+  for (const DriveUtilization& d : drives) {
+    if (d.failures != 0 || d.downtime.count() > 0.0) any_faults = true;
+  }
+  std::vector<std::string> columns{"drive",  "streaming %", "seeking %",
+                                   "cartridge %", "idle %", "bytes read",
+                                   "mounts"};
+  if (any_faults) {
+    columns.push_back("faults");
+    columns.push_back("down %");
+  }
+  Table drive_table(columns);
   for (const DriveUtilization& d : drives) {
     const double stream = 100.0 * d.streaming_fraction(elapsed);
     const double seek =
@@ -44,8 +54,15 @@ void UtilizationReport::print(std::ostream& os) const {
         std::max(0.0, 100.0 - 100.0 * d.busy_fraction(elapsed));
     std::ostringstream bytes;
     bytes << d.bytes_read;
-    drive_table.add(d.drive.value(), stream, seek, cartridge, idle,
-                    bytes.str(), d.mounts);
+    if (any_faults) {
+      const double down =
+          100.0 * d.downtime.count() / std::max(elapsed.count(), 1e-12);
+      drive_table.add(d.drive.value(), stream, seek, cartridge, idle,
+                      bytes.str(), d.mounts, d.failures, down);
+    } else {
+      drive_table.add(d.drive.value(), stream, seek, cartridge, idle,
+                      bytes.str(), d.mounts);
+    }
   }
   drive_table.print(os);
 
@@ -73,6 +90,8 @@ UtilizationReport utilization_report(const tape::TapeSystem& system,
       d.unloading = stats.unloading;
       d.bytes_read = stats.bytes_read;
       d.mounts = stats.mounts;
+      d.failures = stats.failures;
+      d.downtime = stats.downtime;
       report.drives.push_back(d);
     }
     RobotUtilization r;

@@ -25,6 +25,9 @@ struct DriveUtilization {
   Seconds unloading{};
   Bytes bytes_read{};
   std::uint64_t mounts = 0;
+  /// Fault-injection accounting; zero without faults.
+  std::uint64_t failures = 0;
+  Seconds downtime{};
 
   [[nodiscard]] Seconds active() const {
     return transferring + locating + rewinding + loading + unloading;

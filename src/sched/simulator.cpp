@@ -1,12 +1,25 @@
 #include "sched/simulator.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
 
 #include "obs/tracer.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
 namespace tapesim::sched {
+
+namespace {
+constexpr Seconds kNever{std::numeric_limits<double>::infinity()};
+}  // namespace
+
+Status SimulatorConfig::try_validate() const {
+  StatusBuilder check("SimulatorConfig");
+  check.merge(faults.try_validate());
+  return check.take();
+}
 
 RetrievalSimulator::RetrievalSimulator(const core::PlacementPlan& plan,
                                        SimulatorConfig config)
@@ -15,12 +28,22 @@ RetrievalSimulator::RetrievalSimulator(const core::PlacementPlan& plan,
       catalog_(plan.to_catalog()),
       config_(config),
       disk_streams_(engine_, "disk", config.max_concurrent_streams) {
+  if (const Status s = config_.try_validate(); !s.ok()) {
+    throw std::invalid_argument(s.message());
+  }
   catalog_.validate(plan.spec().library.tape_capacity);
   for (const auto& [drive, tp] : plan_->mount_policy.initial_mounts) {
     system_.setup_mount(tp, drive);
   }
   drive_req_.resize(plan.spec().total_drives());
+  chain_.resize(plan.spec().total_drives());
+  ctx_.resize(plan.spec().total_drives());
   lib_queue_.resize(plan.spec().num_libraries);
+  watch_pending_.assign(plan.spec().num_libraries, false);
+  if (config_.faults.enabled()) {
+    fault_ = std::make_unique<fault::FaultInjector>(config_.faults,
+                                                    plan.spec());
+  }
   if (config_.tracer != nullptr) {
     config_.tracer->bind(engine_);
     config_.tracer->observe(system_);
@@ -71,7 +94,274 @@ std::vector<catalog::TapeExtent> RetrievalSimulator::plan_extent_order(
   return extents;
 }
 
+void RetrievalSimulator::schedule_activity(DriveId d, Seconds duration,
+                                           std::function<void()> on_done) {
+  ctx_[d.index()].activity_start = engine_.now();
+  if (fault_ == nullptr) {
+    engine_.schedule_in(duration, std::move(on_done));
+    return;
+  }
+  if (const auto fail_after =
+          fault_->failure_within(d, engine_.now(), duration)) {
+    // The completion is already booked when the fault strikes, exactly as a
+    // real controller would have it; the failure event retracts it and runs
+    // the recovery path instead.
+    const sim::EventId done = engine_.schedule_in(duration, std::move(on_done));
+    engine_.schedule_in(*fail_after, [this, d, done]() {
+      engine_.cancel(done);
+      on_drive_failure(d);
+    });
+    return;
+  }
+  engine_.schedule_in(duration, std::move(on_done));
+}
+
+bool RetrievalSimulator::drive_available(DriveId d) {
+  if (fault_ == nullptr) return true;
+  tape::TapeDrive& drive = system_.drive(d);
+  const Seconds now = engine_.now();
+  if (drive.failed()) {
+    const auto back = fault_->next_online_at(d, now);
+    if (back.has_value() && *back <= now) {
+      repair_drive(d);
+      return true;
+    }
+    return false;
+  }
+  if (fault_->drive_online(d, now)) return true;
+  // The timeline says the drive is down but nothing observed it yet: only
+  // inactive drives can be in this state (activities are preempted at the
+  // exact failure time), so register the failure now.
+  on_drive_failure(d);
+  return false;
+}
+
+void RetrievalSimulator::repair_drive(DriveId d) {
+  tape::TapeDrive& drive = system_.drive(d);
+  DriveCtx& ctx = ctx_[d.index()];
+  drive.repair(engine_.now() - ctx.failed_at);
+  if (config_.tracer != nullptr) {
+    config_.tracer->marker(obs::Track::kDrive, d.value(), "repaired");
+  }
+  // Give the drive work once the current dispatch settles. The event
+  // no-ops if some other path (a kick, a queue pull) got there first.
+  engine_.schedule_in(Seconds{0.0}, [this, d]() {
+    DriveCtx& c = ctx_[d.index()];
+    if (c.busy) return;
+    const tape::TapeDrive& dr = system_.drive(d);
+    if (dr.failed()) return;  // failed again before the event ran
+    if (!dr.empty() && needed_.count(dr.mounted().value()) != 0) {
+      serve_mounted(d);
+    } else {
+      next_action(d);
+    }
+  });
+}
+
+void RetrievalSimulator::on_drive_failure(DriveId d) {
+  TAPESIM_ASSERT(fault_ != nullptr);
+  tape::TapeDrive& drive = system_.drive(d);
+  TAPESIM_ASSERT_MSG(!drive.failed(), "drive failure registered twice");
+  DriveCtx& ctx = ctx_[d.index()];
+  ServeChain& chain = chain_[d.index()];
+  const Seconds now = engine_.now();
+  const bool mid_activity = !(drive.idle() || drive.empty());
+  const Seconds elapsed = mid_activity ? now - ctx.activity_start : Seconds{};
+  const bool permanent = !fault_->next_online_at(d, now).has_value() ||
+                         fault_->outage_is_permanent(d, now);
+  fault_->note_drive_failure(permanent);
+
+  const bool had_work = chain.active || ctx.switch_target.valid();
+  if (had_work) ++failovers_this_request_;
+
+  drive.fail(elapsed);
+  ctx.failed_at = now;
+  if (config_.tracer != nullptr) {
+    config_.tracer->marker(obs::Track::kDrive, d.value(),
+                           permanent ? "drive failed (permanent)"
+                                     : "drive failed");
+  }
+
+  const LibraryId lib_id = system_.library_of_drive(d);
+  tape::TapeLibrary& lib = system_.library(lib_id);
+  if (ctx.disk_held) {
+    disk_streams_.release();
+    ctx.disk_held = false;
+  }
+  if (ctx.robot_held) {
+    lib.robot().release();
+    ctx.robot_held = false;
+  }
+
+  // Requeue the unserved tail of the serve chain: those extents go back
+  // into the demand map so another drive can take them over once the
+  // cartridge has been rescued.
+  const TapeId stuck = drive.mounted();
+  if (chain.active) {
+    TAPESIM_ASSERT(stuck.valid());
+    auto& vec = needed_[stuck.value()];
+    for (std::size_t i = chain.index; i < chain.extents.size(); ++i) {
+      vec.push_back(chain.extents[i]);
+    }
+    chain = ServeChain{};
+  }
+  // A switch that had not yet inserted the cartridge: the target goes back
+  // to the head of its library queue (failover priority).
+  if (ctx.switch_target.valid() && ctx.switch_target != stuck) {
+    lib_queue_[system_.library_of_tape(ctx.switch_target).index()].push_front(
+        ctx.switch_target);
+  }
+  ctx.switch_target = TapeId{};
+  ctx.mount_retries = 0;
+  ctx.busy = false;
+
+  // A needed cartridge stuck in the failed drive must be extracted by the
+  // robot before anyone else can serve it.
+  if (stuck.valid() && needed_.count(stuck.value()) != 0) {
+    recover_cartridge(d);
+  }
+  engine_.schedule_in(Seconds{0.0},
+                      [this, lib_id]() { ensure_progress(lib_id); });
+}
+
+void RetrievalSimulator::recover_cartridge(DriveId d) {
+  DriveCtx& ctx = ctx_[d.index()];
+  if (ctx.recovery_pending) return;
+  ctx.recovery_pending = true;
+  const LibraryId lib_id = system_.library_of_drive(d);
+  tape::TapeLibrary& lib = system_.library(lib_id);
+  lib.robot().acquire([this, d, lib_id, &lib]() {
+    // Travel to the failed drive, pull the cartridge, return it to its
+    // cell: one exchange-length errand.
+    const Seconds move = robot_move_delay(lib, lib.robot_exchange_time());
+    engine_.schedule_in(move, [this, d, lib_id, &lib]() {
+      DriveCtx& c = ctx_[d.index()];
+      c.recovery_pending = false;
+      tape::TapeDrive& dr = system_.drive(d);
+      if (!dr.failed() || !dr.mounted().valid()) {
+        // The drive repaired (or ejected) while the robot was en route;
+        // nothing to extract.
+        lib.robot().release();
+        return;
+      }
+      const TapeId tp = dr.eject_failed();
+      if (const auto holder = system_.drive_holding(tp);
+          holder.has_value() && *holder == d) {
+        system_.note_unmounted(tp);
+      }
+      lib.robot().release();
+      if (config_.tracer != nullptr) {
+        config_.tracer->marker(obs::Track::kRobot, lib_id.value(),
+                               "recovered cartridge from failed drive");
+      }
+      if (needed_.count(tp.value()) != 0) {
+        lib_queue_[system_.library_of_tape(tp).index()].push_front(tp);
+      }
+      ensure_progress(lib_id);
+    });
+  });
+}
+
+void RetrievalSimulator::extent_unavailable(
+    const catalog::TapeExtent& extent) {
+  TAPESIM_ASSERT(remaining_extents_ > 0);
+  --remaining_extents_;
+  bytes_unavailable_this_request_ += extent.size;
+  ++extents_unavailable_this_request_;
+}
+
+void RetrievalSimulator::complete_tape_unavailable(TapeId tp) {
+  if (const auto it = needed_.find(tp.value()); it != needed_.end()) {
+    for (const catalog::TapeExtent& e : it->second) extent_unavailable(e);
+    needed_.erase(it);
+  }
+  auto& queue = lib_queue_[system_.library_of_tape(tp).index()];
+  const auto pos = std::find(queue.begin(), queue.end(), tp);
+  if (pos != queue.end()) queue.erase(pos);
+  if (config_.tracer != nullptr) {
+    config_.tracer->marker(obs::Track::kEngine, 0,
+                           "tape unavailable: " + std::to_string(tp.value()));
+  }
+}
+
+void RetrievalSimulator::kick_idle_drives(LibraryId lib_id) {
+  auto& queue = lib_queue_[lib_id.index()];
+  const std::uint32_t per_lib = plan_->spec().library.drives_per_library;
+  for (std::uint32_t i = 0; i < per_lib && !queue.empty(); ++i) {
+    const DriveId d{lib_id.value() * per_lib + i};
+    if (!switch_eligible(d)) continue;
+    if (ctx_[d.index()].busy) continue;
+    if (!drive_available(d)) continue;
+    const tape::TapeDrive& drive = system_.drive(d);
+    if (!(drive.idle() || drive.empty())) continue;
+    if (!drive.empty() && needed_.count(drive.mounted().value()) != 0) {
+      continue;  // holds demanded data; a serve event owns this drive
+    }
+    next_action(d);
+  }
+}
+
+void RetrievalSimulator::ensure_progress(LibraryId lib_id) {
+  if (fault_ == nullptr) return;
+  kick_idle_drives(lib_id);
+  auto& queue = lib_queue_[lib_id.index()];
+  if (queue.empty()) return;
+  // The queue still holds demand. If any eligible drive is working (or
+  // holds needed data), it will pull from the queue when it frees up.
+  const std::uint32_t per_lib = plan_->spec().library.drives_per_library;
+  const Seconds now = engine_.now();
+  Seconds earliest = kNever;
+  for (std::uint32_t i = 0; i < per_lib; ++i) {
+    const DriveId d{lib_id.value() * per_lib + i};
+    if (!switch_eligible(d)) continue;
+    const tape::TapeDrive& drive = system_.drive(d);
+    if (!drive.failed()) return;  // busy or pending-serve: progress is coming
+    if (const auto back = fault_->next_online_at(d, now)) {
+      earliest = std::min(earliest, *back);
+    }
+  }
+  if (earliest < kNever) {
+    // Every eligible drive is down, at least one transiently: watch for
+    // the first repair so the event loop cannot go idle with work queued.
+    if (!watch_pending_[lib_id.index()]) {
+      watch_pending_[lib_id.index()] = true;
+      engine_.schedule_at(std::max(earliest, now), [this, lib_id]() {
+        watch_pending_[lib_id.index()] = false;
+        ensure_progress(lib_id);
+      });
+    }
+    return;
+  }
+  // Every eligible drive is permanently dead: the queued data cannot be
+  // retrieved, ever. Complete it as unavailable instead of wedging.
+  while (!queue.empty()) {
+    const TapeId tp = queue.front();
+    complete_tape_unavailable(tp);  // also erases it from the queue
+  }
+}
+
+Seconds RetrievalSimulator::robot_move_delay(tape::TapeLibrary& lib,
+                                             Seconds base) {
+  if (fault_ == nullptr) return base;
+  const Seconds jam = fault_->robot_jam_delay(lib.id());
+  if (jam.count() > 0.0 && config_.tracer != nullptr) {
+    config_.tracer->marker(obs::Track::kRobot, lib.id().value(),
+                           "robot jam");
+  }
+  return base + jam;
+}
+
 void RetrievalSimulator::serve_mounted(DriveId d) {
+  if (fault_ != nullptr && !drive_available(d)) {
+    // The holder is down; rescue its cartridge so another drive can take
+    // over (no-op if the robot is already on its way).
+    const tape::TapeDrive& drive = system_.drive(d);
+    if (drive.mounted().valid() &&
+        needed_.count(drive.mounted().value()) != 0) {
+      recover_cartridge(d);
+    }
+    return;
+  }
   tape::TapeDrive& drive = system_.drive(d);
   const TapeId tp = drive.mounted();
   TAPESIM_ASSERT(tp.valid());
@@ -83,48 +373,140 @@ void RetrievalSimulator::serve_mounted(DriveId d) {
   auto extents = plan_extent_order(d);
   needed_.erase(it);
   drive_req_[d.index()].used = true;
+  ctx_[d.index()].busy = true;
+  ServeChain& chain = chain_[d.index()];
+  TAPESIM_ASSERT(!chain.active);
+  chain.extents = std::move(extents);
+  chain.index = 0;
+  chain.retries = 0;
+  chain.active = true;
+  serve_step(d);
+}
 
-  // Chain locate+transfer for each extent through the engine. The shared
-  // index walks the captured extent list. The recursive step function
-  // captures only a weak reference to itself — pending engine events hold
-  // the owning shared_ptr, so the chain frees itself when it ends (a
-  // self-owning std::function would leak by reference cycle).
-  auto state = std::make_shared<std::pair<std::vector<catalog::TapeExtent>,
-                                          std::size_t>>(std::move(extents),
-                                                        std::size_t{0});
-  auto step = std::make_shared<std::function<void()>>();
-  *step = [this, d, state,
-           weak = std::weak_ptr<std::function<void()>>(step)]() {
-    tape::TapeDrive& dr = system_.drive(d);
-    auto& [list, index] = *state;
-    if (index >= list.size()) {
-      next_action(d);
-      return;
-    }
-    const std::shared_ptr<std::function<void()>> self = weak.lock();
-    TAPESIM_ASSERT(self != nullptr);
-    const catalog::TapeExtent extent = list[index];
-    ++index;
-    const Seconds locate = dr.start_locate(extent.offset);
+void RetrievalSimulator::serve_step(DriveId d) {
+  ServeChain& chain = chain_[d.index()];
+  TAPESIM_ASSERT(chain.active);
+  if (chain.index >= chain.extents.size()) {
+    chain = ServeChain{};
+    ctx_[d.index()].busy = false;
+    next_action(d);
+    return;
+  }
+  if (fault_ != nullptr && !fault_->drive_online(d, engine_.now())) {
+    // Failure landed exactly on an activity boundary (or during a retry
+    // backoff); requeues the rest of the chain.
+    on_drive_failure(d);
+    return;
+  }
+  const catalog::TapeExtent extent = chain.extents[chain.index];
+  tape::TapeDrive& drive = system_.drive(d);
+  const Seconds locate = drive.start_locate(extent.offset);
+  schedule_activity(d, locate, [this, d, extent, locate]() {
+    system_.drive(d).finish_locate();
     drive_req_[d.index()].seek += locate;
-    engine_.schedule_in(locate, [this, d, extent, self]() {
-      system_.drive(d).finish_locate();
-      // A finite disk array may make the drive wait for a streaming slot;
-      // that wait lands in the switch-side component of the decomposition.
-      disk_streams_.acquire([this, d, extent, self]() {
-        tape::TapeDrive& dr2 = system_.drive(d);
-        const Seconds xfer = dr2.start_transfer(extent.size);
-        drive_req_[d.index()].transfer += xfer;
-        engine_.schedule_in(xfer, [this, d, self]() {
-          disk_streams_.release();
-          system_.drive(d).finish_transfer();
-          extent_done(d);
-          (*self)();
-        });
-      });
+    // A finite disk array may make the drive wait for a streaming slot;
+    // that wait lands in the switch-side component of the decomposition.
+    disk_streams_.acquire([this, d, extent]() {
+      ctx_[d.index()].disk_held = true;
+      if (fault_ != nullptr && !fault_->drive_online(d, engine_.now())) {
+        disk_streams_.release();
+        ctx_[d.index()].disk_held = false;
+        on_drive_failure(d);
+        return;
+      }
+      begin_transfer(d, extent);
     });
+  });
+}
+
+void RetrievalSimulator::begin_transfer(DriveId d,
+                                        catalog::TapeExtent extent) {
+  tape::TapeDrive& drive = system_.drive(d);
+  const Seconds xfer = drive.start_transfer(extent.size);
+  ctx_[d.index()].activity_start = engine_.now();
+  auto complete = [this, d, xfer]() {
+    disk_streams_.release();
+    ctx_[d.index()].disk_held = false;
+    system_.drive(d).finish_transfer();
+    drive_req_[d.index()].transfer += xfer;
+    extent_done(d);
+    ServeChain& chain = chain_[d.index()];
+    ++chain.index;
+    chain.retries = 0;
+    serve_step(d);
   };
-  (*step)();
+  if (fault_ == nullptr) {
+    engine_.schedule_in(xfer, std::move(complete));
+    return;
+  }
+  const TapeId tp = drive.mounted();
+  std::optional<Seconds> media_at;
+  if (const auto frac =
+          fault_->media_error(tp, extent.size, system_.cartridge_health(tp))) {
+    media_at = xfer * *frac;
+  }
+  const Seconds horizon = media_at.has_value() ? *media_at : xfer;
+  if (const auto fail_after =
+          fault_->failure_within(d, engine_.now(), horizon)) {
+    // Hardware failure strikes before the read error (if any) would.
+    const sim::EventId done = engine_.schedule_in(xfer, std::move(complete));
+    engine_.schedule_in(*fail_after, [this, d, done]() {
+      engine_.cancel(done);
+      on_drive_failure(d);
+    });
+    return;
+  }
+  if (media_at.has_value()) {
+    engine_.schedule_in(*media_at, [this, d]() { on_media_error(d); });
+    return;
+  }
+  engine_.schedule_in(xfer, std::move(complete));
+}
+
+void RetrievalSimulator::on_media_error(DriveId d) {
+  TAPESIM_ASSERT(fault_ != nullptr);
+  DriveCtx& ctx = ctx_[d.index()];
+  ServeChain& chain = chain_[d.index()];
+  tape::TapeDrive& drive = system_.drive(d);
+  const TapeId tp = drive.mounted();
+  drive.abort_transfer(engine_.now() - ctx.activity_start);
+  disk_streams_.release();
+  ctx.disk_held = false;
+
+  const tape::CartridgeHealth health = fault_->record_media_error(tp);
+  if (health != system_.cartridge_health(tp)) {
+    system_.set_cartridge_health(tp, health);
+  }
+  if (config_.tracer != nullptr) {
+    config_.tracer->marker(obs::Track::kDrive, d.value(),
+                           "media error on tape " +
+                               std::to_string(tp.value()));
+  }
+  if (health == tape::CartridgeHealth::kLost) {
+    // The cartridge is gone: everything still expected from it — the
+    // interrupted extent, the chain tail, any requeued leftovers — is
+    // unavailable.
+    for (std::size_t i = chain.index; i < chain.extents.size(); ++i) {
+      extent_unavailable(chain.extents[i]);
+    }
+    chain = ServeChain{};
+    ctx.busy = false;
+    complete_tape_unavailable(tp);
+    next_action(d);
+    return;
+  }
+  if (chain.retries >= config_.faults.media_retry.max_retries) {
+    // This extent keeps failing; skip it, keep the rest of the chain.
+    extent_unavailable(chain.extents[chain.index]);
+    ++chain.index;
+    chain.retries = 0;
+    serve_step(d);
+    return;
+  }
+  const Seconds delay = config_.faults.media_retry.delay(chain.retries);
+  ++chain.retries;
+  ++media_retries_this_request_;
+  engine_.schedule_in(delay, [this, d]() { serve_step(d); });
 }
 
 void RetrievalSimulator::extent_done(DriveId d) {
@@ -140,6 +522,10 @@ void RetrievalSimulator::extent_done(DriveId d) {
 
 void RetrievalSimulator::next_action(DriveId d) {
   if (!switch_eligible(d)) return;
+  if (fault_ != nullptr) {
+    if (ctx_[d.index()].busy) return;
+    if (!drive_available(d)) return;
+  }
   const LibraryId lib = system_.library_of_drive(d);
   auto& queue = lib_queue_[lib.index()];
   if (queue.empty()) return;
@@ -159,6 +545,10 @@ void RetrievalSimulator::next_action(DriveId d) {
 void RetrievalSimulator::begin_switch(DriveId d, TapeId target) {
   tape::TapeDrive& drive = system_.drive(d);
   drive_req_[d.index()].used = true;
+  DriveCtx& ctx = ctx_[d.index()];
+  ctx.busy = true;
+  ctx.switch_target = target;
+  ctx.mount_retries = 0;
   tape::TapeLibrary& lib = system_.library(system_.library_of_drive(d));
 
   // The robot must be at the drive for the whole cartridge handoff: it
@@ -168,27 +558,33 @@ void RetrievalSimulator::begin_switch(DriveId d, TapeId target) {
   auto exchange = [this, d, &lib, target](bool had_tape) {
     const Seconds asked_at = engine_.now();
     lib.robot().acquire([this, d, &lib, target, had_tape, asked_at]() {
+      ctx_[d.index()].robot_held = true;
       robot_wait_this_request_ += engine_.now() - asked_at;
       if (config_.tracer != nullptr && engine_.now() > asked_at) {
         config_.tracer->record(obs::Span{
             obs::Track::kDrive, d.value(), obs::Phase::kRobotWait, asked_at,
             engine_.now(), config_.tracer->current_request(), target, {}});
       }
+      if (fault_ != nullptr && !fault_->drive_online(d, engine_.now())) {
+        // The drive died while queued for the robot; hand the arm on.
+        on_drive_failure(d);
+        return;
+      }
       auto do_moves = [this, d, &lib, target, had_tape]() {
-        const Seconds move = had_tape ? lib.robot_exchange_time()
-                                      : lib.robot_move_time();
+        const Seconds move = robot_move_delay(
+            lib, had_tape ? lib.robot_exchange_time() : lib.robot_move_time());
         engine_.schedule_in(move, [this, d, &lib, target]() {
-          if (!config_.robot_holds_load) lib.robot().release();
-          tape::TapeDrive& dr = system_.drive(d);
-          const Seconds load = dr.start_load(target);
-          engine_.schedule_in(load, [this, d, &lib, target]() {
-            if (config_.robot_holds_load) lib.robot().release();
-            system_.drive(d).finish_load();
-            system_.note_mounted(target, d);
-            ++switches_this_request_;
-            ++total_switches_;
-            serve_mounted(d);
-          });
+          if (fault_ != nullptr && !fault_->drive_online(d, engine_.now())) {
+            // Died while the robot was carrying cartridges; the target
+            // goes back to its cell via the failure path.
+            on_drive_failure(d);
+            return;
+          }
+          if (!config_.robot_holds_load) {
+            lib.robot().release();
+            ctx_[d.index()].robot_held = false;
+          }
+          attempt_load(d, target);
         });
       };
       if (!had_tape) {
@@ -198,7 +594,7 @@ void RetrievalSimulator::begin_switch(DriveId d, TapeId target) {
       // Eject under robot supervision, then carry.
       tape::TapeDrive& dr = system_.drive(d);
       const Seconds unload = dr.start_unload();
-      engine_.schedule_in(unload, [this, d, do_moves]() {
+      schedule_activity(d, unload, [this, d, do_moves]() {
         const TapeId old = system_.drive(d).finish_unload();
         system_.note_unmounted(old);
         do_moves();
@@ -212,10 +608,98 @@ void RetrievalSimulator::begin_switch(DriveId d, TapeId target) {
   }
 
   const Seconds rewind = drive.start_rewind();
-  engine_.schedule_in(rewind, [this, d, exchange]() {
+  schedule_activity(d, rewind, [this, d, exchange]() {
     system_.drive(d).finish_rewind();
     exchange(true);
   });
+}
+
+void RetrievalSimulator::attempt_load(DriveId d, TapeId target) {
+  tape::TapeDrive& drive = system_.drive(d);
+  const Seconds load = drive.start_load(target);
+  schedule_activity(d, load, [this, d, target]() {
+    if (fault_ != nullptr && fault_->mount_attempt_fails(d)) {
+      on_mount_failure(d, target);
+      return;
+    }
+    finish_mount(d, target);
+  });
+}
+
+void RetrievalSimulator::finish_mount(DriveId d, TapeId target) {
+  tape::TapeLibrary& lib = system_.library(system_.library_of_drive(d));
+  if (config_.robot_holds_load) {
+    lib.robot().release();
+    ctx_[d.index()].robot_held = false;
+  }
+  system_.drive(d).finish_load();
+  system_.note_mounted(target, d);
+  ++switches_this_request_;
+  ++total_switches_;
+  ctx_[d.index()].switch_target = TapeId{};
+  ctx_[d.index()].mount_retries = 0;
+  serve_mounted(d);
+}
+
+void RetrievalSimulator::on_mount_failure(DriveId d, TapeId target) {
+  TAPESIM_ASSERT(fault_ != nullptr);
+  DriveCtx& ctx = ctx_[d.index()];
+  tape::TapeDrive& drive = system_.drive(d);
+  drive.fail_load();  // the load window was spent; cartridge never threaded
+  const std::uint32_t attempts = ++mount_attempts_[target.value()];
+  if (config_.tracer != nullptr) {
+    config_.tracer->marker(obs::Track::kDrive, d.value(),
+                           "mount failure on tape " +
+                               std::to_string(target.value()));
+  }
+  const bool tape_exhausted =
+      attempts >= config_.faults.max_mount_attempts_per_tape;
+  if (!tape_exhausted &&
+      ctx.mount_retries < config_.faults.mount_retry.max_retries) {
+    const Seconds delay = config_.faults.mount_retry.delay(ctx.mount_retries);
+    ++ctx.mount_retries;
+    ++mount_retries_this_request_;
+    engine_.schedule_in(delay, [this, d, target]() {
+      if (!fault_->drive_online(d, engine_.now())) {
+        on_drive_failure(d);  // also requeues the target
+        return;
+      }
+      attempt_load(d, target);
+    });
+    return;
+  }
+
+  // This drive gives up on the cartridge: the robot returns it to its
+  // cell, then either another drive gets a shot (failover) or — if the
+  // cartridge has burned through its attempt budget everywhere — its data
+  // completes as unavailable.
+  ctx.switch_target = TapeId{};
+  ctx.mount_retries = 0;
+  const LibraryId lib_id = system_.library_of_drive(d);
+  tape::TapeLibrary& lib = system_.library(lib_id);
+  auto return_done = [this, d, target, tape_exhausted, lib_id, &lib]() {
+    lib.robot().release();
+    ctx_[d.index()].robot_held = false;
+    ctx_[d.index()].busy = false;
+    if (tape_exhausted) {
+      complete_tape_unavailable(target);
+    } else {
+      lib_queue_[system_.library_of_tape(target).index()].push_front(target);
+    }
+    ensure_progress(lib_id);
+  };
+  auto do_return = [this, &lib, return_done]() {
+    const Seconds move = robot_move_delay(lib, lib.robot_move_time());
+    engine_.schedule_in(move, return_done);
+  };
+  if (ctx.robot_held) {
+    do_return();
+  } else {
+    lib.robot().acquire([this, d, do_return]() {
+      ctx_[d.index()].robot_held = true;
+      do_return();
+    });
+  }
 }
 
 metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
@@ -231,6 +715,12 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
   last_finisher_ = DriveId{};
   switches_this_request_ = 0;
   robot_wait_this_request_ = Seconds{};
+  bytes_unavailable_this_request_ = Bytes{};
+  extents_unavailable_this_request_ = 0;
+  failovers_this_request_ = 0;
+  mount_retries_this_request_ = 0;
+  media_retries_this_request_ = 0;
+  mount_attempts_.clear();
   needed_.clear();
   remaining_extents_ = 0;
   for (auto& dr : drive_req_) dr = DriveReq{};
@@ -241,10 +731,16 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
   for (const ObjectId o : request.objects) {
     const catalog::ObjectRecord* rec = catalog_.lookup(o);
     TAPESIM_ASSERT_MSG(rec != nullptr, "request references unplaced object");
+    total_bytes += rec->size;
+    if (fault_ != nullptr && system_.cartridge_lost(rec->tape)) {
+      // Data on a lost cartridge completes immediately as unavailable.
+      bytes_unavailable_this_request_ += rec->size;
+      ++extents_unavailable_this_request_;
+      continue;
+    }
     needed_[rec->tape.value()].push_back(
         catalog::TapeExtent{o, rec->offset, rec->size});
     ++remaining_extents_;
-    total_bytes += rec->size;
   }
   const auto tapes_touched = static_cast<std::uint32_t>(needed_.size());
 
@@ -284,6 +780,7 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
   for (std::uint32_t dv = 0; dv < plan_->spec().total_drives(); ++dv) {
     const DriveId d{dv};
     if (!switch_eligible(d)) continue;
+    if (fault_ != nullptr && !drive_available(d)) continue;
     const tape::TapeDrive& drive = system_.drive(d);
     if (!drive.empty() && needed_.count(drive.mounted().value()) != 0) {
       continue;  // will serve first, then fall into next_action()
@@ -307,6 +804,15 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
   for (const DriveId d : idle_candidates) {
     engine_.schedule_in(Seconds{0.0}, [this, d]() { next_action(d); });
   }
+  if (fault_ != nullptr) {
+    // A library whose entire drive fleet is down would otherwise leave its
+    // queue untouched and wedge the run.
+    for (std::uint32_t lib = 0; lib < plan_->spec().num_libraries; ++lib) {
+      engine_.schedule_in(Seconds{0.0}, [this, lib]() {
+        ensure_progress(LibraryId{lib});
+      });
+    }
+  }
 
   engine_.run();
   TAPESIM_ASSERT_MSG(remaining_extents_ == 0,
@@ -317,9 +823,25 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
   outcome.request = id;
   outcome.bytes = total_bytes;
   outcome.response = last_transfer_end_ - t0_;
-  TAPESIM_ASSERT(last_finisher_.valid());
-  outcome.seek = drive_req_[last_finisher_.index()].seek;
-  outcome.transfer = drive_req_[last_finisher_.index()].transfer;
+  outcome.bytes_unavailable = bytes_unavailable_this_request_;
+  outcome.extents_unavailable = extents_unavailable_this_request_;
+  outcome.failovers = failovers_this_request_;
+  outcome.mount_retries = mount_retries_this_request_;
+  outcome.media_retries = media_retries_this_request_;
+  if (bytes_unavailable_this_request_.count() == 0) {
+    outcome.status = metrics::RequestStatus::kServed;
+  } else if (bytes_unavailable_this_request_ == total_bytes) {
+    outcome.status = metrics::RequestStatus::kUnavailable;
+  } else {
+    outcome.status = metrics::RequestStatus::kPartial;
+  }
+  if (last_finisher_.valid()) {
+    outcome.seek = drive_req_[last_finisher_.index()].seek;
+    outcome.transfer = drive_req_[last_finisher_.index()].transfer;
+  } else {
+    // Nothing was served; only possible when every byte was unavailable.
+    TAPESIM_ASSERT(outcome.status == metrics::RequestStatus::kUnavailable);
+  }
   outcome.switch_time = outcome.response - outcome.seek - outcome.transfer;
   // Clamp floating-point dust from the subtraction to exactly zero.
   if (outcome.switch_time.count() < 1e-9 &&
@@ -350,6 +872,19 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
     tr.registry().counter("sched.request.switches")
         .inc(outcome.tape_switches);
     tr.registry().counter("sched.requests").inc();
+    if (fault_ != nullptr) {
+      const fault::FaultCounters& c = fault_->counters();
+      tr.registry().counter("fault.drive_failures")
+          .inc(c.drive_failures - prev_fault_counters_.drive_failures);
+      tr.registry().counter("fault.mount_failures")
+          .inc(c.mount_failures - prev_fault_counters_.mount_failures);
+      tr.registry().counter("fault.media_errors")
+          .inc(c.media_errors - prev_fault_counters_.media_errors);
+      tr.registry().counter("fault.robot_jams")
+          .inc(c.robot_jams - prev_fault_counters_.robot_jams);
+      tr.registry().counter("fault.failovers").inc(outcome.failovers);
+      prev_fault_counters_ = c;
+    }
     tr.set_current_request(RequestId{});
   }
   in_request_ = false;

@@ -12,15 +12,20 @@
 #pragma once
 
 #include <deque>
+#include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.hpp"
 #include "core/plan.hpp"
+#include "fault/injector.hpp"
+#include "fault/model.hpp"
 #include "metrics/request_metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/semaphore.hpp"
 #include "tape/system.hpp"
+#include "util/error.hpp"
 #include "workload/model.hpp"
 
 namespace tapesim::obs {
@@ -60,6 +65,15 @@ struct SimulatorConfig {
   /// robot-queue waits, and whole-request lifetimes. Null costs a pointer
   /// check per request. Must outlive the simulator; detached on destruction.
   obs::Tracer* tracer = nullptr;
+  /// Fault model. The default (all rates zero) disables fault injection
+  /// entirely: no injector is built and the event sequence is bit-identical
+  /// to a faultless build.
+  fault::FaultConfig faults{};
+
+  /// Recoverable validation of user-provided knobs (currently the fault
+  /// model); the simulator constructor throws std::invalid_argument
+  /// carrying this message instead of aborting.
+  [[nodiscard]] Status try_validate() const;
 };
 
 class RetrievalSimulator {
@@ -91,16 +105,56 @@ class RetrievalSimulator {
     return total_switches_;
   }
 
+  /// The fault injector, or nullptr when fault injection is disabled.
+  [[nodiscard]] const fault::FaultInjector* fault_injector() const {
+    return fault_.get();
+  }
+
  private:
   // --- per-request orchestration ---
   void serve_mounted(DriveId d);
+  void serve_step(DriveId d);
+  void begin_transfer(DriveId d, catalog::TapeExtent extent);
   void next_action(DriveId d);
   void begin_switch(DriveId d, TapeId target);
+  void attempt_load(DriveId d, TapeId target);
+  void finish_mount(DriveId d, TapeId target);
   void extent_done(DriveId d);
   [[nodiscard]] bool switch_eligible(DriveId d) const;
   /// Ordered extent list for the mounted tape of `d`, per config.
   [[nodiscard]] std::vector<catalog::TapeExtent> plan_extent_order(
       DriveId d) const;
+
+  // --- fault handling (all no-ops / never reached when fault_ is null) ---
+  /// Schedules the completion of a drive activity; with faults enabled and
+  /// a failure striking mid-activity, the completion is cancelled and the
+  /// failure handler runs instead.
+  void schedule_activity(DriveId d, Seconds duration,
+                         std::function<void()> on_done);
+  /// Lazily reconciles drive `d` with its failure timeline. True when the
+  /// drive is usable now (possibly just repaired). Only call on drives with
+  /// no in-flight activity; active drives fail via activity preemption.
+  bool drive_available(DriveId d);
+  /// Registers a failure observed now: partial-time accounting, requeue of
+  /// in-flight work, robot/disk release, cartridge recovery, redispatch.
+  void on_drive_failure(DriveId d);
+  void repair_drive(DriveId d);
+  /// Mount-failure retry/backoff ladder, entered at load completion.
+  void on_mount_failure(DriveId d, TapeId target);
+  /// Media-error abort/retry ladder, entered mid-transfer; the failing
+  /// extent is chain_[d].extents[chain_[d].index].
+  void on_media_error(DriveId d);
+  /// Robot extracts a stuck cartridge from failed drive `d` and requeues it.
+  void recover_cartridge(DriveId d);
+  /// Completes every pending extent of `tp` as unavailable.
+  void complete_tape_unavailable(TapeId tp);
+  void extent_unavailable(const catalog::TapeExtent& extent);
+  /// Offers queued tapes of `lib` to free drives; if none can ever serve
+  /// them, waits for the next repair or declares them unavailable.
+  void ensure_progress(LibraryId lib);
+  void kick_idle_drives(LibraryId lib);
+  [[nodiscard]] Seconds robot_move_delay(tape::TapeLibrary& lib,
+                                         Seconds base);
 
   sim::Engine engine_;
   const core::PlacementPlan* plan_;
@@ -108,6 +162,7 @@ class RetrievalSimulator {
   catalog::ObjectCatalog catalog_;
   SimulatorConfig config_;
   sim::Semaphore disk_streams_;
+  std::unique_ptr<fault::FaultInjector> fault_;
 
   // Per-request transient state.
   struct DriveReq {
@@ -117,18 +172,56 @@ class RetrievalSimulator {
     bool used = false;
   };
   std::vector<DriveReq> drive_req_;
+
+  /// The extent chain a drive is currently serving (replaces the old
+  /// self-owning closure chain; plain state makes requeue-on-failure
+  /// possible). `index` is the extent being served, advanced only after it
+  /// completes so media retries can re-serve it.
+  struct ServeChain {
+    std::vector<catalog::TapeExtent> extents;
+    std::size_t index = 0;
+    std::uint32_t retries = 0;  ///< Media retries on the current extent.
+    bool active = false;
+  };
+  std::vector<ServeChain> chain_;
+
+  /// Fault-handling context per drive.
+  struct DriveCtx {
+    bool busy = false;          ///< Serving a chain or mid-switch.
+    Seconds activity_start{};   ///< When the current start_*() began.
+    Seconds failed_at{};        ///< When the current outage was observed.
+    TapeId switch_target{};     ///< Cartridge being fetched, mid-switch.
+    std::uint32_t mount_retries = 0;  ///< On the current target, this drive.
+    bool robot_held = false;
+    bool disk_held = false;
+    bool recovery_pending = false;  ///< Robot en route to extract cartridge.
+  };
+  std::vector<DriveCtx> ctx_;
+
   /// Requested extents keyed by tape id value; removed once served.
   std::unordered_map<std::uint32_t, std::vector<catalog::TapeExtent>> needed_;
   /// Offline tapes awaiting a drive, per library, largest work first.
   std::vector<std::deque<TapeId>> lib_queue_;
+  /// A repair-watch event is pending for this library.
+  std::vector<bool> watch_pending_;
+  /// Total failed mount attempts per tape value, this request.
+  std::unordered_map<std::uint32_t, std::uint32_t> mount_attempts_;
   std::size_t remaining_extents_ = 0;
   Seconds t0_{};
   Seconds last_transfer_end_{};
   DriveId last_finisher_{};
   std::uint32_t switches_this_request_ = 0;
   Seconds robot_wait_this_request_{};
+  Bytes bytes_unavailable_this_request_{};
+  std::uint32_t extents_unavailable_this_request_ = 0;
+  std::uint32_t failovers_this_request_ = 0;
+  std::uint32_t mount_retries_this_request_ = 0;
+  std::uint32_t media_retries_this_request_ = 0;
   std::uint64_t total_switches_ = 0;
   bool in_request_ = false;
+  /// Snapshot of injector counters at the last request boundary, for
+  /// emitting per-request deltas into the tracer registry.
+  fault::FaultCounters prev_fault_counters_;
 };
 
 }  // namespace tapesim::sched

@@ -6,15 +6,28 @@
 
 namespace tapesim::sim {
 
-void Resource::acquire(std::function<void()> on_granted) {
+Resource::Ticket Resource::acquire(std::function<void()> on_granted) {
   TAPESIM_ASSERT_MSG(static_cast<bool>(on_granted),
                      "acquire needs a grant callback");
   if (observer_ != nullptr) observer_->on_acquire(*this);
+  const Ticket ticket = next_ticket_++;
   if (busy_) {
-    waiting_.push_back(Waiter{std::move(on_granted), engine_->now()});
-    return;
+    waiting_.push_back(Waiter{std::move(on_granted), engine_->now(), ticket});
+    return ticket;
   }
   grant(std::move(on_granted), engine_->now());
+  return ticket;
+}
+
+bool Resource::cancel(Ticket ticket) {
+  if (ticket == kInvalidTicket) return false;
+  for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+    if (it->ticket == ticket) {
+      waiting_.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 void Resource::acquire_for(Seconds busy, std::function<void()> on_done) {

@@ -41,6 +41,11 @@ class ResourceObserver {
 /// the resource is free and must eventually lead to a `release()` call.
 class Resource {
  public:
+  /// Identifies one acquire() call so a still-queued waiter can be
+  /// cancelled. Tickets are never reused.
+  using Ticket = std::uint64_t;
+  static constexpr Ticket kInvalidTicket = 0;
+
   Resource(Engine& engine, std::string name)
       : engine_(&engine), name_(std::move(name)) {}
 
@@ -51,7 +56,14 @@ class Resource {
 
   /// Requests the resource. If free, the grant fires as an immediate event
   /// (keeping all user code inside the event loop); otherwise it queues.
-  void acquire(std::function<void()> on_granted);
+  /// The returned ticket can cancel the request while it is still queued.
+  Ticket acquire(std::function<void()> on_granted);
+
+  /// Withdraws a queued waiter. Returns true if the waiter was removed;
+  /// false if the ticket was already granted (the holder must still
+  /// release()), already cancelled, or never existed. FIFO order of the
+  /// remaining waiters is preserved.
+  bool cancel(Ticket ticket);
 
   /// Convenience: hold the resource for `busy` time, then auto-release.
   /// `on_done` (optional) fires at release time.
@@ -77,6 +89,7 @@ class Resource {
   struct Waiter {
     std::function<void()> fn;
     Seconds asked{};
+    Ticket ticket = kInvalidTicket;
   };
 
   void grant(std::function<void()> fn, Seconds asked);
@@ -88,6 +101,7 @@ class Resource {
   Seconds acquired_at_{0.0};
   Seconds busy_time_{0.0};
   std::uint64_t grants_ = 0;
+  Ticket next_ticket_ = 1;
   ResourceObserver* observer_ = nullptr;
 };
 

@@ -13,6 +13,7 @@ const char* to_string(DriveState s) {
     case DriveState::kTransferring: return "transferring";
     case DriveState::kRewinding: return "rewinding";
     case DriveState::kUnloading: return "unloading";
+    case DriveState::kFailed: return "failed";
   }
   return "?";
 }
@@ -118,6 +119,90 @@ TapeId TapeDrive::finish_unload() {
   mounted_ = TapeId{};
   transition(DriveState::kEmpty);
   return t;
+}
+
+namespace {
+
+/// Bytes streamed in `elapsed` at `rate`, capped at `limit`.
+Bytes bytes_streamed(Seconds elapsed, BytesPerSecond rate, Bytes limit) {
+  const double raw = elapsed.count() * rate.count();
+  const auto streamed = Bytes{static_cast<Bytes::value_type>(
+      raw < 0.0 ? 0.0 : raw)};
+  return streamed < limit ? streamed : limit;
+}
+
+}  // namespace
+
+void TapeDrive::fail(Seconds elapsed) {
+  TAPESIM_ASSERT_MSG(state_ != DriveState::kFailed, "drive already failed");
+  TAPESIM_ASSERT_MSG(elapsed.count() >= 0.0, "negative activity time");
+  switch (state_) {
+    case DriveState::kLoading:
+      stats_.loading += elapsed;
+      break;
+    case DriveState::kLocating:
+      stats_.locating += elapsed;
+      break;
+    case DriveState::kTransferring: {
+      stats_.transferring += elapsed;
+      head_ += bytes_streamed(elapsed, spec_.transfer_rate,
+                              pending_target_ - head_);
+      break;
+    }
+    case DriveState::kRewinding:
+      stats_.rewinding += elapsed;
+      break;
+    case DriveState::kUnloading:
+      stats_.unloading += elapsed;
+      break;
+    case DriveState::kEmpty:
+    case DriveState::kIdle:
+      TAPESIM_ASSERT_MSG(elapsed.count() == 0.0,
+                         "inactive drive cannot have partial activity time");
+      break;
+    case DriveState::kFailed:
+      break;  // unreachable; asserted above
+  }
+  ++stats_.failures;
+  transition(DriveState::kFailed);
+}
+
+void TapeDrive::abort_transfer(Seconds elapsed) {
+  TAPESIM_ASSERT_MSG(state_ == DriveState::kTransferring,
+                     "abort_transfer requires an active transfer");
+  TAPESIM_ASSERT_MSG(elapsed.count() >= 0.0, "negative activity time");
+  stats_.transferring += elapsed;
+  head_ += bytes_streamed(elapsed, spec_.transfer_rate,
+                          pending_target_ - head_);
+  transition(DriveState::kIdle);
+}
+
+TapeId TapeDrive::fail_load() {
+  TAPESIM_ASSERT_MSG(state_ == DriveState::kLoading,
+                     "fail_load requires an in-flight load");
+  stats_.loading += spec_.load_thread_time;
+  const TapeId t = mounted_;
+  mounted_ = TapeId{};
+  transition(DriveState::kEmpty);
+  return t;
+}
+
+TapeId TapeDrive::eject_failed() {
+  TAPESIM_ASSERT_MSG(state_ == DriveState::kFailed,
+                     "eject_failed requires a failed drive");
+  TAPESIM_ASSERT_MSG(mounted_.valid(), "no cartridge stuck in the drive");
+  const TapeId t = mounted_;
+  mounted_ = TapeId{};
+  head_ = Bytes{0};
+  return t;  // no transition: the drive remains failed
+}
+
+void TapeDrive::repair(Seconds downtime) {
+  TAPESIM_ASSERT_MSG(state_ == DriveState::kFailed,
+                     "repair requires a failed drive");
+  TAPESIM_ASSERT_MSG(downtime.count() >= 0.0, "negative downtime");
+  stats_.downtime += downtime;
+  transition(mounted_.valid() ? DriveState::kIdle : DriveState::kEmpty);
 }
 
 }  // namespace tapesim::tape

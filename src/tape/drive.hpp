@@ -24,6 +24,7 @@ enum class DriveState : std::uint8_t {
   kTransferring,  ///< Streaming data to the disk cache.
   kRewinding,     ///< Rewinding prior to unload.
   kUnloading,     ///< Ejecting the cartridge.
+  kFailed,        ///< Offline after a hardware fault; awaiting repair.
 };
 
 [[nodiscard]] const char* to_string(DriveState s);
@@ -38,6 +39,12 @@ struct DriveStats {
   std::uint64_t mounts = 0;
   std::uint64_t objects_read = 0;
   Bytes bytes_read{};
+  /// Hardware faults this drive suffered (transient + permanent).
+  std::uint64_t failures = 0;
+  /// Time spent offline across *completed* repairs. A drive that is still
+  /// failed (or permanently dead) has its open downtime excluded, matching
+  /// the tracer's still-open fault span.
+  Seconds downtime{};
 
   [[nodiscard]] Seconds total_active() const {
     return loading + locating + transferring + rewinding + unloading;
@@ -71,6 +78,7 @@ class TapeDrive {
   [[nodiscard]] DriveState state() const { return state_; }
   [[nodiscard]] bool empty() const { return state_ == DriveState::kEmpty; }
   [[nodiscard]] bool idle() const { return state_ == DriveState::kIdle; }
+  [[nodiscard]] bool failed() const { return state_ == DriveState::kFailed; }
   /// The mounted cartridge; invalid id when empty.
   [[nodiscard]] TapeId mounted() const { return mounted_; }
   /// Current head position from beginning of tape.
@@ -106,6 +114,35 @@ class TapeDrive {
   Seconds start_unload();
   /// Completes the eject; returns the cartridge that was removed.
   TapeId finish_unload();
+
+  // --- fault-model transitions (src/fault drives these) ---
+
+  /// Hardware fault `elapsed` seconds into the current activity (0 when
+  /// idle/empty). The partial activity time is charged to the interrupted
+  /// phase — a transfer additionally advances the head by the bytes already
+  /// streamed, though they never count as read (the scheduler discards and
+  /// re-reads them elsewhere). Any mounted cartridge stays stuck in the
+  /// drive until `eject_failed()`.
+  void fail(Seconds elapsed);
+
+  /// Media read error `elapsed` seconds into a transfer: charges the partial
+  /// transfer time, advances the head past the bytes streamed before the
+  /// error, and returns to idle so the scheduler can retry. The aborted
+  /// bytes are not counted as read.
+  void abort_transfer(Seconds elapsed);
+
+  /// Mount attempt failed at the end of the load window: the full load time
+  /// was physically spent (and is charged) but the cartridge never threaded.
+  /// Returns the cartridge so the scheduler can retry or shelve it.
+  TapeId fail_load();
+
+  /// Robot pulls the stuck cartridge out of a failed drive. The drive stays
+  /// failed; only the cartridge is freed for failover elsewhere.
+  TapeId eject_failed();
+
+  /// Repair completes after `downtime` offline. Back to idle if a cartridge
+  /// is still mounted (head position preserved), else empty.
+  void repair(Seconds downtime);
 
   /// Attaches a transition observer (not owned); nullptr detaches.
   void set_observer(DriveObserver* observer) { observer_ = observer; }

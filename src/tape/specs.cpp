@@ -5,35 +5,49 @@
 
 namespace tapesim::tape {
 
-void DriveSpec::validate() const {
-  auto require = [](bool ok, const char* what) {
-    if (!ok) throw std::invalid_argument(std::string{"DriveSpec: "} + what);
-  };
-  require(transfer_rate.count() > 0.0, "transfer rate must be positive");
-  require(load_thread_time.count() >= 0.0, "load time must be >= 0");
-  require(unload_time.count() >= 0.0, "unload time must be >= 0");
-  require(max_rewind_time.count() > 0.0, "max rewind must be positive");
-  require(avg_first_file_access.count() > 0.0,
-          "average first-file access must be positive");
+namespace {
+
+/// Shared exception boundary: every throwing validate() forwards here.
+void throw_if_invalid(const Status& status) {
+  if (!status.ok()) throw std::invalid_argument(status.message());
 }
 
-void LibrarySpec::validate() const {
-  auto require = [](bool ok, const char* what) {
-    if (!ok) throw std::invalid_argument(std::string{"LibrarySpec: "} + what);
-  };
-  require(drives_per_library > 0, "need at least one drive");
-  require(tapes_per_library >= drives_per_library,
-          "need at least as many tapes as drives");
-  require(tape_capacity.count() > 0, "tape capacity must be positive");
-  require(cell_to_drive_time.count() >= 0.0, "robot move must be >= 0");
-  drive.validate();
+}  // namespace
+
+Status DriveSpec::try_validate() const {
+  StatusBuilder check("DriveSpec");
+  check.require(transfer_rate.count() > 0.0, "transfer rate must be positive");
+  check.require(load_thread_time.count() >= 0.0, "load time must be >= 0");
+  check.require(unload_time.count() >= 0.0, "unload time must be >= 0");
+  check.require(max_rewind_time.count() > 0.0, "max rewind must be positive");
+  check.require(avg_first_file_access.count() > 0.0,
+                "average first-file access must be positive");
+  return check.take();
 }
 
-void SystemSpec::validate() const {
-  if (num_libraries == 0)
-    throw std::invalid_argument("SystemSpec: need at least one library");
-  library.validate();
+void DriveSpec::validate() const { throw_if_invalid(try_validate()); }
+
+Status LibrarySpec::try_validate() const {
+  StatusBuilder check("LibrarySpec");
+  check.require(drives_per_library > 0, "need at least one drive");
+  check.require(tapes_per_library >= drives_per_library,
+                "need at least as many tapes as drives");
+  check.require(tape_capacity.count() > 0, "tape capacity must be positive");
+  check.require(cell_to_drive_time.count() >= 0.0, "robot move must be >= 0");
+  check.merge(drive.try_validate());
+  return check.take();
 }
+
+void LibrarySpec::validate() const { throw_if_invalid(try_validate()); }
+
+Status SystemSpec::try_validate() const {
+  StatusBuilder check("SystemSpec");
+  check.require(num_libraries > 0, "need at least one library");
+  check.merge(library.try_validate());
+  return check.take();
+}
+
+void SystemSpec::validate() const { throw_if_invalid(try_validate()); }
 
 SystemSpec SystemSpec::paper_default() {
   return SystemSpec{};  // all defaults follow Table 1

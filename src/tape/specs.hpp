@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "util/error.hpp"
 #include "util/units.hpp"
 
 namespace tapesim::tape {
@@ -27,7 +28,11 @@ struct DriveSpec {
   /// calibrate the linear positioning rate (locate over half the tape).
   Seconds avg_first_file_access{72.0};
 
-  /// Validates physical plausibility; throws std::invalid_argument.
+  /// Validates physical plausibility; returns the first violation as a
+  /// recoverable error instead of throwing or aborting.
+  [[nodiscard]] Status try_validate() const;
+  /// Throwing wrapper for construction boundaries; std::invalid_argument
+  /// carries try_validate()'s message.
   void validate() const;
 };
 
@@ -41,6 +46,7 @@ struct LibrarySpec {
   Seconds cell_to_drive_time{7.6};
   DriveSpec drive;
 
+  [[nodiscard]] Status try_validate() const;
   void validate() const;
 };
 
@@ -52,6 +58,7 @@ struct SystemSpec {
   /// Table 1 configuration, verbatim.
   [[nodiscard]] static SystemSpec paper_default();
 
+  [[nodiscard]] Status try_validate() const;
   void validate() const;
 
   [[nodiscard]] std::uint32_t total_drives() const {

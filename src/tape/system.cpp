@@ -4,6 +4,15 @@
 
 namespace tapesim::tape {
 
+const char* to_string(CartridgeHealth h) {
+  switch (h) {
+    case CartridgeHealth::kGood: return "good";
+    case CartridgeHealth::kDegraded: return "degraded";
+    case CartridgeHealth::kLost: return "lost";
+  }
+  return "?";
+}
+
 TapeSystem::TapeSystem(const SystemSpec& spec, sim::Engine& engine)
     : spec_(spec) {
   spec_.validate();
@@ -15,6 +24,7 @@ TapeSystem::TapeSystem(const SystemSpec& spec, sim::Engine& engine)
         TapeId{lib * spec_.library.tapes_per_library});
   }
   tape_on_drive_.assign(spec_.total_tapes(), DriveId{});
+  cartridge_health_.assign(spec_.total_tapes(), CartridgeHealth::kGood);
 }
 
 TapeLibrary& TapeSystem::library(LibraryId id) {
@@ -71,6 +81,21 @@ void TapeSystem::setup_mount(TapeId t, DriveId d) {
   TAPESIM_ASSERT_MSG(dr.empty(), "setup_mount needs an empty drive");
   dr.setup_mounted(t);
   note_mounted(t, d);
+}
+
+CartridgeHealth TapeSystem::cartridge_health(TapeId t) const {
+  TAPESIM_ASSERT(t.valid() && t.index() < cartridge_health_.size());
+  return cartridge_health_[t.index()];
+}
+
+void TapeSystem::set_cartridge_health(TapeId t, CartridgeHealth h) {
+  TAPESIM_ASSERT(t.valid() && t.index() < cartridge_health_.size());
+  const CartridgeHealth from = cartridge_health_[t.index()];
+  TAPESIM_ASSERT_MSG(h >= from, "cartridge health never improves");
+  if (h == from) return;
+  cartridge_health_[t.index()] = h;
+  if (cartridge_observer_ != nullptr)
+    cartridge_observer_->on_cartridge_health(t, from, h);
 }
 
 }  // namespace tapesim::tape

@@ -15,6 +15,29 @@
 
 namespace tapesim::tape {
 
+/// Media condition of a cartridge. Read errors escalate Good -> Degraded
+/// (higher error rate, still readable) -> Lost (data unrecoverable; the
+/// scheduler completes its requests as unavailable instead of wedging).
+enum class CartridgeHealth : std::uint8_t {
+  kGood,
+  kDegraded,
+  kLost,
+};
+
+[[nodiscard]] const char* to_string(CartridgeHealth h);
+
+/// Observer for cartridge health escalations; the default is a no-op.
+class CartridgeObserver {
+ public:
+  virtual ~CartridgeObserver() = default;
+  virtual void on_cartridge_health(TapeId t, CartridgeHealth from,
+                                   CartridgeHealth to) {
+    (void)t;
+    (void)from;
+    (void)to;
+  }
+};
+
 class TapeSystem {
  public:
   TapeSystem(const SystemSpec& spec, sim::Engine& engine);
@@ -55,11 +78,28 @@ class TapeSystem {
   /// measured window). The drive becomes idle with the head at BOT.
   void setup_mount(TapeId t, DriveId d);
 
+  /// Media condition bookkeeping, driven by the fault model.
+  [[nodiscard]] CartridgeHealth cartridge_health(TapeId t) const;
+  /// Health only escalates (Good -> Degraded -> Lost); attempts to improve
+  /// it are rejected. Notifies the observer on every actual change.
+  void set_cartridge_health(TapeId t, CartridgeHealth h);
+  [[nodiscard]] bool cartridge_lost(TapeId t) const {
+    return cartridge_health(t) == CartridgeHealth::kLost;
+  }
+
+  /// Attaches a cartridge-health observer (not owned); nullptr detaches.
+  void set_cartridge_observer(CartridgeObserver* observer) {
+    cartridge_observer_ = observer;
+  }
+
  private:
   SystemSpec spec_;
   std::vector<TapeLibrary> libraries_;
   /// Indexed by global tape id; holds the mounting drive or invalid.
   std::vector<DriveId> tape_on_drive_;
+  /// Indexed by global tape id.
+  std::vector<CartridgeHealth> cartridge_health_;
+  CartridgeObserver* cartridge_observer_ = nullptr;
 };
 
 }  // namespace tapesim::tape

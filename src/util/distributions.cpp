@@ -145,4 +145,11 @@ std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
   return out;
 }
 
+double sample_exponential(Rng& rng, double mean) {
+  TAPESIM_ASSERT_MSG(mean > 0.0, "exponential mean must be positive");
+  // Inverse CDF: -mean * ln(1 - U). uniform() < 1, so the log argument is
+  // strictly positive and the result finite.
+  return -mean * std::log(1.0 - rng.uniform());
+}
+
 }  // namespace tapesim

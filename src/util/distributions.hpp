@@ -85,4 +85,8 @@ class DiscreteDistribution {
 [[nodiscard]] std::vector<std::uint32_t> sample_without_replacement(
     std::uint32_t n, std::uint32_t k, Rng& rng);
 
+/// Exponential variate with the given mean (inverse-CDF method). Used by
+/// the fault model for MTBF/MTTR interarrival draws. `mean` must be > 0.
+[[nodiscard]] double sample_exponential(Rng& rng, double mean);
+
 }  // namespace tapesim

@@ -1,0 +1,66 @@
+// Recoverable error reporting for user-facing configuration.
+//
+// Invariant violations inside the simulator abort via TAPESIM_ASSERT — they
+// are logic bugs. Malformed *input* (experiment configs, hardware specs,
+// fault models) is a user error and must fail gracefully: validation
+// routines return a Status carrying a human-readable message instead of
+// aborting, and the throwing validate() wrappers exist only for callers
+// that prefer exceptions at construction boundaries.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace tapesim {
+
+/// Result of a validation or other recoverable operation: success, or an
+/// error with a message describing what was wrong with the input.
+class [[nodiscard]] Status {
+ public:
+  /// Default-constructed Status is success.
+  Status() = default;
+
+  /// Creates a failed status with a descriptive message.
+  static Status failure(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  /// Empty on success; the first violation found otherwise.
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// Validation helper: builds "<subject>: <what>" failures and keeps only
+/// the first one, so validators read as a flat list of require() calls.
+class StatusBuilder {
+ public:
+  explicit StatusBuilder(std::string subject) : subject_(std::move(subject)) {}
+
+  /// Records a failure (first one wins) unless `ok` holds.
+  void require(bool ok, const char* what) {
+    if (ok || !status_.ok()) return;
+    status_ = Status::failure(subject_ + ": " + what);
+  }
+
+  /// Adopts the first failure of a nested validator, if any.
+  void merge(const Status& nested) {
+    if (!status_.ok() || nested.ok()) return;
+    status_ = nested;
+  }
+
+  [[nodiscard]] Status take() { return std::move(status_); }
+
+ private:
+  std::string subject_;
+  Status status_;
+};
+
+}  // namespace tapesim

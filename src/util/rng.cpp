@@ -27,4 +27,15 @@ Rng Rng::fork(std::uint64_t tag) const {
   return Rng{splitmix64(sm)};
 }
 
+Rng Rng::split(std::string_view name) const {
+  // FNV-1a over the name bytes; the splitmix64 pass inside fork() then
+  // diffuses the (weakly mixed) FNV output across the full state.
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return fork(hash);
+}
+
 }  // namespace tapesim

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 namespace tapesim {
 
@@ -74,6 +75,14 @@ class Rng {
   /// different tags never correlate; used to decouple e.g. size generation
   /// from request sampling so changing one leaves the other unchanged.
   [[nodiscard]] Rng fork(std::uint64_t tag) const;
+
+  /// fork() addressed by name: `rng.split("fault")` and `rng.split("workload")`
+  /// are independent, reproducible substreams of the same master seed, so
+  /// adding draws to one stream never perturbs the others. The name is
+  /// hashed (FNV-1a); like fork(), the result depends on how much of the
+  /// parent has been consumed — split from a freshly seeded parent when the
+  /// substream must be stable across call sites.
+  [[nodiscard]] Rng split(std::string_view name) const;
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

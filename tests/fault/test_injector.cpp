@@ -1,0 +1,237 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+namespace tapesim::fault {
+namespace {
+
+tape::SystemSpec small_spec() {
+  tape::SystemSpec spec;
+  spec.num_libraries = 2;
+  spec.library.drives_per_library = 4;
+  spec.library.tapes_per_library = 8;
+  return spec;
+}
+
+FaultConfig drive_faults(double mtbf, double permanent = 0.0) {
+  FaultConfig c;
+  c.drive_mtbf = Seconds{mtbf};
+  c.drive_mttr = Seconds{600.0};
+  c.permanent_fraction = permanent;
+  return c;
+}
+
+TEST(Injector, DrivesStartOnline) {
+  FaultInjector inj(drive_faults(1e4), small_spec());
+  for (std::uint32_t d = 0; d < 8; ++d) {
+    EXPECT_TRUE(inj.drive_online(DriveId{d}, Seconds{0.0}));
+  }
+}
+
+TEST(Injector, TimelineAlternatesUpAndDown) {
+  FaultInjector inj(drive_faults(1000.0), small_spec());
+  // Find the first outage of drive 0 by probing an activity that spans a
+  // long horizon, then confirm the up/down/up pattern around it.
+  const auto hit =
+      inj.failure_within(DriveId{0}, Seconds{0.0}, Seconds{1e7});
+  ASSERT_TRUE(hit.has_value());
+  const Seconds fail_at = *hit;
+  EXPECT_GT(fail_at.count(), 0.0);
+  EXPECT_TRUE(inj.drive_online(DriveId{0}, fail_at - Seconds{1e-6}));
+  EXPECT_FALSE(inj.drive_online(DriveId{0}, fail_at));
+  const auto back = inj.next_online_at(DriveId{0}, fail_at);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_GT(back->count(), fail_at.count());
+  EXPECT_TRUE(inj.drive_online(DriveId{0}, *back));
+}
+
+TEST(Injector, FailureWithinIsRelativeAndExcludesCompletion) {
+  FaultInjector inj(drive_faults(1000.0), small_spec());
+  const auto hit =
+      inj.failure_within(DriveId{0}, Seconds{0.0}, Seconds{1e7});
+  ASSERT_TRUE(hit.has_value());
+  // An activity ending exactly at the failure instant is not interrupted.
+  EXPECT_FALSE(
+      inj.failure_within(DriveId{0}, Seconds{0.0}, *hit).has_value());
+  // Starting mid-way, the offset shrinks accordingly.
+  const Seconds start = *hit * 0.5;
+  const auto relative =
+      inj.failure_within(DriveId{0}, start, Seconds{1e7});
+  ASSERT_TRUE(relative.has_value());
+  EXPECT_NEAR(relative->count(), (*hit - start).count(), 1e-9);
+}
+
+TEST(Injector, PermanentFractionOneNeverRepairs) {
+  FaultInjector inj(drive_faults(1000.0, 1.0), small_spec());
+  const auto hit =
+      inj.failure_within(DriveId{0}, Seconds{0.0}, Seconds{1e7});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(inj.outage_is_permanent(DriveId{0}, *hit));
+  EXPECT_FALSE(inj.next_online_at(DriveId{0}, *hit).has_value());
+  EXPECT_FALSE(inj.drive_online(DriveId{0}, Seconds{1e12}));
+}
+
+TEST(Injector, ZeroMtbfMeansNoDriveFailures) {
+  FaultConfig c;
+  c.mount_failure_prob = 0.5;  // keep enabled() true
+  FaultInjector inj(c, small_spec());
+  EXPECT_FALSE(
+      inj.failure_within(DriveId{0}, Seconds{0.0}, Seconds{1e12}).has_value());
+  EXPECT_TRUE(inj.drive_online(DriveId{0}, Seconds{1e12}));
+}
+
+TEST(Injector, TimelinesAreDeterministic) {
+  FaultInjector a(drive_faults(2000.0, 0.3), small_spec());
+  FaultInjector b(drive_faults(2000.0, 0.3), small_spec());
+  for (std::uint32_t d = 0; d < 8; ++d) {
+    const auto ha =
+        a.failure_within(DriveId{d}, Seconds{0.0}, Seconds{1e6});
+    const auto hb =
+        b.failure_within(DriveId{d}, Seconds{0.0}, Seconds{1e6});
+    ASSERT_EQ(ha.has_value(), hb.has_value()) << "drive " << d;
+    if (ha.has_value()) {
+      EXPECT_DOUBLE_EQ(ha->count(), hb->count()) << "drive " << d;
+    }
+  }
+}
+
+TEST(Injector, TimelinesAreIndependentOfQueryOrder) {
+  // Per-device substreams: asking about drive 7 first must not change what
+  // drive 0 reports. This is what keeps runs reproducible when the
+  // scheduler's dispatch order changes.
+  FaultInjector fwd(drive_faults(2000.0), small_spec());
+  FaultInjector rev(drive_faults(2000.0), small_spec());
+  std::vector<std::optional<Seconds>> first(8);
+  for (std::uint32_t d = 0; d < 8; ++d) {
+    first[d] = fwd.failure_within(DriveId{d}, Seconds{0.0}, Seconds{1e6});
+  }
+  for (std::uint32_t d = 8; d-- > 0;) {
+    const auto hit =
+        rev.failure_within(DriveId{d}, Seconds{0.0}, Seconds{1e6});
+    ASSERT_EQ(hit.has_value(), first[d].has_value()) << "drive " << d;
+    if (hit.has_value()) {
+      EXPECT_DOUBLE_EQ(hit->count(), first[d]->count()) << "drive " << d;
+    }
+  }
+}
+
+TEST(Injector, DifferentSeedsGiveDifferentTimelines) {
+  FaultConfig a = drive_faults(2000.0);
+  FaultConfig b = drive_faults(2000.0);
+  b.seed = a.seed + 1;
+  FaultInjector ia(a, small_spec());
+  FaultInjector ib(b, small_spec());
+  const auto ha = ia.failure_within(DriveId{0}, Seconds{0.0}, Seconds{1e7});
+  const auto hb = ib.failure_within(DriveId{0}, Seconds{0.0}, Seconds{1e7});
+  ASSERT_TRUE(ha.has_value());
+  ASSERT_TRUE(hb.has_value());
+  EXPECT_NE(ha->count(), hb->count());
+}
+
+TEST(Injector, MountFailureRateMatchesConfiguredProbability) {
+  FaultConfig c;
+  c.mount_failure_prob = 0.25;
+  FaultInjector inj(c, small_spec());
+  int failures = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (inj.mount_attempt_fails(DriveId{1})) ++failures;
+  }
+  EXPECT_NEAR(failures, kTrials / 4, kTrials / 40);  // 10% tolerance
+  EXPECT_EQ(inj.counters().mount_failures,
+            static_cast<std::uint64_t>(failures));
+}
+
+TEST(Injector, MediaErrorNeverFiresAtRateZero) {
+  FaultConfig c;
+  c.mount_failure_prob = 0.5;  // enabled, but no media errors
+  FaultInjector inj(c, small_spec());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(inj.media_error(TapeId{0}, 100_GB,
+                                 tape::CartridgeHealth::kGood)
+                     .has_value());
+  }
+}
+
+TEST(Injector, MediaErrorFractionLiesWithinTheTransfer) {
+  FaultConfig c;
+  c.media_error_per_gb = 0.5;
+  FaultInjector inj(c, small_spec());
+  int hits = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (const auto frac = inj.media_error(TapeId{2}, 4_GB,
+                                          tape::CartridgeHealth::kGood)) {
+      ASSERT_GE(*frac, 0.0);
+      ASSERT_LT(*frac, 1.0);
+      ++hits;
+    }
+  }
+  // P(error in 4 GB at 0.5/GB) = 1 - e^-2 ~ 0.865.
+  EXPECT_NEAR(hits / 2000.0, 0.865, 0.03);
+}
+
+TEST(Injector, DegradedHealthRaisesErrorRate) {
+  FaultConfig c;
+  c.media_error_per_gb = 0.05;
+  c.degraded_error_multiplier = 8.0;
+  FaultInjector good(c, small_spec());
+  FaultInjector degraded(c, small_spec());
+  int good_hits = 0;
+  int degraded_hits = 0;
+  for (int i = 0; i < 4000; ++i) {
+    good_hits += good.media_error(TapeId{0}, 1_GB,
+                                  tape::CartridgeHealth::kGood)
+                     .has_value();
+    degraded_hits += degraded
+                         .media_error(TapeId{0}, 1_GB,
+                                      tape::CartridgeHealth::kDegraded)
+                         .has_value();
+  }
+  EXPECT_GT(degraded_hits, 3 * good_hits);
+}
+
+TEST(Injector, MediaErrorsEscalateGoodDegradedLost) {
+  FaultConfig c;
+  c.media_error_per_gb = 0.1;
+  c.degraded_after = 2;
+  c.lost_after = 4;
+  FaultInjector inj(c, small_spec());
+  const TapeId t{5};
+  EXPECT_EQ(inj.record_media_error(t), tape::CartridgeHealth::kGood);
+  EXPECT_EQ(inj.record_media_error(t), tape::CartridgeHealth::kDegraded);
+  EXPECT_EQ(inj.record_media_error(t), tape::CartridgeHealth::kDegraded);
+  EXPECT_EQ(inj.record_media_error(t), tape::CartridgeHealth::kLost);
+  EXPECT_EQ(inj.media_errors_on(t), 4u);
+  EXPECT_EQ(inj.counters().media_errors, 4u);
+  // Other cartridges are untouched.
+  EXPECT_EQ(inj.media_errors_on(TapeId{6}), 0u);
+}
+
+TEST(Injector, RobotJamDelayIsClearTimeOrZero) {
+  FaultConfig c;
+  c.robot_jam_prob = 0.3;
+  c.robot_jam_clear = Seconds{45.0};
+  FaultInjector inj(c, small_spec());
+  int jams = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const Seconds d = inj.robot_jam_delay(LibraryId{0});
+    if (d.count() > 0.0) {
+      EXPECT_DOUBLE_EQ(d.count(), 45.0);
+      ++jams;
+    }
+  }
+  EXPECT_NEAR(jams / 10000.0, 0.3, 0.03);
+  EXPECT_EQ(inj.counters().robot_jams, static_cast<std::uint64_t>(jams));
+}
+
+TEST(InjectorDeath, InvalidConfigAborts) {
+  FaultConfig c;
+  c.permanent_fraction = 2.0;
+  EXPECT_DEATH(FaultInjector(c, small_spec()), "validate");
+}
+
+}  // namespace
+}  // namespace tapesim::fault

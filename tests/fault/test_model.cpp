@@ -1,0 +1,123 @@
+#include "fault/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tapesim::fault {
+namespace {
+
+TEST(BackoffPolicy, DelayGrowsGeometrically) {
+  const BackoffPolicy p{3, Seconds{5.0}, 2.0};
+  EXPECT_DOUBLE_EQ(p.delay(0).count(), 5.0);
+  EXPECT_DOUBLE_EQ(p.delay(1).count(), 10.0);
+  EXPECT_DOUBLE_EQ(p.delay(2).count(), 20.0);
+}
+
+TEST(BackoffPolicy, UnitMultiplierIsConstantDelay) {
+  const BackoffPolicy p{5, Seconds{3.0}, 1.0};
+  EXPECT_DOUBLE_EQ(p.delay(0).count(), 3.0);
+  EXPECT_DOUBLE_EQ(p.delay(4).count(), 3.0);
+}
+
+TEST(BackoffPolicy, RejectsNegativeDelayAndShrinkingMultiplier) {
+  BackoffPolicy p;
+  p.initial_delay = Seconds{-1.0};
+  EXPECT_FALSE(p.try_validate("retry").ok());
+  p = BackoffPolicy{};
+  p.multiplier = 0.5;
+  EXPECT_FALSE(p.try_validate("retry").ok());
+}
+
+TEST(FaultConfig, DefaultIsValidAndDisabled) {
+  const FaultConfig c;
+  EXPECT_TRUE(c.try_validate().ok());
+  EXPECT_FALSE(c.enabled());
+}
+
+TEST(FaultConfig, AnyNonzeroRateEnables) {
+  FaultConfig c;
+  c.drive_mtbf = Seconds{1000.0};
+  EXPECT_TRUE(c.enabled());
+  c = FaultConfig{};
+  c.mount_failure_prob = 0.01;
+  EXPECT_TRUE(c.enabled());
+  c = FaultConfig{};
+  c.media_error_per_gb = 0.001;
+  EXPECT_TRUE(c.enabled());
+  c = FaultConfig{};
+  c.robot_jam_prob = 0.01;
+  EXPECT_TRUE(c.enabled());
+}
+
+TEST(FaultConfig, ValidationIsRecoverableNotFatal) {
+  FaultConfig c;
+  c.permanent_fraction = 1.5;
+  const Status s = c.try_validate();
+  ASSERT_FALSE(s.ok());
+  // The message names the struct and the offending knob, so a CLI can
+  // print it and keep running.
+  EXPECT_NE(s.message().find("FaultConfig"), std::string::npos);
+}
+
+TEST(FaultConfig, RejectsBadDriveKnobs) {
+  FaultConfig c;
+  c.drive_mtbf = Seconds{-1.0};
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.drive_mtbf = Seconds{1000.0};
+  c.drive_mttr = Seconds{0.0};
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.permanent_fraction = -0.1;
+  EXPECT_FALSE(c.try_validate().ok());
+}
+
+TEST(FaultConfig, RejectsCertainMountFailure) {
+  // Probability 1 would make every cartridge unmountable forever; the
+  // model caps at strictly-below-one.
+  FaultConfig c;
+  c.mount_failure_prob = 1.0;
+  EXPECT_FALSE(c.try_validate().ok());
+  c.mount_failure_prob = 0.999;
+  EXPECT_TRUE(c.try_validate().ok());
+  c.max_mount_attempts_per_tape = 0;
+  EXPECT_FALSE(c.try_validate().ok());
+}
+
+TEST(FaultConfig, RejectsBadMediaEscalation) {
+  FaultConfig c;
+  c.media_error_per_gb = -0.5;
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.degraded_after = 0;
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.lost_after = c.degraded_after;  // must be strictly beyond degraded
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.degraded_error_multiplier = 0.5;
+  EXPECT_FALSE(c.try_validate().ok());
+}
+
+TEST(FaultConfig, RejectsBadRobotKnobs) {
+  FaultConfig c;
+  c.robot_jam_prob = 1.0;
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.robot_jam_prob = 0.1;
+  c.robot_jam_clear = Seconds{0.0};
+  EXPECT_FALSE(c.try_validate().ok());
+}
+
+TEST(FaultConfig, NestedBackoffFailuresSurface) {
+  FaultConfig c;
+  c.mount_retry.multiplier = 0.0;
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.media_retry.initial_delay = Seconds{-2.0};
+  EXPECT_FALSE(c.try_validate().ok());
+}
+
+}  // namespace
+}  // namespace tapesim::fault

@@ -1,0 +1,162 @@
+// Zero-overhead-when-disabled regression.
+//
+// The acceptance bar for the fault subsystem is that turning it off is
+// indistinguishable from it never existing: with every fault rate at zero
+// the scheduler builds no injector, draws nothing from any RNG, and the
+// event sequence — and therefore every simulated timing — is bit-identical
+// to a build without fault injection. These tests pin that equivalence at
+// both the single-request and the whole-experiment level, so any future
+// "just one extra draw" regression in the hot path fails loudly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "exp/experiment.hpp"
+#include "fault/model.hpp"
+#include "metrics/request_metrics.hpp"
+#include "sched/simulator.hpp"
+#include "workload/model.hpp"
+
+namespace tapesim::sched {
+namespace {
+
+using core::Alignment;
+using core::PlacementPlan;
+using metrics::RequestStatus;
+using workload::ObjectInfo;
+using workload::Request;
+using workload::Workload;
+
+/// Same layout as the recovery scenarios: one library, two drives, four
+/// 10 GB tapes, five objects spread over them.
+struct Scenario {
+  tape::SystemSpec spec;
+  std::unique_ptr<Workload> workload;
+  std::unique_ptr<PlacementPlan> plan;
+
+  Scenario() {
+    spec.num_libraries = 1;
+    spec.library.drives_per_library = 2;
+    spec.library.tapes_per_library = 4;
+    spec.library.tape_capacity = 10_GB;
+
+    std::vector<ObjectInfo> objects{{ObjectId{0}, 2_GB},
+                                    {ObjectId{1}, 3_GB},
+                                    {ObjectId{2}, 4_GB},
+                                    {ObjectId{3}, 1_GB},
+                                    {ObjectId{4}, 2_GB}};
+    std::vector<Request> requests;
+    const double p = 1.0 / 6.0;
+    requests.push_back(Request{RequestId{0}, p, {ObjectId{0}}});
+    requests.push_back(Request{RequestId{1}, p, {ObjectId{0}, ObjectId{1}}});
+    requests.push_back(Request{RequestId{2}, p, {ObjectId{2}}});
+    requests.push_back(Request{RequestId{3}, p, {ObjectId{3}}});
+    requests.push_back(Request{RequestId{4}, p, {ObjectId{4}}});
+    requests.push_back(Request{RequestId{5}, p, {ObjectId{3}, ObjectId{4}}});
+    workload = std::make_unique<Workload>(std::move(objects),
+                                          std::move(requests));
+
+    plan = std::make_unique<PlacementPlan>(spec, *workload);
+    plan->assign(ObjectId{0}, TapeId{0});
+    plan->assign(ObjectId{1}, TapeId{0});
+    plan->assign(ObjectId{2}, TapeId{1});
+    plan->assign(ObjectId{3}, TapeId{2});
+    plan->assign(ObjectId{4}, TapeId{3});
+    plan->align_all(Alignment::kGivenOrder);
+    plan->compute_tape_popularity();
+    plan->mount_policy.initial_mounts.emplace_back(DriveId{0}, TapeId{0});
+  }
+};
+
+TEST(ZeroOverhead, ZeroRateConfigBuildsNoInjector) {
+  Scenario s;
+  SimulatorConfig config;
+  // Non-default seed and recovery knobs, but every *rate* is zero: the
+  // config is disabled and the simulator must not instantiate an injector.
+  config.faults.seed = 0xDEADBEEF;
+  config.faults.mount_retry.max_retries = 9;
+  config.faults.drive_mttr = Seconds{1.0};
+  ASSERT_FALSE(config.faults.enabled());
+  RetrievalSimulator sim(*s.plan, config);
+  EXPECT_EQ(sim.fault_injector(), nullptr);
+}
+
+TEST(ZeroOverhead, RequestsBitIdenticalToDefaultConfig) {
+  Scenario base;
+  Scenario zeroed;
+  RetrievalSimulator plain(*base.plan);
+  SimulatorConfig config;
+  config.faults.seed = 0x5EEDED;  // must be irrelevant at zero rates
+  RetrievalSimulator zero_rates(*zeroed.plan, config);
+
+  for (int round = 0; round < 3; ++round) {
+    for (const std::uint32_t r : {2u, 5u, 1u, 0u, 3u, 4u}) {
+      const auto a = plain.run_request(RequestId{r});
+      const auto b = zero_rates.run_request(RequestId{r});
+      // Bit-exact, not approximate: identical event sequences produce
+      // identical floating-point timings.
+      EXPECT_EQ(a.response.count(), b.response.count());
+      EXPECT_EQ(a.seek.count(), b.seek.count());
+      EXPECT_EQ(a.transfer.count(), b.transfer.count());
+      EXPECT_EQ(a.switch_time.count(), b.switch_time.count());
+      EXPECT_EQ(a.robot_wait.count(), b.robot_wait.count());
+      EXPECT_EQ(a.tape_switches, b.tape_switches);
+      EXPECT_EQ(a.drives_used, b.drives_used);
+    }
+  }
+  EXPECT_EQ(plain.total_switches(), zero_rates.total_switches());
+  EXPECT_EQ(plain.engine().now().count(), zero_rates.engine().now().count());
+}
+
+TEST(ZeroOverhead, DegradedModeFieldsStayZeroWithoutFaults) {
+  Scenario s;
+  RetrievalSimulator sim(*s.plan);
+  metrics::ExperimentMetrics agg;
+  for (const std::uint32_t r : {2u, 5u, 1u, 0u, 3u, 4u}) {
+    const auto o = sim.run_request(RequestId{r});
+    EXPECT_EQ(o.status, RequestStatus::kServed);
+    EXPECT_EQ(o.bytes_unavailable.count(), 0u);
+    EXPECT_EQ(o.extents_unavailable, 0u);
+    EXPECT_EQ(o.failovers, 0u);
+    EXPECT_EQ(o.mount_retries, 0u);
+    EXPECT_EQ(o.media_retries, 0u);
+    EXPECT_EQ(o.bytes_served(), o.bytes);
+    agg.add(o);
+  }
+  EXPECT_EQ(agg.served_count(), 6u);
+  EXPECT_EQ(agg.partial_count(), 0u);
+  EXPECT_EQ(agg.unavailable_count(), 0u);
+  EXPECT_DOUBLE_EQ(agg.fraction_unavailable(), 0.0);
+}
+
+TEST(ZeroOverhead, FullExperimentPipelineBitIdentical) {
+  // End-to-end: the whole place -> sample -> simulate pipeline, default
+  // config vs explicit zero-rate fault config, must agree to the last bit
+  // on every aggregate (the workload stream and the fault stream are
+  // separate, and the latter is never touched).
+  exp::ExperimentConfig plain_cfg;
+  plain_cfg.simulated_requests = 40;
+  exp::ExperimentConfig zero_cfg = plain_cfg;
+  zero_cfg.sim.faults.seed = 0xFEEDFACE;
+  ASSERT_FALSE(zero_cfg.sim.faults.enabled());
+
+  const exp::Experiment plain(plain_cfg);
+  const exp::Experiment zeroed(zero_cfg);
+  const auto schemes = exp::make_standard_schemes();
+  const auto a = plain.run(*schemes.parallel_batch);
+  const auto b = zeroed.run(*schemes.parallel_batch);
+
+  EXPECT_EQ(a.metrics.mean_response().count(),
+            b.metrics.mean_response().count());
+  EXPECT_EQ(a.metrics.mean_bandwidth().count(),
+            b.metrics.mean_bandwidth().count());
+  EXPECT_EQ(a.total_switches, b.total_switches);
+  EXPECT_EQ(a.tapes_used, b.tapes_used);
+  EXPECT_EQ(b.metrics.served_count(), 40u);
+  EXPECT_DOUBLE_EQ(b.metrics.fraction_unavailable(), 0.0);
+}
+
+}  // namespace
+}  // namespace tapesim::sched

@@ -119,6 +119,97 @@ TEST(Resource, GrantsDoNotRunReentrantly) {
   EXPECT_FALSE(inner_ran_during_release);
 }
 
+TEST(Resource, CancelRemovesQueuedWaiterAndPreservesFifo) {
+  // The failover path withdraws a failed drive's pending robot request;
+  // everyone behind it must keep their place in line.
+  Engine e;
+  Resource r(e, "robot");
+  std::vector<int> order;
+  Resource::Ticket victim = Resource::kInvalidTicket;
+  e.schedule_in(Seconds{0.0}, [&] {
+    r.acquire([&] {
+      order.push_back(0);
+      e.schedule_in(Seconds{1.0}, [&] { r.release(); });
+    });
+    r.acquire([&] {
+      order.push_back(1);
+      r.release();
+    });
+    victim = r.acquire([&] { order.push_back(2); });
+    r.acquire([&] {
+      order.push_back(3);
+      r.release();
+    });
+  });
+  e.schedule_in(Seconds{0.5}, [&] {
+    EXPECT_EQ(r.queue_length(), 3u);
+    EXPECT_TRUE(r.cancel(victim));
+    EXPECT_EQ(r.queue_length(), 2u);
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 3}));
+  EXPECT_FALSE(r.busy());
+}
+
+TEST(Resource, CancelGrantedTicketIsRefused) {
+  Engine e;
+  Resource r(e, "robot");
+  Resource::Ticket holder = Resource::kInvalidTicket;
+  bool granted = false;
+  e.schedule_in(Seconds{0.0}, [&] {
+    holder = r.acquire([&] { granted = true; });
+  });
+  e.schedule_in(Seconds{1.0}, [&] {
+    // Already granted: the holder owns the resource and must release() —
+    // cancel() cannot take the grant back.
+    EXPECT_TRUE(granted);
+    EXPECT_FALSE(r.cancel(holder));
+    EXPECT_TRUE(r.busy());
+    r.release();
+  });
+  e.run();
+  EXPECT_FALSE(r.busy());
+}
+
+TEST(Resource, CancelIsIdempotentAndRejectsUnknownTickets) {
+  Engine e;
+  Resource r(e, "robot");
+  Resource::Ticket queued = Resource::kInvalidTicket;
+  e.schedule_in(Seconds{0.0}, [&] {
+    r.acquire([] {});  // holds forever
+    queued = r.acquire([] { ADD_FAILURE() << "cancelled waiter ran"; });
+  });
+  e.schedule_in(Seconds{1.0}, [&] {
+    EXPECT_TRUE(r.cancel(queued));
+    EXPECT_FALSE(r.cancel(queued));  // second cancel is a no-op
+    EXPECT_FALSE(r.cancel(Resource::kInvalidTicket));
+    EXPECT_FALSE(r.cancel(Resource::Ticket{987654}));  // never issued
+  });
+  e.run();
+  EXPECT_EQ(r.queue_length(), 0u);
+}
+
+TEST(Resource, CancelledWaiterNeverRunsAfterRelease) {
+  // Cancel-while-waiting on the robot FIFO: the release that would have
+  // granted the cancelled waiter must skip straight to the next one.
+  Engine e;
+  Resource r(e, "robot");
+  bool survivor_ran = false;
+  e.schedule_in(Seconds{0.0}, [&] {
+    r.acquire([&] { e.schedule_in(Seconds{2.0}, [&] { r.release(); }); });
+    const Resource::Ticket doomed =
+        r.acquire([] { ADD_FAILURE() << "cancelled waiter ran"; });
+    r.acquire([&] {
+      survivor_ran = true;
+      r.release();
+    });
+    e.schedule_in(Seconds{1.0}, [&, doomed] { EXPECT_TRUE(r.cancel(doomed)); });
+  });
+  e.run();
+  EXPECT_TRUE(survivor_ran);
+  EXPECT_FALSE(r.busy());
+}
+
 TEST(ResourceDeath, ReleasingFreeResourceAborts) {
   Engine e;
   Resource r(e, "robot");

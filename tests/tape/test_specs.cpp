@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 namespace tapesim::tape {
 namespace {
 
@@ -55,6 +57,59 @@ TEST(Specs, ValidationRejectsBadValues) {
   spec = SystemSpec::paper_default();
   spec.library.drive.max_rewind_time = Seconds{0.0};
   EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(Specs, TryValidateIsRecoverableNotFatal) {
+  // A malformed experiment config must fail with a message, never abort:
+  // try_validate returns a Status a CLI can print and recover from.
+  EXPECT_TRUE(SystemSpec::paper_default().try_validate().ok());
+
+  SystemSpec spec = SystemSpec::paper_default();
+  spec.num_libraries = 0;
+  const Status sys = spec.try_validate();
+  ASSERT_FALSE(sys.ok());
+  EXPECT_NE(sys.message().find("SystemSpec"), std::string::npos);
+  EXPECT_NE(sys.message().find("library"), std::string::npos);
+
+  spec = SystemSpec::paper_default();
+  spec.library.tapes_per_library = 4;
+  const Status lib = spec.try_validate();
+  ASSERT_FALSE(lib.ok());
+  EXPECT_NE(lib.message().find("LibrarySpec"), std::string::npos);
+
+  // Nested violations surface through the enclosing spec with the inner
+  // subject intact, so the operator sees which knob was wrong.
+  spec = SystemSpec::paper_default();
+  spec.library.drive.transfer_rate = BytesPerSecond{-5.0};
+  const Status drv = spec.try_validate();
+  ASSERT_FALSE(drv.ok());
+  EXPECT_NE(drv.message().find("DriveSpec"), std::string::npos);
+  EXPECT_NE(drv.message().find("transfer rate"), std::string::npos);
+}
+
+TEST(Specs, FirstViolationWins) {
+  // Several knobs wrong at once: the Status reports the first violation in
+  // declaration order rather than the last or a concatenation.
+  DriveSpec drive;
+  drive.transfer_rate = BytesPerSecond{0.0};
+  drive.max_rewind_time = Seconds{0.0};
+  const Status s = drive.try_validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("transfer rate"), std::string::npos);
+  EXPECT_EQ(s.message().find("rewind"), std::string::npos);
+}
+
+TEST(Specs, ThrowingValidateCarriesTryValidateMessage) {
+  SystemSpec spec = SystemSpec::paper_default();
+  spec.library.tape_capacity = Bytes{0};
+  const Status s = spec.try_validate();
+  ASSERT_FALSE(s.ok());
+  try {
+    spec.validate();
+    FAIL() << "validate() must throw on a bad spec";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string{e.what()}, s.message());
+  }
 }
 
 TEST(Specs, DescribeMentionsKeyNumbers) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <vector>
 
@@ -111,6 +112,78 @@ TEST(Rng, ForkDependsOnConsumption) {
   Rng f1 = p1.fork(7);
   Rng f2 = p2.fork(7);
   EXPECT_NE(f1(), f2());
+}
+
+TEST(Rng, SplitIsDeterministicByName) {
+  Rng p1{42};
+  Rng p2{42};
+  Rng a = p1.split("fault");
+  Rng b = p2.split("fault");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SplitDistinctNamesDiverge) {
+  Rng parent{42};
+  Rng fault = parent.split("fault");
+  Rng workload = parent.split("workload");
+  Rng placement = parent.split("placement");
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t f = fault();
+    if (f == workload()) ++same;
+    if (f == placement()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitSubstreamsAreIndependentOfEachOthersConsumption) {
+  // The reproducibility contract: draws on one named substream never
+  // perturb another. Drain the workload stream heavily in one universe and
+  // not at all in the other; the fault stream must be bit-identical.
+  Rng parent1{99};
+  Rng parent2{99};
+  Rng workload1 = parent1.split("workload");
+  Rng fault1 = parent1.split("fault");
+  Rng fault2 = parent2.split("fault");
+  for (int i = 0; i < 5000; ++i) (void)workload1();
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(fault1(), fault2());
+}
+
+TEST(Rng, SplitSubstreamsDoNotCorrelate) {
+  // Pearson correlation of paired uniforms from two named substreams of
+  // the same master seed must be statistically indistinguishable from
+  // independent streams (|rho| ~ O(1/sqrt(n))).
+  Rng parent{2026};
+  Rng a = parent.split("fault");
+  Rng b = parent.split("workload");
+  const int n = 100000;
+  double sa = 0.0, sb = 0.0, saa = 0.0, sbb = 0.0, sab = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = a.uniform();
+    const double y = b.uniform();
+    sa += x;
+    sb += y;
+    saa += x * x;
+    sbb += y * y;
+    sab += x * y;
+  }
+  const double cov = sab / n - (sa / n) * (sb / n);
+  const double var_a = saa / n - (sa / n) * (sa / n);
+  const double var_b = sbb / n - (sb / n) * (sb / n);
+  const double rho = cov / std::sqrt(var_a * var_b);
+  EXPECT_LT(std::abs(rho), 0.02) << "substreams correlate";
+}
+
+TEST(Rng, SplitMatchesForkOfNameHash) {
+  // split() is fork() addressed by name, so it inherits fork's
+  // consumption-dependence: splitting after a draw yields a different
+  // stream (documented sharp edge, pinned here).
+  Rng p1{42};
+  Rng p2{42};
+  (void)p2();
+  Rng s1 = p1.split("fault");
+  Rng s2 = p2.split("fault");
+  EXPECT_NE(s1(), s2());
 }
 
 TEST(Shuffle, ProducesAPermutation) {
