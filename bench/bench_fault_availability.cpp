@@ -39,7 +39,13 @@ tapesim::fault::FaultConfig fault_point(double rate) {
 
 int main(int argc, char** argv) {
   using namespace tapesim;
-  const auto trace_opts = benchfig::TraceOptions::parse(argc, argv);
+  const auto flags = benchfig::BenchFlags::parse(
+      argc, argv, /*default_seed=*/42, "fault_availability.csv");
+  if (!flags.status.ok()) {
+    std::cerr << flags.status.message() << "\n";
+    return 2;
+  }
+  const benchfig::TraceOptions& trace_opts = flags.trace;
   benchfig::print_header(
       "Fault availability",
       "mean response (s) and fraction unavailable vs drive failure rate "
@@ -60,7 +66,12 @@ int main(int argc, char** argv) {
 
   for (const double rate : rates) {
     exp::ExperimentConfig config;
+    config.seed = flags.seed;
     config.sim.faults = fault_point(rate);
+    if (const Status st = config.sim.try_validate(); !st.ok()) {
+      std::cerr << st.message() << "\n";
+      return 2;
+    }
     const exp::Experiment experiment(config);
     const auto schemes = exp::make_standard_schemes();
 
@@ -79,7 +90,7 @@ int main(int argc, char** argv) {
               pbp.total_mount_retries() + pbp.total_media_retries());
   }
 
-  benchfig::print_table(table, "fault_availability.csv");
+  benchfig::print_table(table, flags.out);
 
   // Qualitative acceptance: degradation rises with the failure rate. The
   // series are noisy point to point (one fault-seed realisation per
@@ -114,6 +125,7 @@ int main(int argc, char** argv) {
     // reconcile every span lane — including the fault lane — against the
     // simulator's DriveStats.
     exp::ExperimentConfig config;
+    config.seed = flags.seed;
     config.sim.faults = fault_point(rates[std::size(rates) - 1]);
     const exp::Experiment experiment(config);
     const auto schemes = exp::make_standard_schemes();

@@ -1,0 +1,246 @@
+// Replication availability: unavailable fraction, served response time,
+// and repair-traffic overhead vs replication factor × media-error rate.
+//
+// Parallel batch placement is wrapped in core::ReplicationPolicy at
+// r ∈ {1, 2, 3} and driven through the same request stream under rising
+// media-error rates. With r = 1 a cartridge whose reads keep failing (or
+// that crosses the Lost threshold) takes its bytes with it; with r ≥ 2 the
+// scheduler fails over to a surviving copy and background repair rebuilds
+// the replication factor on fresh tapes, paying for it in repair traffic.
+//
+// Built-in self-checks (exit status):
+//   1. Under every nonzero media-error rate, r = 2 yields a strictly lower
+//      unavailable fraction than r = 1.
+//   2. After the repair queue drains, every cartridge that degraded but
+//      was not lost has all of its objects back at the target replication
+//      factor (counting copies on Good tapes only).
+//
+// The workload is scaled down (6k objects vs the paper's 30k) so that r = 3
+// still fits the default 4-library system at 90% utilization.
+#include "core/parallel_batch.hpp"
+#include "core/replication.hpp"
+#include "figure_common.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tapesim;
+
+/// Media-error-only fault model: `rate` read errors per GB streamed.
+fault::FaultConfig media_point(double rate) {
+  fault::FaultConfig faults;
+  faults.media_error_per_gb = rate;
+  return faults;
+}
+
+struct PointResult {
+  metrics::ExperimentMetrics metrics;
+  sched::RepairStats repair;
+  std::size_t backlog = 0;
+  /// Factor restoration is only checkable when the repair system could
+  /// finish its work: no leftover backlog (targets exhausted under
+  /// saturation) and no abandoned jobs (sources errored out repeatedly).
+  bool factor_checked = false;
+  bool factor_restored = true;
+};
+
+struct Bench {
+  tape::SystemSpec spec = tape::SystemSpec::paper_default();
+  workload::Workload workload;
+  cluster::ObjectClusters clusters;
+  std::uint64_t seed;
+  std::uint32_t requests = 200;
+
+  explicit Bench(std::uint64_t seed_in)
+      : workload(make_workload(seed_in)),
+        clusters(cluster::cluster_by_requests(
+            workload, make_constraints(spec))),
+        seed(seed_in) {
+    clusters.validate(workload);
+  }
+
+  static workload::Workload make_workload(std::uint64_t seed) {
+    workload::WorkloadConfig config = workload::WorkloadConfig::paper_default();
+    config.num_objects = 6'000;  // leave room for r = 3 at 90% utilization
+    Rng rng{seed};
+    Rng workload_rng = rng.fork(0x574C);  // Experiment's workload substream
+    return workload::generate_workload(config, workload_rng);
+  }
+
+  static cluster::ClusterConstraints make_constraints(
+      const tape::SystemSpec& spec) {
+    cluster::ClusterConstraints constraints;
+    constraints.max_bytes = Bytes{static_cast<Bytes::value_type>(
+        0.9 * spec.library.tape_capacity.as_double())};
+    return constraints;
+  }
+
+  PointResult run(std::uint32_t replicas, double rate) const {
+    core::ParallelBatchParams pbp;
+    const core::ParallelBatchPlacement inner(pbp);
+    core::ReplicationPolicy::Params rp;
+    rp.replicas = replicas;
+    const core::ReplicationPolicy scheme(inner, rp);
+
+    core::PlacementContext context;
+    context.workload = &workload;
+    context.spec = &spec;
+    context.clusters = &clusters;
+    const core::PlacementPlan plan = scheme.place(context);
+
+    sched::SimulatorConfig sim;
+    sim.faults = media_point(rate);
+    sim.repair.enabled = true;
+    sim.repair.bandwidth_fraction = 0.5;
+    sim.repair.max_concurrent = 2;
+    if (const Status st = sim.try_validate(); !st.ok()) {
+      std::cerr << st.message() << "\n";
+      std::exit(2);
+    }
+
+    sched::RetrievalSimulator simulator(plan, sim);
+    Rng rng{seed};
+    Rng sample_rng = rng.fork(0x5251);  // Experiment's sampling substream
+    const workload::RequestSampler sampler(workload);
+
+    PointResult result;
+    for (std::uint32_t i = 0; i < requests; ++i) {
+      result.metrics.add(simulator.run_request(sampler.sample(sample_rng)));
+    }
+    simulator.drain_repairs();
+    result.repair = simulator.repair_stats();
+    result.backlog = simulator.repair_backlog();
+    result.factor_checked = replicas > 1 && result.backlog == 0 &&
+                            result.repair.jobs_abandoned == 0;
+    if (result.factor_checked) {
+      result.factor_restored = check_factor(simulator, replicas);
+    }
+    return result;
+  }
+
+  /// Self-check 2: each object with a copy on a Degraded (but not Lost)
+  /// cartridge is back at `replicas` copies on Good tapes after repair.
+  bool check_factor(const sched::RetrievalSimulator& simulator,
+                    std::uint32_t replicas) const {
+    if (replicas <= 1) return true;
+    const catalog::ObjectCatalog& cat = simulator.catalog();
+    const std::uint32_t total_tapes =
+        spec.num_libraries * spec.library.tapes_per_library;
+    bool ok = true;
+    for (std::uint32_t t = 0; t < total_tapes; ++t) {
+      const TapeId tape{t};
+      if (cat.tape_health(tape) != catalog::ReplicaHealth::kDegraded) {
+        continue;
+      }
+      for (const catalog::TapeExtent& e : cat.extents_on(tape)) {
+        std::uint32_t good = 0;
+        auto count = [&](const catalog::ObjectRecord& copy) {
+          if (cat.tape_health(copy.tape) == catalog::ReplicaHealth::kGood) {
+            ++good;
+          }
+        };
+        if (const catalog::ObjectRecord* primary = cat.lookup(e.object)) {
+          count(*primary);
+        }
+        for (const catalog::ObjectRecord& copy : cat.replicas(e.object)) {
+          count(copy);
+        }
+        if (good < replicas) {
+          std::cout << "FACTOR FAIL: object " << e.object.value()
+                    << " on degraded tape " << t << " has " << good << "/"
+                    << replicas << " good copies after repair\n";
+          ok = false;
+        }
+      }
+    }
+    return ok;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = benchfig::BenchFlags::parse(
+      argc, argv, /*default_seed=*/42, "replication_availability.csv");
+  if (!flags.status.ok()) {
+    std::cerr << flags.status.message() << "\n";
+    return 2;
+  }
+  benchfig::print_header(
+      "Replication availability",
+      "unavailable fraction, served response, and repair overhead vs "
+      "replication factor x media-error rate (parallel batch placement)");
+
+  const Bench bench(flags.seed);
+  const std::uint32_t factors[] = {1, 2, 3};
+  // Rates are per GB streamed; the default workload's objects average a
+  // few GB, so these give per-read error odds in the ~0.5–2% range —
+  // enough for popular cartridges to degrade and occasionally go Lost
+  // over the request stream without collapsing the whole system (at
+  // ~0.05/GB the degraded-multiplier feedback loses nearly every tape and
+  // extra replicas only amplify the error-generating read traffic).
+  const double rates[] = {0.0, 0.002, 0.005};
+
+  Table table({"errors/GB", "r", "unavail", "resp served (s)",
+               "replica reads", "repairs", "repair GB", "overhead",
+               "backlog"});
+
+  // unavail[rate index][factor index], for self-check 1.
+  std::vector<std::vector<double>> unavail(std::size(rates));
+  bool factor_ok = true;
+  std::size_t factor_points = 0;
+
+  for (std::size_t ri = 0; ri < std::size(rates); ++ri) {
+    for (const std::uint32_t r : factors) {
+      const PointResult point = bench.run(r, rates[ri]);
+      unavail[ri].push_back(point.metrics.fraction_unavailable());
+      factor_ok = factor_ok && point.factor_restored;
+      if (point.factor_checked && rates[ri] > 0.0) ++factor_points;
+      const double requested_gb =
+          bench.requests *
+          point.metrics.mean_request_bytes().as_double() / 1e9;
+      const double repair_gb =
+          static_cast<double>(point.repair.bytes_copied) / 1e9;
+      table.add(rates[ri], r, unavail[ri].back(),
+                point.metrics.mean_served_response().count(),
+                point.metrics.total_served_from_replica(),
+                point.repair.jobs_completed, repair_gb,
+                requested_gb > 0.0 ? repair_gb / requested_gb : 0.0,
+                point.backlog);
+    }
+  }
+
+  benchfig::print_table(table, flags.out);
+
+  // Self-check 1: redundancy must buy availability wherever media errors
+  // actually bite. At rate 0 every factor is identically all-available.
+  bool redundancy_ok = true;
+  for (std::size_t ri = 0; ri < std::size(rates); ++ri) {
+    if (rates[ri] <= 0.0) {
+      if (unavail[ri][0] != 0.0 || unavail[ri][1] != 0.0) {
+        std::cout << "BASELINE FAIL: unavailable bytes without media "
+                     "errors\n";
+        redundancy_ok = false;
+      }
+      continue;
+    }
+    if (!(unavail[ri][1] < unavail[ri][0])) {
+      std::cout << "REDUNDANCY FAIL: r=2 unavailable fraction "
+                << unavail[ri][1] << " is not strictly below r=1's "
+                << unavail[ri][0] << " at " << rates[ri] << " errors/GB\n";
+      redundancy_ok = false;
+    }
+  }
+  std::cout << "redundancy self-check: " << (redundancy_ok ? "OK" : "FAIL")
+            << " (r=2 strictly reduces unavailable fraction under media "
+               "errors)\n";
+  // Points with leftover backlog or abandoned jobs (repair saturation)
+  // cannot restore the factor by construction; require the check to have
+  // actually run somewhere under media errors.
+  factor_ok = factor_ok && factor_points > 0;
+  std::cout << "repair self-check: " << (factor_ok ? "OK" : "FAIL") << " ("
+            << factor_points
+            << " drained sweep points; degraded-but-surviving cartridges "
+               "restored to target factor)\n";
+  return (redundancy_ok && factor_ok) ? 0 : 1;
+}

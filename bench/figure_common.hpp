@@ -18,7 +18,9 @@
 #pragma once
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -27,9 +29,34 @@
 
 #include "exp/experiment.hpp"
 #include "obs/tracer.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 
 namespace tapesim::benchfig {
+
+/// Strict numeric flag parsing: the whole value must parse, so `--seed=7x`
+/// is an error rather than silently becoming 7 (what atof/atoi would do).
+inline bool parse_number(const std::string& text, std::uint64_t* out) {
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, *out);
+  return ec == std::errc{} && ptr == end;
+}
+
+inline bool parse_number(const std::string& text, double* out) {
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, *out);
+  return ec == std::errc{} && ptr == end;
+}
+
+/// Splits `--flag=value` style arguments; returns true when `arg` is
+/// `flag` (with a value), storing the value.
+inline bool flag_value(const std::string& arg, const char* flag,
+                       std::string* out) {
+  const std::string prefix = std::string(flag) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
 
 /// MB/s value of a run's mean effective bandwidth.
 inline double mbps(const exp::SchemeRun& run) {
@@ -63,26 +90,34 @@ struct TraceOptions {
     return !chrome_out.empty() || !jsonl_out.empty() || !metrics_out.empty();
   }
 
+  enum class Consume { kNotMine, kOk, kBadValue };
+
+  /// Tries to consume one command-line argument as a telemetry flag.
+  Consume consume(const std::string& arg) {
+    std::string sample;
+    if (flag_value(arg, "--trace-out", &chrome_out)) return Consume::kOk;
+    if (flag_value(arg, "--jsonl-out", &jsonl_out)) return Consume::kOk;
+    if (flag_value(arg, "--metrics-out", &metrics_out)) return Consume::kOk;
+    if (flag_value(arg, "--sample-every", &sample)) {
+      return parse_number(sample, &sample_every) ? Consume::kOk
+                                                 : Consume::kBadValue;
+    }
+    return Consume::kNotMine;
+  }
+
   static TraceOptions parse(int argc, char** argv) {
     TraceOptions opts;
-    auto value = [](const std::string& arg, const char* flag,
-                    std::string* out) {
-      const std::string prefix = std::string(flag) + "=";
-      if (arg.rfind(prefix, 0) != 0) return false;
-      *out = arg.substr(prefix.size());
-      return true;
-    };
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      std::string sample;
-      if (value(arg, "--trace-out", &opts.chrome_out)) continue;
-      if (value(arg, "--jsonl-out", &opts.jsonl_out)) continue;
-      if (value(arg, "--metrics-out", &opts.metrics_out)) continue;
-      if (value(arg, "--sample-every", &sample)) {
-        opts.sample_every = std::atof(sample.c_str());
-        continue;
+      switch (opts.consume(arg)) {
+        case Consume::kOk: break;
+        case Consume::kBadValue:
+          std::cerr << "bad value ignored: " << arg << "\n";
+          break;
+        case Consume::kNotMine:
+          std::cerr << "unknown argument ignored: " << arg << "\n";
+          break;
       }
-      std::cerr << "unknown argument ignored: " << arg << "\n";
     }
     return opts;
   }
@@ -117,6 +152,54 @@ struct TraceOptions {
         std::cerr << "cannot write " << metrics_out << "\n";
       }
     }
+  }
+};
+
+/// Flags shared by the fault/replication benches: `--seed=N` (experiment
+/// seed) and `--out=PATH` (CSV destination; empty disables the CSV) on top
+/// of the telemetry flags. A malformed or unknown flag lands in `status`
+/// so the binary can exit with one clear line instead of running a sweep
+/// with silently-defaulted inputs.
+struct BenchFlags {
+  std::uint64_t seed = 42;
+  std::string out;
+  TraceOptions trace;
+  Status status;
+
+  static BenchFlags parse(int argc, char** argv, std::uint64_t default_seed,
+                          std::string default_out) {
+    BenchFlags flags;
+    flags.seed = default_seed;
+    flags.out = std::move(default_out);
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      // Fold "--flag value" into "--flag=value" for the flags that take one.
+      if ((arg == "--seed" || arg == "--out") && i + 1 < argc) {
+        arg += std::string("=") + argv[++i];
+      }
+      std::string value;
+      if (flag_value(arg, "--seed", &value)) {
+        if (!parse_number(value, &flags.seed)) {
+          flags.status = Status::failure("bad --seed value: " + value);
+          return flags;
+        }
+        continue;
+      }
+      if (flag_value(arg, "--out", &value)) {
+        flags.out = value;
+        continue;
+      }
+      switch (flags.trace.consume(arg)) {
+        case TraceOptions::Consume::kOk: break;
+        case TraceOptions::Consume::kBadValue:
+          flags.status = Status::failure("bad value for " + arg);
+          return flags;
+        case TraceOptions::Consume::kNotMine:
+          flags.status = Status::failure("unknown argument: " + arg);
+          return flags;
+      }
+    }
+    return flags;
   }
 };
 

@@ -6,8 +6,19 @@
 
 namespace tapesim::catalog {
 
+const char* to_string(ReplicaHealth h) {
+  switch (h) {
+    case ReplicaHealth::kGood: return "good";
+    case ReplicaHealth::kDegraded: return "degraded";
+    case ReplicaHealth::kLost: return "lost";
+  }
+  return "?";
+}
+
 ObjectCatalog::ObjectCatalog(std::uint32_t total_tapes)
-    : by_tape_(total_tapes), used_(total_tapes) {}
+    : by_tape_(total_tapes),
+      used_(total_tapes),
+      health_(total_tapes, ReplicaHealth::kGood) {}
 
 bool ObjectCatalog::insert(const ObjectRecord& record) {
   TAPESIM_ASSERT_MSG(record.object.valid(), "object id must be valid");
@@ -20,6 +31,70 @@ bool ObjectCatalog::insert(const ObjectRecord& record) {
   restore_order(record.tape);
   used_[record.tape.index()] += record.size;
   return true;
+}
+
+bool ObjectCatalog::insert_replica(const ObjectRecord& record) {
+  TAPESIM_ASSERT_MSG(record.object.valid(), "object id must be valid");
+  TAPESIM_ASSERT_MSG(record.tape.valid() &&
+                         record.tape.index() < by_tape_.size(),
+                     "tape id out of range");
+  const ObjectRecord* primary = lookup(record.object);
+  if (primary == nullptr) return false;
+  if (primary->size != record.size) return false;
+  if (primary->tape == record.tape) return false;
+  auto it = replicas_.find(record.object.value());
+  if (it != replicas_.end()) {
+    for (const auto& copy : it->second) {
+      if (copy.tape == record.tape) return false;
+    }
+  }
+  replicas_[record.object.value()].push_back(record);
+  ++replica_total_;
+  by_tape_[record.tape.index()].push_back(
+      TapeExtent{record.object, record.offset, record.size});
+  restore_order(record.tape);
+  used_[record.tape.index()] += record.size;
+  return true;
+}
+
+std::span<const ObjectRecord> ObjectCatalog::replicas(ObjectId id) const {
+  auto it = replicas_.find(id.value());
+  if (it == replicas_.end()) return {};
+  return it->second;
+}
+
+std::size_t ObjectCatalog::copy_count(ObjectId id) const {
+  if (!contains(id)) return 0;
+  return 1 + replicas(id).size();
+}
+
+void ObjectCatalog::set_tape_health(TapeId tape, ReplicaHealth health) {
+  TAPESIM_ASSERT(tape.valid() && tape.index() < health_.size());
+  auto& slot = health_[tape.index()];
+  if (health > slot) slot = health;  // escalate-only
+}
+
+ReplicaHealth ObjectCatalog::tape_health(TapeId tape) const {
+  TAPESIM_ASSERT(tape.valid() && tape.index() < health_.size());
+  return health_[tape.index()];
+}
+
+const ObjectRecord* ObjectCatalog::best_replica(
+    ObjectId id, std::span<const TapeId> exclude) const {
+  const ObjectRecord* best = nullptr;
+  auto excluded = [&](TapeId t) {
+    return std::find(exclude.begin(), exclude.end(), t) != exclude.end();
+  };
+  auto consider = [&](const ObjectRecord& copy) {
+    if (excluded(copy.tape)) return;
+    ReplicaHealth h = tape_health(copy.tape);
+    if (h == ReplicaHealth::kLost) return;
+    // Good beats Degraded; earlier copy (primary first) wins ties.
+    if (best == nullptr || h < tape_health(best->tape)) best = &copy;
+  };
+  if (const ObjectRecord* primary = lookup(id)) consider(*primary);
+  for (const auto& copy : replicas(id)) consider(copy);
+  return best;
 }
 
 void ObjectCatalog::restore_order(TapeId tape) {
@@ -62,14 +137,24 @@ void ObjectCatalog::validate(Bytes tape_capacity) const {
       }
       const ObjectRecord* rec = lookup(e.object);
       TAPESIM_ASSERT_MSG(rec != nullptr, "secondary entry missing primary");
-      TAPESIM_ASSERT(rec->tape == TapeId{t});
-      TAPESIM_ASSERT(rec->offset == e.offset && rec->size == e.size);
+      bool matched = rec->tape == TapeId{t} && rec->offset == e.offset &&
+                     rec->size == e.size;
+      if (!matched) {
+        for (const auto& copy : replicas(e.object)) {
+          if (copy.tape == TapeId{t} && copy.offset == e.offset &&
+              copy.size == e.size) {
+            matched = true;
+            break;
+          }
+        }
+      }
+      TAPESIM_ASSERT_MSG(matched, "extent matches no copy of its object");
       used += e.size;
     }
     TAPESIM_ASSERT_MSG(used == used_[t], "per-tape usage bookkeeping drifted");
     secondary_total += extents.size();
   }
-  TAPESIM_ASSERT_MSG(secondary_total == primary_.size(),
+  TAPESIM_ASSERT_MSG(secondary_total == primary_.size() + replica_total_,
                      "primary/secondary index cardinality mismatch");
   primary_.validate();
 }

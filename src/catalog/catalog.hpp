@@ -6,10 +6,16 @@
 // the corresponding tapes are identified based on the object indexing
 // database"). Primary index: B+-tree on object id. Secondary index: per-
 // tape extent lists, kept sorted by offset for seek-order optimization.
+//
+// Redundancy: an object may carry additional replica records (each on a
+// distinct tape). The catalog also tracks per-tape media health, synced
+// from the fault model's cartridge escalations, so the scheduler and the
+// background repair process can ask for the best surviving copy.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/btree.hpp"
@@ -17,6 +23,17 @@
 #include "util/units.hpp"
 
 namespace tapesim::catalog {
+
+/// Media condition of one tape as the catalog tracks it (mirrors
+/// tape::CartridgeHealth without depending on the tape module): every copy
+/// on the tape shares this health.
+enum class ReplicaHealth : std::uint8_t {
+  kGood,
+  kDegraded,  ///< Elevated error rate; copy at risk but readable.
+  kLost,      ///< Data unrecoverable; copies on this tape do not count.
+};
+
+[[nodiscard]] const char* to_string(ReplicaHealth h);
 
 /// Full location record for one object.
 struct ObjectRecord {
@@ -45,11 +62,37 @@ class ObjectCatalog {
   /// already present (each object is placed exactly once — no striping).
   bool insert(const ObjectRecord& record);
 
+  /// Registers an additional copy of an already-inserted object. The
+  /// primary record must exist, the sizes must agree, and the copy must
+  /// live on a tape distinct from every existing copy. Returns false when
+  /// any precondition fails (nothing is modified).
+  bool insert_replica(const ObjectRecord& record);
+
   /// Primary lookup; nullptr when absent.
   [[nodiscard]] const ObjectRecord* lookup(ObjectId id) const;
   [[nodiscard]] bool contains(ObjectId id) const {
     return lookup(id) != nullptr;
   }
+
+  /// Extra copies of `id` in insertion order (primary excluded); empty when
+  /// the object has none. Invalidated by insert_replica().
+  [[nodiscard]] std::span<const ObjectRecord> replicas(ObjectId id) const;
+  /// Total copies of `id` (primary + replicas); 0 when absent.
+  [[nodiscard]] std::size_t copy_count(ObjectId id) const;
+  [[nodiscard]] bool has_replicas() const { return replica_total_ > 0; }
+  [[nodiscard]] std::size_t replica_count() const { return replica_total_; }
+
+  /// Per-tape media health, synced from fault escalations. Health only
+  /// escalates (Good -> Degraded -> Lost); attempts to improve are ignored.
+  void set_tape_health(TapeId tape, ReplicaHealth health);
+  [[nodiscard]] ReplicaHealth tape_health(TapeId tape) const;
+
+  /// The best surviving copy of `id`: copies on Lost tapes and on tapes in
+  /// `exclude` are skipped, Good health beats Degraded, and the primary
+  /// wins ties (then replica insertion order). nullptr when no copy
+  /// survives. The pointer is invalidated by the next insert of `id`.
+  [[nodiscard]] const ObjectRecord* best_replica(
+      ObjectId id, std::span<const TapeId> exclude = {}) const;
 
   /// All extents on `tape`, sorted by offset. Invalidated by insert().
   [[nodiscard]] std::span<const TapeExtent> extents_on(TapeId tape) const;
@@ -73,6 +116,10 @@ class ObjectCatalog {
   BPlusTree<std::uint32_t, ObjectRecord, 64> primary_;
   std::vector<std::vector<TapeExtent>> by_tape_;
   std::vector<Bytes> used_;
+  /// Extra copies keyed by object id value; absent for unreplicated objects.
+  std::unordered_map<std::uint32_t, std::vector<ObjectRecord>> replicas_;
+  std::size_t replica_total_ = 0;
+  std::vector<ReplicaHealth> health_;  ///< by tape index
 };
 
 }  // namespace tapesim::catalog

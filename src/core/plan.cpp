@@ -22,7 +22,8 @@ PlacementPlan::PlacementPlan(const tape::SystemSpec& spec,
       object_tape_(workload.object_count()),
       layout_(spec.total_tapes()),
       used_(spec.total_tapes()),
-      frozen_(spec.total_tapes(), 0) {}
+      frozen_(spec.total_tapes(), 0),
+      object_replicas_(workload.object_count()) {}
 
 void PlacementPlan::assign(ObjectId object, TapeId tape) {
   TAPESIM_ASSERT(object.valid() && object.index() < object_tape_.size());
@@ -36,6 +37,41 @@ void PlacementPlan::assign(ObjectId object, TapeId tape) {
   object_tape_[object.index()] = tape;
   layout_[tape.index()].push_back(PlacedObject{object, Bytes{0}, size});
   used_[tape.index()] += size;
+}
+
+void PlacementPlan::assign_replica(ObjectId object, TapeId tape) {
+  TAPESIM_ASSERT(object.valid() && object.index() < object_tape_.size());
+  TAPESIM_ASSERT_MSG(object_tape_[object.index()].valid(),
+                     "replica of an unassigned object");
+  TAPESIM_ASSERT(tape.valid() && tape.index() < layout_.size());
+  TAPESIM_ASSERT_MSG(object_tape_[object.index()] != tape,
+                     "replica on the primary's tape");
+  auto& copies = object_replicas_[object.index()];
+  TAPESIM_ASSERT_MSG(
+      std::find(copies.begin(), copies.end(), tape) == copies.end(),
+      "two copies of an object on one tape");
+  const Bytes size = workload_->object_size(object);
+  TAPESIM_ASSERT_MSG(used_[tape.index()] + size <=
+                         spec_->library.tape_capacity,
+                     "tape capacity exceeded");
+  copies.push_back(tape);
+  layout_[tape.index()].push_back(PlacedObject{object, Bytes{0}, size});
+  used_[tape.index()] += size;
+  ++total_replicas_;
+  max_replicas_ = std::max(max_replicas_,
+                           static_cast<std::uint32_t>(copies.size()));
+}
+
+void PlacementPlan::freeze_layout() {
+  TAPESIM_ASSERT_MSG(aligned_, "freeze_layout() requires align_all() first");
+  for (std::uint32_t t = 0; t < layout_.size(); ++t) {
+    frozen_[t] = layout_[t].size();
+  }
+}
+
+std::span<const TapeId> PlacementPlan::replicas_of(ObjectId object) const {
+  TAPESIM_ASSERT(object.valid() && object.index() < object_replicas_.size());
+  return object_replicas_[object.index()];
 }
 
 void PlacementPlan::align_all(Alignment alignment) {
@@ -81,6 +117,9 @@ void PlacementPlan::align_all(Alignment alignment) {
 void PlacementPlan::adopt_frozen(const PlacementPlan& previous) {
   TAPESIM_ASSERT_MSG(previous.aligned_,
                      "can only adopt an aligned (finalized) plan");
+  TAPESIM_ASSERT_MSG(!previous.replicated(),
+                     "incremental placement over a replicated plan is "
+                     "not supported");
   TAPESIM_ASSERT(previous.layout_.size() == layout_.size());
   TAPESIM_ASSERT_MSG(
       previous.workload().object_count() <= workload_->object_count(),
@@ -145,7 +184,12 @@ void PlacementPlan::validate() const {
     Bytes used{};
     for (std::size_t i = 0; i < objects.size(); ++i) {
       const PlacedObject& p = objects[i];
-      TAPESIM_ASSERT(object_tape_[p.object.index()] == TapeId{t});
+      const auto& copies = object_replicas_[p.object.index()];
+      TAPESIM_ASSERT_MSG(
+          object_tape_[p.object.index()] == TapeId{t} ||
+              std::find(copies.begin(), copies.end(), TapeId{t}) !=
+                  copies.end(),
+          "layout entry matches no copy of its object");
       TAPESIM_ASSERT(p.size == workload_->object_size(p.object));
       if (i > 0) {
         TAPESIM_ASSERT_MSG(
@@ -161,7 +205,7 @@ void PlacementPlan::validate() const {
                        "tape over capacity");
     placed += objects.size();
   }
-  TAPESIM_ASSERT(placed == workload_->object_count());
+  TAPESIM_ASSERT(placed == workload_->object_count() + total_replicas_);
 
   // Mount policy sanity.
   std::vector<bool> drive_used(spec_->total_drives(), false);
@@ -196,12 +240,26 @@ catalog::ObjectCatalog PlacementPlan::to_catalog() const {
   TAPESIM_ASSERT_MSG(aligned_, "catalog requires aligned offsets");
   catalog::ObjectCatalog cat(spec_->total_tapes());
   const auto tapes_per_lib = spec_->library.tapes_per_library;
+  // Primaries first (insert_replica requires the primary to exist), then
+  // the extra copies.
   for (std::uint32_t t = 0; t < layout_.size(); ++t) {
     for (const PlacedObject& p : layout_[t]) {
+      if (object_tape_[p.object.index()] != TapeId{t}) continue;
       const bool ok = cat.insert(catalog::ObjectRecord{
           p.object, p.size, LibraryId{t / tapes_per_lib}, TapeId{t},
           p.offset});
       TAPESIM_ASSERT(ok);
+    }
+  }
+  if (total_replicas_ > 0) {
+    for (std::uint32_t t = 0; t < layout_.size(); ++t) {
+      for (const PlacedObject& p : layout_[t]) {
+        if (object_tape_[p.object.index()] == TapeId{t}) continue;
+        const bool ok = cat.insert_replica(catalog::ObjectRecord{
+            p.object, p.size, LibraryId{t / tapes_per_lib}, TapeId{t},
+            p.offset});
+        TAPESIM_ASSERT(ok);
+      }
     }
   }
   return cat;

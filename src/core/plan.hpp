@@ -74,6 +74,16 @@ class PlacementPlan {
   /// the pre-alignment order). Each object may be assigned exactly once.
   void assign(ObjectId object, TapeId tape);
 
+  /// Records an additional copy of an already-assigned object. The copy's
+  /// tape must differ from the primary tape and from every other copy of
+  /// the object. Typically called after freeze_layout() so align_all()
+  /// leaves the primary layout untouched and only lays out the replicas.
+  void assign_replica(ObjectId object, TapeId tape);
+
+  /// Marks the current (aligned) layout of every tape immutable, so later
+  /// assignments — e.g. replicas — are appended behind it by align_all().
+  void freeze_layout();
+
   /// Stage 2: fixes on-tape offsets for every tape per `alignment`. When a
   /// frozen prefix exists (see adopt_frozen), only objects assigned after
   /// the freeze are reordered; they are appended behind the frozen data.
@@ -88,9 +98,17 @@ class PlacementPlan {
   /// Bytes still assignable on `tape` under `cap` (planning headroom).
   [[nodiscard]] Bytes remaining_on(TapeId tape, Bytes cap) const;
 
-  /// The tape holding `object`; invalid id when unassigned.
+  /// The tape holding `object`'s primary copy; invalid id when unassigned.
   [[nodiscard]] TapeId tape_of(ObjectId object) const {
     return object_tape_[object.index()];
+  }
+  /// Tapes holding extra copies of `object` (primary excluded).
+  [[nodiscard]] std::span<const TapeId> replicas_of(ObjectId object) const;
+  /// True when any object carries at least one extra copy.
+  [[nodiscard]] bool replicated() const { return total_replicas_ > 0; }
+  /// 1 + the largest per-object replica count (1 when unreplicated).
+  [[nodiscard]] std::uint32_t replication_factor() const {
+    return 1 + max_replicas_;
   }
   /// Placed objects on `tape`, sorted by offset (valid after align_all).
   [[nodiscard]] std::span<const PlacedObject> on_tape(TapeId tape) const;
@@ -124,6 +142,9 @@ class PlacementPlan {
   std::vector<std::vector<PlacedObject>> layout_;  ///< by tape index
   std::vector<Bytes> used_;                        ///< by tape index
   std::vector<std::size_t> frozen_;                ///< immutable prefix len
+  std::vector<std::vector<TapeId>> object_replicas_;  ///< by object index
+  std::size_t total_replicas_ = 0;
+  std::uint32_t max_replicas_ = 0;
   bool aligned_ = false;
 };
 

@@ -1,0 +1,113 @@
+#include "core/replication.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace tapesim::core {
+
+ReplicationPolicy::ReplicationPolicy(const PlacementScheme& inner,
+                                     Params params)
+    : inner_(&inner), params_(params) {
+  TAPESIM_ASSERT_MSG(params_.replicas >= 1, "replicas counts total copies");
+  TAPESIM_ASSERT_MSG(params_.capacity_utilization > 0.0 &&
+                         params_.capacity_utilization <= 1.0,
+                     "capacity_utilization must be in (0, 1]");
+}
+
+std::string ReplicationPolicy::name() const {
+  if (params_.replicas <= 1) return inner_->name();
+  return inner_->name() + "+r" + std::to_string(params_.replicas);
+}
+
+PlacementPlan ReplicationPolicy::place(const PlacementContext& context) const {
+  PlacementPlan plan = inner_->place(context);
+  if (params_.replicas <= 1) return plan;  // pass-through: bit-identical
+
+  const tape::SystemSpec& spec = *context.spec;
+  const std::uint32_t tapes_per_lib = spec.library.tapes_per_library;
+  const std::uint32_t num_libs = spec.num_libraries;
+  const Bytes cap = spec.library.tape_capacity;
+  const auto budget = Bytes{static_cast<Bytes::value_type>(
+      std::floor(cap.as_double() * params_.capacity_utilization))};
+
+  plan.freeze_layout();
+
+  // Replica copies go on fresh tapes — tapes the primary layout left
+  // empty — so the wrapped scheme's layout and mount policy stay intact.
+  std::vector<std::vector<TapeId>> fresh(num_libs);
+  for (std::uint32_t t = 0; t < spec.total_tapes(); ++t) {
+    if (plan.used_on(TapeId{t}) == Bytes{0}) {
+      fresh[t / tapes_per_lib].push_back(TapeId{t});
+    }
+  }
+
+  auto lib_of = [&](TapeId t) { return t.value() / tapes_per_lib; };
+
+  auto holds_copy = [&](ObjectId o, TapeId t) {
+    if (plan.tape_of(o) == t) return true;
+    for (const TapeId r : plan.replicas_of(o)) {
+      if (r == t) return true;
+    }
+    return false;
+  };
+  auto lib_holds_copy = [&](ObjectId o, std::uint32_t lib) {
+    if (lib_of(plan.tape_of(o)) == lib) return true;
+    for (const TapeId r : plan.replicas_of(o)) {
+      if (lib_of(r) == lib) return true;
+    }
+    return false;
+  };
+
+  // First fresh tape in `lib` with room for `o` that doesn't already hold a
+  // copy; invalid id when none fits.
+  auto find_in_lib = [&](ObjectId o, Bytes size, std::uint32_t lib) {
+    const Bytes limit = size > budget ? cap : budget;
+    for (const TapeId t : fresh[lib]) {
+      if (holds_copy(o, t)) continue;
+      if (plan.used_on(t) + size <= limit) return t;
+    }
+    return TapeId{};
+  };
+
+  const workload::Workload& workload = *context.workload;
+  for (std::uint32_t round = 1; round < params_.replicas; ++round) {
+    // Walk primary tapes in order so each replica round mirrors the
+    // primary layout deterministically.
+    for (std::uint32_t pt = 0; pt < spec.total_tapes(); ++pt) {
+      for (const PlacedObject& p : plan.on_tape(TapeId{pt})) {
+        if (plan.tape_of(p.object) != TapeId{pt}) continue;  // replica entry
+        const Bytes size = workload.object_size(p.object);
+        TapeId target{};
+        // Pass 1: library anti-affinity — rotate through libraries that
+        // hold no copy yet, starting at a round-dependent offset so copies
+        // spread instead of piling on one library.
+        const std::uint32_t base = (lib_of(TapeId{pt}) + round) % num_libs;
+        for (std::uint32_t i = 0; i < num_libs && !target.valid(); ++i) {
+          const std::uint32_t lib = (base + i) % num_libs;
+          if (lib_holds_copy(p.object, lib)) continue;
+          target = find_in_lib(p.object, size, lib);
+        }
+        // Pass 2: relax the library rule (tape anti-affinity stays hard).
+        for (std::uint32_t i = 0; i < num_libs && !target.valid(); ++i) {
+          target = find_in_lib(p.object, size, (base + i) % num_libs);
+        }
+        if (!target.valid()) {
+          throw std::runtime_error(
+              "ReplicationPolicy: no tape can hold a copy of object " +
+              std::to_string(p.object.value()) + " (replication factor " +
+              std::to_string(params_.replicas) + " exceeds free capacity)");
+        }
+        plan.assign_replica(p.object, target);
+      }
+    }
+  }
+
+  plan.align_all(params_.alignment);
+  plan.compute_tape_popularity();
+  plan.validate();
+  return plan;
+}
+
+}  // namespace tapesim::core

@@ -1,0 +1,44 @@
+// Replica-aware placement: wraps any PlacementScheme and places r copies.
+//
+// The wrapped scheme produces the primary layout untouched; this policy
+// then freezes it and appends r-1 extra copies of every object on fresh
+// tapes (tapes the primaries left empty), with two anti-affinity rules:
+// no two copies of an object on one tape (hard), and copies spread across
+// libraries (best effort — relaxed only when a library-disjoint layout
+// cannot fit). With replicas = 1 the wrapper is a pass-through and the
+// plan is bit-identical to the wrapped scheme's.
+#pragma once
+
+#include "core/scheme.hpp"
+
+namespace tapesim::core {
+
+class ReplicationPolicy final : public PlacementScheme {
+ public:
+  struct Params {
+    /// Total copies per object (1 = no redundancy, pass-through).
+    std::uint32_t replicas = 2;
+    /// On-tape ordering applied to the replica layout.
+    Alignment alignment = Alignment::kOrganPipe;
+    /// Fraction of each replica tape's capacity the packer may fill,
+    /// leaving headroom for background repair copies.
+    double capacity_utilization = 0.9;
+  };
+
+  /// `inner` must outlive the policy (non-owning).
+  ReplicationPolicy(const PlacementScheme& inner, Params params);
+
+  [[nodiscard]] std::string name() const override;
+
+  /// Runs the wrapped scheme, then lays out the replicas. Throws
+  /// std::runtime_error when the system lacks fresh-tape capacity for the
+  /// requested replication factor.
+  [[nodiscard]] PlacementPlan place(
+      const PlacementContext& context) const override;
+
+ private:
+  const PlacementScheme* inner_;
+  Params params_;
+};
+
+}  // namespace tapesim::core

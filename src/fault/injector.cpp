@@ -149,6 +149,8 @@ tape::CartridgeHealth FaultInjector::record_media_error(TapeId t) {
   TAPESIM_ASSERT(t.valid() && t.index() < media_error_counts_.size());
   ++counters_.media_errors;
   const std::uint32_t count = ++media_error_counts_[t.index()];
+  if (count == config_.lost_after) ++counters_.lost_cartridges;
+  if (count == config_.degraded_after) ++counters_.degraded_cartridges;
   if (count >= config_.lost_after) return tape::CartridgeHealth::kLost;
   if (count >= config_.degraded_after) return tape::CartridgeHealth::kDegraded;
   return tape::CartridgeHealth::kGood;

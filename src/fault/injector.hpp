@@ -39,6 +39,8 @@ struct FaultCounters {
   std::uint64_t mount_failures = 0;
   std::uint64_t media_errors = 0;
   std::uint64_t robot_jams = 0;
+  std::uint64_t degraded_cartridges = 0;  ///< Good -> Degraded escalations.
+  std::uint64_t lost_cartridges = 0;      ///< -> Lost escalations.
 };
 
 class FaultInjector {

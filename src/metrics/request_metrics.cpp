@@ -31,6 +31,8 @@ void ExperimentMetrics::add(const RequestOutcome& outcome) {
   failovers_ += outcome.failovers;
   mount_retries_ += outcome.mount_retries;
   media_retries_ += outcome.media_retries;
+  served_from_replica_ += outcome.served_from_replica;
+  repaired_ += outcome.repaired;
 }
 
 double ExperimentMetrics::fraction_unavailable() const {

@@ -48,6 +48,10 @@ struct RequestOutcome {
   std::uint32_t failovers = 0;      ///< Mid-transfer drive failovers.
   std::uint32_t mount_retries = 0;  ///< Failed load attempts retried.
   std::uint32_t media_retries = 0;  ///< Read errors retried.
+  /// Extents delivered from a non-primary copy (requires replication).
+  std::uint32_t served_from_replica = 0;
+  /// Background repair copies completed while this request was in flight.
+  std::uint32_t repaired = 0;
 
   [[nodiscard]] Bytes bytes_served() const {
     return bytes - bytes_unavailable;
@@ -107,6 +111,10 @@ class ExperimentMetrics {
   [[nodiscard]] std::uint64_t total_media_retries() const {
     return media_retries_;
   }
+  [[nodiscard]] std::uint64_t total_served_from_replica() const {
+    return served_from_replica_;
+  }
+  [[nodiscard]] std::uint64_t total_repaired() const { return repaired_; }
 
  private:
   SampleSet response_;
@@ -124,6 +132,8 @@ class ExperimentMetrics {
   std::uint64_t failovers_ = 0;
   std::uint64_t mount_retries_ = 0;
   std::uint64_t media_retries_ = 0;
+  std::uint64_t served_from_replica_ = 0;
+  std::uint64_t repaired_ = 0;
 };
 
 }  // namespace tapesim::metrics

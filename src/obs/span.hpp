@@ -20,6 +20,7 @@ enum class Track : std::uint8_t {
   kDrive = 2,    ///< One lane per drive (tid = global drive id).
   kRobot = 3,    ///< One lane per library robot (tid = library id).
   kEngine = 4,   ///< Kernel counters and narration.
+  kRepair = 5,   ///< Background re-replication jobs (tid = object id).
 };
 
 enum class Phase : std::uint8_t {
@@ -33,6 +34,7 @@ enum class Phase : std::uint8_t {
   kRewind,
   kFault,    ///< Device offline: drive failure span, robot jam span.
   kRequest,  ///< Whole-request span: arrival/submit to last byte landed.
+  kRepair,   ///< One re-replication job: first read activity to catalog add.
   kMarker,   ///< Zero-duration annotation (narration, state change).
 };
 

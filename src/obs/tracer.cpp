@@ -18,6 +18,7 @@ const char* to_string(Track t) {
     case Track::kDrive: return "drive";
     case Track::kRobot: return "robot";
     case Track::kEngine: return "engine";
+    case Track::kRepair: return "repair";
   }
   return "?";
 }
@@ -34,6 +35,7 @@ const char* to_string(Phase p) {
     case Phase::kRewind: return "rewind";
     case Phase::kFault: return "fault";
     case Phase::kRequest: return "request";
+    case Phase::kRepair: return "repair";
     case Phase::kMarker: return "marker";
   }
   return "?";

@@ -1,0 +1,16 @@
+#include "sched/repair.hpp"
+
+namespace tapesim::sched {
+
+Status RepairConfig::try_validate() const {
+  StatusBuilder check("RepairConfig");
+  if (enabled) {
+    check.require(bandwidth_fraction > 0.0 && bandwidth_fraction <= 1.0,
+                  "bandwidth fraction must be in (0, 1]");
+    check.require(max_concurrent > 0,
+                  "need at least one concurrent repair slot");
+  }
+  return check.take();
+}
+
+}  // namespace tapesim::sched

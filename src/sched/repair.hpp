@@ -1,0 +1,58 @@
+// Background re-replication: config, job state, and running totals.
+//
+// When a cartridge degrades or is lost, every object with a copy on it may
+// fall below the target replication factor. The scheduler enqueues one
+// repair job per missing copy; idle drives pick jobs up strictly after
+// foreground demand, read the best surviving copy to the staging disk, and
+// write a fresh copy onto a healthy tape in another library. The bandwidth
+// cap is a duty cycle: transfers run at native drive rate (so the paper's
+// time accounting is untouched) and the drive then idles long enough that
+// its average repair rate is `bandwidth_fraction` of the native rate.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::sched {
+
+struct RepairConfig {
+  /// Master switch; repair also requires a replicated catalog and an
+  /// enabled fault model (without faults nothing ever degrades).
+  bool enabled = false;
+  /// Average fraction of a drive's native transfer rate a repair job may
+  /// consume, implemented as idle pacing after each full-rate transfer.
+  double bandwidth_fraction = 0.25;
+  /// Repair jobs holding drives simultaneously (across all libraries).
+  std::uint32_t max_concurrent = 1;
+
+  [[nodiscard]] Status try_validate() const;
+};
+
+/// One pending or in-flight re-replication: copy `object` onto a fresh
+/// tape. Runs in two drive occupancies — read the source copy to the
+/// staging disk, then write from disk onto the target (usually in another
+/// library, so a different drive).
+struct RepairJob {
+  ObjectId object;
+  Bytes size{};
+  TapeId source{};        ///< Copy being read; picked at read start.
+  Bytes source_offset{};
+  TapeId target{};        ///< Tape being written; picked at write start.
+  Bytes write_offset{};
+  Seconds started{};      ///< First drive activity (spans the repair lane).
+  bool has_started = false;
+  bool read_done = false;  ///< Data staged on disk; write half remains.
+  std::uint32_t attempts = 0;
+};
+
+struct RepairStats {
+  std::uint64_t jobs_scheduled = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_abandoned = 0;  ///< No surviving source, or gave up.
+  std::uint64_t bytes_copied = 0;
+};
+
+}  // namespace tapesim::sched

@@ -13,11 +13,25 @@ namespace tapesim::sched {
 
 namespace {
 constexpr Seconds kNever{std::numeric_limits<double>::infinity()};
+/// A repair job that keeps failing (drive deaths, mount failures, media
+/// errors on its sources) is abandoned after this many restarts.
+constexpr std::uint32_t kMaxRepairAttempts = 3;
+
+catalog::ReplicaHealth to_replica_health(tape::CartridgeHealth h) {
+  switch (h) {
+    case tape::CartridgeHealth::kGood: return catalog::ReplicaHealth::kGood;
+    case tape::CartridgeHealth::kDegraded:
+      return catalog::ReplicaHealth::kDegraded;
+    case tape::CartridgeHealth::kLost: return catalog::ReplicaHealth::kLost;
+  }
+  return catalog::ReplicaHealth::kGood;
+}
 }  // namespace
 
 Status SimulatorConfig::try_validate() const {
   StatusBuilder check("SimulatorConfig");
   check.merge(faults.try_validate());
+  check.merge(repair.try_validate());
   return check.take();
 }
 
@@ -40,6 +54,8 @@ RetrievalSimulator::RetrievalSimulator(const core::PlacementPlan& plan,
   ctx_.resize(plan.spec().total_drives());
   lib_queue_.resize(plan.spec().num_libraries);
   watch_pending_.assign(plan.spec().num_libraries, false);
+  replicated_ = catalog_.has_replicas();
+  target_copies_ = plan.replication_factor();
   if (config_.faults.enabled()) {
     fault_ = std::make_unique<fault::FaultInjector>(config_.faults,
                                                     plan.spec());
@@ -215,6 +231,31 @@ void RetrievalSimulator::on_drive_failure(DriveId d) {
   ctx.mount_retries = 0;
   ctx.busy = false;
 
+  // A repair job loses its drive: requeue it (staged data survives on
+  // disk) or abandon it if it keeps drawing failures.
+  if (ctx.repair.has_value()) {
+    RepairJob job = std::move(*ctx.repair);
+    ctx.repair.reset();
+    --active_repairs_;
+    const TapeId claimed = job.read_done ? job.target : job.source;
+    if (job.target.valid()) {
+      repair_writing_.erase(job.target.value());
+      job.target = TapeId{};
+    }
+    if (!job.read_done) job.source = TapeId{};
+    ++job.attempts;
+    if (job.attempts >= kMaxRepairAttempts) {
+      abandon_repair(std::move(job));
+    } else {
+      repair_queue_.push_back(std::move(job));
+      engine_.schedule_in(Seconds{0.0}, [this]() { pump_repairs(); });
+    }
+    // The claimed tape may be foreground demand that skipped the queue
+    // while the repair held it (unless it is stuck in this very drive —
+    // recover_cartridge requeues it after extraction).
+    requeue_if_needed(claimed);
+  }
+
   // A needed cartridge stuck in the failed drive must be extracted by the
   // robot before anyone else can serve it.
   if (stuck.valid() && needed_.count(stuck.value()) != 0) {
@@ -272,8 +313,9 @@ void RetrievalSimulator::extent_unavailable(
 
 void RetrievalSimulator::complete_tape_unavailable(TapeId tp) {
   if (const auto it = needed_.find(tp.value()); it != needed_.end()) {
-    for (const catalog::TapeExtent& e : it->second) extent_unavailable(e);
+    const std::vector<catalog::TapeExtent> extents = std::move(it->second);
     needed_.erase(it);
+    for (const catalog::TapeExtent& e : extents) fail_extent(tp, e);
   }
   auto& queue = lib_queue_[system_.library_of_tape(tp).index()];
   const auto pos = std::find(queue.begin(), queue.end(), tp);
@@ -352,6 +394,11 @@ Seconds RetrievalSimulator::robot_move_delay(tape::TapeLibrary& lib,
 }
 
 void RetrievalSimulator::serve_mounted(DriveId d) {
+  if (ctx_[d.index()].repair.has_value()) {
+    // Mid-repair drives are active between requests; the foreground gets
+    // the drive back (and this tape served) when the job releases it.
+    return;
+  }
   if (fault_ != nullptr && !drive_available(d)) {
     // The holder is down; rescue its cartridge so another drive can take
     // over (no-op if the robot is already on its way).
@@ -389,6 +436,15 @@ void RetrievalSimulator::serve_step(DriveId d) {
   if (chain.index >= chain.extents.size()) {
     chain = ServeChain{};
     ctx_[d.index()].busy = false;
+    if (replicated_) {
+      // A failover may have routed more extents onto this drive's mounted
+      // tape while the chain was running; serve them before switching.
+      const tape::TapeDrive& drive = system_.drive(d);
+      if (!drive.empty() && needed_.count(drive.mounted().value()) != 0) {
+        serve_mounted(d);
+        return;
+      }
+    }
     next_action(d);
     return;
   }
@@ -476,6 +532,7 @@ void RetrievalSimulator::on_media_error(DriveId d) {
   const tape::CartridgeHealth health = fault_->record_media_error(tp);
   if (health != system_.cartridge_health(tp)) {
     system_.set_cartridge_health(tp, health);
+    if (replicated_) on_cartridge_health_change(tp, health);
   }
   if (config_.tracer != nullptr) {
     config_.tracer->marker(obs::Track::kDrive, d.value(),
@@ -484,22 +541,25 @@ void RetrievalSimulator::on_media_error(DriveId d) {
   }
   if (health == tape::CartridgeHealth::kLost) {
     // The cartridge is gone: everything still expected from it — the
-    // interrupted extent, the chain tail, any requeued leftovers — is
-    // unavailable.
-    for (std::size_t i = chain.index; i < chain.extents.size(); ++i) {
-      extent_unavailable(chain.extents[i]);
-    }
+    // interrupted extent, the chain tail, any requeued leftovers — fails
+    // over to surviving replicas, or completes as unavailable.
+    const std::vector<catalog::TapeExtent> tail(
+        chain.extents.begin() + static_cast<std::ptrdiff_t>(chain.index),
+        chain.extents.end());
     chain = ServeChain{};
     ctx.busy = false;
+    for (const catalog::TapeExtent& e : tail) fail_extent(tp, e);
     complete_tape_unavailable(tp);
     next_action(d);
     return;
   }
   if (chain.retries >= config_.faults.media_retry.max_retries) {
-    // This extent keeps failing; skip it, keep the rest of the chain.
-    extent_unavailable(chain.extents[chain.index]);
+    // This extent keeps failing on this copy; fail it over (or complete it
+    // as unavailable) and keep serving the rest of the chain.
+    const catalog::TapeExtent failed = chain.extents[chain.index];
     ++chain.index;
     chain.retries = 0;
+    fail_extent(tp, failed);
     serve_step(d);
     return;
   }
@@ -512,7 +572,17 @@ void RetrievalSimulator::on_media_error(DriveId d) {
 void RetrievalSimulator::extent_done(DriveId d) {
   TAPESIM_ASSERT(remaining_extents_ > 0);
   --remaining_extents_;
+  if (replicated_) {
+    const ServeChain& chain = chain_[d.index()];
+    const catalog::TapeExtent& e = chain.extents[chain.index];
+    const catalog::ObjectRecord* rec = catalog_.lookup(e.object);
+    if (rec->tape != system_.drive(d).mounted()) {
+      ++served_from_replica_this_request_;
+    }
+  }
   drive_req_[d.index()].finish = engine_.now();
+  drive_req_[d.index()].seek_done = drive_req_[d.index()].seek;
+  drive_req_[d.index()].transfer_done = drive_req_[d.index()].transfer;
   if (engine_.now() > last_transfer_end_ ||
       (engine_.now() == last_transfer_end_ && !last_finisher_.valid())) {
     last_transfer_end_ = engine_.now();
@@ -528,7 +598,12 @@ void RetrievalSimulator::next_action(DriveId d) {
   }
   const LibraryId lib = system_.library_of_drive(d);
   auto& queue = lib_queue_[lib.index()];
-  if (queue.empty()) return;
+  if (queue.empty()) {
+    // No foreground demand for this library: the drive may lend itself to
+    // background repair (no-op unless repair is active and has work).
+    maybe_start_repair(d);
+    return;
+  }
   const TapeId target = queue.front();
   queue.pop_front();
   if (config_.tracer != nullptr) {
@@ -597,6 +672,10 @@ void RetrievalSimulator::begin_switch(DriveId d, TapeId target) {
       schedule_activity(d, unload, [this, d, do_moves]() {
         const TapeId old = system_.drive(d).finish_unload();
         system_.note_unmounted(old);
+        // A failover may have demanded the evicted tape after this switch
+        // committed; hand it back to the queue now that it is out of the
+        // drive (no-op unless it is needed and unclaimed).
+        requeue_if_needed(old);
         do_moves();
       });
     });
@@ -702,6 +781,686 @@ void RetrievalSimulator::on_mount_failure(DriveId d, TapeId target) {
   }
 }
 
+// --- replica failover ---------------------------------------------------
+
+void RetrievalSimulator::fail_extent(TapeId on,
+                                     const catalog::TapeExtent& extent) {
+  if (replicated_) {
+    auto& tried = tried_[extent.object.value()];
+    if (std::find(tried.begin(), tried.end(), on) == tried.end()) {
+      tried.push_back(on);
+    }
+    if (const catalog::ObjectRecord* alt =
+            catalog_.best_replica(extent.object, tried)) {
+      route_extent(*alt);
+      return;
+    }
+  }
+  extent_unavailable(extent);
+}
+
+void RetrievalSimulator::route_extent(const catalog::ObjectRecord& alt) {
+  const TapeId tp = alt.tape;
+  const bool was_needed = needed_.count(tp.value()) != 0;
+  needed_[tp.value()].push_back(
+      catalog::TapeExtent{alt.object, alt.offset, alt.size});
+  if (was_needed) return;  // a drive already owns (or is queued for) it
+  if (const auto holder = system_.drive_holding(tp)) {
+    const DriveId d = *holder;
+    if (system_.drive(d).failed()) {
+      recover_cartridge(d);
+      return;
+    }
+    if (!ctx_[d.index()].busy) {
+      engine_.schedule_in(Seconds{0.0}, [this, d]() {
+        if (ctx_[d.index()].busy) return;
+        const tape::TapeDrive& dr = system_.drive(d);
+        if (dr.failed() || dr.empty()) return;
+        if (needed_.count(dr.mounted().value()) != 0) serve_mounted(d);
+      });
+    }
+    // Busy holder: serve_step's chain-end check picks the extent up.
+    return;
+  }
+  // A mount of this tape may already be en route (complete_tape_unavailable
+  // drops demand, not in-flight switches); queueing it again would mount
+  // the cartridge twice.
+  for (const DriveCtx& c : ctx_) {
+    if (c.switch_target == tp) return;
+  }
+  if (repair_claimed(tp)) return;  // served when the repair releases it
+  const LibraryId lib = system_.library_of_tape(tp);
+  lib_queue_[lib.index()].push_front(tp);  // failover priority
+  engine_.schedule_in(Seconds{0.0}, [this, lib]() {
+    kick_idle_drives(lib);
+    ensure_progress(lib);
+  });
+}
+
+void RetrievalSimulator::on_cartridge_health_change(
+    TapeId tp, tape::CartridgeHealth health) {
+  catalog_.set_tape_health(tp, to_replica_health(health));
+  if (config_.repair.enabled) schedule_repairs_for(tp);
+}
+
+// --- background repair --------------------------------------------------
+
+void RetrievalSimulator::schedule_repairs_for(TapeId tp) {
+  if (!repair_active()) return;
+  // Every object with a copy on the degraded/lost tape may now be below
+  // the target replication factor.
+  for (const catalog::TapeExtent& e : catalog_.extents_on(tp)) {
+    std::uint32_t good = 0;
+    auto count = [&](const catalog::ObjectRecord& copy) {
+      if (catalog_.tape_health(copy.tape) == catalog::ReplicaHealth::kGood) {
+        ++good;
+      }
+    };
+    if (const catalog::ObjectRecord* primary = catalog_.lookup(e.object)) {
+      count(*primary);
+    }
+    for (const catalog::ObjectRecord& copy : catalog_.replicas(e.object)) {
+      count(copy);
+    }
+    std::uint32_t pending = 0;
+    if (const auto it = repair_pending_.find(e.object.value());
+        it != repair_pending_.end()) {
+      pending = it->second;
+    }
+    if (good + pending >= target_copies_) continue;
+    const std::uint32_t deficit = target_copies_ - good - pending;
+    for (std::uint32_t i = 0; i < deficit; ++i) {
+      RepairJob job;
+      job.object = e.object;
+      job.size = e.size;
+      repair_queue_.push_back(job);
+      ++repair_pending_[e.object.value()];
+      ++repair_stats_.jobs_scheduled;
+    }
+  }
+  engine_.schedule_in(Seconds{0.0}, [this]() { pump_repairs(); });
+}
+
+void RetrievalSimulator::pump_repairs() {
+  if (!repair_active() || repair_queue_.empty()) return;
+  const std::uint32_t total = plan_->spec().total_drives();
+  for (std::uint32_t dv = 0; dv < total; ++dv) {
+    if (repair_queue_.empty() ||
+        active_repairs_ >= config_.repair.max_concurrent) {
+      return;
+    }
+    maybe_start_repair(DriveId{dv});
+  }
+}
+
+bool RetrievalSimulator::repair_claimed(TapeId tp) const {
+  for (const DriveCtx& c : ctx_) {
+    if (!c.repair.has_value()) continue;
+    // Only the tape of the job's active phase is claimed; the read source
+    // of a write-phase job is free again.
+    const TapeId using_tp = c.repair->read_done ? c.repair->target
+                                                : c.repair->source;
+    if (using_tp == tp) return true;
+  }
+  return false;
+}
+
+void RetrievalSimulator::requeue_if_needed(TapeId tp) {
+  if (!tp.valid() || needed_.count(tp.value()) == 0) return;
+  if (system_.drive_holding(tp).has_value()) return;
+  for (const DriveCtx& c : ctx_) {
+    if (c.switch_target == tp) return;
+  }
+  if (repair_claimed(tp)) return;
+  const LibraryId lib = system_.library_of_tape(tp);
+  auto& queue = lib_queue_[lib.index()];
+  if (std::find(queue.begin(), queue.end(), tp) != queue.end()) return;
+  queue.push_front(tp);
+  engine_.schedule_in(Seconds{0.0}, [this, lib]() {
+    kick_idle_drives(lib);
+    ensure_progress(lib);
+  });
+}
+
+bool RetrievalSimulator::tape_claimed(TapeId tp, DriveId self) const {
+  for (std::uint32_t i = 0; i < ctx_.size(); ++i) {
+    if (DriveId{i} == self) continue;
+    const DriveCtx& c = ctx_[i];
+    if (c.switch_target == tp) return true;
+    if (c.repair.has_value() &&
+        (c.repair->source == tp || c.repair->target == tp)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const catalog::ObjectRecord* RetrievalSimulator::pick_repair_source(
+    DriveId d, const RepairJob& job) const {
+  const LibraryId lib = system_.library_of_drive(d);
+  const catalog::ObjectRecord* best = nullptr;
+  int best_rank = 100;
+  auto consider = [&](const catalog::ObjectRecord& copy) {
+    if (system_.library_of_tape(copy.tape) != lib) return;
+    const catalog::ReplicaHealth h = catalog_.tape_health(copy.tape);
+    if (h == catalog::ReplicaHealth::kLost) return;
+    const auto holder = system_.drive_holding(copy.tape);
+    if (holder.has_value() && *holder != d) return;  // mounted elsewhere
+    if (tape_claimed(copy.tape, d)) return;
+    if (needed_.count(copy.tape.value()) != 0) return;  // foreground owns it
+    // Good media beats degraded; already mounted on this drive beats a
+    // switch.
+    int rank = h == catalog::ReplicaHealth::kGood ? 0 : 2;
+    if (!(holder.has_value() && *holder == d)) rank += 1;
+    if (rank < best_rank) {
+      best_rank = rank;
+      best = &copy;
+    }
+  };
+  if (const catalog::ObjectRecord* primary = catalog_.lookup(job.object)) {
+    consider(*primary);
+  }
+  for (const catalog::ObjectRecord& copy : catalog_.replicas(job.object)) {
+    consider(copy);
+  }
+  return best;
+}
+
+TapeId RetrievalSimulator::pick_repair_target(DriveId d,
+                                              const RepairJob& job) const {
+  const LibraryId lib = system_.library_of_drive(d);
+  const std::uint32_t num_libs = plan_->spec().num_libraries;
+  // Library anti-affinity: prefer a library holding no live copy; writing
+  // into a copy-holding library is allowed only once every library holds
+  // one (r > #libraries).
+  std::vector<bool> lib_has_copy(num_libs, false);
+  auto mark = [&](const catalog::ObjectRecord& copy) {
+    if (catalog_.tape_health(copy.tape) == catalog::ReplicaHealth::kLost) {
+      return;
+    }
+    lib_has_copy[system_.library_of_tape(copy.tape).index()] = true;
+  };
+  if (const catalog::ObjectRecord* primary = catalog_.lookup(job.object)) {
+    mark(*primary);
+  }
+  for (const catalog::ObjectRecord& copy : catalog_.replicas(job.object)) {
+    mark(copy);
+  }
+  const bool all_covered =
+      std::all_of(lib_has_copy.begin(), lib_has_copy.end(),
+                  [](bool b) { return b; });
+  if (lib_has_copy[lib.index()] && !all_covered) return TapeId{};
+
+  auto holds_copy = [&](TapeId t) {
+    if (const catalog::ObjectRecord* primary = catalog_.lookup(job.object);
+        primary != nullptr && primary->tape == t) {
+      return true;
+    }
+    for (const catalog::ObjectRecord& copy : catalog_.replicas(job.object)) {
+      if (copy.tape == t) return true;
+    }
+    return false;
+  };
+  auto eligible = [&](TapeId t) {
+    if (catalog_.tape_health(t) != catalog::ReplicaHealth::kGood) {
+      return false;
+    }
+    if (repair_writing_.count(t.value()) != 0) return false;
+    if (needed_.count(t.value()) != 0) return false;  // foreground demand
+    if (holds_copy(t)) return false;
+    if (catalog_.used_on(t) + job.size >
+        plan_->spec().library.tape_capacity) {
+      return false;
+    }
+    const auto holder = system_.drive_holding(t);
+    if (holder.has_value() && *holder != d) return false;
+    if (tape_claimed(t, d)) return false;
+    return true;
+  };
+  // The tape already in the drive avoids a whole switch.
+  const tape::TapeDrive& drive = system_.drive(d);
+  if (!drive.empty() && system_.library_of_tape(drive.mounted()) == lib &&
+      eligible(drive.mounted())) {
+    return drive.mounted();
+  }
+  const std::uint32_t per_lib = plan_->spec().library.tapes_per_library;
+  for (std::uint32_t i = 0; i < per_lib; ++i) {
+    const TapeId t{lib.value() * per_lib + i};
+    if (eligible(t)) return t;
+  }
+  return TapeId{};
+}
+
+void RetrievalSimulator::maybe_start_repair(DriveId d) {
+  if (!repair_active() || repair_queue_.empty()) return;
+  if (active_repairs_ >= config_.repair.max_concurrent) return;
+  if (!switch_eligible(d)) return;
+  DriveCtx& ctx = ctx_[d.index()];
+  if (ctx.busy || ctx.recovery_pending) return;
+  if (!drive_available(d)) return;
+  const tape::TapeDrive& drive = system_.drive(d);
+  if (!(drive.idle() || drive.empty())) return;
+  if (!drive.empty() && needed_.count(drive.mounted().value()) != 0) return;
+  if (!lib_queue_[system_.library_of_drive(d).index()].empty()) return;
+  for (auto it = repair_queue_.begin(); it != repair_queue_.end();) {
+    if (!it->read_done && catalog_.best_replica(it->object) == nullptr) {
+      // Every copy is lost; the object cannot be re-replicated.
+      RepairJob dead = std::move(*it);
+      it = repair_queue_.erase(it);
+      abandon_repair(std::move(dead));
+      continue;
+    }
+    if (it->read_done) {
+      const TapeId target = pick_repair_target(d, *it);
+      if (target.valid()) {
+        RepairJob job = std::move(*it);
+        repair_queue_.erase(it);
+        job.target = target;
+        job.write_offset = catalog_.used_on(target);
+        repair_writing_.insert(target.value());
+        start_repair(d, std::move(job));
+        return;
+      }
+    } else {
+      if (const catalog::ObjectRecord* src = pick_repair_source(d, *it)) {
+        RepairJob job = std::move(*it);
+        repair_queue_.erase(it);
+        job.source = src->tape;
+        job.source_offset = src->offset;
+        start_repair(d, std::move(job));
+        return;
+      }
+    }
+    ++it;
+  }
+}
+
+void RetrievalSimulator::start_repair(DriveId d, RepairJob job) {
+  DriveCtx& ctx = ctx_[d.index()];
+  ctx.busy = true;
+  if (!job.has_started) {
+    job.has_started = true;
+    job.started = engine_.now();
+  }
+  const bool writing = job.read_done;
+  const TapeId tp = writing ? job.target : job.source;
+  ctx.repair = std::move(job);
+  ++active_repairs_;
+  const tape::TapeDrive& drive = system_.drive(d);
+  if (!drive.empty() && drive.mounted() == tp) {
+    if (writing) {
+      repair_write_locate(d);
+    } else {
+      repair_read(d);
+    }
+    return;
+  }
+  repair_mount(d, tp, [this, d, writing]() {
+    if (writing) {
+      repair_write_locate(d);
+    } else {
+      repair_read(d);
+    }
+  });
+}
+
+void RetrievalSimulator::repair_mount(DriveId d, TapeId target,
+                                      std::function<void()> then) {
+  tape::TapeDrive& drive = system_.drive(d);
+  tape::TapeLibrary& lib = system_.library(system_.library_of_drive(d));
+  // Same physics as begin_switch — rewind, robot exchange, load — but no
+  // request-side accounting: repair traffic is not a tape switch of any
+  // request and draws no queue-wait spans.
+  auto exchange = [this, d, &lib, target, then](bool had_tape) {
+    lib.robot().acquire([this, d, &lib, target, had_tape, then]() {
+      ctx_[d.index()].robot_held = true;
+      if (fault_ != nullptr && !fault_->drive_online(d, engine_.now())) {
+        on_drive_failure(d);
+        return;
+      }
+      auto do_moves = [this, d, &lib, target, had_tape, then]() {
+        const Seconds move = robot_move_delay(
+            lib, had_tape ? lib.robot_exchange_time() : lib.robot_move_time());
+        engine_.schedule_in(move, [this, d, &lib, target, then]() {
+          if (fault_ != nullptr && !fault_->drive_online(d, engine_.now())) {
+            on_drive_failure(d);
+            return;
+          }
+          if (!config_.robot_holds_load) {
+            lib.robot().release();
+            ctx_[d.index()].robot_held = false;
+          }
+          tape::TapeDrive& dr = system_.drive(d);
+          const Seconds load = dr.start_load(target);
+          schedule_activity(d, load, [this, d, target, &lib, then]() {
+            if (fault_ != nullptr && fault_->mount_attempt_fails(d)) {
+              repair_mount_failure(d);
+              return;
+            }
+            if (config_.robot_holds_load) {
+              lib.robot().release();
+              ctx_[d.index()].robot_held = false;
+            }
+            system_.drive(d).finish_load();
+            system_.note_mounted(target, d);
+            then();
+          });
+        });
+      };
+      if (!had_tape) {
+        do_moves();
+        return;
+      }
+      tape::TapeDrive& dr = system_.drive(d);
+      const Seconds unload = dr.start_unload();
+      schedule_activity(d, unload, [this, d, do_moves]() {
+        const TapeId old = system_.drive(d).finish_unload();
+        system_.note_unmounted(old);
+        // Demand for the evicted tape may have arrived mid-repair; this
+        // drive will not serve it, so put it back in foreground rotation.
+        requeue_if_needed(old);
+        do_moves();
+      });
+    });
+  };
+  if (drive.empty()) {
+    exchange(false);
+    return;
+  }
+  const Seconds rewind = drive.start_rewind();
+  schedule_activity(d, rewind, [this, d, exchange]() {
+    system_.drive(d).finish_rewind();
+    exchange(true);
+  });
+}
+
+void RetrievalSimulator::repair_mount_failure(DriveId d) {
+  DriveCtx& ctx = ctx_[d.index()];
+  TAPESIM_ASSERT(ctx.repair.has_value());
+  system_.drive(d).fail_load();
+  if (config_.tracer != nullptr) {
+    config_.tracer->marker(obs::Track::kDrive, d.value(),
+                           "mount failure during repair");
+  }
+  RepairJob job = std::move(*ctx.repair);
+  ctx.repair.reset();
+  --active_repairs_;
+  const TapeId attempted = job.read_done ? job.target : job.source;
+  if (job.target.valid()) {
+    repair_writing_.erase(job.target.value());
+    job.target = TapeId{};
+  }
+  if (!job.read_done) job.source = TapeId{};
+  ++job.attempts;
+  const bool keep = job.attempts < kMaxRepairAttempts;
+  tape::TapeLibrary& lib = system_.library(system_.library_of_drive(d));
+  // The robot returns the unthreadable cartridge to its cell; a repair
+  // job gets no retry ladder — it just goes to the back of the queue.
+  auto return_done = [this, d, &lib, job = std::move(job), keep,
+                      attempted]() mutable {
+    lib.robot().release();
+    ctx_[d.index()].robot_held = false;
+    ctx_[d.index()].busy = false;
+    if (keep) {
+      repair_queue_.push_back(std::move(job));
+    } else {
+      abandon_repair(std::move(job));
+    }
+    requeue_if_needed(attempted);
+    release_repair_drive(d);
+  };
+  auto do_return = [this, &lib, return_done = std::move(return_done)]() mutable {
+    const Seconds move = robot_move_delay(lib, lib.robot_move_time());
+    engine_.schedule_in(move, std::move(return_done));
+  };
+  if (ctx.robot_held) {
+    do_return();
+  } else {
+    lib.robot().acquire([this, d, do_return = std::move(do_return)]() mutable {
+      ctx_[d.index()].robot_held = true;
+      do_return();
+    });
+  }
+}
+
+void RetrievalSimulator::repair_read(DriveId d) {
+  DriveCtx& ctx = ctx_[d.index()];
+  TAPESIM_ASSERT(ctx.repair.has_value());
+  tape::TapeDrive& drive = system_.drive(d);
+  const Seconds locate = drive.start_locate(ctx.repair->source_offset);
+  schedule_activity(d, locate, [this, d]() {
+    system_.drive(d).finish_locate();
+    disk_streams_.acquire([this, d]() {
+      ctx_[d.index()].disk_held = true;
+      if (fault_ != nullptr && !fault_->drive_online(d, engine_.now())) {
+        disk_streams_.release();
+        ctx_[d.index()].disk_held = false;
+        on_drive_failure(d);
+        return;
+      }
+      repair_read_transfer(d);
+    });
+  });
+}
+
+void RetrievalSimulator::repair_read_transfer(DriveId d) {
+  DriveCtx& ctx = ctx_[d.index()];
+  RepairJob& job = *ctx.repair;
+  tape::TapeDrive& drive = system_.drive(d);
+  const TapeId tp = job.source;
+  const Seconds xfer = drive.start_transfer(job.size);
+  ctx.activity_start = engine_.now();
+  auto complete = [this, d, xfer]() {
+    disk_streams_.release();
+    ctx_[d.index()].disk_held = false;
+    system_.drive(d).finish_transfer();
+    repair_pace(d, xfer, [this, d]() { finish_repair_read(d); });
+  };
+  // Repair reads suffer media errors and drive failures like any other
+  // read; mirror begin_transfer's precedence (hardware beats media).
+  std::optional<Seconds> media_at;
+  if (const auto frac =
+          fault_->media_error(tp, job.size, system_.cartridge_health(tp))) {
+    media_at = xfer * *frac;
+  }
+  const Seconds horizon = media_at.has_value() ? *media_at : xfer;
+  if (const auto fail_after =
+          fault_->failure_within(d, engine_.now(), horizon)) {
+    const sim::EventId done = engine_.schedule_in(xfer, std::move(complete));
+    engine_.schedule_in(*fail_after, [this, d, done]() {
+      engine_.cancel(done);
+      on_drive_failure(d);
+    });
+    return;
+  }
+  if (media_at.has_value()) {
+    engine_.schedule_in(*media_at, [this, d]() { repair_media_error(d); });
+    return;
+  }
+  engine_.schedule_in(xfer, std::move(complete));
+}
+
+void RetrievalSimulator::repair_media_error(DriveId d) {
+  DriveCtx& ctx = ctx_[d.index()];
+  TAPESIM_ASSERT(ctx.repair.has_value());
+  tape::TapeDrive& drive = system_.drive(d);
+  const TapeId tp = drive.mounted();
+  drive.abort_transfer(engine_.now() - ctx.activity_start);
+  disk_streams_.release();
+  ctx.disk_held = false;
+  const tape::CartridgeHealth health = fault_->record_media_error(tp);
+  if (health != system_.cartridge_health(tp)) {
+    system_.set_cartridge_health(tp, health);
+    on_cartridge_health_change(tp, health);
+  }
+  if (config_.tracer != nullptr) {
+    config_.tracer->marker(obs::Track::kDrive, d.value(),
+                           "media error during repair on tape " +
+                               std::to_string(tp.value()));
+  }
+  RepairJob job = std::move(*ctx.repair);
+  ctx.repair.reset();
+  --active_repairs_;
+  ctx.busy = false;
+  job.source = TapeId{};  // re-pick: this copy may have just degraded
+  ++job.attempts;
+  if (job.attempts >= kMaxRepairAttempts) {
+    abandon_repair(std::move(job));
+  } else {
+    repair_queue_.push_back(std::move(job));
+  }
+  release_repair_drive(d);
+}
+
+void RetrievalSimulator::finish_repair_read(DriveId d) {
+  DriveCtx& ctx = ctx_[d.index()];
+  TAPESIM_ASSERT(ctx.repair.has_value());
+  RepairJob job = std::move(*ctx.repair);
+  ctx.repair.reset();
+  --active_repairs_;
+  ctx.busy = false;
+  job.read_done = true;
+  // The staged data should land on tape promptly: the write half goes to
+  // the front of the queue (usually a drive in another library takes it).
+  repair_queue_.push_front(std::move(job));
+  release_repair_drive(d);
+}
+
+void RetrievalSimulator::repair_write_locate(DriveId d) {
+  DriveCtx& ctx = ctx_[d.index()];
+  TAPESIM_ASSERT(ctx.repair.has_value());
+  tape::TapeDrive& drive = system_.drive(d);
+  const Seconds locate = drive.start_locate(ctx.repair->write_offset);
+  schedule_activity(d, locate, [this, d]() {
+    system_.drive(d).finish_locate();
+    disk_streams_.acquire([this, d]() {
+      ctx_[d.index()].disk_held = true;
+      if (fault_ != nullptr && !fault_->drive_online(d, engine_.now())) {
+        disk_streams_.release();
+        ctx_[d.index()].disk_held = false;
+        on_drive_failure(d);
+        return;
+      }
+      repair_write_transfer(d);
+    });
+  });
+}
+
+void RetrievalSimulator::repair_write_transfer(DriveId d) {
+  DriveCtx& ctx = ctx_[d.index()];
+  RepairJob& job = *ctx.repair;
+  tape::TapeDrive& drive = system_.drive(d);
+  const Seconds xfer = drive.start_transfer(job.size);
+  ctx.activity_start = engine_.now();
+  auto complete = [this, d, xfer]() {
+    disk_streams_.release();
+    ctx_[d.index()].disk_held = false;
+    system_.drive(d).finish_transfer();
+    repair_pace(d, xfer, [this, d]() { complete_repair(d); });
+  };
+  // Writes go to a healthy tape: no media-error draw (the error model is
+  // a per-read draw), but the drive can still die mid-write.
+  if (const auto fail_after =
+          fault_->failure_within(d, engine_.now(), xfer)) {
+    const sim::EventId done = engine_.schedule_in(xfer, std::move(complete));
+    engine_.schedule_in(*fail_after, [this, d, done]() {
+      engine_.cancel(done);
+      on_drive_failure(d);
+    });
+    return;
+  }
+  engine_.schedule_in(xfer, std::move(complete));
+}
+
+void RetrievalSimulator::repair_pace(DriveId d, Seconds xfer,
+                                     std::function<void()> next) {
+  const double f = config_.repair.bandwidth_fraction;
+  if (f >= 1.0) {
+    next();
+    return;
+  }
+  // Full-rate transfer + idle tail: the drive's average repair throughput
+  // is f × native rate, while per-byte transfer accounting (DriveStats,
+  // span conservation) stays at native rate.
+  const Seconds pace = xfer * ((1.0 - f) / f);
+  engine_.schedule_in(pace, [this, d, next = std::move(next)]() {
+    if (fault_ != nullptr && !fault_->drive_online(d, engine_.now())) {
+      on_drive_failure(d);
+      return;
+    }
+    next();
+  });
+}
+
+void RetrievalSimulator::complete_repair(DriveId d) {
+  DriveCtx& ctx = ctx_[d.index()];
+  TAPESIM_ASSERT(ctx.repair.has_value());
+  RepairJob job = std::move(*ctx.repair);
+  ctx.repair.reset();
+  --active_repairs_;
+  ctx.busy = false;
+  const LibraryId lib = system_.library_of_tape(job.target);
+  const bool ok = catalog_.insert_replica(catalog::ObjectRecord{
+      job.object, job.size, lib, job.target, job.write_offset});
+  TAPESIM_ASSERT_MSG(ok, "repair produced an invalid replica");
+  repair_writing_.erase(job.target.value());
+  const auto it = repair_pending_.find(job.object.value());
+  TAPESIM_ASSERT(it != repair_pending_.end() && it->second > 0);
+  if (--it->second == 0) repair_pending_.erase(it);
+  ++repair_stats_.jobs_completed;
+  repair_stats_.bytes_copied += job.size.count();
+  if (in_request_) ++repaired_this_request_;
+  if (config_.tracer != nullptr) {
+    config_.tracer->record(obs::Span{obs::Track::kRepair, job.object.value(),
+                                     obs::Phase::kRepair, job.started,
+                                     engine_.now(), RequestId{}, job.target,
+                                     {}});
+    config_.tracer->registry().counter("repair.completed").inc();
+    config_.tracer->registry().counter("repair.bytes").inc(job.size.count());
+  }
+  release_repair_drive(d);
+}
+
+void RetrievalSimulator::abandon_repair(RepairJob job) {
+  ++repair_stats_.jobs_abandoned;
+  if (job.target.valid()) repair_writing_.erase(job.target.value());
+  const auto it = repair_pending_.find(job.object.value());
+  TAPESIM_ASSERT(it != repair_pending_.end() && it->second > 0);
+  if (--it->second == 0) repair_pending_.erase(it);
+  if (config_.tracer != nullptr) {
+    config_.tracer->marker(obs::Track::kRepair, job.object.value(),
+                           "repair abandoned");
+  }
+}
+
+void RetrievalSimulator::release_repair_drive(DriveId d) {
+  // Foreground work first: a tape this drive holds may have been demanded
+  // while the repair ran, or its library queue may have filled up.
+  engine_.schedule_in(Seconds{0.0}, [this, d]() {
+    DriveCtx& c = ctx_[d.index()];
+    if (c.busy) return;
+    const tape::TapeDrive& dr = system_.drive(d);
+    if (dr.failed()) return;
+    if (!dr.empty() && needed_.count(dr.mounted().value()) != 0) {
+      serve_mounted(d);
+      return;
+    }
+    next_action(d);  // pulls the lib queue, or falls back to more repair
+  });
+  engine_.schedule_in(Seconds{0.0}, [this]() { pump_repairs(); });
+}
+
+void RetrievalSimulator::drain_repairs() {
+  if (!repair_active()) return;
+  std::size_t stable = repair_queue_.size() + 1;
+  while (active_repairs_ > 0 || !repair_queue_.empty()) {
+    pump_repairs();
+    engine_.run();
+    if (active_repairs_ == 0 && repair_queue_.size() == stable) break;
+    stable = repair_queue_.size();
+  }
+}
+
 metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
   TAPESIM_ASSERT_MSG(!in_request_, "requests are strictly sequential");
   in_request_ = true;
@@ -720,6 +1479,9 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
   failovers_this_request_ = 0;
   mount_retries_this_request_ = 0;
   media_retries_this_request_ = 0;
+  served_from_replica_this_request_ = 0;
+  repaired_this_request_ = 0;
+  tried_.clear();
   mount_attempts_.clear();
   needed_.clear();
   remaining_extents_ = 0;
@@ -733,6 +1495,17 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
     TAPESIM_ASSERT_MSG(rec != nullptr, "request references unplaced object");
     total_bytes += rec->size;
     if (fault_ != nullptr && system_.cartridge_lost(rec->tape)) {
+      if (replicated_) {
+        // The primary is gone; resolve against the best surviving copy
+        // (catalog health tracks cartridge escalations, so lost copies
+        // are skipped automatically).
+        if (const catalog::ObjectRecord* alt = catalog_.best_replica(o)) {
+          needed_[alt->tape.value()].push_back(
+              catalog::TapeExtent{o, alt->offset, alt->size});
+          ++remaining_extents_;
+          continue;
+        }
+      }
       // Data on a lost cartridge completes immediately as unavailable.
       bytes_unavailable_this_request_ += rec->size;
       ++extents_unavailable_this_request_;
@@ -753,6 +1526,9 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
     for (const auto& e : extents) bytes += e.size;
     if (const auto holder = system_.drive_holding(tp)) {
       mounted_serving.push_back(*holder);
+    } else if (replicated_ && repair_claimed(tp)) {
+      // A repair job is mounting this tape right now; queueing it too
+      // would mount the cartridge twice. The job's release re-dispatches.
     } else {
       offline.emplace_back(tp, bytes);
     }
@@ -828,6 +1604,8 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
   outcome.failovers = failovers_this_request_;
   outcome.mount_retries = mount_retries_this_request_;
   outcome.media_retries = media_retries_this_request_;
+  outcome.served_from_replica = served_from_replica_this_request_;
+  outcome.repaired = repaired_this_request_;
   if (bytes_unavailable_this_request_.count() == 0) {
     outcome.status = metrics::RequestStatus::kServed;
   } else if (bytes_unavailable_this_request_ == total_bytes) {
@@ -836,8 +1614,8 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
     outcome.status = metrics::RequestStatus::kPartial;
   }
   if (last_finisher_.valid()) {
-    outcome.seek = drive_req_[last_finisher_.index()].seek;
-    outcome.transfer = drive_req_[last_finisher_.index()].transfer;
+    outcome.seek = drive_req_[last_finisher_.index()].seek_done;
+    outcome.transfer = drive_req_[last_finisher_.index()].transfer_done;
   } else {
     // Nothing was served; only possible when every byte was unavailable.
     TAPESIM_ASSERT(outcome.status == metrics::RequestStatus::kUnavailable);
@@ -884,6 +1662,10 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
           .inc(c.robot_jams - prev_fault_counters_.robot_jams);
       tr.registry().counter("fault.failovers").inc(outcome.failovers);
       prev_fault_counters_ = c;
+    }
+    if (replicated_) {
+      tr.registry().counter("sched.served_from_replica")
+          .inc(outcome.served_from_replica);
     }
     tr.set_current_request(RequestId{});
   }

@@ -14,7 +14,9 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "catalog/catalog.hpp"
@@ -22,6 +24,7 @@
 #include "fault/injector.hpp"
 #include "fault/model.hpp"
 #include "metrics/request_metrics.hpp"
+#include "sched/repair.hpp"
 #include "sim/engine.hpp"
 #include "sim/semaphore.hpp"
 #include "tape/system.hpp"
@@ -69,9 +72,12 @@ struct SimulatorConfig {
   /// entirely: no injector is built and the event sequence is bit-identical
   /// to a faultless build.
   fault::FaultConfig faults{};
+  /// Background re-replication. Only takes effect when the plan carries
+  /// replicas AND fault injection is enabled; otherwise inert.
+  RepairConfig repair{};
 
-  /// Recoverable validation of user-provided knobs (currently the fault
-  /// model); the simulator constructor throws std::invalid_argument
+  /// Recoverable validation of user-provided knobs (the fault and repair
+  /// models); the simulator constructor throws std::invalid_argument
   /// carrying this message instead of aborting.
   [[nodiscard]] Status try_validate() const;
 };
@@ -109,6 +115,24 @@ class RetrievalSimulator {
   [[nodiscard]] const fault::FaultInjector* fault_injector() const {
     return fault_.get();
   }
+
+  /// True when the plan carried replicas (failover reads are armed).
+  [[nodiscard]] bool replicated() const { return replicated_; }
+
+  /// Running totals of the background repair process.
+  [[nodiscard]] const RepairStats& repair_stats() const {
+    return repair_stats_;
+  }
+  /// Repair jobs queued or holding a drive right now.
+  [[nodiscard]] std::size_t repair_backlog() const {
+    return repair_queue_.size() + active_repairs_;
+  }
+
+  /// Runs queued repair jobs to quiescence outside any request (repairs
+  /// also run opportunistically during requests, on drives the foreground
+  /// leaves idle). Stops early if the remaining jobs are unstartable —
+  /// e.g. every source copy is lost. No-op unless repair is active.
+  void drain_repairs();
 
  private:
   // --- per-request orchestration ---
@@ -156,6 +180,64 @@ class RetrievalSimulator {
   [[nodiscard]] Seconds robot_move_delay(tape::TapeLibrary& lib,
                                          Seconds base);
 
+  // --- replica failover (all no-ops when the plan is unreplicated) ---
+  /// A copy of `extent`'s object on tape `on` just became undeliverable:
+  /// fail over to the best surviving copy, or complete it as unavailable.
+  void fail_extent(TapeId on, const catalog::TapeExtent& extent);
+  /// Re-enqueues the extent against copy `alt` and wakes a server for it.
+  void route_extent(const catalog::ObjectRecord& alt);
+  /// Syncs a cartridge health escalation into the catalog and schedules
+  /// the re-replication the escalation calls for.
+  void on_cartridge_health_change(TapeId tp, tape::CartridgeHealth health);
+
+  // --- background repair ---
+  [[nodiscard]] bool repair_active() const {
+    return replicated_ && config_.repair.enabled && fault_ != nullptr;
+  }
+  /// Enqueues jobs restoring the replication factor of every object with a
+  /// copy on `tp` (called when `tp` degrades or is lost).
+  void schedule_repairs_for(TapeId tp);
+  /// Offers queued repair jobs to every free drive, up to the slot cap.
+  void pump_repairs();
+  /// Starts the first startable queued job on `d`, if `d` is free and its
+  /// library has no foreground demand.
+  void maybe_start_repair(DriveId d);
+  void start_repair(DriveId d, RepairJob job);
+  /// True when another drive is switching to `tp` or repairing with it.
+  [[nodiscard]] bool tape_claimed(TapeId tp, DriveId self) const;
+  /// True when an in-flight repair job is currently using `tp` (the tape
+  /// of its active phase, which may not be mounted yet).
+  [[nodiscard]] bool repair_claimed(TapeId tp) const;
+  /// Restores the foreground queue invariant for `tp` after a repair claim
+  /// drops: a needed tape with no holder, no switch en route, and no
+  /// repair claim must sit in its library queue.
+  void requeue_if_needed(TapeId tp);
+  /// Best surviving copy of the job's object readable by `d` (same
+  /// library, not lost, not mounted elsewhere); nullptr when none.
+  [[nodiscard]] const catalog::ObjectRecord* pick_repair_source(
+      DriveId d, const RepairJob& job) const;
+  /// Healthy tape in `d`'s library that can take the new copy (library
+  /// anti-affinity permitting); invalid id when none.
+  [[nodiscard]] TapeId pick_repair_target(DriveId d,
+                                          const RepairJob& job) const;
+  /// Mounts `target` on `d` for a repair job (rewind/unload/robot/load,
+  /// same physics as begin_switch but outside request accounting).
+  void repair_mount(DriveId d, TapeId target, std::function<void()> then);
+  void repair_mount_failure(DriveId d);
+  void repair_read(DriveId d);
+  void repair_read_transfer(DriveId d);
+  void repair_media_error(DriveId d);
+  void finish_repair_read(DriveId d);
+  void repair_write_locate(DriveId d);
+  void repair_write_transfer(DriveId d);
+  void complete_repair(DriveId d);
+  /// Bandwidth cap: idle `d` after a full-rate transfer of `xfer` so the
+  /// average repair rate is the configured fraction of the native rate.
+  void repair_pace(DriveId d, Seconds xfer, std::function<void()> next);
+  void abandon_repair(RepairJob job);
+  /// Post-repair dispatch: foreground work first, then further repair.
+  void release_repair_drive(DriveId d);
+
   sim::Engine engine_;
   const core::PlacementPlan* plan_;
   tape::TapeSystem system_;
@@ -168,6 +250,13 @@ class RetrievalSimulator {
   struct DriveReq {
     Seconds seek{};
     Seconds transfer{};
+    /// `seek`/`transfer` as of this drive's latest completed extent. The
+    /// outcome decomposition reads these: a trailing extent that fails
+    /// after the last success (media retries, then unavailable/failover)
+    /// accumulates seek past the response window, and counting it would
+    /// drive the switch-time residual negative.
+    Seconds seek_done{};
+    Seconds transfer_done{};
     Seconds finish{};
     bool used = false;
   };
@@ -195,6 +284,8 @@ class RetrievalSimulator {
     bool robot_held = false;
     bool disk_held = false;
     bool recovery_pending = false;  ///< Robot en route to extract cartridge.
+    /// The repair job this drive is running, when busy with repair.
+    std::optional<RepairJob> repair;
   };
   std::vector<DriveCtx> ctx_;
 
@@ -219,6 +310,21 @@ class RetrievalSimulator {
   std::uint32_t media_retries_this_request_ = 0;
   std::uint64_t total_switches_ = 0;
   bool in_request_ = false;
+
+  // --- redundancy state (all empty/zero when the plan is unreplicated) ---
+  bool replicated_ = false;
+  std::uint32_t target_copies_ = 1;  ///< plan replication factor
+  /// Copies already tried (and failed) per object value, this request.
+  std::unordered_map<std::uint32_t, std::vector<TapeId>> tried_;
+  std::uint32_t served_from_replica_this_request_ = 0;
+  std::uint32_t repaired_this_request_ = 0;
+  std::deque<RepairJob> repair_queue_;
+  std::uint32_t active_repairs_ = 0;  ///< Jobs currently holding a drive.
+  /// Tapes with an in-flight repair write (offset exclusivity).
+  std::unordered_set<std::uint32_t> repair_writing_;
+  /// Queued + in-flight new copies per object value (over-scheduling guard).
+  std::unordered_map<std::uint32_t, std::uint32_t> repair_pending_;
+  RepairStats repair_stats_;
   /// Snapshot of injector counters at the last request boundary, for
   /// emitting per-request deltas into the tracer registry.
   fault::FaultCounters prev_fault_counters_;

@@ -1,0 +1,129 @@
+// Replica records and per-tape health in the object catalog:
+// insert_replica preconditions, escalate-only health transitions, and
+// best_replica's survivor ranking (Good > Degraded, Lost and excluded
+// tapes skipped, primary wins ties).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "catalog/catalog.hpp"
+
+namespace tapesim::catalog {
+namespace {
+
+// 3 libraries x 80 tapes, matching test_catalog.cpp's convention.
+ObjectRecord record(std::uint32_t obj, Bytes size, std::uint32_t tape,
+                    Bytes offset) {
+  return ObjectRecord{ObjectId{obj}, size, LibraryId{tape / 80}, TapeId{tape},
+                      offset};
+}
+
+TEST(CatalogReplicas, InsertReplicaRequiresExistingPrimary) {
+  ObjectCatalog cat(240);
+  EXPECT_FALSE(cat.insert_replica(record(1, 1_GB, 5, Bytes{0})));
+  EXPECT_EQ(cat.copy_count(ObjectId{1}), 0u);
+  EXPECT_FALSE(cat.has_replicas());
+}
+
+TEST(CatalogReplicas, InsertReplicaRejectsSizeMismatch) {
+  ObjectCatalog cat(240);
+  ASSERT_TRUE(cat.insert(record(1, 2_GB, 0, Bytes{0})));
+  EXPECT_FALSE(cat.insert_replica(record(1, 3_GB, 1, Bytes{0})));
+  EXPECT_EQ(cat.copy_count(ObjectId{1}), 1u);
+  // Nothing landed in the secondary index either.
+  EXPECT_TRUE(cat.extents_on(TapeId{1}).empty());
+  EXPECT_EQ(cat.used_on(TapeId{1}).count(), 0u);
+}
+
+TEST(CatalogReplicas, InsertReplicaRejectsSharedTape) {
+  ObjectCatalog cat(240);
+  ASSERT_TRUE(cat.insert(record(1, 1_GB, 0, Bytes{0})));
+  // Same tape as the primary.
+  EXPECT_FALSE(cat.insert_replica(record(1, 1_GB, 0, 1_GB)));
+  ASSERT_TRUE(cat.insert_replica(record(1, 1_GB, 80, Bytes{0})));
+  // Same tape as an existing replica.
+  EXPECT_FALSE(cat.insert_replica(record(1, 1_GB, 80, 1_GB)));
+  EXPECT_EQ(cat.copy_count(ObjectId{1}), 2u);
+  EXPECT_EQ(cat.replica_count(), 1u);
+}
+
+TEST(CatalogReplicas, ReplicasKeepInsertionOrderAndFeedBothIndexes) {
+  ObjectCatalog cat(240);
+  ASSERT_TRUE(cat.insert(record(7, 4_GB, 3, Bytes{0})));
+  ASSERT_TRUE(cat.insert_replica(record(7, 4_GB, 90, 2_GB)));
+  ASSERT_TRUE(cat.insert_replica(record(7, 4_GB, 170, Bytes{0})));
+
+  const auto copies = cat.replicas(ObjectId{7});
+  ASSERT_EQ(copies.size(), 2u);
+  EXPECT_EQ(copies[0].tape.value(), 90u);
+  EXPECT_EQ(copies[1].tape.value(), 170u);
+  EXPECT_EQ(cat.copy_count(ObjectId{7}), 3u);
+  EXPECT_TRUE(cat.has_replicas());
+
+  // Replica bytes show up in the per-tape extent index and accounting.
+  ASSERT_EQ(cat.extents_on(TapeId{90}).size(), 1u);
+  EXPECT_EQ(cat.extents_on(TapeId{90})[0].offset.count(), (2_GB).count());
+  EXPECT_EQ(cat.used_on(TapeId{170}).count(), (4_GB).count());
+  cat.validate(400_GB);
+}
+
+TEST(CatalogReplicas, HealthOnlyEscalates) {
+  ObjectCatalog cat(240);
+  const TapeId tape{12};
+  EXPECT_EQ(cat.tape_health(tape), ReplicaHealth::kGood);
+  cat.set_tape_health(tape, ReplicaHealth::kDegraded);
+  EXPECT_EQ(cat.tape_health(tape), ReplicaHealth::kDegraded);
+  // Attempts to improve are ignored.
+  cat.set_tape_health(tape, ReplicaHealth::kGood);
+  EXPECT_EQ(cat.tape_health(tape), ReplicaHealth::kDegraded);
+  cat.set_tape_health(tape, ReplicaHealth::kLost);
+  cat.set_tape_health(tape, ReplicaHealth::kDegraded);
+  EXPECT_EQ(cat.tape_health(tape), ReplicaHealth::kLost);
+}
+
+TEST(CatalogReplicas, BestReplicaPrefersGoodOverDegradedAndPrimaryOnTies) {
+  ObjectCatalog cat(240);
+  ASSERT_TRUE(cat.insert(record(1, 1_GB, 0, Bytes{0})));
+  ASSERT_TRUE(cat.insert_replica(record(1, 1_GB, 80, Bytes{0})));
+  ASSERT_TRUE(cat.insert_replica(record(1, 1_GB, 160, Bytes{0})));
+
+  // All Good: the primary wins the tie.
+  const ObjectRecord* best = cat.best_replica(ObjectId{1});
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->tape.value(), 0u);
+
+  // Degraded primary loses to a Good replica (earliest inserted).
+  cat.set_tape_health(TapeId{0}, ReplicaHealth::kDegraded);
+  best = cat.best_replica(ObjectId{1});
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->tape.value(), 80u);
+
+  // With every copy Degraded the primary again wins the tie.
+  cat.set_tape_health(TapeId{80}, ReplicaHealth::kDegraded);
+  cat.set_tape_health(TapeId{160}, ReplicaHealth::kDegraded);
+  best = cat.best_replica(ObjectId{1});
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->tape.value(), 0u);
+}
+
+TEST(CatalogReplicas, BestReplicaSkipsLostAndExcludedTapes) {
+  ObjectCatalog cat(240);
+  ASSERT_TRUE(cat.insert(record(1, 1_GB, 0, Bytes{0})));
+  ASSERT_TRUE(cat.insert_replica(record(1, 1_GB, 80, Bytes{0})));
+
+  cat.set_tape_health(TapeId{0}, ReplicaHealth::kLost);
+  const ObjectRecord* best = cat.best_replica(ObjectId{1});
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->tape.value(), 80u);
+
+  // The exclude list models copies already tried this request.
+  const std::array<TapeId, 1> tried{TapeId{80}};
+  EXPECT_EQ(cat.best_replica(ObjectId{1}, tried), nullptr);
+
+  cat.set_tape_health(TapeId{80}, ReplicaHealth::kLost);
+  EXPECT_EQ(cat.best_replica(ObjectId{1}), nullptr);
+  EXPECT_EQ(cat.best_replica(ObjectId{2}), nullptr);  // absent object
+}
+
+}  // namespace
+}  // namespace tapesim::catalog

@@ -1,0 +1,162 @@
+// ReplicationPolicy: r = 1 must be a bit-identical pass-through of the
+// wrapped scheme, r > 1 must satisfy the anti-affinity rules (never the
+// same tape, a different library while libraries remain uncovered), and an
+// impossible replication demand must fail loudly at placement time.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "cluster/hierarchy.hpp"
+#include "core/object_probability.hpp"
+#include "core/parallel_batch.hpp"
+#include "core/replication.hpp"
+#include "workload/generator.hpp"
+
+namespace tapesim::core {
+namespace {
+
+struct ReplicationFixture : ::testing::Test {
+  tape::SystemSpec spec = [] {
+    tape::SystemSpec s;
+    s.num_libraries = 2;
+    s.library.drives_per_library = 4;
+    s.library.tapes_per_library = 20;
+    s.library.tape_capacity = 50_GB;
+    return s;
+  }();
+
+  workload::WorkloadConfig wconfig = [] {
+    workload::WorkloadConfig c;
+    c.num_objects = 800;
+    c.num_requests = 40;
+    c.min_objects_per_request = 20;
+    c.max_objects_per_request = 40;
+    c.object_groups = 30;
+    c.min_object_size = Bytes{200ULL * 1000 * 1000};   // 0.2 GB
+    c.max_object_size = Bytes{2000ULL * 1000 * 1000};  // 2 GB
+    return c;
+  }();
+
+  Rng rng{17};
+  workload::Workload wl = workload::generate_workload(wconfig, rng);
+  cluster::ObjectClusters clusters = [this] {
+    cluster::ClusterConstraints constraints;
+    constraints.max_bytes = Bytes{static_cast<Bytes::value_type>(
+        0.9 * spec.library.tape_capacity.as_double())};
+    return cluster::cluster_by_requests(wl, constraints);
+  }();
+
+  PlacementContext context{&wl, &spec, &clusters};
+
+  [[nodiscard]] LibraryId lib_of(TapeId t) const {
+    return LibraryId{t.value() / spec.library.tapes_per_library};
+  }
+};
+
+TEST_F(ReplicationFixture, SingleCopyIsBitIdenticalPassThrough) {
+  ParallelBatchParams pbp;
+  pbp.switch_drives = 2;  // m must stay below the 4 drives per library
+  const ParallelBatchPlacement inner{pbp};
+  ReplicationPolicy::Params params;
+  params.replicas = 1;
+  const ReplicationPolicy wrapped(inner, params);
+
+  EXPECT_EQ(wrapped.name(), inner.name());
+
+  const PlacementPlan a = inner.place(context);
+  const PlacementPlan b = wrapped.place(context);
+  EXPECT_FALSE(b.replicated());
+  EXPECT_EQ(b.replication_factor(), 1u);
+  EXPECT_EQ(a.tapes_used(), b.tapes_used());
+  for (std::uint32_t o = 0; o < wl.object_count(); ++o) {
+    EXPECT_EQ(a.tape_of(ObjectId{o}).value(), b.tape_of(ObjectId{o}).value());
+    EXPECT_TRUE(b.replicas_of(ObjectId{o}).empty());
+  }
+  // Per-tape layouts (and therefore every offset) must agree exactly.
+  const std::uint32_t total =
+      spec.num_libraries * spec.library.tapes_per_library;
+  for (std::uint32_t t = 0; t < total; ++t) {
+    const auto la = a.on_tape(TapeId{t});
+    const auto lb = b.on_tape(TapeId{t});
+    ASSERT_EQ(la.size(), lb.size());
+    for (std::size_t i = 0; i < la.size(); ++i) {
+      EXPECT_EQ(la[i].object.value(), lb[i].object.value());
+      EXPECT_EQ(la[i].size.count(), lb[i].size.count());
+    }
+    EXPECT_EQ(a.used_on(TapeId{t}).count(), b.used_on(TapeId{t}).count());
+  }
+}
+
+TEST_F(ReplicationFixture, TwoCopiesRespectTapeAndLibraryAntiAffinity) {
+  ParallelBatchParams pbp;
+  pbp.switch_drives = 2;
+  const ParallelBatchPlacement inner{pbp};
+  ReplicationPolicy::Params params;
+  params.replicas = 2;
+  const ReplicationPolicy wrapped(inner, params);
+  EXPECT_NE(wrapped.name(), inner.name());
+
+  const PlacementPlan plan = wrapped.place(context);  // validates internally
+  EXPECT_TRUE(plan.replicated());
+  EXPECT_EQ(plan.replication_factor(), 2u);
+  for (std::uint32_t o = 0; o < wl.object_count(); ++o) {
+    const ObjectId id{o};
+    const auto copies = plan.replicas_of(id);
+    ASSERT_EQ(copies.size(), 1u) << "object " << o;
+    EXPECT_NE(copies[0].value(), plan.tape_of(id).value());
+    // Two libraries, two copies: the pair must straddle them.
+    EXPECT_NE(lib_of(copies[0]).value(), lib_of(plan.tape_of(id)).value())
+        << "object " << o;
+  }
+  // The catalog round-trip carries the replicas along.
+  const catalog::ObjectCatalog cat = plan.to_catalog();
+  EXPECT_TRUE(cat.has_replicas());
+  for (std::uint32_t o = 0; o < wl.object_count(); ++o) {
+    EXPECT_EQ(cat.copy_count(ObjectId{o}), 2u);
+  }
+}
+
+TEST_F(ReplicationFixture, ThreeCopiesNeverShareATape) {
+  const ObjectProbabilityPlacement inner{{}};
+  ReplicationPolicy::Params params;
+  params.replicas = 3;
+  const ReplicationPolicy wrapped(inner, params);
+  const PlacementPlan plan = wrapped.place(context);
+  EXPECT_EQ(plan.replication_factor(), 3u);
+  for (std::uint32_t o = 0; o < wl.object_count(); ++o) {
+    const ObjectId id{o};
+    std::set<std::uint32_t> tapes{plan.tape_of(id).value()};
+    std::set<std::uint32_t> libs{lib_of(plan.tape_of(id)).value()};
+    for (const TapeId t : plan.replicas_of(id)) {
+      tapes.insert(t.value());
+      libs.insert(lib_of(t).value());
+    }
+    EXPECT_EQ(tapes.size(), 3u) << "object " << o;
+    // With r > #libraries, every library must still hold at least one copy
+    // before any doubles up.
+    EXPECT_EQ(libs.size(), 2u) << "object " << o;
+  }
+}
+
+TEST_F(ReplicationFixture, ImpossibleFactorThrows) {
+  // Shrink the system until r = 3 cannot fit: the primaries still place
+  // (roughly 0.9 TB into a 1.08 TB budget) but 3 copies need ~3x that.
+  spec.library.tapes_per_library = 12;
+  const ObjectProbabilityPlacement inner{{}};
+  ReplicationPolicy::Params params;
+  params.replicas = 3;
+  const ReplicationPolicy wrapped(inner, params);
+  EXPECT_THROW((void)wrapped.place(context), std::runtime_error);
+}
+
+TEST(ReplicationPolicy, NameEncodesFactor) {
+  const ObjectProbabilityPlacement inner{{}};
+  ReplicationPolicy::Params params;
+  params.replicas = 2;
+  const ReplicationPolicy wrapped(inner, params);
+  EXPECT_EQ(wrapped.name(), inner.name() + "+r2");
+}
+
+}  // namespace
+}  // namespace tapesim::core

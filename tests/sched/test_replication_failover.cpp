@@ -1,0 +1,290 @@
+// Failover reads and background repair in the retrieval simulator.
+//
+// Pins the redundancy acceptance bar from three directions: (1) an r = 1
+// ReplicationPolicy plan must run the exact same event sequence as the
+// wrapped scheme alone, even with the repair subsystem configured on —
+// redundancy off is indistinguishable from redundancy never existing;
+// (2) a deterministic mount-failure scenario must fail over to a mounted
+// replica and serve, where the same faults without a replica lose the
+// bytes; (3) media-error degradation must trigger background repair that
+// restores the replication factor, with the tracer's repair lane and
+// counters reconciling against the scheduler's own accounting.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/parallel_batch.hpp"
+#include "core/plan.hpp"
+#include "core/replication.hpp"
+#include "exp/experiment.hpp"
+#include "metrics/request_metrics.hpp"
+#include "obs/tracer.hpp"
+#include "sched/simulator.hpp"
+#include "workload/model.hpp"
+
+namespace tapesim::sched {
+namespace {
+
+using core::Alignment;
+using core::PlacementPlan;
+using metrics::RequestStatus;
+using workload::ObjectInfo;
+using workload::Request;
+using workload::Workload;
+
+/// The recovery-scenario layout (one library, two drives, four 10 GB
+/// tapes, five objects) with an optional second copy of every object.
+/// Replicated tapes carry 6 GB each, leaving 4 GB of repair headroom.
+struct Scenario {
+  tape::SystemSpec spec;
+  std::unique_ptr<Workload> workload;
+  std::unique_ptr<PlacementPlan> plan;
+
+  explicit Scenario(bool replicated, TapeId initial_mount = TapeId{0}) {
+    spec.num_libraries = 1;
+    spec.library.drives_per_library = 2;
+    spec.library.tapes_per_library = 4;
+    spec.library.tape_capacity = 10_GB;
+
+    std::vector<ObjectInfo> objects{{ObjectId{0}, 2_GB},
+                                    {ObjectId{1}, 3_GB},
+                                    {ObjectId{2}, 4_GB},
+                                    {ObjectId{3}, 1_GB},
+                                    {ObjectId{4}, 2_GB}};
+    std::vector<Request> requests;
+    const double p = 1.0 / 6.0;
+    requests.push_back(Request{RequestId{0}, p, {ObjectId{0}}});
+    requests.push_back(Request{RequestId{1}, p, {ObjectId{0}, ObjectId{1}}});
+    requests.push_back(Request{RequestId{2}, p, {ObjectId{2}}});
+    requests.push_back(Request{RequestId{3}, p, {ObjectId{3}}});
+    requests.push_back(Request{RequestId{4}, p, {ObjectId{4}}});
+    requests.push_back(Request{RequestId{5}, p, {ObjectId{3}, ObjectId{4}}});
+    workload = std::make_unique<Workload>(std::move(objects),
+                                          std::move(requests));
+
+    plan = std::make_unique<PlacementPlan>(spec, *workload);
+    plan->assign(ObjectId{0}, TapeId{0});
+    plan->assign(ObjectId{1}, TapeId{0});
+    plan->assign(ObjectId{2}, TapeId{1});
+    plan->assign(ObjectId{3}, TapeId{2});
+    plan->assign(ObjectId{4}, TapeId{3});
+    plan->align_all(Alignment::kGivenOrder);
+    if (replicated) {
+      plan->freeze_layout();
+      plan->assign_replica(ObjectId{0}, TapeId{1});
+      plan->assign_replica(ObjectId{1}, TapeId{2});
+      plan->assign_replica(ObjectId{2}, TapeId{3});
+      plan->assign_replica(ObjectId{3}, TapeId{0});
+      plan->assign_replica(ObjectId{4}, TapeId{2});
+      plan->align_all(Alignment::kGivenOrder);
+    }
+    plan->compute_tape_popularity();
+    plan->mount_policy.initial_mounts.emplace_back(DriveId{0}, initial_mount);
+  }
+};
+
+TEST(ReplicationFailover, R1PipelineBitIdenticalEvenWithRepairConfigured) {
+  // Full place -> sample -> simulate pipeline: wrapping the scheme at
+  // r = 1 and arming the repair config must not perturb a single event.
+  exp::ExperimentConfig plain_cfg;
+  plain_cfg.simulated_requests = 40;
+  exp::ExperimentConfig wrapped_cfg = plain_cfg;
+  wrapped_cfg.sim.repair.enabled = true;  // inert without replicas
+  wrapped_cfg.sim.repair.bandwidth_fraction = 0.5;
+
+  const core::ParallelBatchPlacement inner{{}};
+  core::ReplicationPolicy::Params params;
+  params.replicas = 1;
+  const core::ReplicationPolicy wrapped(inner, params);
+
+  const exp::Experiment plain(plain_cfg);
+  const exp::Experiment with_wrapper(wrapped_cfg);
+  const auto a = plain.run(inner);
+  const auto b = with_wrapper.run(wrapped);
+
+  EXPECT_EQ(a.metrics.mean_response().count(),
+            b.metrics.mean_response().count());
+  EXPECT_EQ(a.metrics.mean_bandwidth().count(),
+            b.metrics.mean_bandwidth().count());
+  EXPECT_EQ(a.total_switches, b.total_switches);
+  EXPECT_EQ(a.tapes_used, b.tapes_used);
+  EXPECT_EQ(b.metrics.total_served_from_replica(), 0u);
+  EXPECT_EQ(b.metrics.total_repaired(), 0u);
+}
+
+TEST(ReplicationFailover, R1RequestsBitIdenticalUnderFaultConfig) {
+  // Same scenario built with and without the (empty) replica machinery:
+  // an unreplicated plan from the replication-aware path must produce
+  // bit-identical request timings, request by request.
+  Scenario base(/*replicated=*/false);
+  Scenario other(/*replicated=*/false);
+  RetrievalSimulator plain(*base.plan);
+  SimulatorConfig config;
+  config.repair.enabled = true;  // inert: no replicas, no faults
+  RetrievalSimulator armed(*other.plan, config);
+  ASSERT_FALSE(armed.replicated());
+
+  for (int round = 0; round < 3; ++round) {
+    for (const std::uint32_t r : {2u, 5u, 1u, 0u, 3u, 4u}) {
+      const auto a = plain.run_request(RequestId{r});
+      const auto b = armed.run_request(RequestId{r});
+      EXPECT_EQ(a.response.count(), b.response.count());
+      EXPECT_EQ(a.seek.count(), b.seek.count());
+      EXPECT_EQ(a.transfer.count(), b.transfer.count());
+      EXPECT_EQ(a.switch_time.count(), b.switch_time.count());
+      EXPECT_EQ(b.served_from_replica, 0u);
+      EXPECT_EQ(b.repaired, 0u);
+    }
+  }
+  EXPECT_EQ(armed.repair_stats().jobs_scheduled, 0u);
+  EXPECT_EQ(armed.repair_backlog(), 0u);
+}
+
+TEST(ReplicationFailover, MountExhaustionFailsOverToMountedReplica) {
+  // Every load attempt fails, so the primary of object 0 (tape 0, offline)
+  // can never mount; its replica sits on tape 1, which is already in a
+  // drive. The request must be served from the replica.
+  Scenario s(/*replicated=*/true, /*initial_mount=*/TapeId{1});
+  SimulatorConfig config;
+  config.faults.mount_failure_prob = 0.999;  // must stay below 1.0
+  // One drive's retry ladder (1 attempt + 2 retries) burns the whole
+  // per-tape budget, so the second drive never unloads the replica to
+  // take its own shot at the doomed primary.
+  config.faults.max_mount_attempts_per_tape = 3;
+  config.faults.seed = 7;
+  RetrievalSimulator sim(*s.plan, config);
+  ASSERT_TRUE(sim.replicated());
+
+  const auto o = sim.run_request(RequestId{0});
+  EXPECT_EQ(o.status, RequestStatus::kServed);
+  EXPECT_EQ(o.bytes_unavailable.count(), 0u);
+  EXPECT_EQ(o.served_from_replica, 1u);
+  EXPECT_GT(o.mount_retries, 0u);
+  EXPECT_EQ(o.bytes_served(), o.bytes);
+}
+
+TEST(ReplicationFailover, MountExhaustionWithoutReplicaLosesTheBytes) {
+  // Identical faults, no redundancy: the same request ends unavailable.
+  Scenario s(/*replicated=*/false, /*initial_mount=*/TapeId{1});
+  SimulatorConfig config;
+  config.faults.mount_failure_prob = 0.999;
+  config.faults.max_mount_attempts_per_tape = 3;
+  config.faults.seed = 7;
+  RetrievalSimulator sim(*s.plan, config);
+  ASSERT_FALSE(sim.replicated());
+
+  const auto o = sim.run_request(RequestId{0});
+  EXPECT_EQ(o.status, RequestStatus::kUnavailable);
+  EXPECT_EQ(o.bytes_unavailable.count(), (2_GB).count());
+  EXPECT_EQ(o.served_from_replica, 0u);
+}
+
+TEST(ReplicationFailover, RepairRestoresFactorAfterDegradation) {
+  Scenario s(/*replicated=*/true);
+  SimulatorConfig config;
+  config.faults.media_error_per_gb = 0.05;
+  config.faults.seed = 11;
+  config.repair.enabled = true;
+  RetrievalSimulator sim(*s.plan, config);
+
+  // Hammer the tapes until at least one cartridge degrades (deterministic
+  // under the fixed seed; higher rates spiral every cartridge to Lost on
+  // a system this small).
+  for (int round = 0; round < 4; ++round) {
+    for (const std::uint32_t r : {2u, 1u, 5u, 0u, 3u, 4u}) {
+      sim.run_request(RequestId{r});
+    }
+  }
+  const catalog::ObjectCatalog& cat = sim.catalog();
+  std::uint32_t degraded = 0;
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    if (cat.tape_health(TapeId{t}) == catalog::ReplicaHealth::kDegraded) {
+      ++degraded;
+    }
+  }
+  ASSERT_GT(degraded, 0u) << "seed no longer degrades a cartridge";
+  EXPECT_GT(sim.repair_stats().jobs_scheduled, 0u);
+
+  sim.drain_repairs();
+  EXPECT_GT(sim.repair_stats().jobs_completed, 0u);
+
+  // Every object with a copy on a degraded (not lost) cartridge is back at
+  // two good copies, unless repair legitimately could not run to the end.
+  if (sim.repair_backlog() == 0 && sim.repair_stats().jobs_abandoned == 0) {
+    for (std::uint32_t t = 0; t < 4; ++t) {
+      const TapeId tape{t};
+      if (cat.tape_health(tape) != catalog::ReplicaHealth::kDegraded) {
+        continue;
+      }
+      for (const catalog::TapeExtent& e : cat.extents_on(tape)) {
+        std::uint32_t good = 0;
+        if (const auto* primary = cat.lookup(e.object);
+            primary != nullptr &&
+            cat.tape_health(primary->tape) == catalog::ReplicaHealth::kGood) {
+          ++good;
+        }
+        for (const auto& copy : cat.replicas(e.object)) {
+          if (cat.tape_health(copy.tape) == catalog::ReplicaHealth::kGood) {
+            ++good;
+          }
+        }
+        EXPECT_GE(good, 2u) << "object " << e.object.value()
+                            << " not restored to factor";
+      }
+    }
+  }
+}
+
+TEST(ReplicationFailover, TracerAndStatsReconcile) {
+  // Conservation: the tracer's repair lane and counters must agree with
+  // the scheduler's own running totals and with per-request accounting.
+  Scenario s(/*replicated=*/true);
+  obs::Tracer tracer;
+  SimulatorConfig config;
+  config.tracer = &tracer;
+  config.faults.media_error_per_gb = 0.05;
+  config.faults.seed = 11;
+  config.repair.enabled = true;
+  RetrievalSimulator sim(*s.plan, config);
+
+  metrics::ExperimentMetrics agg;
+  for (int round = 0; round < 4; ++round) {
+    for (const std::uint32_t r : {2u, 1u, 5u, 0u, 3u, 4u}) {
+      agg.add(sim.run_request(RequestId{r}));
+    }
+  }
+  sim.drain_repairs();
+  const RepairStats& stats = sim.repair_stats();
+  ASSERT_GT(stats.jobs_completed, 0u);  // the reconciliation is non-trivial
+
+  EXPECT_EQ(tracer.registry().counter("sched.served_from_replica").value(),
+            static_cast<double>(agg.total_served_from_replica()));
+  EXPECT_EQ(tracer.registry().counter("repair.completed").value(),
+            static_cast<double>(stats.jobs_completed));
+  EXPECT_EQ(tracer.registry().counter("repair.bytes").value(),
+            static_cast<double>(stats.bytes_copied));
+
+  // One kRepair span per completed job, each with positive duration and a
+  // byte total matching the copied bytes.
+  std::uint64_t repair_spans = 0;
+  std::uint64_t span_bytes = 0;
+  for (const obs::Span& span : tracer.spans()) {
+    if (span.track != obs::Track::kRepair ||
+        span.phase != obs::Phase::kRepair) {
+      continue;
+    }
+    ++repair_spans;
+    EXPECT_GT(span.end.count(), span.start.count());
+    const auto* rec = sim.catalog().lookup(ObjectId{span.track_id});
+    ASSERT_NE(rec, nullptr);
+    span_bytes += rec->size.count();
+  }
+  EXPECT_EQ(repair_spans, stats.jobs_completed);
+  EXPECT_EQ(span_bytes, stats.bytes_copied);
+  // Requests only observe repairs that finish inside them.
+  EXPECT_LE(agg.total_repaired(), stats.jobs_completed);
+}
+
+}  // namespace
+}  // namespace tapesim::sched

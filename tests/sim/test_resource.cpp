@@ -210,6 +210,94 @@ TEST(Resource, CancelledWaiterNeverRunsAfterRelease) {
   EXPECT_FALSE(r.busy());
 }
 
+TEST(Resource, CancelLosesRaceWithSameTimeRelease) {
+  // The in-flight-grant window: release() pops the waiter and schedules
+  // its callback as an immediate event. A cancel issued in that window
+  // (same timestamp, later event) must be refused — the waiter now owns
+  // the resource and is obliged to release it, exactly like any holder.
+  Engine e;
+  Resource r(e, "robot");
+  bool waiter_ran = false;
+  Resource::Ticket waiter = Resource::kInvalidTicket;
+  e.schedule_in(Seconds{0.0}, [&] {
+    r.acquire([&] {
+      e.schedule_in(Seconds{1.0}, [&] { r.release(); });
+      // Inserted after the release above, so at t = 1 it runs once the
+      // grant event is already in flight.
+      e.schedule_in(Seconds{1.0}, [&] { EXPECT_FALSE(r.cancel(waiter)); });
+    });
+    waiter = r.acquire([&] {
+      waiter_ran = true;
+      r.release();
+    });
+  });
+  e.run();
+  EXPECT_TRUE(waiter_ran);
+  EXPECT_FALSE(r.busy());
+  EXPECT_EQ(r.grants(), 2u);
+}
+
+TEST(Resource, CancelSoleWaiterThenReleaseLeavesResourceFree) {
+  // With the only waiter withdrawn, the release must leave the resource
+  // idle and a later acquire gets an immediate grant (no ghost of the
+  // cancelled request remains in the FIFO).
+  Engine e;
+  Resource r(e, "robot");
+  double late_grant_at = -1.0;
+  e.schedule_in(Seconds{0.0}, [&] {
+    r.acquire([&] { e.schedule_in(Seconds{2.0}, [&] { r.release(); }); });
+    const Resource::Ticket doomed =
+        r.acquire([] { ADD_FAILURE() << "cancelled waiter ran"; });
+    e.schedule_in(Seconds{1.0}, [&, doomed] { EXPECT_TRUE(r.cancel(doomed)); });
+  });
+  e.schedule_in(Seconds{5.0}, [&] {
+    EXPECT_FALSE(r.busy());
+    r.acquire([&] {
+      late_grant_at = e.now().count();
+      r.release();
+    });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(late_grant_at, 5.0);
+  EXPECT_EQ(r.grants(), 2u);  // the cancelled waiter never counts
+}
+
+TEST(Resource, DoubleCancelStaysRefusedAcrossGrantCycles) {
+  // A cancelled ticket must stay dead forever: later acquire/release
+  // cycles advance the ticket counter and churn the queue, but cancelling
+  // the old ticket again can never hit a new waiter (tickets are never
+  // reused).
+  Engine e;
+  Resource r(e, "robot");
+  std::vector<int> order;
+  Resource::Ticket doomed = Resource::kInvalidTicket;
+  e.schedule_in(Seconds{0.0}, [&] {
+    r.acquire([&] {
+      order.push_back(0);
+      e.schedule_in(Seconds{2.0}, [&] { r.release(); });
+    });
+    doomed = r.acquire([] { ADD_FAILURE() << "cancelled waiter ran"; });
+  });
+  e.schedule_in(Seconds{1.0}, [&] { EXPECT_TRUE(r.cancel(doomed)); });
+  e.schedule_in(Seconds{3.0}, [&] {
+    // New contention after the first cancel: queue a fresh waiter, then
+    // try the dead ticket again mid-wait and once more after its grant.
+    r.acquire([&] {
+      order.push_back(1);
+      e.schedule_in(Seconds{2.0}, [&] { r.release(); });
+    });
+    r.acquire([&] {
+      order.push_back(2);
+      r.release();
+    });
+    EXPECT_FALSE(r.cancel(doomed));
+  });
+  e.schedule_in(Seconds{6.0}, [&] { EXPECT_FALSE(r.cancel(doomed)); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(r.busy());
+}
+
 TEST(ResourceDeath, ReleasingFreeResourceAborts) {
   Engine e;
   Resource r(e, "robot");

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Minimal CI gate: release build + tier-1 tests, then the same suite under
-# ASan+UBSan. Run from anywhere; builds land in <repo>/build and
-# <repo>/build-asan (the CMake presets' binary dirs).
+# ASan+UBSan and under TSan. Run from anywhere; builds land in <repo>/build,
+# <repo>/build-asan, and <repo>/build-tsan (the CMake presets' binary dirs).
 #
-#   tools/ci.sh            # release + sanitizer passes
+#   tools/ci.sh            # release + both sanitizer passes
 #   tools/ci.sh --fast     # release pass only
 set -euo pipefail
 
@@ -25,5 +25,10 @@ echo "==> asan+ubsan build + tier1 tests"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$jobs"
 ctest --test-dir build-asan -L tier1 --output-on-failure -j "$jobs"
+
+echo "==> tsan build + tier1 tests"
+cmake --preset tsan
+cmake --build --preset tsan -j "$jobs"
+ctest --test-dir build-tsan -L tier1 --output-on-failure -j "$jobs"
 
 echo "==> done"
