@@ -45,6 +45,10 @@ int main(int argc, char** argv) {
     std::cerr << flags.status.message() << "\n";
     return 2;
   }
+  if (flags.help) {
+    std::cout << benchfig::BenchFlags::usage(argv[0]);
+    return 0;
+  }
   const benchfig::TraceOptions& trace_opts = flags.trace;
   benchfig::print_header(
       "Fault availability",

@@ -166,6 +166,10 @@ int main(int argc, char** argv) {
     std::cerr << flags.status.message() << "\n";
     return 2;
   }
+  if (flags.help) {
+    std::cout << benchfig::BenchFlags::usage(argv[0]);
+    return 0;
+  }
   benchfig::print_header(
       "Replication availability",
       "unavailable fraction, served response, and repair overhead vs "

@@ -26,6 +26,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "exp/experiment.hpp"
 #include "obs/tracer.hpp"
@@ -155,27 +156,65 @@ struct TraceOptions {
   }
 };
 
-/// Flags shared by the fault/replication benches: `--seed=N` (experiment
-/// seed) and `--out=PATH` (CSV destination; empty disables the CSV) on top
-/// of the telemetry flags. A malformed or unknown flag lands in `status`
-/// so the binary can exit with one clear line instead of running a sweep
-/// with silently-defaulted inputs.
+/// Flags shared by the fault/replication/overload benches: `--seed=N`
+/// (experiment seed), `--out=PATH` (CSV destination; empty disables the
+/// CSV), and `--fast` (reduced sweep, where the bench supports one) on top
+/// of the telemetry flags. A malformed, unknown, or duplicated flag lands
+/// in `status` so the binary can exit with one clear line instead of
+/// running a sweep with silently-defaulted inputs; `--help` sets `help`
+/// and the caller prints `usage()` and exits 0.
 struct BenchFlags {
   std::uint64_t seed = 42;
   std::string out;
+  bool fast = false;  ///< reduced sweep for CI self-check runs
+  bool help = false;  ///< --help seen: print usage(), exit 0
   TraceOptions trace;
   Status status;
+
+  static std::string usage(const char* argv0) {
+    std::string name = argv0 ? argv0 : "bench";
+    if (const auto slash = name.rfind('/'); slash != std::string::npos) {
+      name = name.substr(slash + 1);
+    }
+    return "usage: " + name +
+           " [--seed=N] [--out=PATH] [--fast]\n"
+           "  --seed=N            experiment seed (default per bench)\n"
+           "  --out=PATH          CSV destination; empty disables the CSV\n"
+           "  --fast              reduced sweep (CI self-check mode)\n"
+           "  --trace-out=PATH    Chrome trace_event JSON (Perfetto)\n"
+           "  --jsonl-out=PATH    span/sample JSONL (tools/trace_inspect)\n"
+           "  --metrics-out=PATH  metrics registry CSV\n"
+           "  --sample-every=SEC  gauge sampling cadence (simulated s)\n"
+           "  --help              this text\n";
+  }
 
   static BenchFlags parse(int argc, char** argv, std::uint64_t default_seed,
                           std::string default_out) {
     BenchFlags flags;
     flags.seed = default_seed;
     flags.out = std::move(default_out);
+    std::vector<std::string> seen;
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        flags.help = true;
+        return flags;
+      }
       // Fold "--flag value" into "--flag=value" for the flags that take one.
       if ((arg == "--seed" || arg == "--out") && i + 1 < argc) {
         arg += std::string("=") + argv[++i];
+      }
+      // Each flag may appear once; a duplicate is almost always a typo'd
+      // sweep invocation, and silently letting the last one win hides it.
+      const std::string name = arg.substr(0, arg.find('='));
+      if (std::find(seen.begin(), seen.end(), name) != seen.end()) {
+        flags.status = Status::failure("duplicate flag: " + name);
+        return flags;
+      }
+      seen.push_back(name);
+      if (arg == "--fast") {
+        flags.fast = true;
+        continue;
       }
       std::string value;
       if (flag_value(arg, "--seed", &value)) {

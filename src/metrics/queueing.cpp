@@ -1,5 +1,7 @@
 #include "metrics/queueing.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace tapesim::metrics {
@@ -29,6 +31,36 @@ double saturation_rate(const SampleSet& service_times) {
   TAPESIM_ASSERT_MSG(service_times.count() > 0, "need service samples");
   TAPESIM_ASSERT(service_times.mean() > 0.0);
   return 1.0 / service_times.mean();
+}
+
+void ServiceEstimator::observe(Bytes bytes, Seconds service) {
+  TAPESIM_ASSERT_MSG(service.count() >= 0.0, "service time cannot be negative");
+  const double x = bytes.as_double();
+  const double y = service.count();
+  ++n_;
+  sum_x_ += x;
+  sum_y_ += y;
+  sum_xx_ += x * x;
+  sum_xy_ += x * y;
+}
+
+Seconds ServiceEstimator::mean_service() const {
+  if (n_ == 0) return Seconds{0.0};
+  return Seconds{sum_y_ / static_cast<double>(n_)};
+}
+
+Seconds ServiceEstimator::estimate(Bytes bytes) const {
+  if (n_ == 0) return Seconds{0.0};
+  const auto n = static_cast<double>(n_);
+  const double denom = n * sum_xx_ - sum_x_ * sum_x_;
+  // One observation, all-equal sizes, or a downward-sloping fit (noise on
+  // a near-flat cloud): the line is meaningless, use the mean.
+  if (n_ < 2 || denom <= 0.0) return mean_service();
+  const double slope = (n * sum_xy_ - sum_x_ * sum_y_) / denom;
+  if (slope < 0.0) return mean_service();
+  const double intercept = (sum_y_ - slope * sum_x_) / n;
+  const double predicted = intercept + slope * bytes.as_double();
+  return Seconds{std::max(0.0, predicted)};
 }
 
 }  // namespace tapesim::metrics

@@ -30,4 +30,34 @@ struct MG1Estimate {
 /// Largest arrival rate the single-server model can sustain (1 / E[S]).
 [[nodiscard]] double saturation_rate(const SampleSet& service_times);
 
+/// Online service-time predictor backing admission control.
+///
+/// Tape service time is dominated by a size-proportional transfer plus a
+/// roughly constant mount/seek overhead, so we fit service = a + b * bytes
+/// by streaming least squares over completed requests. Admission control
+/// sums estimates over the queue to decide whether a new arrival could
+/// still meet its deadline (reject-hopeless). With no or degenerate
+/// observations the estimator degrades gracefully: it falls back to the
+/// mean observed service time, and to zero before the first completion —
+/// admission is then optimistic, never wedged.
+class ServiceEstimator {
+ public:
+  /// Records one completed request: its size and measured service time.
+  void observe(Bytes bytes, Seconds service);
+
+  /// Predicted service time for a request of the given size; never
+  /// negative, zero before any observation.
+  [[nodiscard]] Seconds estimate(Bytes bytes) const;
+
+  [[nodiscard]] std::size_t observations() const { return n_; }
+  [[nodiscard]] Seconds mean_service() const;
+
+ private:
+  std::size_t n_ = 0;
+  double sum_x_ = 0.0;   ///< bytes
+  double sum_y_ = 0.0;   ///< seconds
+  double sum_xx_ = 0.0;
+  double sum_xy_ = 0.0;
+};
+
 }  // namespace tapesim::metrics

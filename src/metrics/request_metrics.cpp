@@ -7,11 +7,19 @@ const char* to_string(RequestStatus s) {
     case RequestStatus::kServed: return "served";
     case RequestStatus::kPartial: return "partial";
     case RequestStatus::kUnavailable: return "unavailable";
+    case RequestStatus::kDeadlineExpired: return "deadline_expired";
+    case RequestStatus::kShed: return "shed";
   }
   return "?";
 }
 
 void ExperimentMetrics::add(const RequestOutcome& outcome) {
+  if (outcome.status == RequestStatus::kShed) {
+    // Shed requests never ran: no response, seek, or bandwidth exists to
+    // sample. They only appear in the offered-load counters.
+    ++shed_;
+    return;
+  }
   response_.add(outcome.response.count());
   switch_.add(outcome.switch_time.count());
   seek_.add(outcome.seek.count());
@@ -23,9 +31,14 @@ void ExperimentMetrics::add(const RequestOutcome& outcome) {
     case RequestStatus::kServed:
       ++served_;
       response_served_.add(outcome.response.count());
+      if (outcome.met_deadline()) {
+        deadline_met_bytes_ += outcome.bytes_served().as_double();
+      }
       break;
     case RequestStatus::kPartial: ++partial_; break;
     case RequestStatus::kUnavailable: ++unavailable_; break;
+    case RequestStatus::kDeadlineExpired: ++expired_; break;
+    case RequestStatus::kShed: break;  // handled above
   }
   bytes_unavailable_sum_ += outcome.bytes_unavailable.as_double();
   failovers_ += outcome.failovers;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "util/ids.hpp"
 #include "util/stats.hpp"
@@ -17,14 +18,17 @@
 
 namespace tapesim::metrics {
 
-/// How a request ended. Anything but kServed only occurs with fault
+/// How a request ended. kPartial/kUnavailable only occur with fault
 /// injection enabled: data on lost cartridges (or behind permanently
 /// failed, unrecoverable mounts) completes as unavailable instead of
-/// wedging the simulation.
+/// wedging the simulation. kDeadlineExpired/kShed only occur with overload
+/// protection enabled (sched/overload.hpp).
 enum class RequestStatus : std::uint8_t {
-  kServed,       ///< Every requested byte delivered.
-  kPartial,      ///< Some bytes delivered, some unavailable.
-  kUnavailable,  ///< No requested byte could be delivered.
+  kServed,           ///< Every requested byte delivered.
+  kPartial,          ///< Some bytes delivered, some unavailable.
+  kUnavailable,      ///< No requested byte could be delivered.
+  kDeadlineExpired,  ///< Admitted, but cancelled mid-service at its deadline.
+  kShed,             ///< Rejected at admission; never consumed drive time.
 };
 
 [[nodiscard]] const char* to_string(RequestStatus s);
@@ -53,8 +57,24 @@ struct RequestOutcome {
   /// Background repair copies completed while this request was in flight.
   std::uint32_t repaired = 0;
 
+  // --- overload accounting (defaults without overload protection) ---
+  Priority priority = Priority::kForeground;
+  /// Response-time budget granted at arrival; infinity means none. For
+  /// kDeadlineExpired outcomes, response == deadline by construction.
+  Seconds deadline{kNoDeadline};
+  Bytes bytes_expired{};  ///< Requested but abandoned at the deadline.
+  std::uint32_t extents_expired = 0;
+
+  static constexpr double kNoDeadline =
+      std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] bool met_deadline() const {
+    return status == RequestStatus::kServed &&
+           response.count() <= deadline.count();
+  }
+
   [[nodiscard]] Bytes bytes_served() const {
-    return bytes - bytes_unavailable;
+    return bytes - bytes_unavailable - bytes_expired;
   }
 
   /// Effective data retrieval bandwidth for this request (delivered bytes
@@ -86,6 +106,11 @@ class ExperimentMetrics {
   [[nodiscard]] double mean_tape_switches() const;
 
   [[nodiscard]] const SampleSet& response_samples() const { return response_; }
+  /// Responses of fully served requests only — what admitted-and-completed
+  /// traffic experienced; the storm bench reports its p99.
+  [[nodiscard]] const SampleSet& served_response_samples() const {
+    return response_served_;
+  }
   [[nodiscard]] const SampleSet& bandwidth_samples() const {
     return bandwidth_;
   }
@@ -116,6 +141,19 @@ class ExperimentMetrics {
   }
   [[nodiscard]] std::uint64_t total_repaired() const { return repaired_; }
 
+  // --- overload aggregates ---
+  /// Admitted requests cancelled at their deadline.
+  [[nodiscard]] std::uint64_t expired_count() const { return expired_; }
+  /// Requests rejected at admission. Shed outcomes are counted here but
+  /// contribute to no timing sample (they never ran), so count() excludes
+  /// them; count() + shed_count() is the full offered load.
+  [[nodiscard]] std::uint64_t shed_count() const { return shed_; }
+  /// Bytes of requests fully served within their deadline (no deadline =
+  /// always within). Goodput = this over the observation interval.
+  [[nodiscard]] Bytes deadline_met_bytes() const {
+    return Bytes{static_cast<Bytes::value_type>(deadline_met_bytes_)};
+  }
+
  private:
   SampleSet response_;
   SampleSet response_served_;
@@ -134,6 +172,9 @@ class ExperimentMetrics {
   std::uint64_t media_retries_ = 0;
   std::uint64_t served_from_replica_ = 0;
   std::uint64_t repaired_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t shed_ = 0;
+  double deadline_met_bytes_ = 0.0;
 };
 
 }  // namespace tapesim::metrics

@@ -21,6 +21,7 @@ enum class Track : std::uint8_t {
   kRobot = 3,    ///< One lane per library robot (tid = library id).
   kEngine = 4,   ///< Kernel counters and narration.
   kRepair = 5,   ///< Background re-replication jobs (tid = object id).
+  kOverload = 6,  ///< Admission/shedding decisions (tid = request id).
 };
 
 enum class Phase : std::uint8_t {
@@ -35,6 +36,8 @@ enum class Phase : std::uint8_t {
   kFault,    ///< Device offline: drive failure span, robot jam span.
   kRequest,  ///< Whole-request span: arrival/submit to last byte landed.
   kRepair,   ///< One re-replication job: first read activity to catalog add.
+  kShed,     ///< Request rejected at admission (zero-width at decision time).
+  kExpired,  ///< Admitted request cancelled at its deadline.
   kMarker,   ///< Zero-duration annotation (narration, state change).
 };
 

@@ -19,6 +19,7 @@ const char* to_string(Track t) {
     case Track::kRobot: return "robot";
     case Track::kEngine: return "engine";
     case Track::kRepair: return "repair";
+    case Track::kOverload: return "overload";
   }
   return "?";
 }
@@ -36,6 +37,8 @@ const char* to_string(Phase p) {
     case Phase::kFault: return "fault";
     case Phase::kRequest: return "request";
     case Phase::kRepair: return "repair";
+    case Phase::kShed: return "shed";
+    case Phase::kExpired: return "expired";
     case Phase::kMarker: return "marker";
   }
   return "?";
@@ -368,7 +371,9 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
        {std::pair<int, const char*>{1, "requests"},
         {2, "drives"},
         {3, "robots"},
-        {4, "engine"}}) {
+        {4, "engine"},
+        {5, "repair"},
+        {6, "overload"}}) {
     sep();
     os << R"({"name":"process_name","ph":"M","pid":)" << pid
        << R"(,"tid":0,"args":{"name":")" << name << R"("}})";

@@ -1,0 +1,202 @@
+// Overload protection: deadlines, admission control, and load shedding.
+//
+// The paper's serving model assumes requests "submitted one by one with
+// long time interval" — there is no story for a flash crowd, where arrivals
+// outpace a service time measured in minutes. This layer closes that gap
+// around the serial RetrievalSimulator: arrivals carry an SLO deadline
+// derived from their size, a bounded admission queue sheds work the system
+// cannot finish in time, and a two-class priority shedder protects
+// foreground recalls at the expense of batch restores. Requests that are
+// admitted but blow their deadline anyway are cancelled mid-chain by the
+// simulator's deadline machinery and accounted as kDeadlineExpired.
+//
+// Everything here is strictly additive: with the default OverloadConfig the
+// runner serves arrivals FIFO with no deadline, no bounds, and no shedding,
+// and each request goes through the exact pre-overload simulator path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "metrics/queueing.hpp"
+#include "metrics/request_metrics.hpp"
+#include "sched/simulator.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+#include "workload/storm.hpp"
+
+namespace tapesim::obs {
+class Tracer;
+}  // namespace tapesim::obs
+
+namespace tapesim::sched {
+
+/// Size-proportional SLO: a request for B bytes must complete within
+/// base + per_gb * (B / 1 GB) of its arrival. Disabled by default.
+struct DeadlinePolicy {
+  bool enabled = false;
+  /// Fixed SLO component (mount + robot + seek budget).
+  Seconds base{3600.0};
+  /// Additional budget per gigabyte requested (transfer budget).
+  Seconds per_gb{30.0};
+
+  /// Relative deadline for a request of the given size; infinity when
+  /// disabled.
+  [[nodiscard]] Seconds deadline_for(Bytes bytes) const;
+};
+
+/// Bounds on the admission queue. A zero limit means "unbounded"; every
+/// default is inert.
+struct AdmissionPolicy {
+  /// Maximum queued (not yet serving) requests. 0 = unbounded.
+  std::uint32_t max_queue_depth = 0;
+  /// Maximum queued bytes directed at any single library. 0 = unbounded.
+  Bytes max_queued_bytes_per_library{};
+  /// Token-bucket arrival governor: sustained admission rate in requests
+  /// per second (0 disables) with up to `token_burst` requests of burst.
+  double token_rate = 0.0;
+  double token_burst = 1.0;
+  /// Reject a request at admission when the estimated backlog (sum of
+  /// predicted service over the queue, from metrics::ServiceEstimator)
+  /// already puts its completion past its deadline. Only meaningful with
+  /// deadlines enabled; optimistic until the first completion is observed.
+  bool reject_hopeless = false;
+};
+
+/// What the shedder does when admission bounds are hit.
+enum class ShedPolicy : std::uint8_t {
+  /// Admit everything, serve FIFO. Bounds and the token bucket are
+  /// ignored; the only protection left is per-request deadline expiry.
+  kNone,
+  /// Enforce the admission bounds against the newest arrival: a request
+  /// that would overflow the queue is rejected (kShed). Serve FIFO.
+  kTailDrop,
+  /// Enforce the bounds, but on queue-depth overflow drop the lowest-
+  /// priority latest-deadline entry among queue + arrival, so foreground
+  /// work displaces batch work. Serve priority-first, then earliest
+  /// deadline, then FIFO.
+  kPriority,
+};
+
+[[nodiscard]] const char* to_string(ShedPolicy p);
+
+struct OverloadConfig {
+  DeadlinePolicy deadline{};
+  AdmissionPolicy admission{};
+  ShedPolicy shed = ShedPolicy::kNone;
+  /// While foreground work is queued, signal the simulator to stop
+  /// starting background repair jobs (they resume when the queue drains).
+  bool pause_repair_under_pressure = true;
+
+  [[nodiscard]] Status try_validate() const;
+  /// Throwing wrapper: std::invalid_argument on the first violation.
+  void validate() const;
+};
+
+/// One arrival's fate, with the queueing context the bare simulator
+/// outcome cannot carry.
+struct OverloadOutcome {
+  metrics::RequestOutcome outcome;  ///< status kShed when never admitted
+  Seconds arrival{};
+  /// Admission to service start; 0 for shed requests, time-to-deadline
+  /// for requests that expired waiting in the queue.
+  Seconds queue_wait{};
+  /// Arrival to completion (expiry-clipped for expired requests; 0 for
+  /// shed requests, which are answered immediately).
+  Seconds sojourn{};
+};
+
+struct OverloadReport {
+  std::vector<OverloadOutcome> outcomes;
+  /// Aggregate over every outcome; count() excludes shed requests, so
+  /// count() + metrics.shed_count() == offered load.
+  metrics::ExperimentMetrics metrics;
+  /// Sojourn (arrival -> finish) of admitted requests only.
+  SampleSet admitted_sojourn;
+  /// Measured queue waits of requests that reached service.
+  SampleSet queue_waits;
+  std::uint64_t served = 0;
+  std::uint64_t shed_admit = 0;     ///< bounds / token bucket at arrival
+  std::uint64_t shed_hopeless = 0;  ///< deadline unreachable at arrival
+  std::uint64_t shed_evicted = 0;   ///< displaced from the queue (priority)
+  std::uint64_t expired_in_queue = 0;
+  std::uint64_t expired_in_service = 0;
+  Seconds makespan{};  ///< first arrival to last completion
+
+  [[nodiscard]] std::uint64_t shed_total() const {
+    return shed_admit + shed_hopeless + shed_evicted;
+  }
+  [[nodiscard]] std::uint64_t expired_total() const {
+    return expired_in_queue + expired_in_service;
+  }
+  /// Bytes delivered within deadline — the goodput numerator.
+  [[nodiscard]] Bytes goodput_bytes() const {
+    return metrics.deadline_met_bytes();
+  }
+};
+
+/// Drives a RetrievalSimulator through a timed arrival stream with
+/// admission control. The simulator serves one request at a time (its
+/// native contract); arrivals landing during a service wait in the
+/// admission queue and their waiting time counts against their deadline.
+///
+/// Deterministic: decisions depend only on the arrival stream, the
+/// config, and the simulator's own deterministic event order.
+class OverloadRunner {
+ public:
+  /// `sim` must outlive the runner. `tracer`, when non-null, receives
+  /// shed spans and the overload.{served,shed,expired} counters (pass the
+  /// same tracer the simulator was configured with, or any other).
+  OverloadRunner(RetrievalSimulator& sim, OverloadConfig config,
+                 obs::Tracer* tracer = nullptr);
+
+  /// Serves `arrivals` (must be sorted by time) to completion.
+  [[nodiscard]] OverloadReport run(
+      std::span<const workload::TimedRequest> arrivals);
+
+  [[nodiscard]] const OverloadConfig& config() const { return config_; }
+  /// The online service-time model fed by completed requests.
+  [[nodiscard]] const metrics::ServiceEstimator& estimator() const {
+    return estimator_;
+  }
+
+ private:
+  struct Queued {
+    workload::TimedRequest arrival;
+    Seconds deadline_abs{};
+    Bytes bytes{};
+    /// Queued bytes per library id value (only filled when the per-library
+    /// byte bound is active).
+    std::vector<std::pair<std::uint32_t, Bytes>> lib_bytes;
+    std::uint64_t seq = 0;
+  };
+
+  /// Runs the arrival through admission; returns true when it joined the
+  /// queue (false: a shed outcome was recorded).
+  bool admit(const workload::TimedRequest& arrival, OverloadReport& report);
+  /// Drops queued entries whose deadline already passed (they would be
+  /// dead on arrival at the simulator) and accounts them as expired.
+  void cull_expired(OverloadReport& report);
+  /// Index of the next entry to serve under the configured policy.
+  [[nodiscard]] std::size_t pick_next() const;
+  void serve(std::size_t index, OverloadReport& report);
+  void record_shed(const Queued& q, const char* reason,
+                   OverloadReport& report);
+  void remove_queued(std::size_t index);
+  [[nodiscard]] Seconds backlog_estimate() const;
+
+  RetrievalSimulator& sim_;
+  OverloadConfig config_;
+  obs::Tracer* tracer_;
+  metrics::ServiceEstimator estimator_;
+
+  std::vector<Queued> queue_;
+  std::unordered_map<std::uint32_t, Bytes> queued_lib_bytes_;
+  double tokens_ = 0.0;
+  Seconds last_refill_{};
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tapesim::sched

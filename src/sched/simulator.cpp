@@ -211,23 +211,28 @@ void RetrievalSimulator::on_drive_failure(DriveId d) {
 
   // Requeue the unserved tail of the serve chain: those extents go back
   // into the demand map so another drive can take them over once the
-  // cartridge has been rescued.
+  // cartridge has been rescued. An expired chain's tail was already
+  // written off at the deadline — nothing to hand over.
   const TapeId stuck = drive.mounted();
   if (chain.active) {
     TAPESIM_ASSERT(stuck.valid());
-    auto& vec = needed_[stuck.value()];
-    for (std::size_t i = chain.index; i < chain.extents.size(); ++i) {
-      vec.push_back(chain.extents[i]);
+    if (!expired_) {
+      auto& vec = needed_[stuck.value()];
+      for (std::size_t i = chain.index; i < chain.extents.size(); ++i) {
+        vec.push_back(chain.extents[i]);
+      }
     }
     chain = ServeChain{};
   }
   // A switch that had not yet inserted the cartridge: the target goes back
-  // to the head of its library queue (failover priority).
-  if (ctx.switch_target.valid() && ctx.switch_target != stuck) {
+  // to the head of its library queue (failover priority) — unless the
+  // request expired, in which case nobody wants the cartridge anymore.
+  if (ctx.switch_target.valid() && ctx.switch_target != stuck && !expired_) {
     lib_queue_[system_.library_of_tape(ctx.switch_target).index()].push_front(
         ctx.switch_target);
   }
   ctx.switch_target = TapeId{};
+  ctx.robot_ticket = sim::Resource::kInvalidTicket;
   ctx.mount_retries = 0;
   ctx.busy = false;
 
@@ -309,6 +314,71 @@ void RetrievalSimulator::extent_unavailable(
   --remaining_extents_;
   bytes_unavailable_this_request_ += extent.size;
   ++extents_unavailable_this_request_;
+  if (remaining_extents_ == 0) cancel_deadline_event();
+}
+
+// --- deadline enforcement -----------------------------------------------
+
+void RetrievalSimulator::cancel_deadline_event() {
+  if (deadline_event_ == 0) return;
+  engine_.cancel(deadline_event_);
+  deadline_event_ = 0;
+}
+
+void RetrievalSimulator::extent_expired(const catalog::TapeExtent& extent) {
+  TAPESIM_ASSERT(remaining_extents_ > 0);
+  --remaining_extents_;
+  bytes_expired_this_request_ += extent.size;
+  ++extents_expired_this_request_;
+}
+
+void RetrievalSimulator::on_deadline() {
+  deadline_event_ = 0;
+  TAPESIM_ASSERT_MSG(remaining_extents_ > 0,
+                     "deadline event outlived its request");
+  expired_ = true;
+
+  // Account and drop every extent that will now never be served: those
+  // still waiting in the demand map, and the unserved tails of active
+  // chains (including the extent whose transfer is in flight — its
+  // completion is expired-guarded). Together these are exactly the
+  // remaining extents.
+  for (const auto& [tape_value, extents] : needed_) {
+    for (const catalog::TapeExtent& e : extents) extent_expired(e);
+  }
+  needed_.clear();
+  for (auto& q : lib_queue_) q.clear();
+  for (std::uint32_t dv = 0; dv < ctx_.size(); ++dv) {
+    const ServeChain& chain = chain_[dv];
+    if (!chain.active) continue;
+    for (std::size_t i = chain.index; i < chain.extents.size(); ++i) {
+      extent_expired(chain.extents[i]);
+    }
+  }
+  TAPESIM_ASSERT_MSG(remaining_extents_ == 0,
+                     "expired accounting missed an extent");
+
+  // Withdraw switches still queued for the robot: the waiter is removed
+  // without disturbing FIFO order and the drive goes back to idle (its
+  // cartridge, if any, is rewound and still mounted — a legal resting
+  // state). Switches past the robot grant drain as doomed mounts.
+  for (std::uint32_t dv = 0; dv < ctx_.size(); ++dv) {
+    DriveCtx& c = ctx_[dv];
+    if (c.robot_ticket == sim::Resource::kInvalidTicket) continue;
+    tape::TapeLibrary& lib =
+        system_.library(system_.library_of_drive(DriveId{dv}));
+    if (lib.robot().cancel(c.robot_ticket)) {
+      c.robot_ticket = sim::Resource::kInvalidTicket;
+      c.switch_target = TapeId{};
+      c.mount_retries = 0;
+      c.busy = false;
+    }
+  }
+  if (config_.tracer != nullptr) {
+    config_.tracer->marker(obs::Track::kOverload,
+                           config_.tracer->current_request().value(),
+                           "deadline expired");
+  }
 }
 
 void RetrievalSimulator::complete_tape_unavailable(TapeId tp) {
@@ -433,6 +503,14 @@ void RetrievalSimulator::serve_mounted(DriveId d) {
 void RetrievalSimulator::serve_step(DriveId d) {
   ServeChain& chain = chain_[d.index()];
   TAPESIM_ASSERT(chain.active);
+  if (expired_) {
+    // The request's deadline passed: the chain tail was already accounted
+    // as expired by on_deadline(); abandon it and free the drive.
+    chain = ServeChain{};
+    ctx_[d.index()].busy = false;
+    next_action(d);
+    return;
+  }
   if (chain.index >= chain.extents.size()) {
     chain = ServeChain{};
     ctx_[d.index()].busy = false;
@@ -460,10 +538,20 @@ void RetrievalSimulator::serve_step(DriveId d) {
   schedule_activity(d, locate, [this, d, extent, locate]() {
     system_.drive(d).finish_locate();
     drive_req_[d.index()].seek += locate;
+    if (expired_) {
+      serve_step(d);  // unwinds via the expired guard
+      return;
+    }
     // A finite disk array may make the drive wait for a streaming slot;
     // that wait lands in the switch-side component of the decomposition.
     disk_streams_.acquire([this, d, extent]() {
       ctx_[d.index()].disk_held = true;
+      if (expired_) {
+        disk_streams_.release();
+        ctx_[d.index()].disk_held = false;
+        serve_step(d);
+        return;
+      }
       if (fault_ != nullptr && !fault_->drive_online(d, engine_.now())) {
         disk_streams_.release();
         ctx_[d.index()].disk_held = false;
@@ -485,7 +573,10 @@ void RetrievalSimulator::begin_transfer(DriveId d,
     ctx_[d.index()].disk_held = false;
     system_.drive(d).finish_transfer();
     drive_req_[d.index()].transfer += xfer;
-    extent_done(d);
+    // A transfer that outlived the deadline delivered bytes nobody waits
+    // for: the extent was accounted as expired when the deadline fired, so
+    // it must not be credited again.
+    if (!expired_) extent_done(d);
     ServeChain& chain = chain_[d.index()];
     ++chain.index;
     chain.retries = 0;
@@ -539,6 +630,13 @@ void RetrievalSimulator::on_media_error(DriveId d) {
                            "media error on tape " +
                                std::to_string(tp.value()));
   }
+  if (expired_) {
+    // No one is waiting for this chain anymore; skip the retry ladder.
+    chain = ServeChain{};
+    ctx.busy = false;
+    next_action(d);
+    return;
+  }
   if (health == tape::CartridgeHealth::kLost) {
     // The cartridge is gone: everything still expected from it — the
     // interrupted extent, the chain tail, any requeued leftovers — fails
@@ -572,6 +670,7 @@ void RetrievalSimulator::on_media_error(DriveId d) {
 void RetrievalSimulator::extent_done(DriveId d) {
   TAPESIM_ASSERT(remaining_extents_ > 0);
   --remaining_extents_;
+  if (remaining_extents_ == 0) cancel_deadline_event();
   if (replicated_) {
     const ServeChain& chain = chain_[d.index()];
     const catalog::TapeExtent& e = chain.extents[chain.index];
@@ -631,14 +730,32 @@ void RetrievalSimulator::begin_switch(DriveId d, TapeId target) {
   // new one, and inserts it. Only then does the drive-side load/thread run
   // (robot already free). Rewind needs no robot and happens beforehand.
   auto exchange = [this, d, &lib, target](bool had_tape) {
+    if (expired_) {
+      // Deadline passed during the rewind: stop before asking for the
+      // robot. The cartridge stays mounted (rewound) — a legal idle state.
+      ctx_[d.index()].switch_target = TapeId{};
+      ctx_[d.index()].busy = false;
+      return;
+    }
     const Seconds asked_at = engine_.now();
-    lib.robot().acquire([this, d, &lib, target, had_tape, asked_at]() {
+    const sim::Resource::Ticket ticket =
+        lib.robot().acquire([this, d, &lib, target, had_tape, asked_at]() {
+      ctx_[d.index()].robot_ticket = sim::Resource::kInvalidTicket;
       ctx_[d.index()].robot_held = true;
       robot_wait_this_request_ += engine_.now() - asked_at;
       if (config_.tracer != nullptr && engine_.now() > asked_at) {
         config_.tracer->record(obs::Span{
             obs::Track::kDrive, d.value(), obs::Phase::kRobotWait, asked_at,
             engine_.now(), config_.tracer->current_request(), target, {}});
+      }
+      if (expired_) {
+        // Granted after the deadline (cancel() came too late or lost the
+        // race): give the arm straight back and stand down.
+        lib.robot().release();
+        ctx_[d.index()].robot_held = false;
+        ctx_[d.index()].switch_target = TapeId{};
+        ctx_[d.index()].busy = false;
+        return;
       }
       if (fault_ != nullptr && !fault_->drive_online(d, engine_.now())) {
         // The drive died while queued for the robot; hand the arm on.
@@ -679,6 +796,9 @@ void RetrievalSimulator::begin_switch(DriveId d, TapeId target) {
         do_moves();
       });
     });
+    // Remember the waiter so a deadline can withdraw it; the grant (which
+    // fires as a separate event, never inside acquire) clears it again.
+    ctx_[d.index()].robot_ticket = ticket;
   };
 
   if (drive.empty()) {
@@ -733,7 +853,7 @@ void RetrievalSimulator::on_mount_failure(DriveId d, TapeId target) {
   }
   const bool tape_exhausted =
       attempts >= config_.faults.max_mount_attempts_per_tape;
-  if (!tape_exhausted &&
+  if (!expired_ && !tape_exhausted &&
       ctx.mount_retries < config_.faults.mount_retry.max_retries) {
     const Seconds delay = config_.faults.mount_retry.delay(ctx.mount_retries);
     ++ctx.mount_retries;
@@ -760,7 +880,10 @@ void RetrievalSimulator::on_mount_failure(DriveId d, TapeId target) {
     lib.robot().release();
     ctx_[d.index()].robot_held = false;
     ctx_[d.index()].busy = false;
-    if (tape_exhausted) {
+    if (expired_) {
+      // The request gave up on this cartridge at its deadline; it goes
+      // back to its cell and stays there.
+    } else if (tape_exhausted) {
       complete_tape_unavailable(target);
     } else {
       lib_queue_[system_.library_of_tape(target).index()].push_front(target);
@@ -1033,6 +1156,9 @@ TapeId RetrievalSimulator::pick_repair_target(DriveId d,
 
 void RetrievalSimulator::maybe_start_repair(DriveId d) {
   if (!repair_active() || repair_queue_.empty()) return;
+  // Under overload pressure every idle drive belongs to the foreground;
+  // repair jobs keep their queue slots and resume when pressure clears.
+  if (overload_pressure_) return;
   if (active_repairs_ >= config_.repair.max_concurrent) return;
   if (!switch_eligible(d)) return;
   DriveCtx& ctx = ctx_[d.index()];
@@ -1462,6 +1588,11 @@ void RetrievalSimulator::drain_repairs() {
 }
 
 metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
+  return run_request(id, RequestContext{});
+}
+
+metrics::RequestOutcome RetrievalSimulator::run_request(
+    RequestId id, const RequestContext& rctx) {
   TAPESIM_ASSERT_MSG(!in_request_, "requests are strictly sequential");
   in_request_ = true;
   if (config_.tracer != nullptr) config_.tracer->set_current_request(id);
@@ -1470,6 +1601,36 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
 
   // Reset per-request state.
   t0_ = engine_.now();
+  deadline_abs_ = rctx.deadline;
+  priority_ = rctx.priority;
+  expired_ = false;
+  deadline_event_ = 0;
+  bytes_expired_this_request_ = Bytes{};
+  extents_expired_this_request_ = 0;
+  const bool has_deadline =
+      deadline_abs_.count() < metrics::RequestOutcome::kNoDeadline;
+
+  if (has_deadline && deadline_abs_ <= t0_) {
+    // Dead on arrival (the admission layer normally sheds these): account
+    // every byte as expired without touching the engine.
+    metrics::RequestOutcome outcome;
+    outcome.request = id;
+    outcome.status = metrics::RequestStatus::kDeadlineExpired;
+    outcome.priority = priority_;
+    outcome.deadline = Seconds{0.0};
+    for (const ObjectId o : request.objects) {
+      const catalog::ObjectRecord* rec = catalog_.lookup(o);
+      TAPESIM_ASSERT_MSG(rec != nullptr, "request references unplaced object");
+      outcome.bytes += rec->size;
+      ++outcome.extents_expired;
+    }
+    outcome.bytes_expired = outcome.bytes;
+    if (config_.tracer != nullptr) {
+      config_.tracer->set_current_request(RequestId{});
+    }
+    in_request_ = false;
+    return outcome;
+  }
   last_transfer_end_ = t0_;
   last_finisher_ = DriveId{};
   switches_this_request_ = 0;
@@ -1590,6 +1751,13 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
     }
   }
 
+  // Arm the deadline last: equal-time dispatch is FIFO, so service events
+  // scheduled above win ties at the deadline instant.
+  if (has_deadline && remaining_extents_ > 0) {
+    deadline_event_ =
+        engine_.schedule_at(deadline_abs_, [this]() { on_deadline(); });
+  }
+
   engine_.run();
   TAPESIM_ASSERT_MSG(remaining_extents_ == 0,
                      "request finished with unserved objects");
@@ -1598,7 +1766,15 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
   metrics::RequestOutcome outcome;
   outcome.request = id;
   outcome.bytes = total_bytes;
-  outcome.response = last_transfer_end_ - t0_;
+  // An expired request is answered ("sorry, too late") exactly at its
+  // deadline; trailing doomed activity drains on the simulator's clock but
+  // not on the caller's.
+  outcome.response =
+      expired_ ? deadline_abs_ - t0_ : last_transfer_end_ - t0_;
+  outcome.priority = priority_;
+  outcome.deadline = deadline_abs_ - t0_;  // infinity stays infinity
+  outcome.bytes_expired = bytes_expired_this_request_;
+  outcome.extents_expired = extents_expired_this_request_;
   outcome.bytes_unavailable = bytes_unavailable_this_request_;
   outcome.extents_unavailable = extents_unavailable_this_request_;
   outcome.failovers = failovers_this_request_;
@@ -1606,7 +1782,9 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
   outcome.media_retries = media_retries_this_request_;
   outcome.served_from_replica = served_from_replica_this_request_;
   outcome.repaired = repaired_this_request_;
-  if (bytes_unavailable_this_request_.count() == 0) {
+  if (expired_) {
+    outcome.status = metrics::RequestStatus::kDeadlineExpired;
+  } else if (bytes_unavailable_this_request_.count() == 0) {
     outcome.status = metrics::RequestStatus::kServed;
   } else if (bytes_unavailable_this_request_ == total_bytes) {
     outcome.status = metrics::RequestStatus::kUnavailable;
@@ -1617,8 +1795,11 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
     outcome.seek = drive_req_[last_finisher_.index()].seek_done;
     outcome.transfer = drive_req_[last_finisher_.index()].transfer_done;
   } else {
-    // Nothing was served; only possible when every byte was unavailable.
-    TAPESIM_ASSERT(outcome.status == metrics::RequestStatus::kUnavailable);
+    // Nothing was served; only possible when every byte was unavailable
+    // or the deadline fired before the first extent landed.
+    TAPESIM_ASSERT(outcome.status == metrics::RequestStatus::kUnavailable ||
+                   outcome.status ==
+                       metrics::RequestStatus::kDeadlineExpired);
   }
   outcome.switch_time = outcome.response - outcome.seek - outcome.transfer;
   // Clamp floating-point dust from the subtraction to exactly zero.
@@ -1640,8 +1821,13 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
   if (config_.tracer != nullptr) {
     obs::Tracer& tr = *config_.tracer;
     tr.record(obs::Span{obs::Track::kRequest, id.value(),
-                        obs::Phase::kRequest, t0_, last_transfer_end_, id,
+                        obs::Phase::kRequest, t0_, t0_ + outcome.response, id,
                         TapeId{}, {}});
+    if (expired_) {
+      tr.record(obs::Span{obs::Track::kOverload, id.value(),
+                          obs::Phase::kExpired, t0_, t0_ + outcome.response,
+                          id, TapeId{}, {}});
+    }
     const auto layout = obs::BucketLayout::exponential(0.1, 1e5, 1.3);
     tr.registry().histogram("sched.request.response_s", layout)
         .record(outcome.response.count());

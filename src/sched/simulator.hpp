@@ -26,6 +26,7 @@
 #include "metrics/request_metrics.hpp"
 #include "sched/repair.hpp"
 #include "sim/engine.hpp"
+#include "sim/resource.hpp"
 #include "sim/semaphore.hpp"
 #include "tape/system.hpp"
 #include "util/error.hpp"
@@ -82,6 +83,21 @@ struct SimulatorConfig {
   [[nodiscard]] Status try_validate() const;
 };
 
+/// Per-request overload context. The default value is inert: no deadline,
+/// foreground priority — run_request(id, {}) is bit-identical to
+/// run_request(id).
+struct RequestContext {
+  /// Absolute simulation time by which the request must complete; infinity
+  /// (the default) disables deadline enforcement. When the deadline fires
+  /// with work outstanding, queued tapes are dropped, waiting robot tickets
+  /// are cancelled, serve chains are abandoned at the next activity
+  /// boundary, and the request completes as kDeadlineExpired with
+  /// response = deadline - start.
+  Seconds deadline{metrics::RequestOutcome::kNoDeadline};
+  /// User class, recorded on the outcome for the shedder upstream.
+  Priority priority = Priority::kForeground;
+};
+
 class RetrievalSimulator {
  public:
   /// Builds the physical system, materializes the catalog from `plan`, and
@@ -96,6 +112,18 @@ class RetrievalSimulator {
   /// Executes one request to completion and returns its outcome. State
   /// persists into the next call.
   metrics::RequestOutcome run_request(RequestId id);
+
+  /// As above, with overload context: an absolute deadline enforced by
+  /// mid-chain cancellation and a user priority echoed on the outcome.
+  metrics::RequestOutcome run_request(RequestId id,
+                                      const RequestContext& rctx);
+
+  /// Overload pressure signal from the admission layer: while set,
+  /// background repair stops claiming idle drives (jobs stay queued and
+  /// resume when pressure clears). Off by default — the flag never changes
+  /// behavior unless an overload runner drives it.
+  void set_overload_pressure(bool pressure) { overload_pressure_ = pressure; }
+  [[nodiscard]] bool overload_pressure() const { return overload_pressure_; }
 
   [[nodiscard]] const workload::Workload& workload() const {
     return plan_->workload();
@@ -145,6 +173,18 @@ class RetrievalSimulator {
   void finish_mount(DriveId d, TapeId target);
   void extent_done(DriveId d);
   [[nodiscard]] bool switch_eligible(DriveId d) const;
+
+  // --- deadline enforcement (never reached without a finite deadline) ---
+  /// The deadline event: accounts every unserved extent as expired, drops
+  /// queued work, cancels still-queued robot waiters, and sets expired_ so
+  /// in-flight activity chains unwind at their next boundary.
+  void on_deadline();
+  /// Retracts the pending deadline event once nothing remains unserved
+  /// (otherwise the drained event would drag the persistent engine clock
+  /// out to the deadline).
+  void cancel_deadline_event();
+  /// One extent will never be served because the deadline passed.
+  void extent_expired(const catalog::TapeExtent& extent);
   /// Ordered extent list for the mounted tape of `d`, per config.
   [[nodiscard]] std::vector<catalog::TapeExtent> plan_extent_order(
       DriveId d) const;
@@ -284,6 +324,9 @@ class RetrievalSimulator {
     bool robot_held = false;
     bool disk_held = false;
     bool recovery_pending = false;  ///< Robot en route to extract cartridge.
+    /// Still-queued robot request for the switch in progress; lets the
+    /// deadline path withdraw the waiter without disturbing FIFO order.
+    sim::Resource::Ticket robot_ticket = sim::Resource::kInvalidTicket;
     /// The repair job this drive is running, when busy with repair.
     std::optional<RepairJob> repair;
   };
@@ -310,6 +353,15 @@ class RetrievalSimulator {
   std::uint32_t media_retries_this_request_ = 0;
   std::uint64_t total_switches_ = 0;
   bool in_request_ = false;
+
+  // --- overload state (inert defaults: bit-identical when unused) ---
+  Seconds deadline_abs_{metrics::RequestOutcome::kNoDeadline};
+  Priority priority_ = Priority::kForeground;
+  sim::EventId deadline_event_ = 0;
+  bool expired_ = false;  ///< Current request blew its deadline.
+  Bytes bytes_expired_this_request_{};
+  std::uint32_t extents_expired_this_request_ = 0;
+  bool overload_pressure_ = false;
 
   // --- redundancy state (all empty/zero when the plan is unreplicated) ---
   bool replicated_ = false;

@@ -66,6 +66,18 @@ using LibraryId = StrongId<LibraryIdTag>;
 /// Identifies an object cluster produced by the clustering stage.
 using ClusterId = StrongId<ClusterIdTag>;
 
+/// User-facing request class for overload protection. Under pressure the
+/// shedder drops kBatch work before kForeground work; ordering is by the
+/// underlying value, higher = more important.
+enum class Priority : std::uint8_t {
+  kBatch = 0,       ///< Bulk restores, migrations: sheddable first.
+  kForeground = 1,  ///< Interactive restores: shed only as a last resort.
+};
+
+[[nodiscard]] constexpr const char* to_string(Priority p) {
+  return p == Priority::kBatch ? "batch" : "foreground";
+}
+
 }  // namespace tapesim
 
 namespace std {

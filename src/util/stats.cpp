@@ -23,7 +23,9 @@ void RunningStats::add(double x) {
 
 double RunningStats::variance() const {
   if (n_ < 2) return 0.0;
-  return m2_ / static_cast<double>(n_ - 1);
+  // Welford's m2 can drift a hair below zero for all-equal (or nearly
+  // equal) samples; clamping keeps stddev() from returning NaN.
+  return std::max(0.0, m2_ / static_cast<double>(n_ - 1));
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
@@ -53,7 +55,9 @@ void SampleSet::add(double x) {
 }
 
 double SampleSet::percentile(double p) const {
-  TAPESIM_ASSERT_MSG(!samples_.empty(), "percentile of empty sample set");
+  // Shed-survivor sets can legitimately be empty (every request dropped);
+  // report 0 rather than aborting the bench that asks for their p99.
+  if (samples_.empty()) return 0.0;
   TAPESIM_ASSERT(p >= 0.0 && p <= 100.0);
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

@@ -48,7 +48,8 @@ class SampleSet {
   [[nodiscard]] double max() const { return stats_.max(); }
   [[nodiscard]] double sum() const { return stats_.sum(); }
 
-  /// Linear-interpolated percentile, p in [0, 100].
+  /// Linear-interpolated percentile, p in [0, 100]. An empty set reports
+  /// 0 (n = 1 reports the sample) so small shed-survivor sets are safe.
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double median() const { return percentile(50.0); }
 

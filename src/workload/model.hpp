@@ -27,6 +27,9 @@ struct Request {
   double probability = 0.0;
   /// Distinct objects this request retrieves, in no particular order.
   std::vector<ObjectId> objects;
+  /// User-facing class consulted by the overload shedder; placement and the
+  /// baseline simulator ignore it.
+  Priority priority = Priority::kForeground;
 };
 
 class Workload {

@@ -1,0 +1,96 @@
+#include "workload/storm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace tapesim::workload {
+
+namespace {
+
+/// Exponential draw with the given mean via inverse CDF.
+double exponential(Rng& rng, double mean) {
+  return -std::log(1.0 - rng.uniform()) * mean;
+}
+
+Priority draw_priority(Rng& rng, double batch_fraction) {
+  return rng.uniform() < batch_fraction ? Priority::kBatch
+                                        : Priority::kForeground;
+}
+
+}  // namespace
+
+double StormConfig::mean_rate() const {
+  // Stationary probability of each state is proportional to its mean
+  // sojourn time.
+  const double calm = mean_calm_duration.count();
+  const double burst = mean_burst_duration.count();
+  return (base_rate * calm + burst_rate * burst) / (calm + burst);
+}
+
+void StormConfig::validate() const {
+  auto require = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string{"StormConfig: "} + what);
+  };
+  require(base_rate > 0.0, "base rate must be positive");
+  require(burst_rate >= base_rate, "burst rate must not be below base rate");
+  require(mean_burst_duration > Seconds{0.0}, "burst duration must be positive");
+  require(mean_calm_duration > Seconds{0.0}, "calm duration must be positive");
+  require(batch_fraction >= 0.0 && batch_fraction <= 1.0,
+          "batch fraction must be a probability");
+}
+
+std::vector<TimedRequest> storm_arrivals(const RequestSampler& sampler,
+                                         const StormConfig& config,
+                                         std::uint32_t count, Rng& rng) {
+  config.validate();
+  std::vector<TimedRequest> arrivals;
+  arrivals.reserve(count);
+
+  double clock = 0.0;
+  bool burst = false;
+  double next_switch = exponential(rng, config.mean_calm_duration.count());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    for (;;) {
+      const double rate = burst ? config.burst_rate : config.base_rate;
+      const double candidate = clock + exponential(rng, 1.0 / rate);
+      if (candidate <= next_switch) {
+        clock = candidate;
+        break;
+      }
+      // The modulating chain flips before the candidate arrival. Because
+      // the exponential is memoryless, discarding the partial draw and
+      // redrawing at the new state's rate from the switch instant is an
+      // exact simulation of the MMPP, not an approximation.
+      clock = next_switch;
+      burst = !burst;
+      const double mean = burst ? config.mean_burst_duration.count()
+                                : config.mean_calm_duration.count();
+      next_switch = clock + exponential(rng, mean);
+    }
+    arrivals.push_back(TimedRequest{Seconds{clock}, sampler.sample(rng),
+                                    draw_priority(rng, config.batch_fraction)});
+  }
+  return arrivals;
+}
+
+std::vector<TimedRequest> steady_arrivals(const RequestSampler& sampler,
+                                          double rate, double batch_fraction,
+                                          std::uint32_t count, Rng& rng) {
+  TAPESIM_ASSERT_MSG(rate > 0.0, "arrival rate must be positive");
+  TAPESIM_ASSERT_MSG(batch_fraction >= 0.0 && batch_fraction <= 1.0,
+                     "batch fraction must be a probability");
+  std::vector<TimedRequest> arrivals;
+  arrivals.reserve(count);
+  double clock = 0.0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    clock += exponential(rng, 1.0 / rate);
+    arrivals.push_back(TimedRequest{Seconds{clock}, sampler.sample(rng),
+                                    draw_priority(rng, batch_fraction)});
+  }
+  return arrivals;
+}
+
+}  // namespace tapesim::workload

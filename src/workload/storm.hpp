@@ -1,0 +1,65 @@
+// Flash-crowd ("storm") arrival generation.
+//
+// A two-state Markov-modulated Poisson process (MMPP-2): arrivals follow a
+// Poisson process whose rate switches between a calm base rate and a burst
+// rate; the time spent in each state is exponentially distributed. This is
+// the standard parsimonious model for bursty restore traffic — a steady
+// trickle of user recalls punctuated by flash crowds (a dataset republished,
+// a mass-restore after an outage) during which the arrival rate jumps by an
+// order of magnitude while tape service times stay minutes-long.
+//
+// Each arrival also carries a user priority drawn from `batch_fraction`, so
+// the overload shedder in sched/overload has two classes to discriminate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+#include "workload/generator.hpp"
+
+namespace tapesim::workload {
+
+/// One timed request arrival with its user class.
+struct TimedRequest {
+  Seconds time;
+  RequestId request;
+  Priority priority = Priority::kForeground;
+};
+
+struct StormConfig {
+  /// Calm-state arrival rate (requests/second).
+  double base_rate = 1.0 / 600.0;
+  /// Burst-state arrival rate; the flash crowd.
+  double burst_rate = 1.0 / 30.0;
+  /// Mean sojourn in the burst state (seconds).
+  Seconds mean_burst_duration{1800.0};
+  /// Mean sojourn in the calm state (seconds).
+  Seconds mean_calm_duration{14'400.0};
+  /// Fraction of arrivals carrying Priority::kBatch.
+  double batch_fraction = 0.5;
+
+  /// Long-run average arrival rate of the MMPP (rate weighted by the
+  /// stationary distribution of the modulating chain).
+  [[nodiscard]] double mean_rate() const;
+
+  void validate() const;
+};
+
+/// Draws `count` MMPP arrivals with request ids sampled by popularity and
+/// priorities drawn iid from `batch_fraction`. Deterministic given the rng
+/// state; arrivals are returned sorted by time (they are generated in
+/// order). The modulating chain starts in the calm state.
+[[nodiscard]] std::vector<TimedRequest> storm_arrivals(
+    const RequestSampler& sampler, const StormConfig& config,
+    std::uint32_t count, Rng& rng);
+
+/// Constant-rate Poisson arrivals with priorities — the storm's calm
+/// baseline, used for steady-state estimator validation.
+[[nodiscard]] std::vector<TimedRequest> steady_arrivals(
+    const RequestSampler& sampler, double rate, double batch_fraction,
+    std::uint32_t count, Rng& rng);
+
+}  // namespace tapesim::workload

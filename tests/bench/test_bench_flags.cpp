@@ -1,0 +1,105 @@
+// Parser tests for the flags shared by the bench binaries. The benches are
+// sweep drivers whose exit status gates CI, so a typo'd invocation must die
+// with one clear line rather than run with silently-defaulted inputs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "figure_common.hpp"
+
+namespace tapesim::benchfig {
+namespace {
+
+/// Runs BenchFlags::parse over a C-style argv built from `args` (argv[0]
+/// is the program name, as in a real invocation).
+BenchFlags parse(std::vector<std::string> args) {
+  args.insert(args.begin(), "bench_under_test");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+  return BenchFlags::parse(static_cast<int>(argv.size()), argv.data(),
+                           /*default_seed=*/42, "default.csv");
+}
+
+TEST(BenchFlags, DefaultsWhenNoArguments) {
+  const BenchFlags flags = parse({});
+  EXPECT_TRUE(flags.status.ok());
+  EXPECT_FALSE(flags.help);
+  EXPECT_FALSE(flags.fast);
+  EXPECT_EQ(flags.seed, 42u);
+  EXPECT_EQ(flags.out, "default.csv");
+  EXPECT_FALSE(flags.trace.enabled());
+}
+
+TEST(BenchFlags, ParsesBothFlagValueForms) {
+  const BenchFlags eq = parse({"--seed=7", "--out=sweep.csv"});
+  EXPECT_TRUE(eq.status.ok());
+  EXPECT_EQ(eq.seed, 7u);
+  EXPECT_EQ(eq.out, "sweep.csv");
+
+  const BenchFlags spaced = parse({"--seed", "7", "--out", "sweep.csv"});
+  EXPECT_TRUE(spaced.status.ok());
+  EXPECT_EQ(spaced.seed, 7u);
+  EXPECT_EQ(spaced.out, "sweep.csv");
+}
+
+TEST(BenchFlags, FastAndTraceFlags) {
+  const BenchFlags flags =
+      parse({"--fast", "--trace-out=t.json", "--sample-every=5"});
+  EXPECT_TRUE(flags.status.ok());
+  EXPECT_TRUE(flags.fast);
+  EXPECT_TRUE(flags.trace.enabled());
+  EXPECT_EQ(flags.trace.chrome_out, "t.json");
+  EXPECT_DOUBLE_EQ(flags.trace.sample_every, 5.0);
+}
+
+TEST(BenchFlags, RejectsMalformedValues) {
+  // The whole value must parse: "7x" is an error, not 7.
+  EXPECT_FALSE(parse({"--seed=7x"}).status.ok());
+  EXPECT_FALSE(parse({"--sample-every=soon"}).status.ok());
+}
+
+TEST(BenchFlags, RejectsUnknownFlags) {
+  const BenchFlags flags = parse({"--bogus=1"});
+  ASSERT_FALSE(flags.status.ok());
+  EXPECT_NE(flags.status.message().find("--bogus"), std::string::npos);
+}
+
+TEST(BenchFlags, RejectsDuplicateFlags) {
+  const BenchFlags twice = parse({"--seed=1", "--seed=2"});
+  ASSERT_FALSE(twice.status.ok());
+  EXPECT_NE(twice.status.message().find("duplicate"), std::string::npos);
+  EXPECT_NE(twice.status.message().find("--seed"), std::string::npos);
+
+  // Mixed "--flag=value" / "--flag value" forms are the same flag.
+  EXPECT_FALSE(parse({"--out=a.csv", "--out", "b.csv"}).status.ok());
+  EXPECT_FALSE(parse({"--trace-out=a", "--trace-out=b"}).status.ok());
+  EXPECT_FALSE(parse({"--fast", "--fast"}).status.ok());
+}
+
+TEST(BenchFlags, HelpShortCircuits) {
+  for (const char* spelling : {"--help", "-h"}) {
+    const BenchFlags flags = parse({spelling});
+    EXPECT_TRUE(flags.help);
+    EXPECT_TRUE(flags.status.ok());
+  }
+  // --help wins even when later arguments would be errors: the user asked
+  // for usage, not for a sweep.
+  const BenchFlags mixed = parse({"--help", "--bogus"});
+  EXPECT_TRUE(mixed.help);
+  EXPECT_TRUE(mixed.status.ok());
+}
+
+TEST(BenchFlags, UsageMentionsEveryFlag) {
+  const std::string text = BenchFlags::usage("/path/to/bench_overload_storm");
+  EXPECT_NE(text.find("bench_overload_storm"), std::string::npos);
+  for (const char* flag : {"--seed", "--out", "--fast", "--trace-out",
+                           "--jsonl-out", "--metrics-out", "--sample-every",
+                           "--help"}) {
+    EXPECT_NE(text.find(flag), std::string::npos) << flag;
+  }
+}
+
+}  // namespace
+}  // namespace tapesim::benchfig

@@ -65,5 +65,53 @@ TEST(ExperimentMetrics, SampleSetsExposed) {
   EXPECT_DOUBLE_EQ(m.bandwidth_samples().max(), 1.0e9 / 100.0);
 }
 
+TEST(ExperimentMetrics, ShedOutcomesCountButNeverSample) {
+  ExperimentMetrics m;
+  m.add(outcome(100.0, 10.0, 20.0, 70.0, 10_GB));
+  RequestOutcome shed;
+  shed.request = RequestId{1};
+  shed.bytes = 50_GB;
+  shed.status = RequestStatus::kShed;
+  m.add(shed);
+  // The shed request never ran: samples and means must be untouched.
+  EXPECT_EQ(m.count(), 1u);
+  EXPECT_EQ(m.shed_count(), 1u);
+  EXPECT_DOUBLE_EQ(m.mean_response().count(), 100.0);
+  EXPECT_EQ(m.mean_request_bytes(), 10_GB);
+}
+
+TEST(ExperimentMetrics, ExpiredOutcomesSampledButNotServed) {
+  ExperimentMetrics m;
+  auto ok = outcome(100.0, 10.0, 20.0, 70.0, 10_GB);
+  ok.deadline = Seconds{600.0};
+  m.add(ok);
+  auto expired = outcome(600.0, 0.0, 100.0, 500.0, 30_GB);
+  expired.status = RequestStatus::kDeadlineExpired;
+  expired.deadline = Seconds{600.0};
+  expired.bytes_expired = 20_GB;
+  m.add(expired);
+  EXPECT_EQ(m.count(), 2u);
+  EXPECT_EQ(m.served_count(), 1u);
+  EXPECT_EQ(m.expired_count(), 1u);
+  EXPECT_EQ(m.served_response_samples().count(), 1u);
+  // Only the served-within-deadline request contributes goodput bytes.
+  EXPECT_EQ(m.deadline_met_bytes(), 10_GB);
+}
+
+TEST(RequestOutcome, DeadlineSemantics) {
+  RequestOutcome o = outcome(100.0, 0.0, 0.0, 100.0, 10_GB);
+  EXPECT_TRUE(o.met_deadline());  // no deadline: always within
+  o.deadline = Seconds{50.0};
+  EXPECT_FALSE(o.met_deadline());
+  o.deadline = Seconds{100.0};
+  EXPECT_TRUE(o.met_deadline());
+  o.status = RequestStatus::kDeadlineExpired;
+  EXPECT_FALSE(o.met_deadline());
+
+  o = outcome(600.0, 0.0, 0.0, 100.0, 10_GB);
+  o.bytes_expired = 4_GB;
+  EXPECT_EQ(o.bytes_served(), 6_GB);
+}
+
 }  // namespace
 }  // namespace tapesim::metrics

@@ -64,5 +64,62 @@ TEST(MG1, SaturationRateIsInverseMeanService) {
   EXPECT_DOUBLE_EQ(saturation_rate(service), 1.0 / 5.0);
 }
 
+TEST(ServiceEstimator, ZeroBeforeFirstObservation) {
+  ServiceEstimator e;
+  EXPECT_EQ(e.observations(), 0u);
+  EXPECT_DOUBLE_EQ(e.estimate(10_GB).count(), 0.0);
+  EXPECT_DOUBLE_EQ(e.mean_service().count(), 0.0);
+}
+
+TEST(ServiceEstimator, SingleObservationFallsBackToMean) {
+  ServiceEstimator e;
+  e.observe(2_GB, Seconds{120.0});
+  EXPECT_DOUBLE_EQ(e.estimate(1_GB).count(), 120.0);
+  EXPECT_DOUBLE_EQ(e.estimate(100_GB).count(), 120.0);
+}
+
+TEST(ServiceEstimator, RecoversExactLinearModel) {
+  // service = 90 s overhead + 10 s/GB: the estimator should interpolate
+  // and extrapolate exactly.
+  ServiceEstimator e;
+  for (const double gb : {1.0, 2.0, 4.0, 8.0}) {
+    e.observe(Bytes{static_cast<Bytes::value_type>(gb * 1e9)},
+              Seconds{90.0 + 10.0 * gb});
+  }
+  EXPECT_NEAR(e.estimate(3_GB).count(), 120.0, 1e-6);
+  EXPECT_NEAR(e.estimate(16_GB).count(), 250.0, 1e-6);
+  EXPECT_NEAR(e.estimate(Bytes{0}).count(), 90.0, 1e-6);
+}
+
+TEST(ServiceEstimator, AllEqualSizesFallBackToMean) {
+  // Degenerate x-variance: the slope is undefined; the mean is the only
+  // defensible prediction.
+  ServiceEstimator e;
+  e.observe(4_GB, Seconds{100.0});
+  e.observe(4_GB, Seconds{140.0});
+  e.observe(4_GB, Seconds{120.0});
+  EXPECT_NEAR(e.estimate(1_GB).count(), 120.0, 1e-9);
+  EXPECT_NEAR(e.estimate(40_GB).count(), 120.0, 1e-9);
+}
+
+TEST(ServiceEstimator, DownwardSlopeFallsBackToMean) {
+  // Larger requests that happened to finish faster would fit a negative
+  // slope; predictions from such a line are nonsense (negative times for
+  // big requests), so the estimator must fall back.
+  ServiceEstimator e;
+  e.observe(1_GB, Seconds{500.0});
+  e.observe(10_GB, Seconds{100.0});
+  EXPECT_NEAR(e.estimate(100_GB).count(), 300.0, 1e-9);
+  EXPECT_GE(e.estimate(1000_GB).count(), 0.0);
+}
+
+TEST(ServiceEstimator, NeverPredictsNegative) {
+  ServiceEstimator e;
+  e.observe(10_GB, Seconds{10.0});
+  e.observe(20_GB, Seconds{30.0});  // slope 2 s/GB, intercept -10 s
+  EXPECT_GE(e.estimate(Bytes{0}).count(), 0.0);
+  EXPECT_GE(e.estimate(1_GB).count(), 0.0);
+}
+
 }  // namespace
 }  // namespace tapesim::metrics

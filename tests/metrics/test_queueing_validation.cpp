@@ -1,0 +1,116 @@
+// Cross-validation of the analytic queueing model against the simulator.
+//
+// The OverloadRunner is, by construction, a single FIFO server: with
+// Poisson arrivals its queue IS an M/G/1 queue whose service distribution
+// is the per-request response-time distribution. The Pollaczek–Khinchine
+// estimate in metrics/queueing must therefore land near the runner's
+// measured queue waits at moderate utilization. Service times here are
+// mildly history-dependent (mount state carries over), so the check is a
+// tolerance band, not an identity.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "metrics/queueing.hpp"
+#include "sched/overload.hpp"
+#include "sched/simulator.hpp"
+#include "workload/model.hpp"
+#include "workload/storm.hpp"
+
+namespace tapesim::metrics {
+namespace {
+
+using workload::ObjectInfo;
+using workload::Request;
+using workload::TimedRequest;
+using workload::Workload;
+
+struct Scenario {
+  tape::SystemSpec spec;
+  std::unique_ptr<Workload> workload;
+  std::unique_ptr<core::PlacementPlan> plan;
+
+  Scenario() {
+    spec.num_libraries = 1;
+    spec.library.drives_per_library = 2;
+    spec.library.tapes_per_library = 4;
+    spec.library.tape_capacity = 10_GB;
+
+    std::vector<ObjectInfo> objects{{ObjectId{0}, 2_GB},
+                                    {ObjectId{1}, 3_GB},
+                                    {ObjectId{2}, 4_GB},
+                                    {ObjectId{3}, 1_GB},
+                                    {ObjectId{4}, 2_GB}};
+    std::vector<Request> requests;
+    const double p = 1.0 / 6.0;
+    requests.push_back(Request{RequestId{0}, p, {ObjectId{0}}});
+    requests.push_back(Request{RequestId{1}, p, {ObjectId{0}, ObjectId{1}}});
+    requests.push_back(Request{RequestId{2}, p, {ObjectId{2}}});
+    requests.push_back(Request{RequestId{3}, p, {ObjectId{3}}});
+    requests.push_back(Request{RequestId{4}, p, {ObjectId{4}}});
+    requests.push_back(Request{RequestId{5}, p, {ObjectId{3}, ObjectId{4}}});
+    workload = std::make_unique<Workload>(std::move(objects),
+                                          std::move(requests));
+
+    plan = std::make_unique<core::PlacementPlan>(spec, *workload);
+    plan->assign(ObjectId{0}, TapeId{0});
+    plan->assign(ObjectId{1}, TapeId{0});
+    plan->assign(ObjectId{2}, TapeId{1});
+    plan->assign(ObjectId{3}, TapeId{2});
+    plan->assign(ObjectId{4}, TapeId{3});
+    plan->align_all(core::Alignment::kGivenOrder);
+    plan->compute_tape_popularity();
+    plan->mount_policy.initial_mounts.emplace_back(DriveId{0}, TapeId{0});
+  }
+};
+
+TEST(QueueingValidation, MG1EstimateMatchesMeasuredWaits) {
+  // Calibrate the mean service time on one simulator instance...
+  Scenario calib;
+  sched::RetrievalSimulator warm(*calib.plan);
+  SampleSet calibration;
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint32_t r = 0; r < 6; ++r) {
+      calibration.add(warm.run_request(RequestId{r}).response.count());
+    }
+  }
+  const double mean_service = calibration.mean();
+  ASSERT_GT(mean_service, 0.0);
+
+  // ...then drive a fresh one with Poisson arrivals at ~50% utilization.
+  const double rate = 0.5 / mean_service;
+  Scenario fresh;
+  sched::RetrievalSimulator sim(*fresh.plan);
+  const workload::RequestSampler sampler{*fresh.workload};
+  Rng rng{23};
+  const auto arrivals = workload::steady_arrivals(
+      sampler, rate, /*batch_fraction=*/0.0, /*count=*/400, rng);
+  sched::OverloadRunner runner(sim, sched::OverloadConfig{});
+  const sched::OverloadReport report = runner.run(arrivals);
+  ASSERT_EQ(report.served, arrivals.size());
+
+  const MG1Estimate estimate =
+      mg1_estimate(report.metrics.response_samples(), rate);
+  ASSERT_TRUE(estimate.stable);
+  EXPECT_GT(estimate.utilization, 0.3);
+  EXPECT_LT(estimate.utilization, 0.7);
+
+  const double measured_wait = report.queue_waits.mean();
+  ASSERT_GT(measured_wait, 0.0);  // the queue actually formed
+  // Pollaczek–Khinchine vs measured: the same order of magnitude, within
+  // a factor-of-two band (service times are weakly history-dependent and
+  // 400 arrivals leave real sampling noise in E[S^2]).
+  EXPECT_GT(estimate.mean_wait.count(), 0.5 * measured_wait);
+  EXPECT_LT(estimate.mean_wait.count(), 2.0 * measured_wait);
+
+  // Sojourn = wait + service holds sample-by-sample in the report.
+  for (const sched::OverloadOutcome& o : report.outcomes) {
+    EXPECT_NEAR(o.sojourn.count(),
+                o.queue_wait.count() + o.outcome.response.count(), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace tapesim::metrics

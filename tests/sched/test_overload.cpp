@@ -1,0 +1,581 @@
+// Overload protection: deadlines, admission control, and load shedding.
+//
+// Pins the robustness acceptance bar from both ends: (1) with overload
+// machinery off — no deadline, inert runner config — the simulator must be
+// bit-identical to the pre-overload scheduler, request by request and
+// through the full placement pipeline; (2) with it on, deadlines cancel
+// work mid-chain with exact byte accounting, the admission queue bounds
+// and sheds deterministically, priority displacement protects foreground
+// work, background repair pauses under pressure, and the tracer's overload
+// counters reconcile with the metrics aggregation.
+#include "sched/overload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/parallel_batch.hpp"
+#include "core/plan.hpp"
+#include "exp/experiment.hpp"
+#include "metrics/request_metrics.hpp"
+#include "obs/tracer.hpp"
+#include "sched/simulator.hpp"
+#include "workload/generator.hpp"
+#include "workload/model.hpp"
+#include "workload/storm.hpp"
+
+namespace tapesim::sched {
+namespace {
+
+using metrics::RequestOutcome;
+using metrics::RequestStatus;
+using workload::ObjectInfo;
+using workload::Request;
+using workload::TimedRequest;
+using workload::Workload;
+
+/// One library, two drives, four 10 GB tapes, five objects on distinct
+/// layouts — the smallest system where a request spans a mount, a robot
+/// exchange, and a multi-extent serve chain.
+struct Scenario {
+  tape::SystemSpec spec;
+  std::unique_ptr<Workload> workload;
+  std::unique_ptr<core::PlacementPlan> plan;
+
+  Scenario() {
+    spec.num_libraries = 1;
+    spec.library.drives_per_library = 2;
+    spec.library.tapes_per_library = 4;
+    spec.library.tape_capacity = 10_GB;
+
+    std::vector<ObjectInfo> objects{{ObjectId{0}, 2_GB},
+                                    {ObjectId{1}, 3_GB},
+                                    {ObjectId{2}, 4_GB},
+                                    {ObjectId{3}, 1_GB},
+                                    {ObjectId{4}, 2_GB}};
+    std::vector<Request> requests;
+    const double p = 1.0 / 6.0;
+    requests.push_back(Request{RequestId{0}, p, {ObjectId{0}}});
+    requests.push_back(Request{RequestId{1}, p, {ObjectId{0}, ObjectId{1}}});
+    requests.push_back(Request{RequestId{2}, p, {ObjectId{2}}});
+    requests.push_back(Request{RequestId{3}, p, {ObjectId{3}}});
+    requests.push_back(Request{RequestId{4}, p, {ObjectId{4}}});
+    requests.push_back(Request{RequestId{5}, p, {ObjectId{3}, ObjectId{4}}});
+    workload = std::make_unique<Workload>(std::move(objects),
+                                          std::move(requests));
+
+    plan = std::make_unique<core::PlacementPlan>(spec, *workload);
+    plan->assign(ObjectId{0}, TapeId{0});
+    plan->assign(ObjectId{1}, TapeId{0});
+    plan->assign(ObjectId{2}, TapeId{1});
+    plan->assign(ObjectId{3}, TapeId{2});
+    plan->assign(ObjectId{4}, TapeId{3});
+    plan->align_all(core::Alignment::kGivenOrder);
+    plan->compute_tape_popularity();
+    plan->mount_policy.initial_mounts.emplace_back(DriveId{0}, TapeId{0});
+  }
+};
+
+TEST(OverloadConfig, Validation) {
+  OverloadConfig c;
+  EXPECT_TRUE(c.try_validate().ok());
+
+  c.deadline.enabled = true;
+  c.deadline.base = Seconds{0.0};
+  EXPECT_FALSE(c.try_validate().ok());
+
+  c = OverloadConfig{};
+  c.admission.token_rate = 0.1;
+  c.admission.token_burst = 0.5;
+  EXPECT_FALSE(c.try_validate().ok());
+
+  c = OverloadConfig{};
+  c.admission.reject_hopeless = true;  // without deadlines: meaningless
+  EXPECT_FALSE(c.try_validate().ok());
+}
+
+TEST(OverloadConfig, DeadlineScalesWithSize) {
+  DeadlinePolicy d;
+  EXPECT_EQ(d.deadline_for(10_GB).count(),
+            metrics::RequestOutcome::kNoDeadline);
+  d.enabled = true;
+  d.base = Seconds{100.0};
+  d.per_gb = Seconds{10.0};
+  EXPECT_DOUBLE_EQ(d.deadline_for(0_B).count(), 100.0);
+  EXPECT_DOUBLE_EQ(d.deadline_for(10_GB).count(), 200.0);
+}
+
+TEST(Overload, NoDeadlineContextBitIdenticalToBareRunRequest) {
+  // run_request(id, {}) must replay the exact event sequence of
+  // run_request(id) — the overload-off guard at request granularity.
+  Scenario a;
+  Scenario b;
+  RetrievalSimulator plain(*a.plan);
+  RetrievalSimulator with_context(*b.plan);
+
+  for (int round = 0; round < 3; ++round) {
+    for (const std::uint32_t r : {2u, 5u, 1u, 0u, 3u, 4u}) {
+      const RequestOutcome x = plain.run_request(RequestId{r});
+      const RequestOutcome y =
+          with_context.run_request(RequestId{r}, RequestContext{});
+      EXPECT_EQ(x.response.count(), y.response.count());
+      EXPECT_EQ(x.seek.count(), y.seek.count());
+      EXPECT_EQ(x.transfer.count(), y.transfer.count());
+      EXPECT_EQ(x.switch_time.count(), y.switch_time.count());
+      EXPECT_EQ(x.tape_switches, y.tape_switches);
+      EXPECT_EQ(y.status, RequestStatus::kServed);
+      EXPECT_EQ(y.bytes_expired.count(), 0u);
+      EXPECT_EQ(y.deadline.count(), metrics::RequestOutcome::kNoDeadline);
+    }
+  }
+  EXPECT_EQ(plain.total_switches(), with_context.total_switches());
+  EXPECT_EQ(plain.engine().now().count(),
+            with_context.engine().now().count());
+}
+
+TEST(Overload, GenerousDeadlineBitIdenticalToNone) {
+  // A deadline the request cannot miss: the armed-then-cancelled deadline
+  // event must not perturb a single timing, and the engine clock must not
+  // be dragged out to the (far-future) deadline.
+  Scenario a;
+  Scenario b;
+  RetrievalSimulator plain(*a.plan);
+  RetrievalSimulator guarded(*b.plan);
+
+  for (const std::uint32_t r : {2u, 5u, 1u, 0u, 3u, 4u}) {
+    RequestContext ctx;
+    ctx.deadline = guarded.engine().now() + Seconds{1e9};
+    const RequestOutcome x = plain.run_request(RequestId{r});
+    const RequestOutcome y = guarded.run_request(RequestId{r}, ctx);
+    EXPECT_EQ(x.response.count(), y.response.count());
+    EXPECT_EQ(x.switch_time.count(), y.switch_time.count());
+    EXPECT_EQ(y.status, RequestStatus::kServed);
+    EXPECT_TRUE(y.met_deadline());
+  }
+  EXPECT_EQ(plain.engine().now().count(), guarded.engine().now().count());
+}
+
+TEST(Overload, DeadlineExpiresMidChainWithExactAccounting) {
+  Scenario s;
+  RetrievalSimulator sim(*s.plan);
+
+  // Request 1 needs 5 GB across two extents of tape 0 (mounted): far more
+  // transfer time than a 1-second budget.
+  RequestContext tight;
+  tight.deadline = sim.engine().now() + Seconds{1.0};
+  tight.priority = Priority::kBatch;
+  const RequestOutcome o = sim.run_request(RequestId{1}, tight);
+  EXPECT_EQ(o.status, RequestStatus::kDeadlineExpired);
+  EXPECT_EQ(o.priority, Priority::kBatch);
+  EXPECT_DOUBLE_EQ(o.response.count(), 1.0);  // answered at the deadline
+  EXPECT_DOUBLE_EQ(o.deadline.count(), 1.0);
+  EXPECT_FALSE(o.met_deadline());
+  // Conservation: every byte is served, expired, or unavailable.
+  EXPECT_EQ(o.bytes.count(), (5_GB).count());
+  EXPECT_EQ((o.bytes_served() + o.bytes_expired + o.bytes_unavailable).count(),
+            o.bytes.count());
+  EXPECT_GT(o.extents_expired, 0u);
+
+  // The simulator must come out of the cancellation in a clean state:
+  // the same request with no deadline now serves fully.
+  const RequestOutcome again = sim.run_request(RequestId{1});
+  EXPECT_EQ(again.status, RequestStatus::kServed);
+  EXPECT_EQ(again.bytes_served().count(), (5_GB).count());
+}
+
+TEST(Overload, DeadlineDuringRobotSwitchCancelsCleanly) {
+  Scenario s;
+  RetrievalSimulator sim(*s.plan);
+
+  // Request 2 lives on offline tape 1: the whole service is a robot
+  // exchange plus load/locate/transfer. A 10-second budget expires while
+  // the switch machinery (rewind/robot/load) is still in flight, which
+  // exercises the robot-ticket cancellation and the doomed-drain guards.
+  RequestContext tight;
+  tight.deadline = sim.engine().now() + Seconds{10.0};
+  const RequestOutcome o = sim.run_request(RequestId{2}, tight);
+  EXPECT_EQ(o.status, RequestStatus::kDeadlineExpired);
+  EXPECT_DOUBLE_EQ(o.response.count(), 10.0);
+  EXPECT_EQ(o.bytes_expired.count(), (4_GB).count());
+
+  // Afterwards every request must still serve: no wedged drive, no lost
+  // robot slot, no stale queue entry.
+  for (const std::uint32_t r : {0u, 1u, 2u, 3u, 4u, 5u}) {
+    const RequestOutcome again = sim.run_request(RequestId{r});
+    EXPECT_EQ(again.status, RequestStatus::kServed) << "request " << r;
+  }
+}
+
+TEST(Overload, DeadOnArrivalTouchesNothing) {
+  Scenario s;
+  RetrievalSimulator sim(*s.plan);
+  sim.run_request(RequestId{0});  // advance the clock past zero
+  const double clock = sim.engine().now().count();
+
+  RequestContext hopeless;
+  hopeless.deadline = Seconds{0.0};  // already in the past
+  const RequestOutcome o = sim.run_request(RequestId{2}, hopeless);
+  EXPECT_EQ(o.status, RequestStatus::kDeadlineExpired);
+  EXPECT_DOUBLE_EQ(o.response.count(), 0.0);
+  EXPECT_EQ(o.bytes_expired.count(), o.bytes.count());
+  EXPECT_EQ(sim.engine().now().count(), clock);  // no engine work at all
+}
+
+TEST(OverloadRunner, InertConfigMatchesSequentialBaseline) {
+  // All arrivals at t = 0 with the default config: the runner degenerates
+  // to the plain sequential loop — bit-identical outcomes, same clock.
+  Scenario a;
+  Scenario b;
+  RetrievalSimulator plain(*a.plan);
+  RetrievalSimulator managed(*b.plan);
+
+  const std::vector<std::uint32_t> order{2, 5, 1, 0, 3, 4};
+  std::vector<TimedRequest> arrivals;
+  for (const std::uint32_t r : order) {
+    arrivals.push_back(TimedRequest{Seconds{0.0}, RequestId{r}});
+  }
+  OverloadRunner runner(managed, OverloadConfig{});
+  const OverloadReport report = runner.run(arrivals);
+
+  ASSERT_EQ(report.outcomes.size(), order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const RequestOutcome x = plain.run_request(RequestId{order[i]});
+    const RequestOutcome& y = report.outcomes[i].outcome;
+    EXPECT_EQ(y.request.value(), order[i]);  // FIFO service order
+    EXPECT_EQ(x.response.count(), y.response.count());
+    EXPECT_EQ(x.switch_time.count(), y.switch_time.count());
+  }
+  EXPECT_EQ(report.served, order.size());
+  EXPECT_EQ(report.shed_total(), 0u);
+  EXPECT_EQ(report.expired_total(), 0u);
+  EXPECT_EQ(plain.engine().now().count(), managed.engine().now().count());
+  EXPECT_FALSE(managed.overload_pressure());  // cleared after the run
+}
+
+TEST(OverloadRunner, TokenBucketShedsBeyondBurst) {
+  Scenario s;
+  RetrievalSimulator sim(*s.plan);
+  OverloadConfig config;
+  config.shed = ShedPolicy::kTailDrop;
+  config.admission.token_rate = 1e-6;  // effectively no refill
+  config.admission.token_burst = 2.0;
+
+  std::vector<TimedRequest> arrivals;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    arrivals.push_back(TimedRequest{Seconds{static_cast<double>(i)},
+                                    RequestId{i % 6}});
+  }
+  OverloadRunner runner(sim, config);
+  const OverloadReport report = runner.run(arrivals);
+  EXPECT_EQ(report.served, 2u);
+  EXPECT_EQ(report.shed_admit, 4u);
+  EXPECT_EQ(report.metrics.shed_count(), 4u);
+  EXPECT_EQ(report.metrics.count(), 2u);  // shed requests never sample
+  // The first two arrivals hold the tokens; the rest bounce.
+  EXPECT_EQ(report.outcomes.size(), 6u);
+}
+
+TEST(OverloadRunner, DepthBoundTailDropRejectsNewest) {
+  Scenario s;
+  RetrievalSimulator sim(*s.plan);
+  OverloadConfig config;
+  config.shed = ShedPolicy::kTailDrop;
+  config.admission.max_queue_depth = 2;
+
+  const std::vector<TimedRequest> arrivals{
+      TimedRequest{Seconds{0.0}, RequestId{0}, Priority::kBatch},
+      TimedRequest{Seconds{0.0}, RequestId{3}, Priority::kForeground},
+      TimedRequest{Seconds{0.0}, RequestId{4}, Priority::kForeground},
+  };
+  OverloadRunner runner(sim, config);
+  const OverloadReport report = runner.run(arrivals);
+  EXPECT_EQ(report.served, 2u);
+  EXPECT_EQ(report.shed_admit, 1u);
+  EXPECT_EQ(report.shed_evicted, 0u);
+  // Tail drop is priority-blind: the newest arrival (request 4) bounced.
+  const auto& shed = report.outcomes[0];  // recorded at its arrival
+  EXPECT_EQ(shed.outcome.status, RequestStatus::kShed);
+  EXPECT_EQ(shed.outcome.request.value(), 4u);
+}
+
+TEST(OverloadRunner, PriorityShedderEvictsBatchForForeground) {
+  Scenario s;
+  RetrievalSimulator sim(*s.plan);
+  OverloadConfig config;
+  config.shed = ShedPolicy::kPriority;
+  config.admission.max_queue_depth = 2;
+
+  const std::vector<TimedRequest> arrivals{
+      TimedRequest{Seconds{0.0}, RequestId{0}, Priority::kBatch},
+      TimedRequest{Seconds{0.0}, RequestId{3}, Priority::kForeground},
+      TimedRequest{Seconds{0.0}, RequestId{4}, Priority::kForeground},
+  };
+  OverloadRunner runner(sim, config);
+  const OverloadReport report = runner.run(arrivals);
+  // The batch request is displaced by the third (foreground) arrival.
+  EXPECT_EQ(report.served, 2u);
+  EXPECT_EQ(report.shed_evicted, 1u);
+  EXPECT_EQ(report.shed_admit, 0u);
+  const auto& shed = report.outcomes[0];
+  EXPECT_EQ(shed.outcome.status, RequestStatus::kShed);
+  EXPECT_EQ(shed.outcome.request.value(), 0u);
+  EXPECT_EQ(shed.outcome.priority, Priority::kBatch);
+  // Both foreground requests actually served.
+  for (std::size_t i = 1; i < report.outcomes.size(); ++i) {
+    EXPECT_EQ(report.outcomes[i].outcome.status, RequestStatus::kServed);
+  }
+}
+
+TEST(OverloadRunner, PriorityPolicyServesForegroundFirst) {
+  Scenario s;
+  RetrievalSimulator sim(*s.plan);
+  OverloadConfig config;
+  config.shed = ShedPolicy::kPriority;
+
+  const std::vector<TimedRequest> arrivals{
+      TimedRequest{Seconds{0.0}, RequestId{0}, Priority::kBatch},
+      TimedRequest{Seconds{0.0}, RequestId{3}, Priority::kForeground},
+  };
+  OverloadRunner runner(sim, config);
+  const OverloadReport report = runner.run(arrivals);
+  ASSERT_EQ(report.outcomes.size(), 2u);
+  // Despite arriving second, the foreground request serves first.
+  EXPECT_EQ(report.outcomes[0].outcome.request.value(), 3u);
+  EXPECT_EQ(report.outcomes[1].outcome.request.value(), 0u);
+  EXPECT_EQ(report.served, 2u);
+}
+
+TEST(OverloadRunner, QueuedRequestExpiresBeforeService) {
+  Scenario s;
+  RetrievalSimulator sim(*s.plan);
+  OverloadConfig config;
+  config.deadline.enabled = true;
+  config.deadline.base = Seconds{30.0};  // far below one service time
+  config.deadline.per_gb = Seconds{0.0};
+
+  const std::vector<TimedRequest> arrivals{
+      TimedRequest{Seconds{0.0}, RequestId{1}},
+      TimedRequest{Seconds{0.0}, RequestId{2}},
+  };
+  OverloadRunner runner(sim, config);
+  const OverloadReport report = runner.run(arrivals);
+  // The first request expires mid-service (30 s cannot cover a transfer);
+  // by then the second's deadline has passed while queued.
+  EXPECT_EQ(report.expired_in_service, 1u);
+  EXPECT_EQ(report.expired_in_queue, 1u);
+  EXPECT_EQ(report.metrics.expired_count(), 2u);
+  EXPECT_EQ(report.served, 0u);
+  // The culled request never consumed engine time: all bytes expired.
+  const auto& culled = report.outcomes[1];
+  EXPECT_EQ(culled.outcome.status, RequestStatus::kDeadlineExpired);
+  EXPECT_EQ(culled.outcome.bytes_expired.count(),
+            culled.outcome.bytes.count());
+  EXPECT_DOUBLE_EQ(culled.sojourn.count(), 30.0);
+  EXPECT_EQ(report.admitted_sojourn.count(), 2u);
+}
+
+TEST(OverloadRunner, RejectHopelessShedsAtAdmission) {
+  Scenario s;
+  RetrievalSimulator sim(*s.plan);
+  // Warm up: serving the same request repeatedly reaches a fixed point
+  // (locate back, same transfers), giving a stable service time S.
+  OverloadConfig generous;
+  generous.shed = ShedPolicy::kTailDrop;
+  generous.deadline.enabled = true;
+  generous.deadline.base = Seconds{1e6};
+  generous.deadline.per_gb = Seconds{0.0};  // budget purely from `base`
+  generous.admission.reject_hopeless = true;
+  OverloadRunner warmup(sim, generous);
+  const OverloadReport warm = warmup.run(std::vector<TimedRequest>{
+      {Seconds{0.0}, RequestId{1}}, {Seconds{1e5}, RequestId{1}}});
+  ASSERT_EQ(warm.served, 2u);
+  const double service = warm.outcomes[1].outcome.response.count();
+
+  // Budget 1.6 S: one request fits, two in a row provably do not. Of
+  // three simultaneous arrivals the first is admitted and served; the
+  // other two are hopeless behind its backlog and shed at admission
+  // instead of expiring later. (Runners keep their own estimator, so the
+  // strict one is calibrated with one served probe first.)
+  OverloadConfig tight = generous;
+  tight.deadline.base = Seconds{service * 1.6};
+  OverloadRunner strict(sim, tight);
+  const OverloadReport probe = strict.run(
+      std::vector<TimedRequest>{{sim.engine().now(), RequestId{1}}});
+  ASSERT_EQ(probe.served, 1u);
+  ASSERT_EQ(strict.estimator().observations(), 1u);
+
+  const Seconds t = sim.engine().now();
+  const OverloadReport report = strict.run(std::vector<TimedRequest>{
+      {t, RequestId{1}}, {t, RequestId{1}}, {t, RequestId{1}}});
+  EXPECT_EQ(report.served, 1u);
+  EXPECT_EQ(report.shed_hopeless, 2u);
+  EXPECT_EQ(report.expired_total(), 0u);
+}
+
+TEST(OverloadRunner, ByteBoundPerLibrarySheds) {
+  Scenario s;
+  RetrievalSimulator sim(*s.plan);
+  OverloadConfig config;
+  config.shed = ShedPolicy::kTailDrop;
+  config.admission.max_queued_bytes_per_library = 6_GB;
+
+  // All on library 0: 5 GB + 4 GB exceeds the 6 GB bound; the second
+  // arrival sheds, the third (1 GB) still fits.
+  const std::vector<TimedRequest> arrivals{
+      TimedRequest{Seconds{0.0}, RequestId{1}},  // 5 GB
+      TimedRequest{Seconds{0.0}, RequestId{2}},  // 4 GB -> shed
+      TimedRequest{Seconds{0.0}, RequestId{3}},  // 1 GB -> fits
+  };
+  OverloadRunner runner(sim, config);
+  const OverloadReport report = runner.run(arrivals);
+  EXPECT_EQ(report.shed_admit, 1u);
+  EXPECT_EQ(report.served, 2u);
+  EXPECT_EQ(report.outcomes[0].outcome.request.value(), 2u);
+  EXPECT_EQ(report.outcomes[0].outcome.status, RequestStatus::kShed);
+}
+
+TEST(OverloadRunner, CountersReconcileWithMetrics) {
+  Scenario s;
+  obs::Tracer tracer;
+  SimulatorConfig sim_config;
+  sim_config.tracer = &tracer;
+  RetrievalSimulator sim(*s.plan, sim_config);
+
+  OverloadConfig config;
+  config.shed = ShedPolicy::kPriority;
+  config.deadline.enabled = true;
+  config.deadline.base = Seconds{400.0};
+  config.deadline.per_gb = Seconds{60.0};
+  config.admission.max_queue_depth = 3;
+
+  workload::RequestSampler sampler{*s.workload};
+  workload::StormConfig storm;
+  storm.base_rate = 1.0 / 400.0;
+  storm.burst_rate = 1.0 / 20.0;
+  storm.mean_calm_duration = Seconds{2000.0};
+  storm.mean_burst_duration = Seconds{1000.0};
+  Rng rng{17};
+  const auto arrivals = storm_arrivals(sampler, storm, 60, rng);
+
+  OverloadRunner runner(sim, config, &tracer);
+  const OverloadReport report = runner.run(arrivals);
+
+  // Every arrival is accounted exactly once.
+  EXPECT_EQ(report.outcomes.size(), arrivals.size());
+  EXPECT_EQ(report.metrics.count() + report.metrics.shed_count(),
+            arrivals.size());
+  EXPECT_EQ(report.shed_total(), report.metrics.shed_count());
+  EXPECT_EQ(report.expired_total(), report.metrics.expired_count());
+  EXPECT_EQ(report.served, report.metrics.served_count());
+
+  // The tracer's overload counters mirror the report exactly.
+  EXPECT_EQ(tracer.registry().counter("overload.served").value(),
+            static_cast<double>(report.served));
+  EXPECT_EQ(tracer.registry().counter("overload.shed").value(),
+            static_cast<double>(report.shed_total()));
+  EXPECT_EQ(tracer.registry().counter("overload.expired").value(),
+            static_cast<double>(report.expired_total()));
+
+  // Shed decisions leave zero-width spans on the overload track; expired
+  // requests leave expiry spans.
+  std::uint64_t shed_spans = 0;
+  std::uint64_t expired_spans = 0;
+  for (const obs::Span& span : tracer.spans()) {
+    if (span.track != obs::Track::kOverload) continue;
+    if (span.phase == obs::Phase::kShed) ++shed_spans;
+    if (span.phase == obs::Phase::kExpired) ++expired_spans;
+  }
+  EXPECT_EQ(shed_spans, report.shed_total());
+  EXPECT_EQ(expired_spans, report.expired_total());
+}
+
+TEST(Overload, RepairPausesUnderPressureAndResumes) {
+  // Degrade cartridges until repair jobs queue up, with pressure held
+  // high: not a single job may claim a drive. Clearing pressure lets the
+  // backlog drain.
+  Scenario base;
+  auto replicated = std::make_unique<core::PlacementPlan>(
+      base.spec, *base.workload);
+  replicated->assign(ObjectId{0}, TapeId{0});
+  replicated->assign(ObjectId{1}, TapeId{0});
+  replicated->assign(ObjectId{2}, TapeId{1});
+  replicated->assign(ObjectId{3}, TapeId{2});
+  replicated->assign(ObjectId{4}, TapeId{3});
+  replicated->align_all(core::Alignment::kGivenOrder);
+  replicated->freeze_layout();
+  replicated->assign_replica(ObjectId{0}, TapeId{1});
+  replicated->assign_replica(ObjectId{1}, TapeId{2});
+  replicated->assign_replica(ObjectId{2}, TapeId{3});
+  replicated->assign_replica(ObjectId{3}, TapeId{0});
+  replicated->assign_replica(ObjectId{4}, TapeId{2});
+  replicated->align_all(core::Alignment::kGivenOrder);
+  replicated->compute_tape_popularity();
+  replicated->mount_policy.initial_mounts.emplace_back(DriveId{0}, TapeId{0});
+
+  SimulatorConfig config;
+  config.faults.media_error_per_gb = 0.05;
+  config.faults.seed = 11;
+  config.repair.enabled = true;
+  RetrievalSimulator sim(*replicated, config);
+
+  sim.set_overload_pressure(true);
+  for (int round = 0; round < 4; ++round) {
+    for (const std::uint32_t r : {2u, 1u, 5u, 0u, 3u, 4u}) {
+      sim.run_request(RequestId{r});
+    }
+  }
+  ASSERT_GT(sim.repair_stats().jobs_scheduled, 0u)
+      << "seed no longer degrades a cartridge";
+  // Pressure held the whole time: jobs queued, none ran.
+  EXPECT_EQ(sim.repair_stats().jobs_completed, 0u);
+  EXPECT_GT(sim.repair_backlog(), 0u);
+
+  sim.set_overload_pressure(false);
+  sim.drain_repairs();
+  EXPECT_GT(sim.repair_stats().jobs_completed, 0u);
+}
+
+TEST(Overload, OffPipelineBitIdentical) {
+  // Full place -> sample -> simulate pipeline (mirrors the r = 1
+  // replication guard): running the sampled stream through the overload
+  // runner with an inert config must not perturb a single event relative
+  // to the pre-overload sequential loop.
+  exp::ExperimentConfig cfg;
+  cfg.simulated_requests = 40;
+  const exp::Experiment experiment(cfg);
+  const core::ParallelBatchPlacement scheme{{}};
+  const exp::SchemeRun baseline = experiment.run(scheme);
+
+  core::PlacementContext context;
+  context.workload = &experiment.workload();
+  context.spec = &experiment.config().spec;
+  context.clusters = &experiment.clusters();
+  const core::PlacementPlan plan = scheme.place(context);
+  RetrievalSimulator sim(plan);
+
+  Rng rng{cfg.seed};
+  Rng sample_rng = rng.fork(0x5251);  // the Experiment sampling substream
+  const workload::RequestSampler sampler(experiment.workload());
+  std::vector<TimedRequest> arrivals;
+  for (std::uint32_t i = 0; i < cfg.simulated_requests; ++i) {
+    arrivals.push_back(TimedRequest{Seconds{0.0}, sampler.sample(sample_rng)});
+  }
+  OverloadRunner runner(sim, OverloadConfig{});
+  const OverloadReport report = runner.run(arrivals);
+
+  EXPECT_EQ(report.metrics.mean_response().count(),
+            baseline.metrics.mean_response().count());
+  EXPECT_EQ(report.metrics.mean_switch().count(),
+            baseline.metrics.mean_switch().count());
+  EXPECT_EQ(report.metrics.mean_bandwidth().count(),
+            baseline.metrics.mean_bandwidth().count());
+  EXPECT_EQ(sim.total_switches(), baseline.total_switches);
+  EXPECT_EQ(report.served + report.shed_total() + report.expired_total(),
+            static_cast<std::uint64_t>(cfg.simulated_requests));
+  EXPECT_EQ(report.shed_total(), 0u);
+  EXPECT_EQ(report.expired_total(), 0u);
+}
+
+}  // namespace
+}  // namespace tapesim::sched

@@ -128,5 +128,44 @@ TEST(SampleSet, PercentileAfterMoreInsertionsStaysCorrect) {
   EXPECT_DOUBLE_EQ(s.median(), 1.0);
 }
 
+TEST(SampleSet, EmptySetReportsZeroPercentilesAndCi) {
+  // The overload storm bench asks for p99 over shed-survivor sets that can
+  // legitimately be empty; the statistics must degrade, not abort.
+  SampleSet s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.percentile(99.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(SampleSet, SingleSampleEdgeCases) {
+  SampleSet s;
+  s.add(7.25);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 7.25);
+  EXPECT_DOUBLE_EQ(s.percentile(99.0), 7.25);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 7.25);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleSet, AllEqualSamplesNeverYieldNaN) {
+  // Welford's m2 accumulates floating-point dust that can land a hair
+  // below zero; stddev/CI must clamp instead of propagating sqrt(-eps).
+  SampleSet s;
+  for (int i = 0; i < 1000; ++i) s.add(0.1 + 0.2);  // 0.30000000000000004
+  EXPECT_FALSE(std::isnan(s.stddev()));
+  EXPECT_GE(s.stddev(), 0.0);
+  EXPECT_FALSE(std::isnan(s.ci95_halfwidth()));
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 0.1 + 0.2);
+  EXPECT_DOUBLE_EQ(s.percentile(99.0), s.percentile(1.0));
+}
+
+TEST(RunningStats, AllEqualVarianceClampsToZero) {
+  RunningStats s;
+  for (int i = 0; i < 257; ++i) s.add(1.0 / 3.0);
+  EXPECT_GE(s.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(s.stddev()));
+}
+
 }  // namespace
 }  // namespace tapesim
