@@ -1,0 +1,406 @@
+// Scrub durability: foreground latent-error exposure and unavailability
+// vs decay rate x scrub interval x evacuation threshold.
+//
+// Latent media decay silently damages cartridges on a per-cartridge
+// renewal timeline; nothing escalates until a read trips over the damage.
+// Each sweep cell replays the same request sequence against a fresh
+// simulator on the same parallel-batch plan (no plan replication — every
+// object starts with exactly one copy) under one integrity posture:
+//   - off:        decay accrues, only foreground reads ever observe it
+//   - scrub:      idle drives run background verification passes that
+//                 surface damage before foreground reads hit it
+//   - scrub+evac: scrubbing plus health-driven evacuation — cartridges
+//                 scoring below threshold are drained through the repair
+//                 copy path and retired before they decay to Lost
+//
+// Built-in self-checks (exit status), on the harshest decay cell:
+//   1. Scrubbing strictly reduces the fraction of requests that run into
+//      latent damage (the no-scrub cell must see a nonzero fraction).
+//   2. Evacuation strictly reduces unavailable bytes vs scrub-only (with
+//      one copy per object, a cartridge observed to Lost takes its bytes
+//      out of service; evacuation must preempt some of that).
+//   3. Bounded foreground cost: the scrub+evac p99 served response stays
+//      within 2x of the no-scrub cell's p99.
+//   4. The obs counters scrub.{passes,bytes_verified,latent_found},
+//      evac.{started,objects_moved,preempted_unavailables}, and
+//      fault.latent_{events,observed} reconcile exactly with ScrubStats,
+//      EvacStats, and the injector's own counters on a traced run.
+#include <span>
+#include <vector>
+
+#include "core/parallel_batch.hpp"
+#include "figure_common.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tapesim;
+
+struct Bench {
+  tape::SystemSpec spec = tape::SystemSpec::paper_default();
+  workload::Workload workload;
+  cluster::ObjectClusters clusters;
+  core::PlacementPlan plan;
+  std::uint64_t seed;
+  Seconds mean_service{};
+
+  explicit Bench(std::uint64_t seed_in)
+      : workload(make_workload(seed_in)),
+        clusters(cluster::cluster_by_requests(workload,
+                                              make_constraints(spec))),
+        plan(make_plan()),
+        seed(seed_in) {
+    mean_service = calibrate();
+  }
+
+  static workload::Workload make_workload(std::uint64_t seed) {
+    workload::WorkloadConfig config = workload::WorkloadConfig::paper_default();
+    config.num_objects = 4'000;
+    Rng rng{seed};
+    Rng workload_rng = rng.fork(0x574C);  // Experiment's workload substream
+    return workload::generate_workload(config, workload_rng);
+  }
+
+  static cluster::ClusterConstraints make_constraints(
+      const tape::SystemSpec& spec) {
+    cluster::ClusterConstraints constraints;
+    constraints.max_bytes = Bytes{static_cast<Bytes::value_type>(
+        0.9 * spec.library.tape_capacity.as_double())};
+    return constraints;
+  }
+
+  core::PlacementPlan make_plan() const {
+    const core::ParallelBatchPlacement scheme{core::ParallelBatchParams{}};
+    core::PlacementContext context;
+    context.workload = &workload;
+    context.spec = &spec;
+    context.clusters = &clusters;
+    return scheme.place(context);
+  }
+
+  /// Mean sequential response over a short fault-free sample — the
+  /// foreground-time scale the decay rates and scrub cadences are
+  /// expressed in.
+  Seconds calibrate() const {
+    sched::RetrievalSimulator sim(plan);
+    Rng rng{seed};
+    Rng sample_rng = rng.fork(0x5251);
+    const workload::RequestSampler sampler(workload);
+    SampleSet service;
+    for (int i = 0; i < 30; ++i) {
+      service.add(sim.run_request(sampler.sample(sample_rng)).response.count());
+    }
+    return Seconds{service.mean()};
+  }
+};
+
+struct CellResult {
+  metrics::ExperimentMetrics metrics;
+  sched::ScrubStats scrub;
+  sched::EvacStats evac;
+  fault::FaultCounters fault;
+  Seconds engine_end{};  ///< Engine clock after the last request drained.
+};
+
+/// Replays the request sequence against a fresh simulator. With a nonzero
+/// `gap` the requests arrive on a fixed schedule (i * gap): the engine idles
+/// forward between them, so every posture — scrubbing or not — lives
+/// through the same wall-clock horizon and faces comparable decay. Decay is
+/// keyed to the engine clock; back-to-back replay (gap 0) would let a
+/// scrubbing cell age ten times faster than its no-scrub baseline purely
+/// because verification passes drain between requests.
+CellResult run_cell(const Bench& bench, std::span<const RequestId> requests,
+                    Seconds gap, const fault::FaultConfig& faults,
+                    const sched::ScrubConfig& scrub,
+                    const sched::EvacuationConfig& evac,
+                    const sched::RepairConfig& repair = {},
+                    obs::Tracer* tracer = nullptr) {
+  sched::SimulatorConfig config;
+  config.faults = faults;
+  config.scrub = scrub;
+  config.evacuation = evac;
+  config.repair = repair;
+  config.tracer = tracer;
+  if (const Status st = config.try_validate(); !st.ok()) {
+    std::cerr << st.message() << "\n";
+    std::exit(2);
+  }
+  sched::RetrievalSimulator sim(bench.plan, config);
+  CellResult cell;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Seconds arrival = gap * static_cast<double>(i);
+    if (sim.engine().now() < arrival) {
+      sim.engine().schedule_at(arrival, [] {});
+      sim.engine().run();
+    }
+    cell.metrics.add(sim.run_request(requests[i]));
+  }
+  cell.engine_end = sim.engine().now();
+  cell.scrub = sim.scrub_stats();
+  cell.evac = sim.evac_stats();
+  if (const fault::FaultInjector* inj = sim.fault_injector()) {
+    cell.fault = inj->counters();
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = benchfig::BenchFlags::parse(
+      argc, argv, /*default_seed=*/42, "scrub_durability.csv");
+  if (!flags.status.ok()) {
+    std::cerr << flags.status.message() << "\n";
+    return 2;
+  }
+  if (flags.help) {
+    std::cout << benchfig::BenchFlags::usage(argv[0]);
+    return 0;
+  }
+  benchfig::print_header(
+      "Scrub durability",
+      "foreground latent-error exposure and unavailability vs decay rate x "
+      "scrub interval x evacuation threshold (parallel batch placement, one "
+      "copy per object)");
+
+  const Bench bench(flags.seed);
+  const double service = bench.mean_service.count();
+  std::cout << "calibrated mean service: " << service << " s\n\n";
+
+  const std::uint32_t count = flags.fast ? 80 : 160;
+  // Foreground-time horizon; the probe below measures how far full-cadence
+  // scrubbing stretches it.
+  const double horizon = service * count;
+
+  // The default escalation loses a cartridge at five observed events.
+  // 0.65 evacuates at the fourth (score 1 - 4*0.1 = 0.6 <= 0.65) — one
+  // event from death, so evacuation saves exactly the cartridges about to
+  // die without churning the merely-blemished. 0.85 is the eager
+  // comparison point: evacuate at the second event.
+  const double thresholds_full[] = {0.65, 0.85};
+  const double thresholds_fast[] = {0.65};
+  const std::span<const double> thresholds =
+      flags.fast ? std::span<const double>(thresholds_fast)
+                 : std::span<const double>(thresholds_full);
+
+  // One request sequence, replayed into every cell.
+  std::vector<RequestId> requests;
+  {
+    Rng rng{flags.seed};
+    Rng req_rng = rng.fork(0x5343);  // scrub-bench request substream
+    const workload::RequestSampler sampler(bench.workload);
+    requests.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      requests.push_back(sampler.sample(req_rng));
+    }
+  }
+
+  const auto fault_point = [&](double mtbf) {
+    fault::FaultConfig faults;
+    faults.latent_decay_mtbf = Seconds{mtbf};
+    return faults;
+  };
+  const auto scrub_point = [&](double interval) {
+    sched::ScrubConfig scrub;
+    scrub.enabled = true;
+    scrub.interval = Seconds{interval};
+    // Verification throughput is the binding constraint: a full-tape pass
+    // moves hundreds of GB, so the sweep runs passes near full rate on
+    // several of the 24 drives at once to keep the per-cartridge cadence
+    // ahead of the foreground's own observation rate.
+    scrub.bandwidth_fraction = 0.8;
+    scrub.max_concurrent = 4;
+    // Small segments bound how long a scrubbing drive holds out against a
+    // foreground request that wants it (self-check 3 depends on this).
+    scrub.segment = Bytes{std::uint64_t{2} << 30};
+    return scrub;
+  };
+  const auto evac_point = [&](double threshold) {
+    sched::EvacuationConfig evac;
+    evac.enabled = true;
+    evac.threshold = threshold;
+    return evac;
+  };
+  // Evacuation copies ride the repair engine; its defaults (one job at a
+  // time, quarter-rate pacing) are tuned for trickle re-replication, not
+  // for draining a whole cartridge ahead of its next decay event. Let the
+  // copies use idle drives at full rate so a drain finishes well inside
+  // one arrival gap.
+  const auto evac_repair_point = [&] {
+    sched::RepairConfig repair;
+    repair.bandwidth_fraction = 1.0;
+    repair.max_concurrent = 4;
+    return repair;
+  };
+
+  // Probe how far full-cadence scrubbing stretches the engine clock when
+  // requests arrive back to back: same request sequence, every tape always
+  // due, decay too slow to ever fire. The probe's horizon sizes the
+  // arrival gap every measured cell uses, so the no-scrub baseline idles
+  // across the same wall-clock span the scrub cells need for their passes.
+  const double engine_horizon =
+      run_cell(bench, requests, Seconds{}, fault_point(horizon * 1e6),
+               scrub_point(horizon / 10.0), {})
+          .engine_end.count();
+  // 25% slack on top of the probed per-request cost so individual drains
+  // (scrub passes, evacuation copies) rarely slip past their gap — slip
+  // would advance one cell's clock beyond the others' and expose it to
+  // extra decay the comparison should not contain.
+  const Seconds gap{1.25 * engine_horizon / count};
+  const double span = gap.count() * count;
+  std::cout << "probed scrub-mode engine horizon: " << engine_horizon
+            << " s (foreground " << horizon << " s); arrival gap "
+            << gap.count() << " s\n\n";
+
+  const double intervals_full[] = {span / 40.0, span / 8.0};
+  const double intervals_fast[] = {span / 40.0};
+  const std::span<const double> intervals =
+      flags.fast ? std::span<const double>(intervals_fast)
+                 : std::span<const double>(intervals_full);
+
+  // Harsh first — that cell carries the self-checks. Decay intensity is
+  // absolute (an event every ~32 gaps per cartridge), not a fraction of
+  // the run: per-request dynamics — how large the folds a cold cartridge
+  // accumulates between observations get, and whether evacuation can slip
+  // in between the fourth event and the fatal fifth — must not soften just
+  // because the full sweep replays twice as many requests. Over the fast
+  // run a cartridge accrues ~2.5 events; the Poisson tail crosses the
+  // Lost threshold of five, while evacuation still has mostly-healthy
+  // cartridges to drain onto. The mild rate rarely threatens anything.
+  const double decay_mtbfs_full[] = {32.0 * gap.count(), 128.0 * gap.count()};
+  const double decay_mtbfs_fast[] = {32.0 * gap.count()};
+  const std::span<const double> decay_mtbfs =
+      flags.fast ? std::span<const double>(decay_mtbfs_fast)
+                 : std::span<const double>(decay_mtbfs_full);
+
+  Table table({"decay mtbf (s)", "mode", "interval (s)", "thresh",
+               "latent-hit frac", "unavail frac", "p99 served (s)", "passes",
+               "aborted", "verified GB", "latent found", "evacs", "moved",
+               "preempted", "engine end (s)"});
+  const auto add_row = [&](double mtbf, const char* mode, double interval,
+                           double threshold, const CellResult& cell) {
+    table.add(mtbf, mode, interval, threshold,
+              cell.metrics.fraction_latent_hit(),
+              cell.metrics.fraction_unavailable(),
+              cell.metrics.served_response_samples().percentile(99.0),
+              cell.scrub.passes, cell.scrub.passes_aborted,
+              static_cast<double>(cell.scrub.bytes_verified) / 1e9,
+              cell.scrub.latent_found, cell.evac.started,
+              cell.evac.objects_moved, cell.evac.preempted_unavailables,
+              cell.engine_end.count());
+  };
+
+  bool exposure_ok = true;
+  bool unavail_ok = true;
+  bool tail_ok = true;
+  bool reconcile_ok = true;
+  const double harsh_mtbf = decay_mtbfs[0];
+  const double check_interval = intervals[0];
+  const double check_threshold = thresholds[0];
+
+  for (const double mtbf : decay_mtbfs) {
+    const fault::FaultConfig faults = fault_point(mtbf);
+    const CellResult off = run_cell(bench, requests, gap, faults, {}, {});
+    add_row(mtbf, "off", 0.0, 0.0, off);
+
+    CellResult scrub_checked;  // the (harsh, check_interval) scrub-only cell
+    for (const double interval : intervals) {
+      const CellResult scrubbed =
+          run_cell(bench, requests, gap, faults, scrub_point(interval), {});
+      add_row(mtbf, "scrub", interval, 0.0, scrubbed);
+      if (mtbf == harsh_mtbf && interval == check_interval) {
+        scrub_checked = scrubbed;
+      }
+    }
+
+    for (const double threshold : thresholds) {
+      const bool traced = mtbf == harsh_mtbf &&
+                          threshold == check_threshold;
+      obs::Tracer tracer;
+      if (flags.trace.sample_every > 0.0) {
+        tracer.set_sample_cadence(Seconds{flags.trace.sample_every});
+      }
+      const CellResult cell =
+          run_cell(bench, requests, gap, faults, scrub_point(check_interval),
+                   evac_point(threshold), evac_repair_point(),
+                   traced ? &tracer : nullptr);
+      add_row(mtbf, "scrub+evac", check_interval, threshold, cell);
+
+      if (traced) {
+        // Self-check 1: scrubbing shrinks the undetected-damage window a
+        // foreground read can fall into. Meaningless if the no-scrub cell
+        // never hit damage, so require that too.
+        const double hit_off = off.metrics.fraction_latent_hit();
+        const double hit_scrub = scrub_checked.metrics.fraction_latent_hit();
+        if (!(hit_off > 0.0) || !(hit_scrub < hit_off)) {
+          std::cout << "EXPOSURE FAIL: latent-hit fraction " << hit_scrub
+                    << " with scrubbing vs " << hit_off << " without\n";
+          exposure_ok = false;
+        }
+        // Self-check 2: evacuation preempts unavailability. Scrub-only
+        // observes cartridges to Lost and, with one copy per object, their
+        // bytes leave service; evacuation must save a strict share.
+        const double un_scrub = scrub_checked.metrics.fraction_unavailable();
+        const double un_evac = cell.metrics.fraction_unavailable();
+        if (!(un_scrub > 0.0) || !(un_evac < un_scrub)) {
+          std::cout << "UNAVAIL FAIL: unavailable fraction " << un_evac
+                    << " with evacuation vs " << un_scrub
+                    << " scrub-only\n";
+          unavail_ok = false;
+        }
+        // Self-check 3: background verification and drains stay behind the
+        // foreground — bounded tail cost for served requests.
+        const double p99_off =
+            off.metrics.served_response_samples().percentile(99.0);
+        const double p99_evac =
+            cell.metrics.served_response_samples().percentile(99.0);
+        if (!(p99_evac <= 2.0 * p99_off)) {
+          std::cout << "TAIL FAIL: p99 served " << p99_evac
+                    << " s with scrub+evac vs " << p99_off
+                    << " s without (cap 2x)\n";
+          tail_ok = false;
+        }
+        // Self-check 4: obs counters == scheduler stats, exactly.
+        auto& reg = tracer.registry();
+        const bool scrub_counters =
+            reg.counter("scrub.passes").value() == cell.scrub.passes &&
+            reg.counter("scrub.bytes_verified").value() ==
+                cell.scrub.bytes_verified &&
+            reg.counter("scrub.latent_found").value() ==
+                cell.scrub.latent_found;
+        const bool evac_counters =
+            reg.counter("evac.started").value() == cell.evac.started &&
+            reg.counter("evac.objects_moved").value() ==
+                cell.evac.objects_moved &&
+            reg.counter("evac.preempted_unavailables").value() ==
+                cell.evac.preempted_unavailables;
+        const bool fault_counters =
+            reg.counter("fault.latent_events").value() ==
+                cell.fault.latent_events &&
+            reg.counter("fault.latent_observed").value() ==
+                cell.fault.latent_observed;
+        if (!scrub_counters || !evac_counters || !fault_counters) {
+          std::cout << "RECONCILE FAIL: scrub " << scrub_counters << " evac "
+                    << evac_counters << " fault " << fault_counters << "\n";
+          reconcile_ok = false;
+        }
+        if (flags.trace.enabled()) flags.trace.finish(tracer);
+      }
+    }
+  }
+
+  benchfig::print_table(table, flags.out);
+
+  std::cout << "exposure self-check: " << (exposure_ok ? "OK" : "FAIL")
+            << " (scrubbing strictly reduces the latent-hit request "
+               "fraction at the harsh decay rate)\n";
+  std::cout << "unavailability self-check: " << (unavail_ok ? "OK" : "FAIL")
+            << " (evacuation strictly reduces unavailable bytes vs "
+               "scrub-only)\n";
+  std::cout << "tail self-check: " << (tail_ok ? "OK" : "FAIL")
+            << " (scrub+evac p99 served response within 2x of no-scrub)\n";
+  std::cout << "reconcile self-check: " << (reconcile_ok ? "OK" : "FAIL")
+            << " (scrub.*, evac.*, fault.latent_* counters match ScrubStats, "
+               "EvacStats, and FaultCounters exactly)\n";
+  return (exposure_ok && unavail_ok && tail_ok && reconcile_ok) ? 0 : 1;
+}

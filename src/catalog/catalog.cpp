@@ -18,7 +18,8 @@ const char* to_string(ReplicaHealth h) {
 ObjectCatalog::ObjectCatalog(std::uint32_t total_tapes)
     : by_tape_(total_tapes),
       used_(total_tapes),
-      health_(total_tapes, ReplicaHealth::kGood) {}
+      health_(total_tapes, ReplicaHealth::kGood),
+      retired_(total_tapes, false) {}
 
 bool ObjectCatalog::insert(const ObjectRecord& record) {
   TAPESIM_ASSERT_MSG(record.object.valid(), "object id must be valid");
@@ -79,6 +80,16 @@ ReplicaHealth ObjectCatalog::tape_health(TapeId tape) const {
   return health_[tape.index()];
 }
 
+void ObjectCatalog::retire_tape(TapeId tape) {
+  TAPESIM_ASSERT(tape.valid() && tape.index() < retired_.size());
+  retired_[tape.index()] = true;
+}
+
+bool ObjectCatalog::tape_retired(TapeId tape) const {
+  TAPESIM_ASSERT(tape.valid() && tape.index() < retired_.size());
+  return retired_[tape.index()];
+}
+
 const ObjectRecord* ObjectCatalog::best_replica(
     ObjectId id, std::span<const TapeId> exclude) const {
   const ObjectRecord* best = nullptr;
@@ -87,6 +98,7 @@ const ObjectRecord* ObjectCatalog::best_replica(
   };
   auto consider = [&](const ObjectRecord& copy) {
     if (excluded(copy.tape)) return;
+    if (retired_[copy.tape.index()]) return;
     ReplicaHealth h = tape_health(copy.tape);
     if (h == ReplicaHealth::kLost) return;
     // Good beats Degraded; earlier copy (primary first) wins ties.

@@ -87,9 +87,16 @@ class ObjectCatalog {
   void set_tape_health(TapeId tape, ReplicaHealth health);
   [[nodiscard]] ReplicaHealth tape_health(TapeId tape) const;
 
-  /// The best surviving copy of `id`: copies on Lost tapes and on tapes in
-  /// `exclude` are skipped, Good health beats Degraded, and the primary
-  /// wins ties (then replica insertion order). nullptr when no copy
+  /// Marks `tape` retired: its objects were evacuated elsewhere, so its
+  /// copies no longer count as live and best_replica skips them. One-way,
+  /// like health escalation. The extent records stay (the physical bytes
+  /// are still on the cartridge); the scheduler just never routes to them.
+  void retire_tape(TapeId tape);
+  [[nodiscard]] bool tape_retired(TapeId tape) const;
+
+  /// The best surviving copy of `id`: copies on Lost or retired tapes and
+  /// on tapes in `exclude` are skipped, Good health beats Degraded, and the
+  /// primary wins ties (then replica insertion order). nullptr when no copy
   /// survives. The pointer is invalidated by the next insert of `id`.
   [[nodiscard]] const ObjectRecord* best_replica(
       ObjectId id, std::span<const TapeId> exclude = {}) const;
@@ -120,6 +127,7 @@ class ObjectCatalog {
   std::unordered_map<std::uint32_t, std::vector<ObjectRecord>> replicas_;
   std::size_t replica_total_ = 0;
   std::vector<ReplicaHealth> health_;  ///< by tape index
+  std::vector<bool> retired_;          ///< by tape index
 };
 
 }  // namespace tapesim::catalog

@@ -24,6 +24,7 @@ FaultInjector::FaultInjector(const FaultConfig& config,
   const Rng mount_base = root.split("mount");
   const Rng media_base = root.split("media");
   const Rng robot_base = root.split("robot");
+  const Rng decay_base = root.split("decay");
 
   const std::uint32_t num_drives = spec.total_drives();
   const std::uint32_t num_tapes = spec.total_tapes();
@@ -35,8 +36,11 @@ FaultInjector::FaultInjector(const FaultConfig& config,
     mount_rngs_.push_back(mount_base.fork(d));
   }
   media_rngs_.reserve(num_tapes);
+  decay_.reserve(num_tapes);
   for (std::uint32_t t = 0; t < num_tapes; ++t) {
     media_rngs_.push_back(media_base.fork(t));
+    decay_.push_back(DecayTimeline{decay_base.fork(t), kNever, 0, 0,
+                                   /*started=*/false});
   }
   robot_rngs_.reserve(spec.num_libraries);
   for (std::uint32_t l = 0; l < spec.num_libraries; ++l) {
@@ -145,20 +149,85 @@ std::optional<double> FaultInjector::media_error(TapeId t, Bytes amount,
   return x / gb;  // in [0, 1)
 }
 
+tape::CartridgeHealth FaultInjector::health_for(std::uint32_t count) const {
+  if (count >= config_.lost_after) return tape::CartridgeHealth::kLost;
+  if (count >= config_.degraded_after) return tape::CartridgeHealth::kDegraded;
+  return tape::CartridgeHealth::kGood;
+}
+
 tape::CartridgeHealth FaultInjector::record_media_error(TapeId t) {
   TAPESIM_ASSERT(t.valid() && t.index() < media_error_counts_.size());
   ++counters_.media_errors;
   const std::uint32_t count = ++media_error_counts_[t.index()];
   if (count == config_.lost_after) ++counters_.lost_cartridges;
   if (count == config_.degraded_after) ++counters_.degraded_cartridges;
-  if (count >= config_.lost_after) return tape::CartridgeHealth::kLost;
-  if (count >= config_.degraded_after) return tape::CartridgeHealth::kDegraded;
-  return tape::CartridgeHealth::kGood;
+  return health_for(count);
 }
 
 std::uint32_t FaultInjector::media_errors_on(TapeId t) const {
   TAPESIM_ASSERT(t.valid() && t.index() < media_error_counts_.size());
   return media_error_counts_[t.index()];
+}
+
+FaultInjector::DecayTimeline& FaultInjector::decay(TapeId t, Seconds at) {
+  TAPESIM_ASSERT(t.valid() && t.index() < decay_.size());
+  DecayTimeline& tl = decay_[t.index()];
+  const double mtbf = config_.latent_decay_mtbf.count();
+  if (!tl.started) {
+    tl.started = true;
+    if (mtbf > 0.0) {
+      tl.next_at = Seconds{sample_exponential(tl.rng, mtbf)};
+    }
+    // mtbf == 0: next_at stays +inf, the loop below never iterates.
+  }
+  while (at >= tl.next_at) {
+    ++tl.accrued;
+    ++counters_.latent_events;
+    tl.next_at += Seconds{sample_exponential(tl.rng, mtbf)};
+  }
+  return tl;
+}
+
+std::uint32_t FaultInjector::undetected_damage(TapeId t, Seconds at) {
+  if (config_.latent_decay_mtbf.count() <= 0.0) return 0;
+  DecayTimeline& tl = decay(t, at);
+  return tl.accrued - tl.observed;
+}
+
+double FaultInjector::latent_hit_position(TapeId t) {
+  TAPESIM_ASSERT(t.valid() && t.index() < decay_.size());
+  return decay_[t.index()].rng.uniform();
+}
+
+tape::CartridgeHealth FaultInjector::observe_damage(TapeId t, Seconds at,
+                                                    std::uint32_t* found) {
+  TAPESIM_ASSERT(t.valid() && t.index() < media_error_counts_.size());
+  std::uint32_t fresh = 0;
+  if (config_.latent_decay_mtbf.count() > 0.0) {
+    DecayTimeline& tl = decay(t, at);
+    fresh = tl.accrued - tl.observed;
+    if (fresh > 0) {
+      tl.observed = tl.accrued;
+      counters_.latent_observed += fresh;
+      counters_.media_errors += fresh;
+      const std::uint32_t before = media_error_counts_[t.index()];
+      const std::uint32_t after = before + fresh;
+      media_error_counts_[t.index()] = after;
+      if (before < config_.degraded_after && after >= config_.degraded_after) {
+        ++counters_.degraded_cartridges;
+      }
+      if (before < config_.lost_after && after >= config_.lost_after) {
+        ++counters_.lost_cartridges;
+      }
+    }
+  }
+  if (found != nullptr) *found = fresh;
+  return health_for(media_error_counts_[t.index()]);
+}
+
+std::uint32_t FaultInjector::latent_observed_on(TapeId t) const {
+  TAPESIM_ASSERT(t.valid() && t.index() < decay_.size());
+  return decay_[t.index()].observed;
 }
 
 Seconds FaultInjector::robot_jam_delay(LibraryId lib) {

@@ -41,6 +41,8 @@ struct FaultCounters {
   std::uint64_t robot_jams = 0;
   std::uint64_t degraded_cartridges = 0;  ///< Good -> Degraded escalations.
   std::uint64_t lost_cartridges = 0;      ///< -> Lost escalations.
+  std::uint64_t latent_events = 0;   ///< Silent damage events materialised.
+  std::uint64_t latent_observed = 0; ///< Damage events surfaced by observation.
 };
 
 class FaultInjector {
@@ -97,6 +99,31 @@ class FaultInjector {
 
   [[nodiscard]] std::uint32_t media_errors_on(TapeId t) const;
 
+  // --- latent media decay ---
+
+  /// Silent damage events cartridge `t` has accumulated by `at` but that no
+  /// read or scrub has observed yet. Advances the decay timeline lazily;
+  /// always 0 when decay is disabled.
+  [[nodiscard]] std::uint32_t undetected_damage(TapeId t, Seconds at);
+
+  /// Position (fraction of a transfer, in [0, 1)) at which a read runs
+  /// into already-accrued latent damage. Only meaningful when
+  /// undetected_damage(t, at) > 0; consumes one draw from the tape's decay
+  /// stream (never touched when decay is disabled).
+  [[nodiscard]] double latent_hit_position(TapeId t);
+
+  /// An observation of cartridge `t` (a read running into damaged sectors,
+  /// or a scrub verifying the whole tape): every undetected damage event
+  /// accrued by `at` surfaces into the error count and escalates health
+  /// through the configured thresholds. `found` (optional) receives how
+  /// many events surfaced. Returns the health the cartridge should now
+  /// have; the caller applies it to the tape system.
+  [[nodiscard]] tape::CartridgeHealth observe_damage(
+      TapeId t, Seconds at, std::uint32_t* found = nullptr);
+
+  /// Latent damage events surfaced on `t` so far (observed, cumulative).
+  [[nodiscard]] std::uint32_t latent_observed_on(TapeId t) const;
+
   // --- robot arm jams ---
 
   /// Extra delay for one robot move in library `lib`: the configured clear
@@ -115,9 +142,24 @@ class FaultInjector {
     bool started = false;
   };
 
+  /// Lazy renewal timeline of one cartridge's silent decay: `next_at` is
+  /// the next damage event; `accrued` counts materialised events,
+  /// `observed` the prefix already surfaced into media_error_counts_.
+  struct DecayTimeline {
+    Rng rng;
+    Seconds next_at{};
+    std::uint32_t accrued = 0;
+    std::uint32_t observed = 0;
+    bool started = false;
+  };
+
   /// Materialises outage windows until `t` falls before repair_at.
   void advance(DriveTimeline& tl, Seconds t);
   DriveTimeline& timeline(DriveId d);
+  /// Materialises decay events of `t` up to `at`.
+  DecayTimeline& decay(TapeId t, Seconds at);
+  /// Health implied by an observed error count, per the thresholds.
+  [[nodiscard]] tape::CartridgeHealth health_for(std::uint32_t count) const;
 
   FaultConfig config_;
   FaultCounters counters_;
@@ -126,6 +168,7 @@ class FaultInjector {
   std::vector<Rng> media_rngs_;    ///< One per tape.
   std::vector<Rng> robot_rngs_;    ///< One per library.
   std::vector<std::uint32_t> media_error_counts_;  ///< One per tape.
+  std::vector<DecayTimeline> decay_;               ///< One per tape.
 };
 
 }  // namespace tapesim::fault

@@ -31,6 +31,8 @@ Status FaultConfig::try_validate() const {
                 "robot jam probability must be in [0, 1)");
   check.require(robot_jam_prob == 0.0 || robot_jam_clear.count() > 0.0,
                 "robot jam clear time must be positive when jams are enabled");
+  check.require(latent_decay_mtbf.count() >= 0.0,
+                "latent decay MTBF must be >= 0");
   check.merge(mount_retry.try_validate("FaultConfig mount retry"));
   check.merge(media_retry.try_validate("FaultConfig media retry"));
   return check.take();

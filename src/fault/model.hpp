@@ -14,6 +14,11 @@
 //   * Media read errors: per-GB error rate; repeated errors escalate a
 //     cartridge Good -> Degraded (error rate multiplied) -> Lost.
 //   * Robot arm jams: per-move Bernoulli adding a fixed clear time.
+//   * Latent media decay: cartridges silently accumulate sector damage on a
+//     per-cartridge renewal timeline, independent of reads. Damage counts
+//     toward the Degraded/Lost escalation thresholds only when *observed*
+//     (a foreground read runs into it, or a scrub pass verifies the tape),
+//     so the true damage and the detected health of a cartridge diverge.
 #pragma once
 
 #include <cstdint>
@@ -79,11 +84,18 @@ struct FaultConfig {
   /// Extra time to clear a jam (added to the affected move).
   Seconds robot_jam_clear{60.0};
 
+  // --- latent media decay ---
+  /// Mean time between silent damage events per cartridge; 0 disables.
+  /// Each event counts toward degraded_after/lost_after only once observed
+  /// by a read or a scrub.
+  Seconds latent_decay_mtbf{};
+
   /// True when any fault class is active. The scheduler only builds an
   /// injector (and only pays any overhead) when this returns true.
   [[nodiscard]] bool enabled() const {
     return drive_mtbf.count() > 0.0 || mount_failure_prob > 0.0 ||
-           media_error_per_gb > 0.0 || robot_jam_prob > 0.0;
+           media_error_per_gb > 0.0 || robot_jam_prob > 0.0 ||
+           latent_decay_mtbf.count() > 0.0;
   }
 
   [[nodiscard]] Status try_validate() const;

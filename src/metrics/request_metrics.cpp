@@ -46,6 +46,14 @@ void ExperimentMetrics::add(const RequestOutcome& outcome) {
   media_retries_ += outcome.media_retries;
   served_from_replica_ += outcome.served_from_replica;
   repaired_ += outcome.repaired;
+  latent_hits_ += outcome.latent_hits;
+  if (outcome.latent_hits > 0) ++latent_hit_requests_;
+}
+
+double ExperimentMetrics::fraction_latent_hit() const {
+  if (count() == 0) return 0.0;
+  return static_cast<double>(latent_hit_requests_) /
+         static_cast<double>(count());
 }
 
 double ExperimentMetrics::fraction_unavailable() const {

@@ -56,6 +56,9 @@ struct RequestOutcome {
   std::uint32_t served_from_replica = 0;
   /// Background repair copies completed while this request was in flight.
   std::uint32_t repaired = 0;
+  /// Foreground reads that ran into latent decay damage accrued silently
+  /// since the cartridge was last verified (requires latent decay).
+  std::uint32_t latent_hits = 0;
 
   // --- overload accounting (defaults without overload protection) ---
   Priority priority = Priority::kForeground;
@@ -140,6 +143,17 @@ class ExperimentMetrics {
     return served_from_replica_;
   }
   [[nodiscard]] std::uint64_t total_repaired() const { return repaired_; }
+  /// Foreground latent-damage hits across all requests; the scrub bench's
+  /// primary "did verification help" signal.
+  [[nodiscard]] std::uint64_t total_latent_hits() const {
+    return latent_hits_;
+  }
+  /// Requests with at least one latent-damage hit.
+  [[nodiscard]] std::uint64_t latent_hit_request_count() const {
+    return latent_hit_requests_;
+  }
+  /// Fraction of requests that ran into latent damage; 0 without decay.
+  [[nodiscard]] double fraction_latent_hit() const;
 
   // --- overload aggregates ---
   /// Admitted requests cancelled at their deadline.
@@ -172,6 +186,8 @@ class ExperimentMetrics {
   std::uint64_t media_retries_ = 0;
   std::uint64_t served_from_replica_ = 0;
   std::uint64_t repaired_ = 0;
+  std::uint64_t latent_hits_ = 0;
+  std::uint64_t latent_hit_requests_ = 0;
   std::uint64_t expired_ = 0;
   std::uint64_t shed_ = 0;
   double deadline_met_bytes_ = 0.0;

@@ -22,6 +22,7 @@ enum class Track : std::uint8_t {
   kEngine = 4,   ///< Kernel counters and narration.
   kRepair = 5,   ///< Background re-replication jobs (tid = object id).
   kOverload = 6,  ///< Admission/shedding decisions (tid = request id).
+  kScrub = 7,    ///< Background verification passes (tid = tape id).
 };
 
 enum class Phase : std::uint8_t {
@@ -38,6 +39,7 @@ enum class Phase : std::uint8_t {
   kRepair,   ///< One re-replication job: first read activity to catalog add.
   kShed,     ///< Request rejected at admission (zero-width at decision time).
   kExpired,  ///< Admitted request cancelled at its deadline.
+  kScrub,    ///< One verification pass: mount start to last byte verified.
   kMarker,   ///< Zero-duration annotation (narration, state change).
 };
 

@@ -20,6 +20,7 @@ const char* to_string(Track t) {
     case Track::kEngine: return "engine";
     case Track::kRepair: return "repair";
     case Track::kOverload: return "overload";
+    case Track::kScrub: return "scrub";
   }
   return "?";
 }
@@ -39,6 +40,7 @@ const char* to_string(Phase p) {
     case Phase::kRepair: return "repair";
     case Phase::kShed: return "shed";
     case Phase::kExpired: return "expired";
+    case Phase::kScrub: return "scrub";
     case Phase::kMarker: return "marker";
   }
   return "?";

@@ -46,6 +46,9 @@ struct RepairJob {
   bool has_started = false;
   bool read_done = false;  ///< Data staged on disk; write half remains.
   std::uint32_t attempts = 0;
+  /// When valid, this copy job drains that cartridge for health-driven
+  /// evacuation (sched/scrub.hpp) rather than restoring replication.
+  TapeId evac_from{};
 };
 
 struct RepairStats {

@@ -1,0 +1,28 @@
+#include "sched/scrub.hpp"
+
+namespace tapesim::sched {
+
+Status ScrubConfig::try_validate() const {
+  StatusBuilder check("ScrubConfig");
+  check.require(interval.count() >= 0.0, "scrub interval must be >= 0");
+  check.require(!enabled || interval.count() > 0.0,
+                "scrub interval must be positive when scrubbing is enabled");
+  check.require(bandwidth_fraction > 0.0 && bandwidth_fraction <= 1.0,
+                "scrub bandwidth fraction must be in (0, 1]");
+  check.require(!enabled || max_concurrent > 0,
+                "scrubbing needs at least one drive slot when enabled");
+  check.require(segment.count() > 0, "scrub segment must be positive");
+  return check.take();
+}
+
+Status EvacuationConfig::try_validate() const {
+  StatusBuilder check("EvacuationConfig");
+  check.require(threshold >= 0.0 && threshold <= 1.0,
+                "evacuation threshold must be in [0, 1]");
+  check.require(error_weight >= 0.0, "error weight must be >= 0");
+  check.require(latent_weight >= 0.0, "latent weight must be >= 0");
+  check.require(mount_rating > 0.0, "mount rating must be positive");
+  return check.take();
+}
+
+}  // namespace tapesim::sched

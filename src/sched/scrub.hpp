@@ -1,0 +1,97 @@
+// Proactive integrity: background scrubbing and health-driven evacuation.
+//
+// Latent media decay (fault/model.hpp) damages cartridges silently; nothing
+// escalates until a read trips over the damage. The scrub scheduler closes
+// that gap: idle drives cycle through full-tape verification passes —
+// real robot/load/locate/stream physics, strictly behind foreground and
+// repair traffic, duty-cycle capped like repair — surfacing latent damage
+// into the per-tape health the catalog tracks. Evacuation acts on what
+// scrubbing (and ordinary reads) learn: when a cartridge's health score
+// falls below threshold, every object on it is copied off via the
+// two-phase repair path *before* requests start failing, and the tape is
+// retired from serving rotation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/error.hpp"
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::sched {
+
+struct ScrubConfig {
+  /// Master switch; scrubbing also requires an enabled fault model (the
+  /// injector owns the decay timelines being verified).
+  bool enabled = false;
+  /// Target verification cadence per cartridge: a tape becomes due for a
+  /// pass once this much simulated time passed since its last one.
+  Seconds interval{7 * 86400.0};
+  /// Average fraction of a drive's native transfer rate one scrub pass may
+  /// consume, implemented as idle pacing after each full-rate segment.
+  double bandwidth_fraction = 0.25;
+  /// Scrub passes holding drives simultaneously (across all libraries).
+  std::uint32_t max_concurrent = 1;
+  /// Verification granularity: the pass yields to foreground demand at
+  /// every segment boundary, so this bounds how long a scrubbing drive can
+  /// hold out against a request that wants it.
+  Bytes segment{std::uint64_t{8} << 30};
+
+  [[nodiscard]] Status try_validate() const;
+};
+
+/// One in-flight verification pass over a cartridge.
+struct ScrubJob {
+  TapeId tape{};
+  Bytes next_offset{};  ///< Verified up to here.
+  Bytes end{};          ///< Used bytes at pass start.
+  Seconds started{};    ///< Pass begin (spans the scrub lane).
+  std::uint64_t verified = 0;  ///< Bytes verified this pass.
+  std::uint32_t found = 0;     ///< Latent events surfaced this pass.
+};
+
+struct ScrubStats {
+  std::uint64_t passes = 0;          ///< Full-tape passes completed.
+  std::uint64_t passes_aborted = 0;  ///< Yielded to foreground or faulted.
+  std::uint64_t bytes_verified = 0;
+  std::uint64_t latent_found = 0;    ///< Damage events surfaced by scrubs.
+};
+
+struct EvacuationConfig {
+  /// Master switch; evacuation also requires an enabled fault model.
+  bool enabled = false;
+  /// Health-score floor in [0, 1]: a cartridge scoring at or below this is
+  /// evacuated. 0 never triggers (scores are clamped above it only at
+  /// exactly 0 wear), 1 evacuates on the first blemish.
+  double threshold = 0.35;
+  /// Score penalty per observed read error (excluding latent findings).
+  double error_weight = 0.15;
+  /// Score penalty per latent damage event surfaced by a scrub or read.
+  double latent_weight = 0.1;
+  /// Mount-cycle rating: score loses mounts/rating (mechanical wear).
+  double mount_rating = 5000.0;
+
+  [[nodiscard]] Status try_validate() const;
+
+  /// Health score of a cartridge given its observed history; 1 is pristine,
+  /// 0 is fully worn. Clamped to [0, 1].
+  [[nodiscard]] double score(std::uint32_t read_errors,
+                             std::uint32_t latent_found,
+                             std::uint32_t mounts) const {
+    const double s = 1.0 - error_weight * read_errors -
+                     latent_weight * latent_found - mounts / mount_rating;
+    return std::clamp(s, 0.0, 1.0);
+  }
+};
+
+struct EvacStats {
+  std::uint64_t started = 0;    ///< Cartridges whose evacuation began.
+  std::uint64_t completed = 0;  ///< Cartridges fully drained and retired.
+  std::uint64_t objects_moved = 0;
+  /// Extents a request would have aimed at a retired cartridge but that
+  /// resolved to the evacuated copy instead — unavailability preempted.
+  std::uint64_t preempted_unavailables = 0;
+};
+
+}  // namespace tapesim::sched

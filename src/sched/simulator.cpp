@@ -32,6 +32,8 @@ Status SimulatorConfig::try_validate() const {
   StatusBuilder check("SimulatorConfig");
   check.merge(faults.try_validate());
   check.merge(repair.try_validate());
+  check.merge(scrub.try_validate());
+  check.merge(evacuation.try_validate());
   return check.take();
 }
 
@@ -54,6 +56,7 @@ RetrievalSimulator::RetrievalSimulator(const core::PlacementPlan& plan,
   ctx_.resize(plan.spec().total_drives());
   lib_queue_.resize(plan.spec().num_libraries);
   watch_pending_.assign(plan.spec().num_libraries, false);
+  last_scrub_.assign(plan.spec().total_tapes(), Seconds{});
   replicated_ = catalog_.has_replicas();
   target_copies_ = plan.replication_factor();
   if (config_.faults.enabled()) {
@@ -261,6 +264,26 @@ void RetrievalSimulator::on_drive_failure(DriveId d) {
     requeue_if_needed(claimed);
   }
 
+  // A scrub pass loses its drive: the pass aborts (findings were already
+  // applied at segment boundaries) and the tape becomes due again later.
+  if (ctx.scrub.has_value()) {
+    const ScrubJob job = *ctx.scrub;
+    ctx.scrub.reset();
+    --active_scrubs_;
+    ++scrub_stats_.passes_aborted;
+    scrub_stats_.bytes_verified += job.verified;
+    scrub_stats_.latent_found += job.found;
+    if (config_.tracer != nullptr) {
+      config_.tracer->record(obs::Span{
+          obs::Track::kScrub, job.tape.value(), obs::Phase::kScrub,
+          job.started, now, RequestId{}, job.tape, "aborted: drive failed"});
+      config_.tracer->registry().counter("scrub.bytes_verified")
+          .inc(job.verified);
+      config_.tracer->registry().counter("scrub.latent_found").inc(job.found);
+    }
+    requeue_if_needed(job.tape);
+  }
+
   // A needed cartridge stuck in the failed drive must be extracted by the
   // robot before anyone else can serve it.
   if (stuck.valid() && needed_.count(stuck.value()) != 0) {
@@ -464,9 +487,11 @@ Seconds RetrievalSimulator::robot_move_delay(tape::TapeLibrary& lib,
 }
 
 void RetrievalSimulator::serve_mounted(DriveId d) {
-  if (ctx_[d.index()].repair.has_value()) {
+  if (ctx_[d.index()].repair.has_value() ||
+      ctx_[d.index()].scrub.has_value()) {
     // Mid-repair drives are active between requests; the foreground gets
-    // the drive back (and this tape served) when the job releases it.
+    // the drive back (and this tape served) when the job releases it. A
+    // scrub pass yields at its next segment boundary.
     return;
   }
   if (fault_ != nullptr && !drive_available(d)) {
@@ -514,7 +539,7 @@ void RetrievalSimulator::serve_step(DriveId d) {
   if (chain.index >= chain.extents.size()) {
     chain = ServeChain{};
     ctx_[d.index()].busy = false;
-    if (replicated_) {
+    if (catalog_.has_replicas()) {
       // A failover may have routed more extents onto this drive's mounted
       // tape while the chain was running; serve them before switching.
       const tape::TapeDrive& drive = system_.drive(d);
@@ -588,9 +613,21 @@ void RetrievalSimulator::begin_transfer(DriveId d,
   }
   const TapeId tp = drive.mounted();
   std::optional<Seconds> media_at;
+  bool latent = false;
   if (const auto frac =
           fault_->media_error(tp, extent.size, system_.cartridge_health(tp))) {
     media_at = xfer * *frac;
+  }
+  if (fault_->undetected_damage(tp, engine_.now()) > 0) {
+    // Silent decay damage has accrued since the cartridge was last
+    // verified; this read runs into it. The earlier of the two media
+    // events wins (the position draw only happens with decay enabled, so
+    // decay-off runs consume the same random stream as before).
+    const Seconds latent_at = xfer * fault_->latent_hit_position(tp);
+    if (!media_at.has_value() || latent_at < *media_at) {
+      media_at = latent_at;
+      latent = true;
+    }
   }
   const Seconds horizon = media_at.has_value() ? *media_at : xfer;
   if (const auto fail_after =
@@ -604,13 +641,14 @@ void RetrievalSimulator::begin_transfer(DriveId d,
     return;
   }
   if (media_at.has_value()) {
-    engine_.schedule_in(*media_at, [this, d]() { on_media_error(d); });
+    engine_.schedule_in(*media_at,
+                        [this, d, latent]() { on_media_failure(d, latent); });
     return;
   }
   engine_.schedule_in(xfer, std::move(complete));
 }
 
-void RetrievalSimulator::on_media_error(DriveId d) {
+void RetrievalSimulator::on_media_failure(DriveId d, bool latent) {
   TAPESIM_ASSERT(fault_ != nullptr);
   DriveCtx& ctx = ctx_[d.index()];
   ServeChain& chain = chain_[d.index()];
@@ -620,16 +658,26 @@ void RetrievalSimulator::on_media_error(DriveId d) {
   disk_streams_.release();
   ctx.disk_held = false;
 
-  const tape::CartridgeHealth health = fault_->record_media_error(tp);
+  // A latent hit surfaces every decay event accrued on the cartridge (the
+  // read found the damage); an active error is a fresh single event.
+  tape::CartridgeHealth health;
+  if (latent) {
+    ++latent_hits_this_request_;
+    health = fault_->observe_damage(tp, engine_.now());
+  } else {
+    health = fault_->record_media_error(tp);
+  }
   if (health != system_.cartridge_health(tp)) {
     system_.set_cartridge_health(tp, health);
-    if (replicated_) on_cartridge_health_change(tp, health);
+    on_cartridge_health_change(tp, health);
   }
   if (config_.tracer != nullptr) {
     config_.tracer->marker(obs::Track::kDrive, d.value(),
-                           "media error on tape " +
+                           (latent ? "latent damage hit on tape "
+                                   : "media error on tape ") +
                                std::to_string(tp.value()));
   }
+  maybe_evacuate(tp);
   if (expired_) {
     // No one is waiting for this chain anymore; skip the retry ladder.
     chain = ServeChain{};
@@ -671,7 +719,7 @@ void RetrievalSimulator::extent_done(DriveId d) {
   TAPESIM_ASSERT(remaining_extents_ > 0);
   --remaining_extents_;
   if (remaining_extents_ == 0) cancel_deadline_event();
-  if (replicated_) {
+  if (catalog_.has_replicas()) {
     const ServeChain& chain = chain_[d.index()];
     const catalog::TapeExtent& e = chain.extents[chain.index];
     const catalog::ObjectRecord* rec = catalog_.lookup(e.object);
@@ -699,8 +747,10 @@ void RetrievalSimulator::next_action(DriveId d) {
   auto& queue = lib_queue_[lib.index()];
   if (queue.empty()) {
     // No foreground demand for this library: the drive may lend itself to
-    // background repair (no-op unless repair is active and has work).
+    // background repair, then scrubbing (each a no-op unless active and
+    // with work; maybe_start_scrub re-checks busy after a repair start).
     maybe_start_repair(d);
+    maybe_start_scrub(d);
     return;
   }
   const TapeId target = queue.front();
@@ -837,6 +887,7 @@ void RetrievalSimulator::finish_mount(DriveId d, TapeId target) {
   ++total_switches_;
   ctx_[d.index()].switch_target = TapeId{};
   ctx_[d.index()].mount_retries = 0;
+  maybe_evacuate(target);  // mount-cycle wear may tip the health score
   serve_mounted(d);
 }
 
@@ -908,7 +959,7 @@ void RetrievalSimulator::on_mount_failure(DriveId d, TapeId target) {
 
 void RetrievalSimulator::fail_extent(TapeId on,
                                      const catalog::TapeExtent& extent) {
-  if (replicated_) {
+  if (catalog_.has_replicas()) {
     auto& tried = tried_[extent.object.value()];
     if (std::find(tried.begin(), tried.end(), on) == tried.end()) {
       tried.push_back(on);
@@ -951,7 +1002,9 @@ void RetrievalSimulator::route_extent(const catalog::ObjectRecord& alt) {
   for (const DriveCtx& c : ctx_) {
     if (c.switch_target == tp) return;
   }
-  if (repair_claimed(tp)) return;  // served when the repair releases it
+  if (repair_claimed(tp) || scrub_claimed(tp)) {
+    return;  // served when the background claim releases it
+  }
   const LibraryId lib = system_.library_of_tape(tp);
   lib_queue_[lib.index()].push_front(tp);  // failover priority
   engine_.schedule_in(Seconds{0.0}, [this, lib]() {
@@ -975,6 +1028,7 @@ void RetrievalSimulator::schedule_repairs_for(TapeId tp) {
   for (const catalog::TapeExtent& e : catalog_.extents_on(tp)) {
     std::uint32_t good = 0;
     auto count = [&](const catalog::ObjectRecord& copy) {
+      if (catalog_.tape_retired(copy.tape)) return;
       if (catalog_.tape_health(copy.tape) == catalog::ReplicaHealth::kGood) {
         ++good;
       }
@@ -1005,7 +1059,7 @@ void RetrievalSimulator::schedule_repairs_for(TapeId tp) {
 }
 
 void RetrievalSimulator::pump_repairs() {
-  if (!repair_active() || repair_queue_.empty()) return;
+  if (!copy_engine_active() || repair_queue_.empty()) return;
   const std::uint32_t total = plan_->spec().total_drives();
   for (std::uint32_t dv = 0; dv < total; ++dv) {
     if (repair_queue_.empty() ||
@@ -1034,7 +1088,7 @@ void RetrievalSimulator::requeue_if_needed(TapeId tp) {
   for (const DriveCtx& c : ctx_) {
     if (c.switch_target == tp) return;
   }
-  if (repair_claimed(tp)) return;
+  if (repair_claimed(tp) || scrub_claimed(tp)) return;
   const LibraryId lib = system_.library_of_tape(tp);
   auto& queue = lib_queue_[lib.index()];
   if (std::find(queue.begin(), queue.end(), tp) != queue.end()) return;
@@ -1054,6 +1108,7 @@ bool RetrievalSimulator::tape_claimed(TapeId tp, DriveId self) const {
         (c.repair->source == tp || c.repair->target == tp)) {
       return true;
     }
+    if (c.scrub.has_value() && c.scrub->tape == tp) return true;
   }
   return false;
 }
@@ -1065,6 +1120,13 @@ const catalog::ObjectRecord* RetrievalSimulator::pick_repair_source(
   int best_rank = 100;
   auto consider = [&](const catalog::ObjectRecord& copy) {
     if (system_.library_of_tape(copy.tape) != lib) return;
+    if (catalog_.tape_retired(copy.tape)) {
+      // An evacuated copy still exists physically, but the point of the
+      // evacuation was to stop touching that cartridge; the drained copy
+      // serves as the source instead. (A still-evacuating tape is not yet
+      // retired, so the evacuation's own reads pass this check.)
+      return;
+    }
     const catalog::ReplicaHealth h = catalog_.tape_health(copy.tape);
     if (h == catalog::ReplicaHealth::kLost) return;
     const auto holder = system_.drive_holding(copy.tape);
@@ -1098,7 +1160,8 @@ TapeId RetrievalSimulator::pick_repair_target(DriveId d,
   // one (r > #libraries).
   std::vector<bool> lib_has_copy(num_libs, false);
   auto mark = [&](const catalog::ObjectRecord& copy) {
-    if (catalog_.tape_health(copy.tape) == catalog::ReplicaHealth::kLost) {
+    if (catalog_.tape_health(copy.tape) == catalog::ReplicaHealth::kLost ||
+        catalog_.tape_retired(copy.tape)) {
       return;
     }
     lib_has_copy[system_.library_of_tape(copy.tape).index()] = true;
@@ -1128,6 +1191,10 @@ TapeId RetrievalSimulator::pick_repair_target(DriveId d,
     if (catalog_.tape_health(t) != catalog::ReplicaHealth::kGood) {
       return false;
     }
+    // Never write fresh copies onto media on its way out of service.
+    if (catalog_.tape_retired(t) || evacuating_.count(t.value()) != 0) {
+      return false;
+    }
     if (repair_writing_.count(t.value()) != 0) return false;
     if (needed_.count(t.value()) != 0) return false;  // foreground demand
     if (holds_copy(t)) return false;
@@ -1155,7 +1222,7 @@ TapeId RetrievalSimulator::pick_repair_target(DriveId d,
 }
 
 void RetrievalSimulator::maybe_start_repair(DriveId d) {
-  if (!repair_active() || repair_queue_.empty()) return;
+  if (!copy_engine_active() || repair_queue_.empty()) return;
   // Under overload pressure every idle drive belongs to the foreground;
   // repair jobs keep their queue slots and resume when pressure clears.
   if (overload_pressure_) return;
@@ -1260,7 +1327,11 @@ void RetrievalSimulator::repair_mount(DriveId d, TapeId target,
           const Seconds load = dr.start_load(target);
           schedule_activity(d, load, [this, d, target, &lib, then]() {
             if (fault_ != nullptr && fault_->mount_attempt_fails(d)) {
-              repair_mount_failure(d);
+              if (ctx_[d.index()].scrub.has_value()) {
+                scrub_mount_failure(d);
+              } else {
+                repair_mount_failure(d);
+              }
               return;
             }
             if (config_.robot_holds_load) {
@@ -1498,17 +1569,17 @@ void RetrievalSimulator::repair_write_transfer(DriveId d) {
   engine_.schedule_in(xfer, std::move(complete));
 }
 
-void RetrievalSimulator::repair_pace(DriveId d, Seconds xfer,
-                                     std::function<void()> next) {
-  const double f = config_.repair.bandwidth_fraction;
-  if (f >= 1.0) {
+void RetrievalSimulator::background_pace(DriveId d, Seconds xfer,
+                                         double fraction,
+                                         std::function<void()> next) {
+  if (fraction >= 1.0) {
     next();
     return;
   }
-  // Full-rate transfer + idle tail: the drive's average repair throughput
-  // is f × native rate, while per-byte transfer accounting (DriveStats,
-  // span conservation) stays at native rate.
-  const Seconds pace = xfer * ((1.0 - f) / f);
+  // Full-rate transfer + idle tail: the drive's average background
+  // throughput is fraction × native rate, while per-byte transfer
+  // accounting (DriveStats, span conservation) stays at native rate.
+  const Seconds pace = xfer * ((1.0 - fraction) / fraction);
   engine_.schedule_in(pace, [this, d, next = std::move(next)]() {
     if (fault_ != nullptr && !fault_->drive_online(d, engine_.now())) {
       on_drive_failure(d);
@@ -1516,6 +1587,12 @@ void RetrievalSimulator::repair_pace(DriveId d, Seconds xfer,
     }
     next();
   });
+}
+
+void RetrievalSimulator::repair_pace(DriveId d, Seconds xfer,
+                                     std::function<void()> next) {
+  background_pace(d, xfer, config_.repair.bandwidth_fraction,
+                  std::move(next));
 }
 
 void RetrievalSimulator::complete_repair(DriveId d) {
@@ -1544,6 +1621,13 @@ void RetrievalSimulator::complete_repair(DriveId d) {
     config_.tracer->registry().counter("repair.completed").inc();
     config_.tracer->registry().counter("repair.bytes").inc(job.size.count());
   }
+  if (job.evac_from.valid()) {
+    ++evac_stats_.objects_moved;
+    if (config_.tracer != nullptr) {
+      config_.tracer->registry().counter("evac.objects_moved").inc();
+    }
+    note_evac_job_done(job.evac_from);
+  }
   release_repair_drive(d);
 }
 
@@ -1557,6 +1641,7 @@ void RetrievalSimulator::abandon_repair(RepairJob job) {
     config_.tracer->marker(obs::Track::kRepair, job.object.value(),
                            "repair abandoned");
   }
+  if (job.evac_from.valid()) note_evac_job_done(job.evac_from);
 }
 
 void RetrievalSimulator::release_repair_drive(DriveId d) {
@@ -1577,13 +1662,358 @@ void RetrievalSimulator::release_repair_drive(DriveId d) {
 }
 
 void RetrievalSimulator::drain_repairs() {
-  if (!repair_active()) return;
+  if (!copy_engine_active()) return;
   std::size_t stable = repair_queue_.size() + 1;
   while (active_repairs_ > 0 || !repair_queue_.empty()) {
     pump_repairs();
     engine_.run();
     if (active_repairs_ == 0 && repair_queue_.size() == stable) break;
     stable = repair_queue_.size();
+  }
+}
+
+// --- background scrubbing -----------------------------------------------
+
+bool RetrievalSimulator::scrub_claimed(TapeId tp) const {
+  for (const DriveCtx& c : ctx_) {
+    if (c.scrub.has_value() && c.scrub->tape == tp) return true;
+  }
+  return false;
+}
+
+bool RetrievalSimulator::scrub_yield_needed(DriveId d) const {
+  if (overload_pressure_) return true;
+  if (!lib_queue_[system_.library_of_drive(d).index()].empty()) return true;
+  const DriveCtx& c = ctx_[d.index()];
+  return c.scrub.has_value() && needed_.count(c.scrub->tape.value()) != 0;
+}
+
+TapeId RetrievalSimulator::pick_scrub_tape(DriveId d) const {
+  const Seconds now = engine_.now();
+  auto due = [&](TapeId t) {
+    if (catalog_.used_on(t).count() == 0) return false;  // nothing to verify
+    if (now - last_scrub_[t.index()] < config_.scrub.interval) return false;
+    if (system_.cartridge_lost(t)) return false;
+    if (catalog_.tape_retired(t)) return false;
+    if (evacuating_.count(t.value()) != 0) return false;
+    if (needed_.count(t.value()) != 0) return false;  // foreground owns it
+    const auto holder = system_.drive_holding(t);
+    if (holder.has_value() && *holder != d) return false;
+    if (tape_claimed(t, d)) return false;
+    return true;
+  };
+  // The mounted cartridge skips the whole robot exchange; take it when due.
+  const tape::TapeDrive& drive = system_.drive(d);
+  if (!drive.empty() && due(drive.mounted())) return drive.mounted();
+  const LibraryId lib = system_.library_of_drive(d);
+  const std::uint32_t per_lib = plan_->spec().library.tapes_per_library;
+  TapeId best{};
+  Seconds best_last{kNever};
+  for (std::uint32_t i = 0; i < per_lib; ++i) {
+    const TapeId t{lib.value() * per_lib + i};
+    if (!due(t)) continue;
+    if (!best.valid() || last_scrub_[t.index()] < best_last) {
+      best = t;
+      best_last = last_scrub_[t.index()];
+    }
+  }
+  return best;  // most overdue first; invalid when nothing is due
+}
+
+void RetrievalSimulator::maybe_start_scrub(DriveId d) {
+  if (!scrub_active()) return;
+  // New passes start only while foreground work is outstanding: scrub
+  // traffic rides inside request drains, so engine_.run() still terminates
+  // (a pass started on the last extent's completion could make more tapes
+  // due by advancing time, forever). In-flight passes drain normally.
+  if (remaining_extents_ == 0) return;
+  if (overload_pressure_) return;
+  if (active_scrubs_ >= config_.scrub.max_concurrent) return;
+  if (!switch_eligible(d)) return;
+  DriveCtx& ctx = ctx_[d.index()];
+  if (ctx.busy || ctx.recovery_pending) return;
+  if (!drive_available(d)) return;
+  const tape::TapeDrive& drive = system_.drive(d);
+  if (!(drive.idle() || drive.empty())) return;
+  if (!drive.empty() && needed_.count(drive.mounted().value()) != 0) return;
+  if (!lib_queue_[system_.library_of_drive(d).index()].empty()) return;
+  const TapeId tp = pick_scrub_tape(d);
+  if (!tp.valid()) return;
+  start_scrub(d, tp);
+}
+
+void RetrievalSimulator::start_scrub(DriveId d, TapeId tp) {
+  DriveCtx& ctx = ctx_[d.index()];
+  ctx.busy = true;
+  ScrubJob job;
+  job.tape = tp;
+  job.end = catalog_.used_on(tp);
+  job.started = engine_.now();
+  ctx.scrub = job;
+  ++active_scrubs_;
+  const tape::TapeDrive& drive = system_.drive(d);
+  if (!drive.empty() && drive.mounted() == tp) {
+    scrub_segment(d);
+    return;
+  }
+  repair_mount(d, tp, [this, d]() { scrub_segment(d); });
+}
+
+void RetrievalSimulator::scrub_segment(DriveId d) {
+  DriveCtx& ctx = ctx_[d.index()];
+  TAPESIM_ASSERT(ctx.scrub.has_value());
+  if (!fault_->drive_online(d, engine_.now())) {
+    on_drive_failure(d);
+    return;
+  }
+  if (scrub_yield_needed(d)) {
+    end_scrub_pass(d, /*completed=*/false);
+    return;
+  }
+  const ScrubJob& job = *ctx.scrub;
+  if (job.next_offset >= job.end) {
+    end_scrub_pass(d, /*completed=*/true);
+    return;
+  }
+  const Bytes seg{std::min(config_.scrub.segment.count(),
+                           (job.end - job.next_offset).count())};
+  tape::TapeDrive& drive = system_.drive(d);
+  const Seconds locate = drive.start_locate(job.next_offset);
+  schedule_activity(d, locate, [this, d, seg]() {
+    system_.drive(d).finish_locate();
+    scrub_transfer(d, seg);
+  });
+}
+
+void RetrievalSimulator::scrub_transfer(DriveId d, Bytes seg) {
+  DriveCtx& ctx = ctx_[d.index()];
+  TAPESIM_ASSERT(ctx.scrub.has_value());
+  const TapeId tp = ctx.scrub->tape;
+  tape::TapeDrive& drive = system_.drive(d);
+  const Seconds xfer = drive.start_transfer(seg);
+  ctx.activity_start = engine_.now();
+  // Verification is drive-internal (read + checksum); no staging-disk slot
+  // is held, so scrubbing never queues behind foreground streams.
+  auto complete = [this, d, seg, xfer]() {
+    system_.drive(d).finish_transfer();
+    scrub_segment_done(d, seg, xfer);
+  };
+  // A verify read suffers active media errors and drive failures like any
+  // read (hardware beats media). Latent decay damage does not interrupt
+  // it — finding that damage is the point — and is folded in at the
+  // segment boundary instead.
+  std::optional<Seconds> media_at;
+  if (const auto frac =
+          fault_->media_error(tp, seg, system_.cartridge_health(tp))) {
+    media_at = xfer * *frac;
+  }
+  const Seconds horizon = media_at.has_value() ? *media_at : xfer;
+  if (const auto fail_after =
+          fault_->failure_within(d, engine_.now(), horizon)) {
+    const sim::EventId done = engine_.schedule_in(xfer, std::move(complete));
+    engine_.schedule_in(*fail_after, [this, d, done]() {
+      engine_.cancel(done);
+      on_drive_failure(d);
+    });
+    return;
+  }
+  if (media_at.has_value()) {
+    engine_.schedule_in(*media_at, [this, d]() { scrub_media_error(d); });
+    return;
+  }
+  engine_.schedule_in(xfer, std::move(complete));
+}
+
+void RetrievalSimulator::scrub_media_error(DriveId d) {
+  DriveCtx& ctx = ctx_[d.index()];
+  TAPESIM_ASSERT(ctx.scrub.has_value());
+  tape::TapeDrive& drive = system_.drive(d);
+  const TapeId tp = ctx.scrub->tape;
+  drive.abort_transfer(engine_.now() - ctx.activity_start);
+  const tape::CartridgeHealth health = fault_->record_media_error(tp);
+  if (health != system_.cartridge_health(tp)) {
+    system_.set_cartridge_health(tp, health);
+    on_cartridge_health_change(tp, health);
+  }
+  if (config_.tracer != nullptr) {
+    config_.tracer->marker(obs::Track::kDrive, d.value(),
+                           "media error during scrub on tape " +
+                               std::to_string(tp.value()));
+  }
+  maybe_evacuate(tp);
+  // No retry ladder for verification: the error is recorded, the pass
+  // aborts, and the cartridge comes due again after the usual interval.
+  end_scrub_pass(d, /*completed=*/false);
+}
+
+void RetrievalSimulator::scrub_segment_done(DriveId d, Bytes seg,
+                                            Seconds xfer) {
+  DriveCtx& ctx = ctx_[d.index()];
+  TAPESIM_ASSERT(ctx.scrub.has_value());
+  ScrubJob& job = *ctx.scrub;
+  job.next_offset += seg;
+  job.verified += seg.count();
+  // Observation granularity is the cartridge: a verify read sweeps the
+  // whole decay timeline, so every event accrued so far surfaces here.
+  std::uint32_t found = 0;
+  const tape::CartridgeHealth health =
+      fault_->observe_damage(job.tape, engine_.now(), &found);
+  if (found > 0) {
+    job.found += found;
+    if (health != system_.cartridge_health(job.tape)) {
+      system_.set_cartridge_health(job.tape, health);
+      on_cartridge_health_change(job.tape, health);
+    }
+    maybe_evacuate(job.tape);
+  }
+  if (system_.cartridge_lost(job.tape)) {
+    // Verified into oblivion: the accumulated damage pushed the cartridge
+    // over the loss threshold. Nothing left to protect here.
+    end_scrub_pass(d, /*completed=*/false);
+    return;
+  }
+  background_pace(d, xfer, config_.scrub.bandwidth_fraction,
+                  [this, d]() { scrub_segment(d); });
+}
+
+void RetrievalSimulator::scrub_mount_failure(DriveId d) {
+  DriveCtx& ctx = ctx_[d.index()];
+  TAPESIM_ASSERT(ctx.scrub.has_value());
+  system_.drive(d).fail_load();
+  if (config_.tracer != nullptr) {
+    config_.tracer->marker(obs::Track::kDrive, d.value(),
+                           "mount failure during scrub");
+  }
+  tape::TapeLibrary& lib = system_.library(system_.library_of_drive(d));
+  // The robot returns the unthreadable cartridge; the pass aborts and the
+  // tape stays due (no last_scrub_ update), so a later drive retries it.
+  auto return_done = [this, d, &lib]() {
+    lib.robot().release();
+    ctx_[d.index()].robot_held = false;
+    end_scrub_pass(d, /*completed=*/false);
+  };
+  auto do_return = [this, &lib, return_done]() {
+    const Seconds move = robot_move_delay(lib, lib.robot_move_time());
+    engine_.schedule_in(move, return_done);
+  };
+  if (ctx.robot_held) {
+    do_return();
+  } else {
+    lib.robot().acquire([this, d, do_return]() {
+      ctx_[d.index()].robot_held = true;
+      do_return();
+    });
+  }
+}
+
+void RetrievalSimulator::end_scrub_pass(DriveId d, bool completed) {
+  DriveCtx& ctx = ctx_[d.index()];
+  TAPESIM_ASSERT(ctx.scrub.has_value());
+  const ScrubJob job = *ctx.scrub;
+  ctx.scrub.reset();
+  --active_scrubs_;
+  ctx.busy = false;
+  scrub_stats_.bytes_verified += job.verified;
+  scrub_stats_.latent_found += job.found;
+  if (completed) {
+    last_scrub_[job.tape.index()] = engine_.now();
+    ++scrub_stats_.passes;
+  } else {
+    ++scrub_stats_.passes_aborted;
+  }
+  if (config_.tracer != nullptr) {
+    config_.tracer->record(obs::Span{
+        obs::Track::kScrub, job.tape.value(), obs::Phase::kScrub, job.started,
+        engine_.now(), RequestId{}, job.tape,
+        completed ? std::string{} : std::string{"aborted"}});
+    if (completed) config_.tracer->registry().counter("scrub.passes").inc();
+    config_.tracer->registry().counter("scrub.bytes_verified")
+        .inc(job.verified);
+    config_.tracer->registry().counter("scrub.latent_found").inc(job.found);
+  }
+  // Foreground first (the pass may have yielded exactly because its tape
+  // was demanded), then further background work.
+  requeue_if_needed(job.tape);
+  release_repair_drive(d);
+}
+
+// --- health-driven evacuation -------------------------------------------
+
+double RetrievalSimulator::health_score(TapeId tp) const {
+  const std::uint32_t latent = fault_->latent_observed_on(tp);
+  const std::uint32_t total_errors = fault_->media_errors_on(tp);
+  TAPESIM_ASSERT(total_errors >= latent);
+  return config_.evacuation.score(total_errors - latent, latent,
+                                  system_.mount_count(tp));
+}
+
+void RetrievalSimulator::maybe_evacuate(TapeId tp) {
+  if (!evac_active() || !tp.valid()) return;
+  if (catalog_.tape_retired(tp) || evacuating_.count(tp.value()) != 0) return;
+  if (system_.cartridge_lost(tp)) return;  // too late; failover owns it
+  if (health_score(tp) > config_.evacuation.threshold) return;
+  begin_evacuation(tp);
+}
+
+void RetrievalSimulator::begin_evacuation(TapeId tp) {
+  evacuating_.insert(tp.value());
+  ++evac_stats_.started;
+  std::uint32_t jobs = 0;
+  for (const catalog::TapeExtent& e : catalog_.extents_on(tp)) {
+    RepairJob job;
+    job.object = e.object;
+    job.size = e.size;
+    job.evac_from = tp;
+    repair_queue_.push_back(job);
+    ++repair_pending_[e.object.value()];
+    ++repair_stats_.jobs_scheduled;
+    ++jobs;
+  }
+  if (config_.tracer != nullptr) {
+    config_.tracer->marker(obs::Track::kScrub, tp.value(),
+                           "evacuation started: " + std::to_string(jobs) +
+                               " objects");
+    config_.tracer->registry().counter("evac.started").inc();
+  }
+  if (jobs == 0) {
+    // Nothing stored on the cartridge: retire it outright.
+    finish_evacuation(tp);
+    return;
+  }
+  evac_outstanding_[tp.value()] = jobs;
+  engine_.schedule_in(Seconds{0.0}, [this]() { pump_repairs(); });
+}
+
+void RetrievalSimulator::note_evac_job_done(TapeId tp) {
+  const auto it = evac_outstanding_.find(tp.value());
+  TAPESIM_ASSERT(it != evac_outstanding_.end() && it->second > 0);
+  if (--it->second == 0) {
+    evac_outstanding_.erase(it);
+    finish_evacuation(tp);
+  }
+}
+
+void RetrievalSimulator::finish_evacuation(TapeId tp) {
+  // Retire only a fully drained cartridge: every object on it must have a
+  // live copy somewhere else. With abandoned jobs (all sources lost, or
+  // attempts exhausted) the cartridge stays in service — losing access to
+  // its marginal copies would be worse — and stays marked `evacuating_` so
+  // the policy does not thrash on it.
+  const TapeId exclude[] = {tp};
+  for (const catalog::TapeExtent& e : catalog_.extents_on(tp)) {
+    if (catalog_.best_replica(e.object, exclude) == nullptr) {
+      if (config_.tracer != nullptr) {
+        config_.tracer->marker(obs::Track::kScrub, tp.value(),
+                               "evacuation incomplete: tape stays in service");
+      }
+      return;
+    }
+  }
+  catalog_.retire_tape(tp);
+  ++evac_stats_.completed;
+  if (config_.tracer != nullptr) {
+    config_.tracer->marker(obs::Track::kScrub, tp.value(),
+                           "cartridge retired");
   }
 }
 
@@ -1642,6 +2072,7 @@ metrics::RequestOutcome RetrievalSimulator::run_request(
   media_retries_this_request_ = 0;
   served_from_replica_this_request_ = 0;
   repaired_this_request_ = 0;
+  latent_hits_this_request_ = 0;
   tried_.clear();
   mount_attempts_.clear();
   needed_.clear();
@@ -1655,17 +2086,27 @@ metrics::RequestOutcome RetrievalSimulator::run_request(
     const catalog::ObjectRecord* rec = catalog_.lookup(o);
     TAPESIM_ASSERT_MSG(rec != nullptr, "request references unplaced object");
     total_bytes += rec->size;
-    if (fault_ != nullptr && system_.cartridge_lost(rec->tape)) {
-      if (replicated_) {
-        // The primary is gone; resolve against the best surviving copy
-        // (catalog health tracks cartridge escalations, so lost copies
-        // are skipped automatically).
-        if (const catalog::ObjectRecord* alt = catalog_.best_replica(o)) {
-          needed_[alt->tape.value()].push_back(
-              catalog::TapeExtent{o, alt->offset, alt->size});
-          ++remaining_extents_;
-          continue;
+    const bool lost = fault_ != nullptr && system_.cartridge_lost(rec->tape);
+    const bool retired = catalog_.tape_retired(rec->tape);
+    if (lost || retired) {
+      // The primary is gone (or preemptively drained); resolve against the
+      // best surviving copy. Catalog health tracks cartridge escalations
+      // and retirements, so dead copies are skipped automatically.
+      if (const catalog::ObjectRecord* alt = catalog_.best_replica(o)) {
+        if (retired && !lost) {
+          // Without the evacuation this read would have gone to failing
+          // media; count the save.
+          ++evac_stats_.preempted_unavailables;
+          if (config_.tracer != nullptr) {
+            config_.tracer->registry()
+                .counter("evac.preempted_unavailables")
+                .inc();
+          }
         }
+        needed_[alt->tape.value()].push_back(
+            catalog::TapeExtent{o, alt->offset, alt->size});
+        ++remaining_extents_;
+        continue;
       }
       // Data on a lost cartridge completes immediately as unavailable.
       bytes_unavailable_this_request_ += rec->size;
@@ -1687,8 +2128,8 @@ metrics::RequestOutcome RetrievalSimulator::run_request(
     for (const auto& e : extents) bytes += e.size;
     if (const auto holder = system_.drive_holding(tp)) {
       mounted_serving.push_back(*holder);
-    } else if (replicated_ && repair_claimed(tp)) {
-      // A repair job is mounting this tape right now; queueing it too
+    } else if (repair_claimed(tp) || scrub_claimed(tp)) {
+      // A background job is mounting this tape right now; queueing it too
       // would mount the cartridge twice. The job's release re-dispatches.
     } else {
       offline.emplace_back(tp, bytes);
@@ -1782,6 +2223,7 @@ metrics::RequestOutcome RetrievalSimulator::run_request(
   outcome.media_retries = media_retries_this_request_;
   outcome.served_from_replica = served_from_replica_this_request_;
   outcome.repaired = repaired_this_request_;
+  outcome.latent_hits = latent_hits_this_request_;
   if (expired_) {
     outcome.status = metrics::RequestStatus::kDeadlineExpired;
   } else if (bytes_unavailable_this_request_.count() == 0) {
@@ -1847,6 +2289,12 @@ metrics::RequestOutcome RetrievalSimulator::run_request(
       tr.registry().counter("fault.robot_jams")
           .inc(c.robot_jams - prev_fault_counters_.robot_jams);
       tr.registry().counter("fault.failovers").inc(outcome.failovers);
+      if (config_.faults.latent_decay_mtbf.count() > 0.0) {
+        tr.registry().counter("fault.latent_events")
+            .inc(c.latent_events - prev_fault_counters_.latent_events);
+        tr.registry().counter("fault.latent_observed")
+            .inc(c.latent_observed - prev_fault_counters_.latent_observed);
+      }
       prev_fault_counters_ = c;
     }
     if (replicated_) {

@@ -25,6 +25,7 @@
 #include "fault/model.hpp"
 #include "metrics/request_metrics.hpp"
 #include "sched/repair.hpp"
+#include "sched/scrub.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "sim/semaphore.hpp"
@@ -76,10 +77,17 @@ struct SimulatorConfig {
   /// Background re-replication. Only takes effect when the plan carries
   /// replicas AND fault injection is enabled; otherwise inert.
   RepairConfig repair{};
+  /// Background verification passes over idle drives. Only takes effect
+  /// when fault injection is enabled; otherwise inert.
+  ScrubConfig scrub{};
+  /// Health-driven cartridge evacuation. Only takes effect when fault
+  /// injection is enabled; otherwise inert. Works with or without plan
+  /// replication — evacuated copies become catalog replicas either way.
+  EvacuationConfig evacuation{};
 
-  /// Recoverable validation of user-provided knobs (the fault and repair
-  /// models); the simulator constructor throws std::invalid_argument
-  /// carrying this message instead of aborting.
+  /// Recoverable validation of user-provided knobs (the fault, repair,
+  /// scrub, and evacuation models); the simulator constructor throws
+  /// std::invalid_argument carrying this message instead of aborting.
   [[nodiscard]] Status try_validate() const;
 };
 
@@ -159,8 +167,14 @@ class RetrievalSimulator {
   /// Runs queued repair jobs to quiescence outside any request (repairs
   /// also run opportunistically during requests, on drives the foreground
   /// leaves idle). Stops early if the remaining jobs are unstartable —
-  /// e.g. every source copy is lost. No-op unless repair is active.
+  /// e.g. every source copy is lost. No-op unless the copy engine is
+  /// active. Evacuation copy jobs drain here too.
   void drain_repairs();
+
+  /// Running totals of the background scrub process.
+  [[nodiscard]] const ScrubStats& scrub_stats() const { return scrub_stats_; }
+  /// Running totals of health-driven evacuation.
+  [[nodiscard]] const EvacStats& evac_stats() const { return evac_stats_; }
 
  private:
   // --- per-request orchestration ---
@@ -206,8 +220,13 @@ class RetrievalSimulator {
   /// Mount-failure retry/backoff ladder, entered at load completion.
   void on_mount_failure(DriveId d, TapeId target);
   /// Media-error abort/retry ladder, entered mid-transfer; the failing
-  /// extent is chain_[d].extents[chain_[d].index].
-  void on_media_error(DriveId d);
+  /// extent is chain_[d].extents[chain_[d].index]. `latent` marks a read
+  /// running into silent decay damage (observed through the injector's
+  /// decay timeline) rather than an active media error.
+  void on_media_failure(DriveId d, bool latent);
+  void on_media_error(DriveId d) { on_media_failure(d, false); }
+  /// A foreground read hit latent damage that had accrued undetected.
+  void on_latent_hit(DriveId d) { on_media_failure(d, true); }
   /// Robot extracts a stuck cartridge from failed drive `d` and requeues it.
   void recover_cartridge(DriveId d);
   /// Completes every pending extent of `tp` as unavailable.
@@ -233,6 +252,11 @@ class RetrievalSimulator {
   // --- background repair ---
   [[nodiscard]] bool repair_active() const {
     return replicated_ && config_.repair.enabled && fault_ != nullptr;
+  }
+  /// The shared two-phase copy machinery runs for re-replication repair or
+  /// for evacuation drains — either keeps the repair queue moving.
+  [[nodiscard]] bool copy_engine_active() const {
+    return repair_active() || evac_active();
   }
   /// Enqueues jobs restoring the replication factor of every object with a
   /// copy on `tp` (called when `tp` degrades or is lost).
@@ -264,6 +288,7 @@ class RetrievalSimulator {
   /// same physics as begin_switch but outside request accounting).
   void repair_mount(DriveId d, TapeId target, std::function<void()> then);
   void repair_mount_failure(DriveId d);
+  void scrub_mount_failure(DriveId d);
   void repair_read(DriveId d);
   void repair_read_transfer(DriveId d);
   void repair_media_error(DriveId d);
@@ -271,12 +296,56 @@ class RetrievalSimulator {
   void repair_write_locate(DriveId d);
   void repair_write_transfer(DriveId d);
   void complete_repair(DriveId d);
-  /// Bandwidth cap: idle `d` after a full-rate transfer of `xfer` so the
-  /// average repair rate is the configured fraction of the native rate.
+  /// Bandwidth duty cycle shared by every background consumer: idle `d`
+  /// after a full-rate transfer of `xfer` so its average background rate is
+  /// `fraction` of the native rate.
+  void background_pace(DriveId d, Seconds xfer, double fraction,
+                       std::function<void()> next);
   void repair_pace(DriveId d, Seconds xfer, std::function<void()> next);
   void abandon_repair(RepairJob job);
   /// Post-repair dispatch: foreground work first, then further repair.
   void release_repair_drive(DriveId d);
+
+  // --- background scrubbing (inert unless scrub_active()) ---
+  [[nodiscard]] bool scrub_active() const {
+    return config_.scrub.enabled && fault_ != nullptr;
+  }
+  /// Starts a verification pass on `d` if it is free, foreground work is
+  /// outstanding, and a cartridge in its library is due.
+  void maybe_start_scrub(DriveId d);
+  /// Most overdue scrubbable tape in `d`'s library (preferring the one
+  /// already mounted on `d`); invalid id when none is due.
+  [[nodiscard]] TapeId pick_scrub_tape(DriveId d) const;
+  void start_scrub(DriveId d, TapeId tp);
+  /// One verification segment: yield check, locate, full-rate read,
+  /// latent-damage observation, duty-cycle pacing, repeat.
+  void scrub_segment(DriveId d);
+  void scrub_transfer(DriveId d, Bytes seg);
+  void scrub_segment_done(DriveId d, Bytes seg, Seconds xfer);
+  /// An active (non-latent) media error struck the verify read.
+  void scrub_media_error(DriveId d);
+  /// True when the pass on `d` should stop at this segment boundary.
+  [[nodiscard]] bool scrub_yield_needed(DriveId d) const;
+  /// True when an in-flight scrub pass is using `tp`.
+  [[nodiscard]] bool scrub_claimed(TapeId tp) const;
+  /// Tears down the pass on `d` (stats, span, requeue, redispatch).
+  void end_scrub_pass(DriveId d, bool completed);
+
+  // --- health-driven evacuation (inert unless evac_active()) ---
+  [[nodiscard]] bool evac_active() const {
+    return config_.evacuation.enabled && fault_ != nullptr;
+  }
+  /// Health score of `tp` from observed errors, latent findings, mounts.
+  [[nodiscard]] double health_score(TapeId tp) const;
+  /// Checks `tp` against the evacuation threshold after any observation
+  /// event (read error, scrub finding, mount) and starts draining it.
+  void maybe_evacuate(TapeId tp);
+  /// Enqueues one copy job per extent on `tp`; the tape retires once the
+  /// last job settles and every object has a live copy elsewhere.
+  void begin_evacuation(TapeId tp);
+  /// One evacuation copy job for `tp` completed or was abandoned.
+  void note_evac_job_done(TapeId tp);
+  void finish_evacuation(TapeId tp);
 
   sim::Engine engine_;
   const core::PlacementPlan* plan_;
@@ -329,6 +398,8 @@ class RetrievalSimulator {
     sim::Resource::Ticket robot_ticket = sim::Resource::kInvalidTicket;
     /// The repair job this drive is running, when busy with repair.
     std::optional<RepairJob> repair;
+    /// The verification pass this drive is running, when busy with scrub.
+    std::optional<ScrubJob> scrub;
   };
   std::vector<DriveCtx> ctx_;
 
@@ -380,6 +451,20 @@ class RetrievalSimulator {
   /// Snapshot of injector counters at the last request boundary, for
   /// emitting per-request deltas into the tracer registry.
   fault::FaultCounters prev_fault_counters_;
+
+  // --- scrub + evacuation state (all empty/zero when disabled) ---
+  /// When each tape last completed a verification pass (start epoch = 0).
+  std::vector<Seconds> last_scrub_;
+  std::uint32_t active_scrubs_ = 0;  ///< Passes currently holding a drive.
+  ScrubStats scrub_stats_;
+  /// Tapes whose evacuation has begun. A tape stays in this set after a
+  /// failed drain (some object had no surviving copy to clone) so the
+  /// policy does not thrash on an unevacuatable cartridge.
+  std::unordered_set<std::uint32_t> evacuating_;
+  /// Outstanding evacuation copy jobs per tape value.
+  std::unordered_map<std::uint32_t, std::uint32_t> evac_outstanding_;
+  EvacStats evac_stats_;
+  std::uint32_t latent_hits_this_request_ = 0;
 };
 
 }  // namespace tapesim::sched

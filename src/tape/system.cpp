@@ -25,6 +25,7 @@ TapeSystem::TapeSystem(const SystemSpec& spec, sim::Engine& engine)
   }
   tape_on_drive_.assign(spec_.total_tapes(), DriveId{});
   cartridge_health_.assign(spec_.total_tapes(), CartridgeHealth::kGood);
+  mount_counts_.assign(spec_.total_tapes(), 0);
 }
 
 TapeLibrary& TapeSystem::library(LibraryId id) {
@@ -68,6 +69,12 @@ void TapeSystem::note_mounted(TapeId t, DriveId d) {
   TAPESIM_ASSERT_MSG(!tape_on_drive_[t.index()].valid(),
                      "tape already mounted somewhere");
   tape_on_drive_[t.index()] = d;
+  ++mount_counts_[t.index()];
+}
+
+std::uint32_t TapeSystem::mount_count(TapeId t) const {
+  TAPESIM_ASSERT(t.valid() && t.index() < mount_counts_.size());
+  return mount_counts_[t.index()];
 }
 
 void TapeSystem::note_unmounted(TapeId t) {

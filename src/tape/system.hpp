@@ -73,6 +73,10 @@ class TapeSystem {
   void note_mounted(TapeId t, DriveId d);
   void note_unmounted(TapeId t);
 
+  /// Lifetime mounts of cartridge `t` (incl. setup mounts) — mechanical
+  /// wear input to health scoring.
+  [[nodiscard]] std::uint32_t mount_count(TapeId t) const;
+
   /// Instantly mounts `t` on empty drive `d` (simulation setup only — the
   /// paper mounts the initial batches "during startup time" outside the
   /// measured window). The drive becomes idle with the head at BOT.
@@ -99,6 +103,8 @@ class TapeSystem {
   std::vector<DriveId> tape_on_drive_;
   /// Indexed by global tape id.
   std::vector<CartridgeHealth> cartridge_health_;
+  /// Indexed by global tape id; lifetime mount count.
+  std::vector<std::uint32_t> mount_counts_;
   CartridgeObserver* cartridge_observer_ = nullptr;
 };
 

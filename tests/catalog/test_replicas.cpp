@@ -125,5 +125,63 @@ TEST(CatalogReplicas, BestReplicaSkipsLostAndExcludedTapes) {
   EXPECT_EQ(cat.best_replica(ObjectId{2}), nullptr);  // absent object
 }
 
+TEST(CatalogReplicas, RetiredTapesAreSkippedAndRetirementIsOneWay) {
+  ObjectCatalog cat(240);
+  ASSERT_TRUE(cat.insert(record(1, 1_GB, 0, Bytes{0})));
+  ASSERT_TRUE(cat.insert_replica(record(1, 1_GB, 80, Bytes{0})));
+
+  EXPECT_FALSE(cat.tape_retired(TapeId{0}));
+  cat.retire_tape(TapeId{0});
+  EXPECT_TRUE(cat.tape_retired(TapeId{0}));
+  // Retiring again is a harmless no-op; there is no way back.
+  cat.retire_tape(TapeId{0});
+  EXPECT_TRUE(cat.tape_retired(TapeId{0}));
+
+  // The evacuated copy serves; the retired primary never does, even though
+  // its health is still Good (retirement is orthogonal to media health).
+  EXPECT_EQ(cat.tape_health(TapeId{0}), ReplicaHealth::kGood);
+  const ObjectRecord* best = cat.best_replica(ObjectId{1});
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->tape.value(), 80u);
+
+  cat.retire_tape(TapeId{80});
+  EXPECT_EQ(cat.best_replica(ObjectId{1}), nullptr);
+}
+
+TEST(CatalogReplicas, RetirementKeepsExtentsAndAccounting) {
+  // The physical bytes stay on the cartridge: retirement only removes the
+  // tape from serving rotation, so the secondary index and the byte
+  // accounting are untouched (an operator can still audit what is on it).
+  ObjectCatalog cat(240);
+  ASSERT_TRUE(cat.insert(record(3, 2_GB, 5, Bytes{0})));
+  ASSERT_TRUE(cat.insert(record(4, 1_GB, 5, 2_GB)));
+  cat.retire_tape(TapeId{5});
+  EXPECT_EQ(cat.extents_on(TapeId{5}).size(), 2u);
+  EXPECT_EQ(cat.used_on(TapeId{5}).count(), (3_GB).count());
+  EXPECT_NE(cat.lookup(ObjectId{3}), nullptr);
+  cat.validate(400_GB);
+}
+
+TEST(CatalogReplicas, ScrubMarkedLossesRouteAroundUnreadTapes) {
+  // A scrub pass can mark a tape Lost through set_tape_health before any
+  // foreground read ever touched it; best_replica must route around it
+  // exactly as it does for read-error escalations.
+  ObjectCatalog cat(240);
+  ASSERT_TRUE(cat.insert(record(9, 1_GB, 10, Bytes{0})));
+  ASSERT_TRUE(cat.insert_replica(record(9, 1_GB, 91, Bytes{0})));
+
+  cat.set_tape_health(TapeId{10}, ReplicaHealth::kLost);
+  const ObjectRecord* best = cat.best_replica(ObjectId{9});
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->tape.value(), 91u);
+
+  // A later scrub finding on the replica (Degraded, not Lost) still leaves
+  // it the only live copy.
+  cat.set_tape_health(TapeId{91}, ReplicaHealth::kDegraded);
+  best = cat.best_replica(ObjectId{9});
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->tape.value(), 91u);
+}
+
 }  // namespace
 }  // namespace tapesim::catalog

@@ -227,6 +227,138 @@ TEST(Injector, RobotJamDelayIsClearTimeOrZero) {
   EXPECT_EQ(inj.counters().robot_jams, static_cast<std::uint64_t>(jams));
 }
 
+TEST(Injector, LatentDecayDisabledMeansNoDamage) {
+  FaultConfig c;
+  c.mount_failure_prob = 0.5;  // enabled, but no decay
+  FaultInjector inj(c, small_spec());
+  for (std::uint32_t t = 0; t < 16; ++t) {
+    EXPECT_EQ(inj.undetected_damage(TapeId{t}, Seconds{1e12}), 0u);
+    EXPECT_EQ(inj.observe_damage(TapeId{t}, Seconds{1e12}),
+              tape::CartridgeHealth::kGood);
+    EXPECT_EQ(inj.latent_observed_on(TapeId{t}), 0u);
+  }
+  EXPECT_EQ(inj.counters().latent_events, 0u);
+  EXPECT_EQ(inj.counters().latent_observed, 0u);
+}
+
+TEST(Injector, LatentDecayAccruesMonotonicallyWithTime) {
+  FaultConfig c;
+  c.latent_decay_mtbf = Seconds{100.0};
+  FaultInjector inj(c, small_spec());
+  const TapeId t{3};
+  std::uint32_t prev = 0;
+  std::uint64_t total = 0;
+  for (const double at : {0.0, 50.0, 500.0, 5000.0, 50000.0}) {
+    const std::uint32_t now = inj.undetected_damage(t, Seconds{at});
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+  // ~500 events over 5e4 s at one per 100 s; allow a wide deterministic
+  // tolerance, the point is "many, and roughly at rate".
+  EXPECT_GT(prev, 300u);
+  EXPECT_LT(prev, 800u);
+  // Every materialised event is counted exactly once, and re-querying the
+  // same instant materialises nothing new.
+  total = inj.counters().latent_events;
+  EXPECT_GE(total, prev);
+  EXPECT_EQ(inj.undetected_damage(t, Seconds{50000.0}), prev);
+  EXPECT_EQ(inj.counters().latent_events, total);
+}
+
+TEST(Injector, LatentDecayIsDeterministicAndOrderIndependent) {
+  FaultConfig c;
+  c.latent_decay_mtbf = Seconds{500.0};
+  FaultInjector fwd(c, small_spec());
+  FaultInjector rev(c, small_spec());
+  std::vector<std::uint32_t> first(16);
+  for (std::uint32_t t = 0; t < 16; ++t) {
+    first[t] = fwd.undetected_damage(TapeId{t}, Seconds{20000.0});
+  }
+  for (std::uint32_t t = 16; t-- > 0;) {
+    EXPECT_EQ(rev.undetected_damage(TapeId{t}, Seconds{20000.0}), first[t])
+        << "tape " << t;
+  }
+}
+
+TEST(Injector, ObserveDamageFoldsEverythingAndEscalatesOnce) {
+  FaultConfig c;
+  c.latent_decay_mtbf = Seconds{10.0};
+  c.degraded_after = 2;
+  c.lost_after = 5;
+  FaultInjector inj(c, small_spec());
+  const TapeId t{1};
+  // Plenty of time for far more than lost_after events to accrue silently:
+  // the cartridge's true state and its detected health diverge until the
+  // first observation folds every accrued event at once.
+  const Seconds at{1000.0};
+  const std::uint32_t hidden = inj.undetected_damage(t, at);
+  ASSERT_GE(hidden, 5u);
+  EXPECT_EQ(inj.media_errors_on(t), 0u);
+  EXPECT_EQ(inj.counters().degraded_cartridges, 0u);
+  EXPECT_EQ(inj.counters().lost_cartridges, 0u);
+
+  std::uint32_t found = 0;
+  EXPECT_EQ(inj.observe_damage(t, at, &found), tape::CartridgeHealth::kLost);
+  EXPECT_EQ(found, hidden);
+  EXPECT_EQ(inj.latent_observed_on(t), hidden);
+  EXPECT_EQ(inj.media_errors_on(t), hidden);
+  EXPECT_EQ(inj.counters().latent_observed, hidden);
+  // One fold that crosses both thresholds counts each crossing exactly
+  // once.
+  EXPECT_EQ(inj.counters().degraded_cartridges, 1u);
+  EXPECT_EQ(inj.counters().lost_cartridges, 1u);
+
+  // Observing again with nothing new accrued finds nothing and keeps every
+  // count stable.
+  found = 99;
+  EXPECT_EQ(inj.observe_damage(t, at, &found), tape::CartridgeHealth::kLost);
+  EXPECT_EQ(found, 0u);
+  EXPECT_EQ(inj.media_errors_on(t), hidden);
+  EXPECT_EQ(inj.counters().lost_cartridges, 1u);
+  EXPECT_EQ(inj.undetected_damage(t, at), 0u);
+}
+
+TEST(Injector, ObservedLatentDamageMixesWithReadErrors) {
+  // Latent findings and active read errors accumulate into the same
+  // escalation ledger, in any interleaving, and each threshold crossing is
+  // counted once no matter which path crossed it.
+  FaultConfig c;
+  c.latent_decay_mtbf = Seconds{50.0};
+  c.media_error_per_gb = 0.01;  // irrelevant rate; errors recorded directly
+  c.degraded_after = 2;
+  c.lost_after = 50;
+  FaultInjector inj(c, small_spec());
+  const TapeId t{4};
+
+  (void)inj.record_media_error(t);  // 1 observed error
+  const Seconds at{400.0};
+  const std::uint32_t hidden = inj.undetected_damage(t, at);
+  ASSERT_GE(hidden, 1u);
+  const auto after_fold = inj.observe_damage(t, at);
+  const std::uint32_t total = 1 + hidden;
+  EXPECT_EQ(inj.media_errors_on(t), total);
+  EXPECT_EQ(after_fold, total >= 2 ? tape::CartridgeHealth::kDegraded
+                                   : tape::CartridgeHealth::kGood);
+  (void)inj.record_media_error(t);
+  (void)inj.record_media_error(t);
+  EXPECT_EQ(inj.media_errors_on(t), total + 2);
+  EXPECT_EQ(inj.counters().degraded_cartridges, 1u);
+  EXPECT_EQ(inj.counters().lost_cartridges, 0u);
+  // The latent ledger tracks only surfaced decay, not read errors.
+  EXPECT_EQ(inj.latent_observed_on(t), hidden);
+}
+
+TEST(Injector, LatentHitPositionLiesWithinTheTransfer) {
+  FaultConfig c;
+  c.latent_decay_mtbf = Seconds{100.0};
+  FaultInjector inj(c, small_spec());
+  for (int i = 0; i < 1000; ++i) {
+    const double pos = inj.latent_hit_position(TapeId{2});
+    EXPECT_GE(pos, 0.0);
+    EXPECT_LT(pos, 1.0);
+  }
+}
+
 TEST(InjectorDeath, InvalidConfigAborts) {
   FaultConfig c;
   c.permanent_fraction = 2.0;

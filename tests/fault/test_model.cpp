@@ -110,6 +110,18 @@ TEST(FaultConfig, RejectsBadRobotKnobs) {
   EXPECT_FALSE(c.try_validate().ok());
 }
 
+TEST(FaultConfig, LatentDecayEnablesAndValidates) {
+  FaultConfig c;
+  c.latent_decay_mtbf = Seconds{86400.0};
+  EXPECT_TRUE(c.enabled());
+  EXPECT_TRUE(c.try_validate().ok());
+  c.latent_decay_mtbf = Seconds{-1.0};
+  EXPECT_FALSE(c.try_validate().ok());
+  c.latent_decay_mtbf = Seconds{};
+  EXPECT_FALSE(c.enabled());
+  EXPECT_TRUE(c.try_validate().ok());
+}
+
 TEST(FaultConfig, NestedBackoffFailuresSurface) {
   FaultConfig c;
   c.mount_retry.multiplier = 0.0;

@@ -1,0 +1,238 @@
+// Chaos soak: randomized fault + scrub + evacuation + overload schedules
+// across many seeds, asserting the invariants that must survive arbitrary
+// interleavings of foreground serving, background verification passes,
+// evacuation drains, deadline cancellations, and injected hardware faults:
+//
+//   * byte conservation — every requested byte is accounted served,
+//     unavailable, or expired, and the total matches the workload's own
+//     object sizes;
+//   * no double-mounted cartridge — at every request boundary each tape
+//     sits in at most one drive and the tape/drive maps agree;
+//   * counter reconciliation — the obs registry's fault.*, scrub.*, and
+//     evac.* counters match the injector's and the scheduler's own running
+//     totals exactly at the end of the run;
+//   * a monotone engine clock.
+//
+// The plan is built once (placement is deterministic and expensive); each
+// seed gets its own simulator, fault mix, scrub/evacuation posture, storm
+// arrival schedule, deadlines, and overload-pressure toggles.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "obs/tracer.hpp"
+#include "sched/simulator.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+#include "workload/storm.hpp"
+
+namespace tapesim {
+namespace {
+
+using metrics::RequestStatus;
+
+/// Shared scenario: a small two-library system and a parallel-batch plan.
+struct Fixture {
+  exp::ExperimentConfig config;
+  exp::Experiment experiment;
+  core::PlacementPlan plan;
+
+  Fixture() : config(make_config()), experiment(config), plan(make_plan()) {}
+
+  static exp::ExperimentConfig make_config() {
+    exp::ExperimentConfig c;
+    c.spec.num_libraries = 2;
+    c.spec.library.drives_per_library = 3;
+    c.spec.library.tapes_per_library = 10;
+    c.spec.library.tape_capacity = 40_GB;
+    c.workload.num_objects = 800;
+    c.workload.num_requests = 60;
+    c.workload.min_objects_per_request = 2;
+    c.workload.max_objects_per_request = 8;
+    c.workload.object_groups = 20;
+    c.workload.min_object_size = Bytes{200ULL * 1000 * 1000};
+    c.workload.max_object_size = Bytes{2000ULL * 1000 * 1000};
+    c.seed = 7;
+    return c;
+  }
+
+  core::PlacementPlan make_plan() const {
+    const auto schemes = exp::make_standard_schemes(2);
+    core::PlacementContext context{&experiment.workload(), &config.spec,
+                                   &experiment.clusters()};
+    return schemes.parallel_batch->place(context);
+  }
+
+  static const Fixture& instance() {
+    static const Fixture fixture;
+    return fixture;
+  }
+};
+
+/// One randomized posture: every fault class live at a seed-dependent
+/// rate, scrubbing and evacuation each enabled on most seeds.
+sched::SimulatorConfig chaos_config(Rng& rng, obs::Tracer* tracer) {
+  sched::SimulatorConfig cfg;
+  cfg.tracer = tracer;
+  cfg.faults.seed = rng();
+  cfg.faults.latent_decay_mtbf = Seconds{rng.uniform(1500.0, 12000.0)};
+  cfg.faults.mount_failure_prob = rng.uniform(0.0, 0.05);
+  cfg.faults.media_error_per_gb = rng.uniform() < 0.5 ? 0.002 : 0.0;
+  cfg.faults.robot_jam_prob = rng.uniform(0.0, 0.02);
+  if (rng.uniform() < 0.5) {
+    cfg.faults.drive_mtbf = Seconds{rng.uniform(5e4, 2e5)};
+    cfg.faults.drive_mttr = Seconds{600.0};
+    cfg.faults.permanent_fraction = 0.1;
+  }
+  if (rng.uniform() < 0.75) {
+    cfg.scrub.enabled = true;
+    cfg.scrub.interval = Seconds{rng.uniform(300.0, 3000.0)};
+    cfg.scrub.bandwidth_fraction = rng.uniform(0.3, 1.0);
+    cfg.scrub.max_concurrent = 1 + static_cast<std::uint32_t>(
+                                       rng.uniform_below(3));
+    cfg.scrub.segment = Bytes{(1 + rng.uniform_below(4)) << 30};
+  }
+  if (rng.uniform() < 0.5) {
+    cfg.evacuation.enabled = true;
+    cfg.evacuation.threshold = rng.uniform(0.3, 0.8);
+    cfg.evacuation.latent_weight = 0.2;
+    cfg.repair.bandwidth_fraction = 1.0;
+    cfg.repair.max_concurrent = 2;
+  }
+  EXPECT_TRUE(cfg.try_validate().ok());
+  return cfg;
+}
+
+class ChaosSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSoak, InvariantsSurviveRandomizedSchedules) {
+  const std::uint64_t seed = GetParam();
+  const Fixture& fx = Fixture::instance();
+  Rng rng{seed * 0x9E3779B97F4A7C15ULL + 1};
+
+  obs::Tracer tracer;
+  const sched::SimulatorConfig cfg = chaos_config(rng, &tracer);
+  sched::RetrievalSimulator sim(fx.plan, cfg);
+
+  workload::StormConfig storm;
+  storm.base_rate = 1.0 / 400.0;
+  storm.burst_rate = 1.0 / 40.0;
+  storm.mean_burst_duration = Seconds{1200.0};
+  storm.mean_calm_duration = Seconds{4000.0};
+  storm.batch_fraction = 0.4;
+  const workload::RequestSampler sampler(fx.experiment.workload());
+  const auto arrivals = workload::storm_arrivals(sampler, storm, 25, rng);
+
+  const auto check_mount_exclusivity = [&] {
+    const std::uint32_t drives = fx.config.spec.total_drives();
+    const std::uint32_t tapes = fx.config.spec.total_tapes();
+    std::vector<std::uint32_t> held(drives, 0);
+    for (std::uint32_t t = 0; t < tapes; ++t) {
+      if (const auto d = sim.system().drive_holding(TapeId{t})) {
+        ASSERT_LT(d->value(), drives);
+        ++held[d->value()];
+        ASSERT_LE(held[d->value()], 1u) << "drive " << d->value()
+                                        << " holds two cartridges";
+      }
+    }
+    for (std::uint32_t d = 0; d < drives; ++d) {
+      const auto& drive = sim.system().drive(DriveId{d});
+      if (!drive.empty() && !drive.failed()) {
+        const auto holder = sim.system().drive_holding(drive.mounted());
+        ASSERT_TRUE(holder.has_value());
+        EXPECT_EQ(holder->value(), d) << "tape/drive maps disagree";
+      }
+    }
+  };
+
+  Seconds prev_now{};
+  for (const auto& arrival : arrivals) {
+    if (sim.engine().now() < arrival.time) {
+      sim.engine().schedule_at(arrival.time, [] {});
+      sim.engine().run();
+    }
+    // Random overload-pressure toggles exercise the repair/scrub pause
+    // paths mid-stream.
+    sim.set_overload_pressure(rng.uniform() < 0.3);
+
+    sched::RequestContext ctx;
+    ctx.priority = arrival.priority;
+    if (rng.uniform() < 0.5) {
+      ctx.deadline = sim.engine().now() + Seconds{rng.uniform(1200.0, 9000.0)};
+    }
+    const auto o = sim.run_request(arrival.request, ctx);
+
+    // Clock monotone across requests and background drains.
+    EXPECT_GE(sim.engine().now().count(), prev_now.count());
+    prev_now = sim.engine().now();
+
+    // Byte conservation: the outcome's total matches the workload, and
+    // every byte is served, unavailable, or expired — no leaks, no
+    // double counting.
+    Bytes expected{};
+    for (const ObjectId obj :
+         fx.experiment.workload().request(arrival.request).objects) {
+      expected += fx.experiment.workload().object_size(obj);
+    }
+    ASSERT_EQ(o.bytes.count(), expected.count());
+    ASSERT_LE(o.bytes_unavailable.count() + o.bytes_expired.count(),
+              o.bytes.count());
+    ASSERT_EQ(o.bytes_served().count() + o.bytes_unavailable.count() +
+                  o.bytes_expired.count(),
+              o.bytes.count());
+    switch (o.status) {
+      case RequestStatus::kServed:
+        EXPECT_EQ(o.bytes_unavailable.count(), 0u);
+        EXPECT_EQ(o.bytes_expired.count(), 0u);
+        break;
+      case RequestStatus::kPartial:
+        EXPECT_GT(o.bytes_served().count(), 0u);
+        EXPECT_GT(o.bytes_unavailable.count() + o.bytes_expired.count(), 0u);
+        break;
+      case RequestStatus::kUnavailable:
+        EXPECT_EQ(o.bytes_served().count(), 0u);
+        break;
+      case RequestStatus::kDeadlineExpired:
+        EXPECT_LT(o.bytes_served().count(), o.bytes.count());
+        break;
+      case RequestStatus::kShed:
+        FAIL() << "the bare simulator never sheds";
+    }
+
+    check_mount_exclusivity();
+  }
+
+  // End-of-run reconciliation: the obs registry agrees exactly with the
+  // scheduler's and the injector's own running totals.
+  auto& reg = tracer.registry();
+  EXPECT_EQ(reg.counter("sched.requests").value(), arrivals.size());
+
+  const fault::FaultInjector* inj = sim.fault_injector();
+  ASSERT_NE(inj, nullptr);
+  const fault::FaultCounters& fc = inj->counters();
+  EXPECT_EQ(reg.counter("fault.mount_failures").value(), fc.mount_failures);
+  EXPECT_EQ(reg.counter("fault.media_errors").value(), fc.media_errors);
+  EXPECT_EQ(reg.counter("fault.robot_jams").value(), fc.robot_jams);
+  EXPECT_EQ(reg.counter("fault.drive_failures").value(), fc.drive_failures);
+  EXPECT_EQ(reg.counter("fault.latent_events").value(), fc.latent_events);
+  EXPECT_EQ(reg.counter("fault.latent_observed").value(), fc.latent_observed);
+
+  const sched::ScrubStats& scrub = sim.scrub_stats();
+  EXPECT_EQ(reg.counter("scrub.passes").value(), scrub.passes);
+  EXPECT_EQ(reg.counter("scrub.bytes_verified").value(),
+            scrub.bytes_verified);
+  EXPECT_EQ(reg.counter("scrub.latent_found").value(), scrub.latent_found);
+
+  const sched::EvacStats& evac = sim.evac_stats();
+  EXPECT_EQ(reg.counter("evac.started").value(), evac.started);
+  EXPECT_EQ(reg.counter("evac.objects_moved").value(), evac.objects_moved);
+  EXPECT_EQ(reg.counter("evac.preempted_unavailables").value(),
+            evac.preempted_unavailables);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoak,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace tapesim

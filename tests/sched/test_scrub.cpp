@@ -1,0 +1,398 @@
+// Background scrubbing and health-driven evacuation: config validation,
+// zero-overhead-when-disabled identity, and end-to-end behavior on a small
+// deterministic scenario.
+//
+// The identity tests extend the fault subsystem's discipline to the scrub
+// layer: a ScrubConfig or EvacuationConfig with enabled=false must be
+// indistinguishable from one that was never set, even when every other
+// knob carries a non-default value, and even with an active fault model
+// underneath — the same event sequence, the same engine clock, bit for
+// bit. The behavior tests then verify the whole loop: idle drives surface
+// latent decay that no foreground read ever touched, the catalog health
+// escalates from scrub findings alone, and evacuation drains a failing
+// cartridge through the copy path and retires it before its objects are
+// requested again.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "exp/experiment.hpp"
+#include "fault/model.hpp"
+#include "metrics/request_metrics.hpp"
+#include "sched/scrub.hpp"
+#include "sched/simulator.hpp"
+#include "workload/model.hpp"
+
+namespace tapesim::sched {
+namespace {
+
+using core::Alignment;
+using core::PlacementPlan;
+using metrics::RequestStatus;
+using workload::ObjectInfo;
+using workload::Request;
+using workload::Workload;
+
+/// Same layout as the recovery scenarios: one library, two drives, four
+/// 10 GB tapes, five objects spread over them. Request 5 touches two tapes
+/// (two drives serve in parallel), so the first drive to finish goes idle
+/// while foreground work is still outstanding — the window in which the
+/// scrub scheduler may claim it.
+struct Scenario {
+  tape::SystemSpec spec;
+  std::unique_ptr<Workload> workload;
+  std::unique_ptr<PlacementPlan> plan;
+
+  Scenario() {
+    spec.num_libraries = 1;
+    spec.library.drives_per_library = 2;
+    spec.library.tapes_per_library = 4;
+    spec.library.tape_capacity = 10_GB;
+
+    std::vector<ObjectInfo> objects{{ObjectId{0}, 2_GB},
+                                    {ObjectId{1}, 3_GB},
+                                    {ObjectId{2}, 4_GB},
+                                    {ObjectId{3}, 1_GB},
+                                    {ObjectId{4}, 2_GB}};
+    std::vector<Request> requests;
+    const double p = 1.0 / 6.0;
+    requests.push_back(Request{RequestId{0}, p, {ObjectId{0}}});
+    requests.push_back(Request{RequestId{1}, p, {ObjectId{0}, ObjectId{1}}});
+    requests.push_back(Request{RequestId{2}, p, {ObjectId{2}}});
+    requests.push_back(Request{RequestId{3}, p, {ObjectId{3}}});
+    requests.push_back(Request{RequestId{4}, p, {ObjectId{4}}});
+    requests.push_back(Request{RequestId{5}, p, {ObjectId{3}, ObjectId{4}}});
+    workload = std::make_unique<Workload>(std::move(objects),
+                                          std::move(requests));
+
+    plan = std::make_unique<PlacementPlan>(spec, *workload);
+    plan->assign(ObjectId{0}, TapeId{0});
+    plan->assign(ObjectId{1}, TapeId{0});
+    plan->assign(ObjectId{2}, TapeId{1});
+    plan->assign(ObjectId{3}, TapeId{2});
+    plan->assign(ObjectId{4}, TapeId{3});
+    plan->align_all(Alignment::kGivenOrder);
+    plan->compute_tape_popularity();
+    plan->mount_policy.initial_mounts.emplace_back(DriveId{0}, TapeId{0});
+  }
+};
+
+// --- configuration validation -------------------------------------------
+
+TEST(ScrubConfigValidation, DefaultIsValidAndDisabled) {
+  const ScrubConfig c;
+  EXPECT_TRUE(c.try_validate().ok());
+  EXPECT_FALSE(c.enabled);
+}
+
+TEST(ScrubConfigValidation, RejectsBadKnobs) {
+  ScrubConfig c;
+  c.interval = Seconds{-1.0};
+  EXPECT_FALSE(c.try_validate().ok());
+
+  c = ScrubConfig{};
+  c.enabled = true;
+  c.interval = Seconds{0.0};
+  EXPECT_FALSE(c.try_validate().ok());
+  // A zero interval on a disabled config is harmless.
+  c.enabled = false;
+  EXPECT_TRUE(c.try_validate().ok());
+
+  c = ScrubConfig{};
+  c.bandwidth_fraction = 0.0;
+  EXPECT_FALSE(c.try_validate().ok());
+  c.bandwidth_fraction = 1.5;
+  EXPECT_FALSE(c.try_validate().ok());
+  c.bandwidth_fraction = 1.0;
+  EXPECT_TRUE(c.try_validate().ok());
+
+  c = ScrubConfig{};
+  c.enabled = true;
+  c.max_concurrent = 0;
+  EXPECT_FALSE(c.try_validate().ok());
+  c.enabled = false;
+  EXPECT_TRUE(c.try_validate().ok());
+
+  c = ScrubConfig{};
+  c.segment = Bytes{0};
+  const Status s = c.try_validate();
+  ASSERT_FALSE(s.ok());
+  // The message names the struct, so a CLI can print it and keep running.
+  EXPECT_NE(s.message().find("ScrubConfig"), std::string::npos);
+}
+
+TEST(EvacuationConfigValidation, RejectsBadKnobs) {
+  EvacuationConfig c;
+  EXPECT_TRUE(c.try_validate().ok());
+  EXPECT_FALSE(c.enabled);
+
+  c.threshold = -0.1;
+  EXPECT_FALSE(c.try_validate().ok());
+  c.threshold = 1.1;
+  EXPECT_FALSE(c.try_validate().ok());
+  c.threshold = 1.0;
+  EXPECT_TRUE(c.try_validate().ok());
+
+  c = EvacuationConfig{};
+  c.error_weight = -0.01;
+  EXPECT_FALSE(c.try_validate().ok());
+
+  c = EvacuationConfig{};
+  c.latent_weight = -0.01;
+  EXPECT_FALSE(c.try_validate().ok());
+
+  c = EvacuationConfig{};
+  c.mount_rating = 0.0;
+  const Status s = c.try_validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("EvacuationConfig"), std::string::npos);
+}
+
+TEST(EvacuationConfigValidation, ScoreIsClampedAndMonotone) {
+  const EvacuationConfig c;
+  EXPECT_DOUBLE_EQ(c.score(0, 0, 0), 1.0);
+  // Each wear channel lowers the score.
+  EXPECT_LT(c.score(1, 0, 0), 1.0);
+  EXPECT_LT(c.score(0, 1, 0), 1.0);
+  EXPECT_LT(c.score(0, 0, 100), 1.0);
+  EXPECT_LE(c.score(0, 1, 0), c.score(0, 0, 0));
+  // Arbitrarily battered cartridges bottom out at zero, never below.
+  EXPECT_DOUBLE_EQ(c.score(1000, 1000, 1'000'000), 0.0);
+}
+
+TEST(SimulatorConfigValidation, SurfacesScrubAndEvacuationFailures) {
+  SimulatorConfig c;
+  c.scrub.segment = Bytes{0};
+  Status s = c.try_validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("ScrubConfig"), std::string::npos);
+
+  c = SimulatorConfig{};
+  c.evacuation.mount_rating = -5.0;
+  s = c.try_validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("EvacuationConfig"), std::string::npos);
+
+  // The simulator constructor turns the failure into a recoverable throw.
+  Scenario scenario;
+  EXPECT_THROW(RetrievalSimulator(*scenario.plan, c), std::invalid_argument);
+}
+
+// --- zero-overhead-when-disabled identity --------------------------------
+
+TEST(ScrubIdentity, DisabledFieldsAreInertUnderActiveFaults) {
+  // Both simulators run the same fault model (media errors AND latent
+  // decay, so every fault code path is live); one of them additionally
+  // carries fully-tuned scrub and evacuation configs with enabled=false.
+  // Request outcomes and the engine clock must agree bit for bit.
+  Scenario base;
+  Scenario tuned;
+  SimulatorConfig plain_cfg;
+  plain_cfg.faults.media_error_per_gb = 0.02;
+  plain_cfg.faults.latent_decay_mtbf = Seconds{400.0};
+  SimulatorConfig tuned_cfg = plain_cfg;
+  tuned_cfg.scrub.interval = Seconds{1.0};
+  tuned_cfg.scrub.bandwidth_fraction = 1.0;
+  tuned_cfg.scrub.max_concurrent = 8;
+  tuned_cfg.scrub.segment = 1_GB;
+  tuned_cfg.evacuation.threshold = 0.99;
+  tuned_cfg.evacuation.latent_weight = 0.5;
+  ASSERT_FALSE(tuned_cfg.scrub.enabled);
+  ASSERT_FALSE(tuned_cfg.evacuation.enabled);
+
+  RetrievalSimulator plain(*base.plan, plain_cfg);
+  RetrievalSimulator disabled(*tuned.plan, tuned_cfg);
+  for (int round = 0; round < 3; ++round) {
+    for (const std::uint32_t r : {2u, 5u, 1u, 0u, 3u, 4u}) {
+      const auto a = plain.run_request(RequestId{r});
+      const auto b = disabled.run_request(RequestId{r});
+      EXPECT_EQ(a.response.count(), b.response.count());
+      EXPECT_EQ(a.seek.count(), b.seek.count());
+      EXPECT_EQ(a.transfer.count(), b.transfer.count());
+      EXPECT_EQ(a.switch_time.count(), b.switch_time.count());
+      EXPECT_EQ(a.robot_wait.count(), b.robot_wait.count());
+      EXPECT_EQ(a.media_retries, b.media_retries);
+      EXPECT_EQ(a.tape_switches, b.tape_switches);
+      EXPECT_EQ(a.drives_used, b.drives_used);
+    }
+  }
+  EXPECT_EQ(plain.total_switches(), disabled.total_switches());
+  EXPECT_EQ(plain.engine().now().count(), disabled.engine().now().count());
+  EXPECT_EQ(disabled.scrub_stats().passes, 0u);
+  EXPECT_EQ(disabled.scrub_stats().bytes_verified, 0u);
+  EXPECT_EQ(disabled.evac_stats().started, 0u);
+}
+
+TEST(ScrubIdentity, EnabledWithoutFaultsIsInert) {
+  // Scrubbing verifies the injector's decay timelines; without a fault
+  // model there is nothing to verify and the flags must change nothing.
+  Scenario base;
+  Scenario scrubbed;
+  SimulatorConfig cfg;
+  cfg.scrub.enabled = true;
+  cfg.scrub.interval = Seconds{1.0};
+  cfg.evacuation.enabled = true;
+  ASSERT_FALSE(cfg.faults.enabled());
+
+  RetrievalSimulator plain(*base.plan);
+  RetrievalSimulator inert(*scrubbed.plan, cfg);
+  EXPECT_EQ(inert.fault_injector(), nullptr);
+  for (const std::uint32_t r : {2u, 5u, 1u, 0u, 3u, 4u}) {
+    const auto a = plain.run_request(RequestId{r});
+    const auto b = inert.run_request(RequestId{r});
+    EXPECT_EQ(a.response.count(), b.response.count());
+    EXPECT_EQ(a.status, b.status);
+  }
+  EXPECT_EQ(plain.engine().now().count(), inert.engine().now().count());
+  EXPECT_EQ(inert.scrub_stats().passes, 0u);
+  EXPECT_EQ(inert.evac_stats().started, 0u);
+}
+
+TEST(ScrubIdentity, FullExperimentPipelineBitIdentical) {
+  // Whole place -> sample -> simulate pipeline: default config vs one with
+  // every scrub/evacuation knob tuned but disabled.
+  exp::ExperimentConfig plain_cfg;
+  plain_cfg.simulated_requests = 30;
+  exp::ExperimentConfig tuned_cfg = plain_cfg;
+  tuned_cfg.sim.scrub.interval = Seconds{123.0};
+  tuned_cfg.sim.scrub.bandwidth_fraction = 0.9;
+  tuned_cfg.sim.scrub.max_concurrent = 7;
+  tuned_cfg.sim.evacuation.threshold = 0.75;
+  ASSERT_FALSE(tuned_cfg.sim.scrub.enabled);
+  ASSERT_FALSE(tuned_cfg.sim.evacuation.enabled);
+
+  const exp::Experiment plain(plain_cfg);
+  const exp::Experiment tuned(tuned_cfg);
+  const auto schemes = exp::make_standard_schemes();
+  const auto a = plain.run(*schemes.parallel_batch);
+  const auto b = tuned.run(*schemes.parallel_batch);
+
+  EXPECT_EQ(a.metrics.mean_response().count(),
+            b.metrics.mean_response().count());
+  EXPECT_EQ(a.metrics.mean_bandwidth().count(),
+            b.metrics.mean_bandwidth().count());
+  EXPECT_EQ(a.total_switches, b.total_switches);
+  EXPECT_EQ(a.tapes_used, b.tapes_used);
+}
+
+// --- end-to-end behavior -------------------------------------------------
+
+TEST(Scrubbing, IdleDrivesSurfaceLatentDamageBeforeAnyRead) {
+  // Aggressive decay, generous escalation headroom (nothing goes Lost), a
+  // short scrub cadence. Request 5 reads only tapes 2 and 3; the drive
+  // that finishes first scrubs. With the mounted tape freshly verified and
+  // therefore not due again inside the interval, later passes chase the
+  // most overdue cartridges — tapes 0 and 1, which no request ever reads.
+  Scenario s;
+  SimulatorConfig cfg;
+  cfg.faults.latent_decay_mtbf = Seconds{30.0};
+  cfg.faults.degraded_after = 2;
+  cfg.faults.lost_after = 1000;
+  cfg.scrub.enabled = true;
+  cfg.scrub.interval = Seconds{200.0};
+  cfg.scrub.bandwidth_fraction = 1.0;
+  cfg.scrub.max_concurrent = 2;
+  cfg.scrub.segment = 1_GB;
+
+  RetrievalSimulator sim(*s.plan, cfg);
+  for (int round = 0; round < 10; ++round) {
+    sim.run_request(RequestId{5});
+  }
+
+  const ScrubStats& stats = sim.scrub_stats();
+  EXPECT_GE(stats.passes, 1u);
+  EXPECT_GT(stats.bytes_verified, 0u);
+  EXPECT_GE(stats.latent_found, 1u);
+
+  const fault::FaultInjector* inj = sim.fault_injector();
+  ASSERT_NE(inj, nullptr);
+  EXPECT_GE(inj->counters().latent_observed, stats.latent_found);
+
+  // At least one cold cartridge — never read by request 5 — was verified
+  // and had its silent damage surfaced into catalog health.
+  bool cold_tape_observed = false;
+  for (const std::uint32_t t : {0u, 1u}) {
+    if (inj->latent_observed_on(TapeId{t}) >= 2) {
+      cold_tape_observed = true;
+      EXPECT_EQ(sim.catalog().tape_health(TapeId{t}),
+                catalog::ReplicaHealth::kDegraded);
+      EXPECT_EQ(sim.system().cartridge_health(TapeId{t}),
+                tape::CartridgeHealth::kDegraded);
+    }
+  }
+  EXPECT_TRUE(cold_tape_observed);
+}
+
+TEST(Evacuation, DrainsRetiresAndPreemptsUnavailability) {
+  // Decay fast enough that the first observation of any cartridge folds
+  // several events; with latent_weight 0.3 and threshold 0.5 the second
+  // observed event already tips the health score, so evacuation starts
+  // long before the (deliberately unreachable) Lost threshold.
+  Scenario s;
+  SimulatorConfig cfg;
+  cfg.faults.latent_decay_mtbf = Seconds{40.0};
+  cfg.faults.degraded_after = 2;
+  cfg.faults.lost_after = 1000;
+  cfg.scrub.enabled = true;
+  cfg.scrub.interval = Seconds{150.0};
+  cfg.scrub.bandwidth_fraction = 1.0;
+  cfg.scrub.max_concurrent = 2;
+  cfg.scrub.segment = 1_GB;
+  cfg.evacuation.enabled = true;
+  cfg.evacuation.threshold = 0.5;
+  cfg.evacuation.latent_weight = 0.3;
+  // Evacuation copies ride the repair engine; let them run at full rate so
+  // a drain settles within a couple of requests. repair.enabled stays
+  // false — the plan carries no replicas, and evacuation alone must be
+  // enough to keep the copy engine alive.
+  cfg.repair.bandwidth_fraction = 1.0;
+  cfg.repair.max_concurrent = 2;
+  ASSERT_FALSE(cfg.repair.enabled);
+
+  RetrievalSimulator sim(*s.plan, cfg);
+  for (int round = 0; round < 10; ++round) {
+    sim.run_request(RequestId{5});
+    sim.drain_repairs();
+    if (sim.evac_stats().completed > 0) break;
+  }
+
+  const EvacStats& evac = sim.evac_stats();
+  ASSERT_GE(evac.started, 1u);
+  ASSERT_GE(evac.completed, 1u);
+  EXPECT_GE(evac.objects_moved, 1u);
+
+  // Some cartridge was fully drained and retired; every object that lived
+  // on it must have a live copy elsewhere.
+  int retired = -1;
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    if (sim.catalog().tape_retired(TapeId{t})) {
+      retired = static_cast<int>(t);
+      break;
+    }
+  }
+  ASSERT_NE(retired, -1);
+  const TapeId retired_tape{static_cast<std::uint32_t>(retired)};
+  for (const auto& extent : sim.catalog().extents_on(retired_tape)) {
+    const catalog::ObjectRecord* best =
+        sim.catalog().best_replica(extent.object);
+    ASSERT_NE(best, nullptr) << "object " << extent.object.value();
+    EXPECT_NE(best->tape.value(), retired_tape.value());
+  }
+
+  // Re-requesting an object whose primary sat on the retired cartridge is
+  // served from the evacuated copy and counted as a preempted
+  // unavailability.
+  const std::uint32_t request_for_tape[4] = {0u, 2u, 3u, 4u};
+  const std::uint64_t preempted_before = evac.preempted_unavailables;
+  const auto outcome = sim.run_request(
+      RequestId{request_for_tape[static_cast<std::size_t>(retired)]});
+  EXPECT_EQ(outcome.status, RequestStatus::kServed);
+  EXPECT_EQ(outcome.bytes_unavailable.count(), 0u);
+  EXPECT_GT(sim.evac_stats().preempted_unavailables, preempted_before);
+}
+
+}  // namespace
+}  // namespace tapesim::sched

@@ -19,22 +19,28 @@ ctest --test-dir build -L tier1 --output-on-failure -j "$jobs"
 echo "==> overload storm bench self-check (tier2-overload)"
 ctest --test-dir build -L tier2-overload --output-on-failure
 
+echo "==> scrub durability bench self-check (tier2-scrub)"
+ctest --test-dir build -L tier2-scrub --output-on-failure
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "==> done (fast mode: sanitizer pass skipped)"
   exit 0
 fi
 
-# The sanitizer presets build tests only (benches are release-preset
-# artifacts); the deadline-cancellation paths the storm bench exercises
-# are covered here by the tier1 sched overload tests.
-echo "==> asan+ubsan build + tier1 tests"
-cmake --preset asan-ubsan
+# The sanitizer presets build tests only by default (benches are
+# release-preset artifacts); the scrub/evacuation machinery is timing-heavy
+# enough that its bench self-checks earn a sanitized run too, so the bench
+# build is switched back on here and tier2-scrub rides along with tier1.
+echo "==> asan+ubsan build + tier1 + tier2-scrub tests"
+cmake --preset asan-ubsan -DTAPESIM_BUILD_BENCH=ON
 cmake --build --preset asan-ubsan -j "$jobs"
-ctest --test-dir build-asan -L tier1 --output-on-failure -j "$jobs"
+ctest --test-dir build-asan -L 'tier1|tier2-scrub' --output-on-failure \
+  -j "$jobs"
 
-echo "==> tsan build + tier1 tests"
-cmake --preset tsan
+echo "==> tsan build + tier1 + tier2-scrub tests"
+cmake --preset tsan -DTAPESIM_BUILD_BENCH=ON
 cmake --build --preset tsan -j "$jobs"
-ctest --test-dir build-tsan -L tier1 --output-on-failure -j "$jobs"
+ctest --test-dir build-tsan -L 'tier1|tier2-scrub' --output-on-failure \
+  -j "$jobs"
 
 echo "==> done"
