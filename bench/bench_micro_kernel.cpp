@@ -1,15 +1,35 @@
-// Microbenchmarks for the building blocks (google-benchmark): the
-// discrete-event kernel, the B+-tree catalog index, the clustering stage,
-// placement itself, and end-to-end request simulation. These establish
-// that a full figure sweep (hundreds of placements + tens of thousands of
-// simulated requests) stays comfortably laptop-scale.
+// Microbenchmarks for the building blocks: the discrete-event kernel, the
+// B+-tree catalog index, the clustering stage, placement itself, and
+// end-to-end request simulation. These establish that a full figure sweep
+// (hundreds of placements + tens of thousands of simulated requests) stays
+// comfortably laptop-scale.
+//
+// Two modes share one binary:
+//   (default)            the google-benchmark suite below
+//   --fast / --perf-out  a deterministic perf scenario (fixed seeds, fixed
+//                        sizes) that times the kernel, the B+-tree, and a
+//                        request-simulation phase with an obs::Profiler
+//                        attached, writes a BENCH_micro_kernel.json report
+//                        (obs::PerfReport) for tools/bench_compare, and
+//                        self-checks that attaching the profiler costs
+//                        under 2% wall time on the request phase
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "catalog/btree.hpp"
 #include "cluster/hierarchy.hpp"
 #include "cluster/similarity.hpp"
 #include "core/parallel_batch.hpp"
 #include "exp/experiment.hpp"
+#include "obs/perf.hpp"
+#include "obs/profiler.hpp"
 #include "sched/simulator.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
@@ -154,6 +174,233 @@ void BM_SimulateRequest(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateRequest);
 
+// ---------------------------------------------------------------------------
+// Deterministic perf scenario (--fast / --perf-out). Fixed seeds and sizes
+// so every sim-derived KPI is bit-identical across machines — only the
+// wall-clock fields vary, and tools/bench_compare gives those a generous
+// band.
+
+struct PerfSizes {
+  std::size_t kernel_events;
+  std::uint64_t btree_keys;
+  std::uint32_t objects;
+  std::size_t requests;
+};
+
+constexpr PerfSizes kFullSizes{400000, 200000, 30000, 2000};
+constexpr PerfSizes kFastSizes{50000, 50000, 8000, 300};
+
+// Event actions here run in the hundreds of nanoseconds, so the perf
+// scenario times 1-in-128 dispatches: a 2% overhead budget is a handful
+// of nanoseconds per event, which per-dispatch clock reads alone exceed.
+// Dispatch/run totals and every KPI stay exact regardless of the stride.
+constexpr std::size_t kProfileStride = 128;
+
+// Kernel phase: raw dispatch throughput with the profiler attached — empty
+// actions, so run_wall is almost entirely queue push/pop (kernel_wall_s).
+double kernel_phase(const PerfSizes& sizes, obs::Profiler& profiler) {
+  sim::Engine engine;
+  profiler.attach(engine);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < sizes.kernel_events; ++i) {
+    engine.schedule_in(Seconds{static_cast<double>(i % 97)},
+                       [&count] { ++count; });
+  }
+  engine.run();
+  profiler.detach();
+  return static_cast<double>(count);
+}
+
+double btree_phase(const PerfSizes& sizes) {
+  Rng rng{2};
+  catalog::BPlusTree<std::uint32_t, std::uint64_t> tree;
+  for (std::uint64_t i = 0; i < sizes.btree_keys; ++i) {
+    const auto k = static_cast<std::uint32_t>(rng());
+    tree.insert(k, k);
+  }
+  std::uint64_t hits = 0;
+  Rng probe{3};
+  for (std::uint64_t i = 0; i < sizes.btree_keys; ++i) {
+    if (tree.find(static_cast<std::uint32_t>(probe())) != nullptr) ++hits;
+  }
+  return static_cast<double>(tree.size() + hits);
+}
+
+struct RequestPhaseResult {
+  double wall_s = 0.0;
+  double mean_response_s = 0.0;
+  std::uint64_t switches = 0;
+};
+
+// Request phase: end-to-end request simulation on a fresh simulator (state
+// resets between trials, so profiled and unprofiled runs do identical
+// work). Actions here do real tape math — the representative workload for
+// the profiler-overhead self-check.
+RequestPhaseResult request_phase(const core::PlacementPlan& plan,
+                                 std::size_t requests,
+                                 obs::Profiler* profiler) {
+  const obs::WallTimer timer;
+  sched::RetrievalSimulator sim(plan);
+  obs::Profiler* attached = profiler;
+  if (attached != nullptr) attached->attach(sim.engine());
+  Rng rng{5};
+  const workload::RequestSampler sampler(sim.workload());
+  double response_sum = 0.0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    response_sum += sim.run_request(sampler.sample(rng)).response.count();
+  }
+  if (attached != nullptr) attached->detach();
+  RequestPhaseResult result;
+  result.wall_s = timer.elapsed_s();
+  result.mean_response_s =
+      requests == 0 ? 0.0 : response_sum / static_cast<double>(requests);
+  result.switches = sim.total_switches();
+  return result;
+}
+
+// Best-of-N wall time: the minimum is the least-noise estimate of the true
+// cost, which is what an overhead bound should compare.
+template <typename Fn>
+double best_of(int trials, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < trials; ++i) best = std::min(best, fn());
+  return best;
+}
+
+int run_perf_scenario(bool fast, const std::string& perf_out) {
+  const PerfSizes& sizes = fast ? kFastSizes : kFullSizes;
+  obs::PerfReport report;
+  report.bench = "micro_kernel";
+  const obs::WallTimer total;
+
+  obs::Profiler profiler{kProfileStride};
+  const double kernel_count = kernel_phase(sizes, profiler);
+  const obs::ProfileReport kernel = profiler.report();
+
+  const double btree_checksum = btree_phase(sizes);
+
+  const auto wl = bench_workload(sizes.objects);
+  cluster::ClusterConstraints constraints;
+  constraints.max_bytes = Bytes{360ULL * 1000 * 1000 * 1000};
+  const auto clusters = cluster::cluster_by_requests(wl, constraints);
+  const tape::SystemSpec spec = tape::SystemSpec::paper_default();
+  const core::ParallelBatchPlacement scheme;
+  const core::PlacementContext context{&wl, &spec, &clusters};
+  const core::PlacementPlan plan = scheme.place(context);
+
+  obs::Profiler request_profiler{kProfileStride};
+  const RequestPhaseResult requests =
+      request_phase(plan, sizes.requests, &request_profiler);
+  const obs::ProfileReport request_profile = request_profiler.report();
+
+  report.wall_s = total.elapsed_s();
+  report.events_dispatched = kernel.dispatches + request_profile.dispatches;
+  report.events_per_s =
+      kernel.run_wall_s + request_profile.run_wall_s > 0.0
+          ? static_cast<double>(report.events_dispatched) /
+                (kernel.run_wall_s + request_profile.run_wall_s)
+          : 0.0;
+  report.peak_rss_bytes = obs::peak_rss_bytes();
+  // Deterministic KPIs: any drift here is a behavior change.
+  report.kpis["kernel.events"] = kernel_count;
+  report.kpis["btree.checksum"] = btree_checksum;
+  report.kpis["placement.tapes_used"] =
+      static_cast<double>(plan.tapes_used());
+  report.kpis["request.count"] = static_cast<double>(sizes.requests);
+  report.kpis["request.mean_response_s"] = requests.mean_response_s;
+  report.kpis["request.switches"] =
+      static_cast<double>(requests.switches);
+  report.kpis["request.sim_advanced_s"] = request_profile.sim_advanced_s;
+  {
+    std::ostringstream os;
+    request_profiler.write_json(os);
+    report.profile_json = os.str();
+  }
+
+  std::cout << "perf scenario (" << (fast ? "fast" : "full") << "):\n"
+            << "  kernel: " << kernel.dispatches << " dispatches, "
+            << kernel.events_per_wall_s() << " events/s (kernel wall "
+            << kernel.kernel_wall_s() << " s)\n"
+            << "  requests: " << sizes.requests << " in "
+            << requests.wall_s << " s wall, mean response "
+            << requests.mean_response_s << " s, sim speedup "
+            << request_profile.sim_s_per_wall_s() << "x\n"
+            << "  total wall: " << report.wall_s << " s, peak RSS "
+            << static_cast<double>(report.peak_rss_bytes) / (1024.0 * 1024.0)
+            << " MiB\n";
+
+  if (!perf_out.empty()) {
+    if (!report.save(perf_out)) {
+      std::cerr << "cannot write perf report to " << perf_out << "\n";
+      return 1;
+    }
+    std::cout << "(perf report written to " << perf_out << ")\n";
+  }
+
+  // Self-check: attaching the profiler must cost < 2% wall on the request
+  // phase (real event actions). Best-of-3 on each side filters scheduler
+  // noise; the small absolute floor keeps a sub-100ms fast run from
+  // failing on a single timer quantum.
+  const std::size_t check_requests = std::min(sizes.requests, std::size_t{300});
+  const double plain = best_of(
+      3, [&] { return request_phase(plan, check_requests, nullptr).wall_s; });
+  obs::Profiler check_profiler{kProfileStride};
+  const double profiled = best_of(3, [&] {
+    return request_phase(plan, check_requests, &check_profiler).wall_s;
+  });
+  const double overhead =
+      plain > 0.0 ? (profiled - plain) / plain : 0.0;
+  const bool ok = profiled <= plain * 1.02 + 0.005;
+  std::cout << "profiler overhead self-check: plain " << plain
+            << " s, profiled " << profiled << " s ("
+            << overhead * 100.0 << "%) -> " << (ok ? "OK" : "FAIL")
+            << " (limit 2%)\n";
+  if (!ok) {
+    std::cerr << "profiler overhead exceeds the 2% budget\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool fast = false;
+  std::string perf_out;
+  std::vector<char*> bench_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fast") {
+      fast = true;
+    } else if (arg == "--perf-out" && i + 1 < argc) {
+      perf_out = argv[++i];
+    } else if (arg.rfind("--perf-out=", 0) == 0) {
+      perf_out = arg.substr(std::string("--perf-out=").size());
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: bench_micro_kernel [--fast] [--perf-out=PATH]"
+                << " [google-benchmark flags]\n"
+                << "  --fast           reduced perf scenario only (skips the"
+                << " google-benchmark suite)\n"
+                << "  --perf-out=PATH  write an obs::PerfReport JSON for"
+                << " tools/bench_compare\n";
+      return 0;
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+
+  if (fast || !perf_out.empty()) {
+    const int status = run_perf_scenario(fast, perf_out);
+    if (status != 0 || fast) return status;
+  }
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             bench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -19,10 +19,14 @@
 //      no-shedding.
 //   3. The obs counters overload.{served,shed,expired} reconcile exactly
 //      with the OverloadReport and RequestMetrics totals.
+#include <map>
 #include <span>
+#include <sstream>
 
 #include "core/parallel_batch.hpp"
 #include "figure_common.hpp"
+#include "obs/perf.hpp"
+#include "obs/profiler.hpp"
 #include "sched/overload.hpp"
 #include "util/rng.hpp"
 #include "workload/storm.hpp"
@@ -108,13 +112,16 @@ struct Bench {
 
   CellResult run(std::span<const workload::TimedRequest> arrivals,
                  sched::ShedPolicy policy, std::uint32_t depth,
-                 obs::Tracer* tracer = nullptr) const {
+                 obs::Tracer* tracer = nullptr,
+                 obs::Profiler* profiler = nullptr) const {
     sched::SimulatorConfig sim_config;
     sim_config.tracer = tracer;
     sched::RetrievalSimulator sim(plan, sim_config);
+    if (profiler != nullptr) profiler->attach(sim.engine());
     sched::OverloadRunner runner(sim, make_config(policy, depth), tracer);
     CellResult cell;
     cell.report = runner.run(arrivals);
+    if (profiler != nullptr) profiler->detach();
     for (const workload::TimedRequest& a : arrivals) {
       const Bytes bytes = workload.request_bytes(a.request);
       cell.slo_max =
@@ -144,6 +151,15 @@ int main(int argc, char** argv) {
       "goodput and admitted-request tail latency vs burst intensity x "
       "queue bound x shedding policy (parallel batch placement)");
 
+  // Wall/events accounting for the --perf-out report. The profiler only
+  // observes wall clocks, so attaching it cannot change any sim result.
+  const obs::WallTimer total_timer;
+  // 1-in-64 dispatch sampling keeps the attached profiler from skewing
+  // the wall numbers the perf report records (totals stay exact).
+  obs::Profiler perf_profiler{64};
+  obs::Profiler* const perf =
+      flags.perf_out.empty() ? nullptr : &perf_profiler;
+
   const Bench bench(flags.seed);
   const double service = bench.mean_service.count();
   std::cout << "calibrated mean service: " << service << " s\n\n";
@@ -171,6 +187,9 @@ int main(int argc, char** argv) {
   bool tail_ok = true;
   bool goodput_ok = true;
   bool reconcile_ok = true;
+  // Headline KPIs for the perf report: the traced priority cell at the
+  // heaviest burst and tightest bound (the cell the self-checks gate).
+  std::map<std::string, double> kpis;
 
   for (const double rho : intensities) {
     // One arrival stream per intensity, replayed for every policy cell so
@@ -187,8 +206,8 @@ int main(int argc, char** argv) {
     const auto arrivals =
         workload::storm_arrivals(sampler, storm, count, storm_rng);
 
-    const CellResult none =
-        bench.run(arrivals, sched::ShedPolicy::kNone, /*depth=*/0);
+    const CellResult none = bench.run(arrivals, sched::ShedPolicy::kNone,
+                                      /*depth=*/0, nullptr, perf);
     const double p99_none = none.report.admitted_sojourn.percentile(99.0);
     table.add(rho, to_string(sched::ShedPolicy::kNone), 0, none.report.served,
               none.report.shed_total(), none.report.expired_total(),
@@ -204,11 +223,15 @@ int main(int argc, char** argv) {
         // across cells.
         const bool traced = rho == top_rho && depth == tight_depth;
         obs::Tracer tracer;
-        if (flags.trace.sample_every > 0.0) {
+        if (traced && policy == sched::ShedPolicy::kPriority) {
+          // The cell whose telemetry is written below gets the full
+          // configuration (cadence + optional windowed timeseries).
+          flags.trace.configure(tracer);
+        } else if (flags.trace.sample_every > 0.0) {
           tracer.set_sample_cadence(Seconds{flags.trace.sample_every});
         }
-        const CellResult cell =
-            bench.run(arrivals, policy, depth, traced ? &tracer : nullptr);
+        const CellResult cell = bench.run(
+            arrivals, policy, depth, traced ? &tracer : nullptr, perf);
         const sched::OverloadReport& r = cell.report;
         const double p99 = r.admitted_sojourn.percentile(99.0);
         table.add(rho, to_string(policy), depth, r.served, r.shed_total(),
@@ -260,6 +283,14 @@ int main(int argc, char** argv) {
               policy == sched::ShedPolicy::kPriority) {
             flags.trace.finish(tracer);
           }
+          if (policy == sched::ShedPolicy::kPriority) {
+            kpis["overload.goodput_gb"] = gigabytes(r.goodput_bytes());
+            kpis["overload.p99_admitted_s"] = p99;
+            kpis["overload.served"] = static_cast<double>(r.served);
+            kpis["overload.shed"] = static_cast<double>(r.shed_total());
+            kpis["overload.expired"] =
+                static_cast<double>(r.expired_total());
+          }
         }
       }
     }
@@ -278,5 +309,26 @@ int main(int argc, char** argv) {
   std::cout << "reconcile self-check: " << (reconcile_ok ? "OK" : "FAIL")
             << " (overload.{served,shed,expired} counters match report and "
                "RequestMetrics totals exactly)\n";
+
+  if (!flags.perf_out.empty()) {
+    const obs::ProfileReport profile = perf_profiler.report();
+    obs::PerfReport report;
+    report.bench = "overload_storm";
+    report.wall_s = total_timer.elapsed_s();
+    report.events_dispatched = profile.dispatches;
+    report.events_per_s = profile.events_per_wall_s();
+    report.peak_rss_bytes = obs::peak_rss_bytes();
+    report.kpis = kpis;
+    report.kpis["fast"] = flags.fast ? 1.0 : 0.0;
+    report.kpis["calibrated_service_s"] = service;
+    std::ostringstream profile_os;
+    perf_profiler.write_json(profile_os);
+    report.profile_json = profile_os.str();
+    if (!report.save(flags.perf_out)) {
+      std::cerr << "cannot write perf report to " << flags.perf_out << "\n";
+      return 1;
+    }
+    std::cout << "(perf report written to " << flags.perf_out << ")\n";
+  }
   return (tail_ok && goodput_ok && reconcile_ok) ? 0 : 1;
 }

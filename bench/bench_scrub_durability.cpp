@@ -21,15 +21,19 @@
 //      out of service; evacuation must preempt some of that).
 //   3. Bounded foreground cost: the scrub+evac p99 served response stays
 //      within 2x of the no-scrub cell's p99.
-//   4. The obs counters scrub.{passes,bytes_verified,latent_found},
+//   4. The obs counters scrub.{passes,verified_bytes,latent_found},
 //      evac.{started,objects_moved,preempted_unavailables}, and
 //      fault.latent_{events,observed} reconcile exactly with ScrubStats,
 //      EvacStats, and the injector's own counters on a traced run.
+#include <map>
 #include <span>
+#include <sstream>
 #include <vector>
 
 #include "core/parallel_batch.hpp"
 #include "figure_common.hpp"
+#include "obs/perf.hpp"
+#include "obs/profiler.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -114,7 +118,8 @@ CellResult run_cell(const Bench& bench, std::span<const RequestId> requests,
                     const sched::ScrubConfig& scrub,
                     const sched::EvacuationConfig& evac,
                     const sched::RepairConfig& repair = {},
-                    obs::Tracer* tracer = nullptr) {
+                    obs::Tracer* tracer = nullptr,
+                    obs::Profiler* profiler = nullptr) {
   sched::SimulatorConfig config;
   config.faults = faults;
   config.scrub = scrub;
@@ -126,6 +131,7 @@ CellResult run_cell(const Bench& bench, std::span<const RequestId> requests,
     std::exit(2);
   }
   sched::RetrievalSimulator sim(bench.plan, config);
+  if (profiler != nullptr) profiler->attach(sim.engine());
   CellResult cell;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const Seconds arrival = gap * static_cast<double>(i);
@@ -136,6 +142,7 @@ CellResult run_cell(const Bench& bench, std::span<const RequestId> requests,
     cell.metrics.add(sim.run_request(requests[i]));
   }
   cell.engine_end = sim.engine().now();
+  if (profiler != nullptr) profiler->detach();
   cell.scrub = sim.scrub_stats();
   cell.evac = sim.evac_stats();
   if (const fault::FaultInjector* inj = sim.fault_injector()) {
@@ -162,6 +169,15 @@ int main(int argc, char** argv) {
       "foreground latent-error exposure and unavailability vs decay rate x "
       "scrub interval x evacuation threshold (parallel batch placement, one "
       "copy per object)");
+
+  // Wall/events accounting for the --perf-out report. The profiler only
+  // observes wall clocks, so attaching it cannot change any sim result.
+  const obs::WallTimer total_timer;
+  // 1-in-64 dispatch sampling keeps the attached profiler from skewing
+  // the wall numbers the perf report records (totals stay exact).
+  obs::Profiler perf_profiler{64};
+  obs::Profiler* const perf =
+      flags.perf_out.empty() ? nullptr : &perf_profiler;
 
   const Bench bench(flags.seed);
   const double service = bench.mean_service.count();
@@ -294,19 +310,24 @@ int main(int argc, char** argv) {
   bool unavail_ok = true;
   bool tail_ok = true;
   bool reconcile_ok = true;
+  // Headline KPIs for the perf report: the traced harsh-decay cell the
+  // self-checks gate, plus its no-scrub baseline.
+  std::map<std::string, double> kpis;
   const double harsh_mtbf = decay_mtbfs[0];
   const double check_interval = intervals[0];
   const double check_threshold = thresholds[0];
 
   for (const double mtbf : decay_mtbfs) {
     const fault::FaultConfig faults = fault_point(mtbf);
-    const CellResult off = run_cell(bench, requests, gap, faults, {}, {});
+    const CellResult off =
+        run_cell(bench, requests, gap, faults, {}, {}, {}, nullptr, perf);
     add_row(mtbf, "off", 0.0, 0.0, off);
 
     CellResult scrub_checked;  // the (harsh, check_interval) scrub-only cell
     for (const double interval : intervals) {
       const CellResult scrubbed =
-          run_cell(bench, requests, gap, faults, scrub_point(interval), {});
+          run_cell(bench, requests, gap, faults, scrub_point(interval), {},
+                   {}, nullptr, perf);
       add_row(mtbf, "scrub", interval, 0.0, scrubbed);
       if (mtbf == harsh_mtbf && interval == check_interval) {
         scrub_checked = scrubbed;
@@ -317,13 +338,17 @@ int main(int argc, char** argv) {
       const bool traced = mtbf == harsh_mtbf &&
                           threshold == check_threshold;
       obs::Tracer tracer;
-      if (flags.trace.sample_every > 0.0) {
+      if (traced) {
+        // This is the cell whose telemetry is written below, so it gets
+        // the full configuration (cadence + optional windowed timeseries).
+        flags.trace.configure(tracer);
+      } else if (flags.trace.sample_every > 0.0) {
         tracer.set_sample_cadence(Seconds{flags.trace.sample_every});
       }
       const CellResult cell =
           run_cell(bench, requests, gap, faults, scrub_point(check_interval),
                    evac_point(threshold), evac_repair_point(),
-                   traced ? &tracer : nullptr);
+                   traced ? &tracer : nullptr, perf);
       add_row(mtbf, "scrub+evac", check_interval, threshold, cell);
 
       if (traced) {
@@ -364,7 +389,7 @@ int main(int argc, char** argv) {
         auto& reg = tracer.registry();
         const bool scrub_counters =
             reg.counter("scrub.passes").value() == cell.scrub.passes &&
-            reg.counter("scrub.bytes_verified").value() ==
+            reg.counter("scrub.verified_bytes").value() ==
                 cell.scrub.bytes_verified &&
             reg.counter("scrub.latent_found").value() ==
                 cell.scrub.latent_found;
@@ -385,6 +410,12 @@ int main(int argc, char** argv) {
           reconcile_ok = false;
         }
         if (flags.trace.enabled()) flags.trace.finish(tracer);
+        kpis["scrub.latent_hit_frac_off"] = hit_off;
+        kpis["scrub.latent_hit_frac"] =
+            cell.metrics.fraction_latent_hit();
+        kpis["scrub.unavail_frac"] = un_evac;
+        kpis["scrub.p99_served_s"] = p99_evac;
+        kpis["scrub.passes"] = static_cast<double>(cell.scrub.passes);
       }
     }
   }
@@ -402,5 +433,26 @@ int main(int argc, char** argv) {
   std::cout << "reconcile self-check: " << (reconcile_ok ? "OK" : "FAIL")
             << " (scrub.*, evac.*, fault.latent_* counters match ScrubStats, "
                "EvacStats, and FaultCounters exactly)\n";
+
+  if (!flags.perf_out.empty()) {
+    const obs::ProfileReport profile = perf_profiler.report();
+    obs::PerfReport report;
+    report.bench = "scrub_durability";
+    report.wall_s = total_timer.elapsed_s();
+    report.events_dispatched = profile.dispatches;
+    report.events_per_s = profile.events_per_wall_s();
+    report.peak_rss_bytes = obs::peak_rss_bytes();
+    report.kpis = kpis;
+    report.kpis["fast"] = flags.fast ? 1.0 : 0.0;
+    report.kpis["calibrated_service_s"] = service;
+    std::ostringstream profile_os;
+    perf_profiler.write_json(profile_os);
+    report.profile_json = profile_os.str();
+    if (!report.save(flags.perf_out)) {
+      std::cerr << "cannot write perf report to " << flags.perf_out << "\n";
+      return 1;
+    }
+    std::cout << "(perf report written to " << flags.perf_out << ")\n";
+  }
   return (exposure_ok && unavail_ok && tail_ok && reconcile_ok) ? 0 : 1;
 }

@@ -9,6 +9,8 @@
 //   --trace-out=PATH    Chrome trace_event JSON (open in Perfetto)
 //   --jsonl-out=PATH    span/sample JSONL (tools/trace_inspect reads this)
 //   --metrics-out=PATH  metrics registry CSV
+//   --timeseries-out=PATH  windowed metric deltas/rates CSV (window =
+//                          --sample-every, default 500 simulated seconds)
 //   --sample-every=SEC  gauge sampling cadence in simulated seconds
 // When any output is requested, the first scheme's run is traced (each
 // scheme runs on its own engine clock starting at zero, so tracing several
@@ -85,10 +87,12 @@ struct TraceOptions {
   std::string chrome_out;
   std::string jsonl_out;
   std::string metrics_out;
+  std::string timeseries_out;
   double sample_every = 0.0;
 
   [[nodiscard]] bool enabled() const {
-    return !chrome_out.empty() || !jsonl_out.empty() || !metrics_out.empty();
+    return !chrome_out.empty() || !jsonl_out.empty() ||
+           !metrics_out.empty() || !timeseries_out.empty();
   }
 
   enum class Consume { kNotMine, kOk, kBadValue };
@@ -99,6 +103,9 @@ struct TraceOptions {
     if (flag_value(arg, "--trace-out", &chrome_out)) return Consume::kOk;
     if (flag_value(arg, "--jsonl-out", &jsonl_out)) return Consume::kOk;
     if (flag_value(arg, "--metrics-out", &metrics_out)) return Consume::kOk;
+    if (flag_value(arg, "--timeseries-out", &timeseries_out)) {
+      return Consume::kOk;
+    }
     if (flag_value(arg, "--sample-every", &sample)) {
       return parse_number(sample, &sample_every) ? Consume::kOk
                                                  : Consume::kBadValue;
@@ -126,12 +133,42 @@ struct TraceOptions {
   /// Null when no output was requested — callers pass the raw pointer into
   /// SimulatorConfig::tracer and every instrumentation point collapses to a
   /// null check.
+  /// Applies the sampling cadence and, when `--timeseries-out` was given,
+  /// attaches a fresh windowed TimeSeries tracking the headline
+  /// instruments. Benches that build one tracer per sweep cell call this
+  /// on the cell whose telemetry they write (a series must see a single
+  /// engine clock); make_tracer() calls it for the single-run benches.
+  void configure(obs::Tracer& tracer) const {
+    if (sample_every > 0.0) {
+      tracer.set_sample_cadence(Seconds{sample_every});
+    }
+    if (!timeseries_out.empty()) {
+      // Window defaults to the gauge cadence so both trajectories line up;
+      // instruments are pre-registered (Registry hands back the same
+      // instance to the simulator later) so the series can hold references
+      // before the run creates them.
+      const double window = sample_every > 0.0 ? sample_every : 500.0;
+      series = std::make_shared<obs::TimeSeries>(Seconds{window});
+      obs::Registry& reg = tracer.registry();
+      for (const char* name :
+           {"engine.events.dispatched", "sched.requests",
+            "sched.request.switches", "overload.served", "overload.shed",
+            "overload.expired", "scrub.passes", "repair.completed"}) {
+        series->track_counter(name, reg.counter(name));
+      }
+      series->track_histogram(
+          "sched.request.response_s",
+          reg.histogram("sched.request.response_s",
+                        obs::BucketLayout::exponential(0.1, 1e5, 1.3)),
+          {50.0, 99.0});
+      tracer.set_timeseries(series.get());
+    }
+  }
+
   [[nodiscard]] std::unique_ptr<obs::Tracer> make_tracer() const {
     if (!enabled()) return nullptr;
     auto tracer = std::make_unique<obs::Tracer>();
-    if (sample_every > 0.0) {
-      tracer->set_sample_cadence(Seconds{sample_every});
-    }
+    configure(*tracer);
     return tracer;
   }
 
@@ -153,7 +190,23 @@ struct TraceOptions {
         std::cerr << "cannot write " << metrics_out << "\n";
       }
     }
+    if (!timeseries_out.empty() && series != nullptr) {
+      series->finish();  // close the partial final window at last dispatch
+      std::ofstream os(timeseries_out);
+      if (os) {
+        series->write_csv(os);
+        std::cout << "(timeseries csv written to " << timeseries_out
+                  << ")\n";
+      } else {
+        std::cerr << "cannot write " << timeseries_out << "\n";
+      }
+    }
   }
+
+  /// Owns the windowed series the tracer advances; mutable because
+  /// make_tracer() is const at every call site (the options themselves
+  /// are read-only once parsed).
+  mutable std::shared_ptr<obs::TimeSeries> series;
 };
 
 /// Flags shared by the fault/replication/overload benches: `--seed=N`
@@ -166,8 +219,9 @@ struct TraceOptions {
 struct BenchFlags {
   std::uint64_t seed = 42;
   std::string out;
-  bool fast = false;  ///< reduced sweep for CI self-check runs
-  bool help = false;  ///< --help seen: print usage(), exit 0
+  std::string perf_out;  ///< BENCH_<name>.json destination (empty: none)
+  bool fast = false;     ///< reduced sweep for CI self-check runs
+  bool help = false;     ///< --help seen: print usage(), exit 0
   TraceOptions trace;
   Status status;
 
@@ -180,10 +234,12 @@ struct BenchFlags {
            " [--seed=N] [--out=PATH] [--fast]\n"
            "  --seed=N            experiment seed (default per bench)\n"
            "  --out=PATH          CSV destination; empty disables the CSV\n"
+           "  --perf-out=PATH     perf report JSON (tools/bench_compare)\n"
            "  --fast              reduced sweep (CI self-check mode)\n"
            "  --trace-out=PATH    Chrome trace_event JSON (Perfetto)\n"
            "  --jsonl-out=PATH    span/sample JSONL (tools/trace_inspect)\n"
            "  --metrics-out=PATH  metrics registry CSV\n"
+           "  --timeseries-out=PATH  windowed metric deltas/rates CSV\n"
            "  --sample-every=SEC  gauge sampling cadence (simulated s)\n"
            "  --help              this text\n";
   }
@@ -201,7 +257,8 @@ struct BenchFlags {
         return flags;
       }
       // Fold "--flag value" into "--flag=value" for the flags that take one.
-      if ((arg == "--seed" || arg == "--out") && i + 1 < argc) {
+      if ((arg == "--seed" || arg == "--out" || arg == "--perf-out") &&
+          i + 1 < argc) {
         arg += std::string("=") + argv[++i];
       }
       // Each flag may appear once; a duplicate is almost always a typo'd
@@ -226,6 +283,10 @@ struct BenchFlags {
       }
       if (flag_value(arg, "--out", &value)) {
         flags.out = value;
+        continue;
+      }
+      if (flag_value(arg, "--perf-out", &value)) {
+        flags.perf_out = value;
         continue;
       }
       switch (flags.trace.consume(arg)) {

@@ -1,0 +1,117 @@
+#include "obs/catalog.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace tapesim::obs {
+
+namespace {
+
+// Sorted by name (find_metric binary-searches; a test asserts the order).
+constexpr std::array<MetricInfo, 40> kCatalog{{
+    {"engine.events.cancelled", "counter", "",
+     "pending events cancelled before dispatch"},
+    {"engine.events.dispatched", "counter", "",
+     "events popped and executed by the kernel"},
+    {"engine.events.scheduled", "counter", "",
+     "events pushed onto the queue"},
+    {"engine.schedule_horizon_s", "histogram", "s",
+     "delay between scheduling an event and its due time"},
+    {"evac.objects_moved", "counter", "",
+     "objects copied off unhealthy cartridges"},
+    {"evac.preempted_unavailables", "counter", "",
+     "objects moved off a cartridge that later decayed to Lost"},
+    {"evac.started", "counter", "", "cartridge evacuations started"},
+    {"fault.drive_failures", "counter", "",
+     "drive failure events injected"},
+    {"fault.failovers", "counter", "",
+     "reads redirected to a surviving replica"},
+    {"fault.latent_events", "counter", "",
+     "latent media decay events accrued"},
+    {"fault.latent_observed", "counter", "",
+     "latent decay events observed by a read or scrub"},
+    {"fault.media_errors", "counter", "", "media read errors injected"},
+    {"fault.mount_failures", "counter", "", "mount attempts that failed"},
+    {"fault.robot_jams", "counter", "", "robot jam events injected"},
+    {"overload.expired", "counter", "",
+     "admitted requests cancelled at their deadline"},
+    {"overload.served", "counter", "",
+     "admitted requests served within their deadline"},
+    {"overload.shed", "counter", "",
+     "requests rejected at admission (queue bound or hopeless)"},
+    {"profiler.dispatch_wall_s", "gauge", "s",
+     "wall-clock time inside event actions"},
+    {"profiler.dispatches", "counter", "",
+     "events dispatched while the profiler was attached"},
+    {"profiler.events_per_wall_s", "gauge", "1/s",
+     "events dispatched per wall second"},
+    {"profiler.kernel_wall_s", "gauge", "s",
+     "run-loop wall time not inside event actions (queue overhead)"},
+    {"profiler.queue_depth.high_water", "gauge", "",
+     "largest event-queue depth seen after a dispatch"},
+    {"profiler.queue_depth.mean", "gauge", "",
+     "mean event-queue depth across dispatches"},
+    {"profiler.run_wall_s", "gauge", "s",
+     "total wall time of run()/run_until() loops"},
+    {"profiler.runs", "counter", "",
+     "run()/run_until() loops profiled"},
+    {"profiler.sim_advanced_s", "gauge", "s",
+     "simulated time covered by the profiled runs"},
+    {"profiler.sim_s_per_wall_s", "gauge", "s/s",
+     "simulated seconds per wall second"},
+    {"repair.completed", "counter", "",
+     "re-replication / evacuation copy jobs finished"},
+    {"repair.copied_bytes", "counter", "bytes",
+     "bytes written by repair copy jobs"},
+    {"robot.grants", "counter", "", "robot arm grants to waiting drives"},
+    {"robot.wait_s", "histogram", "s",
+     "time drives queued for the robot arm"},
+    {"sched.demand.queue_wait_s", "histogram", "s",
+     "tape demanded to drive assigned (concurrent scheduler)"},
+    {"sched.request.response_s", "histogram", "s",
+     "whole-request response time"},
+    {"sched.request.robot_wait_s", "histogram", "s",
+     "per-request robot-queue wait"},
+    {"sched.request.switches", "counter", "",
+     "tape switches performed for requests"},
+    {"sched.requests", "counter", "", "requests simulated"},
+    {"sched.served_from_replica", "counter", "",
+     "requests with at least one extent served from a replica"},
+    {"scrub.latent_found", "counter", "",
+     "latent decay events surfaced by verification passes"},
+    {"scrub.passes", "counter", "",
+     "background verification passes completed"},
+    {"scrub.verified_bytes", "counter", "bytes",
+     "bytes read and verified by scrub passes"},
+}};
+
+}  // namespace
+
+std::span<const MetricInfo> metric_catalog() { return kCatalog; }
+
+const MetricInfo* find_metric(std::string_view name) {
+  const auto it = std::lower_bound(
+      kCatalog.begin(), kCatalog.end(), name,
+      [](const MetricInfo& m, std::string_view n) { return m.name < n; });
+  return it != kCatalog.end() && it->name == name ? &*it : nullptr;
+}
+
+bool is_valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  if (name.front() < 'a' || name.front() > 'z') return false;
+  bool prev_dot = false;
+  for (const char c : name) {
+    if (c == '.') {
+      if (prev_dot) return false;  // empty segment
+      prev_dot = true;
+      continue;
+    }
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+    prev_dot = false;
+  }
+  return !prev_dot;  // no trailing dot
+}
+
+}  // namespace tapesim::obs

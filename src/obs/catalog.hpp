@@ -1,0 +1,39 @@
+// The metrics catalog: one entry per Registry instrument the simulator can
+// register, with kind, unit, and a one-line description.
+//
+// The catalog is the source of truth docs/METRICS.md is written from, and
+// tests/obs asserts two invariants against it: every cataloged name follows
+// the naming convention (dotted lowercase, `_s`/`_bytes` unit suffixes, see
+// obs/metrics.hpp), and every instrument an instrumented run actually
+// registers appears here — so a new metric without a catalog entry (and
+// therefore without documentation) fails CI instead of slipping through.
+//
+// Sampled gauge *series* (Tracer::add_gauge: "engine.queue_depth",
+// "tape.lib<N>.drives_active", "tape.lib<N>.robot_queue") are per-run
+// sample streams, not Registry instruments, and are documented in
+// docs/METRICS.md only.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace tapesim::obs {
+
+struct MetricInfo {
+  std::string_view name;
+  std::string_view kind;  ///< "counter" | "gauge" | "histogram"
+  std::string_view unit;  ///< "" (dimensionless count) | "s" | "bytes" | rate
+  std::string_view help;
+};
+
+/// Every instrument any subsystem registers, sorted by name.
+[[nodiscard]] std::span<const MetricInfo> metric_catalog();
+
+/// Catalog entry for `name`; nullptr when not cataloged.
+[[nodiscard]] const MetricInfo* find_metric(std::string_view name);
+
+/// Naming convention: dotted lowercase paths of [a-z0-9_] segments,
+/// starting with a letter, no empty segments.
+[[nodiscard]] bool is_valid_metric_name(std::string_view name);
+
+}  // namespace tapesim::obs

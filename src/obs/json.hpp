@@ -67,4 +67,8 @@ class JsonValue {
 /// trailing non-whitespace.
 [[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text);
 
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+[[nodiscard]] std::string escape_json(const std::string& s);
+
 }  // namespace tapesim::obs

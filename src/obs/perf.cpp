@@ -1,0 +1,211 @@
+#include "obs/perf.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/log.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace tapesim::obs {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+void PerfReport::write_json(std::ostream& os) const {
+  os.precision(15);
+  os << "{\n"
+     << "  \"bench\": \"" << escape_json(bench) << "\",\n"
+     << "  \"wall_s\": " << wall_s << ",\n"
+     << "  \"events_dispatched\": " << events_dispatched << ",\n"
+     << "  \"events_per_s\": " << events_per_s << ",\n"
+     << "  \"peak_rss_bytes\": " << peak_rss_bytes << ",\n"
+     << "  \"kpis\": {";
+  bool first = true;
+  for (const auto& [name, value] : kpis) {
+    os << (first ? "" : ",") << "\n    \"" << escape_json(name)
+       << "\": " << value;
+    first = false;
+  }
+  os << "\n  }";
+  if (!profile_json.empty()) {
+    os << ",\n  \"profile\": " << profile_json;
+  }
+  os << "\n}\n";
+}
+
+bool PerfReport::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    TAPESIM_LOG(kWarn) << "cannot open perf output file: " << path;
+    return false;
+  }
+  write_json(out);
+  return static_cast<bool>(out);
+}
+
+std::optional<PerfReport> PerfReport::from_json(std::string_view text) {
+  const auto value = parse_json(text);
+  if (!value || !value->is_object()) return std::nullopt;
+  const JsonValue* bench = value->find("bench");
+  const JsonValue* wall = value->find("wall_s");
+  const JsonValue* kpis = value->find("kpis");
+  if (bench == nullptr || !bench->is_string()) return std::nullopt;
+  if (wall == nullptr || !wall->is_number()) return std::nullopt;
+  if (kpis == nullptr || !kpis->is_object()) return std::nullopt;
+  PerfReport report;
+  report.bench = bench->string();
+  report.wall_s = wall->number();
+  report.events_dispatched =
+      static_cast<std::uint64_t>(value->number_or("events_dispatched", 0.0));
+  report.events_per_s = value->number_or("events_per_s", 0.0);
+  report.peak_rss_bytes =
+      static_cast<std::uint64_t>(value->number_or("peak_rss_bytes", 0.0));
+  for (const auto& [name, v] : kpis->object()) {
+    if (!v.is_number()) return std::nullopt;
+    report.kpis[name] = v.number();
+  }
+  return report;
+}
+
+std::optional<PerfReport> PerfReport::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_json(buffer.str());
+}
+
+namespace {
+
+double change_frac(double baseline, double current) {
+  return baseline != 0.0 ? (current - baseline) / baseline : 0.0;
+}
+
+PerfDelta scalar_delta(const std::string& field, double baseline,
+                       double current) {
+  PerfDelta d;
+  d.field = field;
+  d.baseline = baseline;
+  d.current = current;
+  d.change_frac = change_frac(baseline, current);
+  return d;
+}
+
+std::string pct(double frac) {
+  std::ostringstream os;
+  os.precision(3);
+  os << frac * 100.0 << "%";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<PerfDelta> compare_perf(const PerfReport& baseline,
+                                    const PerfReport& current,
+                                    const PerfThresholds& thresholds) {
+  std::vector<PerfDelta> deltas;
+
+  {
+    PerfDelta d = scalar_delta("wall_s", baseline.wall_s, current.wall_s);
+    d.regression = baseline.wall_s > 0.0 &&
+                   current.wall_s > baseline.wall_s *
+                                        (1.0 + thresholds.wall_frac);
+    d.detail = d.regression
+                   ? "slower by " + pct(d.change_frac) + " (limit +" +
+                         pct(thresholds.wall_frac) + ")"
+                   : "within +" + pct(thresholds.wall_frac);
+    deltas.push_back(std::move(d));
+  }
+  {
+    PerfDelta d = scalar_delta("events_dispatched",
+                               static_cast<double>(baseline.events_dispatched),
+                               static_cast<double>(current.events_dispatched));
+    d.detail = "informational (deterministic; drift shows up in KPIs)";
+    deltas.push_back(std::move(d));
+  }
+  {
+    PerfDelta d = scalar_delta("events_per_s", baseline.events_per_s,
+                               current.events_per_s);
+    d.regression = baseline.events_per_s > 0.0 &&
+                   current.events_per_s <
+                       baseline.events_per_s * (1.0 - thresholds.rate_frac);
+    d.detail = d.regression
+                   ? "throughput down " + pct(-d.change_frac) + " (limit -" +
+                         pct(thresholds.rate_frac) + ")"
+                   : "within -" + pct(thresholds.rate_frac);
+    deltas.push_back(std::move(d));
+  }
+  {
+    PerfDelta d = scalar_delta("peak_rss_bytes",
+                               static_cast<double>(baseline.peak_rss_bytes),
+                               static_cast<double>(current.peak_rss_bytes));
+    d.regression = baseline.peak_rss_bytes > 0 &&
+                   static_cast<double>(current.peak_rss_bytes) >
+                       static_cast<double>(baseline.peak_rss_bytes) *
+                           (1.0 + thresholds.rss_frac);
+    d.detail = d.regression
+                   ? "RSS up " + pct(d.change_frac) + " (limit +" +
+                         pct(thresholds.rss_frac) + ")"
+                   : "within +" + pct(thresholds.rss_frac);
+    deltas.push_back(std::move(d));
+  }
+
+  for (const auto& [name, base_value] : baseline.kpis) {
+    const auto it = current.kpis.find(name);
+    PerfDelta d;
+    d.field = "kpi." + name;
+    d.baseline = base_value;
+    if (it == current.kpis.end()) {
+      d.regression = true;
+      d.detail = "KPI missing from current report";
+      deltas.push_back(std::move(d));
+      continue;
+    }
+    d.current = it->second;
+    d.change_frac = change_frac(base_value, d.current);
+    const double scale = std::max(std::abs(base_value), std::abs(d.current));
+    const double drift =
+        scale > 0.0 ? std::abs(d.current - base_value) / scale : 0.0;
+    d.regression = drift > thresholds.kpi_frac;
+    d.detail = d.regression ? "deterministic KPI drifted (relative " +
+                                  pct(drift) + ")"
+                            : "deterministic KPI unchanged";
+    deltas.push_back(std::move(d));
+  }
+  for (const auto& [name, value] : current.kpis) {
+    if (baseline.kpis.count(name) != 0) continue;
+    PerfDelta d;
+    d.field = "kpi." + name;
+    d.current = value;
+    d.regression = true;
+    d.detail = "KPI missing from baseline (schema drift; re-baseline)";
+    deltas.push_back(std::move(d));
+  }
+  return deltas;
+}
+
+bool has_regression(const std::vector<PerfDelta>& deltas) {
+  for (const PerfDelta& d : deltas) {
+    if (d.regression) return true;
+  }
+  return false;
+}
+
+}  // namespace tapesim::obs

@@ -1,0 +1,99 @@
+// Machine-readable performance reports and the regression comparator.
+//
+// Every bench binary can emit a `BENCH_<name>.json` (the shared
+// `--perf-out` flag): wall-clock, events dispatched, events per wall
+// second, peak RSS (getrusage), and the bench's headline *simulated* KPIs.
+// Committed baselines under results/perf/ plus `tools/bench_compare` turn
+// those files into the repo's performance trajectory: every later kernel,
+// allocator, or sweep optimization is measured against them, and CI's
+// tier2-perf label fails on regression.
+//
+// Two kinds of fields, two kinds of thresholds: wall-clock and RSS are
+// machine-dependent and get generous relative bands; sim KPIs are
+// deterministic given the seed and get a tight band — a KPI drift is a
+// behavior change, not noise.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tapesim::obs {
+
+struct PerfReport {
+  std::string bench;  ///< short name, e.g. "micro_kernel"
+  double wall_s = 0.0;
+  std::uint64_t events_dispatched = 0;
+  double events_per_s = 0.0;  ///< 0 when the bench has no event loop
+  std::uint64_t peak_rss_bytes = 0;
+  /// Headline simulated KPIs (deterministic given the seed).
+  std::map<std::string, double> kpis;
+  /// Optional raw JSON object embedded under "profile" (obs::Profiler
+  /// output). Not read back by from_json.
+  std::string profile_json;
+
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] bool save(const std::string& path) const;
+  /// Strict parse; nullopt on malformed input or missing required fields.
+  [[nodiscard]] static std::optional<PerfReport> from_json(
+      std::string_view text);
+  [[nodiscard]] static std::optional<PerfReport> load(
+      const std::string& path);
+};
+
+/// Peak resident-set size of this process in bytes (getrusage ru_maxrss);
+/// 0 on platforms without getrusage.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+/// Monotonic stopwatch over std::chrono::steady_clock.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Per-field relative regression bands. Wall and RSS tolerate machine
+/// noise; the KPI band is float dust only.
+struct PerfThresholds {
+  double wall_frac = 0.35;  ///< wall_s may grow by up to 35%
+  double rss_frac = 0.35;   ///< peak_rss_bytes may grow by up to 35%
+  double rate_frac = 0.25;  ///< events_per_s may drop by up to 25%
+  double kpi_frac = 1e-6;   ///< sim KPIs: relative drift beyond this fails
+};
+
+/// One compared field. `change_frac` is (current - baseline) / baseline
+/// (0 when the baseline is 0); `regression` marks a threshold violation.
+struct PerfDelta {
+  std::string field;
+  double baseline = 0.0;
+  double current = 0.0;
+  double change_frac = 0.0;
+  bool regression = false;
+  std::string detail;  ///< human-readable verdict for the report line
+};
+
+/// Compares `current` against `baseline`, one PerfDelta per field. KPI
+/// keys present on only one side are regressions (schema drift hides real
+/// changes). `events_dispatched` is informational: it is deterministic, so
+/// a change means the workload changed, which the KPI band already flags.
+[[nodiscard]] std::vector<PerfDelta> compare_perf(
+    const PerfReport& baseline, const PerfReport& current,
+    const PerfThresholds& thresholds = {});
+
+/// True when any delta is a regression.
+[[nodiscard]] bool has_regression(const std::vector<PerfDelta>& deltas);
+
+}  // namespace tapesim::obs

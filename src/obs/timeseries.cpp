@@ -1,0 +1,176 @@
+#include "obs/timeseries.hpp"
+
+#include <ostream>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "util/assert.hpp"
+
+namespace tapesim::obs {
+
+namespace {
+
+/// The window's own sample distribution: cumulative bucket counts minus
+/// the previous window's. min/max are bucket-edge bounds (the cumulative
+/// extrema belong to the whole run, not this window): 0 below the first
+/// occupied bucket, the upper bound of the last occupied one — or the
+/// cumulative max when the overflow bucket is occupied, the only finite
+/// bound available there.
+HistogramSnapshot window_delta(const HistogramSnapshot& cur,
+                               const HistogramSnapshot& prev) {
+  HistogramSnapshot d;
+  d.layout = cur.layout;
+  d.counts.resize(cur.counts.size());
+  for (std::size_t i = 0; i < cur.counts.size(); ++i) {
+    const std::uint64_t before = i < prev.counts.size() ? prev.counts[i] : 0;
+    d.counts[i] = cur.counts[i] >= before ? cur.counts[i] - before : 0;
+  }
+  d.count = cur.count >= prev.count ? cur.count - prev.count : 0;
+  d.sum = cur.sum - prev.sum;
+  d.min = 0.0;
+  d.max = 0.0;
+  for (std::size_t i = cur.counts.size(); i-- > 0;) {
+    if (d.counts[i] == 0) continue;
+    d.max = i < d.layout.bounds.size() ? d.layout.bounds[i] : cur.max;
+    break;
+  }
+  return d;
+}
+
+}  // namespace
+
+TimeSeries::TimeSeries(Seconds window) : window_(window) {
+  TAPESIM_ASSERT_MSG(window.count() > 0.0,
+                     "time-series window must be positive");
+}
+
+void TimeSeries::track_counter(std::string name, const Counter& counter) {
+  TAPESIM_ASSERT_MSG(windows_.empty(),
+                     "track instruments before the first window closes");
+  CounterSource src;
+  src.name = name;
+  src.counter = &counter;
+  src.last = counter.value();
+  src.column = columns_.size();
+  columns_.push_back(name);
+  columns_.push_back(name + ".rate_per_s");
+  counters_.push_back(std::move(src));
+}
+
+void TimeSeries::track_gauge(std::string name, const Gauge& gauge) {
+  TAPESIM_ASSERT_MSG(windows_.empty(),
+                     "track instruments before the first window closes");
+  GaugeSource src;
+  src.name = name;
+  src.gauge = &gauge;
+  src.column = columns_.size();
+  columns_.push_back(std::move(name));
+  gauges_.push_back(std::move(src));
+}
+
+void TimeSeries::track_histogram(std::string name,
+                                 const Histogram& histogram,
+                                 std::vector<double> percentiles) {
+  TAPESIM_ASSERT_MSG(windows_.empty(),
+                     "track instruments before the first window closes");
+  HistogramSource src;
+  src.name = name;
+  src.histogram = &histogram;
+  src.percentiles = std::move(percentiles);
+  src.last = histogram.snapshot();
+  src.column = columns_.size();
+  columns_.push_back(name + ".count");
+  for (const double p : src.percentiles) {
+    // p99.9 -> "name.p99.9"; integral percentiles print bare ("name.p99").
+    std::string suffix = std::to_string(p);
+    suffix.erase(suffix.find_last_not_of('0') + 1);
+    if (!suffix.empty() && suffix.back() == '.') suffix.pop_back();
+    columns_.push_back(name + ".p" + suffix);
+  }
+  histograms_.push_back(std::move(src));
+}
+
+void TimeSeries::close_window(Seconds end) {
+  TimeSeriesWindow w;
+  w.start = window_start_;
+  w.end = end;
+  w.values.assign(columns_.size(), 0.0);
+  const double span = (end - window_start_).count();
+  for (CounterSource& c : counters_) {
+    const std::uint64_t cur = c.counter->value();
+    // A counter that moved backwards was reset mid-window; its current
+    // value is the best available delta.
+    const std::uint64_t delta = cur >= c.last ? cur - c.last : cur;
+    c.last = cur;
+    w.values[c.column] = static_cast<double>(delta);
+    w.values[c.column + 1] =
+        span > 0.0 ? static_cast<double>(delta) / span : 0.0;
+  }
+  for (const GaugeSource& g : gauges_) {
+    w.values[g.column] = g.gauge->value();
+  }
+  for (HistogramSource& h : histograms_) {
+    const HistogramSnapshot cur = h.histogram->snapshot();
+    const HistogramSnapshot delta = window_delta(cur, h.last);
+    h.last = cur;
+    w.values[h.column] = static_cast<double>(delta.count);
+    for (std::size_t i = 0; i < h.percentiles.size(); ++i) {
+      w.values[h.column + 1 + i] = delta.percentile(h.percentiles[i]);
+    }
+  }
+  windows_.push_back(std::move(w));
+  window_start_ = end;
+}
+
+void TimeSeries::advance_to(Seconds now) {
+  if (now > last_advance_) last_advance_ = now;
+  while (now >= window_start_ + window_) {
+    close_window(window_start_ + window_);
+  }
+}
+
+void TimeSeries::finish(Seconds now) {
+  advance_to(now);
+  if (now > window_start_) close_window(now);
+}
+
+void TimeSeries::reset(Seconds now) {
+  windows_.clear();
+  window_start_ = now;
+  if (now > last_advance_) last_advance_ = now;
+  for (CounterSource& c : counters_) c.last = c.counter->value();
+  for (HistogramSource& h : histograms_) h.last = h.histogram->snapshot();
+}
+
+void TimeSeries::write_csv(std::ostream& os) const {
+  os.precision(15);
+  os << "window_start_s,window_end_s";
+  for (const std::string& c : columns_) os << ',' << c;
+  os << '\n';
+  for (const TimeSeriesWindow& w : windows_) {
+    os << w.start.count() << ',' << w.end.count();
+    for (const double v : w.values) os << ',' << v;
+    os << '\n';
+  }
+}
+
+void TimeSeries::write_json(std::ostream& os) const {
+  os.precision(15);
+  os << "{\n  \"window_s\": " << window_.count() << ",\n  \"columns\": [";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << '"' << escape_json(columns_[i]) << '"';
+  }
+  os << "],\n  \"windows\": [";
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const TimeSeriesWindow& w = windows_[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"start_s\": " << w.start.count()
+       << ", \"end_s\": " << w.end.count() << ", \"values\": [";
+    for (std::size_t j = 0; j < w.values.size(); ++j) {
+      os << (j == 0 ? "" : ", ") << w.values[j];
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace tapesim::obs

@@ -1,0 +1,115 @@
+// Windowed time-series snapshots of metrics instruments.
+//
+// A Registry answers "how much, in total"; a TimeSeries answers "when".
+// It tracks selected counters, gauges, and histograms and closes a window
+// every `window` of *simulated* time, recording per-window deltas and
+// rates rather than cumulative totals — so an overload storm, a scrub duty
+// cycle, or a repair backlog becomes a plottable trajectory instead of one
+// end-of-run number.
+//
+// Per tracked instrument and window:
+//   counter `c`    -> columns `c` (delta) and `c.rate_per_s` (delta/span)
+//   gauge `g`      -> column `g` (value at window close)
+//   histogram `h`  -> columns `h.count` (delta) and `h.pN` for each
+//                     requested percentile, computed over the *window's*
+//                     samples (bucket-count deltas, edge-interpolated)
+//
+// Driving the clock: call advance_to(now) as simulated time progresses —
+// directly, or let a Tracer do it on event dispatch via
+// Tracer::set_timeseries. Windows the clock skips close empty except the
+// first, which absorbs the whole delta (attribution granularity equals the
+// call cadence). finish(now) closes the partial final window, scaling
+// rates by its actual span. Instruments must outlive the TimeSeries.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::obs {
+
+/// One closed window: [start, end) plus one value per tracked column.
+struct TimeSeriesWindow {
+  Seconds start{};
+  Seconds end{};
+  std::vector<double> values;  ///< parallel to TimeSeries::columns()
+};
+
+class TimeSeries {
+ public:
+  /// `window` is the nominal window length in simulated seconds (> 0).
+  explicit TimeSeries(Seconds window);
+
+  // --- registration (before the first advance_to) ---
+  void track_counter(std::string name, const Counter& counter);
+  void track_gauge(std::string name, const Gauge& gauge);
+  /// `percentiles` are per-window percentiles in (0, 100].
+  void track_histogram(std::string name, const Histogram& histogram,
+                       std::vector<double> percentiles = {50.0, 95.0, 99.0});
+
+  // --- clock ---
+  /// Closes every window whose end is <= `now`. Monotonic; calls with an
+  /// earlier `now` are ignored.
+  void advance_to(Seconds now);
+  /// Closes the partial window [last boundary, now) if it has nonzero
+  /// span. Idempotent for the same `now`.
+  void finish(Seconds now);
+  /// finish() at the latest time advance_to has seen — for callers that
+  /// drove the clock indirectly (e.g. through Tracer::set_timeseries) and
+  /// do not know the final simulated time themselves.
+  void finish() { finish(last_advance_); }
+  /// Drops all closed windows and re-baselines deltas at `now` — the
+  /// mid-run measurement-window reset, mirroring Registry::reset.
+  void reset(Seconds now);
+
+  // --- results ---
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<TimeSeriesWindow>& windows() const {
+    return windows_;
+  }
+  [[nodiscard]] Seconds window_length() const { return window_; }
+
+  /// Header `window_start_s,window_end_s,<columns...>`, one row per window.
+  void write_csv(std::ostream& os) const;
+  /// `{"window_s": ..., "columns": [...], "windows": [{...}, ...]}`.
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct CounterSource {
+    std::string name;
+    const Counter* counter;
+    std::uint64_t last = 0;
+    std::size_t column;  ///< delta column; rate column is column + 1
+  };
+  struct GaugeSource {
+    std::string name;
+    const Gauge* gauge;
+    std::size_t column;
+  };
+  struct HistogramSource {
+    std::string name;
+    const Histogram* histogram;
+    std::vector<double> percentiles;
+    HistogramSnapshot last;
+    std::size_t column;  ///< count column; percentiles follow
+  };
+
+  void close_window(Seconds end);
+
+  Seconds window_;
+  Seconds window_start_{0.0};
+  Seconds last_advance_{0.0};
+  std::vector<std::string> columns_;
+  std::vector<CounterSource> counters_;
+  std::vector<GaugeSource> gauges_;
+  std::vector<HistogramSource> histograms_;
+  std::vector<TimeSeriesWindow> windows_;
+};
+
+}  // namespace tapesim::obs

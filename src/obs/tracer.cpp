@@ -1,11 +1,11 @@
 #include "obs/tracer.hpp"
 
-#include <cstdio>
 #include <fstream>
 #include <optional>
 #include <ostream>
 #include <utility>
 
+#include "obs/json.hpp"
 #include "sim/resource.hpp"
 #include "tape/system.hpp"
 #include "util/log.hpp"
@@ -48,29 +48,6 @@ const char* to_string(Phase p) {
 
 namespace {
 
-std::string escape_json(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
-
 /// Maps an activity state to its span phase; nullopt for passive states.
 std::optional<Phase> phase_of_state(tape::DriveState s) {
   switch (s) {
@@ -112,6 +89,9 @@ class Tracer::EngineSink final : public sim::TraceSink {
                    const std::string& /*label*/) override {
     dispatched_.inc();
     tracer_.take_samples(time);
+    if (tracer_.timeseries_ != nullptr) {
+      tracer_.timeseries_->advance_to(time);
+    }
   }
 
   void on_cancel(Seconds /*now*/, sim::EventId /*event_id*/) override {
@@ -375,7 +355,8 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
         {3, "robots"},
         {4, "engine"},
         {5, "repair"},
-        {6, "overload"}}) {
+        {6, "overload"},
+        {7, "scrub"}}) {
     sep();
     os << R"({"name":"process_name","ph":"M","pid":)" << pid
        << R"(,"tid":0,"args":{"name":")" << name << R"("}})";

@@ -26,6 +26,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/engine.hpp"
 #include "util/units.hpp"
 
@@ -91,6 +92,13 @@ class Tracer {
   void add_gauge(std::string name, std::function<double()> fn);
   void set_sample_cadence(Seconds cadence) { cadence_ = cadence; }
 
+  /// Attaches a windowed time-series (not owned; pass nullptr to detach).
+  /// Its clock advances on every event dispatch of the bound engine, so
+  /// windows close at simulated-time boundaries without the caller
+  /// polling. The caller still calls finish() after the run.
+  void set_timeseries(TimeSeries* series) { timeseries_ = series; }
+  [[nodiscard]] TimeSeries* timeseries() const { return timeseries_; }
+
   // --- queries ---
   [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
   [[nodiscard]] std::map<Phase, PhaseAgg> phase_totals(Track track) const;
@@ -131,6 +139,7 @@ class Tracer {
   std::vector<GaugeSeries> gauges_;
   Seconds cadence_{0.0};
   Seconds next_sample_{0.0};
+  TimeSeries* timeseries_ = nullptr;
 };
 
 }  // namespace tapesim::obs

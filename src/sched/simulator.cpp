@@ -277,7 +277,7 @@ void RetrievalSimulator::on_drive_failure(DriveId d) {
       config_.tracer->record(obs::Span{
           obs::Track::kScrub, job.tape.value(), obs::Phase::kScrub,
           job.started, now, RequestId{}, job.tape, "aborted: drive failed"});
-      config_.tracer->registry().counter("scrub.bytes_verified")
+      config_.tracer->registry().counter("scrub.verified_bytes")
           .inc(job.verified);
       config_.tracer->registry().counter("scrub.latent_found").inc(job.found);
     }
@@ -1619,7 +1619,7 @@ void RetrievalSimulator::complete_repair(DriveId d) {
                                      engine_.now(), RequestId{}, job.target,
                                      {}});
     config_.tracer->registry().counter("repair.completed").inc();
-    config_.tracer->registry().counter("repair.bytes").inc(job.size.count());
+    config_.tracer->registry().counter("repair.copied_bytes").inc(job.size.count());
   }
   if (job.evac_from.valid()) {
     ++evac_stats_.objects_moved;
@@ -1927,7 +1927,7 @@ void RetrievalSimulator::end_scrub_pass(DriveId d, bool completed) {
         engine_.now(), RequestId{}, job.tape,
         completed ? std::string{} : std::string{"aborted"}});
     if (completed) config_.tracer->registry().counter("scrub.passes").inc();
-    config_.tracer->registry().counter("scrub.bytes_verified")
+    config_.tracer->registry().counter("scrub.verified_bytes")
         .inc(job.verified);
     config_.tracer->registry().counter("scrub.latent_found").inc(job.found);
   }

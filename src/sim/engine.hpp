@@ -11,6 +11,7 @@
 #include <string>
 
 #include "sim/event_queue.hpp"
+#include "sim/profile.hpp"
 #include "sim/trace.hpp"
 #include "util/units.hpp"
 
@@ -49,18 +50,36 @@ class Engine {
   /// Attaches a dispatch observer (not owned); pass nullptr to detach.
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
 
+  /// Attaches a wall-clock profiler (not owned); pass nullptr to detach.
+  /// Without one, no clocks are read anywhere in the dispatch loop; with
+  /// one, simulated behavior is unchanged (profiling only observes wall
+  /// time, never the simulation clock). The sink's sample stride is
+  /// latched here; the first dispatch after attach is always sampled.
+  void set_profile_sink(ProfileSink* sink) {
+    profile_ = sink;
+    profile_stride_ = sink == nullptr ? 1 : sink->dispatch_sample_stride();
+    if (profile_stride_ == 0) profile_stride_ = 1;
+    profile_countdown_ = 1;
+  }
+  [[nodiscard]] ProfileSink* profile_sink() const { return profile_; }
+
   /// Resets time to 0 and discards pending events. Dispatch counters are
   /// kept (they are cumulative engine statistics).
   void reset();
 
  private:
   void dispatch(Event event);
+  template <typename Loop>
+  Seconds profiled_run(Loop&& loop);
 
   EventQueue queue_;
   Seconds now_{0.0};
   EventId next_id_ = 1;
   std::uint64_t dispatched_ = 0;
   TraceSink* trace_ = nullptr;
+  ProfileSink* profile_ = nullptr;
+  std::size_t profile_stride_ = 1;     ///< latched from the sink at attach
+  std::size_t profile_countdown_ = 1;  ///< dispatches until the next sample
 };
 
 }  // namespace tapesim::sim

@@ -54,6 +54,29 @@ TEST(BenchFlags, FastAndTraceFlags) {
   EXPECT_DOUBLE_EQ(flags.trace.sample_every, 5.0);
 }
 
+TEST(BenchFlags, PerfOutParsesBothFormsAndDefaultsEmpty) {
+  EXPECT_TRUE(parse({}).perf_out.empty());
+
+  const BenchFlags eq = parse({"--perf-out=BENCH_x.json"});
+  EXPECT_TRUE(eq.status.ok());
+  EXPECT_EQ(eq.perf_out, "BENCH_x.json");
+
+  const BenchFlags spaced = parse({"--perf-out", "BENCH_x.json", "--fast"});
+  EXPECT_TRUE(spaced.status.ok());
+  EXPECT_EQ(spaced.perf_out, "BENCH_x.json");
+  EXPECT_TRUE(spaced.fast);
+
+  EXPECT_FALSE(parse({"--perf-out=a.json", "--perf-out", "b.json"})
+                   .status.ok());
+}
+
+TEST(BenchFlags, TimeseriesOutEnablesTracing) {
+  const BenchFlags flags = parse({"--timeseries-out=ts.csv"});
+  EXPECT_TRUE(flags.status.ok());
+  EXPECT_TRUE(flags.trace.enabled());
+  EXPECT_EQ(flags.trace.timeseries_out, "ts.csv");
+}
+
 TEST(BenchFlags, RejectsMalformedValues) {
   // The whole value must parse: "7x" is an error, not 7.
   EXPECT_FALSE(parse({"--seed=7x"}).status.ok());
@@ -94,9 +117,9 @@ TEST(BenchFlags, HelpShortCircuits) {
 TEST(BenchFlags, UsageMentionsEveryFlag) {
   const std::string text = BenchFlags::usage("/path/to/bench_overload_storm");
   EXPECT_NE(text.find("bench_overload_storm"), std::string::npos);
-  for (const char* flag : {"--seed", "--out", "--fast", "--trace-out",
-                           "--jsonl-out", "--metrics-out", "--sample-every",
-                           "--help"}) {
+  for (const char* flag : {"--seed", "--out", "--perf-out", "--fast",
+                           "--trace-out", "--jsonl-out", "--metrics-out",
+                           "--timeseries-out", "--sample-every", "--help"}) {
     EXPECT_NE(text.find(flag), std::string::npos) << flag;
   }
 }

@@ -220,7 +220,7 @@ TEST_P(ChaosSoak, InvariantsSurviveRandomizedSchedules) {
 
   const sched::ScrubStats& scrub = sim.scrub_stats();
   EXPECT_EQ(reg.counter("scrub.passes").value(), scrub.passes);
-  EXPECT_EQ(reg.counter("scrub.bytes_verified").value(),
+  EXPECT_EQ(reg.counter("scrub.verified_bytes").value(),
             scrub.bytes_verified);
   EXPECT_EQ(reg.counter("scrub.latent_found").value(), scrub.latent_found);
 

@@ -1,0 +1,137 @@
+// The metrics catalog: internal consistency (sorted, unique, convention-
+// clean names, unit suffixes) and coverage — a fully-instrumented
+// simulator run must register only cataloged instruments, so an
+// undocumented metric fails here instead of slipping into the wild.
+#include "obs/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exp/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/tracer.hpp"
+
+namespace tapesim::obs {
+namespace {
+
+TEST(MetricName, ConventionAcceptsDottedLowercase) {
+  EXPECT_TRUE(is_valid_metric_name("engine.events.dispatched"));
+  EXPECT_TRUE(is_valid_metric_name("sched.request.response_s"));
+  EXPECT_TRUE(is_valid_metric_name("repair.copied_bytes"));
+  EXPECT_TRUE(is_valid_metric_name("x9.y_z"));
+}
+
+TEST(MetricName, ConventionRejectsEverythingElse) {
+  EXPECT_FALSE(is_valid_metric_name(""));
+  EXPECT_FALSE(is_valid_metric_name("Engine.events"));    // uppercase
+  EXPECT_FALSE(is_valid_metric_name("engine..events"));   // empty segment
+  EXPECT_FALSE(is_valid_metric_name(".engine"));          // leading dot
+  EXPECT_FALSE(is_valid_metric_name("engine."));          // trailing dot
+  EXPECT_FALSE(is_valid_metric_name("9lives.count"));     // leading digit
+  EXPECT_FALSE(is_valid_metric_name("engine-events"));    // dash
+  EXPECT_FALSE(is_valid_metric_name("engine events"));    // space
+}
+
+TEST(Catalog, IsSortedAndUnique) {
+  const auto catalog = metric_catalog();
+  ASSERT_FALSE(catalog.empty());
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_LT(catalog[i - 1].name, catalog[i].name)
+        << "out of order at " << catalog[i].name;
+  }
+}
+
+TEST(Catalog, EveryEntryFollowsTheNamingConvention) {
+  for (const MetricInfo& m : metric_catalog()) {
+    EXPECT_TRUE(is_valid_metric_name(m.name)) << m.name;
+    EXPECT_TRUE(m.kind == "counter" || m.kind == "gauge" ||
+                m.kind == "histogram")
+        << m.name << " has kind " << m.kind;
+    EXPECT_FALSE(m.help.empty()) << m.name;
+  }
+}
+
+TEST(Catalog, UnitSuffixesMatchDeclaredUnits) {
+  for (const MetricInfo& m : metric_catalog()) {
+    const std::string name(m.name);
+    if (m.unit == "s") {
+      EXPECT_TRUE(name.ends_with("_s")) << name << " declares unit s";
+    }
+    if (m.unit == "bytes") {
+      EXPECT_TRUE(name.ends_with("_bytes")) << name << " declares unit bytes";
+    }
+    // And the converse: a unit-suffixed name must declare the unit. A
+    // ratio unit is allowed when the denominator names the suffix
+    // (sim_s_per_wall_s is s/s, events_per_wall_s is 1/s).
+    if (name.ends_with("_s")) {
+      EXPECT_TRUE(m.unit == "s" || m.unit == "s/s" || m.unit == "1/s")
+          << name;
+    }
+    if (name.ends_with("_bytes")) {
+      EXPECT_EQ(m.unit, "bytes") << name;
+    }
+  }
+}
+
+TEST(Catalog, FindMetricLocatesEveryEntryAndRejectsUnknowns) {
+  for (const MetricInfo& m : metric_catalog()) {
+    const MetricInfo* found = find_metric(m.name);
+    ASSERT_NE(found, nullptr) << m.name;
+    EXPECT_EQ(found->name, m.name);
+  }
+  EXPECT_EQ(find_metric("no.such.metric"), nullptr);
+  EXPECT_EQ(find_metric(""), nullptr);
+  EXPECT_EQ(find_metric("zzz"), nullptr);
+}
+
+// Coverage: run a traced, fault-injected, replicated experiment (the
+// widest instrumentation path) plus a profiler export, then require every
+// registered instrument to be cataloged. A new metric without a catalog
+// entry — and therefore without docs/METRICS.md documentation — fails
+// here.
+TEST(Catalog, LiveRunRegistersOnlyCatalogedMetrics) {
+  exp::ExperimentConfig config;
+  config.spec.num_libraries = 2;
+  config.spec.library.drives_per_library = 3;
+  config.spec.library.tapes_per_library = 10;
+  config.spec.library.tape_capacity = 40_GB;
+  config.workload.num_objects = 800;
+  config.workload.num_requests = 25;
+  config.workload.min_objects_per_request = 10;
+  config.workload.max_objects_per_request = 20;
+  config.workload.object_groups = 16;
+  config.workload.min_object_size = Bytes{100ULL * 1000 * 1000};
+  config.workload.max_object_size = 1_GB;
+  config.simulated_requests = 40;
+
+  const exp::Experiment experiment(config);
+  const auto schemes = exp::make_standard_schemes(1);
+  Tracer tracer;
+  (void)experiment.run_traced(*schemes.parallel_batch, tracer);
+
+  Profiler profiler;  // nothing attached: exports zeros, registers names
+  profiler.export_to(tracer.registry());
+
+  const RegistrySnapshot snapshot = tracer.registry().snapshot();
+  const auto check = [](const std::string& name, const char* kind) {
+    const MetricInfo* info = find_metric(name);
+    ASSERT_NE(info, nullptr)
+        << "unregistered-in-catalog metric: " << name
+        << " — add it to src/obs/catalog.cpp and docs/METRICS.md";
+    EXPECT_EQ(info->kind, kind) << name;
+  };
+  for (const auto& [name, value] : snapshot.counters) {
+    check(name, "counter");
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    check(name, "gauge");
+  }
+  for (const auto& [name, value] : snapshot.histograms) {
+    check(name, "histogram");
+  }
+}
+
+}  // namespace
+}  // namespace tapesim::obs

@@ -1,0 +1,176 @@
+// Perf reports and the regression comparator: JSON round-trip, strictness
+// of the parser, and the per-field threshold rules — including injected
+// synthetic regressions, which is what keeps bench_compare honest.
+#include "obs/perf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tapesim::obs {
+namespace {
+
+PerfReport sample_report() {
+  PerfReport report;
+  report.bench = "micro_kernel";
+  report.wall_s = 2.5;
+  report.events_dispatched = 100000;
+  report.events_per_s = 40000.0;
+  report.peak_rss_bytes = 256ULL << 20;
+  report.kpis["request.mean_response_s"] = 123.456;
+  report.kpis["request.switches"] = 42.0;
+  return report;
+}
+
+const PerfDelta* find_delta(const std::vector<PerfDelta>& deltas,
+                            const std::string& field) {
+  for (const PerfDelta& d : deltas) {
+    if (d.field == field) return &d;
+  }
+  return nullptr;
+}
+
+TEST(PerfReport, JsonRoundTripPreservesEveryField) {
+  const PerfReport report = sample_report();
+  std::ostringstream os;
+  report.write_json(os);
+  const auto parsed = PerfReport::from_json(os.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->bench, report.bench);
+  EXPECT_DOUBLE_EQ(parsed->wall_s, report.wall_s);
+  EXPECT_EQ(parsed->events_dispatched, report.events_dispatched);
+  EXPECT_DOUBLE_EQ(parsed->events_per_s, report.events_per_s);
+  EXPECT_EQ(parsed->peak_rss_bytes, report.peak_rss_bytes);
+  EXPECT_EQ(parsed->kpis, report.kpis);
+}
+
+TEST(PerfReport, EmbeddedProfileObjectKeepsJsonWellFormed) {
+  PerfReport report = sample_report();
+  report.profile_json = "{\"dispatches\": 7}";
+  std::ostringstream os;
+  report.write_json(os);
+  // The whole document still parses, profile object included.
+  const auto parsed = PerfReport::from_json(os.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->bench, "micro_kernel");
+}
+
+TEST(PerfReport, FromJsonRejectsMalformedInput) {
+  EXPECT_FALSE(PerfReport::from_json("not json").has_value());
+  EXPECT_FALSE(PerfReport::from_json("[]").has_value());
+  EXPECT_FALSE(PerfReport::from_json("{\"wall_s\": 1.0}").has_value());
+  EXPECT_FALSE(
+      PerfReport::from_json("{\"bench\": \"x\", \"kpis\": {}}").has_value());
+  // Non-numeric KPI values are schema errors, not silently dropped.
+  EXPECT_FALSE(PerfReport::from_json("{\"bench\": \"x\", \"wall_s\": 1.0, "
+                                     "\"kpis\": {\"k\": \"fast\"}}")
+                   .has_value());
+}
+
+TEST(PerfCompare, IdenticalReportsHaveNoRegression) {
+  const PerfReport report = sample_report();
+  const auto deltas = compare_perf(report, report);
+  EXPECT_FALSE(has_regression(deltas));
+}
+
+TEST(PerfCompare, WallSlowdownBeyondThresholdRegresses) {
+  const PerfReport baseline = sample_report();
+  PerfReport current = baseline;
+  current.wall_s = baseline.wall_s * 1.30;  // inside the 35% band
+  EXPECT_FALSE(has_regression(compare_perf(baseline, current)));
+  current.wall_s = baseline.wall_s * 1.40;  // injected regression
+  const auto deltas = compare_perf(baseline, current);
+  EXPECT_TRUE(has_regression(deltas));
+  const PerfDelta* wall = find_delta(deltas, "wall_s");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_TRUE(wall->regression);
+}
+
+TEST(PerfCompare, ThroughputDropBeyondThresholdRegresses) {
+  const PerfReport baseline = sample_report();
+  PerfReport current = baseline;
+  current.events_per_s = baseline.events_per_s * 0.80;
+  EXPECT_FALSE(has_regression(compare_perf(baseline, current)));
+  current.events_per_s = baseline.events_per_s * 0.70;
+  const auto deltas = compare_perf(baseline, current);
+  const PerfDelta* rate = find_delta(deltas, "events_per_s");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_TRUE(rate->regression);
+}
+
+TEST(PerfCompare, RssGrowthBeyondThresholdRegresses) {
+  const PerfReport baseline = sample_report();
+  PerfReport current = baseline;
+  current.peak_rss_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(baseline.peak_rss_bytes) * 1.5);
+  const auto deltas = compare_perf(baseline, current);
+  const PerfDelta* rss = find_delta(deltas, "peak_rss_bytes");
+  ASSERT_NE(rss, nullptr);
+  EXPECT_TRUE(rss->regression);
+}
+
+TEST(PerfCompare, EventsDispatchedIsInformationalOnly) {
+  const PerfReport baseline = sample_report();
+  PerfReport current = baseline;
+  current.events_dispatched = baseline.events_dispatched * 10;
+  const auto deltas = compare_perf(baseline, current);
+  const PerfDelta* events = find_delta(deltas, "events_dispatched");
+  ASSERT_NE(events, nullptr);
+  EXPECT_FALSE(events->regression);
+  EXPECT_FALSE(has_regression(deltas));
+}
+
+TEST(PerfCompare, DeterministicKpiDriftRegressesAtTightBand) {
+  const PerfReport baseline = sample_report();
+  PerfReport current = baseline;
+  // Float dust passes ...
+  current.kpis["request.mean_response_s"] *= 1.0 + 1e-9;
+  EXPECT_FALSE(has_regression(compare_perf(baseline, current)));
+  // ... a behavior change does not, even a "small" one.
+  current.kpis["request.mean_response_s"] *= 1.001;
+  const auto deltas = compare_perf(baseline, current);
+  const PerfDelta* kpi = find_delta(deltas, "kpi.request.mean_response_s");
+  ASSERT_NE(kpi, nullptr);
+  EXPECT_TRUE(kpi->regression);
+}
+
+TEST(PerfCompare, MissingKpiOnEitherSideIsSchemaDrift) {
+  const PerfReport baseline = sample_report();
+  PerfReport dropped = baseline;
+  dropped.kpis.erase("request.switches");
+  EXPECT_TRUE(has_regression(compare_perf(baseline, dropped)));
+
+  PerfReport added = baseline;
+  added.kpis["request.new_metric"] = 1.0;
+  const auto deltas = compare_perf(baseline, added);
+  const PerfDelta* extra = find_delta(deltas, "kpi.request.new_metric");
+  ASSERT_NE(extra, nullptr);
+  EXPECT_TRUE(extra->regression);
+}
+
+TEST(PerfCompare, CustomThresholdsWiden) {
+  const PerfReport baseline = sample_report();
+  PerfReport current = baseline;
+  current.wall_s = baseline.wall_s * 2.5;
+  PerfThresholds generous;
+  generous.wall_frac = 2.0;
+  EXPECT_FALSE(has_regression(compare_perf(baseline, current, generous)));
+}
+
+TEST(PerfReport, PeakRssIsNonzeroOnThisPlatform) {
+  // getrusage is available everywhere the test suite runs.
+  EXPECT_GT(peak_rss_bytes(), 0u);
+}
+
+TEST(WallTimer, ElapsedIsMonotonic) {
+  const WallTimer timer;
+  const double a = timer.elapsed_s();
+  const double b = timer.elapsed_s();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace tapesim::obs

@@ -1,0 +1,248 @@
+// Windowed time-series: window bookkeeping (full, skipped, partial,
+// empty), counter deltas and rates, gauge sampling, per-window histogram
+// percentiles, mid-run reset, and the export formats.
+#include "obs/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "sim/engine.hpp"
+
+namespace tapesim::obs {
+namespace {
+
+std::size_t column_index(const TimeSeries& series, const std::string& name) {
+  const auto& cols = series.columns();
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i] == name) return i;
+  }
+  ADD_FAILURE() << "column not found: " << name;
+  return 0;
+}
+
+TEST(TimeSeries, CounterDeltasAndRatesPerWindow) {
+  Counter requests;
+  TimeSeries series(Seconds{10.0});
+  series.track_counter("sched.requests", requests);
+
+  requests.inc(5);
+  series.advance_to(Seconds{10.0});  // closes [0, 10)
+  requests.inc(20);
+  series.advance_to(Seconds{20.0});  // closes [10, 20)
+
+  ASSERT_EQ(series.windows().size(), 2u);
+  const std::size_t delta_col = column_index(series, "sched.requests");
+  const std::size_t rate_col =
+      column_index(series, "sched.requests.rate_per_s");
+  EXPECT_DOUBLE_EQ(series.windows()[0].values[delta_col], 5.0);
+  EXPECT_DOUBLE_EQ(series.windows()[0].values[rate_col], 0.5);
+  EXPECT_DOUBLE_EQ(series.windows()[1].values[delta_col], 20.0);
+  EXPECT_DOUBLE_EQ(series.windows()[1].values[rate_col], 2.0);
+}
+
+TEST(TimeSeries, EmptyWindowsCloseWithZeroDeltas) {
+  Counter c;
+  TimeSeries series(Seconds{1.0});
+  series.track_counter("c", c);
+
+  c.inc(3);
+  // One call far in the future: the first window absorbs the whole delta
+  // (attribution granularity == call cadence), the skipped ones are empty.
+  series.advance_to(Seconds{4.0});
+  ASSERT_EQ(series.windows().size(), 4u);
+  const std::size_t col = column_index(series, "c");
+  EXPECT_DOUBLE_EQ(series.windows()[0].values[col], 3.0);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(series.windows()[i].values[col], 0.0) << "window " << i;
+  }
+}
+
+TEST(TimeSeries, FinishClosesPartialFinalWindowWithScaledRate) {
+  Counter c;
+  TimeSeries series(Seconds{10.0});
+  series.track_counter("c", c);
+
+  c.inc(10);
+  series.advance_to(Seconds{10.0});
+  c.inc(4);
+  series.finish(Seconds{12.0});  // partial window [10, 12): span 2 s
+
+  ASSERT_EQ(series.windows().size(), 2u);
+  const TimeSeriesWindow& last = series.windows().back();
+  EXPECT_DOUBLE_EQ(last.start.count(), 10.0);
+  EXPECT_DOUBLE_EQ(last.end.count(), 12.0);
+  EXPECT_DOUBLE_EQ(last.values[column_index(series, "c")], 4.0);
+  EXPECT_DOUBLE_EQ(last.values[column_index(series, "c.rate_per_s")], 2.0);
+
+  // Idempotent for the same now; a zero-span finish adds nothing.
+  series.finish(Seconds{12.0});
+  EXPECT_EQ(series.windows().size(), 2u);
+}
+
+TEST(TimeSeries, FinishWithoutArgumentClosesAtLastAdvance) {
+  Counter events;
+  TimeSeries series(Seconds{10.0});
+  series.track_counter("c", events);
+
+  events.inc(3);
+  series.advance_to(Seconds{14.0});  // closes [0, 10); [10, 14) pending
+  events.inc(1);
+  series.finish();  // closes [10, 14) at the last advance_to time
+
+  ASSERT_EQ(series.windows().size(), 2u);
+  EXPECT_DOUBLE_EQ(series.windows()[1].end.count(), 14.0);
+  const std::size_t delta_col = column_index(series, "c");
+  EXPECT_DOUBLE_EQ(series.windows()[1].values[delta_col], 1.0);
+}
+
+TEST(TimeSeries, FinishWithNoElapsedTimeProducesNoWindows) {
+  Counter c;
+  TimeSeries series(Seconds{5.0});
+  series.track_counter("c", c);
+  series.finish(Seconds{0.0});
+  EXPECT_TRUE(series.windows().empty());
+}
+
+TEST(TimeSeries, ResetDropsWindowsAndRebaselines) {
+  Counter c;
+  TimeSeries series(Seconds{10.0});
+  series.track_counter("c", c);
+
+  c.inc(7);
+  series.advance_to(Seconds{10.0});
+  ASSERT_EQ(series.windows().size(), 1u);
+
+  c.inc(100);
+  series.reset(Seconds{15.0});  // warmup cut: drop history, re-baseline
+  EXPECT_TRUE(series.windows().empty());
+
+  c.inc(2);
+  series.advance_to(Seconds{25.0});  // closes [15, 25)
+  ASSERT_EQ(series.windows().size(), 1u);
+  EXPECT_DOUBLE_EQ(series.windows()[0].start.count(), 15.0);
+  // Only the post-reset increments count: the 100 was absorbed by reset.
+  EXPECT_DOUBLE_EQ(series.windows()[0].values[column_index(series, "c")],
+                   2.0);
+}
+
+TEST(TimeSeries, GaugeRecordsValueAtWindowClose) {
+  Gauge depth;
+  TimeSeries series(Seconds{10.0});
+  series.track_gauge("queue_depth", depth);
+
+  depth.set(3.0);
+  series.advance_to(Seconds{10.0});
+  depth.set(8.0);
+  series.advance_to(Seconds{20.0});
+
+  const std::size_t col = column_index(series, "queue_depth");
+  EXPECT_DOUBLE_EQ(series.windows()[0].values[col], 3.0);
+  EXPECT_DOUBLE_EQ(series.windows()[1].values[col], 8.0);
+}
+
+TEST(TimeSeries, HistogramPercentilesAreComputedPerWindow) {
+  Histogram h{BucketLayout::linear(0.0, 100.0, 100)};
+  TimeSeries series(Seconds{10.0});
+  series.track_histogram("lat", h, {50.0, 99.0});
+
+  // Window 1: all samples near 10. Window 2: all near 90 — a cumulative
+  // percentile would blend them; the per-window one must not.
+  for (int i = 0; i < 100; ++i) h.record(10.0);
+  series.advance_to(Seconds{10.0});
+  for (int i = 0; i < 100; ++i) h.record(90.0);
+  series.advance_to(Seconds{20.0});
+
+  ASSERT_EQ(series.windows().size(), 2u);
+  const std::size_t count_col = column_index(series, "lat.count");
+  const std::size_t p50_col = column_index(series, "lat.p50");
+  const std::size_t p99_col = column_index(series, "lat.p99");
+  EXPECT_DOUBLE_EQ(series.windows()[0].values[count_col], 100.0);
+  EXPECT_NEAR(series.windows()[0].values[p50_col], 10.0, 1.0);
+  EXPECT_NEAR(series.windows()[0].values[p99_col], 10.0, 1.0);
+  EXPECT_NEAR(series.windows()[1].values[p50_col], 90.0, 1.0);
+  EXPECT_NEAR(series.windows()[1].values[p99_col], 90.0, 1.0);
+}
+
+TEST(TimeSeries, PercentileColumnNamesTrimTrailingZeros) {
+  Histogram h{BucketLayout::linear(0.0, 1.0, 4)};
+  TimeSeries series(Seconds{1.0});
+  series.track_histogram("h", h, {50.0, 99.9});
+  const auto& cols = series.columns();
+  EXPECT_NE(std::find(cols.begin(), cols.end(), "h.p50"), cols.end());
+  EXPECT_NE(std::find(cols.begin(), cols.end(), "h.p99.9"), cols.end());
+}
+
+TEST(TimeSeries, CsvHasHeaderAndOneRowPerWindow) {
+  Counter c;
+  TimeSeries series(Seconds{10.0});
+  series.track_counter("c", c);
+  c.inc(5);
+  series.advance_to(Seconds{10.0});
+  series.finish(Seconds{14.0});
+
+  std::ostringstream os;
+  series.write_csv(os);
+  std::istringstream in(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "window_start_s,window_end_s,c,c.rate_per_s");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 2u);
+}
+
+TEST(TimeSeries, JsonRoundTripsThroughParser) {
+  Counter c;
+  Gauge g;
+  TimeSeries series(Seconds{5.0});
+  series.track_counter("c", c);
+  series.track_gauge("g", g);
+  c.inc(2);
+  g.set(1.5);
+  series.advance_to(Seconds{5.0});
+
+  std::ostringstream os;
+  series.write_json(os);
+  const auto value = parse_json(os.str());
+  ASSERT_TRUE(value.has_value());
+  ASSERT_TRUE(value->is_object());
+  EXPECT_DOUBLE_EQ(value->number_or("window_s", 0.0), 5.0);
+  const JsonValue* windows = value->find("windows");
+  ASSERT_NE(windows, nullptr);
+  ASSERT_TRUE(windows->is_array());
+  EXPECT_EQ(windows->array().size(), 1u);
+}
+
+// Driving the clock through the tracer: on_dispatch advances the series.
+TEST(TimeSeries, TracerAdvancesSeriesOnDispatch) {
+  Tracer tracer;
+  TimeSeries series(Seconds{1.0});
+  series.track_counter("engine.events.dispatched",
+                       tracer.registry().counter("engine.events.dispatched"));
+  tracer.set_timeseries(&series);
+
+  sim::Engine engine;
+  tracer.bind(engine);
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_in(Seconds{static_cast<double>(i)}, [] {});
+  }
+  engine.run();
+  series.finish(engine.now());
+
+  ASSERT_FALSE(series.windows().empty());
+  double total = 0.0;
+  for (const TimeSeriesWindow& w : series.windows()) {
+    total += w.values[0];  // dispatched delta column
+  }
+  EXPECT_DOUBLE_EQ(total, 5.0);
+}
+
+}  // namespace
+}  // namespace tapesim::obs

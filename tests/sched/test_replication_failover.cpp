@@ -262,7 +262,7 @@ TEST(ReplicationFailover, TracerAndStatsReconcile) {
             static_cast<double>(agg.total_served_from_replica()));
   EXPECT_EQ(tracer.registry().counter("repair.completed").value(),
             static_cast<double>(stats.jobs_completed));
-  EXPECT_EQ(tracer.registry().counter("repair.bytes").value(),
+  EXPECT_EQ(tracer.registry().counter("repair.copied_bytes").value(),
             static_cast<double>(stats.bytes_copied));
 
   // One kRepair span per completed job, each with positive duration and a

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tapesim::sim {
@@ -154,6 +157,104 @@ TEST(Engine, DeterministicReplay) {
     return order;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// --- ProfileSink hook (engine self-profiling) ---
+
+struct RecordingProfileSink : ProfileSink {
+  struct Dispatch {
+    double sim_now;
+    std::string label;
+    double wall_s;
+    std::size_t queue_depth;
+  };
+  int run_begins = 0;
+  int run_ends = 0;
+  double last_run_wall_s = -1.0;
+  std::uint64_t last_run_dispatches = 0;
+  std::vector<Dispatch> dispatches;
+
+  void on_run_begin(Seconds /*sim_now*/) override { ++run_begins; }
+  void on_run_end(Seconds /*sim_now*/, double wall_s,
+                  std::uint64_t count) override {
+    ++run_ends;
+    last_run_wall_s = wall_s;
+    last_run_dispatches = count;
+  }
+  void on_dispatch_done(Seconds sim_now, const std::string& label,
+                        double wall_s, std::size_t queue_depth) override {
+    dispatches.push_back({sim_now.count(), label, wall_s, queue_depth});
+  }
+};
+
+TEST(Engine, ProfileSinkSeesEveryDispatchWithDepthAndLabel) {
+  Engine e;
+  RecordingProfileSink sink;
+  e.set_profile_sink(&sink);
+
+  e.schedule_in(Seconds{1.0}, [] {}, "first");
+  e.schedule_in(Seconds{2.0}, [] {});
+  e.run();
+
+  ASSERT_EQ(sink.dispatches.size(), 2u);
+  EXPECT_EQ(sink.dispatches[0].label, "first");
+  EXPECT_DOUBLE_EQ(sink.dispatches[0].sim_now, 1.0);
+  EXPECT_EQ(sink.dispatches[0].queue_depth, 1u);  // one event still pending
+  EXPECT_EQ(sink.dispatches[1].queue_depth, 0u);
+  EXPECT_GE(sink.dispatches[0].wall_s, 0.0);
+}
+
+TEST(Engine, ProfileSinkBracketsRunsWithWallAndDispatchCount) {
+  Engine e;
+  RecordingProfileSink sink;
+  e.set_profile_sink(&sink);
+
+  e.schedule_in(Seconds{1.0}, [] {});
+  e.schedule_in(Seconds{5.0}, [] {});
+  e.run_until(Seconds{2.0});
+  EXPECT_EQ(sink.run_begins, 1);
+  EXPECT_EQ(sink.run_ends, 1);
+  EXPECT_EQ(sink.last_run_dispatches, 1u);
+  EXPECT_GE(sink.last_run_wall_s, 0.0);
+
+  e.run();
+  EXPECT_EQ(sink.run_begins, 2);
+  EXPECT_EQ(sink.last_run_dispatches, 1u);
+}
+
+TEST(Engine, ClearingProfileSinkStopsCallbacks) {
+  Engine e;
+  RecordingProfileSink sink;
+  e.set_profile_sink(&sink);
+  e.schedule_in(Seconds{1.0}, [] {});
+  e.run();
+  ASSERT_EQ(sink.dispatches.size(), 1u);
+
+  e.set_profile_sink(nullptr);
+  e.schedule_in(Seconds{1.0}, [] {});
+  e.run();
+  EXPECT_EQ(sink.dispatches.size(), 1u);
+  EXPECT_EQ(sink.run_begins, 1);
+}
+
+// The zero-overhead-when-disabled contract's behavioral half: a profiled
+// run must replay the exact event order and times of an unprofiled one
+// (the profiler reads wall clocks only, never simulated time).
+TEST(Engine, ProfiledRunIsBitIdenticalToUnprofiled) {
+  const auto run_once = [](ProfileSink* sink) {
+    Engine e;
+    e.set_profile_sink(sink);
+    std::vector<std::pair<int, double>> order;
+    for (int i = 0; i < 40; ++i) {
+      e.schedule_in(Seconds{static_cast<double>((i * 13) % 7)},
+                    [&order, &e, i] { order.emplace_back(i, e.now().count()); });
+    }
+    e.run();
+    return order;
+  };
+  RecordingProfileSink sink;
+  EXPECT_EQ(run_once(nullptr), run_once(&sink));
+  EXPECT_EQ(sink.dispatches.size(), 40u);
 }
 
 }  // namespace

@@ -1,0 +1,114 @@
+// Perf-regression gate over two BENCH_*.json reports (obs::PerfReport).
+//
+// Compares a current report against a committed baseline field by field:
+// wall-clock, events/sec, and peak RSS against generous machine-noise
+// bands, deterministic sim KPIs against a tight band. Prints one verdict
+// line per field and exits 1 when anything regressed — this is what CI's
+// tier2-perf label runs after re-generating a report with `--fast`.
+//
+// Usage: bench_compare BASELINE.json CURRENT.json [options]
+//   --wall-frac=F  allowed relative wall-clock growth   (default 0.35)
+//   --rss-frac=F   allowed relative peak-RSS growth     (default 0.35)
+//   --rate-frac=F  allowed relative events/sec drop     (default 0.25)
+//   --kpi-frac=F   allowed relative sim-KPI drift       (default 1e-6)
+// Exit status: 0 no regression, 1 regression, 2 usage or load error.
+#include <charconv>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/perf.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+int usage_error(const std::string& message) {
+  std::cerr << "bench_compare: " << message << "\n"
+            << "usage: bench_compare BASELINE.json CURRENT.json"
+            << " [--wall-frac=F] [--rss-frac=F] [--rate-frac=F]"
+            << " [--kpi-frac=F]\n";
+  return 2;
+}
+
+bool parse_fraction(const std::string& text, double* out) {
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, *out);
+  return ec == std::errc{} && ptr == end && *out >= 0.0;
+}
+
+bool flag_value(const std::string& arg, const char* flag, std::string* out) {
+  const std::string prefix = std::string(flag) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+std::string fmt(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tapesim::Table;
+  using tapesim::obs::PerfReport;
+  using tapesim::obs::PerfThresholds;
+
+  std::vector<std::string> paths;
+  PerfThresholds thresholds;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    double* target = nullptr;
+    if (flag_value(arg, "--wall-frac", &value)) {
+      target = &thresholds.wall_frac;
+    } else if (flag_value(arg, "--rss-frac", &value)) {
+      target = &thresholds.rss_frac;
+    } else if (flag_value(arg, "--rate-frac", &value)) {
+      target = &thresholds.rate_frac;
+    } else if (flag_value(arg, "--kpi-frac", &value)) {
+      target = &thresholds.kpi_frac;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage_error("unknown option: " + arg);
+    } else {
+      paths.push_back(arg);
+      continue;
+    }
+    if (!parse_fraction(value, target)) {
+      return usage_error("bad value for " + arg);
+    }
+  }
+  if (paths.size() != 2) {
+    return usage_error("expected exactly two report files");
+  }
+
+  const auto baseline = PerfReport::load(paths[0]);
+  if (!baseline) return usage_error("cannot load baseline " + paths[0]);
+  const auto current = PerfReport::load(paths[1]);
+  if (!current) return usage_error("cannot load current " + paths[1]);
+  if (baseline->bench != current->bench) {
+    return usage_error("reports are from different benches: '" +
+                       baseline->bench + "' vs '" + current->bench + "'");
+  }
+
+  const auto deltas = compare_perf(*baseline, *current, thresholds);
+  std::cout << "bench: " << baseline->bench << " (" << paths[0] << " -> "
+            << paths[1] << ")\n";
+  Table table({"field", "baseline", "current", "change", "verdict"});
+  for (const auto& d : deltas) {
+    table.add(d.field, fmt(d.baseline), fmt(d.current),
+              fmt(d.change_frac * 100.0) + "%",
+              std::string(d.regression ? "REGRESSION: " : "ok: ") + d.detail);
+  }
+  table.print(std::cout);
+
+  if (tapesim::obs::has_regression(deltas)) {
+    std::cout << "\nRESULT: REGRESSION\n";
+    return 1;
+  }
+  std::cout << "\nRESULT: OK\n";
+  return 0;
+}

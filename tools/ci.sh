@@ -22,6 +22,11 @@ ctest --test-dir build -L tier2-overload --output-on-failure
 echo "==> scrub durability bench self-check (tier2-scrub)"
 ctest --test-dir build -L tier2-scrub --output-on-failure
 
+# Perf scenario + regression gate against results/perf/ baselines. Release
+# tree only: sanitizer builds skew every wall/RSS number the gate reads.
+echo "==> perf scenario + regression gate (tier2-perf)"
+ctest --test-dir build -L tier2-perf --output-on-failure
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "==> done (fast mode: sanitizer pass skipped)"
   exit 0

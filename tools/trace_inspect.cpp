@@ -1,18 +1,22 @@
 // Offline inspector for span JSONL traces (obs::Tracer::write_jsonl).
 //
 // Reads a trace back through the obs JSON parser and prints, per track, a
-// phase-breakdown table: span count, total seconds, mean span length, and
-// share of the track's busy time. This is the quick "where did the time
-// go" view when a Perfetto session is overkill, and doubles as an
-// end-to-end check that the emitted JSONL round-trips.
+// phase-breakdown table (span count, total seconds, mean span length,
+// share of the track's busy time) plus an occupancy summary: each lane's
+// busy span time as a fraction of the whole trace duration. This is the
+// quick "where did the time go / how hot was each drive" view when a
+// Perfetto session is overkill, and doubles as an end-to-end check that
+// the emitted JSONL round-trips.
 //
 // Usage: trace_inspect FILE.jsonl [--track NAME] [--lanes]
-//   --track NAME  restrict to one track (request|drive|robot|engine)
+//   --track NAME  restrict to one track
+//                 (request|drive|robot|engine|repair|overload|scrub)
 //   --lanes       additionally break each track down per lane
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -40,6 +44,22 @@ int fail(const std::string& message) {
   return 1;
 }
 
+// Every track name obs::Tracer can emit, in display order (matches the
+// obs::Track enum; unknown tracks from future writers still print, last).
+const std::vector<std::string>& known_tracks() {
+  static const std::vector<std::string> tracks = {
+      "request", "drive", "robot", "engine", "repair", "overload", "scrub"};
+  return tracks;
+}
+
+std::string known_tracks_joined() {
+  std::string joined;
+  for (const std::string& t : known_tracks()) {
+    joined += joined.empty() ? t : "|" + t;
+  }
+  return joined;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,6 +85,12 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     return fail("usage: trace_inspect FILE.jsonl [--track NAME] [--lanes]");
   }
+  if (!only_track.empty() &&
+      std::find(known_tracks().begin(), known_tracks().end(), only_track) ==
+          known_tracks().end()) {
+    return fail("unknown track '" + only_track +
+                "' (valid: " + known_tracks_joined() + ")");
+  }
 
   std::ifstream in(path);
   if (!in) return fail("cannot open " + path);
@@ -72,6 +98,10 @@ int main(int argc, char** argv) {
   std::vector<SpanRow> spans;
   std::uint64_t samples = 0;
   std::uint64_t markers = 0;
+  // Trace extent over ALL spans (before --track filtering), so occupancy
+  // is relative to the whole run, not to the selected track's activity.
+  double trace_begin_s = std::numeric_limits<double>::infinity();
+  double trace_end_s = 0.0;
   std::string line;
   std::uint64_t line_no = 0;
   while (std::getline(in, line)) {
@@ -102,23 +132,30 @@ int main(int argc, char** argv) {
                   std::to_string(row.end_s) + ") before it starts (" +
                   std::to_string(row.start_s) + ")");
     }
+    trace_begin_s = std::min(trace_begin_s, row.start_s);
+    trace_end_s = std::max(trace_end_s, row.end_s);
     if (!only_track.empty() && row.track != only_track) continue;
     spans.push_back(std::move(row));
   }
+  const double trace_duration_s =
+      spans.empty() || trace_begin_s >= trace_end_s
+          ? 0.0
+          : trace_end_s - trace_begin_s;
 
   std::cout << path << ": " << spans.size() << " spans, " << samples
             << " samples, " << markers << " markers\n\n";
 
   // Tracks in a stable, meaningful order; unknown ones go last.
-  const std::vector<std::string> track_order = {"request", "drive", "robot",
-                                                "engine"};
+  const std::vector<std::string>& track_order = known_tracks();
   std::map<std::string, std::map<std::string, Agg>> by_track;
   std::map<std::string, std::map<std::uint32_t, std::map<std::string, Agg>>>
       by_lane;
+  std::map<std::string, std::map<std::uint32_t, double>> lane_busy_s;
   for (const SpanRow& s : spans) {
     Agg& agg = by_track[s.track][s.phase];
     ++agg.spans;
     agg.total_s += s.end_s - s.start_s;
+    lane_busy_s[s.track][s.lane] += s.end_s - s.start_s;
     if (per_lane) {
       Agg& lane_agg = by_lane[s.track][s.lane][s.phase];
       ++lane_agg.spans;
@@ -160,6 +197,53 @@ int main(int argc, char** argv) {
     if (std::find(track_order.begin(), track_order.end(), track) ==
         track_order.end()) {
       visit_track(track);
+    }
+  }
+
+  // Occupancy: busy span time over the whole trace duration. Per track the
+  // ratio is summed over lanes, so it reads as mean concurrency (a 4-drive
+  // track fully busy shows 400%); per lane it is plain utilization.
+  if (trace_duration_s > 0.0) {
+    std::cout << "occupancy over trace duration " << trace_duration_s
+              << " s\n";
+    Table occ({"track", "lanes", "busy (s)", "occupancy", "peak lane",
+               "peak occupancy"});
+    auto pct = [&](double busy) {
+      return Table::num(100.0 * busy / trace_duration_s, 1) + "%";
+    };
+    auto occupancy_row = [&](const std::string& track) {
+      const auto it = lane_busy_s.find(track);
+      if (it == lane_busy_s.end()) return;
+      double track_busy = 0.0;
+      std::uint32_t peak_lane = 0;
+      double peak_busy = -1.0;
+      for (const auto& [lane, busy] : it->second) {
+        track_busy += busy;
+        if (busy > peak_busy) {
+          peak_busy = busy;
+          peak_lane = lane;
+        }
+      }
+      occ.add(track, it->second.size(), track_busy, pct(track_busy),
+              peak_lane, pct(peak_busy));
+    };
+    for (const std::string& track : track_order) occupancy_row(track);
+    for (const auto& [track, lanes] : lane_busy_s) {
+      if (std::find(track_order.begin(), track_order.end(), track) ==
+          track_order.end()) {
+        occupancy_row(track);
+      }
+    }
+    occ.print(std::cout);
+    if (per_lane) {
+      std::cout << "\n";
+      Table lanes({"track", "lane", "busy (s)", "occupancy"});
+      for (const auto& [track, by] : lane_busy_s) {
+        for (const auto& [lane, busy] : by) {
+          lanes.add(track, lane, busy, pct(busy));
+        }
+      }
+      lanes.print(std::cout);
     }
   }
   return 0;
