@@ -1,0 +1,411 @@
+// Outage recovery: availability, degraded-mode behavior, and disaster
+// recovery vs library-outage rate × replication factor × DR bandwidth.
+//
+// Library-level fault domains take a whole library — all drives and the
+// robot — down at once on a per-library renewal timeline; a configurable
+// fraction of onsets are permanent site disasters that destroy every
+// resident cartridge. Each sweep cell replays the same request sequence
+// on the paper-default system (parallel batch placement, optionally
+// wrapped in 2-way replication) under one outage posture and reports the
+// unavailable fraction, parked/failover traffic, downtime, and — for
+// replicated cells with repair enabled — the disaster-recovery surge and
+// the measured time to full redundancy.
+//
+// Built-in self-checks (exit status), on the harsh-rate cells:
+//   1. Redundancy: r = 2 yields a strictly lower unavailable fraction than
+//      r = 1 (whose losses must be nonzero for the comparison to mean
+//      anything).
+//   2. Reconciliation: on a traced cell the outage.* registry counters,
+//      the scheduler's OutageStats, and the per-request outcome sums
+//      (parked extents, parked requests, failovers) agree exactly, and
+//      every requested byte is accounted served, unavailable, or expired.
+//   3. Recovery model: the measured mean time-to-full-redundancy after a
+//      disaster falls within a generous band of the mean-field makespan
+//      prediction (metrics::predicted_recovery_makespan, after Sun et al.,
+//      arXiv:1701.00335).
+//   4. Baseline identity: with outages disabled — even with every DR knob
+//      armed — a faulty run is bit-identical to one with a default
+//      OutageConfig, request by request, engine clock included.
+#include <map>
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "core/parallel_batch.hpp"
+#include "core/replication.hpp"
+#include "figure_common.hpp"
+#include "metrics/queueing.hpp"
+#include "obs/perf.hpp"
+#include "obs/profiler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tapesim;
+
+struct Bench {
+  tape::SystemSpec spec = tape::SystemSpec::paper_default();
+  workload::Workload workload;
+  cluster::ObjectClusters clusters;
+  std::uint64_t seed;
+
+  explicit Bench(std::uint64_t seed_in)
+      : workload(make_workload(seed_in)),
+        clusters(cluster::cluster_by_requests(workload,
+                                              make_constraints(spec))),
+        seed(seed_in) {
+    clusters.validate(workload);
+  }
+
+  static workload::Workload make_workload(std::uint64_t seed) {
+    workload::WorkloadConfig config = workload::WorkloadConfig::paper_default();
+    config.num_objects = 2'000;  // small set: a DR drain stays short
+    Rng rng{seed};
+    Rng workload_rng = rng.fork(0x574C);  // Experiment's workload substream
+    return workload::generate_workload(config, workload_rng);
+  }
+
+  static cluster::ClusterConstraints make_constraints(
+      const tape::SystemSpec& spec) {
+    cluster::ClusterConstraints constraints;
+    constraints.max_bytes = Bytes{static_cast<Bytes::value_type>(
+        0.9 * spec.library.tape_capacity.as_double())};
+    return constraints;
+  }
+
+  [[nodiscard]] core::PlacementPlan make_plan(std::uint32_t replicas) const {
+    const core::ParallelBatchPlacement inner{core::ParallelBatchParams{}};
+    core::PlacementContext context;
+    context.workload = &workload;
+    context.spec = &spec;
+    context.clusters = &clusters;
+    if (replicas <= 1) return inner.place(context);
+    core::ReplicationPolicy::Params rp;
+    rp.replicas = replicas;
+    return core::ReplicationPolicy(inner, rp).place(context);
+  }
+};
+
+struct CellResult {
+  metrics::ExperimentMetrics metrics;
+  sched::OutageStats outage;
+  sched::RepairStats repair;
+  std::size_t backlog = 0;
+  Seconds engine_end{};
+  bool conserve_ok = true;    ///< per-request byte conservation
+  std::uint64_t parked_extents_sum = 0;
+  std::uint64_t parked_requests_sum = 0;
+};
+
+CellResult run_cell(const core::PlacementPlan& plan,
+                    std::span<const RequestId> requests,
+                    const fault::FaultConfig& faults,
+                    const sched::RepairConfig& repair,
+                    obs::Tracer* tracer = nullptr,
+                    obs::Profiler* profiler = nullptr) {
+  sched::SimulatorConfig config;
+  config.faults = faults;
+  config.repair = repair;
+  config.tracer = tracer;
+  if (const Status st = config.try_validate(); !st.ok()) {
+    std::cerr << st.message() << "\n";
+    std::exit(2);
+  }
+  sched::RetrievalSimulator sim(plan, config);
+  if (profiler != nullptr) profiler->attach(sim.engine());
+  CellResult cell;
+  for (const RequestId r : requests) {
+    const auto o = sim.run_request(r);
+    cell.metrics.add(o);
+    cell.conserve_ok =
+        cell.conserve_ok &&
+        o.bytes_served().count() + o.bytes_unavailable.count() +
+                o.bytes_expired.count() ==
+            o.bytes.count();
+    cell.parked_extents_sum += o.extents_parked;
+    if (o.extents_parked > 0) ++cell.parked_requests_sum;
+  }
+  sim.drain_repairs();
+  if (profiler != nullptr) profiler->detach();
+  cell.outage = sim.outage_stats();
+  cell.repair = sim.repair_stats();
+  cell.backlog = sim.repair_backlog();
+  cell.engine_end = sim.engine().now();
+  return cell;
+}
+
+/// Self-check 4: a default OutageConfig — DR knobs armed, master switch
+/// off — must not perturb a single event of a faulty run.
+bool outage_off_identical(const core::PlacementPlan& plan,
+                          std::span<const RequestId> requests,
+                          const fault::FaultConfig& base_faults) {
+  sched::SimulatorConfig plain;
+  plain.faults = base_faults;
+  sched::SimulatorConfig armed = plain;
+  armed.faults.outage.library_mttr = Seconds{123.0};
+  armed.faults.outage.disaster_fraction = 0.5;
+  armed.faults.outage.dr_bandwidth_fraction = 0.9;
+  armed.faults.outage.dr_max_concurrent = 7;
+  sched::RetrievalSimulator a(plan, plain);
+  sched::RetrievalSimulator b(plan, armed);
+  for (const RequestId r : requests) {
+    const auto oa = a.run_request(r);
+    const auto ob = b.run_request(r);
+    if (oa.response.count() != ob.response.count() ||
+        oa.seek.count() != ob.seek.count() ||
+        oa.transfer.count() != ob.transfer.count() ||
+        oa.status != ob.status || ob.extents_parked != 0 ||
+        a.engine().now().count() != b.engine().now().count()) {
+      std::cout << "IDENTITY FAIL: request " << r.value()
+                << " diverges with an armed-but-disabled OutageConfig\n";
+      return false;
+    }
+  }
+  return b.outage_stats().started == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = benchfig::BenchFlags::parse(
+      argc, argv, /*default_seed=*/42, "outage_recovery.csv");
+  if (!flags.status.ok()) {
+    std::cerr << flags.status.message() << "\n";
+    return 2;
+  }
+  if (flags.help) {
+    std::cout << benchfig::BenchFlags::usage(argv[0]);
+    return 0;
+  }
+  benchfig::print_header(
+      "Outage recovery",
+      "availability, degraded-mode serving, and disaster recovery vs "
+      "library-outage rate x replication factor x DR bandwidth (parallel "
+      "batch placement)");
+
+  const obs::WallTimer total_timer;
+  obs::Profiler perf_profiler{64};
+  obs::Profiler* const perf =
+      flags.perf_out.empty() ? nullptr : &perf_profiler;
+
+  const Bench bench(flags.seed);
+  const core::PlacementPlan plan_r1 = bench.make_plan(1);
+  const core::PlacementPlan plan_r2 = bench.make_plan(2);
+
+  // One request sequence, replayed into every cell.
+  const std::uint32_t count = flags.fast ? 100 : 200;
+  std::vector<RequestId> requests;
+  {
+    Rng rng{flags.seed};
+    Rng req_rng = rng.fork(0x4F52);  // outage-bench request substream
+    const workload::RequestSampler sampler(bench.workload);
+    requests.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      requests.push_back(sampler.sample(req_rng));
+    }
+  }
+
+  // Probe the fault-free engine horizon: outage timelines are keyed to the
+  // engine clock, so the sweep's MTBF axis is expressed in fractions of
+  // the time the request sequence actually spans.
+  const double horizon =
+      run_cell(plan_r1, requests, {}, {}).engine_end.count();
+  std::cout << "probed fault-free engine horizon: " << horizon << " s\n\n";
+
+  // Harsh first — those cells carry the self-checks. Per-library MTBF of
+  // half the horizon gives each of the 3 libraries ~2 expected onsets;
+  // ~30% of onsets are site disasters, so the harsh cells reliably see at
+  // least one destroyed library while the mild rate mostly sees transient
+  // power-loss windows.
+  const double mtbfs_full[] = {horizon, horizon * 4.0};
+  const double mtbfs_fast[] = {horizon};
+  const std::span<const double> mtbfs =
+      flags.fast ? std::span<const double>(mtbfs_fast)
+                 : std::span<const double>(mtbfs_full);
+  const double dr_fracs_full[] = {1.0, 0.25};
+  const double dr_fracs_fast[] = {1.0};
+  const std::span<const double> dr_fracs =
+      flags.fast ? std::span<const double>(dr_fracs_fast)
+                 : std::span<const double>(dr_fracs_full);
+
+  const auto outage_point = [&](double mtbf, double dr_frac) {
+    fault::FaultConfig faults;
+    faults.outage.library_mtbf = Seconds{mtbf};
+    faults.outage.library_mttr = Seconds{horizon / 20.0};
+    faults.outage.disaster_fraction = 0.25;
+    faults.outage.dr_bandwidth_fraction = dr_frac;
+    faults.outage.dr_max_concurrent = 8;
+    return faults;
+  };
+  const auto dr_repair = [] {
+    sched::RepairConfig repair;
+    repair.enabled = true;
+    return repair;
+  };
+
+  Table table({"mtbf (s)", "r", "dr bw", "unavail", "outages", "disasters",
+               "downtime (s)", "parked reqs", "failovers", "dr jobs",
+               "dr GB", "recovery (s)", "engine end (s)"});
+  const auto add_row = [&](double mtbf, std::uint32_t r, double dr_frac,
+                           const CellResult& cell) {
+    table.add(mtbf, r, dr_frac, cell.metrics.fraction_unavailable(),
+              cell.outage.started, cell.outage.disasters,
+              cell.outage.downtime.count(), cell.outage.requests_parked,
+              cell.outage.failovers, cell.outage.dr_jobs,
+              static_cast<double>(cell.outage.dr_bytes) / 1e9,
+              cell.outage.redundancy_recovery.count() > 0
+                  ? cell.outage.redundancy_recovery.mean()
+                  : 0.0,
+              cell.engine_end.count());
+  };
+
+  bool redundancy_ok = true;
+  bool reconcile_ok = true;
+  bool recovery_ok = true;
+  std::map<std::string, double> kpis;
+  const double harsh_mtbf = mtbfs[0];
+  const double check_frac = dr_fracs[0];
+
+  for (const double mtbf : mtbfs) {
+    // r = 1: no replicas, no DR — losses are the disaster exposure.
+    const CellResult r1 =
+        run_cell(plan_r1, requests, outage_point(mtbf, check_frac), {},
+                 nullptr, perf);
+    add_row(mtbf, 1, 0.0, r1);
+
+    for (const double dr_frac : dr_fracs) {
+      const bool traced = mtbf == harsh_mtbf && dr_frac == check_frac;
+      obs::Tracer tracer;
+      if (traced) flags.trace.configure(tracer);
+      const CellResult r2 =
+          run_cell(plan_r2, requests, outage_point(mtbf, dr_frac),
+                   dr_repair(), traced ? &tracer : nullptr, perf);
+      add_row(mtbf, 2, dr_frac, r2);
+
+      if (!traced) continue;
+
+      // Self-check 1: redundancy buys availability under correlated loss.
+      const double un_r1 = r1.metrics.fraction_unavailable();
+      const double un_r2 = r2.metrics.fraction_unavailable();
+      if (!(un_r1 > 0.0) || !(un_r2 < un_r1)) {
+        std::cout << "REDUNDANCY FAIL: r=2 unavailable fraction " << un_r2
+                  << " is not strictly below r=1's " << un_r1 << "\n";
+        redundancy_ok = false;
+      }
+
+      // Self-check 2: exact ledger agreement — registry counters, the
+      // scheduler's stats, and the per-request outcome sums, plus byte
+      // conservation inside every outcome.
+      auto& reg = tracer.registry();
+      const bool counters_ok =
+          reg.counter("outage.started").value() == r2.outage.started &&
+          reg.counter("outage.ended").value() == r2.outage.ended &&
+          reg.counter("outage.disasters").value() == r2.outage.disasters &&
+          reg.counter("outage.failovers").value() == r2.outage.failovers &&
+          reg.counter("outage.requests_parked").value() ==
+              r2.outage.requests_parked &&
+          reg.counter("outage.dr_jobs").value() == r2.outage.dr_jobs &&
+          reg.counter("outage.dr_bytes").value() == r2.outage.dr_bytes &&
+          reg.gauge("outage.downtime_s").value() ==
+              r2.outage.downtime.count();
+      const bool sums_ok =
+          r2.parked_extents_sum == r2.outage.extents_parked &&
+          r2.parked_requests_sum == r2.outage.requests_parked;
+      if (!counters_ok || !sums_ok || !r2.conserve_ok || !r1.conserve_ok) {
+        std::cout << "RECONCILE FAIL: counters " << counters_ok << " sums "
+                  << sums_ok << " conservation "
+                  << (r2.conserve_ok && r1.conserve_ok) << "\n";
+        reconcile_ok = false;
+      }
+
+      // Self-check 3: measured time-to-full-redundancy vs the mean-field
+      // makespan. The prediction is a fluid limit; the measurement carries
+      // foreground contention, robot queueing, and pacing idle tails, so
+      // the band is wide — the point is catching order-of-magnitude drift
+      // (a DR surge that crawls at trickle pace, or one that ignores the
+      // bandwidth cap entirely).
+      const auto& rec = r2.outage.redundancy_recovery;
+      if (rec.count() == 0 || r2.outage.dr_jobs == 0) {
+        std::cout << "RECOVERY FAIL: no disaster drained its DR queue "
+                  << "(disasters " << r2.outage.disasters << ", dr jobs "
+                  << r2.outage.dr_jobs << ")\n";
+        recovery_ok = false;
+      } else {
+        const double per_disaster = static_cast<double>(rec.count());
+        const Bytes lost{static_cast<Bytes::value_type>(
+            static_cast<double>(r2.outage.dr_bytes) / per_disaster)};
+        const auto jobs = static_cast<std::uint64_t>(
+            static_cast<double>(r2.outage.dr_jobs) / per_disaster);
+        const Seconds predicted = metrics::predicted_recovery_makespan(
+            lost, jobs, bench.spec.library.drive.transfer_rate, dr_frac,
+            /*concurrency=*/8, /*per_job_overhead=*/Seconds{180.0});
+        const double measured = rec.mean();
+        kpis["outage.recovery_predicted_s"] = predicted.count();
+        if (!(measured >= predicted.count() / 6.0) ||
+            !(measured <= predicted.count() * 6.0)) {
+          std::cout << "RECOVERY FAIL: measured mean recovery " << measured
+                    << " s outside 6x band of predicted "
+                    << predicted.count() << " s\n";
+          recovery_ok = false;
+        }
+      }
+
+      if (flags.trace.enabled()) flags.trace.finish(tracer);
+      kpis["outage.unavail_frac_r1"] = un_r1;
+      kpis["outage.unavail_frac_r2"] = un_r2;
+      kpis["outage.disasters"] = static_cast<double>(r2.outage.disasters);
+      kpis["outage.dr_gb"] =
+          static_cast<double>(r2.outage.dr_bytes) / 1e9;
+      kpis["outage.downtime_s"] = r2.outage.downtime.count();
+      kpis["outage.recovery_mean_s"] =
+          rec.count() > 0 ? rec.mean() : 0.0;
+    }
+  }
+
+  benchfig::print_table(table, flags.out);
+
+  // Self-check 4: outages disabled is bit-identical — run on a faulty
+  // posture so the comparison exercises the interrupt machinery.
+  fault::FaultConfig base_faults;
+  base_faults.drive_mtbf = Seconds{horizon / 4.0};
+  base_faults.drive_mttr = Seconds{900.0};
+  base_faults.mount_failure_prob = 0.02;
+  const bool identity_ok =
+      outage_off_identical(plan_r2, requests, base_faults);
+
+  std::cout << "redundancy self-check: " << (redundancy_ok ? "OK" : "FAIL")
+            << " (r=2 strictly reduces unavailable fraction under "
+               "correlated outages)\n";
+  std::cout << "reconcile self-check: " << (reconcile_ok ? "OK" : "FAIL")
+            << " (outage.* counters, OutageStats, per-request sums, and "
+               "byte conservation agree exactly)\n";
+  std::cout << "recovery self-check: " << (recovery_ok ? "OK" : "FAIL")
+            << " (measured time-to-full-redundancy within 6x of the "
+               "mean-field makespan prediction)\n";
+  std::cout << "identity self-check: " << (identity_ok ? "OK" : "FAIL")
+            << " (outages disabled is bit-identical to a default "
+               "OutageConfig, engine clock included)\n";
+
+  if (!flags.perf_out.empty()) {
+    const obs::ProfileReport profile = perf_profiler.report();
+    obs::PerfReport report;
+    report.bench = "outage_recovery";
+    report.wall_s = total_timer.elapsed_s();
+    report.events_dispatched = profile.dispatches;
+    report.events_per_s = profile.events_per_wall_s();
+    report.peak_rss_bytes = obs::peak_rss_bytes();
+    report.kpis = kpis;
+    report.kpis["fast"] = flags.fast ? 1.0 : 0.0;
+    report.kpis["horizon_s"] = horizon;
+    std::ostringstream profile_os;
+    perf_profiler.write_json(profile_os);
+    report.profile_json = profile_os.str();
+    if (!report.save(flags.perf_out)) {
+      std::cerr << "cannot write perf report to " << flags.perf_out << "\n";
+      return 1;
+    }
+    std::cout << "(perf report written to " << flags.perf_out << ")\n";
+  }
+  return (redundancy_ok && reconcile_ok && recovery_ok && identity_ok) ? 0
+                                                                       : 1;
+}

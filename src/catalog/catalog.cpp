@@ -91,13 +91,19 @@ bool ObjectCatalog::tape_retired(TapeId tape) const {
 }
 
 const ObjectRecord* ObjectCatalog::best_replica(
-    ObjectId id, std::span<const TapeId> exclude) const {
+    ObjectId id, std::span<const TapeId> exclude,
+    std::span<const LibraryId> exclude_libraries) const {
   const ObjectRecord* best = nullptr;
   auto excluded = [&](TapeId t) {
     return std::find(exclude.begin(), exclude.end(), t) != exclude.end();
   };
+  auto excluded_library = [&](LibraryId l) {
+    return std::find(exclude_libraries.begin(), exclude_libraries.end(), l) !=
+           exclude_libraries.end();
+  };
   auto consider = [&](const ObjectRecord& copy) {
     if (excluded(copy.tape)) return;
+    if (excluded_library(copy.library)) return;
     if (retired_[copy.tape.index()]) return;
     ReplicaHealth h = tape_health(copy.tape);
     if (h == ReplicaHealth::kLost) return;

@@ -94,12 +94,14 @@ class ObjectCatalog {
   void retire_tape(TapeId tape);
   [[nodiscard]] bool tape_retired(TapeId tape) const;
 
-  /// The best surviving copy of `id`: copies on Lost or retired tapes and
-  /// on tapes in `exclude` are skipped, Good health beats Degraded, and the
+  /// The best surviving copy of `id`: copies on Lost or retired tapes, on
+  /// tapes in `exclude`, and in libraries in `exclude_libraries` (downed
+  /// fault domains) are skipped; Good health beats Degraded, and the
   /// primary wins ties (then replica insertion order). nullptr when no copy
   /// survives. The pointer is invalidated by the next insert of `id`.
   [[nodiscard]] const ObjectRecord* best_replica(
-      ObjectId id, std::span<const TapeId> exclude = {}) const;
+      ObjectId id, std::span<const TapeId> exclude = {},
+      std::span<const LibraryId> exclude_libraries = {}) const;
 
   /// All extents on `tape`, sorted by offset. Invalidated by insert().
   [[nodiscard]] std::span<const TapeExtent> extents_on(TapeId tape) const;

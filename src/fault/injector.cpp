@@ -1,5 +1,6 @@
 #include "fault/injector.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -18,21 +19,24 @@ FaultInjector::FaultInjector(const FaultConfig& config,
   TAPESIM_ASSERT_MSG(config_.try_validate().ok(),
                      "fault config must validate before injection");
   // Per-class substreams, then one fork per device: a device's draws never
-  // depend on any other device's, nor on query order.
+  // depend on any other device's, nor on query order. split() is pure on
+  // the freshly seeded root, so adding a class never perturbs the others.
   const Rng root{config_.seed};
   const Rng drive_base = root.split("drive");
   const Rng mount_base = root.split("mount");
   const Rng media_base = root.split("media");
-  const Rng robot_base = root.split("robot");
+  robot_base_ = root.split("robot");
   const Rng decay_base = root.split("decay");
+  outage_base_ = root.split("outage");
+  drives_per_library_ = spec.library.drives_per_library;
 
   const std::uint32_t num_drives = spec.total_drives();
   const std::uint32_t num_tapes = spec.total_tapes();
   drives_.reserve(num_drives);
   mount_rngs_.reserve(num_drives);
   for (std::uint32_t d = 0; d < num_drives; ++d) {
-    drives_.push_back(DriveTimeline{drive_base.fork(d), kNever, kNever,
-                                    /*permanent=*/false, /*started=*/false});
+    drives_.push_back(RenewalTimeline{drive_base.fork(d), kNever, kNever,
+                                      /*permanent=*/false, /*started=*/false});
     mount_rngs_.push_back(mount_base.fork(d));
   }
   media_rngs_.reserve(num_tapes);
@@ -42,78 +46,196 @@ FaultInjector::FaultInjector(const FaultConfig& config,
     decay_.push_back(DecayTimeline{decay_base.fork(t), kNever, 0, 0,
                                    /*started=*/false});
   }
-  robot_rngs_.reserve(spec.num_libraries);
-  for (std::uint32_t l = 0; l < spec.num_libraries; ++l) {
-    robot_rngs_.push_back(robot_base.fork(l));
-  }
+  if (spec.num_libraries > 0) ensure_library(spec.num_libraries - 1);
   media_error_counts_.assign(num_tapes, 0);
 }
 
-FaultInjector::DriveTimeline& FaultInjector::timeline(DriveId d) {
+void FaultInjector::ensure_library(std::uint32_t index) {
+  // fork() is index-addressed and const on the stored bases, so a library
+  // materialised late draws exactly what it would have drawn had the fleet
+  // started larger — lazy growth is deterministic.
+  while (robot_rngs_.size() <= index) {
+    robot_rngs_.push_back(
+        robot_base_.fork(static_cast<std::uint64_t>(robot_rngs_.size())));
+  }
+  while (outages_.size() <= index) {
+    outages_.push_back(RenewalTimeline{
+        outage_base_.fork(static_cast<std::uint64_t>(outages_.size())), kNever,
+        kNever, /*permanent=*/false, /*started=*/false});
+  }
+}
+
+LibraryId FaultInjector::lib_of(DriveId d) const {
+  TAPESIM_ASSERT(d.valid() && drives_per_library_ > 0);
+  return LibraryId{d.value() / drives_per_library_};
+}
+
+FaultInjector::RenewalTimeline& FaultInjector::timeline(DriveId d) {
   TAPESIM_ASSERT(d.valid() && d.index() < drives_.size());
   return drives_[d.index()];
 }
 
-void FaultInjector::advance(DriveTimeline& tl, Seconds t) {
-  const double mtbf = config_.drive_mtbf.count();
+FaultInjector::RenewalTimeline& FaultInjector::library_timeline(LibraryId lib) {
+  TAPESIM_ASSERT(lib.valid());
+  ensure_library(lib.index());
+  return outages_[lib.index()];
+}
+
+void FaultInjector::advance(RenewalTimeline& tl, Seconds t, Seconds mtbf_s,
+                            Seconds mttr_s, double permanent_fraction) {
+  const double mtbf = mtbf_s.count();
   if (!tl.started) {
     tl.started = true;
     if (mtbf > 0.0) {
       tl.fail_at = Seconds{sample_exponential(tl.rng, mtbf)};
-      tl.permanent = tl.rng.uniform() < config_.permanent_fraction;
+      tl.permanent = tl.rng.uniform() < permanent_fraction;
       tl.repair_at =
           tl.permanent
               ? kNever
-              : tl.fail_at + Seconds{sample_exponential(
-                                 tl.rng, config_.drive_mttr.count())};
+              : tl.fail_at +
+                    Seconds{sample_exponential(tl.rng, mttr_s.count())};
     }
     // mtbf == 0: fail_at stays +inf, the loop below never iterates.
   }
   while (t >= tl.repair_at) {
-    tl.fail_at =
-        tl.repair_at + Seconds{sample_exponential(tl.rng, mtbf)};
-    tl.permanent = tl.rng.uniform() < config_.permanent_fraction;
+    tl.fail_at = tl.repair_at + Seconds{sample_exponential(tl.rng, mtbf)};
+    tl.permanent = tl.rng.uniform() < permanent_fraction;
     tl.repair_at =
-        tl.permanent ? kNever
-                     : tl.fail_at + Seconds{sample_exponential(
-                                        tl.rng, config_.drive_mttr.count())};
+        tl.permanent
+            ? kNever
+            : tl.fail_at + Seconds{sample_exponential(tl.rng, mttr_s.count())};
   }
 }
 
-bool FaultInjector::drive_online(DriveId d, Seconds at) {
-  DriveTimeline& tl = timeline(d);
-  advance(tl, at);
+void FaultInjector::advance_drive(RenewalTimeline& tl, Seconds t) {
+  advance(tl, t, config_.drive_mtbf, config_.drive_mttr,
+          config_.permanent_fraction);
+}
+
+void FaultInjector::advance_library(RenewalTimeline& tl, Seconds t) {
+  advance(tl, t, config_.outage.library_mtbf, config_.outage.library_mttr,
+          config_.outage.disaster_fraction);
+}
+
+bool FaultInjector::drive_timeline_online(DriveId d, Seconds at) {
+  RenewalTimeline& tl = timeline(d);
+  advance_drive(tl, at);
   return at < tl.fail_at;
 }
 
+bool FaultInjector::drive_online(DriveId d, Seconds at) {
+  if (!drive_timeline_online(d, at)) return false;
+  return !config_.outage.enabled() || library_up(lib_of(d), at);
+}
+
 bool FaultInjector::outage_is_permanent(DriveId d, Seconds at) {
-  DriveTimeline& tl = timeline(d);
-  advance(tl, at);
-  TAPESIM_ASSERT_MSG(at >= tl.fail_at, "drive is not in an outage");
+  RenewalTimeline& tl = timeline(d);
+  advance_drive(tl, at);
+  const bool own_down = at >= tl.fail_at;
+  if (config_.outage.enabled()) {
+    RenewalTimeline& lt = library_timeline(lib_of(d));
+    advance_library(lt, at);
+    const bool lib_down = at >= lt.fail_at;
+    TAPESIM_ASSERT_MSG(own_down || lib_down, "drive is not in an outage");
+    if (lib_down && lt.permanent) return true;
+    if (own_down) return tl.permanent;
+    return false;  // Transient library outage over a healthy drive.
+  }
+  TAPESIM_ASSERT_MSG(own_down, "drive is not in an outage");
   return tl.permanent;
 }
 
 std::optional<Seconds> FaultInjector::failure_within(DriveId d, Seconds at,
                                                      Seconds duration) {
-  DriveTimeline& tl = timeline(d);
-  advance(tl, at);
+  RenewalTimeline& tl = timeline(d);
+  advance_drive(tl, at);
   TAPESIM_ASSERT_MSG(at < tl.fail_at,
                      "activity started on a drive already in an outage");
-  if (tl.fail_at < at + duration) return tl.fail_at - at;
+  Seconds strike = tl.fail_at;
+  if (config_.outage.enabled()) {
+    RenewalTimeline& lt = library_timeline(lib_of(d));
+    advance_library(lt, at);
+    TAPESIM_ASSERT_MSG(at < lt.fail_at,
+                       "activity started in a downed library");
+    strike = std::min(strike, lt.fail_at);
+  }
+  if (strike < at + duration) return strike - at;
   return std::nullopt;
 }
 
 std::optional<Seconds> FaultInjector::next_online_at(DriveId d, Seconds now) {
-  DriveTimeline& tl = timeline(d);
-  advance(tl, now);
-  if (now < tl.fail_at) return now;
-  if (tl.permanent) return std::nullopt;
-  return tl.repair_at;
+  // Walk forward to the first instant at which the drive's own hardware
+  // and its library are simultaneously up. Each hop lands on a repair /
+  // restore boundary, so the loop terminates (timelines only move forward).
+  // The walk runs on *copies*: advancing a timeline past `now` would
+  // consume the current outage window for every later query, and the RNGs
+  // are deterministic value types, so a copy previews exactly the renewals
+  // the real timeline will produce when time actually gets there.
+  advance_drive(timeline(d), now);
+  RenewalTimeline dt = timeline(d);
+  std::optional<RenewalTimeline> lt;
+  if (config_.outage.enabled()) {
+    advance_library(library_timeline(lib_of(d)), now);
+    lt = library_timeline(lib_of(d));
+  }
+  Seconds t = now;
+  for (;;) {
+    advance_drive(dt, t);
+    if (t >= dt.fail_at) {
+      if (dt.permanent) return std::nullopt;
+      t = dt.repair_at;
+      continue;
+    }
+    if (!lt.has_value()) return t;
+    advance_library(*lt, t);
+    if (t >= lt->fail_at) {
+      if (lt->permanent) return std::nullopt;
+      t = lt->repair_at;
+      continue;
+    }
+    return t;
+  }
 }
 
 void FaultInjector::note_drive_failure(bool permanent) {
   ++counters_.drive_failures;
   if (permanent) ++counters_.permanent_drive_failures;
+}
+
+bool FaultInjector::library_up(LibraryId lib, Seconds at) {
+  if (!config_.outage.enabled()) return true;
+  RenewalTimeline& lt = library_timeline(lib);
+  advance_library(lt, at);
+  return at < lt.fail_at;
+}
+
+bool FaultInjector::outage_is_disaster(LibraryId lib, Seconds at) {
+  RenewalTimeline& lt = library_timeline(lib);
+  advance_library(lt, at);
+  TAPESIM_ASSERT_MSG(at >= lt.fail_at, "library is not in an outage");
+  return lt.permanent;
+}
+
+Seconds FaultInjector::outage_started_at(LibraryId lib, Seconds at) {
+  RenewalTimeline& lt = library_timeline(lib);
+  advance_library(lt, at);
+  TAPESIM_ASSERT_MSG(at >= lt.fail_at, "library is not in an outage");
+  return lt.fail_at;
+}
+
+std::optional<Seconds> FaultInjector::library_up_at(LibraryId lib,
+                                                    Seconds now) {
+  if (!config_.outage.enabled()) return now;
+  RenewalTimeline& lt = library_timeline(lib);
+  advance_library(lt, now);
+  if (now < lt.fail_at) return now;
+  if (lt.permanent) return std::nullopt;
+  return lt.repair_at;
+}
+
+void FaultInjector::note_library_outage(bool disaster) {
+  ++counters_.library_outages;
+  if (disaster) ++counters_.library_disasters;
 }
 
 bool FaultInjector::mount_attempt_fails(DriveId d) {
@@ -232,7 +354,8 @@ std::uint32_t FaultInjector::latent_observed_on(TapeId t) const {
 
 Seconds FaultInjector::robot_jam_delay(LibraryId lib) {
   if (config_.robot_jam_prob <= 0.0) return Seconds{0.0};
-  TAPESIM_ASSERT(lib.valid() && lib.index() < robot_rngs_.size());
+  TAPESIM_ASSERT(lib.valid());
+  ensure_library(lib.index());
   if (robot_rngs_[lib.index()].uniform() < config_.robot_jam_prob) {
     ++counters_.robot_jams;
     return config_.robot_jam_clear;

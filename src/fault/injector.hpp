@@ -43,6 +43,8 @@ struct FaultCounters {
   std::uint64_t lost_cartridges = 0;      ///< -> Lost escalations.
   std::uint64_t latent_events = 0;   ///< Silent damage events materialised.
   std::uint64_t latent_observed = 0; ///< Damage events surfaced by observation.
+  std::uint64_t library_outages = 0;    ///< Library outage onsets registered.
+  std::uint64_t library_disasters = 0;  ///< Of those, permanent disasters.
 };
 
 class FaultInjector {
@@ -53,28 +55,64 @@ class FaultInjector {
   [[nodiscard]] const FaultConfig& config() const { return config_; }
   [[nodiscard]] const FaultCounters& counters() const { return counters_; }
 
-  // --- drive hardware timeline ---
+  // --- drive hardware timeline (library outages folded in) ---
+  //
+  // All drive-level queries fold the drive's own hardware timeline with its
+  // library's outage timeline: a drive in a downed library answers exactly
+  // like a failed drive, so the scheduler's interrupt/boundary machinery
+  // handles correlated outages without special cases. Use
+  // drive_timeline_online() to ask about the drive's own hardware only.
 
-  /// Is drive `d` up at time `at`?
+  /// Is drive `d` up at time `at` (own hardware up AND library up)?
   [[nodiscard]] bool drive_online(DriveId d, Seconds at);
 
-  /// Whether the current outage of `d` (it must be in one) is permanent.
+  /// Drive `d`'s own hardware state at `at`, ignoring its library:
+  /// distinguishes a genuine drive fault from a correlated library outage.
+  [[nodiscard]] bool drive_timeline_online(DriveId d, Seconds at);
+
+  /// Whether the current outage of `d` (it must be in one) is permanent:
+  /// the library was destroyed, or the drive's own fault never repairs.
+  /// A transient library outage over a healthy drive is not permanent.
   [[nodiscard]] bool outage_is_permanent(DriveId d, Seconds at);
 
   /// If an activity on `d` spanning [at, at + duration) is interrupted by a
-  /// failure, the offset from `at` at which it strikes; nullopt when the
-  /// activity completes first. A failure exactly at completion time does
-  /// not interrupt.
+  /// failure — the drive's own or a correlated library onset, whichever
+  /// strikes first — the offset from `at` at which it strikes; nullopt when
+  /// the activity completes first. A failure exactly at completion time
+  /// does not interrupt.
   [[nodiscard]] std::optional<Seconds> failure_within(DriveId d, Seconds at,
                                                       Seconds duration);
 
-  /// Earliest time >= `now` at which `d` is online: `now` itself if it is
-  /// already up, the repair time if it is in a transient outage, nullopt if
-  /// the outage is permanent.
+  /// Earliest time >= `now` at which `d` is online (own hardware AND
+  /// library simultaneously up): `now` itself if it is already up, the
+  /// next such instant for transient outages, nullopt if any pending
+  /// outage is permanent.
   [[nodiscard]] std::optional<Seconds> next_online_at(DriveId d, Seconds now);
 
   /// Called when the scheduler actually fails the drive, for counting.
   void note_drive_failure(bool permanent);
+
+  // --- library outage timeline ---
+
+  /// Is library `lib` up at time `at`? Always true when outages are
+  /// disabled (no draws consumed).
+  [[nodiscard]] bool library_up(LibraryId lib, Seconds at);
+
+  /// Whether the current outage of `lib` (it must be in one) is a
+  /// permanent site disaster.
+  [[nodiscard]] bool outage_is_disaster(LibraryId lib, Seconds at);
+
+  /// Onset time of the current outage of `lib` (it must be in one).
+  [[nodiscard]] Seconds outage_started_at(LibraryId lib, Seconds at);
+
+  /// Earliest time >= `now` at which `lib` is up: `now` itself if it is
+  /// up, the restore time for a transient outage, nullopt after a
+  /// disaster.
+  [[nodiscard]] std::optional<Seconds> library_up_at(LibraryId lib,
+                                                     Seconds now);
+
+  /// Called when the scheduler registers the outage, for counting.
+  void note_library_outage(bool disaster);
 
   // --- mount/load failures ---
 
@@ -131,10 +169,12 @@ class FaultInjector {
   [[nodiscard]] Seconds robot_jam_delay(LibraryId lib);
 
  private:
-  /// Lazy alternating-renewal outage timeline of one drive. The window
-  /// [fail_at, repair_at) is the next (or current) outage; repair_at is
-  /// +infinity for a permanent failure.
-  struct DriveTimeline {
+  /// Lazy alternating-renewal outage timeline of one device (a drive's
+  /// hardware, or a whole library). The window [fail_at, repair_at) is the
+  /// next (or current) outage; repair_at is +infinity for a permanent
+  /// failure (a drive that never repairs, a library destroyed by a site
+  /// disaster).
+  struct RenewalTimeline {
     Rng rng;
     Seconds fail_at{};
     Seconds repair_at{};
@@ -154,8 +194,19 @@ class FaultInjector {
   };
 
   /// Materialises outage windows until `t` falls before repair_at.
-  void advance(DriveTimeline& tl, Seconds t);
-  DriveTimeline& timeline(DriveId d);
+  /// Parameterised so drive and library timelines share one renewal core.
+  void advance(RenewalTimeline& tl, Seconds t, Seconds mtbf, Seconds mttr,
+               double permanent_fraction);
+  void advance_drive(RenewalTimeline& tl, Seconds t);
+  void advance_library(RenewalTimeline& tl, Seconds t);
+  RenewalTimeline& timeline(DriveId d);
+  RenewalTimeline& library_timeline(LibraryId lib);
+  [[nodiscard]] LibraryId lib_of(DriveId d) const;
+  /// Grows the per-library state vectors to cover `index`. Lazy growth is
+  /// deterministic because fork() is index-addressed and const on the
+  /// stored base streams, so a library added late draws exactly what it
+  /// would have drawn had the fleet started larger.
+  void ensure_library(std::uint32_t index);
   /// Materialises decay events of `t` up to `at`.
   DecayTimeline& decay(TapeId t, Seconds at);
   /// Health implied by an observed error count, per the thresholds.
@@ -163,10 +214,14 @@ class FaultInjector {
 
   FaultConfig config_;
   FaultCounters counters_;
-  std::vector<DriveTimeline> drives_;
+  std::uint32_t drives_per_library_ = 0;
+  Rng robot_base_;   ///< Stored so per-library vectors can grow lazily.
+  Rng outage_base_;  ///< Stored so per-library vectors can grow lazily.
+  std::vector<RenewalTimeline> drives_;
   std::vector<Rng> mount_rngs_;    ///< One per drive.
   std::vector<Rng> media_rngs_;    ///< One per tape.
-  std::vector<Rng> robot_rngs_;    ///< One per library.
+  std::vector<Rng> robot_rngs_;    ///< One per library, grown on demand.
+  std::vector<RenewalTimeline> outages_;  ///< One per library, grown on demand.
   std::vector<std::uint32_t> media_error_counts_;  ///< One per tape.
   std::vector<DecayTimeline> decay_;               ///< One per tape.
 };

@@ -9,6 +9,20 @@ Status BackoffPolicy::try_validate(const char* subject) const {
   return check.take();
 }
 
+Status OutageConfig::try_validate() const {
+  StatusBuilder check("OutageConfig");
+  check.require(library_mtbf.count() >= 0.0, "library MTBF must be >= 0");
+  check.require(library_mtbf.count() == 0.0 || library_mttr.count() > 0.0,
+                "library MTTR must be positive when outages are enabled");
+  check.require(disaster_fraction >= 0.0 && disaster_fraction <= 1.0,
+                "disaster fraction must be in [0, 1]");
+  check.require(dr_bandwidth_fraction > 0.0 && dr_bandwidth_fraction <= 1.0,
+                "DR bandwidth fraction must be in (0, 1]");
+  check.require(dr_max_concurrent > 0,
+                "DR concurrency must allow at least one job");
+  return check.take();
+}
+
 Status FaultConfig::try_validate() const {
   StatusBuilder check("FaultConfig");
   check.require(drive_mtbf.count() >= 0.0, "drive MTBF must be >= 0");
@@ -35,6 +49,7 @@ Status FaultConfig::try_validate() const {
                 "latent decay MTBF must be >= 0");
   check.merge(mount_retry.try_validate("FaultConfig mount retry"));
   check.merge(media_retry.try_validate("FaultConfig media retry"));
+  check.merge(outage.try_validate());
   return check.take();
 }
 

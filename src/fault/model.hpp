@@ -19,6 +19,11 @@
 //     toward the Degraded/Lost escalation thresholds only when *observed*
 //     (a foreground read runs into it, or a scrub pass verifies the tape),
 //     so the true damage and the detected health of a cartridge diverge.
+//   * Library outages: correlated whole-library events (power feed, HVAC,
+//     site disaster) on a per-library renewal timeline. One onset downs
+//     every drive and the robot in the library atomically; a configurable
+//     fraction of outages is a permanent disaster that loses every resident
+//     cartridge and triggers a disaster-recovery re-replication surge.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +50,31 @@ struct BackoffPolicy {
   }
 
   [[nodiscard]] Status try_validate(const char* subject) const;
+};
+
+/// Library-level fault domain: correlated outages on a per-library
+/// alternating-renewal timeline. Defaults disable the class entirely; a
+/// default-constructed OutageConfig costs nothing (no substream draws, no
+/// extra branches on the hot path beyond one `enabled()` check).
+struct OutageConfig {
+  /// Mean time between library outages (per library); 0 disables.
+  Seconds library_mtbf{};
+  /// Mean time to restore a transiently downed library.
+  Seconds library_mttr{4.0 * 3600.0};
+  /// Fraction of outages that are a permanent site disaster: the library
+  /// never returns and every resident cartridge is lost.
+  double disaster_fraction = 0.0;
+  /// Duty-cycle fraction granted to disaster-recovery re-replication
+  /// traffic (the surge after a disaster), so DR does not starve
+  /// foreground reads. In (0, 1].
+  double dr_bandwidth_fraction = 0.5;
+  /// Concurrent copy jobs allowed while DR work is outstanding (raises the
+  /// normal repair cap if larger; never lowers it).
+  std::uint32_t dr_max_concurrent = 2;
+
+  [[nodiscard]] bool enabled() const { return library_mtbf.count() > 0.0; }
+
+  [[nodiscard]] Status try_validate() const;
 };
 
 struct FaultConfig {
@@ -90,12 +120,15 @@ struct FaultConfig {
   /// by a read or a scrub.
   Seconds latent_decay_mtbf{};
 
+  // --- library outages ---
+  OutageConfig outage{};
+
   /// True when any fault class is active. The scheduler only builds an
   /// injector (and only pays any overhead) when this returns true.
   [[nodiscard]] bool enabled() const {
     return drive_mtbf.count() > 0.0 || mount_failure_prob > 0.0 ||
            media_error_per_gb > 0.0 || robot_jam_prob > 0.0 ||
-           latent_decay_mtbf.count() > 0.0;
+           latent_decay_mtbf.count() > 0.0 || outage.enabled();
   }
 
   [[nodiscard]] Status try_validate() const;

@@ -33,6 +33,31 @@ double saturation_rate(const SampleSet& service_times) {
   return 1.0 / service_times.mean();
 }
 
+Seconds predicted_recovery_makespan(Bytes lost_bytes, std::uint64_t jobs,
+                                    BytesPerSecond drive_rate,
+                                    double bandwidth_fraction,
+                                    std::uint32_t concurrency,
+                                    Seconds per_job_overhead) {
+  TAPESIM_ASSERT_MSG(drive_rate.count() > 0.0, "drive rate must be positive");
+  TAPESIM_ASSERT_MSG(bandwidth_fraction > 0.0 && bandwidth_fraction <= 1.0,
+                     "bandwidth fraction outside (0, 1]");
+  TAPESIM_ASSERT(concurrency > 0);
+  if (jobs == 0) return Seconds{0.0};
+  // Each copy is read then written (two drive occupancies), so a job's
+  // drive time is twice its transfer at the effective repair rate.
+  const double effective_rate = drive_rate.count() * bandwidth_fraction;
+  const double copy_seconds =
+      2.0 * (lost_bytes.as_double() / effective_rate +
+             static_cast<double>(jobs) * per_job_overhead.count());
+  const double servers =
+      static_cast<double>(std::min<std::uint64_t>(concurrency, jobs));
+  // Fluid phase: total drive time spread across the servers; straggler
+  // term: the last job in flight finishes alone (mean-field makespan of
+  // parallel repair, Sun et al., arXiv:1701.00335).
+  const double mean_job = copy_seconds / static_cast<double>(jobs);
+  return Seconds{copy_seconds / servers + mean_job};
+}
+
 void ServiceEstimator::observe(Bytes bytes, Seconds service) {
   TAPESIM_ASSERT_MSG(service.count() >= 0.0, "service time cannot be negative");
   const double x = bytes.as_double();

@@ -10,6 +10,8 @@
 // is compared against in bench_concurrency.
 #pragma once
 
+#include <cstdint>
+
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -29,6 +31,22 @@ struct MG1Estimate {
 
 /// Largest arrival rate the single-server model can sustain (1 / E[S]).
 [[nodiscard]] double saturation_rate(const SampleSet& service_times);
+
+/// Mean-field prediction of the disaster-recovery makespan: the time from
+/// a site disaster to full redundancy restored, when `lost_bytes` must be
+/// re-copied by at most `concurrency` drives whose effective repair rate is
+/// `drive_rate * bandwidth_fraction`, plus a fixed per-job mount/seek
+/// overhead. Follows the fluid (large-system) scaling of coded-storage
+/// repair models (Sun et al., arXiv:1701.00335): makespan ~ volume over
+/// aggregate repair bandwidth, plus a straggler term of one job. The
+/// simulator's measured time-to-full-redundancy is gated against a generous
+/// band around this value in bench_outage_recovery.
+[[nodiscard]] Seconds predicted_recovery_makespan(Bytes lost_bytes,
+                                                  std::uint64_t jobs,
+                                                  BytesPerSecond drive_rate,
+                                                  double bandwidth_fraction,
+                                                  std::uint32_t concurrency,
+                                                  Seconds per_job_overhead);
 
 /// Online service-time predictor backing admission control.
 ///

@@ -42,6 +42,8 @@ void ExperimentMetrics::add(const RequestOutcome& outcome) {
   }
   bytes_unavailable_sum_ += outcome.bytes_unavailable.as_double();
   failovers_ += outcome.failovers;
+  extents_parked_ += outcome.extents_parked;
+  if (outcome.extents_parked > 0) ++parked_requests_;
   mount_retries_ += outcome.mount_retries;
   media_retries_ += outcome.media_retries;
   served_from_replica_ += outcome.served_from_replica;

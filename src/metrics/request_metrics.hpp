@@ -50,6 +50,9 @@ struct RequestOutcome {
   Bytes bytes_unavailable{};            ///< Requested but undeliverable.
   std::uint32_t extents_unavailable = 0;
   std::uint32_t failovers = 0;      ///< Mid-transfer drive failovers.
+  /// Extents that waited out a library outage before being served
+  /// (requires the library-outage model; see sched/outage.hpp).
+  std::uint32_t extents_parked = 0;
   std::uint32_t mount_retries = 0;  ///< Failed load attempts retried.
   std::uint32_t media_retries = 0;  ///< Read errors retried.
   /// Extents delivered from a non-primary copy (requires replication).
@@ -133,6 +136,14 @@ class ExperimentMetrics {
   /// (repair waits, retries, failovers). Zero when nothing was served.
   [[nodiscard]] Seconds mean_served_response() const;
   [[nodiscard]] std::uint64_t total_failovers() const { return failovers_; }
+  /// Extents that waited out a library outage; 0 without the outage model.
+  [[nodiscard]] std::uint64_t total_extents_parked() const {
+    return extents_parked_;
+  }
+  /// Requests that parked at least one extent behind a downed library.
+  [[nodiscard]] std::uint64_t parked_request_count() const {
+    return parked_requests_;
+  }
   [[nodiscard]] std::uint64_t total_mount_retries() const {
     return mount_retries_;
   }
@@ -182,6 +193,8 @@ class ExperimentMetrics {
   std::uint64_t unavailable_ = 0;
   double bytes_unavailable_sum_ = 0.0;
   std::uint64_t failovers_ = 0;
+  std::uint64_t extents_parked_ = 0;
+  std::uint64_t parked_requests_ = 0;
   std::uint64_t mount_retries_ = 0;
   std::uint64_t media_retries_ = 0;
   std::uint64_t served_from_replica_ = 0;

@@ -8,7 +8,7 @@ namespace tapesim::obs {
 namespace {
 
 // Sorted by name (find_metric binary-searches; a test asserts the order).
-constexpr std::array<MetricInfo, 40> kCatalog{{
+constexpr std::array<MetricInfo, 50> kCatalog{{
     {"engine.events.cancelled", "counter", "",
      "pending events cancelled before dispatch"},
     {"engine.events.dispatched", "counter", "",
@@ -33,6 +33,24 @@ constexpr std::array<MetricInfo, 40> kCatalog{{
     {"fault.media_errors", "counter", "", "media read errors injected"},
     {"fault.mount_failures", "counter", "", "mount attempts that failed"},
     {"fault.robot_jams", "counter", "", "robot jam events injected"},
+    {"outage.disasters", "counter", "",
+     "library outages that were permanent site disasters"},
+    {"outage.downtime_s", "gauge", "s",
+     "accumulated downtime of closed library outage windows"},
+    {"outage.dr_bytes", "counter", "bytes",
+     "bytes re-replicated by disaster-recovery copy jobs"},
+    {"outage.dr_jobs", "counter", "",
+     "disaster-recovery re-replication jobs scheduled"},
+    {"outage.ended", "counter", "", "library outage windows closed"},
+    {"outage.failovers", "counter", "",
+     "extents rerouted to a replica in a surviving library"},
+    {"outage.redundancy_recovery_s", "histogram", "s",
+     "disaster onset to full redundancy restored (time-to-full-redundancy)"},
+    {"outage.requests_parked", "counter", "",
+     "requests that parked at least one extent behind a downed library"},
+    {"outage.started", "counter", "", "library outage onsets registered"},
+    {"outage.ttfb_s", "histogram", "s",
+     "library restore to first byte served from it (time-to-first-byte)"},
     {"overload.expired", "counter", "",
      "admitted requests cancelled at their deadline"},
     {"overload.served", "counter", "",

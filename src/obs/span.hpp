@@ -23,6 +23,7 @@ enum class Track : std::uint8_t {
   kRepair = 5,   ///< Background re-replication jobs (tid = object id).
   kOverload = 6,  ///< Admission/shedding decisions (tid = request id).
   kScrub = 7,    ///< Background verification passes (tid = tape id).
+  kOutage = 8,   ///< Library outage windows (tid = library id).
 };
 
 enum class Phase : std::uint8_t {
@@ -40,6 +41,7 @@ enum class Phase : std::uint8_t {
   kShed,     ///< Request rejected at admission (zero-width at decision time).
   kExpired,  ///< Admitted request cancelled at its deadline.
   kScrub,    ///< One verification pass: mount start to last byte verified.
+  kOutage,   ///< One library outage window: onset to restore.
   kMarker,   ///< Zero-duration annotation (narration, state change).
 };
 

@@ -21,6 +21,7 @@ const char* to_string(Track t) {
     case Track::kRepair: return "repair";
     case Track::kOverload: return "overload";
     case Track::kScrub: return "scrub";
+    case Track::kOutage: return "outage";
   }
   return "?";
 }
@@ -41,6 +42,7 @@ const char* to_string(Phase p) {
     case Phase::kShed: return "shed";
     case Phase::kExpired: return "expired";
     case Phase::kScrub: return "scrub";
+    case Phase::kOutage: return "outage";
     case Phase::kMarker: return "marker";
   }
   return "?";

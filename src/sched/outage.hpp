@@ -1,0 +1,39 @@
+// Library-outage reaction state and RTO accounting.
+//
+// The fault injector owns the outage *timelines* (fault/model.hpp,
+// OutageConfig); this header holds what the scheduler tracks about them:
+// per-library watch state for lazily observed onsets/restores, and the
+// running recovery-time-objective statistics (downtime, parked work,
+// failovers, disaster-recovery traffic, time-to-first-byte after restore,
+// time-to-full-redundancy after a disaster).
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::sched {
+
+/// Running totals of the outage reaction, mirrored 1:1 into the obs
+/// registry's outage.* counters (the chaos soak reconciles them exactly).
+struct OutageStats {
+  std::uint64_t started = 0;    ///< Outage onsets registered.
+  std::uint64_t ended = 0;      ///< Outage windows closed (restores).
+  std::uint64_t disasters = 0;  ///< Onsets that were permanent disasters.
+  /// Requests that parked at least one extent behind a downed library.
+  std::uint64_t requests_parked = 0;
+  std::uint64_t extents_parked = 0;
+  /// Extents rerouted to a replica in a surviving library.
+  std::uint64_t failovers = 0;
+  std::uint64_t dr_jobs = 0;   ///< Disaster-recovery copy jobs scheduled.
+  std::uint64_t dr_bytes = 0;  ///< Bytes written by completed DR jobs.
+  Seconds downtime{};          ///< Sum of closed outage windows.
+  /// Library restore -> first byte served from that library (RTO).
+  SampleSet ttfb;
+  /// Disaster onset -> last outstanding DR job settled (MTTR to full
+  /// redundancy; one sample per disaster whose DR queue drained).
+  SampleSet redundancy_recovery;
+};
+
+}  // namespace tapesim::sched

@@ -49,6 +49,10 @@ struct RepairJob {
   /// When valid, this copy job drains that cartridge for health-driven
   /// evacuation (sched/scrub.hpp) rather than restoring replication.
   TapeId evac_from{};
+  /// When valid, this job is disaster-recovery traffic re-replicating data
+  /// lost with that destroyed library: it runs under the DR bandwidth cap
+  /// and counts toward time-to-full-redundancy.
+  LibraryId dr_from{};
 };
 
 struct RepairStats {

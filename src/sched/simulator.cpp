@@ -56,6 +56,7 @@ RetrievalSimulator::RetrievalSimulator(const core::PlacementPlan& plan,
   ctx_.resize(plan.spec().total_drives());
   lib_queue_.resize(plan.spec().num_libraries);
   watch_pending_.assign(plan.spec().num_libraries, false);
+  outage_watch_.resize(plan.spec().num_libraries);
   last_scrub_.assign(plan.spec().total_tapes(), Seconds{});
   replicated_ = catalog_.has_replicas();
   target_copies_ = plan.replication_factor();
@@ -137,6 +138,13 @@ void RetrievalSimulator::schedule_activity(DriveId d, Seconds duration,
 
 bool RetrievalSimulator::drive_available(DriveId d) {
   if (fault_ == nullptr) return true;
+  if (outage_active() &&
+      !library_operational(system_.library_of_drive(d))) {
+    // The whole library is down; every non-busy drive in it was failed
+    // when the onset was registered, and busy drives preempt through
+    // their own folded failure interrupts.
+    return false;
+  }
   tape::TapeDrive& drive = system_.drive(d);
   const Seconds now = engine_.now();
   if (drive.failed()) {
@@ -179,6 +187,12 @@ void RetrievalSimulator::repair_drive(DriveId d) {
 
 void RetrievalSimulator::on_drive_failure(DriveId d) {
   TAPESIM_ASSERT(fault_ != nullptr);
+  if (outage_active()) {
+    // An interrupt fired by a library onset registers the whole outage
+    // first (atomically downing the library's idle drives and rerouting
+    // its demand); this busy drive then tears itself down below.
+    library_operational(system_.library_of_drive(d));
+  }
   tape::TapeDrive& drive = system_.drive(d);
   TAPESIM_ASSERT_MSG(!drive.failed(), "drive failure registered twice");
   DriveCtx& ctx = ctx_[d.index()];
@@ -188,7 +202,11 @@ void RetrievalSimulator::on_drive_failure(DriveId d) {
   const Seconds elapsed = mid_activity ? now - ctx.activity_start : Seconds{};
   const bool permanent = !fault_->next_online_at(d, now).has_value() ||
                          fault_->outage_is_permanent(d, now);
-  fault_->note_drive_failure(permanent);
+  // A drive downed only by its library's outage is not a drive failure:
+  // the hardware is fine, the building is dark.
+  if (!outage_active() || !fault_->drive_timeline_online(d, now)) {
+    fault_->note_drive_failure(permanent);
+  }
 
   const bool had_work = chain.active || ctx.switch_target.valid();
   if (had_work) ++failovers_this_request_;
@@ -215,14 +233,24 @@ void RetrievalSimulator::on_drive_failure(DriveId d) {
   // Requeue the unserved tail of the serve chain: those extents go back
   // into the demand map so another drive can take them over once the
   // cartridge has been rescued. An expired chain's tail was already
-  // written off at the deadline — nothing to hand over.
+  // written off at the deadline — nothing to hand over. When the whole
+  // library is down (its robot included, so no rescue is coming soon),
+  // each tail extent instead fails over to a surviving library or parks
+  // until the restore.
   const TapeId stuck = drive.mounted();
+  const bool lib_down = outage_active() && !system_.library_up(lib_id);
   if (chain.active) {
     TAPESIM_ASSERT(stuck.valid());
     if (!expired_) {
-      auto& vec = needed_[stuck.value()];
-      for (std::size_t i = chain.index; i < chain.extents.size(); ++i) {
-        vec.push_back(chain.extents[i]);
+      if (lib_down) {
+        for (std::size_t i = chain.index; i < chain.extents.size(); ++i) {
+          outage_divert(stuck, chain.extents[i]);
+        }
+      } else {
+        auto& vec = needed_[stuck.value()];
+        for (std::size_t i = chain.index; i < chain.extents.size(); ++i) {
+          vec.push_back(chain.extents[i]);
+        }
       }
     }
     chain = ServeChain{};
@@ -230,7 +258,11 @@ void RetrievalSimulator::on_drive_failure(DriveId d) {
   // A switch that had not yet inserted the cartridge: the target goes back
   // to the head of its library queue (failover priority) — unless the
   // request expired, in which case nobody wants the cartridge anymore.
-  if (ctx.switch_target.valid() && ctx.switch_target != stuck && !expired_) {
+  // Under a registered library outage the target's extents were already
+  // rerouted or parked by register_outage, so it only requeues if some
+  // demand for it survived.
+  if (ctx.switch_target.valid() && ctx.switch_target != stuck && !expired_ &&
+      (!lib_down || needed_.count(ctx.switch_target.value()) != 0)) {
     lib_queue_[system_.library_of_tape(ctx.switch_target).index()].push_front(
         ctx.switch_target);
   }
@@ -285,8 +317,9 @@ void RetrievalSimulator::on_drive_failure(DriveId d) {
   }
 
   // A needed cartridge stuck in the failed drive must be extracted by the
-  // robot before anyone else can serve it.
-  if (stuck.valid() && needed_.count(stuck.value()) != 0) {
+  // robot before anyone else can serve it (once the library, and thus its
+  // robot, is powered; register_restore retries the rescue otherwise).
+  if (stuck.valid() && needed_.count(stuck.value()) != 0 && !lib_down) {
     recover_cartridge(d);
   }
   engine_.schedule_in(Seconds{0.0},
@@ -438,9 +471,23 @@ void RetrievalSimulator::kick_idle_drives(LibraryId lib_id) {
 
 void RetrievalSimulator::ensure_progress(LibraryId lib_id) {
   if (fault_ == nullptr) return;
+  if (outage_active()) library_operational(lib_id);
   kick_idle_drives(lib_id);
   auto& queue = lib_queue_[lib_id.index()];
-  if (queue.empty()) return;
+  if (queue.empty()) {
+    // Extents can be parked behind this library without a queue entry —
+    // their cartridge is stuck in a downed drive. The restore watch below
+    // must still be armed or the run would wedge on them.
+    if (!outage_active() || system_.library_up(lib_id)) return;
+    bool parked_here = false;
+    for (const auto& [tape_value, extents] : needed_) {
+      if (system_.library_of_tape(TapeId{tape_value}) == lib_id) {
+        parked_here = true;
+        break;
+      }
+    }
+    if (!parked_here) return;
+  }
   // The queue still holds demand. If any eligible drive is working (or
   // holds needed data), it will pull from the queue when it frees up.
   const std::uint32_t per_lib = plan_->spec().library.drives_per_library;
@@ -454,6 +501,13 @@ void RetrievalSimulator::ensure_progress(LibraryId lib_id) {
     if (const auto back = fault_->next_online_at(d, now)) {
       earliest = std::min(earliest, *back);
     }
+  }
+  if (outage_active() && !system_.library_up(lib_id)) {
+    // Watch for the library restore even when every drive's own hardware
+    // is permanently dead: the restore powers the robot back up, and
+    // register_restore rescues cartridges stuck in dead drives.
+    const Seconds restore = outage_watch_[lib_id.index()].restore_at;
+    earliest = std::min(earliest, restore);  // kNever for a disaster
   }
   if (earliest < kNever) {
     // Every eligible drive is down, at least one transiently: watch for
@@ -473,6 +527,15 @@ void RetrievalSimulator::ensure_progress(LibraryId lib_id) {
     const TapeId tp = queue.front();
     complete_tape_unavailable(tp);  // also erases it from the queue
   }
+  // Parked extents without a queue entry (their cartridge is stuck in a
+  // dead drive) are just as unreachable; sweep them too.
+  std::vector<TapeId> stuck;
+  for (const auto& [tape_value, extents] : needed_) {
+    if (system_.library_of_tape(TapeId{tape_value}) == lib_id) {
+      stuck.push_back(TapeId{tape_value});
+    }
+  }
+  for (const TapeId tp : stuck) complete_tape_unavailable(tp);
 }
 
 Seconds RetrievalSimulator::robot_move_delay(tape::TapeLibrary& lib,
@@ -486,6 +549,231 @@ Seconds RetrievalSimulator::robot_move_delay(tape::TapeLibrary& lib,
   return base + jam;
 }
 
+// --- library outages ----------------------------------------------------
+
+bool RetrievalSimulator::library_operational(LibraryId lib) {
+  if (!outage_active()) return true;
+  const Seconds now = engine_.now();
+  switch (system_.library_state(lib)) {
+    case tape::LibraryState::kDestroyed:
+      return false;
+    case tape::LibraryState::kDown: {
+      if (outage_watch_[lib.index()].restore_at > now) return false;
+      register_restore(lib);
+      // Nested reconciles (register_restore wakes drives, whose queries
+      // reconcile again) may already have observed the next onset.
+      if (!system_.library_up(lib)) return false;
+      if (!fault_->library_up(lib, now)) {
+        register_outage(lib);
+        return false;
+      }
+      return true;
+    }
+    case tape::LibraryState::kUp:
+      if (fault_->library_up(lib, now)) return true;
+      register_outage(lib);
+      return false;
+  }
+  return true;  // unreachable; switch is exhaustive
+}
+
+void RetrievalSimulator::register_outage(LibraryId lib) {
+  const Seconds now = engine_.now();
+  const bool disaster = fault_->outage_is_disaster(lib, now);
+  const Seconds began = fault_->outage_started_at(lib, now);
+  const auto restore = fault_->library_up_at(lib, now);
+  TAPESIM_ASSERT_MSG(disaster == !restore.has_value(),
+                     "disaster flag and restore time disagree");
+  fault_->note_library_outage(disaster);
+  OutageWatch& w = outage_watch_[lib.index()];
+  w.began = began;
+  w.restore_at = restore.value_or(kNever);
+  w.awaiting_first_byte = false;
+  // State flips before any drive is touched so nested reconciles see the
+  // outage as already registered.
+  system_.fail_library(lib,
+                       disaster ? tape::LibraryState::kDestroyed
+                                : tape::LibraryState::kDown,
+                       began);
+  ++outage_stats_.started;
+  if (disaster) ++outage_stats_.disasters;
+  if (config_.tracer != nullptr) {
+    config_.tracer->marker(obs::Track::kOutage, lib.value(),
+                           disaster ? "site disaster" : "library outage");
+    config_.tracer->registry().counter("outage.started").inc();
+    if (disaster) {
+      config_.tracer->registry().counter("outage.disasters").inc();
+    }
+  }
+
+  // One onset downs every drive in the library atomically. Busy drives
+  // preempt through their own folded failure interrupts (booked at this
+  // exact instant); the idle ones are failed here.
+  const std::uint32_t per_lib = plan_->spec().library.drives_per_library;
+  for (std::uint32_t i = 0; i < per_lib; ++i) {
+    const DriveId d{lib.value() * per_lib + i};
+    if (ctx_[d.index()].busy) continue;
+    if (system_.drive(d).failed()) continue;
+    on_drive_failure(d);
+  }
+
+  if (disaster) {
+    // Every resident cartridge is lost with the site. Scheduling the
+    // replacement copies under the DR tag routes them through the two-
+    // phase repair path at the DR bandwidth cap and arms the
+    // time-to-full-redundancy clock.
+    dr_tag_ = lib;
+    dr_began_[lib.value()] = now;
+    const std::uint32_t per_lib_tapes =
+        plan_->spec().library.tapes_per_library;
+    for (std::uint32_t i = 0; i < per_lib_tapes; ++i) {
+      const TapeId t{lib.value() * per_lib_tapes + i};
+      if (system_.cartridge_lost(t)) continue;
+      system_.set_cartridge_health(t, tape::CartridgeHealth::kLost);
+      on_cartridge_health_change(t, tape::CartridgeHealth::kLost);
+    }
+    dr_tag_ = LibraryId{};
+    if (dr_outstanding_.count(lib.value()) == 0) {
+      dr_began_.erase(lib.value());  // nothing to re-replicate
+    }
+    // Pending foreground demand on the lost cartridges fails over to
+    // surviving replicas or completes as unavailable.
+    std::vector<TapeId> pending;
+    for (const auto& [tape_value, extents] : needed_) {
+      if (system_.library_of_tape(TapeId{tape_value}) == lib) {
+        pending.push_back(TapeId{tape_value});
+      }
+    }
+    for (const TapeId tp : pending) complete_tape_unavailable(tp);
+  } else {
+    // Transient: the library's pending demand fails over to surviving
+    // replicas, or parks until the restore.
+    std::vector<TapeId> pending;
+    for (const auto& [tape_value, extents] : needed_) {
+      if (system_.library_of_tape(TapeId{tape_value}) == lib) {
+        pending.push_back(TapeId{tape_value});
+      }
+    }
+    for (const TapeId tp : pending) outage_reroute(tp);
+  }
+  engine_.schedule_in(Seconds{0.0}, [this, lib]() { ensure_progress(lib); });
+}
+
+void RetrievalSimulator::register_restore(LibraryId lib) {
+  OutageWatch& w = outage_watch_[lib.index()];
+  // The window closes at its exact timeline restore time (observation may
+  // lag); downtime conservation across spans and counters depends on it.
+  const Seconds window = system_.restore_library(lib, w.restore_at);
+  outage_stats_.downtime += window;
+  ++outage_stats_.ended;
+  w.awaiting_first_byte = true;
+  w.restored_at = w.restore_at;
+  if (config_.tracer != nullptr) {
+    config_.tracer->record(obs::Span{obs::Track::kOutage, lib.value(),
+                                     obs::Phase::kOutage, w.began,
+                                     w.restore_at, RequestId{}, TapeId{},
+                                     {}});
+    config_.tracer->registry().counter("outage.ended").inc();
+    config_.tracer->registry().gauge("outage.downtime_s")
+        .set(outage_stats_.downtime.count());
+  }
+  // Wake the fleet: repair drives the outage downed, and rescue needed
+  // cartridges stuck in drives whose own hardware is still dead.
+  const std::uint32_t per_lib = plan_->spec().library.drives_per_library;
+  for (std::uint32_t i = 0; i < per_lib; ++i) {
+    const DriveId d{lib.value() * per_lib + i};
+    if (ctx_[d.index()].busy) continue;
+    tape::TapeDrive& drive = system_.drive(d);
+    if (!drive.failed()) continue;
+    if (drive_available(d)) continue;  // repaired; 0-delay dispatch booked
+    if (drive.mounted().valid() &&
+        needed_.count(drive.mounted().value()) != 0) {
+      recover_cartridge(d);
+    }
+  }
+  engine_.schedule_in(Seconds{0.0}, [this, lib]() {
+    kick_idle_drives(lib);
+    ensure_progress(lib);
+    pump_repairs();
+  });
+}
+
+void RetrievalSimulator::outage_reroute(TapeId tp) {
+  const auto it = needed_.find(tp.value());
+  if (it == needed_.end()) return;
+  const std::vector<catalog::TapeExtent> extents = std::move(it->second);
+  needed_.erase(it);
+  // The cartridge cannot be mounted while its library is down; drop its
+  // queue entry (parked survivors re-add it below).
+  auto& queue = lib_queue_[system_.library_of_tape(tp).index()];
+  if (const auto pos = std::find(queue.begin(), queue.end(), tp);
+      pos != queue.end()) {
+    queue.erase(pos);
+  }
+  for (const catalog::TapeExtent& e : extents) outage_divert(tp, e);
+  if (needed_.count(tp.value()) != 0) requeue_if_needed(tp);
+}
+
+void RetrievalSimulator::outage_divert(TapeId tp,
+                                       const catalog::TapeExtent& extent) {
+  if (catalog_.has_replicas()) {
+    // The copy on `tp` stays live (the library will return), so it is not
+    // marked tried — the read just routes around its library for now.
+    const std::vector<LibraryId> down = down_libraries();
+    if (const catalog::ObjectRecord* alt = catalog_.best_replica(
+            extent.object, tried_[extent.object.value()], down)) {
+      ++outage_stats_.failovers;
+      if (config_.tracer != nullptr) {
+        config_.tracer->registry().counter("outage.failovers").inc();
+      }
+      route_extent(*alt);
+      return;
+    }
+  }
+  if (system_.cartridge_lost(tp) ||
+      system_.library_state(system_.library_of_tape(tp)) ==
+          tape::LibraryState::kDestroyed) {
+    // The copy this extent was riding is gone (a disaster struck while it
+    // was in flight); parking would wait for a restore that never comes.
+    // fail_extent retries the surviving copies, parks behind a transient
+    // outage if that is all that is left, or completes unavailable.
+    fail_extent(tp, extent);
+    return;
+  }
+  needed_[tp.value()].push_back(extent);
+  ++outage_stats_.extents_parked;
+  ++extents_parked_this_request_;
+}
+
+std::vector<LibraryId> RetrievalSimulator::down_libraries() const {
+  std::vector<LibraryId> down;
+  if (!outage_active()) return down;
+  for (std::uint32_t l = 0; l < plan_->spec().num_libraries; ++l) {
+    if (!system_.library_up(LibraryId{l})) down.push_back(LibraryId{l});
+  }
+  return down;
+}
+
+void RetrievalSimulator::note_dr_job_done(LibraryId lib) {
+  const auto it = dr_outstanding_.find(lib.value());
+  TAPESIM_ASSERT(it != dr_outstanding_.end() && it->second > 0);
+  if (--it->second > 0) return;
+  dr_outstanding_.erase(it);
+  const auto began = dr_began_.find(lib.value());
+  TAPESIM_ASSERT(began != dr_began_.end());
+  const Seconds took = engine_.now() - began->second;
+  dr_began_.erase(began);
+  outage_stats_.redundancy_recovery.add(took.count());
+  if (config_.tracer != nullptr) {
+    const auto layout = obs::BucketLayout::exponential(0.1, 1e5, 1.3);
+    config_.tracer->registry()
+        .histogram("outage.redundancy_recovery_s", layout)
+        .record(took.count());
+    config_.tracer->marker(obs::Track::kOutage, lib.value(),
+                           "disaster recovery drained");
+  }
+}
+
 void RetrievalSimulator::serve_mounted(DriveId d) {
   if (ctx_[d.index()].repair.has_value() ||
       ctx_[d.index()].scrub.has_value()) {
@@ -496,10 +784,13 @@ void RetrievalSimulator::serve_mounted(DriveId d) {
   }
   if (fault_ != nullptr && !drive_available(d)) {
     // The holder is down; rescue its cartridge so another drive can take
-    // over (no-op if the robot is already on its way).
+    // over (no-op if the robot is already on its way). No rescue while the
+    // whole library is dark — register_restore retries it.
     const tape::TapeDrive& drive = system_.drive(d);
     if (drive.mounted().valid() &&
-        needed_.count(drive.mounted().value()) != 0) {
+        needed_.count(drive.mounted().value()) != 0 &&
+        (!outage_active() ||
+         system_.library_up(system_.library_of_drive(d)))) {
       recover_cartridge(d);
     }
     return;
@@ -735,6 +1026,20 @@ void RetrievalSimulator::extent_done(DriveId d) {
     last_transfer_end_ = engine_.now();
     last_finisher_ = d;
   }
+  if (outage_active()) {
+    // First byte served from a restored library closes its RTO clock.
+    OutageWatch& w = outage_watch_[system_.library_of_drive(d).index()];
+    if (w.awaiting_first_byte) {
+      w.awaiting_first_byte = false;
+      const Seconds ttfb = engine_.now() - w.restored_at;
+      outage_stats_.ttfb.add(ttfb.count());
+      if (config_.tracer != nullptr) {
+        const auto layout = obs::BucketLayout::exponential(0.1, 1e5, 1.3);
+        config_.tracer->registry().histogram("outage.ttfb_s", layout)
+            .record(ttfb.count());
+      }
+    }
+  }
 }
 
 void RetrievalSimulator::next_action(DriveId d) {
@@ -964,13 +1269,41 @@ void RetrievalSimulator::fail_extent(TapeId on,
     if (std::find(tried.begin(), tried.end(), on) == tried.end()) {
       tried.push_back(on);
     }
-    if (const catalog::ObjectRecord* alt =
-            catalog_.best_replica(extent.object, tried)) {
-      route_extent(*alt);
-      return;
+    if (!outage_active()) {
+      if (const catalog::ObjectRecord* alt =
+              catalog_.best_replica(extent.object, tried)) {
+        route_extent(*alt);
+        return;
+      }
+    } else {
+      const std::vector<LibraryId> down = down_libraries();
+      if (const catalog::ObjectRecord* alt =
+              catalog_.best_replica(extent.object, tried, down)) {
+        route_extent(*alt);
+        return;
+      }
+      // Every remaining live copy sits behind a transiently downed library
+      // (destroyed libraries' cartridges are Lost in the catalog and were
+      // skipped above): park the extent on the best of them and serve it
+      // when the library returns.
+      if (const catalog::ObjectRecord* alt =
+              catalog_.best_replica(extent.object, tried)) {
+        park_extent(*alt);
+        return;
+      }
     }
   }
   extent_unavailable(extent);
+}
+
+void RetrievalSimulator::park_extent(const catalog::ObjectRecord& copy) {
+  needed_[copy.tape.value()].push_back(
+      catalog::TapeExtent{copy.object, copy.offset, copy.size});
+  ++outage_stats_.extents_parked;
+  ++extents_parked_this_request_;
+  // Arms the restore watch via ensure_progress (no-op if the cartridge is
+  // stuck in a downed drive — the parked-work scan covers that case).
+  requeue_if_needed(copy.tape);
 }
 
 void RetrievalSimulator::route_extent(const catalog::ObjectRecord& alt) {
@@ -1050,6 +1383,16 @@ void RetrievalSimulator::schedule_repairs_for(TapeId tp) {
       RepairJob job;
       job.object = e.object;
       job.size = e.size;
+      if (dr_tag_.valid()) {
+        // Scheduled from inside register_outage's disaster loss loop: this
+        // copy replaces data destroyed with the site.
+        job.dr_from = dr_tag_;
+        ++outage_stats_.dr_jobs;
+        ++dr_outstanding_[dr_tag_.value()];
+        if (config_.tracer != nullptr) {
+          config_.tracer->registry().counter("outage.dr_jobs").inc();
+        }
+      }
       repair_queue_.push_back(job);
       ++repair_pending_[e.object.value()];
       ++repair_stats_.jobs_scheduled;
@@ -1062,12 +1405,19 @@ void RetrievalSimulator::pump_repairs() {
   if (!copy_engine_active() || repair_queue_.empty()) return;
   const std::uint32_t total = plan_->spec().total_drives();
   for (std::uint32_t dv = 0; dv < total; ++dv) {
-    if (repair_queue_.empty() ||
-        active_repairs_ >= config_.repair.max_concurrent) {
+    if (repair_queue_.empty() || active_repairs_ >= repair_concurrency_cap()) {
       return;
     }
     maybe_start_repair(DriveId{dv});
   }
+}
+
+std::uint32_t RetrievalSimulator::repair_concurrency_cap() const {
+  // While disaster-recovery jobs are outstanding the surge cap applies; it
+  // falls back to the steady-state cap once the last DR job settles.
+  if (dr_outstanding_.empty()) return config_.repair.max_concurrent;
+  return std::max(config_.repair.max_concurrent,
+                  config_.faults.outage.dr_max_concurrent);
 }
 
 bool RetrievalSimulator::repair_claimed(TapeId tp) const {
@@ -1172,6 +1522,17 @@ TapeId RetrievalSimulator::pick_repair_target(DriveId d,
   for (const catalog::ObjectRecord& copy : catalog_.replicas(job.object)) {
     mark(copy);
   }
+  if (outage_active()) {
+    // A destroyed library can never host a copy again; counting it as
+    // covered keeps anti-affinity from wedging disaster-recovery repairs
+    // waiting on a placement that cannot exist.
+    for (std::uint32_t l = 0; l < num_libs; ++l) {
+      if (system_.library_state(LibraryId{l}) ==
+          tape::LibraryState::kDestroyed) {
+        lib_has_copy[l] = true;
+      }
+    }
+  }
   const bool all_covered =
       std::all_of(lib_has_copy.begin(), lib_has_copy.end(),
                   [](bool b) { return b; });
@@ -1226,7 +1587,7 @@ void RetrievalSimulator::maybe_start_repair(DriveId d) {
   // Under overload pressure every idle drive belongs to the foreground;
   // repair jobs keep their queue slots and resume when pressure clears.
   if (overload_pressure_) return;
-  if (active_repairs_ >= config_.repair.max_concurrent) return;
+  if (active_repairs_ >= repair_concurrency_cap()) return;
   if (!switch_eligible(d)) return;
   DriveCtx& ctx = ctx_[d.index()];
   if (ctx.busy || ctx.recovery_pending) return;
@@ -1591,7 +1952,11 @@ void RetrievalSimulator::background_pace(DriveId d, Seconds xfer,
 
 void RetrievalSimulator::repair_pace(DriveId d, Seconds xfer,
                                      std::function<void()> next) {
-  background_pace(d, xfer, config_.repair.bandwidth_fraction,
+  const DriveCtx& ctx = ctx_[d.index()];
+  const bool dr = ctx.repair.has_value() && ctx.repair->dr_from.valid();
+  background_pace(d, xfer,
+                  dr ? config_.faults.outage.dr_bandwidth_fraction
+                     : config_.repair.bandwidth_fraction,
                   std::move(next));
 }
 
@@ -1628,6 +1993,14 @@ void RetrievalSimulator::complete_repair(DriveId d) {
     }
     note_evac_job_done(job.evac_from);
   }
+  if (job.dr_from.valid()) {
+    outage_stats_.dr_bytes += job.size.count();
+    if (config_.tracer != nullptr) {
+      config_.tracer->registry().counter("outage.dr_bytes")
+          .inc(job.size.count());
+    }
+    note_dr_job_done(job.dr_from);
+  }
   release_repair_drive(d);
 }
 
@@ -1642,6 +2015,7 @@ void RetrievalSimulator::abandon_repair(RepairJob job) {
                            "repair abandoned");
   }
   if (job.evac_from.valid()) note_evac_job_done(job.evac_from);
+  if (job.dr_from.valid()) note_dr_job_done(job.dr_from);
 }
 
 void RetrievalSimulator::release_repair_drive(DriveId d) {
@@ -1661,13 +2035,56 @@ void RetrievalSimulator::release_repair_drive(DriveId d) {
   engine_.schedule_in(Seconds{0.0}, [this]() { pump_repairs(); });
 }
 
+Seconds RetrievalSimulator::next_repair_wake() {
+  if (fault_ == nullptr) return kNever;
+  const Seconds now = engine_.now();
+  Seconds wake = kNever;
+  if (outage_active()) {
+    for (std::uint32_t l = 0; l < plan_->spec().num_libraries; ++l) {
+      if (system_.library_state(LibraryId{l}) == tape::LibraryState::kDown) {
+        wake = std::min(wake, outage_watch_[l].restore_at);
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < ctx_.size(); ++i) {
+    const DriveId d{i};
+    if (!system_.drive(d).failed()) continue;
+    if (const auto back = fault_->next_online_at(d, now)) {
+      wake = std::min(wake, *back);
+    }
+  }
+  return wake;
+}
+
 void RetrievalSimulator::drain_repairs() {
   if (!copy_engine_active()) return;
   std::size_t stable = repair_queue_.size() + 1;
   while (active_repairs_ > 0 || !repair_queue_.empty()) {
     pump_repairs();
     engine_.run();
-    if (active_repairs_ == 0 && repair_queue_.size() == stable) break;
+    if (active_repairs_ == 0 && repair_queue_.size() == stable) {
+      // No job could start and the event loop went idle. A transiently
+      // downed drive or library may still be due back — the lazy fault
+      // timelines hold that instant, and nothing else arms a wake for
+      // background copies (the ensure_progress watches only cover
+      // foreground demand). Sleep until it and try again.
+      const Seconds wake = next_repair_wake();
+      if (wake < kNever) {
+        engine_.schedule_at(std::max(wake, engine_.now()),
+                            [this]() { pump_repairs(); });
+        continue;
+      }
+      // The world is static with jobs still queued: every remaining job
+      // has no reachable source or no placeable target, and no future
+      // event changes that. Abandon them so the DR and evacuation
+      // ledgers settle instead of wedging half-open.
+      while (!repair_queue_.empty()) {
+        RepairJob dead = std::move(repair_queue_.front());
+        repair_queue_.pop_front();
+        abandon_repair(std::move(dead));
+      }
+      break;
+    }
     stable = repair_queue_.size();
   }
 }
@@ -2068,6 +2485,7 @@ metrics::RequestOutcome RetrievalSimulator::run_request(
   bytes_unavailable_this_request_ = Bytes{};
   extents_unavailable_this_request_ = 0;
   failovers_this_request_ = 0;
+  extents_parked_this_request_ = 0;
   mount_retries_this_request_ = 0;
   media_retries_this_request_ = 0;
   served_from_replica_this_request_ = 0;
@@ -2080,6 +2498,27 @@ metrics::RequestOutcome RetrievalSimulator::run_request(
   for (auto& dr : drive_req_) dr = DriveReq{};
   for (auto& q : lib_queue_) q.clear();
 
+  // Reconcile every library with its outage timeline before resolution, so
+  // routing below sees up/down/destroyed states current at submit time.
+  if (outage_active()) {
+    for (std::uint32_t l = 0; l < plan_->spec().num_libraries; ++l) {
+      library_operational(LibraryId{l});
+    }
+  }
+  const std::vector<LibraryId> down = down_libraries();
+  auto library_down = [&](LibraryId l) {
+    return std::find(down.begin(), down.end(), l) != down.end();
+  };
+  auto park_resolved = [&](const catalog::ObjectRecord& copy, ObjectId o) {
+    // Every live copy sits behind a transiently downed library: park the
+    // extent on the best of them; it is served after the restore.
+    needed_[copy.tape.value()].push_back(
+        catalog::TapeExtent{o, copy.offset, copy.size});
+    ++remaining_extents_;
+    ++outage_stats_.extents_parked;
+    ++extents_parked_this_request_;
+  };
+
   // Resolve the request through the indexing database.
   Bytes total_bytes{};
   for (const ObjectId o : request.objects) {
@@ -2090,9 +2529,11 @@ metrics::RequestOutcome RetrievalSimulator::run_request(
     const bool retired = catalog_.tape_retired(rec->tape);
     if (lost || retired) {
       // The primary is gone (or preemptively drained); resolve against the
-      // best surviving copy. Catalog health tracks cartridge escalations
-      // and retirements, so dead copies are skipped automatically.
-      if (const catalog::ObjectRecord* alt = catalog_.best_replica(o)) {
+      // best surviving copy in a live library. Catalog health tracks
+      // cartridge escalations and retirements, so dead copies are skipped
+      // automatically.
+      if (const catalog::ObjectRecord* alt =
+              catalog_.best_replica(o, {}, down)) {
         if (retired && !lost) {
           // Without the evacuation this read would have gone to failing
           // media; count the save.
@@ -2108,9 +2549,32 @@ metrics::RequestOutcome RetrievalSimulator::run_request(
         ++remaining_extents_;
         continue;
       }
+      if (!down.empty()) {
+        if (const catalog::ObjectRecord* alt = catalog_.best_replica(o)) {
+          park_resolved(*alt, o);
+          continue;
+        }
+      }
       // Data on a lost cartridge completes immediately as unavailable.
       bytes_unavailable_this_request_ += rec->size;
       ++extents_unavailable_this_request_;
+      continue;
+    }
+    if (library_down(rec->library)) {
+      // Healthy primary behind a downed library: fail over to a copy in a
+      // surviving one, or park on the primary until the restore.
+      if (const catalog::ObjectRecord* alt =
+              catalog_.best_replica(o, {}, down)) {
+        ++outage_stats_.failovers;
+        if (config_.tracer != nullptr) {
+          config_.tracer->registry().counter("outage.failovers").inc();
+        }
+        needed_[alt->tape.value()].push_back(
+            catalog::TapeExtent{o, alt->offset, alt->size});
+        ++remaining_extents_;
+        continue;
+      }
+      park_resolved(*rec, o);
       continue;
     }
     needed_[rec->tape.value()].push_back(
@@ -2219,6 +2683,13 @@ metrics::RequestOutcome RetrievalSimulator::run_request(
   outcome.bytes_unavailable = bytes_unavailable_this_request_;
   outcome.extents_unavailable = extents_unavailable_this_request_;
   outcome.failovers = failovers_this_request_;
+  outcome.extents_parked = extents_parked_this_request_;
+  if (extents_parked_this_request_ > 0) {
+    ++outage_stats_.requests_parked;
+    if (config_.tracer != nullptr) {
+      config_.tracer->registry().counter("outage.requests_parked").inc();
+    }
+  }
   outcome.mount_retries = mount_retries_this_request_;
   outcome.media_retries = media_retries_this_request_;
   outcome.served_from_replica = served_from_replica_this_request_;

@@ -24,6 +24,7 @@
 #include "fault/injector.hpp"
 #include "fault/model.hpp"
 #include "metrics/request_metrics.hpp"
+#include "sched/outage.hpp"
 #include "sched/repair.hpp"
 #include "sched/scrub.hpp"
 #include "sim/engine.hpp"
@@ -175,6 +176,10 @@ class RetrievalSimulator {
   [[nodiscard]] const ScrubStats& scrub_stats() const { return scrub_stats_; }
   /// Running totals of health-driven evacuation.
   [[nodiscard]] const EvacStats& evac_stats() const { return evac_stats_; }
+  /// Running totals of the library-outage reaction (RTO accounting).
+  [[nodiscard]] const OutageStats& outage_stats() const {
+    return outage_stats_;
+  }
 
  private:
   // --- per-request orchestration ---
@@ -239,6 +244,39 @@ class RetrievalSimulator {
   [[nodiscard]] Seconds robot_move_delay(tape::TapeLibrary& lib,
                                          Seconds base);
 
+  // --- library outages (all no-ops unless outage_active()) ---
+  [[nodiscard]] bool outage_active() const {
+    return fault_ != nullptr && config_.faults.outage.enabled();
+  }
+  /// Lazily reconciles library `lib` with its outage timeline (onsets and
+  /// restores are observed at query boundaries, never via standing
+  /// events). True when the library is usable now.
+  bool library_operational(LibraryId lib);
+  /// Registers an onset observed now: downs every idle drive atomically
+  /// (busy drives preempt through their own folded failure interrupts),
+  /// reroutes or parks the library's pending foreground work, and — for a
+  /// disaster — loses every resident cartridge and launches the DR surge.
+  void register_outage(LibraryId lib);
+  /// Registers a restore: closes the outage window (span + downtime),
+  /// repairs outage-downed drives, and redispatches parked work.
+  void register_restore(LibraryId lib);
+  /// Moves `tp`'s pending extents to surviving replicas where possible;
+  /// extents with no live copy outside downed libraries park on `tp`
+  /// (served at restore, lost if the library is destroyed).
+  void outage_reroute(TapeId tp);
+  /// One pending extent of downed-library tape `tp`: fail over to a copy
+  /// in a surviving library, or park it on `tp` until the restore.
+  void outage_divert(TapeId tp, const catalog::TapeExtent& extent);
+  /// Parks one pending extent on `copy`, whose library is transiently
+  /// down: it stays in the demand map and is served after the restore.
+  void park_extent(const catalog::ObjectRecord& copy);
+  /// Library ids currently observed down or destroyed (exclusion list for
+  /// best_replica); empty unless outages are active.
+  [[nodiscard]] std::vector<LibraryId> down_libraries() const;
+  /// One DR job for the disaster of `lib` settled (completed/abandoned);
+  /// samples time-to-full-redundancy when the last one drains.
+  void note_dr_job_done(LibraryId lib);
+
   // --- replica failover (all no-ops when the plan is unreplicated) ---
   /// A copy of `extent`'s object on tape `on` just became undeliverable:
   /// fail over to the best surviving copy, or complete it as unavailable.
@@ -263,6 +301,15 @@ class RetrievalSimulator {
   void schedule_repairs_for(TapeId tp);
   /// Offers queued repair jobs to every free drive, up to the slot cap.
   void pump_repairs();
+  /// Earliest future instant at which a downed drive or library is due
+  /// back, per the lazy fault timelines; kNever when the world is static.
+  /// drain_repairs uses it to keep waiting out transient outages that
+  /// block every queued job (the foreground watches only cover request
+  /// demand, not background copies).
+  [[nodiscard]] Seconds next_repair_wake();
+  /// Concurrent-job cap: the configured repair cap, raised to the DR cap
+  /// while disaster-recovery jobs are outstanding.
+  [[nodiscard]] std::uint32_t repair_concurrency_cap() const;
   /// Starts the first startable queued job on `d`, if `d` is free and its
   /// library has no foreground demand.
   void maybe_start_repair(DriveId d);
@@ -465,6 +512,27 @@ class RetrievalSimulator {
   std::unordered_map<std::uint32_t, std::uint32_t> evac_outstanding_;
   EvacStats evac_stats_;
   std::uint32_t latent_hits_this_request_ = 0;
+
+  // --- library outage state (all empty/zero when outages are disabled) ---
+  /// Scheduler-side view of one library's outage timeline. The tape
+  /// system's LibraryState is authoritative for up/down/destroyed; this
+  /// adds the window bounds and the RTO sampling flags.
+  struct OutageWatch {
+    Seconds began{};       ///< Onset of the currently observed outage.
+    Seconds restore_at{};  ///< Exact timeline restore time (inf = never).
+    bool awaiting_first_byte = false;  ///< TTFB sample armed post-restore.
+    Seconds restored_at{};             ///< When the library last restored.
+  };
+  std::vector<OutageWatch> outage_watch_;
+  OutageStats outage_stats_;
+  /// Outstanding DR copy jobs and disaster onset per destroyed library
+  /// value; an entry drains to removal when its last job settles.
+  std::unordered_map<std::uint32_t, std::uint32_t> dr_outstanding_;
+  std::unordered_map<std::uint32_t, Seconds> dr_began_;
+  /// Library whose disaster is currently scheduling repairs (valid only
+  /// inside register_outage's loss loop; tags jobs as DR traffic).
+  LibraryId dr_tag_{};
+  std::uint32_t extents_parked_this_request_ = 0;
 };
 
 }  // namespace tapesim::sched

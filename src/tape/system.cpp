@@ -13,6 +13,15 @@ const char* to_string(CartridgeHealth h) {
   return "?";
 }
 
+const char* to_string(LibraryState s) {
+  switch (s) {
+    case LibraryState::kUp: return "up";
+    case LibraryState::kDown: return "down";
+    case LibraryState::kDestroyed: return "destroyed";
+  }
+  return "?";
+}
+
 TapeSystem::TapeSystem(const SystemSpec& spec, sim::Engine& engine)
     : spec_(spec) {
   spec_.validate();
@@ -26,6 +35,9 @@ TapeSystem::TapeSystem(const SystemSpec& spec, sim::Engine& engine)
   tape_on_drive_.assign(spec_.total_tapes(), DriveId{});
   cartridge_health_.assign(spec_.total_tapes(), CartridgeHealth::kGood);
   mount_counts_.assign(spec_.total_tapes(), 0);
+  library_states_.assign(spec_.num_libraries, LibraryState::kUp);
+  library_down_since_.assign(spec_.num_libraries, Seconds{});
+  library_downtime_.assign(spec_.num_libraries, Seconds{});
 }
 
 TapeLibrary& TapeSystem::library(LibraryId id) {
@@ -93,6 +105,36 @@ void TapeSystem::setup_mount(TapeId t, DriveId d) {
 CartridgeHealth TapeSystem::cartridge_health(TapeId t) const {
   TAPESIM_ASSERT(t.valid() && t.index() < cartridge_health_.size());
   return cartridge_health_[t.index()];
+}
+
+LibraryState TapeSystem::library_state(LibraryId lib) const {
+  TAPESIM_ASSERT(lib.valid() && lib.index() < library_states_.size());
+  return library_states_[lib.index()];
+}
+
+void TapeSystem::fail_library(LibraryId lib, LibraryState to, Seconds at) {
+  TAPESIM_ASSERT(lib.valid() && lib.index() < library_states_.size());
+  TAPESIM_ASSERT_MSG(to != LibraryState::kUp, "fail_library cannot restore");
+  TAPESIM_ASSERT_MSG(library_states_[lib.index()] == LibraryState::kUp,
+                     "library outage registered twice");
+  library_states_[lib.index()] = to;
+  library_down_since_[lib.index()] = at;
+}
+
+Seconds TapeSystem::restore_library(LibraryId lib, Seconds at) {
+  TAPESIM_ASSERT(lib.valid() && lib.index() < library_states_.size());
+  TAPESIM_ASSERT_MSG(library_states_[lib.index()] == LibraryState::kDown,
+                     "only transiently downed libraries restore");
+  const Seconds window = at - library_down_since_[lib.index()];
+  TAPESIM_ASSERT_MSG(window.count() >= 0.0, "outage window runs backwards");
+  library_states_[lib.index()] = LibraryState::kUp;
+  library_downtime_[lib.index()] += window;
+  return window;
+}
+
+Seconds TapeSystem::library_downtime(LibraryId lib) const {
+  TAPESIM_ASSERT(lib.valid() && lib.index() < library_downtime_.size());
+  return library_downtime_[lib.index()];
 }
 
 void TapeSystem::set_cartridge_health(TapeId t, CartridgeHealth h) {

@@ -26,6 +26,18 @@ enum class CartridgeHealth : std::uint8_t {
 
 [[nodiscard]] const char* to_string(CartridgeHealth h);
 
+/// Operational state of a whole library (the correlated fault domain: one
+/// outage downs every drive, the robot, and access to every resident
+/// cartridge atomically). kDown is transient — the library returns at its
+/// restore time; kDestroyed is a permanent site disaster.
+enum class LibraryState : std::uint8_t {
+  kUp,
+  kDown,
+  kDestroyed,
+};
+
+[[nodiscard]] const char* to_string(LibraryState s);
+
 /// Observer for cartridge health escalations; the default is a no-op.
 class CartridgeObserver {
  public:
@@ -96,6 +108,23 @@ class TapeSystem {
     cartridge_observer_ = observer;
   }
 
+  // --- library operational state (driven by the fault model) ---
+
+  [[nodiscard]] LibraryState library_state(LibraryId lib) const;
+  [[nodiscard]] bool library_up(LibraryId lib) const {
+    return library_state(lib) == LibraryState::kUp;
+  }
+  /// Marks `lib` down (transient) or destroyed at `at`. Only an up library
+  /// can fail; partial-time accounting of in-flight drive work stays with
+  /// the scheduler (TapeDrive::fail/repair).
+  void fail_library(LibraryId lib, LibraryState to, Seconds at);
+  /// Brings a transiently downed library back at `at`; returns the length
+  /// of the outage window just closed and accumulates it into
+  /// library_downtime(). Destroyed libraries never restore.
+  Seconds restore_library(LibraryId lib, Seconds at);
+  /// Total downtime of closed outage windows of `lib` so far.
+  [[nodiscard]] Seconds library_downtime(LibraryId lib) const;
+
  private:
   SystemSpec spec_;
   std::vector<TapeLibrary> libraries_;
@@ -105,6 +134,12 @@ class TapeSystem {
   std::vector<CartridgeHealth> cartridge_health_;
   /// Indexed by global tape id; lifetime mount count.
   std::vector<std::uint32_t> mount_counts_;
+  /// Indexed by library id.
+  std::vector<LibraryState> library_states_;
+  /// Indexed by library id; onset of the currently open outage window.
+  std::vector<Seconds> library_down_since_;
+  /// Indexed by library id; accumulated closed-window downtime.
+  std::vector<Seconds> library_downtime_;
   CartridgeObserver* cartridge_observer_ = nullptr;
 };
 

@@ -359,6 +359,134 @@ TEST(Injector, LatentHitPositionLiesWithinTheTransfer) {
   }
 }
 
+TEST(Injector, LibraryOutageTimelineAlternates) {
+  FaultConfig c;
+  c.outage.library_mtbf = Seconds{5000.0};
+  c.outage.library_mttr = Seconds{600.0};
+  FaultInjector inj(c, small_spec());
+  const LibraryId lib{0};
+  EXPECT_TRUE(inj.library_up(lib, Seconds{0.0}));
+  // Probe forward until the first outage materialises.
+  Seconds t{0.0};
+  while (inj.library_up(lib, t) && t.count() < 1e7) t += Seconds{50.0};
+  ASSERT_LT(t.count(), 1e7) << "no outage in 1e7 s at MTBF 5e3";
+  EXPECT_FALSE(inj.outage_is_disaster(lib, t));  // disaster_fraction = 0
+  const Seconds began = inj.outage_started_at(lib, t);
+  EXPECT_LE(began.count(), t.count());
+  const auto back = inj.library_up_at(lib, t);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_GT(back->count(), began.count());
+  EXPECT_TRUE(inj.library_up(lib, *back));
+}
+
+TEST(Injector, LibraryOutageFoldsIntoDriveQueries) {
+  // A library outage over healthy drive hardware downs the drive (the
+  // scheduler reuses its drive-fault machinery), but the drive's *own*
+  // timeline stays online and the outage is not permanent.
+  FaultConfig c;
+  c.outage.library_mtbf = Seconds{5000.0};
+  c.outage.library_mttr = Seconds{600.0};
+  FaultInjector inj(c, small_spec());
+  const LibraryId lib{1};
+  Seconds t{0.0};
+  while (inj.library_up(lib, t) && t.count() < 1e7) t += Seconds{50.0};
+  ASSERT_LT(t.count(), 1e7);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const DriveId d{lib.value() * 4 + i};
+    EXPECT_FALSE(inj.drive_online(d, t));
+    EXPECT_TRUE(inj.drive_timeline_online(d, t));
+    EXPECT_FALSE(inj.outage_is_permanent(d, t));
+    const auto back = inj.next_online_at(d, t);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_DOUBLE_EQ(back->count(), inj.library_up_at(lib, t)->count());
+  }
+}
+
+TEST(Injector, NextOnlineAtDoesNotAdvanceSharedTimelines) {
+  // Regression: next_online_at previews future renewals and must do so on
+  // timeline *copies*. It used to advance the real library timeline past
+  // `now`, after which outage_is_permanent saw the drive as up and hit the
+  // "drive is not in an outage" invariant.
+  FaultConfig c;
+  c.outage.library_mtbf = Seconds{5000.0};
+  c.outage.library_mttr = Seconds{600.0};
+  FaultInjector inj(c, small_spec());
+  const LibraryId lib{0};
+  Seconds t{0.0};
+  while (inj.library_up(lib, t) && t.count() < 1e7) t += Seconds{50.0};
+  ASSERT_LT(t.count(), 1e7);
+  const DriveId d{0};
+  const auto back = inj.next_online_at(d, t);
+  ASSERT_TRUE(back.has_value());
+  // The preview must not have consumed the outage window: the drive is
+  // still down now, still non-permanent, and a second preview agrees.
+  EXPECT_FALSE(inj.drive_online(d, t));
+  EXPECT_FALSE(inj.outage_is_permanent(d, t));
+  EXPECT_FALSE(inj.library_up(lib, t));
+  EXPECT_DOUBLE_EQ(inj.next_online_at(d, t)->count(), back->count());
+}
+
+TEST(Injector, DisasterFractionOneNeverRestores) {
+  FaultConfig c;
+  c.outage.library_mtbf = Seconds{5000.0};
+  c.outage.disaster_fraction = 1.0;
+  FaultInjector inj(c, small_spec());
+  const LibraryId lib{0};
+  Seconds t{0.0};
+  while (inj.library_up(lib, t) && t.count() < 1e7) t += Seconds{50.0};
+  ASSERT_LT(t.count(), 1e7);
+  EXPECT_TRUE(inj.outage_is_disaster(lib, t));
+  EXPECT_FALSE(inj.library_up_at(lib, t).has_value());
+  EXPECT_TRUE(inj.outage_is_permanent(DriveId{0}, t));
+  EXPECT_FALSE(inj.library_up(lib, Seconds{1e12}));
+}
+
+TEST(Injector, OutageTimelinesAreIndependentPerLibrary) {
+  FaultConfig c;
+  c.outage.library_mtbf = Seconds{5000.0};
+  c.outage.library_mttr = Seconds{600.0};
+  FaultInjector fwd(c, small_spec());
+  FaultInjector rev(c, small_spec());
+  auto first_outage = [](FaultInjector& inj, LibraryId lib) {
+    Seconds t{0.0};
+    while (inj.library_up(lib, t) && t.count() < 1e7) t += Seconds{50.0};
+    return inj.outage_started_at(lib, t);
+  };
+  const Seconds a0 = first_outage(fwd, LibraryId{0});
+  const Seconds a1 = first_outage(fwd, LibraryId{1});
+  EXPECT_NE(a0.count(), a1.count());  // distinct substreams
+  // Query order does not matter.
+  EXPECT_DOUBLE_EQ(first_outage(rev, LibraryId{1}).count(), a1.count());
+  EXPECT_DOUBLE_EQ(first_outage(rev, LibraryId{0}).count(), a0.count());
+}
+
+TEST(Injector, PerLibraryStreamsSurviveLazyFleetGrowth) {
+  // Regression: robot-jam and outage streams are addressed by library id
+  // and must be identical whether the library existed at construction or
+  // was materialised lazily on first query (DR re-replication can route
+  // work to libraries beyond the initial fleet).
+  tape::SystemSpec big = small_spec();
+  big.num_libraries = 4;
+  FaultConfig c;
+  c.robot_jam_prob = 0.3;
+  c.robot_jam_clear = Seconds{45.0};
+  c.outage.library_mtbf = Seconds{5000.0};
+  c.outage.library_mttr = Seconds{600.0};
+  FaultInjector small(c, small_spec());  // 2 libraries at construction
+  FaultInjector large(c, big);           // 4 libraries at construction
+  const LibraryId beyond{3};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(small.robot_jam_delay(beyond).count(),
+                     large.robot_jam_delay(beyond).count())
+        << "draw " << i;
+  }
+  for (double at : {1000.0, 20000.0, 40000.0, 80000.0}) {
+    EXPECT_EQ(small.library_up(beyond, Seconds{at}),
+              large.library_up(beyond, Seconds{at}))
+        << "t=" << at;
+  }
+}
+
 TEST(InjectorDeath, InvalidConfigAborts) {
   FaultConfig c;
   c.permanent_fraction = 2.0;

@@ -122,6 +122,50 @@ TEST(FaultConfig, LatentDecayEnablesAndValidates) {
   EXPECT_TRUE(c.try_validate().ok());
 }
 
+TEST(OutageConfig, EnablesViaLibraryMtbfAndValidates) {
+  FaultConfig c;
+  EXPECT_FALSE(c.outage.enabled());
+  c.outage.library_mtbf = Seconds{100000.0};
+  EXPECT_TRUE(c.outage.enabled());
+  EXPECT_TRUE(c.enabled());  // outages alone arm the injector
+  EXPECT_TRUE(c.try_validate().ok());
+}
+
+TEST(OutageConfig, RejectsBadOutageKnobs) {
+  FaultConfig c;
+  c.outage.library_mtbf = Seconds{-1.0};
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.outage.library_mtbf = Seconds{100000.0};
+  c.outage.library_mttr = Seconds{0.0};
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.outage.disaster_fraction = -0.1;
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.outage.disaster_fraction = 1.1;
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.outage.dr_bandwidth_fraction = 0.0;
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.outage.dr_bandwidth_fraction = 1.5;
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.outage.dr_max_concurrent = 0;
+  EXPECT_FALSE(c.try_validate().ok());
+}
+
+TEST(OutageConfig, DisabledConfigToleratesIdleDrKnobs) {
+  // DR knobs only matter once outages are enabled, but they are still
+  // validated eagerly: a config file typo should fail fast either way.
+  OutageConfig o;
+  EXPECT_TRUE(o.try_validate().ok());
+  o.disaster_fraction = 1.0;  // boundary values are legal
+  o.dr_bandwidth_fraction = 1.0;
+  EXPECT_TRUE(o.try_validate().ok());
+}
+
 TEST(FaultConfig, NestedBackoffFailuresSurface) {
   FaultConfig c;
   c.mount_retry.multiplier = 0.0;

@@ -18,6 +18,7 @@
 // arrival schedule, deadlines, and overload-pressure toggles.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "exp/experiment.hpp"
@@ -93,6 +94,14 @@ sched::SimulatorConfig chaos_config(Rng& rng, obs::Tracer* tracer) {
                                        rng.uniform_below(3));
     cfg.scrub.segment = Bytes{(1 + rng.uniform_below(4)) << 30};
   }
+  if (rng.uniform() < 0.4) {
+    // Library-level fault domains: correlated outages, occasionally a
+    // permanent site disaster (the plan is unreplicated, so disasters
+    // surface as unavailable bytes rather than DR traffic).
+    cfg.faults.outage.library_mtbf = Seconds{rng.uniform(4e4, 2e5)};
+    cfg.faults.outage.library_mttr = Seconds{rng.uniform(1000.0, 8000.0)};
+    cfg.faults.outage.disaster_fraction = rng.uniform() < 0.3 ? 0.15 : 0.0;
+  }
   if (rng.uniform() < 0.5) {
     cfg.evacuation.enabled = true;
     cfg.evacuation.threshold = rng.uniform(0.3, 0.8);
@@ -147,6 +156,8 @@ TEST_P(ChaosSoak, InvariantsSurviveRandomizedSchedules) {
   };
 
   Seconds prev_now{};
+  std::uint64_t parked_extents_sum = 0;
+  std::uint64_t parked_requests_sum = 0;
   for (const auto& arrival : arrivals) {
     if (sim.engine().now() < arrival.time) {
       sim.engine().schedule_at(arrival.time, [] {});
@@ -200,6 +211,9 @@ TEST_P(ChaosSoak, InvariantsSurviveRandomizedSchedules) {
         FAIL() << "the bare simulator never sheds";
     }
 
+    parked_extents_sum += o.extents_parked;
+    if (o.extents_parked > 0) ++parked_requests_sum;
+
     check_mount_exclusivity();
   }
 
@@ -229,6 +243,29 @@ TEST_P(ChaosSoak, InvariantsSurviveRandomizedSchedules) {
   EXPECT_EQ(reg.counter("evac.objects_moved").value(), evac.objects_moved);
   EXPECT_EQ(reg.counter("evac.preempted_unavailables").value(),
             evac.preempted_unavailables);
+
+  // Outage ledger: the registry, the scheduler's stats, and the
+  // per-request outcomes all agree exactly — every parked extent was
+  // reported to exactly one request, and the counters form a consistent
+  // onset/close/disaster triangle.
+  const sched::OutageStats& outage = sim.outage_stats();
+  EXPECT_EQ(reg.counter("outage.started").value(), outage.started);
+  EXPECT_EQ(reg.counter("outage.ended").value(), outage.ended);
+  EXPECT_EQ(reg.counter("outage.disasters").value(), outage.disasters);
+  EXPECT_EQ(reg.counter("outage.failovers").value(), outage.failovers);
+  EXPECT_EQ(reg.counter("outage.requests_parked").value(),
+            outage.requests_parked);
+  EXPECT_EQ(fc.library_outages, outage.started);
+  EXPECT_EQ(fc.library_disasters, outage.disasters);
+  EXPECT_EQ(parked_extents_sum, outage.extents_parked);
+  EXPECT_EQ(parked_requests_sum, outage.requests_parked);
+  EXPECT_LE(outage.ended + outage.disasters, outage.started);
+  if (cfg.faults.outage.enabled()) {
+    EXPECT_GE(reg.gauge("outage.downtime_s").value(), 0.0);
+  } else {
+    EXPECT_EQ(outage.started, 0u);
+    EXPECT_EQ(outage.extents_parked, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoak,

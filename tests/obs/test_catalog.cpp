@@ -75,6 +75,24 @@ TEST(Catalog, UnitSuffixesMatchDeclaredUnits) {
   }
 }
 
+TEST(Catalog, OutageInstrumentsAreCatalogedWithTheRightKinds) {
+  const auto expect_kind = [](const char* name, const char* kind) {
+    const MetricInfo* info = find_metric(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_EQ(info->kind, kind) << name;
+    EXPECT_TRUE(is_valid_metric_name(info->name)) << name;
+  };
+  for (const char* counter :
+       {"outage.started", "outage.ended", "outage.disasters",
+        "outage.failovers", "outage.requests_parked", "outage.dr_jobs",
+        "outage.dr_bytes"}) {
+    expect_kind(counter, "counter");
+  }
+  expect_kind("outage.downtime_s", "gauge");
+  expect_kind("outage.ttfb_s", "histogram");
+  expect_kind("outage.redundancy_recovery_s", "histogram");
+}
+
 TEST(Catalog, FindMetricLocatesEveryEntryAndRejectsUnknowns) {
   for (const MetricInfo& m : metric_catalog()) {
     const MetricInfo* found = find_metric(m.name);
@@ -105,6 +123,10 @@ TEST(Catalog, LiveRunRegistersOnlyCatalogedMetrics) {
   config.workload.min_object_size = Bytes{100ULL * 1000 * 1000};
   config.workload.max_object_size = 1_GB;
   config.simulated_requests = 40;
+  // Arm library outages so the outage.* instruments register too; the
+  // MTBF is sized to land a couple of windows inside the run's horizon.
+  config.sim.faults.outage.library_mtbf = Seconds{20000.0};
+  config.sim.faults.outage.library_mttr = Seconds{500.0};
 
   const exp::Experiment experiment(config);
   const auto schemes = exp::make_standard_schemes(1);

@@ -10,7 +10,7 @@
 //
 // Usage: trace_inspect FILE.jsonl [--track NAME] [--lanes]
 //   --track NAME  restrict to one track
-//                 (request|drive|robot|engine|repair|overload|scrub)
+//                 (request|drive|robot|engine|repair|overload|scrub|outage)
 //   --lanes       additionally break each track down per lane
 #include <algorithm>
 #include <cstdint>
@@ -48,7 +48,8 @@ int fail(const std::string& message) {
 // obs::Track enum; unknown tracks from future writers still print, last).
 const std::vector<std::string>& known_tracks() {
   static const std::vector<std::string> tracks = {
-      "request", "drive", "robot", "engine", "repair", "overload", "scrub"};
+      "request", "drive",    "robot", "engine",
+      "repair",  "overload", "scrub", "outage"};
   return tracks;
 }
 
