@@ -16,7 +16,12 @@
 // batch run is traced and the span lanes are reconciled against the
 // simulator's own DriveStats, including the fault lane vs repair downtime
 // (the conservation check of the observability PR, extended to failures).
+#include <map>
+#include <sstream>
+
 #include "figure_common.hpp"
+#include "obs/perf.hpp"
+#include "obs/profiler.hpp"
 
 namespace {
 
@@ -55,7 +60,15 @@ int main(int argc, char** argv) {
       "mean response (s) and fraction unavailable vs drive failure rate "
       "(per drive-hour; MTTR 15 min, 20% of faults permanent)");
 
-  const double rates[] = {0.0, 0.02, 0.05, 0.1, 0.2};
+  const obs::WallTimer total_timer;
+  obs::Profiler perf_profiler{64};
+  obs::Profiler* const perf =
+      flags.perf_out.empty() ? nullptr : &perf_profiler;
+
+  const std::vector<double> rates = flags.fast
+                                        ? std::vector<double>{0.0, 0.05, 0.2}
+                                        : std::vector<double>{0.0, 0.02, 0.05,
+                                                              0.1, 0.2};
 
   // Mean response is reported over *served* requests: a request whose data
   // is unavailable completes almost instantly, so the raw mean would fall
@@ -67,6 +80,7 @@ int main(int argc, char** argv) {
   // Per-scheme series for the qualitative trend check below.
   std::vector<std::vector<double>> resp(3);
   std::vector<std::vector<double>> unavail(3);
+  std::map<std::string, double> kpis;
 
   for (const double rate : rates) {
     exp::ExperimentConfig config;
@@ -80,9 +94,9 @@ int main(int argc, char** argv) {
     const auto schemes = exp::make_standard_schemes();
 
     const exp::SchemeRun runs[] = {
-        experiment.run(*schemes.parallel_batch),
-        experiment.run(*schemes.object_probability),
-        experiment.run(*schemes.cluster_probability)};
+        experiment.run(*schemes.parallel_batch, perf),
+        experiment.run(*schemes.object_probability, perf),
+        experiment.run(*schemes.cluster_probability, perf)};
     for (std::size_t i = 0; i < 3; ++i) {
       resp[i].push_back(runs[i].metrics.mean_served_response().count());
       unavail[i].push_back(runs[i].metrics.fraction_unavailable());
@@ -92,6 +106,18 @@ int main(int argc, char** argv) {
               unavail[1].back(), resp[2].back(), unavail[2].back(),
               pbp.total_failovers(),
               pbp.total_mount_retries() + pbp.total_media_retries());
+
+    // Every cell is deterministic; recording the full sweep makes the
+    // perf-compare gate an exact behavioral diff.
+    std::ostringstream key;
+    key << "rate" << rate << ".";
+    const char* tags[] = {"pbp", "opp", "cpp"};
+    for (std::size_t i = 0; i < 3; ++i) {
+      kpis[key.str() + tags[i] + "_resp_s"] = resp[i].back();
+      kpis[key.str() + tags[i] + "_unavail"] = unavail[i].back();
+    }
+    kpis[key.str() + "pbp_failovers"] =
+        static_cast<double>(pbp.total_failovers());
   }
 
   benchfig::print_table(table, flags.out);
@@ -153,6 +179,26 @@ int main(int argc, char** argv) {
               << max_delta << " s ("
               << (max_delta <= 1e-6 ? "OK" : "FAIL") << ")\n";
     trace_opts.finish(*tracer);
+  }
+
+  if (!flags.perf_out.empty()) {
+    const obs::ProfileReport profile = perf_profiler.report();
+    obs::PerfReport report;
+    report.bench = "fault_availability";
+    report.wall_s = total_timer.elapsed_s();
+    report.events_dispatched = profile.dispatches;
+    report.events_per_s = profile.events_per_wall_s();
+    report.peak_rss_bytes = obs::peak_rss_bytes();
+    report.kpis = kpis;
+    report.kpis["fast"] = flags.fast ? 1.0 : 0.0;
+    std::ostringstream profile_os;
+    perf_profiler.write_json(profile_os);
+    report.profile_json = profile_os.str();
+    if (!report.save(flags.perf_out)) {
+      std::cerr << "cannot write perf report to " << flags.perf_out << "\n";
+      return 2;
+    }
+    std::cout << "(perf report written to " << flags.perf_out << ")\n";
   }
   return ok ? 0 : 1;
 }

@@ -17,9 +17,14 @@
 //
 // The workload is scaled down (6k objects vs the paper's 30k) so that r = 3
 // still fits the default 4-library system at 90% utilization.
+#include <map>
+#include <sstream>
+
 #include "core/parallel_batch.hpp"
 #include "core/replication.hpp"
 #include "figure_common.hpp"
+#include "obs/perf.hpp"
+#include "obs/profiler.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -75,7 +80,8 @@ struct Bench {
     return constraints;
   }
 
-  PointResult run(std::uint32_t replicas, double rate) const {
+  PointResult run(std::uint32_t replicas, double rate,
+                  obs::Profiler* profiler = nullptr) const {
     core::ParallelBatchParams pbp;
     const core::ParallelBatchPlacement inner(pbp);
     core::ReplicationPolicy::Params rp;
@@ -99,6 +105,7 @@ struct Bench {
     }
 
     sched::RetrievalSimulator simulator(plan, sim);
+    if (profiler != nullptr) profiler->attach(simulator.engine());
     Rng rng{seed};
     Rng sample_rng = rng.fork(0x5251);  // Experiment's sampling substream
     const workload::RequestSampler sampler(workload);
@@ -108,6 +115,7 @@ struct Bench {
       result.metrics.add(simulator.run_request(sampler.sample(sample_rng)));
     }
     simulator.drain_repairs();
+    if (profiler != nullptr) profiler->detach();
     result.repair = simulator.repair_stats();
     result.backlog = simulator.repair_backlog();
     result.factor_checked = replicas > 1 && result.backlog == 0 &&
@@ -175,15 +183,29 @@ int main(int argc, char** argv) {
       "unavailable fraction, served response, and repair overhead vs "
       "replication factor x media-error rate (parallel batch placement)");
 
+  const obs::WallTimer total_timer;
+  obs::Profiler perf_profiler{64};
+  obs::Profiler* const perf =
+      flags.perf_out.empty() ? nullptr : &perf_profiler;
+
   const Bench bench(flags.seed);
-  const std::uint32_t factors[] = {1, 2, 3};
+  // --fast drops r = 3 (the most expensive placement and the heaviest
+  // repair traffic) and the harshest rate (where the r = 2 repair queue
+  // saturates and self-check 2 cannot run); both self-checks only need
+  // the r = 1 vs r = 2 columns at a nonzero drainable rate.
+  const std::vector<std::uint32_t> factors =
+      flags.fast ? std::vector<std::uint32_t>{1, 2}
+                 : std::vector<std::uint32_t>{1, 2, 3};
   // Rates are per GB streamed; the default workload's objects average a
   // few GB, so these give per-read error odds in the ~0.5–2% range —
   // enough for popular cartridges to degrade and occasionally go Lost
   // over the request stream without collapsing the whole system (at
   // ~0.05/GB the degraded-multiplier feedback loses nearly every tape and
   // extra replicas only amplify the error-generating read traffic).
-  const double rates[] = {0.0, 0.002, 0.005};
+  const std::vector<double> rates = flags.fast
+                                        ? std::vector<double>{0.0, 0.002}
+                                        : std::vector<double>{0.0, 0.002,
+                                                              0.005};
 
   Table table({"errors/GB", "r", "unavail", "resp served (s)",
                "replica reads", "repairs", "repair GB", "overhead",
@@ -193,10 +215,11 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> unavail(std::size(rates));
   bool factor_ok = true;
   std::size_t factor_points = 0;
+  std::map<std::string, double> kpis;
 
   for (std::size_t ri = 0; ri < std::size(rates); ++ri) {
     for (const std::uint32_t r : factors) {
-      const PointResult point = bench.run(r, rates[ri]);
+      const PointResult point = bench.run(r, rates[ri], perf);
       unavail[ri].push_back(point.metrics.fraction_unavailable());
       factor_ok = factor_ok && point.factor_restored;
       if (point.factor_checked && rates[ri] > 0.0) ++factor_points;
@@ -211,6 +234,17 @@ int main(int argc, char** argv) {
                 point.repair.jobs_completed, repair_gb,
                 requested_gb > 0.0 ? repair_gb / requested_gb : 0.0,
                 point.backlog);
+
+      // Every cell is deterministic; recording the full sweep makes the
+      // perf-compare gate an exact behavioral diff.
+      std::ostringstream key;
+      key << "rate" << rates[ri] << ".r" << r << ".";
+      kpis[key.str() + "unavail"] = unavail[ri].back();
+      kpis[key.str() + "resp_s"] =
+          point.metrics.mean_served_response().count();
+      kpis[key.str() + "repair_gb"] = repair_gb;
+      kpis[key.str() + "replica_reads"] =
+          static_cast<double>(point.metrics.total_served_from_replica());
     }
   }
 
@@ -246,5 +280,25 @@ int main(int argc, char** argv) {
             << factor_points
             << " drained sweep points; degraded-but-surviving cartridges "
                "restored to target factor)\n";
+
+  if (!flags.perf_out.empty()) {
+    const obs::ProfileReport profile = perf_profiler.report();
+    obs::PerfReport report;
+    report.bench = "replication_availability";
+    report.wall_s = total_timer.elapsed_s();
+    report.events_dispatched = profile.dispatches;
+    report.events_per_s = profile.events_per_wall_s();
+    report.peak_rss_bytes = obs::peak_rss_bytes();
+    report.kpis = kpis;
+    report.kpis["fast"] = flags.fast ? 1.0 : 0.0;
+    std::ostringstream profile_os;
+    perf_profiler.write_json(profile_os);
+    report.profile_json = profile_os.str();
+    if (!report.save(flags.perf_out)) {
+      std::cerr << "cannot write perf report to " << flags.perf_out << "\n";
+      return 2;
+    }
+    std::cout << "(perf report written to " << flags.perf_out << ")\n";
+  }
   return (redundancy_ok && factor_ok) ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include "core/cluster_probability.hpp"
 #include "core/object_probability.hpp"
 #include "core/parallel_batch.hpp"
+#include "obs/profiler.hpp"
 #include "util/rng.hpp"
 
 namespace tapesim::exp {
@@ -28,7 +29,8 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
   clusters_->validate(*workload_);
 }
 
-SchemeRun Experiment::run(const core::PlacementScheme& scheme) const {
+SchemeRun Experiment::run(const core::PlacementScheme& scheme,
+                          obs::Profiler* profiler) const {
   core::PlacementContext context;
   context.workload = workload_.get();
   context.spec = &config_.spec;
@@ -36,6 +38,7 @@ SchemeRun Experiment::run(const core::PlacementScheme& scheme) const {
 
   const core::PlacementPlan plan = scheme.place(context);
   sched::RetrievalSimulator simulator(plan, config_.sim);
+  if (profiler != nullptr) profiler->attach(simulator.engine());
 
   Rng rng{config_.seed};
   Rng sample_rng = rng.fork(0x5251);  // request sampling substream
@@ -49,6 +52,7 @@ SchemeRun Experiment::run(const core::PlacementScheme& scheme) const {
     result.metrics.add(simulator.run_request(id));
   }
   result.total_switches = simulator.total_switches();
+  if (profiler != nullptr) profiler->detach();
   return result;
 }
 

@@ -21,6 +21,10 @@
 #include "tape/specs.hpp"
 #include "workload/generator.hpp"
 
+namespace tapesim::obs {
+class Profiler;
+}  // namespace tapesim::obs
+
 namespace tapesim::exp {
 
 struct ExperimentConfig {
@@ -66,8 +70,11 @@ class Experiment {
   }
 
   /// Places with `scheme`, simulates the sampled request stream, and
-  /// aggregates. Deterministic given the config.
-  [[nodiscard]] SchemeRun run(const core::PlacementScheme& scheme) const;
+  /// aggregates. Deterministic given the config. An optional profiler is
+  /// attached to the simulation engine for the duration of the run (the
+  /// engine reads no clocks when it is null).
+  [[nodiscard]] SchemeRun run(const core::PlacementScheme& scheme,
+                              obs::Profiler* profiler = nullptr) const;
 
   /// Same pipeline with `tracer` attached for the duration of the run:
   /// device spans, request spans, and kernel metrics land in the tracer;

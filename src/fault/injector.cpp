@@ -28,16 +28,21 @@ FaultInjector::FaultInjector(const FaultConfig& config,
   robot_base_ = root.split("robot");
   const Rng decay_base = root.split("decay");
   outage_base_ = root.split("outage");
+  const Rng failslow_base = root.split("failslow");
+  robotslow_base_ = root.split("robotslow");
   drives_per_library_ = spec.library.drives_per_library;
 
   const std::uint32_t num_drives = spec.total_drives();
   const std::uint32_t num_tapes = spec.total_tapes();
   drives_.reserve(num_drives);
   mount_rngs_.reserve(num_drives);
+  slow_drives_.reserve(num_drives);
   for (std::uint32_t d = 0; d < num_drives; ++d) {
     drives_.push_back(RenewalTimeline{drive_base.fork(d), kNever, kNever,
                                       /*permanent=*/false, /*started=*/false});
     mount_rngs_.push_back(mount_base.fork(d));
+    slow_drives_.push_back(SlowTimeline{failslow_base.fork(d), kNever, kNever,
+                                        /*severity=*/1.0, /*started=*/false});
   }
   media_rngs_.reserve(num_tapes);
   decay_.reserve(num_tapes);
@@ -62,6 +67,11 @@ void FaultInjector::ensure_library(std::uint32_t index) {
     outages_.push_back(RenewalTimeline{
         outage_base_.fork(static_cast<std::uint64_t>(outages_.size())), kNever,
         kNever, /*permanent=*/false, /*started=*/false});
+  }
+  while (slow_robots_.size() <= index) {
+    slow_robots_.push_back(SlowTimeline{
+        robotslow_base_.fork(static_cast<std::uint64_t>(slow_robots_.size())),
+        kNever, kNever, /*severity=*/1.0, /*started=*/false});
   }
 }
 
@@ -350,6 +360,163 @@ tape::CartridgeHealth FaultInjector::observe_damage(TapeId t, Seconds at,
 std::uint32_t FaultInjector::latent_observed_on(TapeId t) const {
   TAPESIM_ASSERT(t.valid() && t.index() < decay_.size());
   return decay_[t.index()].observed;
+}
+
+FaultInjector::SlowTimeline& FaultInjector::slow_timeline(DriveId d) {
+  TAPESIM_ASSERT(d.valid() && d.index() < slow_drives_.size());
+  return slow_drives_[d.index()];
+}
+
+FaultInjector::SlowTimeline& FaultInjector::robot_slow_timeline(LibraryId lib) {
+  TAPESIM_ASSERT(lib.valid());
+  ensure_library(lib.index());
+  return slow_robots_[lib.index()];
+}
+
+void FaultInjector::advance_slow(SlowTimeline& tl, Seconds t, bool robot,
+                                 bool count) {
+  const FailSlowConfig& fs = config_.failslow;
+  const double mtbf =
+      robot ? fs.robot_slow_mtbf.count() : fs.drive_slow_mtbf.count();
+  const double duration =
+      robot ? fs.robot_slow_duration.count() : fs.drive_slow_duration.count();
+  const double lo = robot ? fs.robot_severity_min : fs.drive_severity_min;
+  const double hi = robot ? fs.robot_severity_max : fs.drive_severity_max;
+  const auto materialise = [&](Seconds from) {
+    const Seconds begin = from + Seconds{sample_exponential(tl.rng, mtbf)};
+    const Seconds end = begin + Seconds{sample_exponential(tl.rng, duration)};
+    tl.begin_at = begin;
+    tl.end_at = end;
+    tl.severity = tl.rng.uniform(lo, hi);
+    if (!count) return;
+    if (robot) {
+      ++counters_.robot_slow_episodes;
+    } else {
+      ++counters_.slow_episodes;
+      counters_.slow_drive_seconds += (end - begin).count();
+    }
+  };
+  if (!tl.started) {
+    tl.started = true;
+    if (mtbf > 0.0) materialise(Seconds{0.0});
+    // mtbf == 0: begin_at stays +inf, the loop below never iterates.
+  }
+  while (t >= tl.end_at) materialise(tl.end_at);
+}
+
+double FaultInjector::slow_multiplier(const SlowTimeline& tl, Seconds t,
+                                      bool robot) const {
+  if (t < tl.begin_at || t >= tl.end_at) return 1.0;
+  if (!robot && config_.failslow.progressive) {
+    // Linear ramp from full speed at onset down to the drawn severity at
+    // episode end — progressive wear instead of an instantaneous drop.
+    const double span = (tl.end_at - tl.begin_at).count();
+    const double frac = span > 0.0 ? (t - tl.begin_at).count() / span : 1.0;
+    return 1.0 - (1.0 - tl.severity) * frac;
+  }
+  return tl.severity;
+}
+
+bool FaultInjector::planted_covers(DriveId d, Seconds t) {
+  const FailSlowConfig& fs = config_.failslow;
+  if (fs.planted_drive < 0 ||
+      static_cast<std::uint32_t>(fs.planted_drive) != d.index()) {
+    return false;
+  }
+  const bool covers =
+      t >= fs.planted_at && t < fs.planted_at + fs.planted_duration;
+  if (covers && !planted_counted_) {
+    planted_counted_ = true;
+    ++counters_.slow_episodes;
+    counters_.slow_drive_seconds += fs.planted_duration.count();
+  }
+  return covers;
+}
+
+double FaultInjector::drive_rate_multiplier(DriveId d, Seconds at) {
+  if (!config_.failslow.enabled()) return 1.0;
+  SlowTimeline& tl = slow_timeline(d);
+  advance_slow(tl, at, /*robot=*/false);
+  double mult = slow_multiplier(tl, at, /*robot=*/false);
+  if (planted_covers(d, at)) {
+    mult = std::min(mult, config_.failslow.planted_severity);
+  }
+  return mult;
+}
+
+double FaultInjector::robot_rate_multiplier(LibraryId lib, Seconds at) {
+  if (config_.failslow.robot_slow_mtbf.count() <= 0.0) return 1.0;
+  SlowTimeline& tl = robot_slow_timeline(lib);
+  advance_slow(tl, at, /*robot=*/true);
+  return slow_multiplier(tl, at, /*robot=*/true);
+}
+
+bool FaultInjector::drive_is_slow(DriveId d, Seconds at) {
+  if (!config_.failslow.enabled()) return false;
+  SlowTimeline& tl = slow_timeline(d);
+  advance_slow(tl, at, /*robot=*/false);
+  const bool in_window = at >= tl.begin_at && at < tl.end_at;
+  return in_window || planted_covers(d, at);
+}
+
+Seconds FaultInjector::drive_slow_since(DriveId d, Seconds at) {
+  SlowTimeline& tl = slow_timeline(d);
+  advance_slow(tl, at, /*robot=*/false);
+  const bool in_window = at >= tl.begin_at && at < tl.end_at;
+  const bool planted = planted_covers(d, at);
+  TAPESIM_ASSERT_MSG(in_window || planted, "drive is not in a slow episode");
+  Seconds since = kNever;
+  if (in_window) since = tl.begin_at;
+  if (planted) since = std::min(since, config_.failslow.planted_at);
+  return since;
+}
+
+Seconds FaultInjector::drive_slow_until(DriveId d, Seconds at) {
+  SlowTimeline& tl = slow_timeline(d);
+  advance_slow(tl, at, /*robot=*/false);
+  const bool in_window = at >= tl.begin_at && at < tl.end_at;
+  const bool planted = planted_covers(d, at);
+  TAPESIM_ASSERT_MSG(in_window || planted, "drive is not in a slow episode");
+  Seconds until{0.0};
+  if (in_window) until = tl.end_at;
+  if (planted) {
+    until = std::max(until, config_.failslow.planted_at +
+                                config_.failslow.planted_duration);
+  }
+  return until;
+}
+
+std::optional<Seconds> FaultInjector::drive_slow_within(DriveId d, Seconds at,
+                                                        Seconds horizon) {
+  if (!config_.failslow.enabled()) return std::nullopt;
+  const Seconds limit = at + horizon;
+  Seconds onset = kNever;
+  // Walk the random-episode renewals on a *copy* like next_online_at():
+  // advancing the real timeline past `at` would materialise (and count)
+  // future windows for every later query.
+  advance_slow(slow_timeline(d), at, /*robot=*/false);
+  SlowTimeline peek = slow_timeline(d);
+  if (config_.failslow.drive_slow_mtbf.count() > 0.0) {
+    Seconds t = at;
+    while (t < limit) {
+      advance_slow(peek, t, /*robot=*/false, /*count=*/false);
+      if (t < peek.end_at && peek.begin_at < limit) {
+        onset = std::max(peek.begin_at, at);
+        break;
+      }
+      t = peek.end_at;
+    }
+  }
+  const FailSlowConfig& fs = config_.failslow;
+  if (fs.planted_drive >= 0 &&
+      static_cast<std::uint32_t>(fs.planted_drive) == d.index()) {
+    const Seconds p_end = fs.planted_at + fs.planted_duration;
+    if (fs.planted_at < limit && at < p_end) {
+      onset = std::min(onset, std::max(fs.planted_at, at));
+    }
+  }
+  if (onset < limit) return onset;
+  return std::nullopt;
 }
 
 Seconds FaultInjector::robot_jam_delay(LibraryId lib) {

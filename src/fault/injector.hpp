@@ -45,6 +45,9 @@ struct FaultCounters {
   std::uint64_t latent_observed = 0; ///< Damage events surfaced by observation.
   std::uint64_t library_outages = 0;    ///< Library outage onsets registered.
   std::uint64_t library_disasters = 0;  ///< Of those, permanent disasters.
+  std::uint64_t slow_episodes = 0;       ///< Drive fail-slow episodes.
+  std::uint64_t robot_slow_episodes = 0; ///< Robot slowdown episodes.
+  double slow_drive_seconds = 0.0;  ///< Summed drive episode durations (s).
 };
 
 class FaultInjector {
@@ -168,6 +171,42 @@ class FaultInjector {
   /// time if the move jams, zero otherwise.
   [[nodiscard]] Seconds robot_jam_delay(LibraryId lib);
 
+  // --- fail-slow episodes ---
+  //
+  // Fail-slow components stay online: nothing here interacts with the
+  // fail-stop timelines above. The scheduler samples the multiplier at the
+  // start of each activity and holds it for the activity's duration (a
+  // piecewise-constant approximation of the episode profile).
+
+  /// Effective transfer-rate multiplier of drive `d` at `at`, in (0, 1].
+  /// 1.0 (with no draws consumed) when fail-slow is disabled. Random and
+  /// planted episodes compose by taking the harsher multiplier.
+  [[nodiscard]] double drive_rate_multiplier(DriveId d, Seconds at);
+
+  /// Exchange-speed multiplier of library `lib`'s robot at `at`, in
+  /// (0, 1]; the move's base time divides by it.
+  [[nodiscard]] double robot_rate_multiplier(LibraryId lib, Seconds at);
+
+  /// Ground truth: is drive `d` inside a slow episode (random or planted)
+  /// at `at`? Unlike drive_rate_multiplier() this is true from the exact
+  /// onset even under a progressive ramp (where the multiplier starts at 1).
+  [[nodiscard]] bool drive_is_slow(DriveId d, Seconds at);
+
+  /// Onset of the slow episode `d` is in at `at` (it must be in one). With
+  /// overlapping random and planted episodes, the earlier onset.
+  [[nodiscard]] Seconds drive_slow_since(DriveId d, Seconds at);
+
+  /// End of the slow episode `d` is in at `at` (it must be in one). With
+  /// overlapping episodes, the later end.
+  [[nodiscard]] Seconds drive_slow_until(DriveId d, Seconds at);
+
+  /// Future peek: onset of the first slow episode of `d` intersecting
+  /// [at, at + horizon), nullopt when none does. Walks window renewals on
+  /// timeline *copies* like next_online_at(), so no real window is
+  /// consumed ahead of time.
+  [[nodiscard]] std::optional<Seconds> drive_slow_within(DriveId d, Seconds at,
+                                                         Seconds horizon);
+
  private:
   /// Lazy alternating-renewal outage timeline of one device (a drive's
   /// hardware, or a whole library). The window [fail_at, repair_at) is the
@@ -179,6 +218,18 @@ class FaultInjector {
     Seconds fail_at{};
     Seconds repair_at{};
     bool permanent = false;
+    bool started = false;
+  };
+
+  /// Lazy alternating-renewal timeline of one component's fail-slow
+  /// episodes: [begin_at, end_at) is the next (or current) slow window,
+  /// `severity` its drawn rate multiplier. Windows are materialised (and
+  /// counted) lazily, exactly like the fail-stop timelines.
+  struct SlowTimeline {
+    Rng rng;
+    Seconds begin_at{};
+    Seconds end_at{};
+    double severity = 1.0;
     bool started = false;
   };
 
@@ -209,6 +260,21 @@ class FaultInjector {
   void ensure_library(std::uint32_t index);
   /// Materialises decay events of `t` up to `at`.
   DecayTimeline& decay(TapeId t, Seconds at);
+  /// Materialises slow windows until `t` falls before end_at. `robot`
+  /// selects which episode counters and knobs apply; `count` is false only
+  /// for future-peeking walks on timeline copies, whose windows will be
+  /// counted when the real timeline reaches them.
+  void advance_slow(SlowTimeline& tl, Seconds t, bool robot,
+                    bool count = true);
+  /// Multiplier of a slow window at `t` (it must be inside the window),
+  /// applying the progressive ramp for drive episodes when configured.
+  [[nodiscard]] double slow_multiplier(const SlowTimeline& tl, Seconds t,
+                                       bool robot) const;
+  /// Whether the planted episode covers drive `d` at `t`; counts the
+  /// episode on first contact.
+  [[nodiscard]] bool planted_covers(DriveId d, Seconds t);
+  SlowTimeline& slow_timeline(DriveId d);
+  SlowTimeline& robot_slow_timeline(LibraryId lib);
   /// Health implied by an observed error count, per the thresholds.
   [[nodiscard]] tape::CartridgeHealth health_for(std::uint32_t count) const;
 
@@ -217,6 +283,7 @@ class FaultInjector {
   std::uint32_t drives_per_library_ = 0;
   Rng robot_base_;   ///< Stored so per-library vectors can grow lazily.
   Rng outage_base_;  ///< Stored so per-library vectors can grow lazily.
+  Rng robotslow_base_;  ///< Stored so per-library vectors can grow lazily.
   std::vector<RenewalTimeline> drives_;
   std::vector<Rng> mount_rngs_;    ///< One per drive.
   std::vector<Rng> media_rngs_;    ///< One per tape.
@@ -224,6 +291,9 @@ class FaultInjector {
   std::vector<RenewalTimeline> outages_;  ///< One per library, grown on demand.
   std::vector<std::uint32_t> media_error_counts_;  ///< One per tape.
   std::vector<DecayTimeline> decay_;               ///< One per tape.
+  std::vector<SlowTimeline> slow_drives_;  ///< One per drive.
+  std::vector<SlowTimeline> slow_robots_;  ///< One per library, on demand.
+  bool planted_counted_ = false;  ///< Planted episode counted on first hit.
 };
 
 }  // namespace tapesim::fault

@@ -23,6 +23,38 @@ Status OutageConfig::try_validate() const {
   return check.take();
 }
 
+Status FailSlowConfig::try_validate() const {
+  StatusBuilder check("FailSlowConfig");
+  check.require(drive_slow_mtbf.count() >= 0.0,
+                "drive slow MTBF must be >= 0");
+  check.require(drive_slow_mtbf.count() == 0.0 ||
+                    drive_slow_duration.count() > 0.0,
+                "drive slow duration must be positive when episodes are "
+                "enabled");
+  check.require(drive_severity_min > 0.0 &&
+                    drive_severity_min <= drive_severity_max &&
+                    drive_severity_max < 1.0,
+                "drive severity bounds must satisfy 0 < min <= max < 1");
+  check.require(robot_slow_mtbf.count() >= 0.0,
+                "robot slow MTBF must be >= 0");
+  check.require(robot_slow_mtbf.count() == 0.0 ||
+                    robot_slow_duration.count() > 0.0,
+                "robot slow duration must be positive when episodes are "
+                "enabled");
+  check.require(robot_severity_min > 0.0 &&
+                    robot_severity_min <= robot_severity_max &&
+                    robot_severity_max < 1.0,
+                "robot severity bounds must satisfy 0 < min <= max < 1");
+  check.require(planted_drive < 0 || planted_at.count() >= 0.0,
+                "planted episode onset must be >= 0");
+  check.require(planted_drive < 0 || planted_duration.count() > 0.0,
+                "planted episode duration must be positive");
+  check.require(planted_drive < 0 ||
+                    (planted_severity > 0.0 && planted_severity < 1.0),
+                "planted severity must be in (0, 1)");
+  return check.take();
+}
+
 Status FaultConfig::try_validate() const {
   StatusBuilder check("FaultConfig");
   check.require(drive_mtbf.count() >= 0.0, "drive MTBF must be >= 0");
@@ -50,6 +82,7 @@ Status FaultConfig::try_validate() const {
   check.merge(mount_retry.try_validate("FaultConfig mount retry"));
   check.merge(media_retry.try_validate("FaultConfig media retry"));
   check.merge(outage.try_validate());
+  check.merge(failslow.try_validate());
   return check.take();
 }
 

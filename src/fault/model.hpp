@@ -77,6 +77,56 @@ struct OutageConfig {
   [[nodiscard]] Status try_validate() const;
 };
 
+/// Fail-slow (gray-failure) fault family: components that keep answering
+/// but at a fraction of spec. Drives enter degraded-throughput episodes on
+/// a per-drive alternating-renewal timeline (healthy gap ~ Exp(mtbf),
+/// episode length ~ Exp(duration), severity drawn per episode as a rate
+/// multiplier in [severity_min, severity_max]); robots get analogous
+/// exchange-slowdown episodes per library. A deterministic *planted*
+/// episode is available for benches that need a known ground truth.
+/// Defaults disable the class entirely.
+struct FailSlowConfig {
+  // --- drive degraded-throughput episodes ---
+  /// Mean healthy time between drive slow episodes (per drive); 0 disables.
+  Seconds drive_slow_mtbf{};
+  /// Mean length of one drive slow episode.
+  Seconds drive_slow_duration{4.0 * 3600.0};
+  /// Per-episode severity: the effective transfer rate is spec * s with s
+  /// drawn uniformly from [severity_min, severity_max] (strictly inside
+  /// (0, 1) — a multiplier of 0 would be fail-stop, 1 would be a no-op).
+  double drive_severity_min = 0.25;
+  double drive_severity_max = 0.5;
+  /// When true, random episodes ramp linearly from full speed at onset down
+  /// to the drawn severity at episode end (progressive wear) instead of
+  /// dropping to the severity instantly.
+  bool progressive = false;
+
+  // --- robot exchange slowdown episodes ---
+  /// Mean healthy time between robot slow episodes (per library); 0 disables.
+  Seconds robot_slow_mtbf{};
+  /// Mean length of one robot slow episode.
+  Seconds robot_slow_duration{2.0 * 3600.0};
+  /// Per-episode robot severity bounds (exchange time divides by s).
+  double robot_severity_min = 0.3;
+  double robot_severity_max = 0.6;
+
+  // --- planted episode (deterministic ground truth for benches) ---
+  /// Drive index slowed by a deterministic episode; -1 disables.
+  std::int32_t planted_drive = -1;
+  /// Planted episode onset (sim time) and length.
+  Seconds planted_at{};
+  Seconds planted_duration{};
+  /// Constant severity of the planted episode (no ramp), in (0, 1).
+  double planted_severity = 0.5;
+
+  [[nodiscard]] bool enabled() const {
+    return drive_slow_mtbf.count() > 0.0 || robot_slow_mtbf.count() > 0.0 ||
+           planted_drive >= 0;
+  }
+
+  [[nodiscard]] Status try_validate() const;
+};
+
 struct FaultConfig {
   /// Root seed of the fault RNG tree; independent of the workload stream.
   std::uint64_t seed = 0x46415553;  // "FAUS"
@@ -123,12 +173,16 @@ struct FaultConfig {
   // --- library outages ---
   OutageConfig outage{};
 
+  // --- fail-slow episodes ---
+  FailSlowConfig failslow{};
+
   /// True when any fault class is active. The scheduler only builds an
   /// injector (and only pays any overhead) when this returns true.
   [[nodiscard]] bool enabled() const {
     return drive_mtbf.count() > 0.0 || mount_failure_prob > 0.0 ||
            media_error_per_gb > 0.0 || robot_jam_prob > 0.0 ||
-           latent_decay_mtbf.count() > 0.0 || outage.enabled();
+           latent_decay_mtbf.count() > 0.0 || outage.enabled() ||
+           failslow.enabled();
   }
 
   [[nodiscard]] Status try_validate() const;

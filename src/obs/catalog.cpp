@@ -8,7 +8,7 @@ namespace tapesim::obs {
 namespace {
 
 // Sorted by name (find_metric binary-searches; a test asserts the order).
-constexpr std::array<MetricInfo, 50> kCatalog{{
+constexpr std::array<MetricInfo, 61> kCatalog{{
     {"engine.events.cancelled", "counter", "",
      "pending events cancelled before dispatch"},
     {"engine.events.dispatched", "counter", "",
@@ -22,6 +22,28 @@ constexpr std::array<MetricInfo, 50> kCatalog{{
     {"evac.preempted_unavailables", "counter", "",
      "objects moved off a cartridge that later decayed to Lost"},
     {"evac.started", "counter", "", "cartridge evacuations started"},
+    {"failslow.detected", "counter", "",
+     "gray-failure flags on drives actually inside a slow episode"},
+    {"failslow.detection_lag_s", "histogram", "s",
+     "slow-episode onset to detector flag"},
+    {"failslow.drive_s", "gauge", "s",
+     "summed duration of materialised drive slow episodes"},
+    {"failslow.episodes", "counter", "",
+     "fail-slow episodes materialised (drive + robot)"},
+    {"failslow.false_positives", "counter", "",
+     "gray-failure flags on drives not inside a slow episode"},
+    {"failslow.hedge_wasted_bytes", "counter", "bytes",
+     "bytes streamed by cancelled hedge losers"},
+    {"failslow.hedge_win_margin_s", "histogram", "s",
+     "time a winning hedge beat the primary's projected finish by"},
+    {"failslow.hedges_issued", "counter", "",
+     "speculative hedge chains launched"},
+    {"failslow.hedges_lost", "counter", "",
+     "hedges where the primary finished first"},
+    {"failslow.hedges_won", "counter", "",
+     "hedges where the speculative chain finished first"},
+    {"failslow.quarantines", "counter", "",
+     "drives placed in gray-failure quarantine"},
     {"fault.drive_failures", "counter", "",
      "drive failure events injected"},
     {"fault.failovers", "counter", "",

@@ -24,6 +24,8 @@ enum class Track : std::uint8_t {
   kOverload = 6,  ///< Admission/shedding decisions (tid = request id).
   kScrub = 7,    ///< Background verification passes (tid = tape id).
   kOutage = 8,   ///< Library outage windows (tid = library id).
+  kHedge = 9,    ///< Speculative hedged reads (tid = request id).
+  kQuarantine = 10,  ///< Gray-failure quarantine windows (tid = drive id).
 };
 
 enum class Phase : std::uint8_t {
@@ -42,6 +44,8 @@ enum class Phase : std::uint8_t {
   kExpired,  ///< Admitted request cancelled at its deadline.
   kScrub,    ///< One verification pass: mount start to last byte verified.
   kOutage,   ///< One library outage window: onset to restore.
+  kHedge,    ///< One speculative hedge: launch to settle (won or lost).
+  kQuarantine,  ///< One drive quarantine window: flag to release.
   kMarker,   ///< Zero-duration annotation (narration, state change).
 };
 

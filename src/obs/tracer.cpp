@@ -22,6 +22,8 @@ const char* to_string(Track t) {
     case Track::kOverload: return "overload";
     case Track::kScrub: return "scrub";
     case Track::kOutage: return "outage";
+    case Track::kHedge: return "hedge";
+    case Track::kQuarantine: return "quarantine";
   }
   return "?";
 }
@@ -43,6 +45,8 @@ const char* to_string(Phase p) {
     case Phase::kExpired: return "expired";
     case Phase::kScrub: return "scrub";
     case Phase::kOutage: return "outage";
+    case Phase::kHedge: return "hedge";
+    case Phase::kQuarantine: return "quarantine";
     case Phase::kMarker: return "marker";
   }
   return "?";
@@ -358,7 +362,10 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
         {4, "engine"},
         {5, "repair"},
         {6, "overload"},
-        {7, "scrub"}}) {
+        {7, "scrub"},
+        {8, "outage"},
+        {9, "hedge"},
+        {10, "quarantine"}}) {
     sep();
     os << R"({"name":"process_name","ph":"M","pid":)" << pid
        << R"(,"tid":0,"args":{"name":")" << name << R"("}})";

@@ -1,0 +1,30 @@
+#include "sched/failslow.hpp"
+
+namespace tapesim::sched {
+
+Status GrayDetectorConfig::try_validate() const {
+  StatusBuilder check("GrayDetectorConfig");
+  check.require(fraction > 0.0 && fraction < 1.0,
+                "detector fraction must be in (0, 1)");
+  check.require(window.count() > 0.0, "detector window must be positive");
+  check.require(min_samples > 0, "detector needs at least one sample");
+  check.require(ewma_alpha > 0.0 && ewma_alpha <= 1.0,
+                "EWMA alpha must be in (0, 1]");
+  check.require(probation.count() >= 0.0, "probation must be >= 0");
+  return check.take();
+}
+
+Status HedgeConfig::try_validate() const {
+  StatusBuilder check("HedgeConfig");
+  check.require(percentile > 0.0 && percentile <= 100.0,
+                "hedge percentile must be in (0, 100]");
+  check.require(min_history > 0, "hedge history floor must be positive");
+  check.require(history >= min_history,
+                "hedge history capacity must cover min_history");
+  check.require(min_overrun >= 1.0, "min overrun must be >= 1");
+  check.require(budget_fraction > 0.0 && budget_fraction <= 1.0,
+                "hedge budget fraction must be in (0, 1]");
+  return check.take();
+}
+
+}  // namespace tapesim::sched

@@ -1,0 +1,100 @@
+// Gray-failure mitigation: detector, quarantine, and hedged reads.
+//
+// The fault injector owns the fail-slow *timelines* (fault/model.hpp,
+// FailSlowConfig); this header holds the scheduler's reaction policy.
+// A fail-slow drive is the nastiest fault class: it passes every
+// liveness check while quietly dragging the whole fleet down. Three
+// mitigations compose here:
+//
+// - A gray-failure detector compares each drive's throughput EWMA
+//   against the fleet median of its peers and flags drives that stay
+//   below a configurable fraction for a sustained window. The injector
+//   is the ground truth: flags are scored as detections (with a
+//   detection-lag sample) or false positives.
+// - Quarantine takes flagged drives out of mount selection: they finish
+//   their current chain, are proactively unmounted, and sit out until
+//   the episode ends plus a probation period — unless nothing healthier
+//   is live, in which case the scheduler falls back to them rather than
+//   queuing forever.
+// - Hedged reads bound tail latency while the detector is still making
+//   up its mind: when an in-flight transfer overruns an adaptive
+//   percentile of recent service times and a replica lives in another
+//   library, a speculative second chain races the primary; the loser is
+//   cancelled through the ticket/cancel machinery. A budget caps the
+//   bandwidth speculation may burn.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::sched {
+
+/// Gray-failure detector + drive quarantine policy. Inert unless enabled
+/// and a fault injector (the ground truth for flags) is attached.
+struct GrayDetectorConfig {
+  bool enabled = false;
+  /// Flag a drive when its throughput EWMA falls below this fraction of
+  /// the fleet median of its peers.
+  double fraction = 0.55;
+  /// The EWMA must stay below the threshold this long before flagging
+  /// (suppresses blips from single slow transfers).
+  Seconds window{900.0};
+  /// Transfers a drive (and each peer) must have completed before its
+  /// EWMA is trusted for comparison.
+  std::uint32_t min_samples = 6;
+  /// Smoothing factor for the per-drive throughput EWMA in (0, 1].
+  double ewma_alpha = 0.25;
+  /// When true, flagged drives are quarantined (excluded from mount
+  /// selection); when false the detector only keeps score.
+  bool quarantine = true;
+  /// Quarantined drives stay out this long past the episode's observed
+  /// end before rejoining rotation.
+  Seconds probation{1800.0};
+
+  [[nodiscard]] Status try_validate() const;
+};
+
+/// Hedged-read policy. Inert unless enabled, the placement carries
+/// replicas, and a fault injector is attached.
+struct HedgeConfig {
+  bool enabled = false;
+  /// Adaptive trigger: hedge when a transfer's projected service time
+  /// exceeds this percentile (in [0, 100], SampleSet convention) of
+  /// recent normalized service times.
+  double percentile = 95.0;
+  /// Completed transfers required before the percentile is trusted.
+  std::uint32_t min_history = 12;
+  /// Ring-buffer capacity of the normalized service-time history.
+  std::uint32_t history = 64;
+  /// Never hedge a transfer running at less than this multiple of its
+  /// native duration, however tight the percentile gets.
+  double min_overrun = 1.25;
+  /// Speculative bytes may not exceed this fraction of foreground bytes
+  /// served so far (the hedge bandwidth budget).
+  double budget_fraction = 0.15;
+
+  [[nodiscard]] Status try_validate() const;
+};
+
+/// Running totals of the fail-slow reaction, mirrored 1:1 into the obs
+/// registry's failslow.* counters (the chaos soak reconciles them, and
+/// bench_fail_slow checks the hedge ledger issued == won + lost).
+struct FailSlowStats {
+  std::uint64_t detected = 0;  ///< Flags on drives actually slow.
+  std::uint64_t false_positives = 0;  ///< Flags on healthy drives.
+  std::uint64_t quarantines = 0;      ///< Quarantine windows opened.
+  std::uint64_t hedges_issued = 0;    ///< Speculative chains launched.
+  std::uint64_t hedges_won = 0;   ///< Speculative chain finished first.
+  std::uint64_t hedges_lost = 0;  ///< Primary finished (or hedge died).
+  std::uint64_t hedge_bytes_wasted = 0;  ///< Bytes streamed by losers.
+  /// Slow-episode onset -> detector flag, per true detection.
+  SampleSet detection_lag;
+  /// How far ahead of the primary's projected finish a winning hedge
+  /// landed.
+  SampleSet hedge_win_margin;
+};
+
+}  // namespace tapesim::sched

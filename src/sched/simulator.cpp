@@ -34,6 +34,8 @@ Status SimulatorConfig::try_validate() const {
   check.merge(repair.try_validate());
   check.merge(scrub.try_validate());
   check.merge(evacuation.try_validate());
+  check.merge(detector.try_validate());
+  check.merge(hedge.try_validate());
   return check.take();
 }
 
@@ -58,6 +60,8 @@ RetrievalSimulator::RetrievalSimulator(const core::PlacementPlan& plan,
   watch_pending_.assign(plan.spec().num_libraries, false);
   outage_watch_.resize(plan.spec().num_libraries);
   last_scrub_.assign(plan.spec().total_tapes(), Seconds{});
+  detector_.resize(plan.spec().total_drives());
+  for (DetectorState& st : detector_) st.below_since = kNever;
   replicated_ = catalog_.has_replicas();
   target_copies_ = plan.replication_factor();
   if (config_.faults.enabled()) {
@@ -213,6 +217,7 @@ void RetrievalSimulator::on_drive_failure(DriveId d) {
 
   drive.fail(elapsed);
   ctx.failed_at = now;
+  ctx.transfer_event = 0;  // the completion was retracted by the interrupt
   if (config_.tracer != nullptr) {
     config_.tracer->marker(obs::Track::kDrive, d.value(),
                            permanent ? "drive failed (permanent)"
@@ -242,14 +247,15 @@ void RetrievalSimulator::on_drive_failure(DriveId d) {
   if (chain.active) {
     TAPESIM_ASSERT(stuck.valid());
     if (!expired_) {
-      if (lib_down) {
-        for (std::size_t i = chain.index; i < chain.extents.size(); ++i) {
-          outage_divert(stuck, chain.extents[i]);
-        }
-      } else {
-        auto& vec = needed_[stuck.value()];
-        for (std::size_t i = chain.index; i < chain.extents.size(); ++i) {
-          vec.push_back(chain.extents[i]);
+      for (std::size_t i = chain.index; i < chain.extents.size(); ++i) {
+        const catalog::TapeExtent& e = chain.extents[i];
+        // Hedge legs never requeue: a cancelled loser is already settled
+        // and an absorbed leg hands the object to its racing twin.
+        if (hedge_tombstoned(e) || hedge_absorb_failure(stuck, e)) continue;
+        if (lib_down) {
+          outage_divert(stuck, e);
+        } else {
+          needed_[stuck.value()].push_back(e);
         }
       }
     }
@@ -398,21 +404,45 @@ void RetrievalSimulator::on_deadline() {
   // still waiting in the demand map, and the unserved tails of active
   // chains (including the extent whose transfer is in flight — its
   // completion is expired-guarded). Together these are exactly the
-  // remaining extents.
+  // remaining extents. A hedged object has two physical extents in
+  // flight but only one accounting slot: the leg named by its record
+  // carries it, and cancelled losers carry nothing.
+  const auto expire_counts = [this](TapeId on,
+                                    const catalog::TapeExtent& e) {
+    if (!hedge_active()) return true;
+    if (hedge_tombstoned(e)) return false;
+    const auto it = hedges_.find(e.object.value());
+    if (it == hedges_.end()) return true;
+    const Hedge& h = it->second;
+    return h.primary_dead ? on == h.alt : on == h.primary;
+  };
   for (const auto& [tape_value, extents] : needed_) {
-    for (const catalog::TapeExtent& e : extents) extent_expired(e);
+    for (const catalog::TapeExtent& e : extents) {
+      if (expire_counts(TapeId{tape_value}, e)) extent_expired(e);
+    }
   }
   needed_.clear();
   for (auto& q : lib_queue_) q.clear();
   for (std::uint32_t dv = 0; dv < ctx_.size(); ++dv) {
     const ServeChain& chain = chain_[dv];
     if (!chain.active) continue;
+    const TapeId on = system_.drive(DriveId{dv}).mounted();
     for (std::size_t i = chain.index; i < chain.extents.size(); ++i) {
-      extent_expired(chain.extents[i]);
+      if (expire_counts(on, chain.extents[i])) {
+        extent_expired(chain.extents[i]);
+      }
     }
   }
   TAPESIM_ASSERT_MSG(remaining_extents_ == 0,
                      "expired accounting missed an extent");
+  // Outstanding hedges expire with the request: the ledger books them as
+  // lost (nobody won) and the in-flight legs unwind via the expired
+  // guard at their next boundary.
+  for (const auto& [obj, h] : hedges_) {
+    ++failslow_stats_.hedges_lost;
+    record_hedge_settled("expired", h.issued_at);
+  }
+  hedges_.clear();
 
   // Withdraw switches still queued for the robot: the waiter is removed
   // without disturbing FIFO order and the drive goes back to idle (its
@@ -541,6 +571,10 @@ void RetrievalSimulator::ensure_progress(LibraryId lib_id) {
 Seconds RetrievalSimulator::robot_move_delay(tape::TapeLibrary& lib,
                                              Seconds base) {
   if (fault_ == nullptr) return base;
+  // A fail-slow accessor stretches every move before jams are added; the
+  // multiplier is 1.0 (and the division exact) outside slow episodes.
+  const double slow = fault_->robot_rate_multiplier(lib.id(), engine_.now());
+  if (slow < 1.0) base = Seconds{base.count() / slow};
   const Seconds jam = fault_->robot_jam_delay(lib.id());
   if (jam.count() > 0.0 && config_.tracer != nullptr) {
     config_.tracer->marker(obs::Track::kRobot, lib.id().value(),
@@ -716,6 +750,9 @@ void RetrievalSimulator::outage_reroute(TapeId tp) {
 
 void RetrievalSimulator::outage_divert(TapeId tp,
                                        const catalog::TapeExtent& extent) {
+  // Hedged legs never divert: a cancelled loser is already settled, and
+  // an absorbed leg leaves the object with its racing twin.
+  if (hedge_tombstoned(extent) || hedge_absorb_failure(tp, extent)) return;
   if (catalog_.has_replicas()) {
     // The copy on `tp` stays live (the library will return), so it is not
     // marked tried — the read just routes around its library for now.
@@ -795,6 +832,15 @@ void RetrievalSimulator::serve_mounted(DriveId d) {
     }
     return;
   }
+  if (detector_active() && drive_quarantined(d) &&
+      !quarantine_fallback(system_.library_of_drive(d))) {
+    // A flagged drive takes no new chains: hand the demanded cartridge
+    // back to its cell so a healthy drive can fetch it. If every live
+    // peer is quarantined too, the fallback serves here instead.
+    DriveCtx& ctx = ctx_[d.index()];
+    if (!ctx.busy && system_.drive(d).idle()) quarantine_unmount(d);
+    return;
+  }
   tape::TapeDrive& drive = system_.drive(d);
   const TapeId tp = drive.mounted();
   TAPESIM_ASSERT(tp.valid());
@@ -826,6 +872,14 @@ void RetrievalSimulator::serve_step(DriveId d) {
     ctx_[d.index()].busy = false;
     next_action(d);
     return;
+  }
+  if (hedge_active()) {
+    // Cancelled hedge losers left mid-chain are skipped, not served.
+    while (chain.index < chain.extents.size() &&
+           hedge_tombstoned(chain.extents[chain.index])) {
+      ++chain.index;
+      chain.retries = 0;
+    }
   }
   if (chain.index >= chain.extents.size()) {
     chain = ServeChain{};
@@ -881,18 +935,52 @@ void RetrievalSimulator::serve_step(DriveId d) {
 
 void RetrievalSimulator::begin_transfer(DriveId d,
                                         catalog::TapeExtent extent) {
+  if (hedge_active() && hedge_tombstoned(extent)) {
+    // The loser tombstone landed between the locate and the disk slot;
+    // the winner already settled this object.
+    disk_streams_.release();
+    ctx_[d.index()].disk_held = false;
+    ServeChain& chain = chain_[d.index()];
+    ++chain.index;
+    chain.retries = 0;
+    serve_step(d);
+    return;
+  }
   tape::TapeDrive& drive = system_.drive(d);
-  const Seconds xfer = drive.start_transfer(extent.size);
+  // Fail-slow episodes stretch the stream: the effective rate is sampled
+  // once at transfer start (1.0, with no timeline walk, when fail-slow
+  // injection is off).
+  const double mult =
+      fault_ != nullptr
+          ? fault_->drive_rate_multiplier(d, engine_.now())
+          : 1.0;
+  const Seconds xfer = drive.start_transfer(extent.size, mult);
   ctx_[d.index()].activity_start = engine_.now();
-  auto complete = [this, d, xfer]() {
+  auto complete = [this, d, extent, xfer]() {
+    ctx_[d.index()].transfer_event = 0;
     disk_streams_.release();
     ctx_[d.index()].disk_held = false;
     system_.drive(d).finish_transfer();
     drive_req_[d.index()].transfer += xfer;
+    note_transfer_rate(d, extent.size, xfer);
     // A transfer that outlived the deadline delivered bytes nobody waits
     // for: the extent was accounted as expired when the deadline fired, so
     // it must not be credited again.
-    if (!expired_) extent_done(d);
+    if (!expired_) {
+      if (hedge_active() && hedge_tombstoned(extent)) {
+        // A cancelled loser that outran its cancellation: the bytes it
+        // streamed were pure speculation overhead.
+        failslow_stats_.hedge_bytes_wasted += extent.size.count();
+        if (config_.tracer != nullptr) {
+          config_.tracer->registry().counter("failslow.hedge_wasted_bytes")
+              .inc(extent.size.count());
+        }
+      } else {
+        if (hedge_active()) served_bytes_ += extent.size.count();
+        extent_done(d);
+        settle_hedge_winner(d, extent);
+      }
+    }
     ServeChain& chain = chain_[d.index()];
     ++chain.index;
     chain.retries = 0;
@@ -936,7 +1024,12 @@ void RetrievalSimulator::begin_transfer(DriveId d,
                         [this, d, latent]() { on_media_failure(d, latent); });
     return;
   }
-  engine_.schedule_in(xfer, std::move(complete));
+  // Clean stream: no fault or media interrupt is booked, so the pending
+  // completion is safely cancellable — the hedge machinery may retract
+  // it if this transfer turns out to be a losing leg.
+  ctx_[d.index()].transfer_event =
+      engine_.schedule_in(xfer, std::move(complete));
+  maybe_arm_hedge(d, extent, xfer);
 }
 
 void RetrievalSimulator::on_media_failure(DriveId d, bool latent) {
@@ -988,6 +1081,14 @@ void RetrievalSimulator::on_media_failure(DriveId d, bool latent) {
     for (const catalog::TapeExtent& e : tail) fail_extent(tp, e);
     complete_tape_unavailable(tp);
     next_action(d);
+    return;
+  }
+  if (hedge_active() && hedge_tombstoned(chain.extents[chain.index])) {
+    // The interrupted stream was a cancelled hedge loser; nobody wants a
+    // retry. Its partial bytes are speculation overhead.
+    ++chain.index;
+    chain.retries = 0;
+    serve_step(d);
     return;
   }
   if (chain.retries >= config_.faults.media_retry.max_retries) {
@@ -1049,6 +1150,15 @@ void RetrievalSimulator::next_action(DriveId d) {
     if (!drive_available(d)) return;
   }
   const LibraryId lib = system_.library_of_drive(d);
+  if (detector_active() && drive_quarantined(d) &&
+      !quarantine_fallback(lib)) {
+    // Quarantined drives take no new work (foreground or background);
+    // an idle drive still holding a cartridge hands it back to its cell
+    // so the rest of the fleet can reach it.
+    tape::TapeDrive& drive = system_.drive(d);
+    if (!drive.empty() && drive.idle()) quarantine_unmount(d);
+    return;
+  }
   auto& queue = lib_queue_[lib.index()];
   if (queue.empty()) {
     // No foreground demand for this library: the drive may lend itself to
@@ -1260,10 +1370,424 @@ void RetrievalSimulator::on_mount_failure(DriveId d, TapeId target) {
   }
 }
 
+// --- gray-failure mitigation --------------------------------------------
+
+bool RetrievalSimulator::hedge_tombstoned(
+    const catalog::TapeExtent& extent) const {
+  return !hedge_cancelled_.empty() &&
+         hedge_cancelled_.count(extent.object.value()) != 0;
+}
+
+void RetrievalSimulator::note_transfer_rate(DriveId d, Bytes amount,
+                                            Seconds xfer) {
+  if (xfer.count() <= 0.0 || amount.count() == 0) return;
+  if (hedge_active()) {
+    const Seconds native =
+        duration_for(amount, system_.drive(d).spec().transfer_rate);
+    const double ratio = xfer.count() / native.count();
+    if (hedge_ratio_.size() < config_.hedge.history) {
+      hedge_ratio_.push_back(ratio);
+    } else {
+      hedge_ratio_[hedge_ratio_next_] = ratio;
+      hedge_ratio_next_ = (hedge_ratio_next_ + 1) % config_.hedge.history;
+    }
+  }
+  if (detector_active()) {
+    DetectorState& st = detector_[d.index()];
+    const double rate = static_cast<double>(amount.count()) / xfer.count();
+    st.tput_ewma = st.samples == 0
+                       ? rate
+                       : config_.detector.ewma_alpha * rate +
+                             (1.0 - config_.detector.ewma_alpha) * st.tput_ewma;
+    ++st.samples;
+    evaluate_detector(d);
+  }
+}
+
+void RetrievalSimulator::evaluate_detector(DriveId d) {
+  DetectorState& st = detector_[d.index()];
+  if (st.quarantined) return;
+  if (st.samples < config_.detector.min_samples) return;
+  std::vector<double> peers;
+  peers.reserve(detector_.size());
+  for (std::size_t i = 0; i < detector_.size(); ++i) {
+    if (i == d.index()) continue;
+    if (detector_[i].samples < config_.detector.min_samples) continue;
+    peers.push_back(detector_[i].tput_ewma);
+  }
+  if (peers.empty()) return;
+  std::sort(peers.begin(), peers.end());
+  const double median = peers[peers.size() / 2];
+  if (st.tput_ewma < config_.detector.fraction * median) {
+    if (!(st.below_since < kNever)) st.below_since = engine_.now();
+    if (!st.flagged &&
+        engine_.now() - st.below_since >= config_.detector.window) {
+      flag_drive(d);
+    }
+    return;
+  }
+  st.below_since = kNever;
+  st.flagged = false;
+}
+
+void RetrievalSimulator::flag_drive(DriveId d) {
+  DetectorState& st = detector_[d.index()];
+  st.flagged = true;
+  st.flagged_at = engine_.now();
+  const bool truly_slow = fault_->drive_is_slow(d, engine_.now());
+  if (truly_slow) {
+    ++failslow_stats_.detected;
+    const Seconds onset = fault_->drive_slow_since(d, engine_.now());
+    const double lag = (engine_.now() - onset).count();
+    failslow_stats_.detection_lag.add(lag);
+    if (config_.tracer != nullptr) {
+      config_.tracer->registry().counter("failslow.detected").inc();
+      const auto layout = obs::BucketLayout::exponential(0.1, 1e5, 1.3);
+      config_.tracer->registry()
+          .histogram("failslow.detection_lag_s", layout)
+          .record(lag);
+      config_.tracer->marker(obs::Track::kQuarantine, d.value(),
+                             "gray failure detected");
+    }
+  } else {
+    ++failslow_stats_.false_positives;
+    if (config_.tracer != nullptr) {
+      config_.tracer->registry().counter("failslow.false_positives").inc();
+      config_.tracer->marker(obs::Track::kQuarantine, d.value(),
+                             "gray-failure false positive");
+    }
+  }
+  if (!config_.detector.quarantine) return;
+  st.quarantined = true;
+  // The release target is the episode's end when the injector confirms one
+  // (plus probation); a false positive sits out probation alone.
+  const Seconds base =
+      truly_slow ? fault_->drive_slow_until(d, engine_.now()) : engine_.now();
+  st.release_at = base + config_.detector.probation;
+  ++failslow_stats_.quarantines;
+  if (config_.tracer != nullptr) {
+    config_.tracer->registry().counter("failslow.quarantines").inc();
+  }
+}
+
+bool RetrievalSimulator::drive_quarantined(DriveId d) {
+  DetectorState& st = detector_[d.index()];
+  if (!st.quarantined) return false;
+  if (engine_.now() < st.release_at) return true;
+  if (fault_->drive_is_slow(d, engine_.now())) {
+    // Still inside a slow episode at the planned exit (a fresh one, or the
+    // flagged one ran long): extend rather than re-admit a sick drive.
+    st.release_at =
+        fault_->drive_slow_until(d, engine_.now()) + config_.detector.probation;
+    return true;
+  }
+  if (config_.tracer != nullptr) {
+    config_.tracer->record(obs::Span{
+        obs::Track::kQuarantine, d.value(), obs::Phase::kQuarantine,
+        st.flagged_at, engine_.now(), config_.tracer->current_request(),
+        TapeId{}, "released"});
+  }
+  st.quarantined = false;
+  st.flagged = false;
+  st.below_since = kNever;
+  return false;
+}
+
+bool RetrievalSimulator::quarantine_fallback(LibraryId lib) {
+  const std::uint32_t per_lib = plan_->spec().library.drives_per_library;
+  for (std::uint32_t i = 0; i < per_lib; ++i) {
+    const DriveId peer{lib.value() * per_lib + i};
+    if (!switch_eligible(peer)) continue;
+    if (system_.drive(peer).failed()) continue;
+    // Raw state (not drive_quarantined) avoids release side effects while
+    // scanning; a peer past its release time counts as healthy.
+    const DetectorState& st = detector_[peer.index()];
+    if (!st.quarantined || engine_.now() >= st.release_at) return false;
+  }
+  return true;
+}
+
+void RetrievalSimulator::quarantine_unmount(DriveId d) {
+  tape::TapeDrive& drive = system_.drive(d);
+  TAPESIM_ASSERT(!drive.empty() && drive.idle());
+  DriveCtx& ctx = ctx_[d.index()];
+  TAPESIM_ASSERT(!ctx.busy);
+  ctx.busy = true;
+  const LibraryId lib_id = system_.library_of_drive(d);
+  tape::TapeLibrary& lib = system_.library(lib_id);
+  const Seconds rewind = drive.start_rewind();
+  schedule_activity(d, rewind, [this, d, lib_id, &lib]() {
+    system_.drive(d).finish_rewind();
+    const sim::Resource::Ticket ticket =
+        lib.robot().acquire([this, d, lib_id, &lib]() {
+      ctx_[d.index()].robot_ticket = sim::Resource::kInvalidTicket;
+      ctx_[d.index()].robot_held = true;
+      if (fault_ != nullptr && !fault_->drive_online(d, engine_.now())) {
+        // Died while queued for the robot; the failure path (which also
+        // releases the arm) recovers the cartridge.
+        on_drive_failure(d);
+        return;
+      }
+      tape::TapeDrive& dr = system_.drive(d);
+      const Seconds unload = dr.start_unload();
+      schedule_activity(d, unload, [this, d, lib_id, &lib]() {
+        const TapeId old = system_.drive(d).finish_unload();
+        system_.note_unmounted(old);
+        const Seconds move = robot_move_delay(lib, lib.robot_move_time());
+        engine_.schedule_in(move, [this, d, lib_id, &lib, old]() {
+          lib.robot().release();
+          ctx_[d.index()].robot_held = false;
+          ctx_[d.index()].busy = false;
+          // The evicted cartridge may carry demand (that is usually why
+          // the quarantine guard fired); hand it to a healthy drive.
+          requeue_if_needed(old);
+          ensure_progress(lib_id);
+        });
+      });
+    });
+    ctx_[d.index()].robot_ticket = ticket;
+  });
+}
+
+double RetrievalSimulator::hedge_threshold_ratio() const {
+  std::vector<double> sorted(hedge_ratio_);
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = (config_.hedge.percentile / 100.0) *
+                      static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+void RetrievalSimulator::maybe_arm_hedge(DriveId d,
+                                         const catalog::TapeExtent& extent,
+                                         Seconds xfer) {
+  if (!hedge_active() || expired_) return;
+  if (hedge_ratio_.size() < config_.hedge.min_history) return;
+  const std::uint32_t obj = extent.object.value();
+  if (hedges_.count(obj) != 0 || hedge_cancelled_.count(obj) != 0) return;
+  const Seconds native =
+      duration_for(extent.size, system_.drive(d).spec().transfer_rate);
+  const double threshold =
+      std::max(hedge_threshold_ratio(), config_.hedge.min_overrun);
+  const Seconds trigger{native.count() * threshold};
+  if (xfer <= trigger) return;
+  // The stream is already known to overrun the trigger: the alarm fires at
+  // the moment a fast drive would have finished, and launches the race if
+  // the transfer is still the chain's live head then.
+  const Seconds eta = engine_.now() + xfer;
+  engine_.schedule_in(trigger, [this, d, extent, eta]() {
+    maybe_launch_hedge(d, extent, eta);
+  });
+}
+
+void RetrievalSimulator::maybe_launch_hedge(DriveId d,
+                                            catalog::TapeExtent extent,
+                                            Seconds eta) {
+  if (!hedge_active() || expired_) return;
+  const std::uint32_t obj = extent.object.value();
+  if (hedges_.count(obj) != 0 || hedge_cancelled_.count(obj) != 0) return;
+  const ServeChain& chain = chain_[d.index()];
+  if (!chain.active || chain.index >= chain.extents.size()) return;
+  if (chain.extents[chain.index].object != extent.object) return;
+  tape::TapeDrive& drive = system_.drive(d);
+  if (drive.state() != tape::DriveState::kTransferring) return;
+  // Budget gate: speculation may not burn more than the configured
+  // fraction of the bandwidth spent on foreground bytes so far.
+  if (static_cast<double>(hedge_bytes_ + extent.size.count()) >
+      config_.hedge.budget_fraction * static_cast<double>(served_bytes_)) {
+    return;
+  }
+  const TapeId primary = drive.mounted();
+  std::vector<TapeId> exclude;
+  if (const auto it = tried_.find(obj); it != tried_.end()) {
+    exclude = it->second;
+  }
+  if (std::find(exclude.begin(), exclude.end(), primary) == exclude.end()) {
+    exclude.push_back(primary);
+  }
+  const catalog::ObjectRecord* alt = nullptr;
+  if (outage_active()) {
+    const std::vector<LibraryId> down = down_libraries();
+    alt = catalog_.best_replica(extent.object, exclude, down);
+  } else {
+    alt = catalog_.best_replica(extent.object, exclude);
+  }
+  if (alt == nullptr) return;
+  // Only cross-library hedges: a same-library replica would contend for
+  // the very robot and drives the slow leg is clogging.
+  if (system_.library_of_tape(alt->tape) == system_.library_of_drive(d)) {
+    return;
+  }
+  Hedge h;
+  h.primary = primary;
+  h.alt = alt->tape;
+  h.primary_eta = eta;
+  h.issued_at = engine_.now();
+  hedges_.emplace(obj, h);
+  hedge_bytes_ += extent.size.count();
+  ++failslow_stats_.hedges_issued;
+  if (config_.tracer != nullptr) {
+    config_.tracer->registry().counter("failslow.hedges_issued").inc();
+    config_.tracer->marker(
+        obs::Track::kHedge, config_.tracer->current_request().value(),
+        "hedge issued for object " + std::to_string(obj));
+  }
+  route_extent(*alt);
+}
+
+void RetrievalSimulator::settle_hedge_winner(
+    DriveId d, const catalog::TapeExtent& extent) {
+  if (!hedge_active()) return;
+  const auto it = hedges_.find(extent.object.value());
+  if (it == hedges_.end()) return;
+  const Hedge h = it->second;
+  hedges_.erase(it);
+  const TapeId on = system_.drive(d).mounted();
+  const bool won = on == h.alt;
+  if (won) {
+    ++failslow_stats_.hedges_won;
+    if (!h.primary_dead) {
+      const double margin = (h.primary_eta - engine_.now()).count();
+      failslow_stats_.hedge_win_margin.add(margin);
+      if (config_.tracer != nullptr) {
+        const auto layout = obs::BucketLayout::exponential(0.1, 1e5, 1.3);
+        config_.tracer->registry()
+            .histogram("failslow.hedge_win_margin_s", layout)
+            .record(margin);
+      }
+    }
+  } else {
+    ++failslow_stats_.hedges_lost;
+  }
+  record_hedge_settled(won ? "hedge won" : "hedge lost", h.issued_at);
+  hedge_cancelled_.insert(extent.object.value());
+  if (won && h.primary_dead) return;  // the loser already died; no cancel
+  cancel_hedge_loser(extent.object, won ? h.primary : h.alt);
+}
+
+void RetrievalSimulator::cancel_hedge_loser(ObjectId obj, TapeId loser) {
+  // Withdraw queued work first: the loser's tape may still be waiting for
+  // a drive, or a switch may be en route to fetch it.
+  if (const auto it = needed_.find(loser.value()); it != needed_.end()) {
+    auto& vec = it->second;
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [obj](const catalog::TapeExtent& e) {
+                               return e.object == obj;
+                             }),
+              vec.end());
+    if (vec.empty()) {
+      needed_.erase(it);
+      const LibraryId lib_id = system_.library_of_tape(loser);
+      auto& queue = lib_queue_[lib_id.index()];
+      const auto q = std::find(queue.begin(), queue.end(), loser);
+      if (q != queue.end()) queue.erase(q);
+      for (DriveCtx& c : ctx_) {
+        if (c.switch_target != loser) continue;
+        if (c.robot_ticket == sim::Resource::kInvalidTicket) continue;
+        // Still in the robot's queue: withdraw the switch outright. Once
+        // the grant fired the exchange completes and the mounted cartridge
+        // simply finds no demand.
+        if (system_.library(lib_id).robot().cancel(c.robot_ticket)) {
+          c.robot_ticket = sim::Resource::kInvalidTicket;
+          c.switch_target = TapeId{};
+          c.busy = false;
+        }
+      }
+    }
+  }
+  // An active chain on the loser: splice out the object's future extents;
+  // a clean in-flight transfer of it is retracted mid-stream through the
+  // engine's cancel machinery.
+  for (std::uint32_t i = 0; i < ctx_.size(); ++i) {
+    const DriveId d{i};
+    tape::TapeDrive& drive = system_.drive(d);
+    ServeChain& chain = chain_[i];
+    if (!chain.active || drive.empty() || drive.mounted() != loser) continue;
+    for (std::size_t k = chain.extents.size(); k-- > chain.index + 1;) {
+      if (chain.extents[k].object == obj) {
+        chain.extents.erase(chain.extents.begin() +
+                            static_cast<std::ptrdiff_t>(k));
+      }
+    }
+    if (chain.index < chain.extents.size() &&
+        chain.extents[chain.index].object == obj &&
+        drive.state() == tape::DriveState::kTransferring &&
+        ctx_[i].transfer_event != 0) {
+      engine_.cancel(ctx_[i].transfer_event);
+      ctx_[i].transfer_event = 0;
+      const Bytes before = drive.head();
+      drive.abort_transfer(engine_.now() - ctx_[i].activity_start);
+      const std::uint64_t wasted =
+          Bytes::distance(before, drive.head()).count();
+      failslow_stats_.hedge_bytes_wasted += wasted;
+      if (config_.tracer != nullptr) {
+        config_.tracer->registry()
+            .counter("failslow.hedge_wasted_bytes")
+            .inc(wasted);
+      }
+      if (ctx_[i].disk_held) {
+        disk_streams_.release();
+        ctx_[i].disk_held = false;
+      }
+      ++chain.index;
+      chain.retries = 0;
+      serve_step(d);
+    }
+    // Anything else (locating, waiting for a disk slot, retry backoff, or
+    // a transfer with a fault interrupt booked) unwinds via the tombstone
+    // at its next activity boundary.
+  }
+}
+
+bool RetrievalSimulator::hedge_absorb_failure(
+    TapeId on, const catalog::TapeExtent& extent) {
+  if (!hedge_active()) return false;
+  const auto it = hedges_.find(extent.object.value());
+  if (it == hedges_.end()) return false;
+  Hedge& h = it->second;
+  if (on == h.alt) {
+    const bool primary_dead = h.primary_dead;
+    const Seconds issued = h.issued_at;
+    hedges_.erase(it);
+    ++failslow_stats_.hedges_lost;
+    record_hedge_settled(
+        primary_dead ? "both hedge legs failed" : "hedge leg failed", issued);
+    // With the primary still streaming the object stays covered (no
+    // tombstone: the primary's completion must count normally); with both
+    // legs dead the caller runs the ordinary failover ladder.
+    return !primary_dead;
+  }
+  if (on == h.primary && !h.primary_dead) {
+    // The primary died mid-race: the speculative leg silently becomes the
+    // real one and carries the object's accounting from here.
+    h.primary_dead = true;
+    return true;
+  }
+  return false;
+}
+
+void RetrievalSimulator::record_hedge_settled(const char* verdict,
+                                              Seconds issued_at) {
+  if (config_.tracer == nullptr) return;
+  const bool won = std::string(verdict) == "hedge won";
+  config_.tracer->registry()
+      .counter(won ? "failslow.hedges_won" : "failslow.hedges_lost")
+      .inc();
+  config_.tracer->record(obs::Span{
+      obs::Track::kHedge, config_.tracer->current_request().value(),
+      obs::Phase::kHedge, issued_at, engine_.now(),
+      config_.tracer->current_request(), TapeId{}, verdict});
+}
+
 // --- replica failover ---------------------------------------------------
 
 void RetrievalSimulator::fail_extent(TapeId on,
                                      const catalog::TapeExtent& extent) {
+  // Cancelled hedge losers were settled by the winner; a failing hedged
+  // leg hands the object to its racing twin instead of failing over.
+  if (hedge_tombstoned(extent) || hedge_absorb_failure(on, extent)) return;
   if (catalog_.has_replicas()) {
     auto& tried = tried_[extent.object.value()];
     if (std::find(tried.begin(), tried.end(), on) == tried.end()) {
@@ -1592,6 +2116,10 @@ void RetrievalSimulator::maybe_start_repair(DriveId d) {
   DriveCtx& ctx = ctx_[d.index()];
   if (ctx.busy || ctx.recovery_pending) return;
   if (!drive_available(d)) return;
+  // Quarantined drives take no background copies either; next_repair_wake
+  // covers their release so drain_repairs keeps waiting instead of
+  // abandoning jobs.
+  if (detector_active() && drive_quarantined(d)) return;
   const tape::TapeDrive& drive = system_.drive(d);
   if (!(drive.idle() || drive.empty())) return;
   if (!drive.empty() && needed_.count(drive.mounted().value()) != 0) return;
@@ -1806,7 +2334,8 @@ void RetrievalSimulator::repair_read_transfer(DriveId d) {
   RepairJob& job = *ctx.repair;
   tape::TapeDrive& drive = system_.drive(d);
   const TapeId tp = job.source;
-  const Seconds xfer = drive.start_transfer(job.size);
+  const Seconds xfer = drive.start_transfer(
+      job.size, fault_->drive_rate_multiplier(d, engine_.now()));
   ctx.activity_start = engine_.now();
   auto complete = [this, d, xfer]() {
     disk_streams_.release();
@@ -1908,7 +2437,8 @@ void RetrievalSimulator::repair_write_transfer(DriveId d) {
   DriveCtx& ctx = ctx_[d.index()];
   RepairJob& job = *ctx.repair;
   tape::TapeDrive& drive = system_.drive(d);
-  const Seconds xfer = drive.start_transfer(job.size);
+  const Seconds xfer = drive.start_transfer(
+      job.size, fault_->drive_rate_multiplier(d, engine_.now()));
   ctx.activity_start = engine_.now();
   auto complete = [this, d, xfer]() {
     disk_streams_.release();
@@ -2048,6 +2578,12 @@ Seconds RetrievalSimulator::next_repair_wake() {
   }
   for (std::uint32_t i = 0; i < ctx_.size(); ++i) {
     const DriveId d{i};
+    if (detector_active() && detector_[i].quarantined) {
+      // A quarantined fleet must not strand queued copies: wake at the
+      // earliest release (drive_quarantined re-extends it if the drive
+      // is observed still slow then).
+      wake = std::min(wake, detector_[i].release_at);
+    }
     if (!system_.drive(d).failed()) continue;
     if (const auto back = fault_->next_online_at(d, now)) {
       wake = std::min(wake, *back);
@@ -2150,6 +2686,7 @@ void RetrievalSimulator::maybe_start_scrub(DriveId d) {
   DriveCtx& ctx = ctx_[d.index()];
   if (ctx.busy || ctx.recovery_pending) return;
   if (!drive_available(d)) return;
+  if (detector_active() && drive_quarantined(d)) return;
   const tape::TapeDrive& drive = system_.drive(d);
   if (!(drive.idle() || drive.empty())) return;
   if (!drive.empty() && needed_.count(drive.mounted().value()) != 0) return;
@@ -2207,7 +2744,8 @@ void RetrievalSimulator::scrub_transfer(DriveId d, Bytes seg) {
   TAPESIM_ASSERT(ctx.scrub.has_value());
   const TapeId tp = ctx.scrub->tape;
   tape::TapeDrive& drive = system_.drive(d);
-  const Seconds xfer = drive.start_transfer(seg);
+  const Seconds xfer = drive.start_transfer(
+      seg, fault_->drive_rate_multiplier(d, engine_.now()));
   ctx.activity_start = engine_.now();
   // Verification is drive-internal (read + checksum); no staging-disk slot
   // is held, so scrubbing never queues behind foreground streams.
@@ -2495,6 +3033,11 @@ metrics::RequestOutcome RetrievalSimulator::run_request(
   mount_attempts_.clear();
   needed_.clear();
   remaining_extents_ = 0;
+  // Hedge races never straddle requests: every record settles at the
+  // winner, a leg failure, or the deadline. Tombstones only suppress
+  // stale legs within their own request.
+  TAPESIM_ASSERT(hedges_.empty());
+  hedge_cancelled_.clear();
   for (auto& dr : drive_req_) dr = DriveReq{};
   for (auto& q : lib_queue_) q.clear();
 
@@ -2667,6 +3210,7 @@ metrics::RequestOutcome RetrievalSimulator::run_request(
   TAPESIM_ASSERT_MSG(remaining_extents_ == 0,
                      "request finished with unserved objects");
   TAPESIM_ASSERT(needed_.empty());
+  TAPESIM_ASSERT_MSG(hedges_.empty(), "hedge race outlived its request");
 
   metrics::RequestOutcome outcome;
   outcome.request = id;
@@ -2765,6 +3309,14 @@ metrics::RequestOutcome RetrievalSimulator::run_request(
             .inc(c.latent_events - prev_fault_counters_.latent_events);
         tr.registry().counter("fault.latent_observed")
             .inc(c.latent_observed - prev_fault_counters_.latent_observed);
+      }
+      if (config_.faults.failslow.enabled()) {
+        tr.registry().counter("failslow.episodes")
+            .inc((c.slow_episodes + c.robot_slow_episodes) -
+                 (prev_fault_counters_.slow_episodes +
+                  prev_fault_counters_.robot_slow_episodes));
+        tr.registry().gauge("failslow.drive_s")
+            .set(c.slow_drive_seconds);
       }
       prev_fault_counters_ = c;
     }

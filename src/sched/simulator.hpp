@@ -24,6 +24,7 @@
 #include "fault/injector.hpp"
 #include "fault/model.hpp"
 #include "metrics/request_metrics.hpp"
+#include "sched/failslow.hpp"
 #include "sched/outage.hpp"
 #include "sched/repair.hpp"
 #include "sched/scrub.hpp"
@@ -85,6 +86,14 @@ struct SimulatorConfig {
   /// injection is enabled; otherwise inert. Works with or without plan
   /// replication — evacuated copies become catalog replicas either way.
   EvacuationConfig evacuation{};
+  /// Gray-failure detection + drive quarantine. Only takes effect when
+  /// fault injection is enabled (the injector is the ground truth the
+  /// detector is scored against); otherwise inert.
+  GrayDetectorConfig detector{};
+  /// Hedged reads against fail-slow tails. Only takes effect when the
+  /// plan carries replicas AND fault injection is enabled; otherwise
+  /// inert.
+  HedgeConfig hedge{};
 
   /// Recoverable validation of user-provided knobs (the fault, repair,
   /// scrub, and evacuation models); the simulator constructor throws
@@ -179,6 +188,10 @@ class RetrievalSimulator {
   /// Running totals of the library-outage reaction (RTO accounting).
   [[nodiscard]] const OutageStats& outage_stats() const {
     return outage_stats_;
+  }
+  /// Running totals of the gray-failure reaction (detector + hedging).
+  [[nodiscard]] const FailSlowStats& failslow_stats() const {
+    return failslow_stats_;
   }
 
  private:
@@ -286,6 +299,65 @@ class RetrievalSimulator {
   /// Syncs a cartridge health escalation into the catalog and schedules
   /// the re-replication the escalation calls for.
   void on_cartridge_health_change(TapeId tp, tape::CartridgeHealth health);
+
+  // --- gray-failure detection, quarantine, hedged reads ---
+  [[nodiscard]] bool detector_active() const {
+    return config_.detector.enabled && fault_ != nullptr;
+  }
+  [[nodiscard]] bool hedge_active() const {
+    return config_.hedge.enabled && replicated_ && fault_ != nullptr;
+  }
+  /// Records one completed foreground transfer: feeds the drive's
+  /// throughput EWMA (detector) and the normalized service-time history
+  /// (hedge trigger), then re-evaluates the detector for `d`.
+  void note_transfer_rate(DriveId d, Bytes amount, Seconds xfer);
+  /// Compares `d`'s EWMA against the fleet median of its peers; flags
+  /// after a sustained shortfall.
+  void evaluate_detector(DriveId d);
+  /// Scores a fresh flag against the injector's ground truth and opens a
+  /// quarantine window when the policy says so.
+  void flag_drive(DriveId d);
+  /// True while `d` sits in quarantine; lazily releases the drive once
+  /// its episode ended and probation passed (extending the window when
+  /// the drive is observed still slow at its release time).
+  [[nodiscard]] bool drive_quarantined(DriveId d);
+  /// True when every switch-eligible, non-failed drive of `lib` is
+  /// quarantined — the scheduler then falls back to quarantined drives
+  /// rather than queuing forever.
+  [[nodiscard]] bool quarantine_fallback(LibraryId lib);
+  /// Proactively returns the cartridge of an idle quarantined drive to
+  /// its cell (rewind -> robot -> unload -> move) so a healthy drive can
+  /// pick it up.
+  void quarantine_unmount(DriveId d);
+  /// Current adaptive hedge trigger as a multiple of the native transfer
+  /// duration (percentile of history, floored at min_overrun).
+  [[nodiscard]] double hedge_threshold_ratio() const;
+  /// Arms the hedge alarm for a clean in-flight transfer that will
+  /// overrun the adaptive trigger.
+  void maybe_arm_hedge(DriveId d, const catalog::TapeExtent& extent,
+                       Seconds xfer);
+  /// The alarm fired mid-transfer: re-validate, check the budget, pick a
+  /// replica in another library, and launch the speculative chain.
+  void maybe_launch_hedge(DriveId d, catalog::TapeExtent extent,
+                          Seconds eta);
+  /// The winning leg of a hedged object just completed on `d`: settle
+  /// the ledger and cancel the loser.
+  void settle_hedge_winner(DriveId d, const catalog::TapeExtent& extent);
+  /// Withdraws the losing leg: queued extents are erased, a still-queued
+  /// switch is cancelled, an in-flight clean transfer is aborted through
+  /// the engine's cancel machinery; everything else unwinds via the
+  /// tombstone at its next activity boundary.
+  void cancel_hedge_loser(ObjectId obj, TapeId loser);
+  /// One leg of a hedged object failed on tape `on`. True when the hedge
+  /// machinery absorbed the failure (the other leg carries the object);
+  /// false when the caller must handle it normally.
+  bool hedge_absorb_failure(TapeId on, const catalog::TapeExtent& extent);
+  /// True when `extent` is a cancelled hedge loser (skipped at every
+  /// serve boundary).
+  [[nodiscard]] bool hedge_tombstoned(const catalog::TapeExtent& extent)
+      const;
+  /// Emits a settled-hedge span and bumps the registry ledger counters.
+  void record_hedge_settled(const char* verdict, Seconds issued_at);
 
   // --- background repair ---
   [[nodiscard]] bool repair_active() const {
@@ -447,6 +519,10 @@ class RetrievalSimulator {
     std::optional<RepairJob> repair;
     /// The verification pass this drive is running, when busy with scrub.
     std::optional<ScrubJob> scrub;
+    /// Pending completion of a clean foreground transfer (no fault or
+    /// media interrupt booked); lets the hedge machinery cancel the
+    /// losing leg mid-stream. 0 when no cancellable transfer is up.
+    sim::EventId transfer_event = 0;
   };
   std::vector<DriveCtx> ctx_;
 
@@ -533,6 +609,42 @@ class RetrievalSimulator {
   /// inside register_outage's loss loop; tags jobs as DR traffic).
   LibraryId dr_tag_{};
   std::uint32_t extents_parked_this_request_ = 0;
+
+  // --- gray-failure state (all empty/zero unless detector/hedge on) ---
+  /// Per-drive detector view: throughput EWMA over completed foreground
+  /// transfers and the flag/quarantine window bookkeeping.
+  struct DetectorState {
+    double tput_ewma = 0.0;  ///< Bytes/s EWMA; 0 until the first sample.
+    std::uint32_t samples = 0;
+    Seconds below_since{};  ///< kNever-like inf when not below threshold.
+    bool flagged = false;
+    Seconds flagged_at{};
+    bool quarantined = false;
+    Seconds release_at{};  ///< Earliest quarantine exit (re-extended).
+  };
+  std::vector<DetectorState> detector_;
+  /// One speculative race per object (requests carry unique objects, so
+  /// the object value is a safe key).
+  struct Hedge {
+    TapeId primary{};     ///< Tape the original chain reads from.
+    TapeId alt{};         ///< Tape of the speculative leg.
+    Seconds primary_eta{};  ///< Projected finish of the primary stream.
+    Seconds issued_at{};
+    /// The primary leg failed; the speculative leg now carries the
+    /// object's accounting alone.
+    bool primary_dead = false;
+  };
+  std::unordered_map<std::uint32_t, Hedge> hedges_;
+  /// Objects whose losing leg was cancelled; skipped at serve
+  /// boundaries until the request ends.
+  std::unordered_set<std::uint32_t> hedge_cancelled_;
+  /// Ring buffer of normalized service times (actual / native duration)
+  /// over completed foreground transfers.
+  std::vector<double> hedge_ratio_;
+  std::size_t hedge_ratio_next_ = 0;
+  std::uint64_t hedge_bytes_ = 0;   ///< Speculative bytes launched.
+  std::uint64_t served_bytes_ = 0;  ///< Foreground bytes completed.
+  FailSlowStats failslow_stats_;
 };
 
 }  // namespace tapesim::sched

@@ -70,20 +70,24 @@ void TapeDrive::finish_locate() {
   transition(DriveState::kIdle);
 }
 
-Seconds TapeDrive::start_transfer(Bytes amount) {
+Seconds TapeDrive::start_transfer(Bytes amount, double rate_multiplier) {
   TAPESIM_ASSERT_MSG(state_ == DriveState::kIdle,
                      "transfer requires an idle, mounted drive");
   TAPESIM_ASSERT_MSG(head_ + amount <= motion_.capacity(),
                      "transfer would run off the end of the tape");
+  TAPESIM_ASSERT_MSG(rate_multiplier > 0.0 && rate_multiplier <= 1.0,
+                     "rate multiplier must be in (0, 1]");
   pending_target_ = head_ + amount;
+  effective_rate_ = BytesPerSecond{spec_.transfer_rate.count() *
+                                   rate_multiplier};
   transition(DriveState::kTransferring);
-  return duration_for(amount, spec_.transfer_rate);
+  return duration_for(amount, effective_rate_);
 }
 
 void TapeDrive::finish_transfer() {
   TAPESIM_ASSERT(state_ == DriveState::kTransferring);
   const Bytes amount = pending_target_ - head_;
-  stats_.transferring += duration_for(amount, spec_.transfer_rate);
+  stats_.transferring += duration_for(amount, effective_rate_);
   stats_.bytes_read += amount;
   ++stats_.objects_read;
   head_ = pending_target_;
@@ -145,7 +149,7 @@ void TapeDrive::fail(Seconds elapsed) {
       break;
     case DriveState::kTransferring: {
       stats_.transferring += elapsed;
-      head_ += bytes_streamed(elapsed, spec_.transfer_rate,
+      head_ += bytes_streamed(elapsed, effective_rate_,
                               pending_target_ - head_);
       break;
     }
@@ -172,7 +176,7 @@ void TapeDrive::abort_transfer(Seconds elapsed) {
                      "abort_transfer requires an active transfer");
   TAPESIM_ASSERT_MSG(elapsed.count() >= 0.0, "negative activity time");
   stats_.transferring += elapsed;
-  head_ += bytes_streamed(elapsed, spec_.transfer_rate,
+  head_ += bytes_streamed(elapsed, effective_rate_,
                           pending_target_ - head_);
   transition(DriveState::kIdle);
 }

@@ -103,7 +103,11 @@ class TapeDrive {
   void finish_locate();
 
   /// Begin streaming `amount` from the current head position. Must be idle.
-  Seconds start_transfer(Bytes amount);
+  /// `rate_multiplier` (in (0, 1]) scales the spec transfer rate for this
+  /// one transfer — the fault layer's fail-slow episodes; the effective
+  /// rate is held for the transfer so interrupted-transfer byte accounting
+  /// (fail / abort_transfer) stays exact.
+  Seconds start_transfer(Bytes amount, double rate_multiplier = 1.0);
   void finish_transfer();
 
   /// Begin rewinding to BOT. Must be idle. Duration depends on head position.
@@ -158,6 +162,8 @@ class TapeDrive {
   TapeId mounted_{};
   Bytes head_{};
   Bytes pending_target_{};  // locate destination / transfer end
+  /// Rate of the in-flight transfer (spec rate x fail-slow multiplier).
+  BytesPerSecond effective_rate_{};
   DriveStats stats_;
   DriveObserver* observer_ = nullptr;
 };

@@ -166,6 +166,99 @@ TEST(OutageConfig, DisabledConfigToleratesIdleDrKnobs) {
   EXPECT_TRUE(o.try_validate().ok());
 }
 
+TEST(FailSlowConfig, EnablesViaMtbfOrPlantedEpisodeAndValidates) {
+  FaultConfig c;
+  EXPECT_FALSE(c.failslow.enabled());
+  c.failslow.drive_slow_mtbf = Seconds{50000.0};
+  EXPECT_TRUE(c.failslow.enabled());
+  EXPECT_TRUE(c.enabled());  // fail-slow alone arms the injector
+  EXPECT_TRUE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.failslow.robot_slow_mtbf = Seconds{50000.0};
+  EXPECT_TRUE(c.failslow.enabled());
+  EXPECT_TRUE(c.enabled());
+  EXPECT_TRUE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.failslow.planted_drive = 0;
+  c.failslow.planted_duration = Seconds{3600.0};
+  EXPECT_TRUE(c.failslow.enabled());
+  EXPECT_TRUE(c.enabled());
+  EXPECT_TRUE(c.try_validate().ok());
+}
+
+TEST(FailSlowConfig, RejectsBadDriveEpisodeKnobs) {
+  FaultConfig c;
+  c.failslow.drive_slow_mtbf = Seconds{-1.0};
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.failslow.drive_slow_mtbf = Seconds{50000.0};
+  c.failslow.drive_slow_duration = Seconds{0.0};
+  EXPECT_FALSE(c.try_validate().ok());
+  // Severity is a rate multiplier strictly inside (0, 1): 0 would be
+  // fail-stop, 1 a no-op, and min may not exceed max.
+  c = FaultConfig{};
+  c.failslow.drive_severity_min = 0.0;
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.failslow.drive_severity_max = 1.0;
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.failslow.drive_severity_min = 0.6;
+  c.failslow.drive_severity_max = 0.4;
+  EXPECT_FALSE(c.try_validate().ok());
+}
+
+TEST(FailSlowConfig, RejectsBadRobotEpisodeKnobs) {
+  FaultConfig c;
+  c.failslow.robot_slow_mtbf = Seconds{-1.0};
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.failslow.robot_slow_mtbf = Seconds{50000.0};
+  c.failslow.robot_slow_duration = Seconds{0.0};
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.failslow.robot_severity_min = 0.0;
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.failslow.robot_severity_max = 1.0;
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.failslow.robot_severity_min = 0.7;
+  c.failslow.robot_severity_max = 0.5;
+  EXPECT_FALSE(c.try_validate().ok());
+}
+
+TEST(FailSlowConfig, RejectsBadPlantedEpisodeKnobs) {
+  FaultConfig c;
+  c.failslow.planted_drive = 0;
+  c.failslow.planted_at = Seconds{-1.0};
+  c.failslow.planted_duration = Seconds{3600.0};
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.failslow.planted_drive = 0;
+  c.failslow.planted_duration = Seconds{0.0};
+  EXPECT_FALSE(c.try_validate().ok());
+  c = FaultConfig{};
+  c.failslow.planted_drive = 0;
+  c.failslow.planted_duration = Seconds{3600.0};
+  c.failslow.planted_severity = 0.0;
+  EXPECT_FALSE(c.try_validate().ok());
+  c.failslow.planted_severity = 1.0;
+  EXPECT_FALSE(c.try_validate().ok());
+}
+
+TEST(FailSlowConfig, DisabledConfigToleratesIdlePlantedKnobs) {
+  // Planted knobs are inert while planted_drive is -1; durations and
+  // severities only need to be sane once an episode is actually armed.
+  FailSlowConfig f;
+  EXPECT_TRUE(f.try_validate().ok());
+  f.planted_at = Seconds{-5.0};
+  f.planted_duration = Seconds{0.0};
+  f.planted_severity = 0.0;
+  EXPECT_TRUE(f.try_validate().ok());
+  EXPECT_FALSE(f.enabled());
+}
+
 TEST(FaultConfig, NestedBackoffFailuresSurface) {
   FaultConfig c;
   c.mount_retry.multiplier = 0.0;

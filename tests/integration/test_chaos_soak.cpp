@@ -16,11 +16,16 @@
 // The plan is built once (placement is deterministic and expensive); each
 // seed gets its own simulator, fault mix, scrub/evacuation posture, storm
 // arrival schedule, deadlines, and overload-pressure toggles.
+//
+// A second soak runs a 2-way replicated plan under random fail-slow
+// episodes with the gray-failure detector, quarantine, and hedged reads
+// live, and reconciles the failslow.* ledger exactly.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <vector>
 
+#include "core/replication.hpp"
 #include "exp/experiment.hpp"
 #include "obs/tracer.hpp"
 #include "sched/simulator.hpp"
@@ -32,6 +37,31 @@ namespace tapesim {
 namespace {
 
 using metrics::RequestStatus;
+
+/// Every cartridge sits in at most one drive and the tape/drive maps
+/// agree (checked at request boundaries by both soaks).
+void check_mount_exclusivity(const sched::RetrievalSimulator& sim,
+                             const tape::SystemSpec& spec) {
+  const std::uint32_t drives = spec.total_drives();
+  const std::uint32_t tapes = spec.total_tapes();
+  std::vector<std::uint32_t> held(drives, 0);
+  for (std::uint32_t t = 0; t < tapes; ++t) {
+    if (const auto d = sim.system().drive_holding(TapeId{t})) {
+      ASSERT_LT(d->value(), drives);
+      ++held[d->value()];
+      ASSERT_LE(held[d->value()], 1u) << "drive " << d->value()
+                                      << " holds two cartridges";
+    }
+  }
+  for (std::uint32_t d = 0; d < drives; ++d) {
+    const auto& drive = sim.system().drive(DriveId{d});
+    if (!drive.empty() && !drive.failed()) {
+      const auto holder = sim.system().drive_holding(drive.mounted());
+      ASSERT_TRUE(holder.has_value());
+      EXPECT_EQ(holder->value(), d) << "tape/drive maps disagree";
+    }
+  }
+}
 
 /// Shared scenario: a small two-library system and a parallel-batch plan.
 struct Fixture {
@@ -133,28 +163,6 @@ TEST_P(ChaosSoak, InvariantsSurviveRandomizedSchedules) {
   const workload::RequestSampler sampler(fx.experiment.workload());
   const auto arrivals = workload::storm_arrivals(sampler, storm, 25, rng);
 
-  const auto check_mount_exclusivity = [&] {
-    const std::uint32_t drives = fx.config.spec.total_drives();
-    const std::uint32_t tapes = fx.config.spec.total_tapes();
-    std::vector<std::uint32_t> held(drives, 0);
-    for (std::uint32_t t = 0; t < tapes; ++t) {
-      if (const auto d = sim.system().drive_holding(TapeId{t})) {
-        ASSERT_LT(d->value(), drives);
-        ++held[d->value()];
-        ASSERT_LE(held[d->value()], 1u) << "drive " << d->value()
-                                        << " holds two cartridges";
-      }
-    }
-    for (std::uint32_t d = 0; d < drives; ++d) {
-      const auto& drive = sim.system().drive(DriveId{d});
-      if (!drive.empty() && !drive.failed()) {
-        const auto holder = sim.system().drive_holding(drive.mounted());
-        ASSERT_TRUE(holder.has_value());
-        EXPECT_EQ(holder->value(), d) << "tape/drive maps disagree";
-      }
-    }
-  };
-
   Seconds prev_now{};
   std::uint64_t parked_extents_sum = 0;
   std::uint64_t parked_requests_sum = 0;
@@ -214,7 +222,7 @@ TEST_P(ChaosSoak, InvariantsSurviveRandomizedSchedules) {
     parked_extents_sum += o.extents_parked;
     if (o.extents_parked > 0) ++parked_requests_sum;
 
-    check_mount_exclusivity();
+    check_mount_exclusivity(sim, fx.config.spec);
   }
 
   // End-of-run reconciliation: the obs registry agrees exactly with the
@@ -269,6 +277,184 @@ TEST_P(ChaosSoak, InvariantsSurviveRandomizedSchedules) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoak,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+/// Replicated scenario for the fail-slow soak: the same two-library
+/// system with extra tapes and a 2-way replicated parallel-batch plan,
+/// so every object keeps a cross-library copy for hedged reads to race.
+struct ReplicatedFixture {
+  exp::ExperimentConfig config;
+  exp::Experiment experiment;
+  core::PlacementPlan plan;
+
+  ReplicatedFixture()
+      : config(make_config()), experiment(config), plan(make_plan()) {}
+
+  static exp::ExperimentConfig make_config() {
+    exp::ExperimentConfig c;
+    c.spec.num_libraries = 2;
+    c.spec.library.drives_per_library = 3;
+    // Replicas land on tapes the primary layout left empty, so the pool
+    // is sized at several times the primary footprint.
+    c.spec.library.tapes_per_library = 24;
+    c.spec.library.tape_capacity = 40_GB;
+    c.workload.num_objects = 800;
+    c.workload.num_requests = 60;
+    c.workload.min_objects_per_request = 2;
+    c.workload.max_objects_per_request = 8;
+    c.workload.object_groups = 20;
+    c.workload.min_object_size = Bytes{100ULL * 1000 * 1000};
+    c.workload.max_object_size = Bytes{1500ULL * 1000 * 1000};
+    c.seed = 11;
+    return c;
+  }
+
+  core::PlacementPlan make_plan() const {
+    const auto schemes = exp::make_standard_schemes(2);
+    core::PlacementContext context{&experiment.workload(), &config.spec,
+                                   &experiment.clusters()};
+    core::ReplicationPolicy::Params rp;
+    rp.replicas = 2;
+    return core::ReplicationPolicy(*schemes.parallel_batch, rp)
+        .place(context);
+  }
+
+  static const ReplicatedFixture& instance() {
+    static const ReplicatedFixture fixture;
+    return fixture;
+  }
+};
+
+/// Fail-slow posture: drive degraded-throughput episodes on every seed,
+/// robot slowdowns on most, the gray-failure detector and hedged reads
+/// always live, quarantine on most seeds — all interleaved with the
+/// ordinary hardware-fault background.
+sched::SimulatorConfig failslow_chaos_config(Rng& rng, obs::Tracer* tracer) {
+  sched::SimulatorConfig cfg;
+  cfg.tracer = tracer;
+  cfg.faults.seed = rng();
+  cfg.faults.mount_failure_prob = rng.uniform(0.0, 0.04);
+  cfg.faults.media_error_per_gb = rng.uniform() < 0.4 ? 0.002 : 0.0;
+  if (rng.uniform() < 0.4) {
+    cfg.faults.drive_mtbf = Seconds{rng.uniform(8e4, 3e5)};
+    cfg.faults.drive_mttr = Seconds{900.0};
+    cfg.faults.permanent_fraction = 0.1;
+  }
+  cfg.faults.failslow.drive_slow_mtbf = Seconds{rng.uniform(5e3, 4e4)};
+  cfg.faults.failslow.drive_slow_duration =
+      Seconds{rng.uniform(2000.0, 10000.0)};
+  cfg.faults.failslow.drive_severity_min = 0.02;
+  cfg.faults.failslow.drive_severity_max = rng.uniform(0.1, 0.3);
+  cfg.faults.failslow.progressive = rng.uniform() < 0.3;
+  if (rng.uniform() < 0.6) {
+    cfg.faults.failslow.robot_slow_mtbf = Seconds{rng.uniform(3e4, 1.5e5)};
+    cfg.faults.failslow.robot_slow_duration =
+        Seconds{rng.uniform(1000.0, 6000.0)};
+  }
+  cfg.detector.enabled = true;
+  cfg.detector.quarantine = rng.uniform() < 0.8;
+  cfg.detector.window = Seconds{rng.uniform(600.0, 1500.0)};
+  cfg.detector.probation = Seconds{rng.uniform(900.0, 3600.0)};
+  cfg.hedge.enabled = true;
+  cfg.hedge.min_history = 8;
+  cfg.hedge.budget_fraction = rng.uniform(0.1, 0.3);
+  EXPECT_TRUE(cfg.try_validate().ok());
+  return cfg;
+}
+
+class FailSlowChaosSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FailSlowChaosSoak, HedgeAndQuarantineLedgersSurviveRandomSchedules) {
+  const std::uint64_t seed = GetParam();
+  const ReplicatedFixture& fx = ReplicatedFixture::instance();
+  Rng rng{seed * 0xD1B54A32D192ED03ULL + 1};
+
+  obs::Tracer tracer;
+  const sched::SimulatorConfig cfg = failslow_chaos_config(rng, &tracer);
+  sched::RetrievalSimulator sim(fx.plan, cfg);
+
+  workload::StormConfig storm;
+  storm.base_rate = 1.0 / 400.0;
+  storm.burst_rate = 1.0 / 40.0;
+  storm.mean_burst_duration = Seconds{1200.0};
+  storm.mean_calm_duration = Seconds{4000.0};
+  storm.batch_fraction = 0.4;
+  const workload::RequestSampler sampler(fx.experiment.workload());
+  const auto arrivals = workload::storm_arrivals(sampler, storm, 25, rng);
+
+  Seconds prev_now{};
+  for (const auto& arrival : arrivals) {
+    if (sim.engine().now() < arrival.time) {
+      sim.engine().schedule_at(arrival.time, [] {});
+      sim.engine().run();
+    }
+
+    sched::RequestContext ctx;
+    ctx.priority = arrival.priority;
+    if (rng.uniform() < 0.5) {
+      ctx.deadline = sim.engine().now() + Seconds{rng.uniform(1200.0, 9000.0)};
+    }
+    const auto o = sim.run_request(arrival.request, ctx);
+
+    EXPECT_GE(sim.engine().now().count(), prev_now.count());
+    prev_now = sim.engine().now();
+
+    // Byte conservation holds with hedges in flight: the speculative
+    // chain and the primary share one accounting slot per object, so no
+    // byte is served twice and no loser leaks into the outcome.
+    Bytes expected{};
+    for (const ObjectId obj :
+         fx.experiment.workload().request(arrival.request).objects) {
+      expected += fx.experiment.workload().object_size(obj);
+    }
+    ASSERT_EQ(o.bytes.count(), expected.count());
+    ASSERT_EQ(o.bytes_served().count() + o.bytes_unavailable.count() +
+                  o.bytes_expired.count(),
+              o.bytes.count());
+    EXPECT_EQ(o.extents_parked, 0u) << "no outages in this posture";
+
+    check_mount_exclusivity(sim, fx.config.spec);
+  }
+
+  // End-of-run reconciliation: the failslow.* registry lane, the
+  // scheduler's FailSlowStats, and the injector's episode counters agree
+  // exactly, and the hedge ledger balances.
+  auto& reg = tracer.registry();
+  EXPECT_EQ(reg.counter("sched.requests").value(), arrivals.size());
+
+  const fault::FaultInjector* inj = sim.fault_injector();
+  ASSERT_NE(inj, nullptr);
+  const fault::FaultCounters& fc = inj->counters();
+  EXPECT_EQ(reg.counter("fault.mount_failures").value(), fc.mount_failures);
+  EXPECT_EQ(reg.counter("fault.media_errors").value(), fc.media_errors);
+  EXPECT_EQ(reg.counter("fault.drive_failures").value(), fc.drive_failures);
+
+  const sched::FailSlowStats& fs = sim.failslow_stats();
+  EXPECT_EQ(reg.counter("failslow.detected").value(), fs.detected);
+  EXPECT_EQ(reg.counter("failslow.false_positives").value(),
+            fs.false_positives);
+  EXPECT_EQ(reg.counter("failslow.quarantines").value(), fs.quarantines);
+  EXPECT_EQ(reg.counter("failslow.hedges_issued").value(), fs.hedges_issued);
+  EXPECT_EQ(reg.counter("failslow.hedges_won").value(), fs.hedges_won);
+  EXPECT_EQ(reg.counter("failslow.hedges_lost").value(), fs.hedges_lost);
+  EXPECT_EQ(reg.counter("failslow.hedge_wasted_bytes").value(),
+            fs.hedge_bytes_wasted);
+  EXPECT_EQ(fs.hedges_issued, fs.hedges_won + fs.hedges_lost);
+  if (cfg.detector.quarantine) {
+    EXPECT_EQ(fs.quarantines, fs.detected + fs.false_positives);
+  } else {
+    EXPECT_EQ(fs.quarantines, 0u);
+  }
+
+  EXPECT_EQ(reg.counter("failslow.episodes").value(),
+            fc.slow_episodes + fc.robot_slow_episodes);
+  EXPECT_EQ(reg.gauge("failslow.drive_s").value(), fc.slow_drive_seconds);
+  if (cfg.faults.failslow.robot_slow_mtbf.count() == 0.0) {
+    EXPECT_EQ(fc.robot_slow_episodes, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailSlowChaosSoak,
                          ::testing::Range<std::uint64_t>(1, 21));
 
 }  // namespace
