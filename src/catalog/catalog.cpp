@@ -139,6 +139,31 @@ Bytes ObjectCatalog::used_on(TapeId tape) const {
   return used_[tape.index()];
 }
 
+bool ObjectCatalog::equals(const ObjectCatalog& other) const {
+  if (primary_.size() != other.primary_.size()) return false;
+  if (replica_total_ != other.replica_total_) return false;
+  if (used_ != other.used_) return false;
+  if (health_ != other.health_) return false;
+  if (retired_ != other.retired_) return false;
+  if (by_tape_ != other.by_tape_) return false;
+  bool equal = true;
+  for_each_primary([&](const ObjectRecord& rec) {
+    if (!equal) return;
+    const ObjectRecord* theirs = other.lookup(rec.object);
+    if (theirs == nullptr || !(*theirs == rec)) {
+      equal = false;
+      return;
+    }
+    const std::span<const ObjectRecord> mine = replicas(rec.object);
+    const std::span<const ObjectRecord> peers = other.replicas(rec.object);
+    if (mine.size() != peers.size() ||
+        !std::equal(mine.begin(), mine.end(), peers.begin())) {
+      equal = false;
+    }
+  });
+  return equal;
+}
+
 void ObjectCatalog::validate(Bytes tape_capacity) const {
   std::size_t secondary_total = 0;
   for (std::uint32_t t = 0; t < by_tape_.size(); ++t) {

@@ -44,6 +44,8 @@ struct ObjectRecord {
   Bytes offset;  ///< Distance of the object's first byte from BOT.
 
   [[nodiscard]] Bytes end_offset() const { return offset + size; }
+
+  friend bool operator==(const ObjectRecord&, const ObjectRecord&) = default;
 };
 
 /// One object's extent on a tape, as stored in the secondary index.
@@ -51,6 +53,8 @@ struct TapeExtent {
   ObjectId object;
   Bytes offset;
   Bytes size;
+
+  friend bool operator==(const TapeExtent&, const TapeExtent&) = default;
 };
 
 class ObjectCatalog {
@@ -113,6 +117,20 @@ class ObjectCatalog {
   [[nodiscard]] std::uint32_t tape_count() const {
     return static_cast<std::uint32_t>(by_tape_.size());
   }
+
+  /// Visits every primary record in ascending object-id order (B+-tree
+  /// iteration); snapshot capture and state comparison walk this.
+  template <typename Visitor>
+  void for_each_primary(Visitor&& visit) const {
+    for (const auto& [key, rec] : primary_) visit(rec);
+  }
+
+  /// Field-by-field state equality: primaries, per-object replica lists
+  /// (insertion order included — best_replica tie-breaks on it), per-tape
+  /// extents and usage, health, and retirements. The crash-recovery
+  /// invariant ("replayed catalog exactly equals the never-crashed
+  /// catalog") is asserted through this.
+  [[nodiscard]] bool equals(const ObjectCatalog& other) const;
 
   /// Verifies global consistency: extents sorted, non-overlapping, within
   /// `tape_capacity`; primary and secondary agree. Aborts on violation.

@@ -30,6 +30,7 @@ FaultInjector::FaultInjector(const FaultConfig& config,
   outage_base_ = root.split("outage");
   const Rng failslow_base = root.split("failslow");
   robotslow_base_ = root.split("robotslow");
+  crash_rng_ = root.split("crash");
   drives_per_library_ = spec.library.drives_per_library;
 
   const std::uint32_t num_drives = spec.total_drives();
@@ -528,6 +529,21 @@ Seconds FaultInjector::robot_jam_delay(LibraryId lib) {
     return config_.robot_jam_clear;
   }
   return Seconds{0.0};
+}
+
+std::optional<FaultInjector::CrashEvent> FaultInjector::next_metadata_crash(
+    Seconds now) {
+  const double mtbf = config_.crash.metadata_mtbf.count();
+  if (mtbf <= 0.0) return std::nullopt;
+  if (!crash_started_) {
+    crash_started_ = true;
+    next_crash_at_ = Seconds{sample_exponential(crash_rng_, mtbf)};
+  }
+  if (next_crash_at_ > now) return std::nullopt;
+  CrashEvent ev{next_crash_at_, crash_rng_.uniform()};
+  next_crash_at_ += Seconds{sample_exponential(crash_rng_, mtbf)};
+  ++counters_.metadata_crashes;
+  return ev;
 }
 
 }  // namespace tapesim::fault

@@ -48,6 +48,7 @@ struct FaultCounters {
   std::uint64_t slow_episodes = 0;       ///< Drive fail-slow episodes.
   std::uint64_t robot_slow_episodes = 0; ///< Robot slowdown episodes.
   double slow_drive_seconds = 0.0;  ///< Summed drive episode durations (s).
+  std::uint64_t metadata_crashes = 0;  ///< Metadata-server crash arrivals.
 };
 
 class FaultInjector {
@@ -170,6 +171,24 @@ class FaultInjector {
   /// Extra delay for one robot move in library `lib`: the configured clear
   /// time if the move jams, zero otherwise.
   [[nodiscard]] Seconds robot_jam_delay(LibraryId lib);
+
+  // --- metadata-server crashes ---
+
+  /// One crash arrival with its torn-tail draw: `at` is the crash instant,
+  /// `torn` the uniform [0, 1) value picking how much of the unsynced
+  /// journal suffix survived.
+  struct CrashEvent {
+    Seconds at{};
+    double torn = 0.0;
+  };
+
+  /// Consumes and returns the earliest unobserved crash arrival at or
+  /// before `now`; nullopt when none is due (or crashes are disabled — no
+  /// draws consumed). Crash arrivals form a Poisson process on their own
+  /// substream, observed lazily at admission boundaries; each arrival
+  /// consumes exactly two draws (gap + torn tail) regardless of journal
+  /// state, so the timeline is independent of fsync policy.
+  [[nodiscard]] std::optional<CrashEvent> next_metadata_crash(Seconds now);
 
   // --- fail-slow episodes ---
   //
@@ -294,6 +313,9 @@ class FaultInjector {
   std::vector<SlowTimeline> slow_drives_;  ///< One per drive.
   std::vector<SlowTimeline> slow_robots_;  ///< One per library, on demand.
   bool planted_counted_ = false;  ///< Planted episode counted on first hit.
+  Rng crash_rng_;                 ///< Metadata crash arrivals + torn draws.
+  Seconds next_crash_at_{};       ///< Next unobserved crash arrival.
+  bool crash_started_ = false;
 };
 
 }  // namespace tapesim::fault

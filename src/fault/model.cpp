@@ -55,6 +55,13 @@ Status FailSlowConfig::try_validate() const {
   return check.take();
 }
 
+Status CrashConfig::try_validate() const {
+  StatusBuilder check("CrashConfig");
+  check.require(metadata_mtbf.count() >= 0.0,
+                "metadata-server MTBF must be >= 0");
+  return check.take();
+}
+
 Status FaultConfig::try_validate() const {
   StatusBuilder check("FaultConfig");
   check.require(drive_mtbf.count() >= 0.0, "drive MTBF must be >= 0");
@@ -83,6 +90,7 @@ Status FaultConfig::try_validate() const {
   check.merge(media_retry.try_validate("FaultConfig media retry"));
   check.merge(outage.try_validate());
   check.merge(failslow.try_validate());
+  check.merge(crash.try_validate());
   return check.take();
 }
 

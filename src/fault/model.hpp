@@ -127,6 +127,27 @@ struct FailSlowConfig {
   [[nodiscard]] Status try_validate() const;
 };
 
+/// Metadata-server crashes: the control plane (catalog + journal) halts on
+/// a Poisson arrival timeline and must replay its way back. Crashes are
+/// observed lazily at admission boundaries (never via standing events) on
+/// the injector's "crash" substream; each crash also consumes one uniform
+/// draw deciding how much of the unsynced journal suffix physically landed
+/// before the power went (the torn tail). Defaults disable the class; the
+/// simulator additionally requires the catalog journal to be enabled when
+/// crashes are (a crash without a log would lose the whole catalog).
+struct CrashConfig {
+  /// Mean time between metadata-server crashes; 0 disables.
+  Seconds metadata_mtbf{};
+  /// When false, the unsynced journal suffix survives crashes intact
+  /// (every pending record replays); the torn-tail draw is still consumed
+  /// so timelines match the torn run draw-for-draw.
+  bool torn_tail = true;
+
+  [[nodiscard]] bool enabled() const { return metadata_mtbf.count() > 0.0; }
+
+  [[nodiscard]] Status try_validate() const;
+};
+
 struct FaultConfig {
   /// Root seed of the fault RNG tree; independent of the workload stream.
   std::uint64_t seed = 0x46415553;  // "FAUS"
@@ -176,13 +197,16 @@ struct FaultConfig {
   // --- fail-slow episodes ---
   FailSlowConfig failslow{};
 
+  // --- metadata-server crashes ---
+  CrashConfig crash{};
+
   /// True when any fault class is active. The scheduler only builds an
   /// injector (and only pays any overhead) when this returns true.
   [[nodiscard]] bool enabled() const {
     return drive_mtbf.count() > 0.0 || mount_failure_prob > 0.0 ||
            media_error_per_gb > 0.0 || robot_jam_prob > 0.0 ||
            latent_decay_mtbf.count() > 0.0 || outage.enabled() ||
-           failslow.enabled();
+           failslow.enabled() || crash.enabled();
   }
 
   [[nodiscard]] Status try_validate() const;

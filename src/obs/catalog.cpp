@@ -8,7 +8,7 @@ namespace tapesim::obs {
 namespace {
 
 // Sorted by name (find_metric binary-searches; a test asserts the order).
-constexpr std::array<MetricInfo, 61> kCatalog{{
+constexpr std::array<MetricInfo, 70> kCatalog{{
     {"engine.events.cancelled", "counter", "",
      "pending events cancelled before dispatch"},
     {"engine.events.dispatched", "counter", "",
@@ -99,6 +99,24 @@ constexpr std::array<MetricInfo, 61> kCatalog{{
      "simulated time covered by the profiled runs"},
     {"profiler.sim_s_per_wall_s", "gauge", "s/s",
      "simulated seconds per wall second"},
+    {"recovery.admissions_parked", "counter", "",
+     "requests that waited out a metadata-recovery window at admission"},
+    {"recovery.checkpoints", "counter", "",
+     "catalog snapshot checkpoints taken (journal truncations)"},
+    {"recovery.crashes", "counter", "",
+     "metadata-server crashes observed and recovered"},
+    {"recovery.downtime_s", "gauge", "s",
+     "accumulated metadata-unavailable time across recoveries"},
+    {"recovery.lost_mutations", "counter", "",
+     "journal records lost to torn tails across all crashes"},
+    {"recovery.metadata_rto_s", "histogram", "s",
+     "crash to catalog replayed (metadata recovery-time objective)"},
+    {"recovery.reconciled_mutations", "counter", "",
+     "lost mutations re-derived from tape reality after replay"},
+    {"recovery.records_replayed", "counter", "",
+     "journal records applied by recovery replays"},
+    {"recovery.snapshot_age_s", "histogram", "s",
+     "age of the latest snapshot at each crash"},
     {"repair.completed", "counter", "",
      "re-replication / evacuation copy jobs finished"},
     {"repair.copied_bytes", "counter", "bytes",

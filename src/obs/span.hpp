@@ -26,6 +26,7 @@ enum class Track : std::uint8_t {
   kOutage = 8,   ///< Library outage windows (tid = library id).
   kHedge = 9,    ///< Speculative hedged reads (tid = request id).
   kQuarantine = 10,  ///< Gray-failure quarantine windows (tid = drive id).
+  kRecovery = 11,    ///< Metadata crash-recovery windows (tid = crash #).
 };
 
 enum class Phase : std::uint8_t {
@@ -46,6 +47,7 @@ enum class Phase : std::uint8_t {
   kOutage,   ///< One library outage window: onset to restore.
   kHedge,    ///< One speculative hedge: launch to settle (won or lost).
   kQuarantine,  ///< One drive quarantine window: flag to release.
+  kRecovery,  ///< One metadata recovery: crash to catalog replayed.
   kMarker,   ///< Zero-duration annotation (narration, state change).
 };
 

@@ -24,6 +24,7 @@ const char* to_string(Track t) {
     case Track::kOutage: return "outage";
     case Track::kHedge: return "hedge";
     case Track::kQuarantine: return "quarantine";
+    case Track::kRecovery: return "recovery";
   }
   return "?";
 }
@@ -47,6 +48,7 @@ const char* to_string(Phase p) {
     case Phase::kOutage: return "outage";
     case Phase::kHedge: return "hedge";
     case Phase::kQuarantine: return "quarantine";
+    case Phase::kRecovery: return "recovery";
     case Phase::kMarker: return "marker";
   }
   return "?";

@@ -1,0 +1,38 @@
+// Metadata crash-recovery reaction state and RTO accounting.
+//
+// The fault injector owns the crash *timeline* (fault/model.hpp,
+// CrashConfig) and the catalog journal owns the durable state
+// (catalog/journal.hpp); this header holds what the scheduler tracks about
+// recoveries: the running recovery-time-objective statistics mirrored 1:1
+// into the obs registry's recovery.* instruments (the chaos soak and the
+// crash bench reconcile them exactly against the journal ledger).
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::sched {
+
+/// Running totals of the crash-recovery reaction.
+struct RecoveryStats {
+  std::uint64_t crashes = 0;      ///< Crashes observed and recovered.
+  std::uint64_t checkpoints = 0;  ///< Snapshots taken (incl. post-crash).
+  /// Journal records applied by recovery replays.
+  std::uint64_t records_replayed = 0;
+  /// Records lost to torn tails (always 0 under synchronous fsync).
+  std::uint64_t lost_mutations = 0;
+  /// Lost mutations re-derived from tape reality after replay.
+  std::uint64_t reconciled_mutations = 0;
+  /// Admissions that arrived inside a recovery window and parked.
+  std::uint64_t admissions_parked = 0;
+  Seconds downtime{};  ///< Summed metadata-unavailable windows.
+  Seconds parked{};    ///< Admission delay actually experienced.
+  /// Crash to catalog replayed (per-crash recovery time).
+  SampleSet rto;
+  /// Age of the latest snapshot at each crash (what checkpointing bounds).
+  SampleSet snapshot_age;
+};
+
+}  // namespace tapesim::sched

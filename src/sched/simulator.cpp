@@ -36,6 +36,10 @@ Status SimulatorConfig::try_validate() const {
   check.merge(evacuation.try_validate());
   check.merge(detector.try_validate());
   check.merge(hedge.try_validate());
+  check.merge(journal.try_validate());
+  check.require(!faults.crash.enabled() || journal.enabled,
+                "metadata crashes require the catalog journal (a crash "
+                "without a log would lose the whole catalog)");
   return check.take();
 }
 
@@ -71,6 +75,13 @@ RetrievalSimulator::RetrievalSimulator(const core::PlacementPlan& plan,
   if (config_.tracer != nullptr) {
     config_.tracer->bind(engine_);
     config_.tracer->observe(system_);
+  }
+  if (config_.journal.enabled) {
+    journal_ = std::make_unique<catalog::Journal>(
+        config_.journal, plan.spec().total_tapes());
+    // The initial checkpoint covers the plan's placement (materialised
+    // above, before the journal existed); every later mutation is logged.
+    take_checkpoint();
   }
 }
 
@@ -1873,6 +1884,10 @@ void RetrievalSimulator::route_extent(const catalog::ObjectRecord& alt) {
 void RetrievalSimulator::on_cartridge_health_change(
     TapeId tp, tape::CartridgeHealth health) {
   catalog_.set_tape_health(tp, to_replica_health(health));
+  if (journal_ != nullptr) {
+    journal_->log_set_tape_health(tp, to_replica_health(health),
+                                  engine_.now());
+  }
   if (config_.repair.enabled) schedule_repairs_for(tp);
 }
 
@@ -2501,6 +2516,12 @@ void RetrievalSimulator::complete_repair(DriveId d) {
   const bool ok = catalog_.insert_replica(catalog::ObjectRecord{
       job.object, job.size, lib, job.target, job.write_offset});
   TAPESIM_ASSERT_MSG(ok, "repair produced an invalid replica");
+  if (journal_ != nullptr) {
+    journal_->log_insert_replica(
+        catalog::ObjectRecord{job.object, job.size, lib, job.target,
+                              job.write_offset},
+        engine_.now());
+  }
   repair_writing_.erase(job.target.value());
   const auto it = repair_pending_.find(job.object.value());
   TAPESIM_ASSERT(it != repair_pending_.end() && it->second > 0);
@@ -2965,10 +2986,108 @@ void RetrievalSimulator::finish_evacuation(TapeId tp) {
     }
   }
   catalog_.retire_tape(tp);
+  if (journal_ != nullptr) journal_->log_retire_tape(tp, engine_.now());
   ++evac_stats_.completed;
   if (config_.tracer != nullptr) {
     config_.tracer->marker(obs::Track::kScrub, tp.value(),
                            "cartridge retired");
+  }
+}
+
+// --- metadata durability + crash recovery --------------------------------
+
+void RetrievalSimulator::take_checkpoint() {
+  journal_->checkpoint(catalog_, engine_.now());
+  ++recovery_stats_.checkpoints;
+  if (config_.tracer != nullptr) {
+    config_.tracer->registry().counter("recovery.checkpoints").inc();
+  }
+}
+
+void RetrievalSimulator::reconcile_metadata() {
+  // Crashes and the checkpoint cadence are observed lazily at admission
+  // boundaries, where the event queue is empty (run_request runs the
+  // engine to quiescence), so recovery can advance the clock synchronously
+  // without racing any in-flight activity.
+  if (fault_ != nullptr) {
+    while (const auto crash = fault_->next_metadata_crash(engine_.now())) {
+      recover_from_crash(crash->at, crash->torn);
+    }
+  }
+  if (journal_->checkpoint_due(engine_.now())) take_checkpoint();
+}
+
+void RetrievalSimulator::recover_from_crash(Seconds at, double torn) {
+  ++recovery_stats_.crashes;
+  const Seconds snapshot_age = at - journal_->snapshot_at();
+  recovery_stats_.snapshot_age.add(snapshot_age.count());
+  // A disabled torn tail passes a draw of 1.0: the whole unsynced suffix
+  // survives (the injector consumed the real draw either way, so both
+  // timelines match draw-for-draw).
+  const catalog::Journal::CrashCut cut =
+      journal_->crash_cut(at, config_.faults.crash.torn_tail ? torn : 1.0);
+  catalog::ObjectCatalog recovered = journal_->replay();
+  if (config_.journal.fsync == catalog::FsyncPolicy::kSync) {
+    // Synchronous fsync never loses an acknowledged mutation: the replayed
+    // catalog must equal the live one before any reconciliation.
+    TAPESIM_ASSERT_MSG(cut.lost == 0, "synchronous fsync lost a mutation");
+    TAPESIM_ASSERT_MSG(recovered.equals(catalog_),
+                       "sync-fsync replay diverged from the live catalog");
+  }
+  const std::vector<catalog::JournalRecord> lost = journal_->take_lost();
+  for (const catalog::JournalRecord& rec : lost) {
+    // Reconciliation against tape reality: a lost mutation's payload is
+    // re-derivable from the physical world — repair-written replica bytes
+    // sit on their target cartridge (label + extent scan), health and
+    // retirement re-surface from cartridge state — at a scrub-like
+    // per-record cost. Re-applying the record models that rediscovery.
+    catalog::Journal::apply(recovered, rec);
+  }
+  TAPESIM_ASSERT_MSG(recovered.equals(catalog_),
+                     "crash recovery failed to converge on the live catalog");
+  recovery_stats_.records_replayed += cut.survivors;
+  recovery_stats_.lost_mutations += cut.lost;
+  recovery_stats_.reconciled_mutations += lost.size();
+  const Seconds duration =
+      config_.journal.recovery_base +
+      Seconds{config_.journal.replay_per_record.count() *
+              static_cast<double>(cut.survivors)} +
+      Seconds{config_.journal.reconcile_per_record.count() *
+              static_cast<double>(cut.lost)};
+  recovery_stats_.downtime += duration;
+  recovery_stats_.rto.add(duration.count());
+  const Seconds back_at = at + duration;
+  bool parked = false;
+  if (back_at > engine_.now()) {
+    // The admission arrived inside the metadata-unavailable window: park
+    // it by advancing the (empty) engine to the recovery's end.
+    parked = true;
+    ++recovery_stats_.admissions_parked;
+    recovery_stats_.parked += back_at - engine_.now();
+    engine_.schedule_at(back_at, []() {});
+    engine_.run();
+  }
+  // The recovered server checkpoints immediately: the replayed state is
+  // the new baseline and the surviving log truncates.
+  take_checkpoint();
+  if (config_.tracer != nullptr) {
+    obs::Tracer& tr = *config_.tracer;
+    tr.record(obs::Span{obs::Track::kRecovery,
+                        static_cast<std::uint32_t>(recovery_stats_.crashes),
+                        obs::Phase::kRecovery, at, back_at, RequestId{},
+                        TapeId{}, {}});
+    const auto layout = obs::BucketLayout::exponential(0.1, 1e5, 1.3);
+    tr.registry().counter("recovery.crashes").inc();
+    tr.registry().counter("recovery.records_replayed").inc(cut.survivors);
+    tr.registry().counter("recovery.lost_mutations").inc(cut.lost);
+    tr.registry().counter("recovery.reconciled_mutations").inc(lost.size());
+    tr.registry().histogram("recovery.metadata_rto_s", layout)
+        .record(duration.count());
+    tr.registry().histogram("recovery.snapshot_age_s", layout)
+        .record(snapshot_age.count());
+    tr.registry().gauge("recovery.downtime_s")
+        .set(recovery_stats_.downtime.count());
+    if (parked) tr.registry().counter("recovery.admissions_parked").inc();
   }
 }
 
@@ -2979,13 +3098,18 @@ metrics::RequestOutcome RetrievalSimulator::run_request(RequestId id) {
 metrics::RequestOutcome RetrievalSimulator::run_request(
     RequestId id, const RequestContext& rctx) {
   TAPESIM_ASSERT_MSG(!in_request_, "requests are strictly sequential");
+  // Observe the metadata crash/checkpoint timelines before admission. A
+  // recovery window reaching past now advances the clock, but the request
+  // is accounted from its arrival: the parked time lands in its response.
+  const Seconds arrival = engine_.now();
+  if (journal_ != nullptr) reconcile_metadata();
   in_request_ = true;
   if (config_.tracer != nullptr) config_.tracer->set_current_request(id);
   const workload::Workload& wl = plan_->workload();
   const workload::Request& request = wl.request(id);
 
   // Reset per-request state.
-  t0_ = engine_.now();
+  t0_ = arrival;
   deadline_abs_ = rctx.deadline;
   priority_ = rctx.priority;
   expired_ = false;
@@ -2995,14 +3119,17 @@ metrics::RequestOutcome RetrievalSimulator::run_request(
   const bool has_deadline =
       deadline_abs_.count() < metrics::RequestOutcome::kNoDeadline;
 
-  if (has_deadline && deadline_abs_ <= t0_) {
-    // Dead on arrival (the admission layer normally sheds these): account
-    // every byte as expired without touching the engine.
+  if (has_deadline && deadline_abs_ <= engine_.now()) {
+    // Dead on arrival (the admission layer normally sheds these), or the
+    // deadline drowned inside a metadata-recovery window: account every
+    // byte as expired without touching the engine. Without a journal,
+    // now() == t0_ and this is the plain dead-on-arrival check.
     metrics::RequestOutcome outcome;
     outcome.request = id;
     outcome.status = metrics::RequestStatus::kDeadlineExpired;
     outcome.priority = priority_;
-    outcome.deadline = Seconds{0.0};
+    outcome.deadline = std::max(Seconds{0.0}, deadline_abs_ - t0_);
+    outcome.response = outcome.deadline;
     for (const ObjectId o : request.objects) {
       const catalog::ObjectRecord* rec = catalog_.lookup(o);
       TAPESIM_ASSERT_MSG(rec != nullptr, "request references unplaced object");

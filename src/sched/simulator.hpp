@@ -20,12 +20,14 @@
 #include <vector>
 
 #include "catalog/catalog.hpp"
+#include "catalog/journal.hpp"
 #include "core/plan.hpp"
 #include "fault/injector.hpp"
 #include "fault/model.hpp"
 #include "metrics/request_metrics.hpp"
 #include "sched/failslow.hpp"
 #include "sched/outage.hpp"
+#include "sched/recovery.hpp"
 #include "sched/repair.hpp"
 #include "sched/scrub.hpp"
 #include "sim/engine.hpp"
@@ -94,6 +96,10 @@ struct SimulatorConfig {
   /// plan carries replicas AND fault injection is enabled; otherwise
   /// inert.
   HedgeConfig hedge{};
+  /// Catalog write-ahead log + checkpointing. Disabled by default (the
+  /// simulator is bit-identical to a build without a journal); must be
+  /// enabled when metadata crashes are (faults.crash).
+  catalog::JournalConfig journal{};
 
   /// Recoverable validation of user-provided knobs (the fault, repair,
   /// scrub, and evacuation models); the simulator constructor throws
@@ -193,6 +199,17 @@ class RetrievalSimulator {
   [[nodiscard]] const FailSlowStats& failslow_stats() const {
     return failslow_stats_;
   }
+  /// Running totals of the crash-recovery reaction (RTO accounting).
+  [[nodiscard]] const RecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
+  /// The catalog journal, or nullptr when durability is disabled. The
+  /// non-const overload lets tests and benches run an out-of-band replay()
+  /// to audit durable state against the live catalog.
+  [[nodiscard]] const catalog::Journal* journal() const {
+    return journal_.get();
+  }
+  [[nodiscard]] catalog::Journal* journal() { return journal_.get(); }
 
  private:
   // --- per-request orchestration ---
@@ -450,6 +467,21 @@ class RetrievalSimulator {
   /// Tears down the pass on `d` (stats, span, requeue, redispatch).
   void end_scrub_pass(DriveId d, bool completed);
 
+  // --- metadata durability + crash recovery (inert when journal_ null) ---
+  /// Admission-boundary reconciliation: observes due crashes on the lazy
+  /// timeline (recovering from each in order) and takes a checkpoint when
+  /// the cadence says so. Only called between requests, where the event
+  /// queue is provably empty, so recovery can advance the clock
+  /// synchronously.
+  void reconcile_metadata();
+  /// One crash at `at` with torn-tail draw `torn`: cut the journal, replay
+  /// snapshot + surviving log, reconcile the lost suffix against tape
+  /// reality, assert exact state equivalence, and park the clock through
+  /// the metadata-unavailable window if it reaches past now.
+  void recover_from_crash(Seconds at, double torn);
+  /// Snapshots the catalog into the journal and truncates the log.
+  void take_checkpoint();
+
   // --- health-driven evacuation (inert unless evac_active()) ---
   [[nodiscard]] bool evac_active() const {
     return config_.evacuation.enabled && fault_ != nullptr;
@@ -645,6 +677,10 @@ class RetrievalSimulator {
   std::uint64_t hedge_bytes_ = 0;   ///< Speculative bytes launched.
   std::uint64_t served_bytes_ = 0;  ///< Foreground bytes completed.
   FailSlowStats failslow_stats_;
+
+  // --- metadata durability state (null/zero when the journal is off) ---
+  std::unique_ptr<catalog::Journal> journal_;
+  RecoveryStats recovery_stats_;
 };
 
 }  // namespace tapesim::sched

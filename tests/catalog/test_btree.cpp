@@ -147,6 +147,142 @@ TEST(BPlusTree, ClearResets) {
   EXPECT_EQ(t.size(), 1u);
 }
 
+TEST(BPlusTree, EmptyTreeBoundaries) {
+  BPlusTree<int, int, 4> t;
+  EXPECT_EQ(t.lower_bound(0), t.end());
+  EXPECT_EQ(t.lower_bound(-1000), t.end());
+  t.clear();  // clearing an already-empty tree is a no-op
+  EXPECT_TRUE(t.empty());
+  t.validate();
+  // An emptied tree behaves exactly like a fresh one.
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(t.insert(i, i));
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(t.erase(i));
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.begin(), t.end());
+  EXPECT_EQ(t.lower_bound(25), t.end());
+  t.validate();
+  EXPECT_TRUE(t.insert(7, 70));
+  EXPECT_EQ(*t.find(7), 70);
+  t.validate();
+}
+
+TEST(BPlusTree, SingleNodeBoundaries) {
+  // A tree whose whole life happens inside one leaf: no split ever
+  // triggers, erase never rebalances, iteration walks one node.
+  BPlusTree<int, int, 8> t;
+  for (const int k : {3, 1, 2}) ASSERT_TRUE(t.insert(k, k * 10));
+  t.validate();
+  auto it = t.begin();
+  for (const int k : {1, 2, 3}) {
+    ASSERT_NE(it, t.end());
+    EXPECT_EQ(it.key(), k);
+    EXPECT_EQ(it.value(), k * 10);
+    ++it;
+  }
+  EXPECT_EQ(it, t.end());
+  EXPECT_EQ(t.lower_bound(0).key(), 1);
+  EXPECT_EQ(t.lower_bound(4), t.end());
+  // Erase the middle, then the boundaries.
+  EXPECT_TRUE(t.erase(2));
+  t.validate();
+  EXPECT_TRUE(t.erase(1));
+  EXPECT_TRUE(t.erase(3));
+  EXPECT_TRUE(t.empty());
+  t.validate();
+}
+
+TEST(BPlusTree, EraseFromFrontCollapsesHeight) {
+  // Draining keys strictly from the smallest side forces the leftmost
+  // leaf to underflow repeatedly: every borrow-from-right and merge path
+  // on the left edge runs, and the root chain collapses level by level.
+  BPlusTree<int, int, 4> t;
+  const int n = 600;
+  for (int i = 0; i < n; ++i) ASSERT_TRUE(t.insert(i, i));
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(t.erase(i)) << "key " << i;
+    if (i % 37 == 0) t.validate();
+    if (!t.empty()) {
+      EXPECT_EQ(t.begin().key(), i + 1);
+    }
+  }
+  EXPECT_TRUE(t.empty());
+  t.validate();
+}
+
+TEST(BPlusTree, EraseFromBackCollapsesHeight) {
+  // Mirror image: drain from the largest side, exercising
+  // borrow-from-left and right-edge merges.
+  BPlusTree<int, int, 4> t;
+  const int n = 600;
+  for (int i = 0; i < n; ++i) ASSERT_TRUE(t.insert(i, i));
+  for (int i = n - 1; i >= 0; --i) {
+    ASSERT_TRUE(t.erase(i)) << "key " << i;
+    if (i % 37 == 0) t.validate();
+  }
+  EXPECT_TRUE(t.empty());
+  t.validate();
+}
+
+TEST(BPlusTree, BlockEraseInsideTheMiddleMergesInnerNodes) {
+  // Removing a contiguous block from the middle of a deep tree forces
+  // inner-node merges away from either edge, then re-inserting the block
+  // must restore the exact original contents.
+  BPlusTree<int, int, 4> t;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) ASSERT_TRUE(t.insert(i, i * 3));
+  for (int i = 300; i < 700; ++i) ASSERT_TRUE(t.erase(i));
+  t.validate();
+  EXPECT_EQ(t.size(), static_cast<std::size_t>(n - 400));
+  EXPECT_EQ(t.lower_bound(300).key(), 700);
+  for (int i = 300; i < 700; ++i) ASSERT_TRUE(t.insert(i, i * 3));
+  t.validate();
+  EXPECT_EQ(t.size(), static_cast<std::size_t>(n));
+  int expect = 0;
+  for (const auto& [k, v] : t) {
+    EXPECT_EQ(k, expect);
+    EXPECT_EQ(v, expect * 3);
+    ++expect;
+  }
+  EXPECT_EQ(expect, n);
+}
+
+TEST(BPlusTree, IterationUnderInterleavedInsertAndErase) {
+  // Mutate and fully iterate in alternation: after every interleaved
+  // insert/erase batch the key order, the contents, and lower_bound
+  // landings must match a std::map oracle exactly.
+  BPlusTree<int, int, 4> t;
+  std::map<int, int> oracle;
+  tapesim::Rng rng{99};
+  for (int batch = 0; batch < 40; ++batch) {
+    for (int op = 0; op < 25; ++op) {
+      const int k = static_cast<int>(rng.uniform_below(400));
+      if (rng.uniform() < 0.5) {
+        EXPECT_EQ(t.insert(k, batch), oracle.emplace(k, batch).second);
+      } else {
+        EXPECT_EQ(t.erase(k), oracle.erase(k) > 0);
+      }
+    }
+    auto it = t.begin();
+    for (const auto& [k, v] : oracle) {
+      ASSERT_NE(it, t.end());
+      EXPECT_EQ(it.key(), k);
+      EXPECT_EQ(it.value(), v);
+      ++it;
+    }
+    EXPECT_EQ(it, t.end());
+    const int probe = static_cast<int>(rng.uniform_below(400));
+    const auto expect = oracle.lower_bound(probe);
+    const auto got = t.lower_bound(probe);
+    if (expect == oracle.end()) {
+      EXPECT_EQ(got, t.end());
+    } else {
+      ASSERT_NE(got, t.end());
+      EXPECT_EQ(got.key(), expect->first);
+    }
+    t.validate();
+  }
+}
+
 /// Randomized differential test against std::map across fanouts and seeds.
 class BTreeOracle
     : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};

@@ -92,6 +92,48 @@ TEST(CatalogDeath, InvalidIdsAbort) {
   EXPECT_DEATH(cat.insert(record(1, 1_GB, 999, Bytes{0})), "range");
 }
 
+TEST(Catalog, EqualsComparesFullState) {
+  ObjectCatalog a(240);
+  ObjectCatalog b(240);
+  EXPECT_TRUE(a.equals(b));
+  a.insert(record(1, 1_GB, 0, Bytes{0}));
+  EXPECT_FALSE(a.equals(b));
+  b.insert(record(1, 1_GB, 0, Bytes{0}));
+  EXPECT_TRUE(a.equals(b));
+  // Replica sets, health, and retirement all participate.
+  a.insert_replica(record(1, 1_GB, 5, Bytes{0}));
+  EXPECT_FALSE(a.equals(b));
+  b.insert_replica(record(1, 1_GB, 5, Bytes{0}));
+  EXPECT_TRUE(a.equals(b));
+  a.set_tape_health(TapeId{5}, ReplicaHealth::kDegraded);
+  EXPECT_FALSE(a.equals(b));
+  b.set_tape_health(TapeId{5}, ReplicaHealth::kDegraded);
+  EXPECT_TRUE(a.equals(b));
+  a.retire_tape(TapeId{5});
+  EXPECT_FALSE(a.equals(b));
+  b.retire_tape(TapeId{5});
+  EXPECT_TRUE(a.equals(b));
+}
+
+TEST(Catalog, EqualsSeesFieldLevelDivergence) {
+  ObjectCatalog a(240);
+  ObjectCatalog b(240);
+  a.insert(record(1, 2_GB, 3, Bytes{0}));
+  b.insert(record(1, 2_GB, 3, 1_GB));  // same object, different offset
+  EXPECT_FALSE(a.equals(b));
+}
+
+TEST(Catalog, ForEachPrimaryVisitsInAscendingIdOrder) {
+  ObjectCatalog cat(240);
+  cat.insert(record(30, 1_GB, 0, Bytes{0}));
+  cat.insert(record(10, 1_GB, 1, Bytes{0}));
+  cat.insert(record(20, 1_GB, 2, Bytes{0}));
+  std::vector<std::uint32_t> seen;
+  cat.for_each_primary(
+      [&](const ObjectRecord& rec) { seen.push_back(rec.object.value()); });
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{10, 20, 30}));
+}
+
 TEST(Catalog, ManyTapesScale) {
   ObjectCatalog cat(1000);
   for (std::uint32_t i = 0; i < 5000; ++i) {

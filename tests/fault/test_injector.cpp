@@ -493,5 +493,77 @@ TEST(InjectorDeath, InvalidConfigAborts) {
   EXPECT_DEATH(FaultInjector(c, small_spec()), "validate");
 }
 
+// --- metadata crash timeline ---
+
+FaultConfig crash_faults(double mtbf) {
+  FaultConfig c;
+  c.crash.metadata_mtbf = Seconds{mtbf};
+  return c;
+}
+
+TEST(Injector, CrashTimelineIsLazyAndOrdered) {
+  FaultInjector inj(crash_faults(5000.0), small_spec());
+  // Nothing fires before the first sampled arrival.
+  EXPECT_FALSE(inj.next_metadata_crash(Seconds{0.0}).has_value());
+  EXPECT_EQ(inj.counters().metadata_crashes, 0u);
+  // Probing far into the future drains the arrivals one at a time, in
+  // strictly increasing order.
+  Seconds last{-1.0};
+  std::uint64_t seen = 0;
+  while (const auto ev = inj.next_metadata_crash(Seconds{1e5})) {
+    EXPECT_GT(ev->at.count(), last.count());
+    EXPECT_GE(ev->torn, 0.0);
+    EXPECT_LT(ev->torn, 1.0);
+    last = ev->at;
+    ++seen;
+  }
+  EXPECT_GT(seen, 0u);
+  EXPECT_EQ(inj.counters().metadata_crashes, seen);
+  // A later probe resumes where the drain stopped.
+  const auto next = inj.next_metadata_crash(Seconds{1e9});
+  ASSERT_TRUE(next.has_value());
+  EXPECT_GT(next->at.count(), 1e5);
+}
+
+TEST(Injector, CrashTimelineIsDeterministic) {
+  FaultInjector a(crash_faults(3000.0), small_spec());
+  FaultInjector b(crash_faults(3000.0), small_spec());
+  for (int i = 0; i < 5; ++i) {
+    const auto ea = a.next_metadata_crash(Seconds{1e6});
+    const auto eb = b.next_metadata_crash(Seconds{1e6});
+    ASSERT_EQ(ea.has_value(), eb.has_value());
+    if (!ea.has_value()) break;
+    EXPECT_DOUBLE_EQ(ea->at.count(), eb->at.count());
+    EXPECT_DOUBLE_EQ(ea->torn, eb->torn);
+  }
+}
+
+TEST(Injector, CrashSubstreamDoesNotPerturbOtherClasses) {
+  // Seed-split substreams: arming crashes must not move a single drive
+  // failure (and vice versa, the drive class leaves the crash stream
+  // alone).
+  FaultConfig plain = drive_faults(2000.0);
+  FaultConfig armed = drive_faults(2000.0);
+  armed.crash.metadata_mtbf = Seconds{4000.0};
+  FaultInjector ip(plain, small_spec());
+  FaultInjector ia(armed, small_spec());
+  for (std::uint32_t d = 0; d < 8; ++d) {
+    const auto hp = ip.failure_within(DriveId{d}, Seconds{0.0}, Seconds{1e6});
+    const auto ha = ia.failure_within(DriveId{d}, Seconds{0.0}, Seconds{1e6});
+    ASSERT_EQ(hp.has_value(), ha.has_value()) << "drive " << d;
+    if (hp.has_value()) {
+      EXPECT_DOUBLE_EQ(hp->count(), ha->count()) << "drive " << d;
+    }
+  }
+}
+
+TEST(Injector, ZeroMtbfMeansNoCrashes) {
+  FaultConfig c;
+  c.mount_failure_prob = 0.5;  // enabled, but no crash timeline
+  FaultInjector inj(c, small_spec());
+  EXPECT_FALSE(inj.next_metadata_crash(Seconds{1e12}).has_value());
+  EXPECT_EQ(inj.counters().metadata_crashes, 0u);
+}
+
 }  // namespace
 }  // namespace tapesim::fault

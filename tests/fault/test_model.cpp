@@ -259,6 +259,35 @@ TEST(FailSlowConfig, DisabledConfigToleratesIdlePlantedKnobs) {
   EXPECT_FALSE(f.enabled());
 }
 
+TEST(CrashConfig, EnablesViaMetadataMtbfAndValidates) {
+  FaultConfig c;
+  EXPECT_FALSE(c.crash.enabled());
+  c.crash.metadata_mtbf = Seconds{200000.0};
+  EXPECT_TRUE(c.crash.enabled());
+  EXPECT_TRUE(c.enabled());  // crashes alone arm the injector
+  EXPECT_TRUE(c.try_validate().ok());
+}
+
+TEST(CrashConfig, RejectsNegativeMtbf) {
+  FaultConfig c;
+  c.crash.metadata_mtbf = Seconds{-1.0};
+  const Status s = c.try_validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("CrashConfig"), std::string::npos);
+}
+
+TEST(CrashConfig, TornTailToggleDoesNotAffectValidity) {
+  // torn_tail only shapes the cut; both settings are legal with or
+  // without an armed timeline.
+  CrashConfig c;
+  c.torn_tail = false;
+  EXPECT_TRUE(c.try_validate().ok());
+  EXPECT_FALSE(c.enabled());
+  c.metadata_mtbf = Seconds{1000.0};
+  EXPECT_TRUE(c.try_validate().ok());
+  EXPECT_TRUE(c.enabled());
+}
+
 TEST(FaultConfig, NestedBackoffFailuresSurface) {
   FaultConfig c;
   c.mount_retry.multiplier = 0.0;

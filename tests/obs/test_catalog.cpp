@@ -93,6 +93,24 @@ TEST(Catalog, OutageInstrumentsAreCatalogedWithTheRightKinds) {
   expect_kind("outage.redundancy_recovery_s", "histogram");
 }
 
+TEST(Catalog, RecoveryInstrumentsAreCatalogedWithTheRightKinds) {
+  const auto expect_kind = [](const char* name, const char* kind) {
+    const MetricInfo* info = find_metric(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_EQ(info->kind, kind) << name;
+    EXPECT_TRUE(is_valid_metric_name(info->name)) << name;
+  };
+  for (const char* counter :
+       {"recovery.crashes", "recovery.checkpoints",
+        "recovery.records_replayed", "recovery.lost_mutations",
+        "recovery.reconciled_mutations", "recovery.admissions_parked"}) {
+    expect_kind(counter, "counter");
+  }
+  expect_kind("recovery.downtime_s", "gauge");
+  expect_kind("recovery.metadata_rto_s", "histogram");
+  expect_kind("recovery.snapshot_age_s", "histogram");
+}
+
 TEST(Catalog, FindMetricLocatesEveryEntryAndRejectsUnknowns) {
   for (const MetricInfo& m : metric_catalog()) {
     const MetricInfo* found = find_metric(m.name);

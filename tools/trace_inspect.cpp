@@ -11,7 +11,7 @@
 // Usage: trace_inspect FILE.jsonl [--track NAME] [--lanes]
 //   --track NAME  restrict to one track
 //                 (request|drive|robot|engine|repair|overload|scrub|outage|
-//                  hedge|quarantine)
+//                  hedge|quarantine|recovery)
 //   --lanes       additionally break each track down per lane
 #include <algorithm>
 #include <cstdint>
@@ -49,8 +49,8 @@ int fail(const std::string& message) {
 // obs::Track enum; unknown tracks from future writers still print, last).
 const std::vector<std::string>& known_tracks() {
   static const std::vector<std::string> tracks = {
-      "request", "drive",    "robot", "engine",     "repair",
-      "overload", "scrub",   "outage", "hedge",     "quarantine"};
+      "request",  "drive", "robot",  "engine", "repair",     "overload",
+      "scrub",    "outage", "hedge", "quarantine", "recovery"};
   return tracks;
 }
 
