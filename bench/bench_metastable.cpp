@@ -1,0 +1,532 @@
+// Metastable failure: goodput collapse and recovery vs trigger intensity
+// × governor posture under a flash crowd colliding with a fault burst.
+//
+// The trigger is the classic metastable recipe: an MMPP-2 arrival storm
+// pushes the fleet near saturation while a deterministic fault burst
+// (fault::BurstConfig) raises mount/media error rates for a window. The
+// burst degrades every cartridge it touches (degraded_after), so the
+// amplification — mount retries, media retries, evacuation copies —
+// persists after the trigger ends. With no governor the recovery work
+// itself keeps goodput collapsed; the sched::RecoveryGovernor postures
+// turn its mechanisms on one at a time:
+//   - off:      GovernorConfig{} — the exact ungoverned simulator
+//   - budgets:  per-class token-bucket retry budgets only
+//   - breakers: per-resource circuit breakers only
+//   - full:     budgets + breakers + metastable shed ladder
+//
+// Goodput is measured per arrival window: requests arriving before the
+// burst (pre-trigger), and requests arriving after it ends
+// (post-trigger). The fraction of each window's offered bytes delivered
+// within deadline is the collapse/recovery signal.
+//
+// Built-in self-checks (exit status):
+//   1. COLLAPSE: at the top intensity with the governor off, the
+//      post-trigger goodput fraction stays below half the pre-trigger
+//      fraction — the collapse outlives the trigger.
+//   2. RECOVERY: same cell with the full governor, post-trigger goodput
+//      recovers to a bounded fraction of pre-trigger goodput, strictly
+//      beats the ungoverned cell, the detector tripped at least once,
+//      and the shed ladder fully released by the end of the run.
+//   3. LEDGER: every governed cell keeps the exact budget invariants
+//      (attempts == admitted + fast_failed, fast_failed == budget_denied
+//      + breaker_denied) and the traced full cell's governor.* registry
+//      counters equal GovernorStats field for field.
+//   4. IDENTITY: a run with a configured-but-disabled governor is
+//      bit-identical to the default-config run — same final engine
+//      clock, same outcome counts, same goodput bytes.
+#include <map>
+#include <span>
+#include <sstream>
+#include <string>
+
+#include "core/parallel_batch.hpp"
+#include "figure_common.hpp"
+#include "obs/perf.hpp"
+#include "obs/profiler.hpp"
+#include "sched/overload.hpp"
+#include "util/rng.hpp"
+#include "workload/storm.hpp"
+
+namespace {
+
+using namespace tapesim;
+
+struct Posture {
+  const char* name;
+  sched::GovernorConfig config;
+};
+
+/// Windowed goodput: offered and deadline-met bytes of the requests
+/// arriving inside [begin, end).
+struct WindowGoodput {
+  double offered = 0.0;
+  double met = 0.0;
+
+  [[nodiscard]] double fraction() const {
+    return offered > 0.0 ? met / offered : 0.0;
+  }
+};
+
+WindowGoodput window_goodput(const sched::OverloadReport& report,
+                             Seconds begin, Seconds end) {
+  WindowGoodput w;
+  for (const sched::OverloadOutcome& o : report.outcomes) {
+    if (o.arrival < begin || o.arrival >= end) continue;
+    w.offered += o.outcome.bytes.as_double();
+    if (o.outcome.met_deadline()) {
+      w.met += o.outcome.bytes_served().as_double();
+    }
+  }
+  return w;
+}
+
+struct CellResult {
+  sched::OverloadReport report;
+  sched::GovernorStats governor;
+  std::uint32_t shed_level = 0;
+  std::size_t breakers_open = 0;
+  Seconds final_clock{};
+};
+
+struct Bench {
+  tape::SystemSpec spec = tape::SystemSpec::paper_default();
+  workload::Workload workload;
+  cluster::ObjectClusters clusters;
+  core::PlacementPlan plan;
+  std::uint64_t seed;
+  Seconds mean_service{};
+
+  explicit Bench(std::uint64_t seed_in)
+      : workload(make_workload(seed_in)),
+        clusters(cluster::cluster_by_requests(workload,
+                                              make_constraints(spec))),
+        plan(make_plan()),
+        seed(seed_in) {
+    mean_service = calibrate();
+  }
+
+  static workload::Workload make_workload(std::uint64_t seed) {
+    workload::WorkloadConfig config = workload::WorkloadConfig::paper_default();
+    // Many small-ish requests instead of the paper's huge batch reads:
+    // the collapse/recovery signal needs dozens of completions per
+    // arrival window, and a fault burst should degrade a request, not
+    // atomize it (a 200 GB request with per-GB error rates never
+    // finishes clean, which would hide the trigger inside the baseline).
+    config.num_objects = 4'000;
+    config.min_object_size = Bytes{200ULL * 1000 * 1000};
+    config.max_object_size = 1_GB;
+    config.min_objects_per_request = 4;
+    config.max_objects_per_request = 8;
+    Rng rng{seed};
+    Rng workload_rng = rng.fork(0x574C);
+    return workload::generate_workload(config, workload_rng);
+  }
+
+  static cluster::ClusterConstraints make_constraints(
+      const tape::SystemSpec& spec) {
+    cluster::ClusterConstraints constraints;
+    constraints.max_bytes = Bytes{static_cast<Bytes::value_type>(
+        0.9 * spec.library.tape_capacity.as_double())};
+    return constraints;
+  }
+
+  core::PlacementPlan make_plan() const {
+    const core::ParallelBatchPlacement scheme{core::ParallelBatchParams{}};
+    core::PlacementContext context;
+    context.workload = &workload;
+    context.spec = &spec;
+    context.clusters = &clusters;
+    return scheme.place(context);
+  }
+
+  Seconds calibrate() const {
+    sched::RetrievalSimulator sim(plan);
+    Rng rng{seed};
+    Rng sample_rng = rng.fork(0x5251);
+    const workload::RequestSampler sampler(workload);
+    SampleSet service;
+    for (int i = 0; i < 30; ++i) {
+      service.add(sim.run_request(sampler.sample(sample_rng)).response.count());
+    }
+    return Seconds{service.mean()};
+  }
+
+  /// Faults shared by every cell: mild base rates that make pre-trigger
+  /// life healthy, plus the deterministic burst window. Burst-window
+  /// reads degrade their cartridges (degraded_after), so the error
+  /// amplification persists after the window closes — the metastable
+  /// trigger.
+  fault::FaultConfig make_faults(Seconds burst_at, Seconds burst_dur) const {
+    fault::FaultConfig faults;
+    faults.seed = seed;
+    faults.mount_failure_prob = 0.01;
+    faults.media_error_per_gb = 0.005;
+    faults.lost_after = 64;  // degrade, don't destroy: recovery possible
+    // The metastable feedback loop needs a doomed MINORITY that is
+    // expensive to retry: only the burst-hammered hot cartridges cross
+    // degraded_after, but once degraded they are near-unreadable, so
+    // every ungoverned retry chain against them burns long exponential
+    // backoffs plus re-reads while the healthy majority queues behind.
+    // Fast-failing that wasted work is the governor's whole win.
+    faults.degraded_after = 5;
+    faults.degraded_error_multiplier = 2500.0;  // degraded reads never succeed
+    faults.media_retry.max_retries = 4;
+    faults.media_retry.initial_delay = Seconds{15.0};
+    faults.burst.at = burst_at;
+    faults.burst.duration = burst_dur;
+    faults.burst.mount_failure_prob = 0.6;
+    faults.burst.media_error_per_gb = 1.5;
+    return faults;
+  }
+
+  sched::OverloadConfig make_overload() const {
+    sched::OverloadConfig config;
+    config.deadline.enabled = true;
+    config.deadline.base = mean_service * 3.0;
+    config.deadline.per_gb = Seconds{25.0};
+    // No admission shedding: collapse must manifest as expirations, not
+    // be masked by the overload layer's own protection.
+    config.shed = sched::ShedPolicy::kNone;
+    return config;
+  }
+
+  CellResult run(std::span<const workload::TimedRequest> arrivals,
+                 const sched::GovernorConfig& governor, Seconds burst_at,
+                 Seconds burst_dur, obs::Tracer* tracer = nullptr,
+                 obs::Profiler* profiler = nullptr) const {
+    sched::SimulatorConfig sim_config;
+    sim_config.tracer = tracer;
+    sim_config.faults = make_faults(burst_at, burst_dur);
+    sim_config.scrub.enabled = true;
+    sim_config.evacuation.enabled = true;
+    sim_config.governor = governor;
+    sched::RetrievalSimulator sim(plan, sim_config);
+    if (profiler != nullptr) profiler->attach(sim.engine());
+    sched::OverloadRunner runner(sim, make_overload(), tracer);
+    CellResult cell;
+    cell.report = runner.run(arrivals);
+    cell.final_clock = sim.engine().now();
+    cell.shed_level = sim.governor().shed_level();
+    cell.breakers_open = sim.governor().breakers_open();
+    sim.governor().finish(sim.engine().now());
+    cell.governor = sim.governor().stats();
+    if (profiler != nullptr) profiler->detach();
+    return cell;
+  }
+};
+
+/// The exact per-class accounting the governor promises, on every cell.
+bool ledger_invariants_hold(const sched::GovernorStats& stats) {
+  for (const sched::GovernorClass cls :
+       {sched::GovernorClass::kRetry, sched::GovernorClass::kFailover,
+        sched::GovernorClass::kHedge}) {
+    const sched::BudgetLedger& led = stats.ledger(cls);
+    if (led.attempts != led.admitted + led.fast_failed) return false;
+    if (led.fast_failed != led.budget_denied + led.breaker_denied) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double gigabytes(double bytes) { return bytes / 1e9; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = benchfig::BenchFlags::parse(
+      argc, argv, /*default_seed=*/42, "metastable.csv");
+  if (!flags.status.ok()) {
+    std::cerr << flags.status.message() << "\n";
+    return 2;
+  }
+  if (flags.help) {
+    std::cout << benchfig::BenchFlags::usage(argv[0]);
+    return 0;
+  }
+  benchfig::print_header(
+      "Metastable failure",
+      "post-trigger goodput collapse and recovery vs trigger intensity x "
+      "recovery-governor posture (storm + fault burst)");
+
+  const obs::WallTimer total_timer;
+  obs::Profiler perf_profiler{64};
+  obs::Profiler* const perf =
+      flags.perf_out.empty() ? nullptr : &perf_profiler;
+
+  const Bench bench(flags.seed);
+  const double service = bench.mean_service.count();
+  std::cout << "calibrated mean service: " << service << " s\n\n";
+
+  // Governor postures. The full posture sizes the detector bin to the
+  // service scale so a collapsed bin means "a service time passed with
+  // almost nothing served".
+  sched::GovernorConfig off;       // defaults: disabled
+  sched::GovernorConfig budgets;
+  budgets.enabled = true;
+  budgets.budgets.retry_ratio = 0.15;  // starve doomed retry chains
+  // Failover is completion work — one bounded replica read per failed
+  // extent, not amplification — so it earns a full token per demand.
+  budgets.budgets.failover_ratio = 1.0;
+  budgets.breaker.enabled = false;
+  budgets.metastable.enabled = false;
+  sched::GovernorConfig breakers;
+  breakers.enabled = true;
+  breakers.budgets.enabled = false;
+  breakers.metastable.enabled = false;
+  sched::GovernorConfig full;
+  full.enabled = true;
+  // Looser than the budgets-only posture: with breakers doing the
+  // targeted quarantine, the budget only has to catch broad storms.
+  full.budgets.retry_ratio = 0.4;
+  full.budgets.failover_ratio = 1.0;
+  full.metastable.bin = bench.mean_service * 2.0;
+  // Trip only on a deep collapse, step the ladder back down after every
+  // recovered bin, and keep the level-3 earn clamp off so failover
+  // completion work is never starved by the ladder itself.
+  full.metastable.collapse_fraction = 0.15;
+  full.metastable.recover_fraction = 0.30;
+  full.metastable.release_bins = 1;
+  full.metastable.budget_clamp = 1.0;
+  const Posture postures[] = {{"off", off},
+                              {"budgets", budgets},
+                              {"breakers", breakers},
+                              {"full", full}};
+
+  const double intensities_full[] = {0.8, 1.3};
+  const double intensities_fast[] = {1.3};
+  const std::span<const double> intensities =
+      flags.fast ? std::span<const double>(intensities_fast)
+                 : std::span<const double>(intensities_full);
+  const std::uint32_t count = flags.fast ? 140 : 280;
+  const double top_rho = intensities[intensities.size() - 1];
+
+  Table table({"burst rho", "posture", "served", "shed", "expired",
+               "goodput GB", "pre frac", "post frac", "trips",
+               "fast-failed", "makespan (s)"});
+
+  bool collapse_ok = true;
+  bool recovery_ok = true;
+  bool ledger_ok = true;
+  bool identity_ok = true;
+  std::map<std::string, double> kpis;
+
+  for (const double rho : intensities) {
+    // One arrival stream per intensity, replayed for every posture.
+    workload::StormConfig storm;
+    storm.base_rate = 0.75 / service;  // near clean capacity: no headroom
+    storm.burst_rate = rho / service;
+    storm.mean_burst_duration = bench.mean_service * 10.0;
+    storm.mean_calm_duration = bench.mean_service * 10.0;
+    storm.batch_fraction = 0.5;
+    Rng rng{flags.seed};
+    Rng storm_rng = rng.fork(0x5357);
+    const workload::RequestSampler sampler(bench.workload);
+    const auto arrivals =
+        workload::storm_arrivals(sampler, storm, count, storm_rng);
+
+    // The fault burst opens at the quarter mark of the arrival stream and
+    // closes before the half mark: a clean pre-trigger window in front
+    // and a long post-trigger window behind, so recovery (or its
+    // absence) has room to show.
+    // Fixed arrival-count window (not a fraction of the stream): the
+    // number of burst-window reads sets how many cartridges degrade, and
+    // the doomed-set size must not scale with the sweep length.
+    const Seconds burst_at = arrivals[count / 4].time;
+    const Seconds burst_end = arrivals[count / 4 + 28].time;
+    const Seconds burst_dur = burst_end - burst_at;
+    const Seconds horizon{1e18};  // window_goodput upper bound
+
+    const bool top = rho == top_rho;
+    WindowGoodput off_pre, off_post, full_pre, full_post;
+
+    for (const Posture& posture : postures) {
+      const bool traced =
+          top && std::string(posture.name) == "full";
+      obs::Tracer tracer;
+      if (traced) flags.trace.configure(tracer);
+      const CellResult cell =
+          bench.run(arrivals, posture.config, burst_at, burst_dur,
+                    traced ? &tracer : nullptr, perf);
+      const sched::OverloadReport& r = cell.report;
+      const WindowGoodput pre = window_goodput(r, Seconds{0.0}, burst_at);
+      const WindowGoodput post = window_goodput(r, burst_end, horizon);
+      const sched::BudgetLedger& retry =
+          cell.governor.ledger(sched::GovernorClass::kRetry);
+      const std::uint64_t fast_failed =
+          retry.fast_failed +
+          cell.governor.ledger(sched::GovernorClass::kFailover).fast_failed +
+          cell.governor.ledger(sched::GovernorClass::kHedge).fast_failed;
+      table.add(rho, posture.name, r.served, r.shed_total(),
+                r.expired_total(),
+                gigabytes(r.goodput_bytes().as_double()), pre.fraction(),
+                post.fraction(), cell.governor.metastable_trips, fast_failed,
+                r.makespan.count());
+
+      // Self-check 3 (ledger invariants): every governed posture.
+      if (posture.config.enabled && !ledger_invariants_hold(cell.governor)) {
+        std::cout << "LEDGER FAIL: " << posture.name << " rho " << rho
+                  << " budget ledger does not reconcile\n";
+        ledger_ok = false;
+      }
+
+      if (top) {
+        if (std::string(posture.name) == "off") {
+          off_pre = pre;
+          off_post = post;
+          // Self-check 4 (bit-identity): a governor that is configured
+          // but disabled must not perturb a single event. Re-run the
+          // cell with non-default governor knobs behind enabled=false.
+          sched::GovernorConfig sleeper;
+          sleeper.enabled = false;
+          sleeper.budgets.retry_ratio = 0.9;
+          sleeper.breaker.min_samples = 2;
+          sleeper.metastable.trip_bins = 1;
+          const CellResult twin = bench.run(arrivals, sleeper, burst_at,
+                                            burst_dur, nullptr, perf);
+          const bool same =
+              twin.final_clock.count() == cell.final_clock.count() &&
+              twin.report.served == r.served &&
+              twin.report.shed_total() == r.shed_total() &&
+              twin.report.expired_total() == r.expired_total() &&
+              twin.report.goodput_bytes().count() ==
+                  r.goodput_bytes().count() &&
+              twin.report.outcomes.size() == r.outcomes.size();
+          if (!same) {
+            std::cout << "IDENTITY FAIL: configured-but-disabled governor "
+                         "diverged from baseline (clock "
+                      << twin.final_clock.count() << " vs "
+                      << cell.final_clock.count() << ")\n";
+            identity_ok = false;
+          }
+        }
+        if (traced) {
+          full_pre = pre;
+          full_post = post;
+          // Self-check 2 (recovery) part 2: the detector saw the episode
+          // and the ladder fully released.
+          if (cell.governor.metastable_trips == 0 || cell.shed_level != 0) {
+            std::cout << "RECOVERY FAIL: full governor trips "
+                      << cell.governor.metastable_trips << " end shed level "
+                      << cell.shed_level << "\n";
+            recovery_ok = false;
+          }
+          // Self-check 3 part 2: registry counters == stats, exactly.
+          auto& reg = tracer.registry();
+          const sched::GovernorStats& st = cell.governor;
+          const auto led = [&st](sched::GovernorClass c) {
+            return st.ledger(c);
+          };
+          const bool counters =
+              reg.counter("governor.retry_attempts").value() ==
+                  led(sched::GovernorClass::kRetry).attempts &&
+              reg.counter("governor.retry_admitted").value() ==
+                  led(sched::GovernorClass::kRetry).admitted &&
+              reg.counter("governor.retry_fast_failed").value() ==
+                  led(sched::GovernorClass::kRetry).fast_failed &&
+              reg.counter("governor.failover_attempts").value() ==
+                  led(sched::GovernorClass::kFailover).attempts &&
+              reg.counter("governor.failover_admitted").value() ==
+                  led(sched::GovernorClass::kFailover).admitted &&
+              reg.counter("governor.failover_fast_failed").value() ==
+                  led(sched::GovernorClass::kFailover).fast_failed &&
+              reg.counter("governor.hedge_attempts").value() ==
+                  led(sched::GovernorClass::kHedge).attempts &&
+              reg.counter("governor.hedge_admitted").value() ==
+                  led(sched::GovernorClass::kHedge).admitted &&
+              reg.counter("governor.hedge_fast_failed").value() ==
+                  led(sched::GovernorClass::kHedge).fast_failed &&
+              reg.counter("governor.breaker_opened").value() ==
+                  st.breaker_opened &&
+              reg.counter("governor.breaker_reopened").value() ==
+                  st.breaker_reopened &&
+              reg.counter("governor.breaker_closed").value() ==
+                  st.breaker_closed &&
+              reg.counter("governor.breaker_probes").value() ==
+                  st.breaker_probes &&
+              reg.counter("governor.metastable_trips").value() ==
+                  st.metastable_trips &&
+              reg.counter("governor.metastable_releases").value() ==
+                  st.metastable_releases;
+          if (!counters) {
+            std::cout << "LEDGER FAIL: governor.* registry counters do not "
+                         "match GovernorStats\n";
+            ledger_ok = false;
+          }
+          if (flags.trace.enabled()) flags.trace.finish(tracer);
+          kpis["metastable.full_post_frac"] = post.fraction();
+          kpis["metastable.full_pre_frac"] = pre.fraction();
+          kpis["metastable.trips"] =
+              static_cast<double>(st.metastable_trips);
+          kpis["metastable.retry_fast_failed"] = static_cast<double>(
+              led(sched::GovernorClass::kRetry).fast_failed);
+          kpis["metastable.breaker_opened"] =
+              static_cast<double>(st.breaker_opened);
+          kpis["metastable.goodput_gb"] =
+              gigabytes(r.goodput_bytes().as_double());
+        }
+      }
+    }
+
+    if (top) {
+      // Self-check 1: the ungoverned collapse outlives the trigger.
+      if (!(off_pre.fraction() > 0.3) ||
+          !(off_post.fraction() < 0.5 * off_pre.fraction())) {
+        std::cout << "COLLAPSE FAIL: governor-off pre " << off_pre.fraction()
+                  << " post " << off_post.fraction()
+                  << " (want healthy pre and post < 0.5*pre)\n";
+        collapse_ok = false;
+      }
+      // Self-check 2 part 1: the full governor recovers post-trigger
+      // goodput to a bounded fraction of pre-trigger and beats off by a
+      // real margin, not a rounding error.
+      if (!(full_post.fraction() >= 0.4 * full_pre.fraction()) ||
+          !(full_post.fraction() > 1.25 * off_post.fraction())) {
+        std::cout << "RECOVERY FAIL: full pre " << full_pre.fraction()
+                  << " post " << full_post.fraction() << " vs off post "
+                  << off_post.fraction() << "\n";
+        recovery_ok = false;
+      }
+      kpis["metastable.off_post_frac"] = off_post.fraction();
+      kpis["metastable.off_pre_frac"] = off_pre.fraction();
+    }
+  }
+
+  benchfig::print_table(table, flags.out);
+
+  std::cout << "collapse self-check: " << (collapse_ok ? "OK" : "FAIL")
+            << " (governor-off post-trigger goodput fraction < 0.5x "
+               "pre-trigger at burst rho "
+            << top_rho << ")\n";
+  std::cout << "recovery self-check: " << (recovery_ok ? "OK" : "FAIL")
+            << " (full governor recovers post-trigger goodput, trips >= 1, "
+               "shed ladder fully released)\n";
+  std::cout << "ledger self-check: " << (ledger_ok ? "OK" : "FAIL")
+            << " (attempts == admitted + fast_failed everywhere; registry "
+               "counters == GovernorStats on the traced cell)\n";
+  std::cout << "identity self-check: " << (identity_ok ? "OK" : "FAIL")
+            << " (configured-but-disabled governor is bit-identical to "
+               "baseline, final engine clock included)\n";
+
+  if (!flags.perf_out.empty()) {
+    const obs::ProfileReport profile = perf_profiler.report();
+    obs::PerfReport report;
+    report.bench = "metastable";
+    report.wall_s = total_timer.elapsed_s();
+    report.events_dispatched = profile.dispatches;
+    report.events_per_s = profile.events_per_wall_s();
+    report.peak_rss_bytes = obs::peak_rss_bytes();
+    report.kpis = kpis;
+    report.kpis["fast"] = flags.fast ? 1.0 : 0.0;
+    report.kpis["calibrated_service_s"] = service;
+    std::ostringstream profile_os;
+    perf_profiler.write_json(profile_os);
+    report.profile_json = profile_os.str();
+    if (!report.save(flags.perf_out)) {
+      std::cerr << "cannot write perf report to " << flags.perf_out << "\n";
+      return 1;
+    }
+    std::cout << "(perf report written to " << flags.perf_out << ")\n";
+  }
+  return (collapse_ok && recovery_ok && ledger_ok && identity_ok) ? 0 : 1;
+}

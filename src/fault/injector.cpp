@@ -249,26 +249,38 @@ void FaultInjector::note_library_outage(bool disaster) {
   if (disaster) ++counters_.library_disasters;
 }
 
-bool FaultInjector::mount_attempt_fails(DriveId d) {
-  if (config_.mount_failure_prob <= 0.0) return false;
+bool FaultInjector::mount_attempt_fails(DriveId d, Seconds now) {
+  // The burst window only ever raises the rate; outside the window (or
+  // with the burst disabled) the draw sequence is untouched.
+  const double prob =
+      config_.burst.active(now)
+          ? std::max(config_.mount_failure_prob,
+                     config_.burst.mount_failure_prob)
+          : config_.mount_failure_prob;
+  if (prob <= 0.0) return false;
   TAPESIM_ASSERT(d.valid() && d.index() < mount_rngs_.size());
-  const bool fails =
-      mount_rngs_[d.index()].uniform() < config_.mount_failure_prob;
+  const bool fails = mount_rngs_[d.index()].uniform() < prob;
   if (fails) ++counters_.mount_failures;
   return fails;
 }
 
 std::optional<double> FaultInjector::media_error(TapeId t, Bytes amount,
-                                                 tape::CartridgeHealth health) {
-  if (config_.media_error_per_gb <= 0.0) return std::nullopt;
+                                                 tape::CartridgeHealth health,
+                                                 Seconds now) {
+  // As with mounts, the burst only raises the base per-GB rate; the
+  // degraded multiplier applies on top of whichever rate is in force.
+  const double base =
+      config_.burst.active(now)
+          ? std::max(config_.media_error_per_gb,
+                     config_.burst.media_error_per_gb)
+          : config_.media_error_per_gb;
+  if (base <= 0.0) return std::nullopt;
   TAPESIM_ASSERT_MSG(health != tape::CartridgeHealth::kLost,
                      "lost cartridges are never transferred");
   TAPESIM_ASSERT(t.valid() && t.index() < media_rngs_.size());
-  const double rate =
-      config_.media_error_per_gb *
-      (health == tape::CartridgeHealth::kDegraded
-           ? config_.degraded_error_multiplier
-           : 1.0);
+  const double rate = base * (health == tape::CartridgeHealth::kDegraded
+                                  ? config_.degraded_error_multiplier
+                                  : 1.0);
   const double gb = amount.gigabytes();
   if (gb <= 0.0) return std::nullopt;
   Rng& rng = media_rngs_[t.index()];

@@ -120,8 +120,12 @@ class FaultInjector {
 
   // --- mount/load failures ---
 
-  /// Draws whether one load attempt on `d` fails to thread.
-  [[nodiscard]] bool mount_attempt_fails(DriveId d);
+  /// Draws whether one load attempt on `d` fails to thread. `now` locates
+  /// the attempt against the deterministic burst window (BurstConfig);
+  /// callers without a clock pass the default, which is never inside a
+  /// burst.
+  [[nodiscard]] bool mount_attempt_fails(DriveId d,
+                                         Seconds now = Seconds{-1.0});
 
   // --- media read errors ---
 
@@ -131,8 +135,9 @@ class FaultInjector {
   /// degraded media. The error position follows the conditional
   /// distribution of the first event of a Poisson process truncated to the
   /// transfer, so short and long transfers are treated consistently.
-  [[nodiscard]] std::optional<double> media_error(TapeId t, Bytes amount,
-                                                  tape::CartridgeHealth health);
+  [[nodiscard]] std::optional<double> media_error(
+      TapeId t, Bytes amount, tape::CartridgeHealth health,
+      Seconds now = Seconds{-1.0});
 
   /// Records one read error against `t` and returns the health the
   /// cartridge should now have (escalating through the configured

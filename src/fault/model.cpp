@@ -62,6 +62,17 @@ Status CrashConfig::try_validate() const {
   return check.take();
 }
 
+Status BurstConfig::try_validate() const {
+  StatusBuilder check("BurstConfig");
+  check.require(at.count() >= 0.0, "burst onset must be >= 0");
+  check.require(duration.count() >= 0.0, "burst duration must be >= 0");
+  check.require(mount_failure_prob >= 0.0 && mount_failure_prob < 1.0,
+                "burst mount failure probability must be in [0, 1)");
+  check.require(media_error_per_gb >= 0.0,
+                "burst media error rate must be >= 0");
+  return check.take();
+}
+
 Status FaultConfig::try_validate() const {
   StatusBuilder check("FaultConfig");
   check.require(drive_mtbf.count() >= 0.0, "drive MTBF must be >= 0");
@@ -91,6 +102,7 @@ Status FaultConfig::try_validate() const {
   check.merge(outage.try_validate());
   check.merge(failslow.try_validate());
   check.merge(crash.try_validate());
+  check.merge(burst.try_validate());
   return check.take();
 }
 

@@ -148,6 +148,38 @@ struct CrashConfig {
   [[nodiscard]] Status try_validate() const;
 };
 
+/// Deterministic fault burst: a single time window during which the mount
+/// and/or media error rates are raised to the burst values (never
+/// lowered). The trigger for metastable-failure experiments: a burst
+/// colliding with a flash crowd seeds the recovery storm that the
+/// governor must keep from becoming self-sustaining. Defaults disable the
+/// class; a disabled burst adds zero draws and zero branches beyond one
+/// `enabled()` check, so timelines stay bit-identical.
+struct BurstConfig {
+  /// Burst window start (sim time).
+  Seconds at{};
+  /// Burst window length; 0 disables the class entirely.
+  Seconds duration{};
+  /// Mount failure probability during the window (used when above the
+  /// base rate).
+  double mount_failure_prob = 0.0;
+  /// Media error rate per GB during the window (used when above the base
+  /// rate).
+  double media_error_per_gb = 0.0;
+
+  [[nodiscard]] bool enabled() const {
+    return duration.count() > 0.0 &&
+           (mount_failure_prob > 0.0 || media_error_per_gb > 0.0);
+  }
+
+  /// True when `now` falls inside the burst window.
+  [[nodiscard]] bool active(Seconds now) const {
+    return enabled() && now >= at && now < at + duration;
+  }
+
+  [[nodiscard]] Status try_validate() const;
+};
+
 struct FaultConfig {
   /// Root seed of the fault RNG tree; independent of the workload stream.
   std::uint64_t seed = 0x46415553;  // "FAUS"
@@ -200,13 +232,16 @@ struct FaultConfig {
   // --- metadata-server crashes ---
   CrashConfig crash{};
 
+  // --- deterministic fault burst (metastability trigger) ---
+  BurstConfig burst{};
+
   /// True when any fault class is active. The scheduler only builds an
   /// injector (and only pays any overhead) when this returns true.
   [[nodiscard]] bool enabled() const {
     return drive_mtbf.count() > 0.0 || mount_failure_prob > 0.0 ||
            media_error_per_gb > 0.0 || robot_jam_prob > 0.0 ||
            latent_decay_mtbf.count() > 0.0 || outage.enabled() ||
-           failslow.enabled() || crash.enabled();
+           failslow.enabled() || crash.enabled() || burst.enabled();
   }
 
   [[nodiscard]] Status try_validate() const;

@@ -8,7 +8,7 @@ namespace tapesim::obs {
 namespace {
 
 // Sorted by name (find_metric binary-searches; a test asserts the order).
-constexpr std::array<MetricInfo, 70> kCatalog{{
+constexpr std::array<MetricInfo, 88> kCatalog{{
     {"engine.events.cancelled", "counter", "",
      "pending events cancelled before dispatch"},
     {"engine.events.dispatched", "counter", "",
@@ -55,6 +55,42 @@ constexpr std::array<MetricInfo, 70> kCatalog{{
     {"fault.media_errors", "counter", "", "media read errors injected"},
     {"fault.mount_failures", "counter", "", "mount attempts that failed"},
     {"fault.robot_jams", "counter", "", "robot jam events injected"},
+    {"governor.breaker_closed", "counter", "",
+     "circuit breakers closed after successful half-open probes"},
+    {"governor.breaker_opened", "counter", "",
+     "circuit breakers tripped from closed (new open episodes)"},
+    {"governor.breaker_probes", "counter", "",
+     "attempts observed while a breaker was half-open"},
+    {"governor.breaker_reopened", "counter", "",
+     "breakers re-tripped by a failed half-open probe"},
+    {"governor.breakers_open", "gauge", "",
+     "breakers currently open or half-open"},
+    {"governor.failover_admitted", "counter", "",
+     "failover attempts funded by the failover budget"},
+    {"governor.failover_attempts", "counter", "",
+     "failover admission decisions taken by the governor"},
+    {"governor.failover_fast_failed", "counter", "",
+     "failovers denied (budget or breaker) into the unavailable ladder"},
+    {"governor.hedge_admitted", "counter", "",
+     "hedge launches funded by the hedge budget"},
+    {"governor.hedge_attempts", "counter", "",
+     "hedge admission decisions taken by the governor"},
+    {"governor.hedge_fast_failed", "counter", "",
+     "hedge launches denied (budget or breaker); primary serves alone"},
+    {"governor.metastable_releases", "counter", "",
+     "metastable episodes released (shed level back to zero)"},
+    {"governor.metastable_trips", "counter", "",
+     "goodput-collapse detections that started shedding"},
+    {"governor.retry_admitted", "counter", "",
+     "retry attempts funded by the retry budget"},
+    {"governor.retry_attempts", "counter", "",
+     "retry admission decisions taken by the governor"},
+    {"governor.retry_fast_failed", "counter", "",
+     "retries denied (budget or breaker) into the fail-fast ladder"},
+    {"governor.shed_escalations", "counter", "",
+     "every shed-level increment, including within an open episode"},
+    {"governor.shed_level", "gauge", "",
+     "current metastable shed level (0 = none, 3 = max)"},
     {"outage.disasters", "counter", "",
      "library outages that were permanent site disasters"},
     {"outage.downtime_s", "gauge", "s",

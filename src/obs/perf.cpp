@@ -124,9 +124,8 @@ std::vector<PerfDelta> compare_perf(const PerfReport& baseline,
 
   {
     PerfDelta d = scalar_delta("wall_s", baseline.wall_s, current.wall_s);
-    d.regression = baseline.wall_s > 0.0 &&
-                   current.wall_s > baseline.wall_s *
-                                        (1.0 + thresholds.wall_frac);
+    d.threshold = baseline.wall_s * (1.0 + thresholds.wall_frac);
+    d.regression = baseline.wall_s > 0.0 && current.wall_s > d.threshold;
     d.detail = d.regression
                    ? "slower by " + pct(d.change_frac) + " (limit +" +
                          pct(thresholds.wall_frac) + ")"
@@ -143,9 +142,9 @@ std::vector<PerfDelta> compare_perf(const PerfReport& baseline,
   {
     PerfDelta d = scalar_delta("events_per_s", baseline.events_per_s,
                                current.events_per_s);
+    d.threshold = baseline.events_per_s * (1.0 - thresholds.rate_frac);
     d.regression = baseline.events_per_s > 0.0 &&
-                   current.events_per_s <
-                       baseline.events_per_s * (1.0 - thresholds.rate_frac);
+                   current.events_per_s < d.threshold;
     d.detail = d.regression
                    ? "throughput down " + pct(-d.change_frac) + " (limit -" +
                          pct(thresholds.rate_frac) + ")"
@@ -156,10 +155,10 @@ std::vector<PerfDelta> compare_perf(const PerfReport& baseline,
     PerfDelta d = scalar_delta("peak_rss_bytes",
                                static_cast<double>(baseline.peak_rss_bytes),
                                static_cast<double>(current.peak_rss_bytes));
+    d.threshold = static_cast<double>(baseline.peak_rss_bytes) *
+                  (1.0 + thresholds.rss_frac);
     d.regression = baseline.peak_rss_bytes > 0 &&
-                   static_cast<double>(current.peak_rss_bytes) >
-                       static_cast<double>(baseline.peak_rss_bytes) *
-                           (1.0 + thresholds.rss_frac);
+                   static_cast<double>(current.peak_rss_bytes) > d.threshold;
     d.detail = d.regression
                    ? "RSS up " + pct(d.change_frac) + " (limit +" +
                          pct(thresholds.rss_frac) + ")"
@@ -173,6 +172,7 @@ std::vector<PerfDelta> compare_perf(const PerfReport& baseline,
     d.field = "kpi." + name;
     d.baseline = base_value;
     if (it == current.kpis.end()) {
+      d.threshold = base_value;  // nothing short of the exact value passes
       d.regression = true;
       d.detail = "KPI missing from current report";
       deltas.push_back(std::move(d));
@@ -183,6 +183,11 @@ std::vector<PerfDelta> compare_perf(const PerfReport& baseline,
     const double scale = std::max(std::abs(base_value), std::abs(d.current));
     const double drift =
         scale > 0.0 ? std::abs(d.current - base_value) / scale : 0.0;
+    // The drift band is two-sided; report the edge on the side the
+    // current value moved toward.
+    d.threshold = d.current >= base_value
+                      ? base_value + thresholds.kpi_frac * scale
+                      : base_value - thresholds.kpi_frac * scale;
     d.regression = drift > thresholds.kpi_frac;
     d.detail = d.regression ? "deterministic KPI drifted (relative " +
                                   pct(drift) + ")"

@@ -76,11 +76,16 @@ struct PerfThresholds {
 
 /// One compared field. `change_frac` is (current - baseline) / baseline
 /// (0 when the baseline is 0); `regression` marks a threshold violation.
+/// `threshold` is the boundary value in the field's own units that
+/// `current` must not cross (a ceiling for wall/RSS, a floor for
+/// events/sec, the nearest edge of the drift band for KPIs; 0 for
+/// informational fields with no gate).
 struct PerfDelta {
   std::string field;
   double baseline = 0.0;
   double current = 0.0;
   double change_frac = 0.0;
+  double threshold = 0.0;
   bool regression = false;
   std::string detail;  ///< human-readable verdict for the report line
 };

@@ -27,6 +27,7 @@ enum class Track : std::uint8_t {
   kHedge = 9,    ///< Speculative hedged reads (tid = request id).
   kQuarantine = 10,  ///< Gray-failure quarantine windows (tid = drive id).
   kRecovery = 11,    ///< Metadata crash-recovery windows (tid = crash #).
+  kBreaker = 12,     ///< Circuit-breaker open windows (tid = scoped lane).
 };
 
 enum class Phase : std::uint8_t {
@@ -48,6 +49,7 @@ enum class Phase : std::uint8_t {
   kHedge,    ///< One speculative hedge: launch to settle (won or lost).
   kQuarantine,  ///< One drive quarantine window: flag to release.
   kRecovery,  ///< One metadata recovery: crash to catalog replayed.
+  kBreaker,  ///< One breaker open window: trip to close (or run end).
   kMarker,   ///< Zero-duration annotation (narration, state change).
 };
 

@@ -25,6 +25,7 @@ const char* to_string(Track t) {
     case Track::kHedge: return "hedge";
     case Track::kQuarantine: return "quarantine";
     case Track::kRecovery: return "recovery";
+    case Track::kBreaker: return "breaker";
   }
   return "?";
 }
@@ -49,6 +50,7 @@ const char* to_string(Phase p) {
     case Phase::kHedge: return "hedge";
     case Phase::kQuarantine: return "quarantine";
     case Phase::kRecovery: return "recovery";
+    case Phase::kBreaker: return "breaker";
     case Phase::kMarker: return "marker";
   }
   return "?";

@@ -1,0 +1,465 @@
+#include "sched/governor.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/tracer.hpp"
+#include "util/assert.hpp"
+
+namespace tapesim::sched {
+
+const char* to_string(GovernorClass c) {
+  switch (c) {
+    case GovernorClass::kRetry: return "retry";
+    case GovernorClass::kFailover: return "failover";
+    case GovernorClass::kHedge: return "hedge";
+  }
+  return "?";
+}
+
+const char* to_string(BreakerScope s) {
+  switch (s) {
+    case BreakerScope::kDrive: return "drive";
+    case BreakerScope::kLibrary: return "library";
+    case BreakerScope::kRobot: return "robot";
+  }
+  return "?";
+}
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+Status GovernorBudgetConfig::try_validate() const {
+  StatusBuilder check("GovernorBudgetConfig");
+  check.require(retry_ratio > 0.0 && retry_ratio <= 1.0,
+                "retry budget ratio must be in (0, 1]");
+  check.require(failover_ratio > 0.0 && failover_ratio <= 1.0,
+                "failover budget ratio must be in (0, 1]");
+  check.require(hedge_ratio > 0.0 && hedge_ratio <= 1.0,
+                "hedge budget ratio must be in (0, 1]");
+  check.require(burst >= 1.0, "budget burst must allow at least one attempt");
+  return check.take();
+}
+
+Status GovernorBreakerConfig::try_validate() const {
+  StatusBuilder check("GovernorBreakerConfig");
+  check.require(failure_threshold > 0.0 && failure_threshold <= 1.0,
+                "breaker failure threshold must be in (0, 1]");
+  check.require(min_samples > 0, "breaker min samples must be positive");
+  check.require(window.count() > 0.0, "breaker window must be positive");
+  check.require(open_duration.count() > 0.0,
+                "breaker open duration must be positive");
+  check.require(close_after > 0,
+                "breaker close-after count must be positive");
+  return check.take();
+}
+
+Status GovernorMetastableConfig::try_validate() const {
+  StatusBuilder check("GovernorMetastableConfig");
+  check.require(bin.count() > 0.0, "goodput bin must be positive");
+  check.require(ewma_alpha > 0.0 && ewma_alpha <= 1.0,
+                "EWMA alpha must be in (0, 1]");
+  check.require(collapse_fraction > 0.0 && collapse_fraction < 1.0,
+                "collapse fraction must be in (0, 1)");
+  check.require(recover_fraction > 0.0 && recover_fraction <= 1.0,
+                "recover fraction must be in (0, 1]");
+  check.require(collapse_fraction < recover_fraction,
+                "hysteresis band must be ordered: collapse < recover");
+  check.require(trip_bins > 0, "trip bin count must be positive");
+  check.require(release_bins > 0, "release bin count must be positive");
+  check.require(repair_clamp > 0.0 && repair_clamp <= 1.0,
+                "repair clamp must be in (0, 1]");
+  check.require(budget_clamp > 0.0 && budget_clamp <= 1.0,
+                "budget clamp must be in (0, 1]");
+  return check.take();
+}
+
+Status GovernorConfig::try_validate() const {
+  StatusBuilder check("GovernorConfig");
+  check.merge(budgets.try_validate());
+  check.merge(breaker.try_validate());
+  check.merge(metastable.try_validate());
+  return check.take();
+}
+
+void RecoveryGovernor::configure(const GovernorConfig& config,
+                                 std::size_t drives, std::size_t libraries,
+                                 obs::Tracer* tracer) {
+  config_ = config;
+  stats_ = GovernorStats{};
+  tokens_.fill(config.budgets.burst);
+  breakers_[static_cast<std::size_t>(BreakerScope::kDrive)]
+      .assign(drives, Breaker{});
+  breakers_[static_cast<std::size_t>(BreakerScope::kLibrary)]
+      .assign(libraries, Breaker{});
+  breakers_[static_cast<std::size_t>(BreakerScope::kRobot)]
+      .assign(libraries, Breaker{});
+  open_count_ = 0;
+  bin_start_ = Seconds{0.0};
+  bin_bytes_ = 0.0;
+  ewma_rate_ = 0.0;
+  ewma_ready_ = false;
+  queue_depth_ = 0;
+  collapsed_bins_ = 0;
+  recovered_bins_ = 0;
+  shed_level_ = 0;
+  tracer_ = config.enabled ? tracer : nullptr;
+  mirror_ = Mirror{};
+  if (tracer_ == nullptr) return;
+  obs::Registry& reg = tracer_->registry();
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::string cls = to_string(static_cast<GovernorClass>(i));
+    mirror_.attempts[i] = &reg.counter("governor." + cls + "_attempts");
+    mirror_.admitted[i] = &reg.counter("governor." + cls + "_admitted");
+    mirror_.fast_failed[i] = &reg.counter("governor." + cls + "_fast_failed");
+  }
+  mirror_.breaker_opened = &reg.counter("governor.breaker_opened");
+  mirror_.breaker_reopened = &reg.counter("governor.breaker_reopened");
+  mirror_.breaker_closed = &reg.counter("governor.breaker_closed");
+  mirror_.breaker_probes = &reg.counter("governor.breaker_probes");
+  mirror_.metastable_trips = &reg.counter("governor.metastable_trips");
+  mirror_.metastable_releases = &reg.counter("governor.metastable_releases");
+  mirror_.shed_escalations = &reg.counter("governor.shed_escalations");
+  mirror_.shed_level = &reg.gauge("governor.shed_level");
+  mirror_.breakers_open = &reg.gauge("governor.breakers_open");
+  mirror_.shed_level->set(0.0);
+  mirror_.breakers_open->set(0.0);
+}
+
+// --- budgets ---
+
+void RecoveryGovernor::note_demand(GovernorClass cls) {
+  if (!config_.enabled) return;
+  const std::size_t i = static_cast<std::size_t>(cls);
+  ++stats_.ledgers[i].demand;
+  if (!config_.budgets.enabled) return;
+  double ratio = config_.budgets.retry_ratio;
+  if (cls == GovernorClass::kFailover) ratio = config_.budgets.failover_ratio;
+  if (cls == GovernorClass::kHedge) ratio = config_.budgets.hedge_ratio;
+  // Shed level 3 tightens the earn rate, so budgets shrink exactly when
+  // amplification is most dangerous.
+  tokens_[i] = std::min(tokens_[i] + ratio * budget_clamp(),
+                        config_.budgets.burst);
+}
+
+void RecoveryGovernor::record_decision(GovernorClass cls, bool admitted,
+                                       bool breaker_denied) {
+  const std::size_t i = static_cast<std::size_t>(cls);
+  BudgetLedger& ledger = stats_.ledgers[i];
+  ++ledger.attempts;
+  if (mirror_.attempts[i] != nullptr) mirror_.attempts[i]->inc();
+  if (admitted) {
+    ++ledger.admitted;
+    if (mirror_.admitted[i] != nullptr) mirror_.admitted[i]->inc();
+    return;
+  }
+  ++ledger.fast_failed;
+  if (breaker_denied) {
+    ++ledger.breaker_denied;
+  } else {
+    ++ledger.budget_denied;
+  }
+  if (mirror_.fast_failed[i] != nullptr) mirror_.fast_failed[i]->inc();
+}
+
+bool RecoveryGovernor::admit(GovernorClass cls) {
+  if (!config_.enabled) return true;
+  const std::size_t i = static_cast<std::size_t>(cls);
+  if (!config_.budgets.enabled) {
+    record_decision(cls, true, false);
+    return true;
+  }
+  const bool ok = tokens_[i] >= 1.0;
+  if (ok) tokens_[i] -= 1.0;
+  record_decision(cls, ok, false);
+  return ok;
+}
+
+bool RecoveryGovernor::admit(GovernorClass cls, BreakerScope scope,
+                             std::uint32_t lane, Seconds now) {
+  if (!config_.enabled) return true;
+  if (breaker_blocked(scope, lane, now)) {
+    record_decision(cls, false, true);
+    return false;
+  }
+  return admit(cls);
+}
+
+// --- breakers ---
+
+RecoveryGovernor::Breaker& RecoveryGovernor::lane(BreakerScope scope,
+                                                  std::uint32_t index) {
+  auto& lanes = breakers_[static_cast<std::size_t>(scope)];
+  TAPESIM_ASSERT(index < lanes.size());
+  return lanes[index];
+}
+
+std::uint32_t RecoveryGovernor::span_lane(BreakerScope scope,
+                                          std::uint32_t index) const {
+  // kBreaker track lanes: drives keep their global id, libraries live at
+  // 1000+, robots at 2000+ (fleets are far smaller than 1000 devices).
+  return static_cast<std::uint32_t>(scope) * 1000u + index;
+}
+
+void RecoveryGovernor::advance(Breaker& b, Seconds now) {
+  if (b.state == BreakerState::kOpen && now >= b.open_until) {
+    b.state = BreakerState::kHalfOpen;
+    b.half_open_ok = 0;
+  }
+}
+
+bool RecoveryGovernor::over_threshold(const Breaker& b, Seconds now) const {
+  std::uint32_t total = 0;
+  std::uint32_t failures = 0;
+  const Seconds cutoff = now - config_.breaker.window;
+  for (std::uint32_t k = 0; k < b.ring_size; ++k) {
+    const Outcome& o = b.ring[k];
+    if (o.at < cutoff) continue;
+    ++total;
+    if (!o.ok) ++failures;
+  }
+  if (total < config_.breaker.min_samples) return false;
+  return static_cast<double>(failures) >=
+         config_.breaker.failure_threshold * static_cast<double>(total);
+}
+
+void RecoveryGovernor::open_breaker(Breaker& b, BreakerScope scope,
+                                    std::uint32_t index, Seconds now,
+                                    bool reopen) {
+  b.state = BreakerState::kOpen;
+  b.open_until = now + config_.breaker.open_duration;
+  if (reopen) {
+    ++stats_.breaker_reopened;
+    if (mirror_.breaker_reopened != nullptr) mirror_.breaker_reopened->inc();
+    return;  // same open episode: opened_at and the open count stand
+  }
+  b.opened_at = now;
+  ++stats_.breaker_opened;
+  ++open_count_;
+  if (mirror_.breaker_opened != nullptr) mirror_.breaker_opened->inc();
+  if (mirror_.breakers_open != nullptr) {
+    mirror_.breakers_open->set(static_cast<double>(open_count_));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->marker(obs::Track::kBreaker, span_lane(scope, index),
+                    std::string("breaker open: ") + to_string(scope) + " " +
+                        std::to_string(index));
+  }
+}
+
+void RecoveryGovernor::close_breaker(Breaker& b, BreakerScope scope,
+                                     std::uint32_t index, Seconds now) {
+  b.state = BreakerState::kClosed;
+  b.half_open_ok = 0;
+  // Forget pre-trip history: a closed breaker starts from a clean slate
+  // instead of instantly re-opening on stale failures.
+  b.ring_size = 0;
+  b.ring_next = 0;
+  ++stats_.breaker_closed;
+  TAPESIM_ASSERT(open_count_ > 0);
+  --open_count_;
+  if (mirror_.breaker_closed != nullptr) mirror_.breaker_closed->inc();
+  if (mirror_.breakers_open != nullptr) {
+    mirror_.breakers_open->set(static_cast<double>(open_count_));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->record(obs::Span{obs::Track::kBreaker, span_lane(scope, index),
+                              obs::Phase::kBreaker, b.opened_at, now,
+                              RequestId{}, TapeId{},
+                              std::string(to_string(scope)) + " " +
+                                  std::to_string(index)});
+  }
+}
+
+void RecoveryGovernor::note_outcome(BreakerScope scope, std::uint32_t lane_id,
+                                    bool ok, Seconds now) {
+  if (!config_.enabled || !config_.breaker.enabled) return;
+  Breaker& b = lane(scope, lane_id);
+  advance(b, now);
+  switch (b.state) {
+    case BreakerState::kOpen:
+      // In-flight work finishing while the breaker dwells open carries no
+      // new information: the trip has already been decided.
+      return;
+    case BreakerState::kHalfOpen: {
+      ++stats_.breaker_probes;
+      if (mirror_.breaker_probes != nullptr) mirror_.breaker_probes->inc();
+      if (!ok) {
+        open_breaker(b, scope, lane_id, now, /*reopen=*/true);
+        return;
+      }
+      ++b.half_open_ok;
+      if (b.half_open_ok >= config_.breaker.close_after) {
+        close_breaker(b, scope, lane_id, now);
+      }
+      return;
+    }
+    case BreakerState::kClosed: {
+      b.ring[b.ring_next] = Outcome{now, ok};
+      b.ring_next = (b.ring_next + 1) % static_cast<std::uint32_t>(
+                                            b.ring.size());
+      b.ring_size = std::min<std::uint32_t>(
+          b.ring_size + 1, static_cast<std::uint32_t>(b.ring.size()));
+      if (!ok && over_threshold(b, now)) {
+        open_breaker(b, scope, lane_id, now, /*reopen=*/false);
+      }
+      return;
+    }
+  }
+}
+
+bool RecoveryGovernor::breaker_blocked(BreakerScope scope, std::uint32_t lane_id,
+                                       Seconds now) {
+  if (!config_.enabled || !config_.breaker.enabled) return false;
+  Breaker& b = lane(scope, lane_id);
+  advance(b, now);
+  return b.state == BreakerState::kOpen;
+}
+
+BreakerState RecoveryGovernor::breaker_state(BreakerScope scope,
+                                             std::uint32_t lane_id,
+                                             Seconds now) {
+  if (!config_.enabled || !config_.breaker.enabled) {
+    return BreakerState::kClosed;
+  }
+  Breaker& b = lane(scope, lane_id);
+  advance(b, now);
+  return b.state;
+}
+
+// --- metastability ---
+
+void RecoveryGovernor::note_served(Bytes amount, Seconds now) {
+  if (!config_.enabled || !config_.metastable.enabled) return;
+  roll_bins(now);
+  bin_bytes_ += amount.as_double();
+}
+
+void RecoveryGovernor::note_queue_depth(std::size_t depth, Seconds now) {
+  if (!config_.enabled || !config_.metastable.enabled) return;
+  roll_bins(now);
+  queue_depth_ = depth;
+}
+
+void RecoveryGovernor::roll_bins(Seconds now) {
+  const double bin = config_.metastable.bin.count();
+  while (now.count() >= bin_start_.count() + bin) {
+    evaluate_bin(bin_bytes_ / bin);
+    bin_bytes_ = 0.0;
+    bin_start_ += config_.metastable.bin;
+  }
+}
+
+void RecoveryGovernor::evaluate_bin(double rate) {
+  const GovernorMetastableConfig& ms = config_.metastable;
+  if (shed_level_ == 0) {
+    // The EWMA tracks healthy goodput only: it freezes the moment any
+    // shedding starts, so the "pre-trigger" baseline cannot adapt
+    // downward into the collapse and fake a recovery.
+    if (rate > 0.0 || ewma_ready_) {
+      ewma_rate_ = ewma_ready_
+                       ? ms.ewma_alpha * rate + (1.0 - ms.ewma_alpha) * ewma_rate_
+                       : rate;
+      ewma_ready_ = true;
+    }
+  }
+  if (!ewma_ready_ || ewma_rate_ <= 0.0) return;
+  const bool collapsed =
+      rate < ms.collapse_fraction * ewma_rate_ &&
+      queue_depth_ >= ms.min_queue_depth;
+  const bool recovered = rate >= ms.recover_fraction * ewma_rate_;
+  collapsed_bins_ = collapsed ? collapsed_bins_ + 1 : 0;
+  recovered_bins_ = recovered ? recovered_bins_ + 1 : 0;
+  if (collapsed_bins_ >= ms.trip_bins && shed_level_ < 3) {
+    set_shed_level(shed_level_ + 1);
+    collapsed_bins_ = 0;
+  } else if (recovered_bins_ >= ms.release_bins && shed_level_ > 0) {
+    set_shed_level(shed_level_ - 1);
+    recovered_bins_ = 0;
+  }
+}
+
+void RecoveryGovernor::set_shed_level(std::uint32_t level) {
+  const std::uint32_t prev = shed_level_;
+  shed_level_ = level;
+  if (level > prev) {
+    ++stats_.shed_escalations;
+    if (mirror_.shed_escalations != nullptr) mirror_.shed_escalations->inc();
+    if (prev == 0) {
+      ++stats_.metastable_trips;
+      if (mirror_.metastable_trips != nullptr) {
+        mirror_.metastable_trips->inc();
+      }
+    }
+  } else if (level == 0 && prev > 0) {
+    ++stats_.metastable_releases;
+    if (mirror_.metastable_releases != nullptr) {
+      mirror_.metastable_releases->inc();
+    }
+  }
+  if (mirror_.shed_level != nullptr) {
+    mirror_.shed_level->set(static_cast<double>(shed_level_));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->marker(obs::Track::kEngine, 0,
+                    "governor shed level " + std::to_string(prev) + " -> " +
+                        std::to_string(level));
+  }
+}
+
+bool RecoveryGovernor::scrub_paused() const {
+  return config_.enabled && config_.metastable.enabled && shed_level_ >= 1;
+}
+
+double RecoveryGovernor::repair_clamp() const {
+  return (config_.enabled && config_.metastable.enabled && shed_level_ >= 2)
+             ? config_.metastable.repair_clamp
+             : 1.0;
+}
+
+double RecoveryGovernor::budget_clamp() const {
+  return (config_.enabled && config_.metastable.enabled && shed_level_ >= 3)
+             ? config_.metastable.budget_clamp
+             : 1.0;
+}
+
+void RecoveryGovernor::finish(Seconds now) {
+  if (!config_.enabled) return;
+  for (std::size_t s = 0; s < breakers_.size(); ++s) {
+    auto& lanes = breakers_[s];
+    for (std::uint32_t i = 0; i < lanes.size(); ++i) {
+      Breaker& b = lanes[i];
+      advance(b, now);
+      if (b.state == BreakerState::kClosed) continue;
+      // Emit the still-open window as a span, then close the lane so
+      // finish() stays idempotent; the close is bookkeeping, not a
+      // recovery, so breaker_closed is *not* incremented.
+      if (tracer_ != nullptr) {
+        const auto scope = static_cast<BreakerScope>(s);
+        tracer_->record(obs::Span{
+            obs::Track::kBreaker, span_lane(scope, i), obs::Phase::kBreaker,
+            b.opened_at, now, RequestId{}, TapeId{},
+            std::string(to_string(scope)) + " " + std::to_string(i) +
+                " (unclosed)"});
+      }
+      b.state = BreakerState::kClosed;
+      b.ring_size = 0;
+      b.ring_next = 0;
+      TAPESIM_ASSERT(open_count_ > 0);
+      --open_count_;
+    }
+  }
+  if (mirror_.breakers_open != nullptr) {
+    mirror_.breakers_open->set(static_cast<double>(open_count_));
+  }
+}
+
+}  // namespace tapesim::sched

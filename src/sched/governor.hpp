@@ -1,0 +1,327 @@
+// Recovery-work governor: retry budgets, circuit breakers, and
+// metastable-failure protection.
+//
+// PRs 2-9 gave the scheduler a rich reactive-recovery arsenal — mount and
+// media retries, replica failover, hedged reads, two-phase repair, DR
+// surges, scrub — but each path self-regulates in isolation. A strong
+// enough trigger (a flash crowd colliding with a fault burst) can push
+// the fleet into a *metastable* regime where the recovery work itself
+// keeps goodput collapsed after the trigger ends: retries multiply
+// demand, failovers burn extra mounts, hedges burn extra bandwidth, and
+// the backlog never drains. This layer governs all amplification work
+// with three composable mechanisms:
+//
+//   1. Per-class retry budgets: token buckets that earn tokens from
+//      first-attempt demand and spend one per amplification attempt, so
+//      retry traffic is capped as a *ratio* of useful work instead of
+//      multiplying under stress. Over-budget attempts fail fast into the
+//      existing unavailable/expired ladders with exact accounting
+//      (attempts == admitted + fast_failed, always).
+//   2. Per-resource circuit breakers: drive-, library-, and robot-scoped
+//      breakers (closed -> open on failure-rate-over-window -> half-open
+//      probing) that short-circuit doomed attempts before they consume
+//      mount/robot capacity. Probing is deterministic: the first
+//      attempt to arrive after the open window expires is the probe
+//      (event order is deterministic, so probe selection is too).
+//   3. Metastable-state detection + load-aware shedding: a goodput
+//      collapse detector (binned served-rate against an EWMA of
+//      pre-trigger goodput, frozen while shedding so the baseline cannot
+//      adapt downward into the collapse) that sheds amplification work
+//      in escalating levels — pause scrub, then clamp repair/DR
+//      bandwidth, then tighten hedge and retry budgets — and releases in
+//      reverse order with hysteresis as goodput recovers.
+//
+// The governor is a *passive* deterministic state machine: it draws no
+// randomness, schedules no engine events, and every state transition
+// happens lazily at a query or feed point (the same discipline as the
+// fault timelines). A disabled governor adds zero draws and zero events,
+// so governor-off runs are bit-identical to baseline.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace tapesim::obs {
+class Tracer;
+class Counter;
+class Gauge;
+}  // namespace tapesim::obs
+
+namespace tapesim::sched {
+
+/// Classes of amplification work the budgets meter.
+enum class GovernorClass : std::uint8_t {
+  kRetry = 0,     ///< Mount/media retry attempts on an existing chain.
+  kFailover = 1,  ///< Re-routes to another replica after a failure.
+  kHedge = 2,     ///< Speculative hedged-read launches.
+};
+
+/// Resource scopes the circuit breakers protect.
+enum class BreakerScope : std::uint8_t {
+  kDrive = 0,    ///< One lane per drive (mount outcomes).
+  kLibrary = 1,  ///< One lane per library (extent-serve outcomes).
+  kRobot = 2,    ///< One lane per library robot (jam outcomes).
+};
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+[[nodiscard]] const char* to_string(GovernorClass c);
+[[nodiscard]] const char* to_string(BreakerScope s);
+[[nodiscard]] const char* to_string(BreakerState s);
+
+/// Token-bucket budgets for amplification work: each class earns
+/// `ratio` tokens per unit of first-attempt demand and spends one token
+/// per attempt, capped at `burst` banked tokens.
+struct GovernorBudgetConfig {
+  bool enabled = true;
+  /// Tokens earned per first-attempt demand unit, per class, in (0, 1].
+  double retry_ratio = 0.5;
+  double failover_ratio = 0.5;
+  double hedge_ratio = 0.25;
+  /// Bucket capacity (maximum banked attempts); buckets start full so a
+  /// cold start does not fail-fast the first legitimate retries.
+  double burst = 8.0;
+
+  [[nodiscard]] Status try_validate() const;
+};
+
+/// Failure-rate-over-window circuit breakers.
+struct GovernorBreakerConfig {
+  bool enabled = true;
+  /// Open when the failure fraction over the window reaches this, (0, 1].
+  double failure_threshold = 0.6;
+  /// Outcomes inside the window required before the rate is trusted.
+  std::uint32_t min_samples = 5;
+  /// Sliding window the failure rate is computed over.
+  Seconds window{600.0};
+  /// Open dwell: attempts are short-circuited this long, then the
+  /// breaker goes half-open and the next attempt probes.
+  Seconds open_duration{300.0};
+  /// Consecutive half-open successes required to close.
+  std::uint32_t close_after = 2;
+
+  [[nodiscard]] Status try_validate() const;
+};
+
+/// Goodput-collapse detector + escalating shed ladder.
+struct GovernorMetastableConfig {
+  bool enabled = true;
+  /// Served-goodput accounting bin; the detector evaluates once per bin.
+  Seconds bin{120.0};
+  /// Smoothing factor of the pre-trigger goodput EWMA, in (0, 1].
+  double ewma_alpha = 0.2;
+  /// Hysteresis band on the rate/EWMA ratio: below `collapse_fraction`
+  /// counts as collapsed, at or above `recover_fraction` counts as
+  /// recovered, and the band between them holds the current level.
+  double collapse_fraction = 0.5;
+  double recover_fraction = 0.8;
+  /// Queue depth that must accompany a collapsed rate (low goodput with
+  /// an empty queue is an idle fleet, not a metastable one).
+  std::size_t min_queue_depth = 4;
+  /// Consecutive collapsed bins before the shed level escalates.
+  std::uint32_t trip_bins = 2;
+  /// Consecutive recovered bins before the shed level releases.
+  std::uint32_t release_bins = 2;
+  /// Multiplier on repair/DR bandwidth fractions at shed level >= 2.
+  double repair_clamp = 0.25;
+  /// Multiplier on budget earn ratios and the hedge bandwidth budget at
+  /// shed level >= 3.
+  double budget_clamp = 0.5;
+
+  [[nodiscard]] Status try_validate() const;
+};
+
+/// Master governor configuration. Defaults inert: a default-constructed
+/// GovernorConfig is the exact ungoverned simulator.
+struct GovernorConfig {
+  bool enabled = false;
+  GovernorBudgetConfig budgets{};
+  GovernorBreakerConfig breaker{};
+  GovernorMetastableConfig metastable{};
+
+  [[nodiscard]] Status try_validate() const;
+};
+
+/// Exact per-class admission ledger. Invariants (checked by benches and
+/// the chaos soak): attempts == admitted + fast_failed and
+/// fast_failed == budget_denied + breaker_denied.
+struct BudgetLedger {
+  std::uint64_t demand = 0;    ///< First-attempt demand units observed.
+  std::uint64_t attempts = 0;  ///< Admission decisions requested.
+  std::uint64_t admitted = 0;
+  std::uint64_t fast_failed = 0;
+  std::uint64_t budget_denied = 0;   ///< fast_failed: bucket empty.
+  std::uint64_t breaker_denied = 0;  ///< fast_failed: breaker open.
+};
+
+/// Running totals, mirrored 1:1 into the obs registry's governor.*
+/// counters at event time.
+struct GovernorStats {
+  std::array<BudgetLedger, 3> ledgers{};  ///< Indexed by GovernorClass.
+  std::uint64_t breaker_opened = 0;    ///< closed -> open trips.
+  std::uint64_t breaker_reopened = 0;  ///< half-open probe failures.
+  std::uint64_t breaker_closed = 0;    ///< half-open -> closed recoveries.
+  std::uint64_t breaker_probes = 0;    ///< Outcomes observed half-open.
+  std::uint64_t metastable_trips = 0;     ///< Shed level 0 -> 1 onsets.
+  std::uint64_t metastable_releases = 0;  ///< Shed level 1 -> 0 ends.
+  std::uint64_t shed_escalations = 0;  ///< Every level increment.
+
+  [[nodiscard]] const BudgetLedger& ledger(GovernorClass c) const {
+    return ledgers[static_cast<std::size_t>(c)];
+  }
+};
+
+/// The governor itself. Passive and deterministic: no RNG, no engine
+/// events; every method takes the current simulation time and advances
+/// lazy state (breaker dwells, goodput bins) before acting.
+class RecoveryGovernor {
+ public:
+  RecoveryGovernor() = default;
+
+  /// Sizes the breaker lanes and attaches the obs mirror (tracer may be
+  /// null). Called once by the simulator constructor; cheap when the
+  /// config is disabled.
+  void configure(const GovernorConfig& config, std::size_t drives,
+                 std::size_t libraries, obs::Tracer* tracer);
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  [[nodiscard]] const GovernorConfig& config() const { return config_; }
+  [[nodiscard]] const GovernorStats& stats() const { return stats_; }
+
+  // --- per-class budgets ---
+
+  /// One unit of first-attempt demand for `cls` (earns tokens).
+  void note_demand(GovernorClass cls);
+
+  /// One admission decision against the class budget only. Exactly one
+  /// ledger slot (admitted or fast_failed) is charged per call.
+  [[nodiscard]] bool admit(GovernorClass cls);
+
+  /// Admission decision gated by a resource breaker first, then the
+  /// class budget. Breaker denials and budget denials are accounted
+  /// separately but both fail fast.
+  [[nodiscard]] bool admit(GovernorClass cls, BreakerScope scope,
+                           std::uint32_t lane, Seconds now);
+
+  // --- per-resource circuit breakers ---
+
+  /// Feeds one attempt outcome on a resource. Drives the closed -> open
+  /// -> half-open -> closed state machine; half-open outcomes count as
+  /// probes.
+  void note_outcome(BreakerScope scope, std::uint32_t lane, bool ok,
+                    Seconds now);
+
+  /// Pure enforcement peek: true while the breaker is open (dwell not
+  /// yet expired). Advances the lazy open -> half-open transition.
+  [[nodiscard]] bool breaker_blocked(BreakerScope scope, std::uint32_t lane,
+                                     Seconds now);
+
+  [[nodiscard]] BreakerState breaker_state(BreakerScope scope,
+                                           std::uint32_t lane, Seconds now);
+
+  /// Breakers currently tripped (open or half-open).
+  [[nodiscard]] std::size_t breakers_open() const { return open_count_; }
+
+  // --- metastability detection + shed ladder ---
+
+  /// Goodput bytes served (deadline-met work), stamped at `now`.
+  void note_served(Bytes amount, Seconds now);
+
+  /// Latest pending-queue depth (sampled by the feeder at its own
+  /// cadence; the detector reads the most recent value per bin).
+  void note_queue_depth(std::size_t depth, Seconds now);
+
+  /// Current shed level, 0 (none) through 3 (full shed).
+  [[nodiscard]] std::uint32_t shed_level() const { return shed_level_; }
+
+  /// Level >= 1: background scrub passes must not start.
+  [[nodiscard]] bool scrub_paused() const;
+
+  /// Level >= 2: multiplier on repair/DR bandwidth fractions (1.0
+  /// below level 2).
+  [[nodiscard]] double repair_clamp() const;
+
+  /// Level >= 3: multiplier on budget earn ratios and the hedge
+  /// bandwidth budget (1.0 below level 3).
+  [[nodiscard]] double budget_clamp() const;
+
+  /// Closes the books at run end: emits kBreaker spans for any breaker
+  /// still tripped and refreshes the gauges. Idempotent per open window.
+  void finish(Seconds now);
+
+ private:
+  struct Outcome {
+    Seconds at{};
+    bool ok = false;
+  };
+
+  /// One breaker lane: a ring of recent outcomes plus the state machine.
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    Seconds opened_at{};   ///< First trip of the current open episode.
+    Seconds open_until{};  ///< Dwell end; half-open after this.
+    std::uint32_t half_open_ok = 0;
+    std::array<Outcome, 32> ring{};
+    std::uint32_t ring_size = 0;  ///< Valid entries (<= ring.size()).
+    std::uint32_t ring_next = 0;  ///< Next write slot.
+  };
+
+  [[nodiscard]] Breaker& lane(BreakerScope scope, std::uint32_t index);
+  void advance(Breaker& b, Seconds now);
+  [[nodiscard]] bool over_threshold(const Breaker& b, Seconds now) const;
+  void open_breaker(Breaker& b, BreakerScope scope, std::uint32_t index,
+                    Seconds now, bool reopen);
+  void close_breaker(Breaker& b, BreakerScope scope, std::uint32_t index,
+                     Seconds now);
+  void record_decision(GovernorClass cls, bool admitted, bool breaker_denied);
+  void roll_bins(Seconds now);
+  void evaluate_bin(double rate);
+  void set_shed_level(std::uint32_t level);
+  [[nodiscard]] std::uint32_t span_lane(BreakerScope scope,
+                                        std::uint32_t index) const;
+
+  GovernorConfig config_{};
+  obs::Tracer* tracer_ = nullptr;
+  GovernorStats stats_{};
+
+  // Budgets: banked tokens per class; buckets start full (burst).
+  std::array<double, 3> tokens_{};
+
+  // Breakers, one vector per scope (library and robot share lane count).
+  std::array<std::vector<Breaker>, 3> breakers_{};
+  std::size_t open_count_ = 0;
+
+  // Metastable detector.
+  Seconds bin_start_{};
+  double bin_bytes_ = 0.0;
+  double ewma_rate_ = 0.0;  ///< Pre-trigger goodput EWMA (bytes/s).
+  bool ewma_ready_ = false;
+  std::size_t queue_depth_ = 0;
+  std::uint32_t collapsed_bins_ = 0;
+  std::uint32_t recovered_bins_ = 0;
+  std::uint32_t shed_level_ = 0;
+
+  // Resolved obs instruments (null when no tracer): one counter per
+  // mirrored stat so the event path touches no string maps.
+  struct Mirror {
+    std::array<obs::Counter*, 3> attempts{};
+    std::array<obs::Counter*, 3> admitted{};
+    std::array<obs::Counter*, 3> fast_failed{};
+    obs::Counter* breaker_opened = nullptr;
+    obs::Counter* breaker_reopened = nullptr;
+    obs::Counter* breaker_closed = nullptr;
+    obs::Counter* breaker_probes = nullptr;
+    obs::Counter* metastable_trips = nullptr;
+    obs::Counter* metastable_releases = nullptr;
+    obs::Counter* shed_escalations = nullptr;
+    obs::Gauge* shed_level = nullptr;
+    obs::Gauge* breakers_open = nullptr;
+  } mirror_{};
+};
+
+}  // namespace tapesim::sched

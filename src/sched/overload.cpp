@@ -275,6 +275,14 @@ void OverloadRunner::serve(std::size_t index, OverloadReport& report) {
   // The estimator learns true server occupancy (doomed drains included):
   // that is what delays the next queued request.
   estimator_.observe(outcome.bytes, eng.now() - begin);
+  if (sim_.governor().enabled()) {
+    // Metastable-detector feeds: goodput is deadline-met bytes, and the
+    // backlog behind the request that just finished is the queue-depth
+    // signal that separates collapse from an idle lull.
+    sim_.governor().note_served(
+        outcome.met_deadline() ? outcome.bytes_served() : Bytes{}, eng.now());
+    sim_.governor().note_queue_depth(queue_.size(), eng.now());
+  }
   report.metrics.add(outcome);
 
   const bool expired =

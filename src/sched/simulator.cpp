@@ -37,6 +37,7 @@ Status SimulatorConfig::try_validate() const {
   check.merge(detector.try_validate());
   check.merge(hedge.try_validate());
   check.merge(journal.try_validate());
+  check.merge(governor.try_validate());
   check.require(!faults.crash.enabled() || journal.enabled,
                 "metadata crashes require the catalog journal (a crash "
                 "without a log would lose the whole catalog)");
@@ -83,6 +84,8 @@ RetrievalSimulator::RetrievalSimulator(const core::PlacementPlan& plan,
     // above, before the journal existed); every later mutation is logged.
     take_checkpoint();
   }
+  governor_.configure(config_.governor, plan.spec().total_drives(),
+                      plan.spec().num_libraries, config_.tracer);
 }
 
 RetrievalSimulator::~RetrievalSimulator() {
@@ -591,6 +594,13 @@ Seconds RetrievalSimulator::robot_move_delay(tape::TapeLibrary& lib,
     config_.tracer->marker(obs::Track::kRobot, lib.id().value(),
                            "robot jam");
   }
+  if (governor_.enabled() && fault_->config().robot_jam_prob > 0.0) {
+    // Every accessor move with jams enabled is a breaker observation: a
+    // jam-free move counts for the robot, a jam against it.
+    governor_.note_outcome(BreakerScope::kRobot,
+                           static_cast<std::uint32_t>(lib.id().index()),
+                           jam.count() == 0.0, engine_.now());
+  }
   return base + jam;
 }
 
@@ -852,6 +862,14 @@ void RetrievalSimulator::serve_mounted(DriveId d) {
     if (!ctx.busy && system_.drive(d).idle()) quarantine_unmount(d);
     return;
   }
+  if (breaker_skip_drive(d)) {
+    // Same eviction for an open drive breaker: a healthy peer exists, so
+    // the demanded cartridge goes back to its cell instead of being served
+    // through the tripped drive.
+    DriveCtx& ctx = ctx_[d.index()];
+    if (!ctx.busy && system_.drive(d).idle()) quarantine_unmount(d);
+    return;
+  }
   tape::TapeDrive& drive = system_.drive(d);
   const TapeId tp = drive.mounted();
   TAPESIM_ASSERT(tp.valid());
@@ -997,6 +1015,11 @@ void RetrievalSimulator::begin_transfer(DriveId d,
     chain.retries = 0;
     serve_step(d);
   };
+  if (governor_.enabled() && chain_[d.index()].retries == 0) {
+    // First attempt at this extent: first-attempt demand earns the retry
+    // budget its tokens.
+    governor_.note_demand(GovernorClass::kRetry);
+  }
   if (fault_ == nullptr) {
     engine_.schedule_in(xfer, std::move(complete));
     return;
@@ -1004,8 +1027,8 @@ void RetrievalSimulator::begin_transfer(DriveId d,
   const TapeId tp = drive.mounted();
   std::optional<Seconds> media_at;
   bool latent = false;
-  if (const auto frac =
-          fault_->media_error(tp, extent.size, system_.cartridge_health(tp))) {
+  if (const auto frac = fault_->media_error(
+          tp, extent.size, system_.cartridge_health(tp), engine_.now())) {
     media_at = xfer * *frac;
   }
   if (fault_->undetected_damage(tp, engine_.now()) > 0) {
@@ -1072,6 +1095,12 @@ void RetrievalSimulator::on_media_failure(DriveId d, bool latent) {
                                    : "media error on tape ") +
                                std::to_string(tp.value()));
   }
+  if (governor_.enabled()) {
+    governor_.note_outcome(
+        BreakerScope::kLibrary,
+        static_cast<std::uint32_t>(system_.library_of_drive(d).index()), false,
+        engine_.now());
+  }
   maybe_evacuate(tp);
   if (expired_) {
     // No one is waiting for this chain anymore; skip the retry ladder.
@@ -1113,6 +1142,26 @@ void RetrievalSimulator::on_media_failure(DriveId d, bool latent) {
     return;
   }
   const Seconds delay = config_.faults.media_retry.delay(chain.retries);
+  // A retry landing past the request's deadline is wasted motion; so is one
+  // the governor refuses to fund. Either way the extent takes the fail-fast
+  // ladder (failover or unavailable) instead of burning drive time.
+  const bool past_slo =
+      deadline_abs_.count() < metrics::RequestOutcome::kNoDeadline &&
+      (engine_.now() + delay).count() >= deadline_abs_.count();
+  const bool admitted =
+      !governor_.enabled() ||
+      governor_.admit(
+          GovernorClass::kRetry, BreakerScope::kLibrary,
+          static_cast<std::uint32_t>(system_.library_of_drive(d).index()),
+          engine_.now());
+  if (past_slo || !admitted) {
+    const catalog::TapeExtent failed = chain.extents[chain.index];
+    ++chain.index;
+    chain.retries = 0;
+    fail_extent(tp, failed);
+    serve_step(d);
+    return;
+  }
   ++chain.retries;
   ++media_retries_this_request_;
   engine_.schedule_in(delay, [this, d]() { serve_step(d); });
@@ -1122,6 +1171,16 @@ void RetrievalSimulator::extent_done(DriveId d) {
   TAPESIM_ASSERT(remaining_extents_ > 0);
   --remaining_extents_;
   if (remaining_extents_ == 0) cancel_deadline_event();
+  if (governor_.enabled()) {
+    // A completed extent is first-attempt demand for the amplification
+    // classes it could spawn, and a success observation for its library.
+    governor_.note_demand(GovernorClass::kFailover);
+    governor_.note_demand(GovernorClass::kHedge);
+    governor_.note_outcome(
+        BreakerScope::kLibrary,
+        static_cast<std::uint32_t>(system_.library_of_drive(d).index()), true,
+        engine_.now());
+  }
   if (catalog_.has_replicas()) {
     const ServeChain& chain = chain_[d.index()];
     const catalog::TapeExtent& e = chain.extents[chain.index];
@@ -1168,6 +1227,17 @@ void RetrievalSimulator::next_action(DriveId d) {
     // so the rest of the fleet can reach it.
     tape::TapeDrive& drive = system_.drive(d);
     if (!drive.empty() && drive.idle()) quarantine_unmount(d);
+    return;
+  }
+  if (breaker_skip_drive(d)) {
+    // An open drive breaker sits out new chains while a healthy peer
+    // exists. A held cartridge that still carries demand is handed back to
+    // its cell (same choreography as quarantine) so the fleet can reach it.
+    tape::TapeDrive& drive = system_.drive(d);
+    if (!drive.empty() && drive.idle() &&
+        needed_.count(drive.mounted().value()) != 0) {
+      quarantine_unmount(d);
+    }
     return;
   }
   auto& queue = lib_queue_[lib.index()];
@@ -1291,11 +1361,26 @@ void RetrievalSimulator::begin_switch(DriveId d, TapeId target) {
 
 void RetrievalSimulator::attempt_load(DriveId d, TapeId target) {
   tape::TapeDrive& drive = system_.drive(d);
+  if (governor_.enabled() && ctx_[d.index()].mount_retries == 0) {
+    // First attempt of this mount chain: useful work that earns the retry
+    // budget its tokens.
+    governor_.note_demand(GovernorClass::kRetry);
+  }
   const Seconds load = drive.start_load(target);
   schedule_activity(d, load, [this, d, target]() {
-    if (fault_ != nullptr && fault_->mount_attempt_fails(d)) {
+    if (fault_ != nullptr && fault_->mount_attempt_fails(d, engine_.now())) {
+      if (governor_.enabled()) {
+        governor_.note_outcome(BreakerScope::kDrive,
+                               static_cast<std::uint32_t>(d.index()), false,
+                               engine_.now());
+      }
       on_mount_failure(d, target);
       return;
+    }
+    if (governor_.enabled()) {
+      governor_.note_outcome(BreakerScope::kDrive,
+                             static_cast<std::uint32_t>(d.index()), true,
+                             engine_.now());
     }
     finish_mount(d, target);
   });
@@ -1333,16 +1418,28 @@ void RetrievalSimulator::on_mount_failure(DriveId d, TapeId target) {
   if (!expired_ && !tape_exhausted &&
       ctx.mount_retries < config_.faults.mount_retry.max_retries) {
     const Seconds delay = config_.faults.mount_retry.delay(ctx.mount_retries);
-    ++ctx.mount_retries;
-    ++mount_retries_this_request_;
-    engine_.schedule_in(delay, [this, d, target]() {
-      if (!fault_->drive_online(d, engine_.now())) {
-        on_drive_failure(d);  // also requeues the target
-        return;
-      }
-      attempt_load(d, target);
-    });
-    return;
+    // A retry that can only land past the request's deadline is wasted
+    // motion: the deadline event would expire the request before the retry
+    // fires. Short-circuit straight into the give-up ladder.
+    const bool past_slo =
+        deadline_abs_.count() < metrics::RequestOutcome::kNoDeadline &&
+        (engine_.now() + delay).count() >= deadline_abs_.count();
+    const bool admitted =
+        !governor_.enabled() ||
+        governor_.admit(GovernorClass::kRetry, BreakerScope::kDrive,
+                        static_cast<std::uint32_t>(d.index()), engine_.now());
+    if (!past_slo && admitted) {
+      ++ctx.mount_retries;
+      ++mount_retries_this_request_;
+      engine_.schedule_in(delay, [this, d, target]() {
+        if (!fault_->drive_online(d, engine_.now())) {
+          on_drive_failure(d);  // also requeues the target
+          return;
+        }
+        attempt_load(d, target);
+      });
+      return;
+    }
   }
 
   // This drive gives up on the cartridge: the robot returns it to its
@@ -1504,6 +1601,44 @@ bool RetrievalSimulator::drive_quarantined(DriveId d) {
   return false;
 }
 
+bool RetrievalSimulator::breaker_skip_drive(DriveId d) {
+  if (!governor_.enabled()) return false;
+  const Seconds now = engine_.now();
+  if (!governor_.breaker_blocked(BreakerScope::kDrive,
+                                 static_cast<std::uint32_t>(d.index()), now)) {
+    return false;
+  }
+  // Step aside only when a live peer with a closed (or probing) breaker can
+  // pick up the work; if the whole library is tripped, serving through the
+  // open breaker beats wedging the queue.
+  const LibraryId lib = system_.library_of_drive(d);
+  const std::uint32_t per_lib = plan_->spec().library.drives_per_library;
+  for (std::uint32_t i = 0; i < per_lib; ++i) {
+    const DriveId peer{lib.value() * per_lib + i};
+    if (!switch_eligible(peer)) continue;
+    if (system_.drive(peer).failed()) continue;
+    if (!governor_.breaker_blocked(BreakerScope::kDrive,
+                                   static_cast<std::uint32_t>(peer.index()),
+                                   now)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<LibraryId> RetrievalSimulator::breaker_down_libraries() {
+  std::vector<LibraryId> blocked;
+  if (!governor_.enabled() || governor_.breakers_open() == 0) return blocked;
+  const Seconds now = engine_.now();
+  for (std::uint32_t l = 0; l < plan_->spec().num_libraries; ++l) {
+    if (governor_.breaker_blocked(BreakerScope::kLibrary, l, now) ||
+        governor_.breaker_blocked(BreakerScope::kRobot, l, now)) {
+      blocked.push_back(LibraryId{l});
+    }
+  }
+  return blocked;
+}
+
 bool RetrievalSimulator::quarantine_fallback(LibraryId lib) {
   const std::uint32_t per_lib = plan_->spec().library.drives_per_library;
   for (std::uint32_t i = 0; i < per_lib; ++i) {
@@ -1605,9 +1740,11 @@ void RetrievalSimulator::maybe_launch_hedge(DriveId d,
   tape::TapeDrive& drive = system_.drive(d);
   if (drive.state() != tape::DriveState::kTransferring) return;
   // Budget gate: speculation may not burn more than the configured
-  // fraction of the bandwidth spent on foreground bytes so far.
+  // fraction of the bandwidth spent on foreground bytes so far. Under
+  // metastable shedding the governor tightens that fraction further.
   if (static_cast<double>(hedge_bytes_ + extent.size.count()) >
-      config_.hedge.budget_fraction * static_cast<double>(served_bytes_)) {
+      config_.hedge.budget_fraction * governor_.budget_clamp() *
+          static_cast<double>(served_bytes_)) {
     return;
   }
   const TapeId primary = drive.mounted();
@@ -1619,8 +1756,17 @@ void RetrievalSimulator::maybe_launch_hedge(DriveId d,
     exclude.push_back(primary);
   }
   const catalog::ObjectRecord* alt = nullptr;
-  if (outage_active()) {
-    const std::vector<LibraryId> down = down_libraries();
+  std::vector<LibraryId> down;
+  if (outage_active()) down = down_libraries();
+  if (governor_.enabled()) {
+    // Libraries behind an open breaker are as good as down for speculation.
+    for (const LibraryId blib : breaker_down_libraries()) {
+      if (std::find(down.begin(), down.end(), blib) == down.end()) {
+        down.push_back(blib);
+      }
+    }
+  }
+  if (outage_active() || !down.empty()) {
     alt = catalog_.best_replica(extent.object, exclude, down);
   } else {
     alt = catalog_.best_replica(extent.object, exclude);
@@ -1629,6 +1775,13 @@ void RetrievalSimulator::maybe_launch_hedge(DriveId d,
   // Only cross-library hedges: a same-library replica would contend for
   // the very robot and drives the slow leg is clogging.
   if (system_.library_of_tape(alt->tape) == system_.library_of_drive(d)) {
+    return;
+  }
+  if (governor_.enabled() &&
+      !governor_.admit(GovernorClass::kHedge, BreakerScope::kLibrary,
+                       static_cast<std::uint32_t>(
+                           system_.library_of_tape(alt->tape).index()),
+                       engine_.now())) {
     return;
   }
   Hedge h;
@@ -1804,26 +1957,60 @@ void RetrievalSimulator::fail_extent(TapeId on,
     if (std::find(tried.begin(), tried.end(), on) == tried.end()) {
       tried.push_back(on);
     }
+    // Failover work is governed: a replica behind an open breaker is
+    // deprioritised (used only when no healthy copy exists), and the
+    // attempt itself must clear the failover budget — over budget, the
+    // extent fails fast into the unavailable ladder.
+    const std::vector<LibraryId> blocked =
+        governor_.enabled() ? breaker_down_libraries()
+                            : std::vector<LibraryId>{};
     if (!outage_active()) {
-      if (const catalog::ObjectRecord* alt =
-              catalog_.best_replica(extent.object, tried)) {
+      const catalog::ObjectRecord* alt = nullptr;
+      if (!blocked.empty()) {
+        alt = catalog_.best_replica(extent.object, tried, blocked);
+      }
+      if (alt == nullptr) alt = catalog_.best_replica(extent.object, tried);
+      if (alt != nullptr) {
+        if (governor_.enabled() &&
+            !governor_.admit(GovernorClass::kFailover)) {
+          extent_unavailable(extent);
+          return;
+        }
         route_extent(*alt);
         return;
       }
     } else {
       const std::vector<LibraryId> down = down_libraries();
-      if (const catalog::ObjectRecord* alt =
-              catalog_.best_replica(extent.object, tried, down)) {
+      const catalog::ObjectRecord* alt = nullptr;
+      if (!blocked.empty()) {
+        std::vector<LibraryId> avoid = down;
+        for (const LibraryId blib : blocked) {
+          if (std::find(avoid.begin(), avoid.end(), blib) == avoid.end()) {
+            avoid.push_back(blib);
+          }
+        }
+        alt = catalog_.best_replica(extent.object, tried, avoid);
+      }
+      if (alt == nullptr) {
+        alt = catalog_.best_replica(extent.object, tried, down);
+      }
+      if (alt != nullptr) {
+        if (governor_.enabled() &&
+            !governor_.admit(GovernorClass::kFailover)) {
+          extent_unavailable(extent);
+          return;
+        }
         route_extent(*alt);
         return;
       }
       // Every remaining live copy sits behind a transiently downed library
       // (destroyed libraries' cartridges are Lost in the catalog and were
       // skipped above): park the extent on the best of them and serve it
-      // when the library returns.
-      if (const catalog::ObjectRecord* alt =
+      // when the library returns. Parking is not governed — it spends no
+      // drive time now and is the last road to availability.
+      if (const catalog::ObjectRecord* parked =
               catalog_.best_replica(extent.object, tried)) {
-        park_extent(*alt);
+        park_extent(*parked);
         return;
       }
     }
@@ -2133,8 +2320,14 @@ void RetrievalSimulator::maybe_start_repair(DriveId d) {
   if (!drive_available(d)) return;
   // Quarantined drives take no background copies either; next_repair_wake
   // covers their release so drain_repairs keeps waiting instead of
-  // abandoning jobs.
+  // abandoning jobs. An open drive breaker likewise rules out volunteering.
   if (detector_active() && drive_quarantined(d)) return;
+  if (governor_.enabled() &&
+      governor_.breaker_blocked(BreakerScope::kDrive,
+                                static_cast<std::uint32_t>(d.index()),
+                                engine_.now())) {
+    return;
+  }
   const tape::TapeDrive& drive = system_.drive(d);
   if (!(drive.idle() || drive.empty())) return;
   if (!drive.empty() && needed_.count(drive.mounted().value()) != 0) return;
@@ -2230,7 +2423,8 @@ void RetrievalSimulator::repair_mount(DriveId d, TapeId target,
           tape::TapeDrive& dr = system_.drive(d);
           const Seconds load = dr.start_load(target);
           schedule_activity(d, load, [this, d, target, &lib, then]() {
-            if (fault_ != nullptr && fault_->mount_attempt_fails(d)) {
+            if (fault_ != nullptr &&
+                fault_->mount_attempt_fails(d, engine_.now())) {
               if (ctx_[d.index()].scrub.has_value()) {
                 scrub_mount_failure(d);
               } else {
@@ -2362,7 +2556,8 @@ void RetrievalSimulator::repair_read_transfer(DriveId d) {
   // read; mirror begin_transfer's precedence (hardware beats media).
   std::optional<Seconds> media_at;
   if (const auto frac =
-          fault_->media_error(tp, job.size, system_.cartridge_health(tp))) {
+          fault_->media_error(tp, job.size, system_.cartridge_health(tp),
+                              engine_.now())) {
     media_at = xfer * *frac;
   }
   const Seconds horizon = media_at.has_value() ? *media_at : xfer;
@@ -2499,9 +2694,12 @@ void RetrievalSimulator::repair_pace(DriveId d, Seconds xfer,
                                      std::function<void()> next) {
   const DriveCtx& ctx = ctx_[d.index()];
   const bool dr = ctx.repair.has_value() && ctx.repair->dr_from.valid();
+  // Under metastable shedding the governor clamps repair/DR bandwidth so
+  // recovery work stops competing with collapsing foreground goodput.
   background_pace(d, xfer,
-                  dr ? config_.faults.outage.dr_bandwidth_fraction
-                     : config_.repair.bandwidth_fraction,
+                  (dr ? config_.faults.outage.dr_bandwidth_fraction
+                      : config_.repair.bandwidth_fraction) *
+                      governor_.repair_clamp(),
                   std::move(next));
 }
 
@@ -2657,6 +2855,7 @@ bool RetrievalSimulator::scrub_claimed(TapeId tp) const {
 
 bool RetrievalSimulator::scrub_yield_needed(DriveId d) const {
   if (overload_pressure_) return true;
+  if (governor_.scrub_paused()) return true;
   if (!lib_queue_[system_.library_of_drive(d).index()].empty()) return true;
   const DriveCtx& c = ctx_[d.index()];
   return c.scrub.has_value() && needed_.count(c.scrub->tape.value()) != 0;
@@ -2702,12 +2901,21 @@ void RetrievalSimulator::maybe_start_scrub(DriveId d) {
   // due by advancing time, forever). In-flight passes drain normally.
   if (remaining_extents_ == 0) return;
   if (overload_pressure_) return;
+  // First lever of metastable shedding: scrub is the most deferrable
+  // amplification class, so it pauses before repair or budgets tighten.
+  if (governor_.scrub_paused()) return;
   if (active_scrubs_ >= config_.scrub.max_concurrent) return;
   if (!switch_eligible(d)) return;
   DriveCtx& ctx = ctx_[d.index()];
   if (ctx.busy || ctx.recovery_pending) return;
   if (!drive_available(d)) return;
   if (detector_active() && drive_quarantined(d)) return;
+  if (governor_.enabled() &&
+      governor_.breaker_blocked(BreakerScope::kDrive,
+                                static_cast<std::uint32_t>(d.index()),
+                                engine_.now())) {
+    return;
+  }
   const tape::TapeDrive& drive = system_.drive(d);
   if (!(drive.idle() || drive.empty())) return;
   if (!drive.empty() && needed_.count(drive.mounted().value()) != 0) return;
@@ -2780,7 +2988,8 @@ void RetrievalSimulator::scrub_transfer(DriveId d, Bytes seg) {
   // segment boundary instead.
   std::optional<Seconds> media_at;
   if (const auto frac =
-          fault_->media_error(tp, seg, system_.cartridge_health(tp))) {
+          fault_->media_error(tp, seg, system_.cartridge_health(tp),
+                              engine_.now())) {
     media_at = xfer * *frac;
   }
   const Seconds horizon = media_at.has_value() ? *media_at : xfer;

@@ -26,6 +26,7 @@
 #include "fault/model.hpp"
 #include "metrics/request_metrics.hpp"
 #include "sched/failslow.hpp"
+#include "sched/governor.hpp"
 #include "sched/outage.hpp"
 #include "sched/recovery.hpp"
 #include "sched/repair.hpp"
@@ -100,6 +101,11 @@ struct SimulatorConfig {
   /// simulator is bit-identical to a build without a journal); must be
   /// enabled when metadata crashes are (faults.crash).
   catalog::JournalConfig journal{};
+  /// Recovery-work governor: retry budgets, circuit breakers, and
+  /// metastable-failure shedding over every amplification path. Disabled
+  /// by default — a disabled governor adds zero draws and zero events, so
+  /// governor-off runs are bit-identical to baseline.
+  GovernorConfig governor{};
 
   /// Recoverable validation of user-provided knobs (the fault, repair,
   /// scrub, and evacuation models); the simulator constructor throws
@@ -210,6 +216,19 @@ class RetrievalSimulator {
     return journal_.get();
   }
   [[nodiscard]] catalog::Journal* journal() { return journal_.get(); }
+
+  /// The recovery-work governor. The non-const overload lets the
+  /// overload runner feed goodput/queue-depth samples and lets benches
+  /// close the books (finish()) at run end.
+  [[nodiscard]] RecoveryGovernor& governor() { return governor_; }
+  [[nodiscard]] const RecoveryGovernor& governor() const {
+    return governor_;
+  }
+  /// Running totals of the governor (budget ledgers, breaker and
+  /// metastability transitions), mirrored 1:1 into governor.* counters.
+  [[nodiscard]] const GovernorStats& governor_stats() const {
+    return governor_.stats();
+  }
 
  private:
   // --- per-request orchestration ---
@@ -346,6 +365,13 @@ class RetrievalSimulator {
   /// its cell (rewind -> robot -> unload -> move) so a healthy drive can
   /// pick it up.
   void quarantine_unmount(DriveId d);
+  /// True when `d`'s drive breaker is open AND a live peer in its library
+  /// has a breaker that still admits work — then `d` sits out new chains.
+  /// With every peer tripped too, the drive serves anyway (no wedging).
+  [[nodiscard]] bool breaker_skip_drive(DriveId d);
+  /// Libraries whose library- or robot-scoped breaker currently blocks
+  /// work; used to deprioritise replicas during failover and hedging.
+  [[nodiscard]] std::vector<LibraryId> breaker_down_libraries();
   /// Current adaptive hedge trigger as a multiple of the native transfer
   /// duration (percentile of history, floored at min_overrun).
   [[nodiscard]] double hedge_threshold_ratio() const;
@@ -677,6 +703,11 @@ class RetrievalSimulator {
   std::uint64_t hedge_bytes_ = 0;   ///< Speculative bytes launched.
   std::uint64_t served_bytes_ = 0;  ///< Foreground bytes completed.
   FailSlowStats failslow_stats_;
+
+  // --- recovery-work governor (inert when config_.governor.enabled is
+  // false: every hook is guarded, so the disabled path adds no draws and
+  // no events) ---
+  RecoveryGovernor governor_;
 
   // --- metadata durability state (null/zero when the journal is off) ---
   std::unique_ptr<catalog::Journal> journal_;

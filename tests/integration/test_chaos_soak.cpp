@@ -516,5 +516,183 @@ TEST_P(FailSlowChaosSoak, HedgeAndQuarantineLedgersSurviveRandomSchedules) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FailSlowChaosSoak,
                          ::testing::Range<std::uint64_t>(1, 21));
 
+/// Recovery-governor posture: a deterministic fault burst mid-stream (the
+/// metastable trigger) under random retry-budget ratios, breaker
+/// thresholds, and shed-ladder knobs. Some seeds run with the governor
+/// configured but disabled — the passive path must hold the same
+/// invariants (and an all-zero ledger).
+sched::SimulatorConfig governor_chaos_config(Rng& rng, obs::Tracer* tracer) {
+  sched::SimulatorConfig cfg;
+  cfg.tracer = tracer;
+  cfg.faults.seed = rng();
+  cfg.faults.mount_failure_prob = rng.uniform(0.0, 0.05);
+  cfg.faults.media_error_per_gb = rng.uniform(0.0, 0.01);
+  cfg.faults.degraded_after = 2 + static_cast<std::uint32_t>(
+                                      rng.uniform_below(8));
+  cfg.faults.lost_after = cfg.faults.degraded_after +
+                          8 + static_cast<std::uint32_t>(rng.uniform_below(40));
+  cfg.faults.degraded_error_multiplier = rng.uniform(1.0, 200.0);
+  cfg.faults.media_retry.max_retries =
+      static_cast<std::uint32_t>(rng.uniform_below(5));
+  cfg.faults.media_retry.initial_delay = Seconds{rng.uniform(1.0, 30.0)};
+  cfg.faults.burst.at = Seconds{rng.uniform(500.0, 4000.0)};
+  cfg.faults.burst.duration = Seconds{rng.uniform(500.0, 3000.0)};
+  cfg.faults.burst.mount_failure_prob = rng.uniform(0.2, 0.8);
+  cfg.faults.burst.media_error_per_gb = rng.uniform(0.3, 1.5);
+  if (rng.uniform() < 0.4) {
+    cfg.scrub.enabled = true;
+    cfg.scrub.interval = Seconds{rng.uniform(500.0, 4000.0)};
+  }
+  if (rng.uniform() < 0.4) {
+    cfg.evacuation.enabled = true;
+    cfg.evacuation.threshold = rng.uniform(0.3, 0.7);
+  }
+  if (rng.uniform() < 0.4) {
+    // Hedged reads feed the governor's kHedge admission class.
+    cfg.detector.enabled = true;
+    cfg.detector.quarantine = rng.uniform() < 0.5;
+    cfg.hedge.enabled = true;
+    cfg.hedge.min_history = 8;
+    cfg.hedge.budget_fraction = rng.uniform(0.1, 0.3);
+  }
+
+  sched::GovernorConfig& gov = cfg.governor;
+  gov.enabled = rng.uniform() < 0.85;
+  gov.budgets.enabled = rng.uniform() < 0.8;
+  gov.budgets.retry_ratio = rng.uniform(0.05, 1.0);
+  gov.budgets.failover_ratio = rng.uniform(0.05, 1.0);
+  gov.budgets.hedge_ratio = rng.uniform(0.05, 1.0);
+  gov.budgets.burst = rng.uniform(1.0, 16.0);
+  gov.breaker.enabled = rng.uniform() < 0.8;
+  gov.breaker.failure_threshold = rng.uniform(0.3, 0.9);
+  gov.breaker.min_samples = 2 + static_cast<std::uint32_t>(
+                                    rng.uniform_below(8));
+  gov.breaker.window = Seconds{rng.uniform(200.0, 1500.0)};
+  gov.breaker.open_duration = Seconds{rng.uniform(60.0, 600.0)};
+  gov.breaker.close_after = 1 + static_cast<std::uint32_t>(
+                                    rng.uniform_below(3));
+  gov.metastable.enabled = rng.uniform() < 0.8;
+  gov.metastable.bin = Seconds{rng.uniform(60.0, 600.0)};
+  gov.metastable.ewma_alpha = rng.uniform(0.05, 0.5);
+  gov.metastable.collapse_fraction = rng.uniform(0.1, 0.5);
+  gov.metastable.recover_fraction =
+      gov.metastable.collapse_fraction + rng.uniform(0.1, 0.4);
+  gov.metastable.min_queue_depth = 1 + static_cast<std::uint32_t>(
+                                           rng.uniform_below(6));
+  gov.metastable.trip_bins = 1 + static_cast<std::uint32_t>(
+                                     rng.uniform_below(3));
+  gov.metastable.release_bins = 1 + static_cast<std::uint32_t>(
+                                        rng.uniform_below(3));
+  gov.metastable.repair_clamp = rng.uniform(0.1, 1.0);
+  gov.metastable.budget_clamp = rng.uniform(0.3, 1.0);
+  EXPECT_TRUE(cfg.try_validate().ok());
+  return cfg;
+}
+
+class GovernorChaosSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GovernorChaosSoak, BudgetLedgersSurviveRandomizedSchedules) {
+  const std::uint64_t seed = GetParam();
+  const ReplicatedFixture& fx = ReplicatedFixture::instance();
+  Rng rng{seed * 0xBF58476D1CE4E5B9ULL + 1};
+
+  obs::Tracer tracer;
+  const sched::SimulatorConfig cfg = governor_chaos_config(rng, &tracer);
+  sched::RetrievalSimulator sim(fx.plan, cfg);
+
+  workload::StormConfig storm;
+  storm.base_rate = 1.0 / 400.0;
+  storm.burst_rate = 1.0 / 40.0;
+  storm.mean_burst_duration = Seconds{1200.0};
+  storm.mean_calm_duration = Seconds{4000.0};
+  storm.batch_fraction = 0.4;
+  const workload::RequestSampler sampler(fx.experiment.workload());
+  const auto arrivals = workload::storm_arrivals(sampler, storm, 25, rng);
+
+  Seconds prev_now{};
+  for (const auto& arrival : arrivals) {
+    if (sim.engine().now() < arrival.time) {
+      sim.engine().schedule_at(arrival.time, [] {});
+      sim.engine().run();
+    }
+
+    sched::RequestContext ctx;
+    ctx.priority = arrival.priority;
+    if (rng.uniform() < 0.6) {
+      ctx.deadline = sim.engine().now() + Seconds{rng.uniform(600.0, 6000.0)};
+    }
+    const auto o = sim.run_request(arrival.request, ctx);
+
+    // Every run_request returns — a fast-failed retry or an open breaker
+    // must never wedge a chain; the clock stays monotone throughout.
+    EXPECT_GE(sim.engine().now().count(), prev_now.count());
+    prev_now = sim.engine().now();
+
+    // Byte conservation holds under denials: a fast-failed extent is
+    // accounted unavailable (or expired), never dropped.
+    Bytes expected{};
+    for (const ObjectId obj :
+         fx.experiment.workload().request(arrival.request).objects) {
+      expected += fx.experiment.workload().object_size(obj);
+    }
+    ASSERT_EQ(o.bytes.count(), expected.count());
+    ASSERT_EQ(o.bytes_served().count() + o.bytes_unavailable.count() +
+                  o.bytes_expired.count(),
+              o.bytes.count());
+
+    check_mount_exclusivity(sim, fx.config.spec);
+  }
+
+  // End-of-run reconciliation: per-class budget ledgers balance exactly,
+  // and every governor.* registry counter equals its GovernorStats field.
+  sim.governor().finish(sim.engine().now());
+  const sched::GovernorStats& st = sim.governor_stats();
+  auto& reg = tracer.registry();
+  static constexpr sched::GovernorClass kClasses[] = {
+      sched::GovernorClass::kRetry, sched::GovernorClass::kFailover,
+      sched::GovernorClass::kHedge};
+  for (const sched::GovernorClass cls : kClasses) {
+    const sched::BudgetLedger& led = st.ledger(cls);
+    EXPECT_EQ(led.attempts, led.admitted + led.fast_failed);
+    EXPECT_EQ(led.fast_failed, led.budget_denied + led.breaker_denied);
+    const std::string name = sched::to_string(cls);
+    EXPECT_EQ(reg.counter("governor." + name + "_attempts").value(),
+              led.attempts);
+    EXPECT_EQ(reg.counter("governor." + name + "_admitted").value(),
+              led.admitted);
+    EXPECT_EQ(reg.counter("governor." + name + "_fast_failed").value(),
+              led.fast_failed);
+    if (!cfg.governor.enabled) {
+      EXPECT_EQ(led.attempts, 0u) << "disabled governor must not account";
+      EXPECT_EQ(led.demand, 0u);
+    }
+  }
+  EXPECT_EQ(reg.counter("governor.breaker_opened").value(), st.breaker_opened);
+  EXPECT_EQ(reg.counter("governor.breaker_reopened").value(),
+            st.breaker_reopened);
+  EXPECT_EQ(reg.counter("governor.breaker_closed").value(), st.breaker_closed);
+  EXPECT_EQ(reg.counter("governor.breaker_probes").value(),
+            st.breaker_probes);
+  EXPECT_EQ(reg.counter("governor.metastable_trips").value(),
+            st.metastable_trips);
+  EXPECT_EQ(reg.counter("governor.metastable_releases").value(),
+            st.metastable_releases);
+  EXPECT_EQ(reg.counter("governor.shed_escalations").value(),
+            st.shed_escalations);
+  EXPECT_LE(st.metastable_releases, st.metastable_trips);
+  EXPECT_LE(st.metastable_trips, st.shed_escalations);
+  if (!cfg.governor.enabled || !cfg.governor.breaker.enabled) {
+    EXPECT_EQ(st.breaker_opened, 0u);
+    EXPECT_EQ(sim.governor().breakers_open(), 0u);
+  }
+  if (!cfg.governor.enabled || !cfg.governor.metastable.enabled) {
+    EXPECT_EQ(st.metastable_trips, 0u);
+    EXPECT_EQ(sim.governor().shed_level(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GovernorChaosSoak,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
 }  // namespace
 }  // namespace tapesim

@@ -111,6 +111,30 @@ TEST(Catalog, RecoveryInstrumentsAreCatalogedWithTheRightKinds) {
   expect_kind("recovery.snapshot_age_s", "histogram");
 }
 
+TEST(Catalog, GovernorInstrumentsAreCatalogedWithTheRightKinds) {
+  const auto expect_kind = [](const char* name, const char* kind) {
+    const MetricInfo* info = find_metric(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_EQ(info->kind, kind) << name;
+    EXPECT_TRUE(is_valid_metric_name(info->name)) << name;
+  };
+  for (const char* cls : {"retry", "failover", "hedge"}) {
+    for (const char* suffix : {"_attempts", "_admitted", "_fast_failed"}) {
+      expect_kind(("governor." + std::string(cls) + suffix).c_str(),
+                  "counter");
+    }
+  }
+  for (const char* counter :
+       {"governor.breaker_opened", "governor.breaker_reopened",
+        "governor.breaker_closed", "governor.breaker_probes",
+        "governor.metastable_trips", "governor.metastable_releases",
+        "governor.shed_escalations"}) {
+    expect_kind(counter, "counter");
+  }
+  expect_kind("governor.shed_level", "gauge");
+  expect_kind("governor.breakers_open", "gauge");
+}
+
 TEST(Catalog, FindMetricLocatesEveryEntryAndRejectsUnknowns) {
   for (const MetricInfo& m : metric_catalog()) {
     const MetricInfo* found = find_metric(m.name);

@@ -150,6 +150,72 @@ TEST(PerfCompare, MissingKpiOnEitherSideIsSchemaDrift) {
   EXPECT_TRUE(extra->regression);
 }
 
+TEST(PerfCompare, MultiRegressionFlagsEveryFailingFieldWithItsThreshold) {
+  // One run, six violations: the comparator must surface all of them
+  // in a single pass, each carrying the boundary value it crossed.
+  const PerfReport baseline = sample_report();
+  PerfReport current = baseline;
+  current.wall_s = baseline.wall_s * 2.0;             // ceiling 1.35x
+  current.events_per_s = baseline.events_per_s * 0.5;  // floor 0.75x
+  current.peak_rss_bytes = baseline.peak_rss_bytes * 2;
+  current.kpis["request.mean_response_s"] *= 1.01;     // drift
+  current.kpis.erase("request.switches");              // schema drift
+  current.kpis["request.new_metric"] = 7.0;            // schema drift
+
+  const PerfThresholds t;
+  const auto deltas = compare_perf(baseline, current, t);
+  EXPECT_TRUE(has_regression(deltas));
+
+  std::size_t regressed = 0;
+  for (const PerfDelta& d : deltas) {
+    if (d.regression) ++regressed;
+  }
+  EXPECT_EQ(regressed, 6u);
+
+  const PerfDelta* wall = find_delta(deltas, "wall_s");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_TRUE(wall->regression);
+  EXPECT_DOUBLE_EQ(wall->threshold, baseline.wall_s * (1.0 + t.wall_frac));
+  EXPECT_GT(wall->current, wall->threshold);
+
+  const PerfDelta* rate = find_delta(deltas, "events_per_s");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_TRUE(rate->regression);
+  EXPECT_DOUBLE_EQ(rate->threshold,
+                   baseline.events_per_s * (1.0 - t.rate_frac));
+  EXPECT_LT(rate->current, rate->threshold);
+
+  const PerfDelta* rss = find_delta(deltas, "peak_rss_bytes");
+  ASSERT_NE(rss, nullptr);
+  EXPECT_TRUE(rss->regression);
+  EXPECT_DOUBLE_EQ(rss->threshold,
+                   static_cast<double>(baseline.peak_rss_bytes) *
+                       (1.0 + t.rss_frac));
+
+  const PerfDelta* kpi = find_delta(deltas, "kpi.request.mean_response_s");
+  ASSERT_NE(kpi, nullptr);
+  EXPECT_TRUE(kpi->regression);
+  // Upward drift: the reported edge is the upper one, just above baseline.
+  EXPECT_GT(kpi->threshold, kpi->baseline);
+  EXPECT_LT(kpi->threshold, kpi->current);
+
+  const PerfDelta* dropped = find_delta(deltas, "kpi.request.switches");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_TRUE(dropped->regression);
+  EXPECT_DOUBLE_EQ(dropped->threshold, 42.0);  // exact value or nothing
+
+  const PerfDelta* added = find_delta(deltas, "kpi.request.new_metric");
+  ASSERT_NE(added, nullptr);
+  EXPECT_TRUE(added->regression);
+
+  // Fields inside their bands carry thresholds too (the band edge), but
+  // stay unflagged.
+  const PerfDelta* events = find_delta(deltas, "events_dispatched");
+  ASSERT_NE(events, nullptr);
+  EXPECT_FALSE(events->regression);
+  EXPECT_DOUBLE_EQ(events->threshold, 0.0);  // informational: no gate
+}
+
 TEST(PerfCompare, CustomThresholdsWiden) {
   const PerfReport baseline = sample_report();
   PerfReport current = baseline;

@@ -1,0 +1,579 @@
+// The recovery-work governor in isolation: config validation (every
+// rejection rule), token-bucket budget accounting with its exact ledger
+// invariants, the breaker state machine (trip on failure rate over
+// window, deterministic half-open probing, reopen and close), the
+// metastable goodput-collapse detector with its hysteresis ladder, and
+// the 1:1 mirror into the obs registry.
+#include "sched/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace tapesim::sched {
+namespace {
+
+GovernorConfig enabled_config() {
+  GovernorConfig cfg;
+  cfg.enabled = true;
+  return cfg;
+}
+
+// --- validation: every rejection rule ------------------------------------
+
+TEST(GovernorConfigValidate, DefaultsAreValid) {
+  EXPECT_TRUE(GovernorConfig{}.try_validate().ok());
+  EXPECT_TRUE(enabled_config().try_validate().ok());
+}
+
+TEST(GovernorConfigValidate, BudgetRatiosMustBeInUnitInterval) {
+  for (const double bad : {0.0, -0.5, 1.5}) {
+    GovernorConfig cfg = enabled_config();
+    cfg.budgets.retry_ratio = bad;
+    EXPECT_FALSE(cfg.try_validate().ok()) << "retry_ratio=" << bad;
+
+    cfg = enabled_config();
+    cfg.budgets.failover_ratio = bad;
+    EXPECT_FALSE(cfg.try_validate().ok()) << "failover_ratio=" << bad;
+
+    cfg = enabled_config();
+    cfg.budgets.hedge_ratio = bad;
+    EXPECT_FALSE(cfg.try_validate().ok()) << "hedge_ratio=" << bad;
+  }
+  GovernorConfig cfg = enabled_config();
+  cfg.budgets.retry_ratio = 1.0;  // the closed end is legal
+  EXPECT_TRUE(cfg.try_validate().ok());
+}
+
+TEST(GovernorConfigValidate, BudgetBurstMustAllowOneAttempt) {
+  GovernorConfig cfg = enabled_config();
+  cfg.budgets.burst = 0.5;
+  const Status s = cfg.try_validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("burst"), std::string::npos);
+}
+
+TEST(GovernorConfigValidate, BreakerThresholdAndCountsMustBePositive) {
+  GovernorConfig cfg = enabled_config();
+  cfg.breaker.failure_threshold = 0.0;
+  EXPECT_FALSE(cfg.try_validate().ok());
+  cfg = enabled_config();
+  cfg.breaker.failure_threshold = 1.25;
+  EXPECT_FALSE(cfg.try_validate().ok());
+  cfg = enabled_config();
+  cfg.breaker.min_samples = 0;
+  EXPECT_FALSE(cfg.try_validate().ok());
+  cfg = enabled_config();
+  cfg.breaker.close_after = 0;
+  EXPECT_FALSE(cfg.try_validate().ok());
+}
+
+TEST(GovernorConfigValidate, BreakerWindowsMustBePositive) {
+  GovernorConfig cfg = enabled_config();
+  cfg.breaker.window = Seconds{0.0};
+  EXPECT_FALSE(cfg.try_validate().ok());
+  cfg = enabled_config();
+  cfg.breaker.open_duration = Seconds{-1.0};
+  EXPECT_FALSE(cfg.try_validate().ok());
+}
+
+TEST(GovernorConfigValidate, MetastableBinAlphaAndCountsMustBePositive) {
+  GovernorConfig cfg = enabled_config();
+  cfg.metastable.bin = Seconds{0.0};
+  EXPECT_FALSE(cfg.try_validate().ok());
+  cfg = enabled_config();
+  cfg.metastable.ewma_alpha = 0.0;
+  EXPECT_FALSE(cfg.try_validate().ok());
+  cfg = enabled_config();
+  cfg.metastable.ewma_alpha = 2.0;
+  EXPECT_FALSE(cfg.try_validate().ok());
+  cfg = enabled_config();
+  cfg.metastable.trip_bins = 0;
+  EXPECT_FALSE(cfg.try_validate().ok());
+  cfg = enabled_config();
+  cfg.metastable.release_bins = 0;
+  EXPECT_FALSE(cfg.try_validate().ok());
+}
+
+TEST(GovernorConfigValidate, HysteresisBandMustBeOrdered) {
+  GovernorConfig cfg = enabled_config();
+  cfg.metastable.collapse_fraction = 0.8;
+  cfg.metastable.recover_fraction = 0.5;
+  const Status s = cfg.try_validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("collapse < recover"), std::string::npos);
+
+  // Equal bounds collapse the band to nothing — also rejected.
+  cfg.metastable.collapse_fraction = 0.7;
+  cfg.metastable.recover_fraction = 0.7;
+  EXPECT_FALSE(cfg.try_validate().ok());
+
+  // Fractions outside their own ranges.
+  cfg = enabled_config();
+  cfg.metastable.collapse_fraction = 0.0;
+  EXPECT_FALSE(cfg.try_validate().ok());
+  cfg = enabled_config();
+  cfg.metastable.collapse_fraction = 1.0;  // must be strictly below 1
+  EXPECT_FALSE(cfg.try_validate().ok());
+  cfg = enabled_config();
+  cfg.metastable.recover_fraction = 1.5;
+  EXPECT_FALSE(cfg.try_validate().ok());
+}
+
+TEST(GovernorConfigValidate, ClampsMustBeInUnitInterval) {
+  GovernorConfig cfg = enabled_config();
+  cfg.metastable.repair_clamp = 0.0;
+  EXPECT_FALSE(cfg.try_validate().ok());
+  cfg = enabled_config();
+  cfg.metastable.budget_clamp = 1.5;
+  EXPECT_FALSE(cfg.try_validate().ok());
+  cfg = enabled_config();
+  cfg.metastable.repair_clamp = 1.0;
+  cfg.metastable.budget_clamp = 1.0;
+  EXPECT_TRUE(cfg.try_validate().ok());
+}
+
+// --- budgets -------------------------------------------------------------
+
+TEST(GovernorBudgets, DisabledGovernorAdmitsEverythingWithoutAccounting) {
+  RecoveryGovernor gov;
+  gov.configure(GovernorConfig{}, 4, 2, nullptr);
+  EXPECT_FALSE(gov.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(gov.admit(GovernorClass::kRetry));
+    EXPECT_TRUE(gov.admit(GovernorClass::kHedge, BreakerScope::kLibrary, 0,
+                          Seconds{1.0}));
+  }
+  EXPECT_EQ(gov.stats().ledger(GovernorClass::kRetry).attempts, 0u);
+  EXPECT_EQ(gov.stats().ledger(GovernorClass::kHedge).attempts, 0u);
+}
+
+TEST(GovernorBudgets, BucketStartsFullAndDrainsToDenial) {
+  GovernorConfig cfg = enabled_config();
+  cfg.budgets.burst = 3.0;
+  RecoveryGovernor gov;
+  gov.configure(cfg, 4, 2, nullptr);
+  EXPECT_TRUE(gov.admit(GovernorClass::kRetry));
+  EXPECT_TRUE(gov.admit(GovernorClass::kRetry));
+  EXPECT_TRUE(gov.admit(GovernorClass::kRetry));
+  EXPECT_FALSE(gov.admit(GovernorClass::kRetry));  // bucket empty
+  const BudgetLedger& led = gov.stats().ledger(GovernorClass::kRetry);
+  EXPECT_EQ(led.attempts, 4u);
+  EXPECT_EQ(led.admitted, 3u);
+  EXPECT_EQ(led.fast_failed, 1u);
+  EXPECT_EQ(led.budget_denied, 1u);
+  EXPECT_EQ(led.breaker_denied, 0u);
+  EXPECT_EQ(led.attempts, led.admitted + led.fast_failed);
+}
+
+TEST(GovernorBudgets, DemandEarnsTokensAtTheConfiguredRatio) {
+  GovernorConfig cfg = enabled_config();
+  cfg.budgets.burst = 1.0;
+  cfg.budgets.retry_ratio = 0.5;
+  RecoveryGovernor gov;
+  gov.configure(cfg, 4, 2, nullptr);
+  EXPECT_TRUE(gov.admit(GovernorClass::kRetry));   // spends the bank
+  EXPECT_FALSE(gov.admit(GovernorClass::kRetry));  // empty
+  gov.note_demand(GovernorClass::kRetry);          // +0.5
+  EXPECT_FALSE(gov.admit(GovernorClass::kRetry));  // 0.5 < 1
+  gov.note_demand(GovernorClass::kRetry);          // +0.5 -> 1.0
+  EXPECT_TRUE(gov.admit(GovernorClass::kRetry));
+  EXPECT_EQ(gov.stats().ledger(GovernorClass::kRetry).demand, 2u);
+}
+
+TEST(GovernorBudgets, ClassesAreIndependent) {
+  GovernorConfig cfg = enabled_config();
+  cfg.budgets.burst = 1.0;
+  RecoveryGovernor gov;
+  gov.configure(cfg, 4, 2, nullptr);
+  EXPECT_TRUE(gov.admit(GovernorClass::kRetry));
+  EXPECT_FALSE(gov.admit(GovernorClass::kRetry));
+  // Draining retry leaves failover and hedge untouched.
+  EXPECT_TRUE(gov.admit(GovernorClass::kFailover));
+  EXPECT_TRUE(gov.admit(GovernorClass::kHedge));
+}
+
+TEST(GovernorBudgets, BudgetsDisabledStillKeepsTheLedger) {
+  GovernorConfig cfg = enabled_config();
+  cfg.budgets.enabled = false;
+  RecoveryGovernor gov;
+  gov.configure(cfg, 4, 2, nullptr);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(gov.admit(GovernorClass::kRetry));
+  }
+  const BudgetLedger& led = gov.stats().ledger(GovernorClass::kRetry);
+  EXPECT_EQ(led.attempts, 50u);
+  EXPECT_EQ(led.admitted, 50u);
+  EXPECT_EQ(led.fast_failed, 0u);
+}
+
+// --- breakers ------------------------------------------------------------
+
+/// Feeds `n` failures one second apart starting at `start`; returns the
+/// time after the last outcome.
+Seconds feed_failures(RecoveryGovernor& gov, BreakerScope scope,
+                      std::uint32_t lane, Seconds start, int n) {
+  Seconds t = start;
+  for (int i = 0; i < n; ++i) {
+    gov.note_outcome(scope, lane, false, t);
+    t += Seconds{1.0};
+  }
+  return t;
+}
+
+TEST(GovernorBreakers, TripsOnFailureRateAfterMinSamples) {
+  GovernorConfig cfg = enabled_config();
+  cfg.breaker.min_samples = 5;
+  cfg.breaker.failure_threshold = 0.6;
+  RecoveryGovernor gov;
+  gov.configure(cfg, 4, 2, nullptr);
+  // Four failures: under min_samples, still closed.
+  Seconds t = feed_failures(gov, BreakerScope::kDrive, 1, Seconds{10.0}, 4);
+  EXPECT_EQ(gov.breaker_state(BreakerScope::kDrive, 1, t),
+            BreakerState::kClosed);
+  EXPECT_FALSE(gov.breaker_blocked(BreakerScope::kDrive, 1, t));
+  // The fifth failure reaches 5/5 >= 0.6: open.
+  t = feed_failures(gov, BreakerScope::kDrive, 1, t, 1);
+  EXPECT_EQ(gov.breaker_state(BreakerScope::kDrive, 1, t),
+            BreakerState::kOpen);
+  EXPECT_TRUE(gov.breaker_blocked(BreakerScope::kDrive, 1, t));
+  EXPECT_EQ(gov.stats().breaker_opened, 1u);
+  EXPECT_EQ(gov.breakers_open(), 1u);
+  // Other lanes and scopes are untouched.
+  EXPECT_FALSE(gov.breaker_blocked(BreakerScope::kDrive, 0, t));
+  EXPECT_FALSE(gov.breaker_blocked(BreakerScope::kLibrary, 0, t));
+}
+
+TEST(GovernorBreakers, SuccessesBelowThresholdKeepItClosed) {
+  GovernorConfig cfg = enabled_config();
+  cfg.breaker.min_samples = 5;
+  cfg.breaker.failure_threshold = 0.6;
+  RecoveryGovernor gov;
+  gov.configure(cfg, 4, 2, nullptr);
+  Seconds t{0.0};
+  // Alternate ok/fail: failure fraction 0.5 < 0.6 forever.
+  for (int i = 0; i < 20; ++i) {
+    gov.note_outcome(BreakerScope::kRobot, 0, i % 2 == 0, t);
+    t += Seconds{1.0};
+  }
+  EXPECT_EQ(gov.breaker_state(BreakerScope::kRobot, 0, t),
+            BreakerState::kClosed);
+  EXPECT_EQ(gov.stats().breaker_opened, 0u);
+}
+
+TEST(GovernorBreakers, OldOutcomesAgeOutOfTheWindow) {
+  GovernorConfig cfg = enabled_config();
+  cfg.breaker.min_samples = 5;
+  cfg.breaker.window = Seconds{100.0};
+  RecoveryGovernor gov;
+  gov.configure(cfg, 4, 2, nullptr);
+  // Four stale failures, then one fresh failure much later: only one
+  // outcome is inside the window, so min_samples is unmet and the
+  // breaker stays closed.
+  feed_failures(gov, BreakerScope::kDrive, 0, Seconds{0.0}, 4);
+  gov.note_outcome(BreakerScope::kDrive, 0, false, Seconds{500.0});
+  EXPECT_EQ(gov.breaker_state(BreakerScope::kDrive, 0, Seconds{500.0}),
+            BreakerState::kClosed);
+}
+
+TEST(GovernorBreakers, HalfOpenProbeClosesAfterConsecutiveSuccesses) {
+  GovernorConfig cfg = enabled_config();
+  cfg.breaker.min_samples = 3;
+  cfg.breaker.open_duration = Seconds{50.0};
+  cfg.breaker.close_after = 2;
+  RecoveryGovernor gov;
+  gov.configure(cfg, 4, 2, nullptr);
+  Seconds t = feed_failures(gov, BreakerScope::kDrive, 2, Seconds{0.0}, 3);
+  ASSERT_TRUE(gov.breaker_blocked(BreakerScope::kDrive, 2, t));
+  // Still blocked just before the dwell ends; half-open right at it.
+  EXPECT_TRUE(gov.breaker_blocked(BreakerScope::kDrive, 2,
+                                  t + Seconds{48.0}));
+  const Seconds probe_at = t + Seconds{51.0};
+  EXPECT_FALSE(gov.breaker_blocked(BreakerScope::kDrive, 2, probe_at));
+  EXPECT_EQ(gov.breaker_state(BreakerScope::kDrive, 2, probe_at),
+            BreakerState::kHalfOpen);
+  // Two successful probes close it; the first alone does not.
+  gov.note_outcome(BreakerScope::kDrive, 2, true, probe_at);
+  EXPECT_EQ(gov.breaker_state(BreakerScope::kDrive, 2, probe_at),
+            BreakerState::kHalfOpen);
+  gov.note_outcome(BreakerScope::kDrive, 2, true, probe_at + Seconds{1.0});
+  EXPECT_EQ(gov.breaker_state(BreakerScope::kDrive, 2, probe_at),
+            BreakerState::kClosed);
+  EXPECT_EQ(gov.stats().breaker_probes, 2u);
+  EXPECT_EQ(gov.stats().breaker_closed, 1u);
+  EXPECT_EQ(gov.breakers_open(), 0u);
+  // The close wiped pre-trip history: one fresh failure cannot re-trip.
+  gov.note_outcome(BreakerScope::kDrive, 2, false, probe_at + Seconds{2.0});
+  EXPECT_EQ(gov.breaker_state(BreakerScope::kDrive, 2, probe_at + Seconds{2.0}),
+            BreakerState::kClosed);
+}
+
+TEST(GovernorBreakers, FailedProbeReopensForAnotherDwell) {
+  GovernorConfig cfg = enabled_config();
+  cfg.breaker.min_samples = 3;
+  cfg.breaker.open_duration = Seconds{50.0};
+  RecoveryGovernor gov;
+  gov.configure(cfg, 4, 2, nullptr);
+  Seconds t = feed_failures(gov, BreakerScope::kLibrary, 1, Seconds{0.0}, 3);
+  const Seconds probe_at = t + Seconds{60.0};
+  EXPECT_FALSE(gov.breaker_blocked(BreakerScope::kLibrary, 1, probe_at));
+  gov.note_outcome(BreakerScope::kLibrary, 1, false, probe_at);
+  // Re-opened: blocked again for a fresh dwell, same open episode.
+  EXPECT_TRUE(gov.breaker_blocked(BreakerScope::kLibrary, 1,
+                                  probe_at + Seconds{10.0}));
+  EXPECT_EQ(gov.stats().breaker_reopened, 1u);
+  EXPECT_EQ(gov.stats().breaker_opened, 1u);
+  EXPECT_EQ(gov.breakers_open(), 1u);
+}
+
+TEST(GovernorBreakers, OutcomesDuringOpenDwellAreIgnored) {
+  GovernorConfig cfg = enabled_config();
+  cfg.breaker.min_samples = 3;
+  cfg.breaker.open_duration = Seconds{100.0};
+  RecoveryGovernor gov;
+  gov.configure(cfg, 4, 2, nullptr);
+  Seconds t = feed_failures(gov, BreakerScope::kDrive, 0, Seconds{0.0}, 3);
+  // In-flight work completing during the dwell is not a probe.
+  gov.note_outcome(BreakerScope::kDrive, 0, true, t + Seconds{1.0});
+  gov.note_outcome(BreakerScope::kDrive, 0, true, t + Seconds{2.0});
+  EXPECT_EQ(gov.stats().breaker_probes, 0u);
+  EXPECT_TRUE(gov.breaker_blocked(BreakerScope::kDrive, 0, t + Seconds{3.0}));
+}
+
+TEST(GovernorBreakers, AdmitChargesBreakerDenialsToTheLedger) {
+  GovernorConfig cfg = enabled_config();
+  cfg.breaker.min_samples = 3;
+  RecoveryGovernor gov;
+  gov.configure(cfg, 4, 2, nullptr);
+  const Seconds t =
+      feed_failures(gov, BreakerScope::kDrive, 0, Seconds{0.0}, 3);
+  EXPECT_FALSE(gov.admit(GovernorClass::kRetry, BreakerScope::kDrive, 0, t));
+  const BudgetLedger& led = gov.stats().ledger(GovernorClass::kRetry);
+  EXPECT_EQ(led.attempts, 1u);
+  EXPECT_EQ(led.fast_failed, 1u);
+  EXPECT_EQ(led.breaker_denied, 1u);
+  EXPECT_EQ(led.budget_denied, 0u);
+  // A healthy lane goes through to the budget as usual.
+  EXPECT_TRUE(gov.admit(GovernorClass::kRetry, BreakerScope::kDrive, 1, t));
+  EXPECT_EQ(led.attempts, 2u);
+  EXPECT_EQ(led.admitted, 1u);
+  EXPECT_EQ(led.attempts, led.admitted + led.fast_failed);
+  EXPECT_EQ(led.fast_failed, led.budget_denied + led.breaker_denied);
+}
+
+TEST(GovernorBreakers, BreakersDisabledNeverBlock) {
+  GovernorConfig cfg = enabled_config();
+  cfg.breaker.enabled = false;
+  RecoveryGovernor gov;
+  gov.configure(cfg, 4, 2, nullptr);
+  const Seconds t =
+      feed_failures(gov, BreakerScope::kDrive, 0, Seconds{0.0}, 30);
+  EXPECT_FALSE(gov.breaker_blocked(BreakerScope::kDrive, 0, t));
+  EXPECT_EQ(gov.stats().breaker_opened, 0u);
+}
+
+// --- metastability -------------------------------------------------------
+
+/// Drives the detector through whole bins: `rate` bytes/s for `bins`
+/// bins starting at *t, with the queue depth refreshed each bin. Bins
+/// are evaluated lazily when time crosses their end, so the final
+/// touch at *t flushes the last full bin.
+void run_bins(RecoveryGovernor& gov, Seconds* t, double rate, int bins,
+              std::size_t depth, Seconds bin) {
+  for (int i = 0; i < bins; ++i) {
+    gov.note_queue_depth(depth, *t);
+    gov.note_served(Bytes{static_cast<std::uint64_t>(rate * bin.count())},
+                    *t);
+    *t += bin;
+  }
+  gov.note_queue_depth(depth, *t);
+}
+
+GovernorConfig metastable_config() {
+  GovernorConfig cfg = enabled_config();
+  cfg.metastable.bin = Seconds{100.0};
+  // A gentle alpha keeps the baseline near the healthy rate during the
+  // trip_bins window before the EWMA freezes (it still adapts at shed
+  // level 0, collapsed bins included).
+  cfg.metastable.ewma_alpha = 0.05;
+  cfg.metastable.collapse_fraction = 0.5;
+  cfg.metastable.recover_fraction = 0.8;
+  cfg.metastable.min_queue_depth = 4;
+  cfg.metastable.trip_bins = 2;
+  cfg.metastable.release_bins = 2;
+  return cfg;
+}
+
+TEST(GovernorMetastable, CollapseWithDeepQueueTripsAfterTripBins) {
+  RecoveryGovernor gov;
+  gov.configure(metastable_config(), 4, 2, nullptr);
+  Seconds t{0.0};
+  // Establish a healthy baseline near 1000 B/s.
+  run_bins(gov, &t, 1000.0, 5, 0, Seconds{100.0});
+  EXPECT_EQ(gov.shed_level(), 0u);
+  // Collapse to 10% with a deep queue: trips after two collapsed bins.
+  run_bins(gov, &t, 100.0, 1, 8, Seconds{100.0});
+  EXPECT_EQ(gov.shed_level(), 0u);  // one bin is not enough
+  run_bins(gov, &t, 100.0, 2, 8, Seconds{100.0});
+  EXPECT_GE(gov.shed_level(), 1u);
+  EXPECT_EQ(gov.stats().metastable_trips, 1u);
+  EXPECT_TRUE(gov.scrub_paused());
+}
+
+TEST(GovernorMetastable, CollapseWithEmptyQueueIsJustAnIdleFleet) {
+  RecoveryGovernor gov;
+  gov.configure(metastable_config(), 4, 2, nullptr);
+  Seconds t{0.0};
+  run_bins(gov, &t, 1000.0, 5, 0, Seconds{100.0});
+  // Same rate collapse, but nothing is queued: no trip, ever.
+  run_bins(gov, &t, 100.0, 10, 0, Seconds{100.0});
+  EXPECT_EQ(gov.shed_level(), 0u);
+  EXPECT_EQ(gov.stats().metastable_trips, 0u);
+  EXPECT_FALSE(gov.scrub_paused());
+}
+
+TEST(GovernorMetastable, LaddersUpToFullShedAndReleasesInReverse) {
+  RecoveryGovernor gov;
+  gov.configure(metastable_config(), 4, 2, nullptr);
+  Seconds t{0.0};
+  run_bins(gov, &t, 1000.0, 5, 0, Seconds{100.0});
+  // Six collapsed bins: levels 1, 2, 3 (two bins each).
+  run_bins(gov, &t, 50.0, 6, 8, Seconds{100.0});
+  EXPECT_EQ(gov.shed_level(), 3u);
+  EXPECT_EQ(gov.stats().shed_escalations, 3u);
+  EXPECT_TRUE(gov.scrub_paused());
+  EXPECT_DOUBLE_EQ(gov.repair_clamp(),
+                   gov.config().metastable.repair_clamp);
+  EXPECT_DOUBLE_EQ(gov.budget_clamp(),
+                   gov.config().metastable.budget_clamp);
+  // Level 3 is the ceiling: more collapsed bins do not escalate further.
+  run_bins(gov, &t, 50.0, 4, 8, Seconds{100.0});
+  EXPECT_EQ(gov.shed_level(), 3u);
+  // Recovery: goodput back above recover_fraction * EWMA releases one
+  // level per release_bins, all the way to zero.
+  run_bins(gov, &t, 1000.0, 2, 1, Seconds{100.0});
+  EXPECT_EQ(gov.shed_level(), 2u);
+  EXPECT_DOUBLE_EQ(gov.budget_clamp(), 1.0);  // level-3 lever released first
+  run_bins(gov, &t, 1000.0, 2, 1, Seconds{100.0});
+  EXPECT_EQ(gov.shed_level(), 1u);
+  EXPECT_DOUBLE_EQ(gov.repair_clamp(), 1.0);
+  run_bins(gov, &t, 1000.0, 2, 1, Seconds{100.0});
+  EXPECT_EQ(gov.shed_level(), 0u);
+  EXPECT_FALSE(gov.scrub_paused());
+  EXPECT_EQ(gov.stats().metastable_releases, 1u);
+}
+
+TEST(GovernorMetastable, MiddlingGoodputHoldsTheCurrentLevel) {
+  RecoveryGovernor gov;
+  gov.configure(metastable_config(), 4, 2, nullptr);
+  Seconds t{0.0};
+  run_bins(gov, &t, 1000.0, 5, 0, Seconds{100.0});
+  run_bins(gov, &t, 50.0, 2, 8, Seconds{100.0});
+  ASSERT_EQ(gov.shed_level(), 1u);
+  // 650 B/s sits inside the hysteresis band of the frozen ~905 B/s
+  // baseline (collapse below ~453, recovery above ~724): neither
+  // collapsed nor recovered, so the level holds indefinitely.
+  run_bins(gov, &t, 650.0, 8, 8, Seconds{100.0});
+  EXPECT_EQ(gov.shed_level(), 1u);
+}
+
+TEST(GovernorMetastable, EwmaFreezesWhileSheddingSoRecoveryIsHonest) {
+  RecoveryGovernor gov;
+  gov.configure(metastable_config(), 4, 2, nullptr);
+  Seconds t{0.0};
+  run_bins(gov, &t, 1000.0, 5, 0, Seconds{100.0});
+  run_bins(gov, &t, 50.0, 2, 8, Seconds{100.0});
+  ASSERT_GE(gov.shed_level(), 1u);
+  // Many more collapsed bins: if the EWMA adapted downward, 50 B/s would
+  // eventually count as "recovered". It must not.
+  run_bins(gov, &t, 50.0, 30, 8, Seconds{100.0});
+  EXPECT_GE(gov.shed_level(), 1u);
+  EXPECT_EQ(gov.stats().metastable_releases, 0u);
+}
+
+// --- obs mirror + finish -------------------------------------------------
+
+TEST(GovernorMirror, RegistryCountersReconcileExactlyWithStats) {
+  obs::Tracer tracer;
+  GovernorConfig cfg = metastable_config();
+  cfg.budgets.burst = 2.0;
+  cfg.breaker.min_samples = 3;
+  RecoveryGovernor gov;
+  gov.configure(cfg, 4, 2, &tracer);
+
+  // Exercise all three mechanisms.
+  gov.note_demand(GovernorClass::kRetry);
+  (void)gov.admit(GovernorClass::kRetry);
+  (void)gov.admit(GovernorClass::kRetry);
+  (void)gov.admit(GovernorClass::kRetry);  // denied: bucket empty
+  Seconds t = feed_failures(gov, BreakerScope::kDrive, 0, Seconds{0.0}, 3);
+  EXPECT_FALSE(gov.admit(GovernorClass::kFailover, BreakerScope::kDrive, 0, t));
+  t += Seconds{400.0};  // past the dwell: half-open
+  gov.note_outcome(BreakerScope::kDrive, 0, true, t);
+  gov.note_outcome(BreakerScope::kDrive, 0, true, t + Seconds{1.0});
+  Seconds mt{0.0};
+  run_bins(gov, &mt, 1000.0, 5, 0, Seconds{100.0});
+  run_bins(gov, &mt, 50.0, 2, 8, Seconds{100.0});
+  gov.finish(t + Seconds{2.0});
+
+  const obs::RegistrySnapshot snap = tracer.registry().snapshot();
+  const auto counter = [&snap](const std::string& name) -> std::uint64_t {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+  };
+  const GovernorStats& st = gov.stats();
+  const BudgetLedger& retry = st.ledger(GovernorClass::kRetry);
+  const BudgetLedger& failover = st.ledger(GovernorClass::kFailover);
+  EXPECT_EQ(counter("governor.retry_attempts"), retry.attempts);
+  EXPECT_EQ(counter("governor.retry_admitted"), retry.admitted);
+  EXPECT_EQ(counter("governor.retry_fast_failed"), retry.fast_failed);
+  EXPECT_EQ(counter("governor.failover_attempts"), failover.attempts);
+  EXPECT_EQ(counter("governor.failover_fast_failed"), failover.fast_failed);
+  EXPECT_EQ(counter("governor.breaker_opened"), st.breaker_opened);
+  EXPECT_EQ(counter("governor.breaker_closed"), st.breaker_closed);
+  EXPECT_EQ(counter("governor.breaker_probes"), st.breaker_probes);
+  EXPECT_EQ(counter("governor.metastable_trips"), st.metastable_trips);
+  EXPECT_GT(st.breaker_opened, 0u);
+  EXPECT_GT(st.metastable_trips, 0u);
+  // The gauge reads zero after finish() closed the books.
+  const auto gauge = snap.gauges.find("governor.breakers_open");
+  ASSERT_NE(gauge, snap.gauges.end());
+  EXPECT_DOUBLE_EQ(gauge->second, 0.0);
+}
+
+TEST(GovernorFinish, EmitsUnclosedBreakerSpansAndIsIdempotent) {
+  obs::Tracer tracer;
+  GovernorConfig cfg = enabled_config();
+  cfg.breaker.min_samples = 3;
+  RecoveryGovernor gov;
+  gov.configure(cfg, 4, 2, &tracer);
+  const Seconds t =
+      feed_failures(gov, BreakerScope::kDrive, 1, Seconds{0.0}, 3);
+  ASSERT_EQ(gov.breakers_open(), 1u);
+  gov.finish(t);
+  EXPECT_EQ(gov.breakers_open(), 0u);
+  // Bookkeeping close, not a recovery.
+  EXPECT_EQ(gov.stats().breaker_closed, 0u);
+  std::size_t breaker_spans = 0;
+  for (const obs::Span& s : tracer.spans()) {
+    if (s.track == obs::Track::kBreaker &&
+        s.phase == obs::Phase::kBreaker) {
+      ++breaker_spans;
+      EXPECT_NE(s.note.find("(unclosed)"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(breaker_spans, 1u);
+  gov.finish(t + Seconds{1.0});  // second call adds nothing
+  for (const obs::Span& s : tracer.spans()) {
+    if (s.track == obs::Track::kBreaker && s.phase == obs::Phase::kBreaker) {
+      breaker_spans -= 1;
+    }
+  }
+  EXPECT_EQ(breaker_spans, 0u);
+}
+
+}  // namespace
+}  // namespace tapesim::sched

@@ -1,0 +1,192 @@
+// Retry/backoff edge cases in the fault-retry ladders: cap exhaustion in
+// the middle of a serve chain, backoff delay monotonicity, and the
+// past-SLO short-circuit — a retry whose backoff delay can only land
+// after the request's deadline must fail fast instead of burning the
+// drive on a doomed attempt.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "fault/model.hpp"
+#include "metrics/request_metrics.hpp"
+#include "sched/simulator.hpp"
+#include "workload/model.hpp"
+
+namespace tapesim::sched {
+namespace {
+
+using core::Alignment;
+using core::PlacementPlan;
+using metrics::RequestStatus;
+using workload::ObjectInfo;
+using workload::Request;
+using workload::Workload;
+
+/// One library, two drives, four 10 GB tapes, five objects — the standard
+/// recovery-scenario layout (objects 0 and 1 share tape 0, so request 1
+/// serves a two-extent chain off a single mount).
+struct Scenario {
+  tape::SystemSpec spec;
+  std::unique_ptr<Workload> workload;
+  std::unique_ptr<PlacementPlan> plan;
+
+  Scenario() {
+    spec.num_libraries = 1;
+    spec.library.drives_per_library = 2;
+    spec.library.tapes_per_library = 4;
+    spec.library.tape_capacity = 10_GB;
+
+    std::vector<ObjectInfo> objects{{ObjectId{0}, 2_GB},
+                                    {ObjectId{1}, 3_GB},
+                                    {ObjectId{2}, 4_GB},
+                                    {ObjectId{3}, 1_GB},
+                                    {ObjectId{4}, 2_GB}};
+    std::vector<Request> requests;
+    const double p = 1.0 / 6.0;
+    requests.push_back(Request{RequestId{0}, p, {ObjectId{0}}});
+    requests.push_back(Request{RequestId{1}, p, {ObjectId{0}, ObjectId{1}}});
+    requests.push_back(Request{RequestId{2}, p, {ObjectId{2}}});
+    requests.push_back(Request{RequestId{3}, p, {ObjectId{3}}});
+    requests.push_back(Request{RequestId{4}, p, {ObjectId{4}}});
+    requests.push_back(Request{RequestId{5}, p, {ObjectId{3}, ObjectId{4}}});
+    workload = std::make_unique<Workload>(std::move(objects),
+                                          std::move(requests));
+
+    plan = std::make_unique<PlacementPlan>(spec, *workload);
+    plan->assign(ObjectId{0}, TapeId{0});
+    plan->assign(ObjectId{1}, TapeId{0});
+    plan->assign(ObjectId{2}, TapeId{1});
+    plan->assign(ObjectId{3}, TapeId{2});
+    plan->assign(ObjectId{4}, TapeId{3});
+    plan->align_all(Alignment::kGivenOrder);
+    plan->compute_tape_popularity();
+    plan->mount_policy.initial_mounts.emplace_back(DriveId{0}, TapeId{0});
+  }
+};
+
+TEST(RetryBackoff, DelaysAreExactAndMonotonicallyNonDecreasing) {
+  fault::BackoffPolicy p;
+  p.max_retries = 6;
+  p.initial_delay = Seconds{5.0};
+  p.multiplier = 2.0;
+  double expected = 5.0;
+  for (std::uint32_t k = 0; k < p.max_retries; ++k) {
+    EXPECT_DOUBLE_EQ(p.delay(k).count(), expected) << "retry " << k;
+    if (k > 0) {
+      EXPECT_GE(p.delay(k).count(), p.delay(k - 1).count());
+    }
+    expected *= p.multiplier;
+  }
+  // A multiplier of exactly 1 degenerates to a constant ladder, never a
+  // shrinking one.
+  p.multiplier = 1.0;
+  for (std::uint32_t k = 0; k < p.max_retries; ++k) {
+    EXPECT_DOUBLE_EQ(p.delay(k).count(), 5.0);
+  }
+}
+
+TEST(RetryBackoff, MediaRetryCapExhaustsMidChainAndTheChainContinues) {
+  // Both extents of request 1 live on tape 0; every read errors. Each
+  // extent must burn its full retry ladder (1 attempt + max_retries) and
+  // then fail fast — and the chain must move past the first dead extent
+  // to the second instead of abandoning the mount.
+  Scenario s;
+  SimulatorConfig config;
+  config.faults.media_error_per_gb = 50.0;  // error probability ~= 1
+  config.faults.media_retry.max_retries = 2;
+  config.faults.media_retry.initial_delay = Seconds{2.0};
+  config.faults.lost_after = 100;  // keep the cartridge readable-ish
+  config.faults.seed = 11;
+  RetrievalSimulator sim(*s.plan, config);
+
+  const auto o = sim.run_request(RequestId{1});
+  EXPECT_EQ(o.status, RequestStatus::kUnavailable);
+  EXPECT_EQ(o.bytes_unavailable.count(), o.bytes.count());
+  EXPECT_EQ(o.extents_unavailable, 2u);
+  // Exactly max_retries retries per extent: the cap was reached on the
+  // first extent mid-chain, then again on the second.
+  EXPECT_EQ(o.media_retries, 2u * config.faults.media_retry.max_retries);
+  EXPECT_EQ(o.bytes_served().count(), 0u);
+}
+
+TEST(RetryBackoff, MountRetryCapExhaustionCompletesTapeUnavailable) {
+  Scenario s;
+  SimulatorConfig config;
+  config.faults.mount_failure_prob = 0.999;
+  config.faults.mount_retry.max_retries = 2;
+  config.faults.max_mount_attempts_per_tape = 3;
+  config.faults.seed = 7;
+  RetrievalSimulator sim(*s.plan, config);
+
+  // Request 2 is object 2 on tape 1 — NOT the premounted tape 0, so the
+  // request has to win a mount and never does.
+  const auto o = sim.run_request(RequestId{2});
+  EXPECT_EQ(o.status, RequestStatus::kUnavailable);
+  EXPECT_EQ(o.bytes_unavailable.count(), o.bytes.count());
+  // The drive retried to its cap before the per-tape budget gave up.
+  EXPECT_EQ(o.mount_retries, config.faults.mount_retry.max_retries);
+}
+
+TEST(RetryBackoff, MountRetryPastDeadlineShortCircuits) {
+  // The backoff delay (1e6 s) dwarfs the deadline (5000 s): scheduling
+  // the retry would be pure waste, so the ladder must skip straight to
+  // the give-up path. No retry is ever scheduled, the request completes
+  // unavailable long before its deadline, and the engine clock is never
+  // dragged out to the far-future retry.
+  Scenario s;
+  SimulatorConfig config;
+  config.faults.mount_failure_prob = 0.999;
+  config.faults.mount_retry.max_retries = 2;
+  config.faults.mount_retry.initial_delay = Seconds{1.0e6};
+  config.faults.max_mount_attempts_per_tape = 2;
+  config.faults.seed = 7;
+  RetrievalSimulator sim(*s.plan, config);
+
+  RequestContext ctx;
+  ctx.deadline = sim.engine().now() + Seconds{5000.0};
+  const auto o = sim.run_request(RequestId{2}, ctx);
+  EXPECT_EQ(o.mount_retries, 0u);
+  EXPECT_EQ(o.status, RequestStatus::kUnavailable);
+  EXPECT_EQ(o.bytes_unavailable.count(), o.bytes.count());
+  EXPECT_LT(sim.engine().now().count(), 5000.0);
+}
+
+TEST(RetryBackoff, MediaRetryPastDeadlineShortCircuits) {
+  Scenario s;
+  SimulatorConfig config;
+  config.faults.media_error_per_gb = 50.0;
+  config.faults.media_retry.max_retries = 2;
+  config.faults.media_retry.initial_delay = Seconds{1.0e6};
+  config.faults.lost_after = 100;
+  config.faults.seed = 11;
+  RetrievalSimulator sim(*s.plan, config);
+
+  RequestContext ctx;
+  ctx.deadline = sim.engine().now() + Seconds{5000.0};
+  const auto o = sim.run_request(RequestId{1}, ctx);
+  EXPECT_EQ(o.media_retries, 0u);
+  EXPECT_EQ(o.bytes_served().count(), 0u);
+  EXPECT_LT(sim.engine().now().count(), 5000.0);
+}
+
+TEST(RetryBackoff, WithoutDeadlineHugeBackoffDelaysAreHonored) {
+  // The short-circuit must key on the deadline, not on the delay's size:
+  // an undeadlined request waits out even absurd backoff.
+  Scenario s;
+  SimulatorConfig config;
+  config.faults.mount_failure_prob = 0.999;
+  config.faults.mount_retry.max_retries = 1;
+  config.faults.mount_retry.initial_delay = Seconds{1.0e6};
+  config.faults.max_mount_attempts_per_tape = 2;
+  config.faults.seed = 7;
+  RetrievalSimulator sim(*s.plan, config);
+
+  const auto o = sim.run_request(RequestId{2});
+  EXPECT_GT(o.mount_retries, 0u);
+  EXPECT_GT(sim.engine().now().count(), 1.0e6);
+}
+
+}  // namespace
+}  // namespace tapesim::sched

@@ -97,16 +97,32 @@ int main(int argc, char** argv) {
   const auto deltas = compare_perf(*baseline, *current, thresholds);
   std::cout << "bench: " << baseline->bench << " (" << paths[0] << " -> "
             << paths[1] << ")\n";
-  Table table({"field", "baseline", "current", "change", "verdict"});
+  Table table({"field", "baseline", "current", "threshold", "change",
+               "verdict"});
   for (const auto& d : deltas) {
     table.add(d.field, fmt(d.baseline), fmt(d.current),
+              d.threshold != 0.0 ? fmt(d.threshold) : "-",
               fmt(d.change_frac * 100.0) + "%",
               std::string(d.regression ? "REGRESSION: " : "ok: ") + d.detail);
   }
   table.print(std::cout);
 
+  // Every failing field on its own line, so a multi-field regression is
+  // diagnosed from one run instead of a fix-rerun-fix loop.
+  std::size_t failed = 0;
+  for (const auto& d : deltas) {
+    if (!d.regression) continue;
+    if (failed++ == 0) std::cout << "\nfailing fields:\n";
+    std::cout << "  REGRESSION " << d.field << ": expected "
+              << (d.current >= d.threshold ? "<= " : ">= ")
+              << fmt(d.threshold) << ", actual " << fmt(d.current)
+              << " (baseline " << fmt(d.baseline) << ") -- " << d.detail
+              << "\n";
+  }
+
   if (tapesim::obs::has_regression(deltas)) {
-    std::cout << "\nRESULT: REGRESSION\n";
+    std::cout << "\nRESULT: REGRESSION (" << failed << " of "
+              << deltas.size() << " fields failed)\n";
     return 1;
   }
   std::cout << "\nRESULT: OK\n";

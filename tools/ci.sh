@@ -31,6 +31,9 @@ ctest --test-dir build -L tier2-failslow --output-on-failure
 echo "==> crash recovery bench self-check (tier2-crash)"
 ctest --test-dir build -L tier2-crash --output-on-failure
 
+echo "==> metastable governor bench self-check (tier2-metastable)"
+ctest --test-dir build -L tier2-metastable --output-on-failure
+
 # Perf scenario + regression gate against results/perf/ baselines. Release
 # tree only: sanitizer builds skew every wall/RSS number the gate reads.
 echo "==> perf scenario + regression gate (tier2-perf)"
@@ -43,26 +46,26 @@ fi
 
 # The sanitizer presets build tests only by default (benches are
 # release-preset artifacts); the scrub/evacuation, outage/DR,
-# fail-slow/hedging, and crash-recovery machinery is timing-heavy enough
-# that their bench self-checks earn a sanitized run too, so the bench
-# build is switched back on here and tier2-scrub, tier2-outage,
-# tier2-failslow, and tier2-crash ride along with tier1. The
-# perf-compares are excluded: sanitizer wall/RSS numbers are meaningless
-# against release baselines.
-echo "==> asan+ubsan build + tier1 + tier2-scrub/outage/failslow/crash tests"
+# fail-slow/hedging, crash-recovery, and governor/metastable machinery is
+# timing-heavy enough that their bench self-checks earn a sanitized run
+# too, so the bench build is switched back on here and tier2-scrub,
+# tier2-outage, tier2-failslow, tier2-crash, and tier2-metastable ride
+# along with tier1. The perf-compares are excluded: sanitizer wall/RSS
+# numbers are meaningless against release baselines.
+echo "==> asan+ubsan build + tier1 + tier2-scrub/outage/failslow/crash/metastable tests"
 cmake --preset asan-ubsan -DTAPESIM_BUILD_BENCH=ON
 cmake --build --preset asan-ubsan -j "$jobs"
 ctest --test-dir build-asan \
-  -L 'tier1|tier2-scrub|tier2-outage|tier2-failslow|tier2-crash' \
-  -E 'outage_perf_compare|failslow_perf_compare|crash_perf_compare' \
+  -L 'tier1|tier2-scrub|tier2-outage|tier2-failslow|tier2-crash|tier2-metastable' \
+  -E 'outage_perf_compare|failslow_perf_compare|crash_perf_compare|metastable_perf_compare' \
   --output-on-failure -j "$jobs"
 
-echo "==> tsan build + tier1 + tier2-scrub/outage/failslow/crash tests"
+echo "==> tsan build + tier1 + tier2-scrub/outage/failslow/crash/metastable tests"
 cmake --preset tsan -DTAPESIM_BUILD_BENCH=ON
 cmake --build --preset tsan -j "$jobs"
 ctest --test-dir build-tsan \
-  -L 'tier1|tier2-scrub|tier2-outage|tier2-failslow|tier2-crash' \
-  -E 'outage_perf_compare|failslow_perf_compare|crash_perf_compare' \
+  -L 'tier1|tier2-scrub|tier2-outage|tier2-failslow|tier2-crash|tier2-metastable' \
+  -E 'outage_perf_compare|failslow_perf_compare|crash_perf_compare|metastable_perf_compare' \
   --output-on-failure -j "$jobs"
 
 echo "==> done"

@@ -11,7 +11,7 @@
 // Usage: trace_inspect FILE.jsonl [--track NAME] [--lanes]
 //   --track NAME  restrict to one track
 //                 (request|drive|robot|engine|repair|overload|scrub|outage|
-//                  hedge|quarantine|recovery)
+//                  hedge|quarantine|recovery|breaker)
 //   --lanes       additionally break each track down per lane
 #include <algorithm>
 #include <cstdint>
@@ -50,7 +50,7 @@ int fail(const std::string& message) {
 const std::vector<std::string>& known_tracks() {
   static const std::vector<std::string> tracks = {
       "request",  "drive", "robot",  "engine", "repair",     "overload",
-      "scrub",    "outage", "hedge", "quarantine", "recovery"};
+      "scrub",    "outage", "hedge", "quarantine", "recovery", "breaker"};
   return tracks;
 }
 
